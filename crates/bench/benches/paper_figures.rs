@@ -1,0 +1,123 @@
+//! Criterion benches over the figure scenarios (wall-clock view; the
+//! I/O-count reproduction lives in the `figures` binary — run
+//! `cargo run --release -p mobidx-bench --bin figures`).
+//!
+//! One group per paper figure plus the core single-operation costs, at
+//! smoke scale so `cargo bench` completes in minutes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mobidx_bench::{paper_methods, run_scenario, QueryMix, Scale};
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
+use mobidx_core::method::mor1::Mor1Index;
+use mobidx_core::Index1D;
+use mobidx_persist::PersistConfig;
+use mobidx_workload::{Simulator1D, WorkloadConfig};
+use std::time::Duration;
+
+fn fig_scenarios(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let n = scale.n_values()[0];
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for (fig, mix) in [("fig6_query_large", QueryMix::Large), ("fig7_query_small", QueryMix::Small)] {
+        for method in paper_methods() {
+            // The segment R*-tree at even smoke scale dominates bench
+            // time (that is the paper's point); skip it here — the
+            // figures binary still measures it.
+            if method.name == "seg-R*" {
+                continue;
+            }
+            group.bench_function(format!("{fig}/{}", method.name), |b| {
+                b.iter(|| run_scenario(&method, n, mix, &scale, 42));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn single_operations(c: &mut Criterion) {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 20_000,
+        seed: 11,
+        ..WorkloadConfig::default()
+    });
+    for _ in 0..3 {
+        let _ = sim.step();
+    }
+    let objects = sim.objects().to_vec();
+
+    let mut group = c.benchmark_group("ops");
+    group.sample_size(20);
+
+    // fig9-style: one update (remove+insert) on a loaded dual-B+ index.
+    let mut bp = DualBPlusIndex::new(DualBPlusConfig::default());
+    for m in &objects {
+        bp.insert(m);
+    }
+    let mut i = 0usize;
+    group.bench_function("fig9_update/dual-B+ (c=6)", |b| {
+        b.iter(|| {
+            let m = &objects[i % objects.len()];
+            i += 1;
+            assert!(bp.remove(m));
+            bp.insert(m);
+        });
+    });
+
+    let mut kd = DualKdIndex::new(DualKdConfig::default());
+    for m in &objects {
+        kd.insert(m);
+    }
+    let mut j = 0usize;
+    group.bench_function("fig9_update/dual-kd", |b| {
+        b.iter(|| {
+            let m = &objects[j % objects.len()];
+            j += 1;
+            assert!(kd.remove(m));
+            kd.insert(m);
+        });
+    });
+
+    // fig6-style: one 10% query on each loaded index.
+    let mut qsim = Simulator1D::new(WorkloadConfig {
+        n: 1,
+        seed: 77,
+        ..WorkloadConfig::default()
+    });
+    group.bench_function("fig6_query/dual-B+ (c=6)", |b| {
+        b.iter_batched(
+            || qsim.gen_query(150.0, 60.0),
+            |q| bp.query(&q),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("fig6_query/dual-kd", |b| {
+        b.iter_batched(
+            || qsim.gen_query(150.0, 60.0),
+            |q| kd.query(&q),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // A2-style: building and querying the MOR1 structure.
+    group.bench_function("a2_mor1_build_T50", |b| {
+        b.iter(|| Mor1Index::build(PersistConfig::default(), &objects[..5000], 0.0, 50.0));
+    });
+    let mut mor1 = Mor1Index::build(PersistConfig::default(), &objects[..5000], 0.0, 50.0);
+    let mut k = 0u64;
+    group.bench_function("a2_mor1_timeslice_query", |b| {
+        b.iter(|| {
+            k = k.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(97);
+            #[allow(clippy::cast_precision_loss)]
+            let y1 = (k >> 40) as f64 % 950.0;
+            mor1.query(25.0, y1, y1 + 10.0)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig_scenarios, single_operations);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Regenerates every figure of the paper's evaluation (and the A1–A4
+//! ablations) as plain-text tables.
+//!
+//! ```text
+//! figures [--fig 6|7|8|9|a1|a2|a3|a4|all] [--scale quick|smoke|full] [--seed N]
+//! ```
+//!
+//! `quick` (default) shrinks the paper's N = 100k..500k sweep to
+//! 10k..50k and 200 time instants — the curve *shapes* (who wins, by
+//! what factor) are preserved; `full` reproduces the original sizes
+//! (expect a long run).
+
+use mobidx_bench::report::{render_table, Metric};
+use mobidx_bench::{ablations, paper_methods, run_figure, QueryMix, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fig = "all".to_owned();
+    let mut scale = Scale::quick();
+    let mut scale_name = "quick";
+    let mut seed = 0x5EEDu64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                fig = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--scale" => {
+                let v = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                scale = match v.as_str() {
+                    "quick" => Scale::quick(),
+                    "smoke" => Scale::smoke(),
+                    "full" => Scale::full(),
+                    _ => usage(),
+                };
+                scale_name = match v.as_str() {
+                    "quick" => "quick",
+                    "smoke" => "smoke",
+                    _ => "full",
+                };
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--nfactor" => {
+                scale.n_factor = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                scale_name = "custom";
+                i += 2;
+            }
+            "--instants" => {
+                scale.instants = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                scale_name = "custom";
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    println!("mobidx figure harness — scale: {scale_name}, seed: {seed}");
+    println!(
+        "N sweep: {:?}; instants: {}; {}x{} queries per mix\n",
+        scale.n_values(),
+        scale.instants,
+        scale.query_instants,
+        scale.queries_per_instant
+    );
+
+    let want = |f: &str| fig == "all" || fig == f;
+
+    // Figures 6/7/8/9 all come from the same two scenario sweeps.
+    if want("6") || want("8") || want("9") {
+        let cells = run_figure(QueryMix::Large, &scale, &paper_methods(), seed);
+        if want("6") {
+            print!(
+                "{}",
+                render_table(
+                    "Figure 6 — avg I/Os per query, 10% queries (YQMAX=150, TW=60)",
+                    Metric::QueryIos,
+                    &cells
+                )
+            );
+            print!(
+                "{}",
+                render_table("        (avg result cardinality)", Metric::AvgResult, &cells)
+            );
+            println!();
+        }
+        if want("8") {
+            print!(
+                "{}",
+                render_table("Figure 8 — space consumption (pages)", Metric::Pages, &cells)
+            );
+            println!();
+        }
+        if want("9") {
+            print!(
+                "{}",
+                render_table(
+                    "Figure 9 — avg I/Os per update (paper omits seg-R*: \">90\")",
+                    Metric::UpdateIos,
+                    &cells
+                )
+            );
+            println!();
+        }
+    }
+    if want("7") {
+        let cells = run_figure(QueryMix::Small, &scale, &paper_methods(), seed);
+        print!(
+            "{}",
+            render_table(
+                "Figure 7 — avg I/Os per query, 1% queries (YQMAX=10, TW=20)",
+                Metric::QueryIos,
+                &cells
+            )
+        );
+        print!(
+            "{}",
+            render_table("        (avg result cardinality)", Metric::AvgResult, &cells)
+        );
+        println!();
+    }
+
+    if want("a1") {
+        let n = scale.n_values()[2];
+        let cells = ablations::ablation_c_tradeoff(n, &scale, seed);
+        print!(
+            "{}",
+            render_table(
+                &format!("A1 — c trade-off at N={n} (1% queries): query I/O"),
+                Metric::QueryIos,
+                &cells
+            )
+        );
+        print!("{}", render_table("     update I/O", Metric::UpdateIos, &cells));
+        print!("{}", render_table("     space (pages)", Metric::Pages, &cells));
+        println!();
+    }
+
+    if want("a2") {
+        let n = scale.n_values()[0];
+        println!("## A2 — MOR1 persistent structure vs horizon T (N={n})");
+        println!(
+            "{:>10} {:>12} {:>10} {:>14} {:>12}",
+            "T", "crossings", "pages", "avg query IO", "avg result"
+        );
+        for row in ablations::ablation_mor1(n, &[25.0, 50.0, 100.0, 200.0, 400.0], seed) {
+            println!(
+                "{:>10.0} {:>12} {:>10} {:>14.2} {:>12.1}",
+                row.horizon, row.crossings, row.pages, row.avg_query_ios, row.avg_result
+            );
+        }
+        println!();
+    }
+
+    if want("a3") {
+        let n = scale.n_values()[1];
+        let cells = ablations::ablation_adversarial(n, seed);
+        print!(
+            "{}",
+            render_table(
+                &format!("A3 — time-slice line queries at N={n} (Theorem 1 regime)"),
+                Metric::QueryIos,
+                &cells
+            )
+        );
+        println!();
+    }
+
+    if want("a4") {
+        let n = scale.n_values()[0];
+        let cells = ablations::ablation_2d(n, seed);
+        print!(
+            "{}",
+            render_table(
+                &format!("A4 — 2-D methods at N={n}: query I/O"),
+                Metric::QueryIos,
+                &cells
+            )
+        );
+        print!("{}", render_table("     update I/O", Metric::UpdateIos, &cells));
+        print!("{}", render_table("     space (pages)", Metric::Pages, &cells));
+        println!();
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--fig 6|7|8|9|a1|a2|a3|a4|all] [--scale quick|smoke|full] \
+         [--nfactor F] [--instants I] [--seed N]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,300 @@
+//! # mobidx-bench — the performance study of §5, reproduced
+//!
+//! The paper's evaluation consists of four figures (there are no
+//! numbered tables):
+//!
+//! * **Figure 6** — average I/Os per query, "large" (~10 %) queries
+//!   (`YQMAX = 150`, `TW = 60`), N = 100k..500k;
+//! * **Figure 7** — same with "small" (~1 %) queries
+//!   (`YQMAX = 10`, `TW = 20`);
+//! * **Figure 8** — space consumption (pages) vs N;
+//! * **Figure 9** — average I/Os per update vs N (the R\*-tree is
+//!   reported only as ">90 I/Os" in the paper; we measure it anyway).
+//!
+//! Methods compared, as in the paper: the R\*-tree over trajectory
+//! segments, the kd-tree point-access method (the paper's hBΠ-tree), and
+//! the dual-B+ approximation method with c = 4, 6, 8.
+//!
+//! The measurement protocol follows §5: the scenario runs for a number
+//! of time instants with ~200 motion updates per instant (update I/O is
+//! averaged over all of them); at 10 evenly spaced instants, 200 random
+//! queries execute with the buffer pool **cleared before every query**.
+//!
+//! Everything is exposed as a library so both the `figures` binary and
+//! the Criterion benches drive the same code. [`Scale`] shrinks the
+//! paper's N = 100k..500k sweep for quick runs; `--full` reproduces the
+//! original sizes.
+
+use mobidx_bptree::TreeConfig;
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
+use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
+use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
+use mobidx_core::Index1D;
+use mobidx_workload::{paper, Simulator1D, WorkloadConfig};
+
+pub mod ablations;
+pub mod report;
+
+/// How much to shrink the paper's experiment (N, instants, queries).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier on the paper's object counts (1.0 = 100k..500k).
+    pub n_factor: f64,
+    /// Time instants to simulate (paper: 2000).
+    pub instants: usize,
+    /// Query instants (paper: 10).
+    pub query_instants: usize,
+    /// Queries per query instant (paper: 200).
+    pub queries_per_instant: usize,
+}
+
+impl Scale {
+    /// The paper's full-size experiment.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            n_factor: 1.0,
+            instants: paper::INSTANTS,
+            query_instants: paper::QUERY_INSTANTS,
+            queries_per_instant: paper::QUERIES_PER_INSTANT,
+        }
+    }
+
+    /// A laptop-quick configuration preserving the figures' shapes
+    /// (N = 10k..50k, 200 instants).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            n_factor: 0.1,
+            instants: 200,
+            query_instants: 5,
+            queries_per_instant: 50,
+        }
+    }
+
+    /// A tiny smoke-test configuration (used by `cargo bench` and CI).
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            n_factor: 0.02,
+            instants: 40,
+            query_instants: 2,
+            queries_per_instant: 10,
+        }
+    }
+
+    /// The N sweep at this scale (paper: 100k, 200k, ..., 500k).
+    #[must_use]
+    pub fn n_values(&self) -> Vec<usize> {
+        (1..=5)
+            .map(|i| {
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                {
+                    ((i * 100_000) as f64 * self.n_factor) as usize
+                }
+            })
+            .collect()
+    }
+}
+
+/// Which query mix a figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMix {
+    /// ~10 % selectivity: `YQMAX = 150`, `TW = 60`.
+    Large,
+    /// ~1 % selectivity: `YQMAX = 10`, `TW = 20`.
+    Small,
+}
+
+impl QueryMix {
+    /// `(YQMAX, TW)`.
+    #[must_use]
+    pub fn params(self) -> (f64, f64) {
+        match self {
+            QueryMix::Large => (paper::YQMAX_LARGE, paper::TW_LARGE),
+            QueryMix::Small => (paper::YQMAX_SMALL, paper::TW_SMALL),
+        }
+    }
+}
+
+/// One measured cell of a figure.
+#[derive(Debug, Clone)]
+pub struct MethodMeasurement {
+    /// Method display name.
+    pub method: String,
+    /// Number of mobile objects.
+    pub n: usize,
+    /// Average I/Os per query (reads; buffers cleared per query).
+    pub avg_query_ios: f64,
+    /// Average I/Os per update (delete old + insert new).
+    pub avg_update_ios: f64,
+    /// Live pages after the run (Figure 8's metric).
+    pub pages: u64,
+    /// Average result cardinality (sanity: ~10 % / ~1 % of N).
+    pub avg_result: f64,
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Number of updates applied.
+    pub updates: usize,
+}
+
+/// The factory for one competing method.
+pub struct Method {
+    /// Display name (also used as the series key in reports).
+    pub name: String,
+    /// Builds a fresh index.
+    pub make: Box<dyn Fn() -> Box<dyn Index1D>>,
+}
+
+/// The paper's §5 line-up: seg-R\*, kd (hBΠ stand-in), dual-B+ with
+/// c = 4, 6, 8.
+#[must_use]
+pub fn paper_methods() -> Vec<Method> {
+    let mut methods: Vec<Method> = Vec::new();
+    methods.push(Method {
+        name: "seg-R*".to_owned(),
+        make: Box::new(|| Box::new(SegRTreeIndex::new(SegRTreeConfig::default()))),
+    });
+    methods.push(Method {
+        name: "dual-kd".to_owned(),
+        make: Box::new(|| Box::new(DualKdIndex::new(DualKdConfig::default()))),
+    });
+    for c in [4usize, 6, 8] {
+        methods.push(Method {
+            name: format!("dual-B+ (c={c})"),
+            make: Box::new(move || {
+                Box::new(DualBPlusIndex::new(DualBPlusConfig {
+                    c,
+                    tree: TreeConfig::default(),
+                    ..DualBPlusConfig::default()
+                }))
+            }),
+        });
+    }
+    methods
+}
+
+/// The partition-tree method (used by ablation A3; too slow to build at
+/// full figure scale for every N, exactly as the paper anticipates).
+#[must_use]
+pub fn ptree_method() -> Method {
+    Method {
+        name: "dual-ptree".to_owned(),
+        make: Box::new(|| Box::new(DualPtreeIndex::new(DualPtreeConfig::default()))),
+    }
+}
+
+/// Runs the §5 scenario for one method at one N, measuring query I/O,
+/// update I/O, and space.
+#[must_use]
+pub fn run_scenario(
+    method: &Method,
+    n: usize,
+    mix: QueryMix,
+    scale: &Scale,
+    seed: u64,
+) -> MethodMeasurement {
+    let (yqmax, tw) = mix.params();
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n,
+        seed,
+        ..WorkloadConfig::default()
+    });
+    let mut idx = (method.make)();
+    for m in sim.objects() {
+        idx.insert(m);
+    }
+
+    let mut update_ios = 0u64;
+    let mut updates = 0usize;
+    let mut query_ios = 0u64;
+    let mut queries = 0usize;
+    let mut results = 0u64;
+
+    let query_every = (scale.instants / scale.query_instants.max(1)).max(1);
+    for step in 0..scale.instants {
+        // Updates for this instant (measured individually).
+        for u in sim.step() {
+            idx.clear_buffers();
+            idx.reset_io();
+            let removed = idx.remove(&u.old);
+            debug_assert!(removed, "stale record during scenario");
+            idx.insert(&u.new);
+            idx.clear_buffers();
+            update_ios += idx.io_totals().ios();
+            updates += 1;
+        }
+        // Query instants.
+        if step % query_every == query_every - 1 {
+            for _ in 0..scale.queries_per_instant {
+                let q = sim.gen_query(yqmax, tw);
+                idx.clear_buffers();
+                idx.reset_io();
+                let ids = idx.query(&q);
+                query_ios += idx.io_totals().ios();
+                results += ids.len() as u64;
+                queries += 1;
+            }
+        }
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    MethodMeasurement {
+        method: method.name.clone(),
+        n,
+        avg_query_ios: query_ios as f64 / queries.max(1) as f64,
+        avg_update_ios: update_ios as f64 / updates.max(1) as f64,
+        pages: idx.io_totals().pages,
+        avg_result: results as f64 / queries.max(1) as f64,
+        queries,
+        updates,
+    }
+}
+
+/// Runs one full figure (all methods × the N sweep) and returns the
+/// grid of measurements.
+#[must_use]
+pub fn run_figure(mix: QueryMix, scale: &Scale, methods: &[Method], seed: u64) -> Vec<MethodMeasurement> {
+    let mut out = Vec::new();
+    for &n in &scale.n_values() {
+        for method in methods {
+            out.push(run_scenario(method, n, mix, scale, seed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_produces_sane_numbers() {
+        let scale = Scale::smoke();
+        let methods = paper_methods();
+        // Just the cheapest two methods at the smallest N.
+        let n = scale.n_values()[0];
+        for method in methods.iter().filter(|m| m.name != "seg-R*") {
+            let m = run_scenario(method, n, QueryMix::Large, &scale, 7);
+            assert!(m.queries > 0 && m.updates > 0);
+            assert!(m.avg_query_ios > 0.0, "{}: zero query I/O", m.method);
+            assert!(m.avg_update_ios > 0.0, "{}: zero update I/O", m.method);
+            assert!(m.pages > 0);
+            // ~10% selectivity within a loose band.
+            #[allow(clippy::cast_precision_loss)]
+            let sel = m.avg_result / n as f64;
+            assert!(
+                (0.01..0.5).contains(&sel),
+                "{}: selectivity {sel}",
+                m.method
+            );
+        }
+    }
+
+    #[test]
+    fn scales_have_increasing_n() {
+        assert!(Scale::smoke().n_values()[0] < Scale::quick().n_values()[0]);
+        assert_eq!(Scale::full().n_values(), vec![100_000, 200_000, 300_000, 400_000, 500_000]);
+    }
+}

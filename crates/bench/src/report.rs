@@ -1,0 +1,112 @@
+//! Plain-text rendering of figure results (the series the paper plots).
+
+use crate::MethodMeasurement;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Which metric of a [`MethodMeasurement`] a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Figures 6/7: average I/Os per query.
+    QueryIos,
+    /// Figure 9: average I/Os per update.
+    UpdateIos,
+    /// Figure 8: live pages.
+    Pages,
+    /// Sanity column: average result cardinality.
+    AvgResult,
+}
+
+impl Metric {
+    fn value(self, m: &MethodMeasurement) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        match self {
+            Metric::QueryIos => m.avg_query_ios,
+            Metric::UpdateIos => m.avg_update_ios,
+            Metric::Pages => m.pages as f64,
+            Metric::AvgResult => m.avg_result,
+        }
+    }
+}
+
+/// Renders a `method × N` table of the chosen metric, methods as rows —
+/// the same series the paper's figure plots as curves.
+#[must_use]
+pub fn render_table(title: &str, metric: Metric, cells: &[MethodMeasurement]) -> String {
+    let ns: BTreeSet<usize> = cells.iter().map(|c| c.n).collect();
+    let mut methods: Vec<String> = Vec::new();
+    for c in cells {
+        if !methods.contains(&c.method) {
+            methods.push(c.method.clone());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let _ = write!(out, "{:<16}", "method \\ N");
+    for n in &ns {
+        let _ = write!(out, "{n:>12}");
+    }
+    let _ = writeln!(out);
+    for method in &methods {
+        let _ = write!(out, "{method:<16}");
+        for n in &ns {
+            let cell = cells.iter().find(|c| &c.method == method && c.n == *n);
+            match cell {
+                Some(c) => {
+                    let v = metric.value(c);
+                    if v >= 100.0 {
+                        let _ = write!(out, "{v:>12.0}");
+                    } else {
+                        let _ = write!(out, "{v:>12.2}");
+                    }
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(method: &str, n: usize, q: f64) -> MethodMeasurement {
+        MethodMeasurement {
+            method: method.to_owned(),
+            n,
+            avg_query_ios: q,
+            avg_update_ios: 1.0,
+            pages: 10,
+            avg_result: 5.0,
+            queries: 1,
+            updates: 1,
+        }
+    }
+
+    #[test]
+    fn renders_grid() {
+        let cells = vec![
+            cell("a", 100, 5.0),
+            cell("a", 200, 9.0),
+            cell("b", 100, 50.0),
+            cell("b", 200, 123.4),
+        ];
+        let s = render_table("Fig X", Metric::QueryIos, &cells);
+        assert!(s.contains("Fig X"));
+        assert!(s.contains('a'));
+        assert!(s.contains("123"));
+        // Two method rows + header + title.
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn missing_cells_render_dash() {
+        let cells = vec![cell("a", 100, 5.0), cell("b", 200, 7.0)];
+        let s = render_table("t", Metric::Pages, &cells);
+        assert!(s.contains('-'));
+    }
+}

@@ -1,0 +1,62 @@
+//! # mobidx-bptree — a paged B+-tree in the external-memory model
+//!
+//! The practical index of the paper's §3.5.2 stores the Hough-Y dual
+//! `b`-coordinates of all mobile objects in `c` plain B+-trees ("each of
+//! the c observation indices can simply be a B+-tree \[13\]"). This crate
+//! provides that B+-tree, built on [`mobidx_pager`]'s I/O-counted page
+//! store:
+//!
+//! * entries are `(key, value)` pairs ordered **lexicographically** —
+//!   values act as tie-breakers, so every entry is unique and deletions
+//!   are exact even with massively duplicated keys;
+//! * leaves are chained for `O(k/B)` range scans;
+//! * deletion rebalances (borrow from a sibling, else merge), keeping
+//!   every node at least half full, so the space numbers of Figure 8 are
+//!   honest;
+//! * [`BPlusTree::bulk_load`] builds a tree from sorted entries at a
+//!   chosen fill factor (used when an observation index is re-based).
+//!
+//! Page capacity comes from the paper's arithmetic: a 12-byte entry
+//! (4-byte `b`-coordinate, 4-byte speed, 4-byte pointer) on a 4096-byte
+//! page gives `B = 341` ([`paper_leaf_capacity`]).
+
+mod node;
+mod tree;
+
+pub use node::Node;
+pub use tree::{BPlusTree, TreeConfig};
+
+use mobidx_pager::{page_capacity, DEFAULT_PAGE_SIZE};
+
+/// The leaf capacity used in the paper's experiments (§5): 12-byte
+/// entries on 4096-byte pages ⇒ B = 341.
+#[must_use]
+pub fn paper_leaf_capacity() -> usize {
+    page_capacity(DEFAULT_PAGE_SIZE, 12)
+}
+
+/// A key usable in the tree: totally ordered in practice (`f64` keys must
+/// not be NaN), copiable, printable.
+pub trait Key: Copy + PartialOrd + std::fmt::Debug {}
+impl<T: Copy + PartialOrd + std::fmt::Debug> Key for T {}
+
+/// Compares two keys, panicking on incomparable values (NaN keys are a
+/// caller bug — dual transforms never produce them).
+pub(crate) fn cmp_key<K: Key>(a: &K, b: &K) -> std::cmp::Ordering {
+    a.partial_cmp(b).expect("non-total key order (NaN key?)")
+}
+
+/// Lexicographic comparison of `(key, value)` entries.
+pub(crate) fn cmp_entry<K: Key, V: Ord>(a: &(K, V), b: &(K, V)) -> std::cmp::Ordering {
+    cmp_key(&a.0, &b.0).then_with(|| a.1.cmp(&b.1))
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::paper_leaf_capacity;
+
+    #[test]
+    fn paper_capacity_is_341() {
+        assert_eq!(paper_leaf_capacity(), 341);
+    }
+}

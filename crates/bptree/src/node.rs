@@ -1,0 +1,78 @@
+//! B+-tree node layout.
+
+use mobidx_pager::PageId;
+
+/// One page of the tree.
+///
+/// * `Leaf` pages hold up to `leaf_cap` `(key, value)` entries sorted
+///   lexicographically, plus a pointer to the next leaf (for range scans).
+/// * `Branch` pages hold `children.len()` child pointers and
+///   `children.len() − 1` separators; child `i` covers entries `e` with
+///   `seps[i−1] ≤ e < seps[i]` (an entry equal to a separator lives in the
+///   child to the *right* of it).
+#[derive(Debug, Clone)]
+pub enum Node<K, V> {
+    /// A leaf page.
+    Leaf {
+        /// Sorted `(key, value)` entries.
+        entries: Vec<(K, V)>,
+        /// The next leaf in key order, if any.
+        next: Option<PageId>,
+    },
+    /// An internal page.
+    Branch {
+        /// Separator entries; `seps.len() == children.len() - 1`.
+        seps: Vec<(K, V)>,
+        /// Child page ids.
+        children: Vec<PageId>,
+    },
+}
+
+impl<K, V> Node<K, V> {
+    /// Creates an empty leaf.
+    #[must_use]
+    pub fn empty_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+        }
+    }
+
+    /// Whether this page is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of entries (leaf) or children (branch) — the quantity that
+    /// occupancy invariants constrain.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Branch { children, .. } => children.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_counts_the_right_thing() {
+        let leaf: Node<f64, u64> = Node::Leaf {
+            entries: vec![(1.0, 1), (2.0, 2)],
+            next: None,
+        };
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.occupancy(), 2);
+
+        let branch: Node<f64, u64> = Node::Branch {
+            seps: vec![(5.0, 0)],
+            children: vec![PageId::from_index(0), PageId::from_index(1)],
+        };
+        assert!(!branch.is_leaf());
+        assert_eq!(branch.occupancy(), 2);
+    }
+}

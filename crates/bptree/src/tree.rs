@@ -1,0 +1,913 @@
+//! The B+-tree proper: insert, exact delete with rebalancing, range
+//! scans, bulk loading, and structural invariant checks.
+
+use crate::node::Node;
+use crate::{cmp_entry, cmp_key, Key};
+use mobidx_pager::{IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES};
+use std::cmp::Ordering;
+use std::fmt::Debug;
+
+/// Sizing parameters of a tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum entries per leaf (the paper's `B`).
+    pub leaf_cap: usize,
+    /// Maximum children per branch node.
+    pub branch_cap: usize,
+    /// Buffer-pool capacity in pages (the paper uses the root-to-leaf
+    /// path, 3–4 pages).
+    pub buffer_pages: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            leaf_cap: crate::paper_leaf_capacity(),
+            branch_cap: crate::paper_leaf_capacity(),
+            buffer_pages: DEFAULT_BUFFER_PAGES,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// Minimum entries in a non-root leaf.
+    #[must_use]
+    pub fn min_leaf(&self) -> usize {
+        (self.leaf_cap / 2).max(1)
+    }
+
+    /// Minimum children in a non-root branch.
+    #[must_use]
+    pub fn min_branch(&self) -> usize {
+        (self.branch_cap / 2).max(2)
+    }
+}
+
+/// A paged B+-tree over `(key, value)` entries ordered lexicographically.
+///
+/// Values participate in the order, so entries are unique as long as the
+/// caller never inserts the same `(key, value)` pair twice — which makes
+/// [`BPlusTree::remove`] exact. (Exact duplicates are still tolerated;
+/// `remove` then deletes one of them.)
+#[derive(Debug)]
+pub struct BPlusTree<K: Key, V: Copy + Ord + Debug> {
+    store: PageStore<Node<K, V>>,
+    root: PageId,
+    /// Number of levels; 1 means the root is a leaf.
+    height: usize,
+    len: usize,
+    cfg: TreeConfig,
+}
+
+impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (capacities < 2).
+    #[must_use]
+    pub fn new(cfg: TreeConfig) -> Self {
+        assert!(cfg.leaf_cap >= 2, "leaf capacity must be at least 2");
+        assert!(cfg.branch_cap >= 3, "branch capacity must be at least 3");
+        let mut store = PageStore::new(cfg.buffer_pages);
+        let root = store.allocate(Node::empty_leaf());
+        Self {
+            store,
+            root,
+            height: 1,
+            len: 0,
+            cfg,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 = root is a leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The tree's sizing parameters.
+    #[must_use]
+    pub fn config(&self) -> &TreeConfig {
+        &self.cfg
+    }
+
+    /// I/O statistics of the underlying page store.
+    #[must_use]
+    pub fn stats(&self) -> &IoStats {
+        self.store.stats()
+    }
+
+    /// Live pages — the space metric of Figure 8.
+    #[must_use]
+    pub fn live_pages(&self) -> u64 {
+        self.store.live_pages()
+    }
+
+    /// Flushes and empties the buffer pool (the paper clears the buffer
+    /// before every query so query I/O is cold).
+    pub fn clear_buffer(&mut self) {
+        self.store.clear_buffer();
+    }
+
+    /// Inserts the entry `(key, value)`.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some((sep, right)) = self.insert_rec(self.root, self.height, (key, value)) {
+            let old_root = self.root;
+            self.root = self.store.allocate(Node::Branch {
+                seps: vec![sep],
+                children: vec![old_root, right],
+            });
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Removes the entry `(key, value)`. Returns `true` if it was present.
+    pub fn remove(&mut self, key: K, value: V) -> bool {
+        let (removed, _) = self.remove_rec(self.root, self.height, &(key, value));
+        if removed {
+            self.len -= 1;
+        }
+        // Collapse a root branch that lost all but one child.
+        while self.height > 1 {
+            let only = match self.store.read(self.root) {
+                Node::Branch { children, .. } if children.len() == 1 => Some(children[0]),
+                _ => None,
+            };
+            match only {
+                Some(child) => {
+                    let _ = self.store.free(self.root);
+                    self.root = child;
+                    self.height -= 1;
+                }
+                None => break,
+            }
+        }
+        removed
+    }
+
+    /// Reports every value whose key lies in `[lo, hi]`, in key order.
+    pub fn range(&mut self, lo: K, hi: K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        self.range_for_each(lo, hi, |k, v| out.push((k, v)));
+        out
+    }
+
+    /// Visits every entry with key in `[lo, hi]`, in key order.
+    pub fn range_for_each(&mut self, lo: K, hi: K, mut visit: impl FnMut(K, V)) {
+        if cmp_key(&lo, &hi) == Ordering::Greater {
+            return;
+        }
+        // Descend to the leftmost leaf that can contain `lo`.
+        let mut node = self.root;
+        for _ in 1..self.height {
+            node = match self.store.read(node) {
+                Node::Branch { seps, children } => {
+                    let idx = seps.partition_point(|s| cmp_key(&s.0, &lo) == Ordering::Less);
+                    children[idx]
+                }
+                Node::Leaf { .. } => unreachable!("leaf above leaf level"),
+            };
+        }
+        // Scan the leaf chain.
+        let mut current = Some(node);
+        while let Some(leaf) = current {
+            let (entries, next) = match self.store.read(leaf) {
+                Node::Leaf { entries, next } => (entries.clone(), *next),
+                Node::Branch { .. } => unreachable!("branch at leaf level"),
+            };
+            for (k, v) in entries {
+                match cmp_key(&k, &hi) {
+                    Ordering::Greater => return,
+                    _ => {
+                        if cmp_key(&k, &lo) != Ordering::Less {
+                            visit(k, v);
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+    }
+
+    /// Whether the exact entry `(key, value)` is present.
+    pub fn contains(&mut self, key: K, value: V) -> bool {
+        let e = (key, value);
+        let mut node = self.root;
+        for _ in 1..self.height {
+            node = match self.store.read(node) {
+                Node::Branch { seps, children } => {
+                    let idx = Self::route(seps, &e);
+                    children[idx]
+                }
+                Node::Leaf { .. } => unreachable!(),
+            };
+        }
+        match self.store.read(node) {
+            Node::Leaf { entries, .. } => entries
+                .binary_search_by(|x| cmp_entry(x, &e))
+                .is_ok(),
+            Node::Branch { .. } => unreachable!(),
+        }
+    }
+
+    /// Builds a tree from entries **sorted lexicographically**, packing
+    /// nodes to `fill × capacity` (clamped to `[0.1, 1.0]`).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the entries are not sorted.
+    #[must_use]
+    pub fn bulk_load(cfg: TreeConfig, entries: &[(K, V)], fill: f64) -> Self {
+        debug_assert!(
+            entries
+                .windows(2)
+                .all(|w| cmp_entry(&w[0], &w[1]) != Ordering::Greater),
+            "bulk_load requires sorted entries"
+        );
+        let fill = fill.clamp(0.1, 1.0);
+        let mut tree = Self::new(cfg);
+        if entries.is_empty() {
+            return tree;
+        }
+        tree.len = entries.len();
+
+        // Level 0: leaves.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let per_leaf = ((cfg.leaf_cap as f64 * fill) as usize).clamp(1, cfg.leaf_cap);
+        let mut level: Vec<((K, V), PageId)> = Vec::new();
+        let mut prev_leaf: Option<PageId> = None;
+        for chunk in entries.chunks(per_leaf) {
+            let pid = tree.store.allocate(Node::Leaf {
+                entries: chunk.to_vec(),
+                next: None,
+            });
+            if let Some(prev) = prev_leaf {
+                tree.store.write(prev, |n| {
+                    if let Node::Leaf { next, .. } = n {
+                        *next = Some(pid);
+                    }
+                });
+            }
+            prev_leaf = Some(pid);
+            level.push((chunk[0], pid));
+        }
+        // Reuse the pre-allocated empty root as the first leaf? Simpler to
+        // free it and re-point the root.
+        let _ = tree.store.free(tree.root);
+
+        // Upper levels.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let per_branch = ((cfg.branch_cap as f64 * fill) as usize).clamp(2, cfg.branch_cap);
+        let mut height = 1;
+        while level.len() > 1 {
+            let mut upper: Vec<((K, V), PageId)> = Vec::new();
+            for group in level.chunks(per_branch) {
+                let seps: Vec<(K, V)> = group[1..].iter().map(|(min, _)| *min).collect();
+                let children: Vec<PageId> = group.iter().map(|&(_, pid)| pid).collect();
+                let pid = tree.store.allocate(Node::Branch { seps, children });
+                upper.push((group[0].0, pid));
+            }
+            level = upper;
+            height += 1;
+        }
+        tree.root = level[0].1;
+        tree.height = height;
+        tree
+    }
+
+    /// All entries in order (uncounted access; for tests and audits).
+    #[must_use]
+    pub fn collect_all(&self) -> Vec<(K, V)> {
+        let mut node = self.root;
+        for _ in 1..self.height {
+            node = match self.store.peek(node) {
+                Node::Branch { children, .. } => children[0],
+                Node::Leaf { .. } => unreachable!(),
+            };
+        }
+        let mut out = Vec::with_capacity(self.len);
+        let mut current = Some(node);
+        while let Some(leaf) = current {
+            match self.store.peek(leaf) {
+                Node::Leaf { entries, next } => {
+                    out.extend_from_slice(entries);
+                    current = *next;
+                }
+                Node::Branch { .. } => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// Verifies structural invariants (uncounted access):
+    /// * uniform leaf depth equal to `height`;
+    /// * entries/separators sorted, and every subtree within the key
+    ///   interval its separators promise;
+    /// * node occupancies within `[min, cap]` (`min` only when
+    ///   `strict_occupancy`, and never for the root);
+    /// * the leaf chain visits exactly the tree's entries in order;
+    /// * `len` equals the number of entries.
+    ///
+    /// # Panics
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self, strict_occupancy: bool) {
+        let mut leaf_count = 0usize;
+        self.check_rec(
+            self.root,
+            self.height,
+            None,
+            None,
+            strict_occupancy,
+            true,
+            &mut leaf_count,
+        );
+        assert_eq!(leaf_count, self.len, "len does not match leaf contents");
+        // The chain must visit all entries in order.
+        let chained = self.collect_all();
+        assert_eq!(chained.len(), self.len, "leaf chain misses entries");
+        assert!(
+            chained
+                .windows(2)
+                .all(|w| cmp_entry(&w[0], &w[1]) != Ordering::Greater),
+            "leaf chain out of order"
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_rec(
+        &self,
+        node: PageId,
+        level: usize,
+        lower: Option<&(K, V)>,
+        upper: Option<&(K, V)>,
+        strict: bool,
+        is_root: bool,
+        leaf_count: &mut usize,
+    ) {
+        let within = |e: &(K, V)| {
+            if let Some(lo) = lower {
+                assert!(
+                    cmp_entry(e, lo) != Ordering::Less,
+                    "entry {e:?} below lower bound {lo:?}"
+                );
+            }
+            if let Some(hi) = upper {
+                assert!(
+                    cmp_entry(e, hi) == Ordering::Less,
+                    "entry {e:?} not below upper bound {hi:?}"
+                );
+            }
+        };
+        match self.store.peek(node) {
+            Node::Leaf { entries, .. } => {
+                assert_eq!(level, 1, "leaf at wrong depth");
+                assert!(entries.len() <= self.cfg.leaf_cap, "overfull leaf");
+                if strict && !is_root {
+                    assert!(
+                        entries.len() >= self.cfg.min_leaf(),
+                        "underfull leaf: {} < {}",
+                        entries.len(),
+                        self.cfg.min_leaf()
+                    );
+                }
+                assert!(
+                    entries
+                        .windows(2)
+                        .all(|w| cmp_entry(&w[0], &w[1]) != Ordering::Greater),
+                    "unsorted leaf"
+                );
+                for e in entries {
+                    within(e);
+                }
+                *leaf_count += entries.len();
+            }
+            Node::Branch { seps, children } => {
+                assert!(level > 1, "branch at leaf depth");
+                assert_eq!(seps.len() + 1, children.len(), "separator/child mismatch");
+                assert!(children.len() <= self.cfg.branch_cap, "overfull branch");
+                if strict && !is_root {
+                    assert!(
+                        children.len() >= self.cfg.min_branch(),
+                        "underfull branch: {} < {}",
+                        children.len(),
+                        self.cfg.min_branch()
+                    );
+                }
+                assert!(
+                    seps.windows(2)
+                        .all(|w| cmp_entry(&w[0], &w[1]) == Ordering::Less),
+                    "unsorted separators"
+                );
+                for s in seps {
+                    within(s);
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(&seps[i - 1]) };
+                    let hi = if i == seps.len() {
+                        upper
+                    } else {
+                        Some(&seps[i])
+                    };
+                    self.check_rec(child, level - 1, lo, hi, strict, false, leaf_count);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insert internals
+    // ------------------------------------------------------------------
+
+    /// Routes entry `e` in a branch: first child whose subtree can hold it.
+    fn route(seps: &[(K, V)], e: &(K, V)) -> usize {
+        seps.partition_point(|s| cmp_entry(s, e) != Ordering::Greater)
+    }
+
+    fn insert_rec(
+        &mut self,
+        node: PageId,
+        level: usize,
+        e: (K, V),
+    ) -> Option<((K, V), PageId)> {
+        if level == 1 {
+            let overflow = self.store.write(node, |n| match n {
+                Node::Leaf { entries, .. } => {
+                    let pos =
+                        entries.partition_point(|x| cmp_entry(x, &e) != Ordering::Greater);
+                    entries.insert(pos, e);
+                    entries.len()
+                }
+                Node::Branch { .. } => unreachable!("branch at leaf level"),
+            }) > self.cfg.leaf_cap;
+            return overflow.then(|| self.split_leaf(node));
+        }
+        let (idx, child) = match self.store.read(node) {
+            Node::Branch { seps, children } => {
+                let idx = Self::route(seps, &e);
+                (idx, children[idx])
+            }
+            Node::Leaf { .. } => unreachable!("leaf above leaf level"),
+        };
+        let (sep, right) = self.insert_rec(child, level - 1, e)?;
+        let overflow = self.store.write(node, |n| match n {
+            Node::Branch { seps, children } => {
+                seps.insert(idx, sep);
+                children.insert(idx + 1, right);
+                children.len()
+            }
+            Node::Leaf { .. } => unreachable!(),
+        }) > self.cfg.branch_cap;
+        overflow.then(|| self.split_branch(node))
+    }
+
+    fn split_leaf(&mut self, left: PageId) -> ((K, V), PageId) {
+        let (right_entries, old_next) = self.store.write(left, |n| match n {
+            Node::Leaf { entries, next } => {
+                let mid = entries.len() / 2;
+                (entries.split_off(mid), *next)
+            }
+            Node::Branch { .. } => unreachable!(),
+        });
+        let sep = right_entries[0];
+        let right = self.store.allocate(Node::Leaf {
+            entries: right_entries,
+            next: old_next,
+        });
+        self.store.write(left, |n| {
+            if let Node::Leaf { next, .. } = n {
+                *next = Some(right);
+            }
+        });
+        (sep, right)
+    }
+
+    fn split_branch(&mut self, left: PageId) -> ((K, V), PageId) {
+        let (sep, right_seps, right_children) = self.store.write(left, |n| match n {
+            Node::Branch { seps, children } => {
+                let keep = children.len() / 2; // children kept on the left
+                let right_children = children.split_off(keep);
+                let mut right_seps = seps.split_off(keep - 1);
+                let sep = right_seps.remove(0);
+                (sep, right_seps, right_children)
+            }
+            Node::Leaf { .. } => unreachable!(),
+        });
+        let right = self.store.allocate(Node::Branch {
+            seps: right_seps,
+            children: right_children,
+        });
+        (sep, right)
+    }
+
+    // ------------------------------------------------------------------
+    // Delete internals
+    // ------------------------------------------------------------------
+
+    fn remove_rec(&mut self, node: PageId, level: usize, e: &(K, V)) -> (bool, bool) {
+        if level == 1 {
+            let (removed, occ) = self.store.write(node, |n| match n {
+                Node::Leaf { entries, .. } => {
+                    match entries.binary_search_by(|x| cmp_entry(x, e)) {
+                        Ok(pos) => {
+                            entries.remove(pos);
+                            (true, entries.len())
+                        }
+                        Err(_) => (false, entries.len()),
+                    }
+                }
+                Node::Branch { .. } => unreachable!(),
+            });
+            return (removed, occ < self.cfg.min_leaf());
+        }
+        let (idx, child) = match self.store.read(node) {
+            Node::Branch { seps, children } => {
+                let idx = Self::route(seps, e);
+                (idx, children[idx])
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let (removed, child_under) = self.remove_rec(child, level - 1, e);
+        if !child_under {
+            return (removed, false);
+        }
+        let occ = self.fix_underflow(node, idx, level);
+        (removed, occ < self.cfg.min_branch())
+    }
+
+    /// Restores the occupancy of `children[idx]` of branch `parent` by
+    /// borrowing from or merging with an adjacent sibling. Returns the
+    /// parent's resulting child count.
+    fn fix_underflow(&mut self, parent: PageId, idx: usize, level: usize) -> usize {
+        let leaf_children = level == 2;
+        let (child, left_sib, right_sib, child_count) = match self.store.read(parent) {
+            Node::Branch { children, .. } => (
+                children[idx],
+                (idx > 0).then(|| children[idx - 1]),
+                (idx + 1 < children.len()).then(|| children[idx + 1]),
+                children.len(),
+            ),
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let min = if leaf_children {
+            self.cfg.min_leaf()
+        } else {
+            self.cfg.min_branch()
+        };
+
+        // Try borrowing from the left sibling.
+        if let Some(left) = left_sib {
+            if self.store.read(left).occupancy() > min {
+                self.borrow_from_left(parent, idx, left, child, leaf_children);
+                return child_count;
+            }
+        }
+        // Try borrowing from the right sibling.
+        if let Some(right) = right_sib {
+            if self.store.read(right).occupancy() > min {
+                self.borrow_from_right(parent, idx, child, right, leaf_children);
+                return child_count;
+            }
+        }
+        // Merge: absorb the right node of an adjacent pair into the left.
+        let (lhs, rhs, sep_idx) = if let Some(left) = left_sib {
+            (left, child, idx - 1)
+        } else if let Some(right) = right_sib {
+            (child, right, idx)
+        } else {
+            // Root with a single child; handled by the caller's collapse.
+            return child_count;
+        };
+        self.merge(parent, lhs, rhs, sep_idx);
+        child_count - 1
+    }
+
+    fn borrow_from_left(
+        &mut self,
+        parent: PageId,
+        idx: usize,
+        left: PageId,
+        child: PageId,
+        leaf_children: bool,
+    ) {
+        if leaf_children {
+            let moved = self.store.write(left, |n| match n {
+                Node::Leaf { entries, .. } => entries.pop().expect("borrow from empty leaf"),
+                Node::Branch { .. } => unreachable!(),
+            });
+            self.store.write(child, |n| {
+                if let Node::Leaf { entries, .. } = n {
+                    entries.insert(0, moved);
+                }
+            });
+            self.store.write(parent, |n| {
+                if let Node::Branch { seps, .. } = n {
+                    seps[idx - 1] = moved;
+                }
+            });
+        } else {
+            let (moved_child, new_sep) = self.store.write(left, |n| match n {
+                Node::Branch { seps, children } => (
+                    children.pop().expect("borrow from empty branch"),
+                    seps.pop().expect("borrow from empty branch"),
+                ),
+                Node::Leaf { .. } => unreachable!(),
+            });
+            let old_sep = match self.store.read(parent) {
+                Node::Branch { seps, .. } => seps[idx - 1],
+                Node::Leaf { .. } => unreachable!(),
+            };
+            self.store.write(child, |n| {
+                if let Node::Branch { seps, children } = n {
+                    seps.insert(0, old_sep);
+                    children.insert(0, moved_child);
+                }
+            });
+            self.store.write(parent, |n| {
+                if let Node::Branch { seps, .. } = n {
+                    seps[idx - 1] = new_sep;
+                }
+            });
+        }
+    }
+
+    fn borrow_from_right(
+        &mut self,
+        parent: PageId,
+        idx: usize,
+        child: PageId,
+        right: PageId,
+        leaf_children: bool,
+    ) {
+        if leaf_children {
+            let (moved, new_first) = self.store.write(right, |n| match n {
+                Node::Leaf { entries, .. } => {
+                    let moved = entries.remove(0);
+                    (moved, entries[0])
+                }
+                Node::Branch { .. } => unreachable!(),
+            });
+            self.store.write(child, |n| {
+                if let Node::Leaf { entries, .. } = n {
+                    entries.push(moved);
+                }
+            });
+            self.store.write(parent, |n| {
+                if let Node::Branch { seps, .. } = n {
+                    seps[idx] = new_first;
+                }
+            });
+        } else {
+            let (moved_child, new_sep) = self.store.write(right, |n| match n {
+                Node::Branch { seps, children } => (children.remove(0), seps.remove(0)),
+                Node::Leaf { .. } => unreachable!(),
+            });
+            let old_sep = match self.store.read(parent) {
+                Node::Branch { seps, .. } => seps[idx],
+                Node::Leaf { .. } => unreachable!(),
+            };
+            self.store.write(child, |n| {
+                if let Node::Branch { seps, children } = n {
+                    seps.push(old_sep);
+                    children.push(moved_child);
+                }
+            });
+            self.store.write(parent, |n| {
+                if let Node::Branch { seps, .. } = n {
+                    seps[idx] = new_sep;
+                }
+            });
+        }
+    }
+
+    /// Absorbs `rhs` into `lhs` (adjacent children of `parent`, with
+    /// `seps[sep_idx]` between them) and frees `rhs`.
+    fn merge(&mut self, parent: PageId, lhs: PageId, rhs: PageId, sep_idx: usize) {
+        let sep = match self.store.read(parent) {
+            Node::Branch { seps, .. } => seps[sep_idx],
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let rhs_node = self.store.read(rhs).clone();
+        let _ = self.store.free(rhs);
+        match rhs_node {
+            Node::Leaf { entries, next } => {
+                self.store.write(lhs, |n| {
+                    if let Node::Leaf {
+                        entries: le,
+                        next: ln,
+                    } = n
+                    {
+                        le.extend(entries);
+                        *ln = next;
+                    }
+                });
+            }
+            Node::Branch { seps, children } => {
+                self.store.write(lhs, |n| {
+                    if let Node::Branch {
+                        seps: ls,
+                        children: lc,
+                    } = n
+                    {
+                        ls.push(sep);
+                        ls.extend(seps);
+                        lc.extend(children);
+                    }
+                });
+            }
+        }
+        self.store.write(parent, |n| {
+            if let Node::Branch { seps, children } = n {
+                seps.remove(sep_idx);
+                children.remove(sep_idx + 1);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TreeConfig {
+        TreeConfig {
+            leaf_cap: 4,
+            branch_cap: 4,
+            buffer_pages: 4,
+        }
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut t: BPlusTree<f64, u64> = BPlusTree::new(small_cfg());
+        for i in 0..100u64 {
+            #[allow(clippy::cast_precision_loss)]
+            t.insert((i % 10) as f64, i);
+        }
+        t.check_invariants(true);
+        assert_eq!(t.len(), 100);
+        let hits = t.range(3.0, 4.0);
+        assert_eq!(hits.len(), 20);
+        assert!(hits.iter().all(|&(k, _)| (3.0..=4.0).contains(&k)));
+        // Results are in (key, value) order.
+        assert!(hits.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut t: BPlusTree<f64, u64> = BPlusTree::new(small_cfg());
+        assert!(t.is_empty());
+        assert_eq!(t.range(0.0, 100.0), vec![]);
+        assert!(!t.remove(1.0, 1));
+        assert!(!t.contains(1.0, 1));
+        t.check_invariants(true);
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let mut t: BPlusTree<f64, u64> = BPlusTree::new(small_cfg());
+        t.insert(1.0, 1);
+        assert_eq!(t.range(5.0, 4.0), vec![]);
+    }
+
+    #[test]
+    fn remove_exact_entry_among_duplicate_keys() {
+        let mut t: BPlusTree<f64, u64> = BPlusTree::new(small_cfg());
+        for v in 0..50u64 {
+            t.insert(7.0, v);
+        }
+        assert!(t.contains(7.0, 23));
+        assert!(t.remove(7.0, 23));
+        assert!(!t.contains(7.0, 23));
+        assert!(!t.remove(7.0, 23), "double delete must fail");
+        assert_eq!(t.len(), 49);
+        t.check_invariants(true);
+    }
+
+    #[test]
+    fn insert_delete_churn_keeps_invariants() {
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        // Insert 0..200, delete the evens, reinsert some.
+        for i in 0..200u64 {
+            t.insert(i / 3, i);
+        }
+        t.check_invariants(true);
+        for i in (0..200u64).step_by(2) {
+            assert!(t.remove(i / 3, i), "missing {i}");
+            t.check_invariants(true);
+        }
+        assert_eq!(t.len(), 100);
+        for i in (0..50u64).step_by(2) {
+            t.insert(i / 3, i);
+        }
+        t.check_invariants(true);
+        assert_eq!(t.len(), 125);
+        let all = t.collect_all();
+        assert_eq!(all.len(), 125);
+    }
+
+    #[test]
+    fn delete_everything_collapses_to_empty_root() {
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        for i in 0..64u64 {
+            t.insert(i, i);
+        }
+        assert!(t.height() > 1);
+        for i in 0..64u64 {
+            assert!(t.remove(i, i));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.check_invariants(true);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let entries: Vec<(u64, u64)> = (0..500u64).map(|i| (i / 7, i)).collect();
+        let t = BPlusTree::bulk_load(small_cfg(), &entries, 0.8);
+        t.check_invariants(false);
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.collect_all(), entries);
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t: BPlusTree<u64, u64> = BPlusTree::bulk_load(small_cfg(), &[], 0.8);
+        assert!(t.is_empty());
+        t.check_invariants(true);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_supports_updates() {
+        let entries: Vec<(u64, u64)> = (0..300u64).map(|i| (i, i)).collect();
+        let mut t = BPlusTree::bulk_load(small_cfg(), &entries, 0.6);
+        for i in 0..300u64 {
+            if i % 3 == 0 {
+                assert!(t.remove(i, i));
+            }
+        }
+        t.insert(1000, 1000);
+        t.check_invariants(false);
+        assert_eq!(t.len(), 201);
+    }
+
+    #[test]
+    fn range_scan_costs_scale_with_output() {
+        // With the buffer cleared, a range scan over many leaves must cost
+        // ~height + leaves I/Os.
+        let cfg = TreeConfig {
+            leaf_cap: 8,
+            branch_cap: 8,
+            buffer_pages: 4,
+        };
+        let entries: Vec<(u64, u64)> = (0..1024u64).map(|i| (i, i)).collect();
+        let mut t = BPlusTree::bulk_load(cfg, &entries, 1.0);
+        t.clear_buffer();
+        let snap = t.stats().snapshot();
+        let hits = t.range(0, 1023);
+        assert_eq!(hits.len(), 1024);
+        let cost = t.stats().since(&snap);
+        let leaves = 1024 / 8;
+        // height-1 branch reads + all leaves.
+        let expected = (t.height() as u64 - 1) + leaves as u64;
+        assert_eq!(cost.reads, expected);
+    }
+
+    #[test]
+    fn point_lookup_costs_height() {
+        let entries: Vec<(u64, u64)> = (0..4096u64).map(|i| (i, i)).collect();
+        let cfg = TreeConfig {
+            leaf_cap: 16,
+            branch_cap: 16,
+            buffer_pages: 4,
+        };
+        let mut t = BPlusTree::bulk_load(cfg, &entries, 1.0);
+        t.clear_buffer();
+        let snap = t.stats().snapshot();
+        assert!(t.contains(2048, 2048));
+        let cost = t.stats().since(&snap);
+        assert_eq!(cost.reads, t.height() as u64);
+    }
+
+    #[test]
+    fn negative_and_fractional_keys() {
+        let mut t: BPlusTree<f64, u64> = BPlusTree::new(small_cfg());
+        t.insert(-3.5, 1);
+        t.insert(-0.1, 2);
+        t.insert(0.0, 3);
+        t.insert(2.25, 4);
+        let hits = t.range(-1.0, 1.0);
+        assert_eq!(hits, vec![(-0.1, 2), (0.0, 3)]);
+    }
+}

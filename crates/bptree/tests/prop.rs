@@ -1,0 +1,107 @@
+//! Property-based tests: the paged B+-tree must behave exactly like a
+//! sorted multiset under arbitrary interleavings of inserts, deletes and
+//! range queries, while maintaining its structural invariants.
+
+use mobidx_bptree::{BPlusTree, TreeConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u32),
+    Remove(u32, u32),
+    Range(u32, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u32..64, 0u32..1000).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0u32..64, 0u32..1000).prop_map(|(k, v)| Op::Remove(k, v)),
+        1 => (0u32..64, 0u32..64).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn small_cfg() -> TreeConfig {
+    TreeConfig {
+        leaf_cap: 4,
+        branch_cap: 4,
+        buffer_pages: 4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_sorted_vec_oracle(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut tree: BPlusTree<u32, u32> = BPlusTree::new(small_cfg());
+        let mut oracle: Vec<(u32, u32)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    // The tree's contract: (key, value) pairs are unique
+                    // (values are tie-breakers — an object id appears once).
+                    if oracle.binary_search(&(k, v)).is_err() {
+                        tree.insert(k, v);
+                        let pos = oracle.partition_point(|e| *e <= (k, v));
+                        oracle.insert(pos, (k, v));
+                    }
+                }
+                Op::Remove(k, v) => {
+                    let expected = oracle.iter().position(|&e| e == (k, v));
+                    let removed = tree.remove(k, v);
+                    prop_assert_eq!(removed, expected.is_some());
+                    if let Some(pos) = expected {
+                        oracle.remove(pos);
+                    }
+                }
+                Op::Range(lo, hi) => {
+                    let got = tree.range(lo, hi);
+                    let want: Vec<(u32, u32)> = oracle
+                        .iter()
+                        .copied()
+                        .filter(|&(k, _)| lo <= k && k <= hi)
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len());
+        }
+        tree.check_invariants(true);
+        prop_assert_eq!(tree.collect_all(), oracle);
+    }
+
+    #[test]
+    fn bulk_load_equals_inserts(mut entries in prop::collection::vec((0u32..100, 0u32..10000), 0..400),
+                                fill in 0.3f64..1.0) {
+        entries.sort_unstable();
+        entries.dedup();
+        let bulk = BPlusTree::bulk_load(small_cfg(), &entries, fill);
+        bulk.check_invariants(false);
+        prop_assert_eq!(bulk.collect_all(), entries.clone());
+
+        let mut incr: BPlusTree<u32, u32> = BPlusTree::new(small_cfg());
+        for &(k, v) in &entries {
+            incr.insert(k, v);
+        }
+        prop_assert_eq!(incr.collect_all(), entries);
+    }
+
+    #[test]
+    fn f64_keys_roundtrip(keys in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut tree: BPlusTree<f64, u64> = BPlusTree::new(small_cfg());
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, i as u64);
+        }
+        tree.check_invariants(true);
+        let mut expected: Vec<(f64, u64)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(tree.collect_all(), expected);
+        // Every inserted entry must be removable.
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert!(tree.remove(k, i as u64));
+        }
+        prop_assert!(tree.is_empty());
+    }
+}

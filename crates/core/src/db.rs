@@ -1,0 +1,228 @@
+//! A small "motion database" facade over any 1-D index.
+//!
+//! §2 of the paper: "Objects are responsible to update their motion
+//! information, every time when their speed or direction changes", and
+//! an update is processed as delete(old) + insert(new) (§3). The index
+//! types in [`crate::method`] expose exactly that primitive; this facade
+//! adds what a database needs around it — the authoritative motion
+//! table, keyed by object id, so callers update by id without tracking
+//! the previously inserted record themselves.
+
+use crate::method::{Index1D, IoTotals};
+use mobidx_workload::{Motion1D, MorQuery1D};
+use std::collections::HashMap;
+
+/// A motion database: an [`Index1D`] plus the current motion table.
+///
+/// ```
+/// use mobidx_core::db::MotionDb;
+/// use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+/// use mobidx_core::{Motion1D, MorQuery1D};
+///
+/// let mut db = MotionDb::new(DualBPlusIndex::new(DualBPlusConfig::default()));
+/// db.insert(Motion1D { id: 42, t0: 0.0, y0: 100.0, v: 1.0 });
+///
+/// // The object reports a new heading at t = 20 (it is at 120 by then).
+/// db.update(Motion1D { id: 42, t0: 20.0, y0: 120.0, v: -0.5 });
+///
+/// let q = MorQuery1D { y1: 100.0, y2: 111.0, t1: 38.0, t2: 42.0 };
+/// assert_eq!(db.query(&q), vec![42]); // at t = 40 it is back at 110
+/// assert_eq!(db.remove(42).map(|m| m.v), Some(-0.5));
+/// assert!(db.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct MotionDb<I: Index1D> {
+    index: I,
+    table: HashMap<u64, Motion1D>,
+}
+
+impl<I: Index1D> MotionDb<I> {
+    /// Wraps an (empty) index.
+    #[must_use]
+    pub fn new(index: I) -> Self {
+        Self {
+            index,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Number of tracked objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The current motion record of an object.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<&Motion1D> {
+        self.table.get(&id)
+    }
+
+    /// The full motion table (the brute-force oracle's input).
+    pub fn objects(&self) -> impl Iterator<Item = &Motion1D> {
+        self.table.values()
+    }
+
+    /// Registers a new object.
+    ///
+    /// # Panics
+    /// Panics if the id is already tracked — use [`MotionDb::update`].
+    pub fn insert(&mut self, m: Motion1D) {
+        let clash = self.table.insert(m.id, m);
+        assert!(clash.is_none(), "object {} already tracked", m.id);
+        self.index.insert(&m);
+    }
+
+    /// Applies a motion update: the stored record is replaced by `m`
+    /// (delete old + insert new, §3).
+    ///
+    /// # Panics
+    /// Panics if the object is unknown.
+    pub fn update(&mut self, m: Motion1D) {
+        let old = self
+            .table
+            .insert(m.id, m)
+            .unwrap_or_else(|| panic!("update of unknown object {}", m.id));
+        let removed = self.index.remove(&old);
+        debug_assert!(removed, "index lost object {}", m.id);
+        self.index.insert(&m);
+    }
+
+    /// Inserts or updates, whichever applies.
+    pub fn upsert(&mut self, m: Motion1D) {
+        if self.table.contains_key(&m.id) {
+            self.update(m);
+        } else {
+            self.insert(m);
+        }
+    }
+
+    /// Deregisters an object, returning its last motion record.
+    pub fn remove(&mut self, id: u64) -> Option<Motion1D> {
+        let old = self.table.remove(&id)?;
+        let removed = self.index.remove(&old);
+        debug_assert!(removed, "index lost object {id}");
+        Some(old)
+    }
+
+    /// Answers a MOR query (sorted ids).
+    pub fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
+        self.index.query(q)
+    }
+
+    /// The underlying index (e.g. for method-specific extensions such as
+    /// [`crate::method::dual_kd::DualKdIndex::nearest`]).
+    pub fn index_mut(&mut self) -> &mut I {
+        &mut self.index
+    }
+
+    /// I/O counters of the underlying index.
+    #[must_use]
+    pub fn io_totals(&self) -> IoTotals {
+        self.index.io_totals()
+    }
+
+    /// Clears the index buffer pools (cold-query protocol).
+    pub fn clear_buffers(&mut self) {
+        self.index.clear_buffers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+    use mobidx_bptree::TreeConfig;
+    use mobidx_workload::{brute_force_1d, Simulator1D, WorkloadConfig};
+
+    fn db() -> MotionDb<DualBPlusIndex> {
+        MotionDb::new(DualBPlusIndex::new(DualBPlusConfig {
+            c: 3,
+            tree: TreeConfig {
+                leaf_cap: 16,
+                branch_cap: 16,
+                buffer_pages: 4,
+            },
+            ..DualBPlusConfig::default()
+        }))
+    }
+
+    #[test]
+    fn tracks_a_simulated_world() {
+        let mut sim = Simulator1D::new(WorkloadConfig {
+            n: 300,
+            updates_per_instant: 15,
+            seed: 0xDB,
+            ..WorkloadConfig::default()
+        });
+        let mut db = db();
+        for m in sim.objects() {
+            db.insert(*m);
+        }
+        for _ in 0..20 {
+            for u in sim.step() {
+                db.update(u.new); // by id; the db finds the old record
+            }
+        }
+        assert_eq!(db.len(), 300);
+        for _ in 0..10 {
+            let q = sim.gen_query(150.0, 60.0);
+            assert_eq!(db.query(&q), brute_force_1d(sim.objects(), &q));
+        }
+    }
+
+    #[test]
+    fn remove_and_upsert() {
+        let mut db = db();
+        let m = Motion1D {
+            id: 5,
+            t0: 0.0,
+            y0: 10.0,
+            v: 1.0,
+        };
+        db.upsert(m); // insert path
+        db.upsert(Motion1D { v: -1.0, ..m }); // update path
+        assert_eq!(db.get(5).map(|m| m.v), Some(-1.0));
+        assert!(db.remove(5).is_some());
+        assert!(db.remove(5).is_none());
+        let q = MorQuery1D {
+            y1: 0.0,
+            y2: 1000.0,
+            t1: 0.0,
+            t2: 100.0,
+        };
+        assert!(db.query(&q).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already tracked")]
+    fn double_insert_panics() {
+        let mut db = db();
+        let m = Motion1D {
+            id: 1,
+            t0: 0.0,
+            y0: 1.0,
+            v: 1.0,
+        };
+        db.insert(m);
+        db.insert(m);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown object")]
+    fn update_unknown_panics() {
+        let mut db = db();
+        db.update(Motion1D {
+            id: 9,
+            t0: 0.0,
+            y0: 1.0,
+            v: 1.0,
+        });
+    }
+}

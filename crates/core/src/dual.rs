@@ -1,0 +1,314 @@
+//! The dual space-time representation (§3.2) and Proposition 1.
+//!
+//! A trajectory `y(t) = v·t + a` maps to the point `(v, a)` of the dual
+//! **Hough-X** plane, or to `(1/v, b)` of the **Hough-Y** plane where `b`
+//! is the time the trajectory crosses a chosen horizontal line
+//! `y = y_r`. The 1-D MOR query becomes a convex polygon in Hough-X
+//! (Proposition 1) and a wedge — approximated by a `b`-interval — in
+//! Hough-Y (§3.5.2, Figure 4).
+
+use mobidx_geom::{ConvexPolygon, HalfPlane};
+use mobidx_workload::{Motion1D, MorQuery1D};
+
+/// The global speed bounds of the "moving" objects (§3): every object's
+/// speed magnitude lies in `[v_min, v_max]` with `v_min > 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedBand {
+    /// Minimum speed magnitude.
+    pub v_min: f64,
+    /// Maximum speed magnitude.
+    pub v_max: f64,
+}
+
+impl SpeedBand {
+    /// Creates a band.
+    ///
+    /// # Panics
+    /// Panics unless `0 < v_min < v_max`.
+    #[must_use]
+    pub fn new(v_min: f64, v_max: f64) -> Self {
+        assert!(
+            0.0 < v_min && v_min < v_max,
+            "speed band must satisfy 0 < v_min < v_max"
+        );
+        Self { v_min, v_max }
+    }
+
+    /// The paper's experimental band: 0.16–1.66 miles/minute.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(0.16, 1.66)
+    }
+
+    /// The rotation period `T_period = y_max / v_min` (§3.2): every
+    /// object is guaranteed to have updated within the last `T_period`
+    /// (it must at least reflect at a border), which bounds the dual
+    /// intercepts of a rebased index generation.
+    #[must_use]
+    pub fn rotation_period(&self, y_max: f64) -> f64 {
+        y_max / self.v_min
+    }
+}
+
+/// The Hough-X dual point of a motion, with the intercept computed at
+/// `t_base` (the owning index generation's epoch): `(v, y(t_base))`.
+///
+/// With `t_base = 0` this is the textbook `(v, a)`; a later `t_base`
+/// implements the intercept-bounding rebasing of §3.2.
+#[must_use]
+pub fn hough_x_point(m: &Motion1D, t_base: f64) -> [f64; 2] {
+    [m.v, m.position_at(t_base)]
+}
+
+/// The Hough-Y `b`-coordinate of a motion observed at the line
+/// `y = y_r`: the time the (extrapolated) trajectory crosses `y_r`.
+///
+/// # Panics
+/// Panics (debug builds) on zero velocity — "moving" objects have
+/// `|v| ≥ v_min > 0`.
+#[must_use]
+pub fn hough_y_b(m: &Motion1D, y_r: f64) -> f64 {
+    debug_assert!(m.v != 0.0, "Hough-Y undefined for static objects");
+    m.t0 + (y_r - m.y0) / m.v
+}
+
+/// Proposition 1: the 1-D MOR query as convex polygons in the Hough-X
+/// plane `(x = v, y = intercept-at-t_base)`, one polygon per velocity
+/// sign. Query times are shifted by the generation's `t_base`.
+///
+/// Positive-velocity polygon (`v > 0`):
+/// `v ≥ v_min ∧ v ≤ v_max ∧ a + t2·v ≥ y1 ∧ a + t1·v ≤ y2`;
+/// the negative one mirrors it.
+#[must_use]
+pub fn hough_x_query(
+    q: &MorQuery1D,
+    band: &SpeedBand,
+    t_base: f64,
+) -> (ConvexPolygon, ConvexPolygon) {
+    let t1 = q.t1 - t_base;
+    let t2 = q.t2 - t_base;
+    let positive = ConvexPolygon::new(vec![
+        HalfPlane::x_ge(band.v_min),
+        HalfPlane::x_le(band.v_max),
+        // a + t2·v >= y1  ⇔  −t2·v − a <= −y1
+        HalfPlane::new(-t2, -1.0, -q.y1),
+        // a + t1·v <= y2
+        HalfPlane::new(t1, 1.0, q.y2),
+    ]);
+    let negative = ConvexPolygon::new(vec![
+        HalfPlane::x_le(-band.v_min),
+        HalfPlane::x_ge(-band.v_max),
+        // a + t1·v >= y1
+        HalfPlane::new(-t1, -1.0, -q.y1),
+        // a + t2·v <= y2
+        HalfPlane::new(t2, 1.0, q.y2),
+    ]);
+    (positive, negative)
+}
+
+/// The conservative Hough-Y `b`-interval for one velocity sign
+/// (§3.5.2): every object of that sign matching the query has
+/// `b ∈ [lo, hi]`; the exact answer is recovered by per-object speed
+/// filtering, as the paper's §5 does.
+///
+/// Derivation: an object crossing `y_r` at time `b` with velocity `v` is
+/// inside `[y1, y2]` at some instant of `[t1, t2]` iff
+/// `b ≥ t1 − (y2 − y_r)/v` and `b ≤ t2 − (y1 − y_r)/v`; the envelope
+/// over the speed band gives the interval.
+#[must_use]
+pub fn hough_y_interval(
+    q: &MorQuery1D,
+    band: &SpeedBand,
+    y_r: f64,
+    positive: bool,
+) -> (f64, f64) {
+    let (vlo, vhi) = if positive {
+        (band.v_min, band.v_max)
+    } else {
+        (-band.v_max, -band.v_min)
+    };
+    // For velocity v the object resides in [y1, y2] during
+    // [b + min(d1, d2)/1, b + max(d1, d2)] with d_i = (y_i − y_r)/v; it
+    // matches iff b ≥ t1 − max(d1, d2) and b ≤ t2 − min(d1, d2). The
+    // envelope over the band is attained at the band endpoints.
+    let ds = [
+        (q.y1 - y_r) / vlo,
+        (q.y2 - y_r) / vlo,
+        (q.y1 - y_r) / vhi,
+        (q.y2 - y_r) / vhi,
+    ];
+    let d_max = ds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let d_min = ds.iter().copied().fold(f64::INFINITY, f64::min);
+    (q.t1 - d_max, q.t2 - d_min)
+}
+
+/// The query-enlargement area `E` of equation (1) in §3.5.2 — the
+/// measure of extra I/O incurred by approximating the Hough-Y wedge with
+/// a rectangle when observing from `y_r`. The paper routes each query to
+/// the observation index minimizing `E`, which reduces to minimizing
+/// `|y2q − y_r| + |y1q − y_r|`.
+#[must_use]
+pub fn enlargement_e(q: &MorQuery1D, band: &SpeedBand, y_r: f64) -> f64 {
+    let factor = (band.v_max - band.v_min) / (band.v_min * band.v_max);
+    0.5 * factor * factor * ((q.y2 - y_r).abs() + (q.y1 - y_r).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobidx_geom::QueryRegion;
+
+    fn band() -> SpeedBand {
+        SpeedBand::paper()
+    }
+
+    /// Proposition 1 ⇔ primal semantics: a dual point is inside the
+    /// polygon of its sign iff the motion matches the query.
+    #[test]
+    fn proposition1_equivalence() {
+        let q = MorQuery1D {
+            y1: 300.0,
+            y2: 450.0,
+            t1: 100.0,
+            t2: 160.0,
+        };
+        let (pos, neg) = hough_x_query(&q, &band(), 0.0);
+        // A deterministic grid of motions spanning the space.
+        let mut checked = 0;
+        for iy in 0..40 {
+            for iv in 0..40 {
+                let y0 = f64::from(iy) * 25.0;
+                let speed = 0.16 + f64::from(iv) * (1.5 / 39.0);
+                for v in [speed, -speed] {
+                    let m = Motion1D {
+                        id: 0,
+                        t0: 0.0,
+                        y0,
+                        v,
+                    };
+                    let p = hough_x_point(&m, 0.0);
+                    let in_dual = if v > 0.0 {
+                        QueryRegion::<2>::contains_point(&pos, &p)
+                    } else {
+                        QueryRegion::<2>::contains_point(&neg, &p)
+                    };
+                    assert_eq!(
+                        in_dual,
+                        q.matches(&m),
+                        "mismatch at y0={y0} v={v}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert_eq!(checked, 3200);
+    }
+
+    #[test]
+    fn proposition1_with_rebased_intercept() {
+        let q = MorQuery1D {
+            y1: 100.0,
+            y2: 200.0,
+            t1: 5000.0,
+            t2: 5050.0,
+        };
+        let t_base = 4000.0;
+        let (pos, _neg) = hough_x_query(&q, &band(), t_base);
+        let m = Motion1D {
+            id: 0,
+            t0: 4900.0,
+            y0: 120.0,
+            v: 0.5,
+        };
+        let p = hough_x_point(&m, t_base);
+        assert_eq!(QueryRegion::<2>::contains_point(&pos, &p), q.matches(&m));
+    }
+
+    #[test]
+    fn hough_y_b_is_crossing_time() {
+        let m = Motion1D {
+            id: 0,
+            t0: 10.0,
+            y0: 100.0,
+            v: 2.0,
+        };
+        let b = hough_y_b(&m, 150.0);
+        assert!((m.position_at(b) - 150.0).abs() < 1e-9);
+        // Negative velocity crosses downward.
+        let m2 = Motion1D {
+            id: 0,
+            t0: 0.0,
+            y0: 100.0,
+            v: -1.0,
+        };
+        let b2 = hough_y_b(&m2, 50.0);
+        assert!((b2 - 50.0).abs() < 1e-9);
+    }
+
+    /// The conservative b-interval never loses an answer (it may include
+    /// false positives — that is what the speed filter removes).
+    #[test]
+    fn hough_y_interval_is_conservative() {
+        let q = MorQuery1D {
+            y1: 420.0,
+            y2: 470.0,
+            t1: 50.0,
+            t2: 80.0,
+        };
+        let y_r = 250.0;
+        for iy in 0..50 {
+            for iv in 0..20 {
+                let y0 = f64::from(iy) * 20.0;
+                let speed = 0.16 + f64::from(iv) * (1.5 / 19.0);
+                for v in [speed, -speed] {
+                    let m = Motion1D {
+                        id: 0,
+                        t0: 0.0,
+                        y0,
+                        v,
+                    };
+                    if q.matches(&m) {
+                        let (lo, hi) = hough_y_interval(&q, &band(), y_r, v > 0.0);
+                        let b = hough_y_b(&m, y_r);
+                        assert!(
+                            lo - 1e-9 <= b && b <= hi + 1e-9,
+                            "matching object outside b-envelope: y0={y0} v={v} b={b} [{lo},{hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// E is minimized by the observation line closest to the query range
+    /// (equation 1).
+    #[test]
+    fn enlargement_prefers_nearby_observation() {
+        let q = MorQuery1D {
+            y1: 480.0,
+            y2: 520.0,
+            t1: 0.0,
+            t2: 10.0,
+        };
+        let e_near = enlargement_e(&q, &band(), 500.0);
+        let e_far = enlargement_e(&q, &band(), 0.0);
+        assert!(e_near < e_far);
+        // Inside the range, E equals the minimum possible (range length
+        // times the factor).
+        let e_mid = enlargement_e(&q, &band(), 500.0);
+        let e_edge = enlargement_e(&q, &band(), 480.0);
+        assert!((e_mid - e_edge).abs() < 1e-9, "any y_r within the range ties");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < v_min < v_max")]
+    fn bad_band_panics() {
+        let _ = SpeedBand::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn rotation_period_arithmetic() {
+        let b = SpeedBand::paper();
+        assert!((b.rotation_period(1000.0) - 6250.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! The indexing methods compared in the paper, behind common traits so
+//! the benchmark harness (Figures 6–9) can drive them interchangeably.
+
+pub mod dual2d;
+pub mod dual_bplus;
+pub mod dual_kd;
+pub mod join;
+pub mod mor1;
+pub mod ptree;
+pub(crate) mod rotating;
+pub mod routes;
+pub mod seg_rtree;
+
+use mobidx_workload::{Motion1D, Motion2D, MorQuery1D, MorQuery2D};
+
+/// Aggregated I/O and space counters across all page stores of a method
+/// (e.g. the `c` observation B+-trees of the approximation method).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoTotals {
+    /// Page reads.
+    pub reads: u64,
+    /// Page writes.
+    pub writes: u64,
+    /// Live pages (the space metric of Figure 8).
+    pub pages: u64,
+}
+
+impl IoTotals {
+    /// Reads + writes — the per-operation cost the paper plots.
+    #[must_use]
+    pub fn ios(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merge(self, other: IoTotals) -> IoTotals {
+        IoTotals {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            pages: self.pages + other.pages,
+        }
+    }
+}
+
+/// A dynamic index over 1-D mobile objects answering MOR queries.
+///
+/// Contract:
+/// * an *update* is `remove(old)` + `insert(new)` (§3);
+/// * `query` returns the ids of matching objects, **sorted and
+///   deduplicated**;
+/// * `clear_buffers` empties the buffer pools (the paper clears buffers
+///   before each query so query I/O is cold);
+/// * `io_totals` / `reset_io` aggregate over every internal page store.
+pub trait Index1D {
+    /// Short display name used by the harness (e.g. `"dual-B+ (c=6)"`).
+    fn name(&self) -> String;
+
+    /// Inserts an object's motion record.
+    fn insert(&mut self, m: &Motion1D);
+
+    /// Removes an object's motion record (exactly as inserted). Returns
+    /// whether it was present.
+    fn remove(&mut self, m: &Motion1D) -> bool;
+
+    /// Answers a MOR query: sorted, deduplicated object ids.
+    fn query(&mut self, q: &MorQuery1D) -> Vec<u64>;
+
+    /// Flushes and clears all buffer pools.
+    fn clear_buffers(&mut self);
+
+    /// Aggregated I/O counters.
+    fn io_totals(&self) -> IoTotals;
+
+    /// Resets the read/write counters (space counters are preserved).
+    fn reset_io(&self);
+}
+
+/// A dynamic index over 2-D mobile objects (§4.2), same contract as
+/// [`Index1D`].
+pub trait Index2D {
+    /// Short display name.
+    fn name(&self) -> String;
+
+    /// Inserts an object's motion record.
+    fn insert(&mut self, m: &Motion2D);
+
+    /// Removes an object's motion record. Returns whether it was present.
+    fn remove(&mut self, m: &Motion2D) -> bool;
+
+    /// Answers a 2-D MOR query: sorted, deduplicated object ids.
+    fn query(&mut self, q: &MorQuery2D) -> Vec<u64>;
+
+    /// Flushes and clears all buffer pools.
+    fn clear_buffers(&mut self);
+
+    /// Aggregated I/O counters.
+    fn io_totals(&self) -> IoTotals;
+
+    /// Resets the read/write counters.
+    fn reset_io(&self);
+}
+
+/// Sorts and deduplicates a result id list (the `query` postcondition).
+pub(crate) fn finish_ids(mut ids: Vec<u64>) -> Vec<u64> {
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_totals_merge() {
+        let a = IoTotals {
+            reads: 1,
+            writes: 2,
+            pages: 3,
+        };
+        let b = IoTotals {
+            reads: 10,
+            writes: 20,
+            pages: 30,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.reads, 11);
+        assert_eq!(m.ios(), 33);
+        assert_eq!(m.pages, 33);
+    }
+
+    #[test]
+    fn finish_ids_sorts_and_dedups() {
+        assert_eq!(finish_ids(vec![3, 1, 3, 2]), vec![1, 2, 3]);
+    }
+}

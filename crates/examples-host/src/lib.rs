@@ -1,0 +1,13 @@
+//! Host crate for the repository-level `examples/` directory.
+//!
+//! Cargo examples must belong to a package; this crate exists solely to
+//! expose the four runnable examples at the repository root:
+//!
+//! * `quickstart` — index 10k cars, query with every method, compare
+//!   answers and I/O;
+//! * `highway_monitor` — continuous congestion prediction on a highway;
+//! * `cellular_handoff` — 2-D bandwidth pre-provisioning for cells with
+//!   approaching phones;
+//! * `route_network` — the 1.5-D problem on a freeway network.
+//!
+//! Run them with `cargo run --release -p mobidx-examples --example <name>`.

@@ -1,0 +1,201 @@
+//! `D`-dimensional axis-aligned bounding boxes.
+//!
+//! The kd-tree point-access method (§3.5.1) works in the 2-D dual Hough-X
+//! plane; the full 2-D problem (§4.2) maps objects to points
+//! `(vx, ax, vy, ay)` in 4-D. Both are served by one const-generic box
+//! type.
+
+use crate::EPS;
+
+/// A closed axis-aligned box `∏ᵢ [lo[i], hi[i]]` in `D` dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb<const D: usize> {
+    /// Per-axis lower bounds.
+    pub lo: [f64; D],
+    /// Per-axis upper bounds.
+    pub hi: [f64; D],
+}
+
+impl<const D: usize> Aabb<D> {
+    /// Creates a box from per-axis bounds.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if any axis is inverted.
+    #[must_use]
+    pub fn new(lo: [f64; D], hi: [f64; D]) -> Self {
+        debug_assert!(
+            lo.iter().zip(&hi).all(|(l, h)| l <= h),
+            "inverted box: {lo:?} .. {hi:?}"
+        );
+        Self { lo, hi }
+    }
+
+    /// The box covering all of `R^D`.
+    #[must_use]
+    pub fn everything() -> Self {
+        Self {
+            lo: [f64::NEG_INFINITY; D],
+            hi: [f64::INFINITY; D],
+        }
+    }
+
+    /// The empty box (used as a fold seed for [`Aabb::union`]).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            lo: [f64::INFINITY; D],
+            hi: [f64::NEG_INFINITY; D],
+        }
+    }
+
+    /// Whether this is the (canonical) empty box.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| l > h)
+    }
+
+    /// The degenerate box covering just `p`.
+    #[must_use]
+    pub fn point(p: [f64; D]) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// The smallest box covering every point in `pts` (empty box for an
+    /// empty slice).
+    #[must_use]
+    pub fn of_points(pts: &[[f64; D]]) -> Self {
+        let mut b = Self::empty();
+        for p in pts {
+            b.extend(*p);
+        }
+        b
+    }
+
+    /// Grows the box to cover `p`.
+    pub fn extend(&mut self, p: [f64; D]) {
+        for (i, &coord) in p.iter().enumerate() {
+            self.lo[i] = self.lo[i].min(coord);
+            self.hi[i] = self.hi[i].max(coord);
+        }
+    }
+
+    /// Whether the box contains `p` (closed, within [`EPS`]).
+    #[must_use]
+    pub fn contains(&self, p: &[f64; D]) -> bool {
+        (0..D).all(|i| self.lo[i] <= p[i] + EPS && p[i] <= self.hi[i] + EPS)
+    }
+
+    /// Whether the closed boxes intersect.
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.hi[i] + EPS && other.lo[i] <= self.hi[i] + EPS)
+    }
+
+    /// Whether `self` fully contains `other`.
+    #[must_use]
+    pub fn contains_box(&self, other: &Self) -> bool {
+        (0..D)
+            .all(|i| self.lo[i] <= other.lo[i] + EPS && other.hi[i] <= self.hi[i] + EPS)
+    }
+
+    /// The smallest box containing both operands.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for i in 0..D {
+            lo[i] = lo[i].min(other.lo[i]);
+            hi[i] = hi[i].max(other.hi[i]);
+        }
+        Self { lo, hi }
+    }
+
+    /// Splits the box along `axis` at `at`, returning `(low, high)` halves.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `at` lies outside the box on `axis`.
+    #[must_use]
+    pub fn split(&self, axis: usize, at: f64) -> (Self, Self) {
+        debug_assert!(self.lo[axis] <= at && at <= self.hi[axis]);
+        let mut left = *self;
+        let mut right = *self;
+        left.hi[axis] = at;
+        right.lo[axis] = at;
+        (left, right)
+    }
+
+    /// Side length on `axis`.
+    #[must_use]
+    pub fn extent(&self, axis: usize) -> f64 {
+        self.hi[axis] - self.lo[axis]
+    }
+
+    /// The axis with the largest extent.
+    #[must_use]
+    pub fn longest_axis(&self) -> usize {
+        (0..D)
+            .max_by(|&a, &b| {
+                self.extent(a)
+                    .partial_cmp(&self.extent(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_intersects_2d() {
+        let b = Aabb::new([0.0, 0.0], [2.0, 3.0]);
+        assert!(b.contains(&[1.0, 1.0]));
+        assert!(b.contains(&[2.0, 3.0])); // closed boundary
+        assert!(!b.contains(&[2.1, 1.0]));
+        assert!(b.intersects(&Aabb::new([2.0, 3.0], [4.0, 5.0]))); // corner touch
+        assert!(!b.intersects(&Aabb::new([3.0, 0.0], [4.0, 1.0])));
+    }
+
+    #[test]
+    fn everything_contains_all() {
+        let e: Aabb<4> = Aabb::everything();
+        assert!(e.contains(&[1e300, -1e300, 0.0, 42.0]));
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn empty_box_folds() {
+        let pts = [[1.0, 5.0], [3.0, 2.0], [-1.0, 4.0]];
+        let b = Aabb::of_points(&pts);
+        assert_eq!(b.lo, [-1.0, 2.0]);
+        assert_eq!(b.hi, [3.0, 5.0]);
+        assert!(Aabb::<2>::of_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn split_partitions() {
+        let b = Aabb::new([0.0, 0.0], [4.0, 4.0]);
+        let (l, r) = b.split(0, 1.5);
+        assert_eq!(l.hi[0], 1.5);
+        assert_eq!(r.lo[0], 1.5);
+        assert_eq!(l.lo, b.lo);
+        assert_eq!(r.hi, b.hi);
+    }
+
+    #[test]
+    fn longest_axis_4d() {
+        let b = Aabb::new([0.0; 4], [1.0, 5.0, 2.0, 4.0]);
+        assert_eq!(b.longest_axis(), 1);
+    }
+
+    #[test]
+    fn union_and_contains_box() {
+        let a = Aabb::new([0.0, 0.0], [1.0, 1.0]);
+        let b = Aabb::new([2.0, -1.0], [3.0, 0.5]);
+        let u = a.union(&b);
+        assert!(u.contains_box(&a));
+        assert!(u.contains_box(&b));
+        assert!(!a.contains_box(&b));
+    }
+}

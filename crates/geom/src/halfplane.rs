@@ -1,0 +1,122 @@
+//! Half-planes: one linear constraint `a·x + b·y ≤ c`.
+//!
+//! Proposition 1 of the paper writes the 1-D MOR query as the conjunction
+//! of four such constraints in the dual Hough-X plane (`x = v`, `y = a`).
+
+use crate::{Point2, EPS};
+
+/// The closed half-plane `{ (x, y) : a·x + b·y ≤ c }`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// Coefficient of `x`.
+    pub a: f64,
+    /// Coefficient of `y`.
+    pub b: f64,
+    /// Right-hand side.
+    pub c: f64,
+}
+
+impl HalfPlane {
+    /// Creates the constraint `a·x + b·y ≤ c`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) on the degenerate constraint `a = b = 0`.
+    #[must_use]
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        debug_assert!(a != 0.0 || b != 0.0, "degenerate half-plane");
+        Self { a, b, c }
+    }
+
+    /// The vertical constraint `x ≤ c` (used for velocity bounds
+    /// `v ≤ v_max` etc.).
+    #[must_use]
+    pub fn x_le(c: f64) -> Self {
+        Self::new(1.0, 0.0, c)
+    }
+
+    /// The vertical constraint `x ≥ c`, i.e. `-x ≤ -c`.
+    #[must_use]
+    pub fn x_ge(c: f64) -> Self {
+        Self::new(-1.0, 0.0, -c)
+    }
+
+    /// The horizontal constraint `y ≤ c`.
+    #[must_use]
+    pub fn y_le(c: f64) -> Self {
+        Self::new(0.0, 1.0, c)
+    }
+
+    /// The horizontal constraint `y ≥ c`.
+    #[must_use]
+    pub fn y_ge(c: f64) -> Self {
+        Self::new(0.0, -1.0, -c)
+    }
+
+    /// Signed violation of the constraint at `p` (≤ 0 means satisfied).
+    #[must_use]
+    pub fn eval(&self, p: Point2) -> f64 {
+        self.a * p.x + self.b * p.y - self.c
+    }
+
+    /// Whether `p` satisfies the constraint (within [`EPS`]).
+    #[must_use]
+    pub fn contains(&self, p: Point2) -> bool {
+        self.eval(p) <= EPS
+    }
+
+    /// Whether `p` strictly violates the constraint (beyond [`EPS`]).
+    #[must_use]
+    pub fn excludes(&self, p: Point2) -> bool {
+        self.eval(p) > EPS
+    }
+
+    /// Intersection point of the boundary lines of two constraints, or
+    /// `None` if (numerically) parallel.
+    #[must_use]
+    pub fn boundary_intersection(&self, other: &HalfPlane) -> Option<Point2> {
+        let det = self.a * other.b - other.a * self.b;
+        if det.abs() < 1e-15 {
+            return None;
+        }
+        let x = (self.c * other.b - other.c * self.b) / det;
+        let y = (self.a * other.c - other.a * self.c) / det;
+        Some(Point2::new(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_constraints() {
+        let p = Point2::new(2.0, 3.0);
+        assert!(HalfPlane::x_le(2.0).contains(p));
+        assert!(HalfPlane::x_le(1.9).excludes(p));
+        assert!(HalfPlane::x_ge(2.0).contains(p));
+        assert!(HalfPlane::y_le(3.5).contains(p));
+        assert!(HalfPlane::y_ge(3.5).excludes(p));
+    }
+
+    #[test]
+    fn general_constraint() {
+        // y <= x + 1, i.e. -x + y <= 1.
+        let h = HalfPlane::new(-1.0, 1.0, 1.0);
+        assert!(h.contains(Point2::new(0.0, 1.0))); // on boundary
+        assert!(h.contains(Point2::new(0.0, 0.0)));
+        assert!(h.excludes(Point2::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn boundary_intersection() {
+        let h1 = HalfPlane::x_le(2.0); // boundary x = 2
+        let h2 = HalfPlane::new(-1.0, 1.0, 1.0); // boundary y = x + 1
+        let p = h1.boundary_intersection(&h2).unwrap();
+        assert!((p.x - 2.0).abs() < 1e-12);
+        assert!((p.y - 3.0).abs() < 1e-12);
+        // Parallel boundaries have no intersection.
+        assert!(HalfPlane::x_le(1.0)
+            .boundary_intersection(&HalfPlane::x_ge(0.0))
+            .is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # mobidx-geom — computational-geometry kernel for mobile-object indexing
+//!
+//! Geometry primitives shared by every index in the reproduction of
+//! "On Indexing Mobile Objects" (PODS '99):
+//!
+//! * [`Point2`] / [`Rect2`] — the primal `(t, y)` plane and the dual
+//!   Hough planes are both 2-D; the R\*-tree baseline stores segment MBRs
+//!   as [`Rect2`]s.
+//! * [`Aabb`] — `D`-dimensional axis-aligned boxes for the kd-tree and
+//!   partition-tree point-access methods (2-D for the 1-D MOR problem,
+//!   4-D for the 2-D problem of §4.2).
+//! * [`HalfPlane`] / [`ConvexPolygon`] — linear-constraint query regions.
+//!   Proposition 1 of the paper expresses the MOR query as a conjunction of
+//!   linear constraints in the dual plane; the indexes answer it with the
+//!   simplex-search technique of Goldstein et al. \[18\], which needs exact
+//!   *region–rectangle* classification ([`Relation`]).
+//! * [`Segment`] — line segments in the primal plane (trajectory MBR
+//!   construction, route networks of §4.1).
+//!
+//! All classification predicates use a small absolute tolerance
+//! ([`EPS`]) so that objects lying exactly on a query boundary are
+//! reported — the convention the paper's brute-force semantics implies.
+
+mod aabb;
+mod halfplane;
+mod polygon;
+mod rect;
+mod region;
+mod segment;
+
+pub use aabb::Aabb;
+pub use halfplane::HalfPlane;
+pub use polygon::ConvexPolygon;
+pub use rect::{Point2, Rect2};
+pub use region::{ProductRegion, QueryRegion, Relation};
+pub use segment::Segment;
+
+/// Absolute tolerance for boundary classification.
+///
+/// Coordinates in the paper's workloads are O(10³) (terrain `[0, 1000]`,
+/// times up to a few thousand instants), so `1e-9` absolute is ~`1e-12`
+/// relative — far below any meaningful geometric distinction while
+/// absorbing `f64` rounding in the constraint arithmetic.
+pub const EPS: f64 = 1e-9;
+
+// Compile-time sanity: EPS must be far below any workload coordinate
+// distinction while remaining representable next to terrain-scale values.
+const _: () = assert!(EPS < 1e-6);

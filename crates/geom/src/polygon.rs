@@ -1,0 +1,247 @@
+//! Convex polygons given as intersections of half-planes.
+//!
+//! A dual-space MOR query (Proposition 1 / Figure 4 of the paper) is such
+//! an intersection. Point-access methods answer it with the
+//! linear-constraint search of Goldstein et al. \[18\]: descend the index,
+//! classifying each node region against the polygon — fully inside
+//! (report the whole subtree), fully outside (prune), or overlapping
+//! (recurse). [`ConvexPolygon::relation`] implements that classification
+//! *exactly* via the separating-axis theorem.
+
+use crate::{Aabb, HalfPlane, Point2, Rect2, EPS};
+
+/// How a convex query region relates to an axis-aligned cell. Re-exported
+/// at the crate root through [`crate::Relation`].
+use crate::region::Relation;
+
+/// A **bounded** convex region `⋂ᵢ {a·x + b·y ≤ cᵢ}` with its vertices
+/// materialized.
+///
+/// Boundedness matters: the exact disjointness test uses the polygon's
+/// vertex bounding box as the rectangle-axis half of the separating-axis
+/// theorem. The paper's query regions are all bounded (velocities are
+/// confined to `[v_min, v_max]` and intercepts to a terrain-derived range),
+/// and [`ConvexPolygon::new`] enforces this in debug builds by requiring
+/// every feasible direction to be capped (a wedge would yield ≤ 1 vertex).
+///
+/// An *infeasible* constraint set yields an empty polygon, which relates
+/// to every cell as [`Relation::Disjoint`].
+#[derive(Debug, Clone)]
+pub struct ConvexPolygon {
+    constraints: Vec<HalfPlane>,
+    vertices: Vec<Point2>,
+    bbox: Aabb<2>,
+}
+
+impl ConvexPolygon {
+    /// Builds the polygon from its defining constraints, materializing the
+    /// vertex set (pairwise boundary intersections feasible for every
+    /// constraint).
+    #[must_use]
+    pub fn new(constraints: Vec<HalfPlane>) -> Self {
+        let vertices = feasible_vertices(&constraints);
+        let pts: Vec<[f64; 2]> = vertices.iter().map(|p| [p.x, p.y]).collect();
+        let bbox = Aabb::of_points(&pts);
+        Self {
+            constraints,
+            vertices,
+            bbox,
+        }
+    }
+
+    /// The defining constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[HalfPlane] {
+        &self.constraints
+    }
+
+    /// The materialized vertices (unordered).
+    #[must_use]
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Axis-aligned bounding box of the polygon (empty box if infeasible).
+    #[must_use]
+    pub fn bbox(&self) -> Aabb<2> {
+        self.bbox
+    }
+
+    /// Whether the region is empty (infeasible constraints).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether `p` satisfies every constraint.
+    #[must_use]
+    pub fn contains_point(&self, p: Point2) -> bool {
+        !self.is_empty() && self.constraints.iter().all(|h| h.contains(p))
+    }
+
+    /// Exact classification of an axis-aligned cell against the region.
+    ///
+    /// * [`Relation::Contains`] — the cell lies entirely inside the region
+    ///   (every corner satisfies every constraint; convexity does the
+    ///   rest);
+    /// * [`Relation::Disjoint`] — the cell and region do not intersect
+    ///   (separating-axis theorem over the constraint normals and the two
+    ///   coordinate axes);
+    /// * [`Relation::Overlaps`] — anything else.
+    #[must_use]
+    pub fn relation(&self, cell: &Rect2) -> Relation {
+        if self.is_empty() {
+            return Relation::Disjoint;
+        }
+        let corners = cell.corners();
+        // Cell fully inside the region?
+        if corners
+            .iter()
+            .all(|&p| self.constraints.iter().all(|h| h.contains(p)))
+        {
+            return Relation::Contains;
+        }
+        // Separating axis among the constraint normals?
+        for h in &self.constraints {
+            if corners.iter().all(|&p| h.excludes(p)) {
+                return Relation::Disjoint;
+            }
+        }
+        // Separating axis among the cell's axes (x / y extents)?
+        let cell_box = Aabb::new([cell.lo.x, cell.lo.y], [cell.hi.x, cell.hi.y]);
+        if !self.bbox.intersects(&cell_box) {
+            return Relation::Disjoint;
+        }
+        Relation::Overlaps
+    }
+}
+
+/// Enumerates the vertices of `⋂ constraints`: every pairwise boundary
+/// intersection that satisfies all constraints, deduplicated.
+fn feasible_vertices(constraints: &[HalfPlane]) -> Vec<Point2> {
+    let mut verts: Vec<Point2> = Vec::new();
+    for (i, hi) in constraints.iter().enumerate() {
+        for hj in &constraints[i + 1..] {
+            let Some(p) = hi.boundary_intersection(hj) else {
+                continue;
+            };
+            if !p.x.is_finite() || !p.y.is_finite() {
+                continue;
+            }
+            // Feasibility with a slightly looser tolerance: the point is
+            // computed, so it carries rounding error from the solve.
+            if constraints.iter().all(|h| h.eval(p) <= 1e-6) {
+                let dup = verts
+                    .iter()
+                    .any(|q| (q.x - p.x).abs() <= EPS && (q.y - p.y).abs() <= EPS);
+                if !dup {
+                    verts.push(p);
+                }
+            }
+        }
+    }
+    verts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The unit square as four half-planes.
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            HalfPlane::x_ge(0.0),
+            HalfPlane::x_le(1.0),
+            HalfPlane::y_ge(0.0),
+            HalfPlane::y_le(1.0),
+        ])
+    }
+
+    /// The triangle with vertices (0,0), (2,0), (0,2).
+    fn triangle() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            HalfPlane::x_ge(0.0),
+            HalfPlane::y_ge(0.0),
+            HalfPlane::new(1.0, 1.0, 2.0), // x + y <= 2
+        ])
+    }
+
+    #[test]
+    fn vertices_of_unit_square() {
+        let sq = unit_square();
+        assert_eq!(sq.vertices().len(), 4);
+        assert!(!sq.is_empty());
+        let bb = sq.bbox();
+        assert_eq!(bb.lo, [0.0, 0.0]);
+        assert_eq!(bb.hi, [1.0, 1.0]);
+    }
+
+    #[test]
+    fn infeasible_is_empty() {
+        let p = ConvexPolygon::new(vec![HalfPlane::x_le(0.0), HalfPlane::x_ge(1.0)]);
+        assert!(p.is_empty());
+        assert_eq!(
+            p.relation(&Rect2::from_bounds(-10.0, -10.0, 10.0, 10.0)),
+            Relation::Disjoint
+        );
+        assert!(!p.contains_point(Point2::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn point_containment() {
+        let t = triangle();
+        assert!(t.contains_point(Point2::new(0.5, 0.5)));
+        assert!(t.contains_point(Point2::new(0.0, 2.0))); // vertex
+        assert!(t.contains_point(Point2::new(1.0, 1.0))); // edge
+        assert!(!t.contains_point(Point2::new(1.1, 1.1)));
+        assert!(!t.contains_point(Point2::new(-0.1, 0.5)));
+    }
+
+    #[test]
+    fn relation_contains() {
+        let t = triangle();
+        let inner = Rect2::from_bounds(0.1, 0.1, 0.5, 0.5);
+        assert_eq!(t.relation(&inner), Relation::Contains);
+    }
+
+    #[test]
+    fn relation_disjoint_by_constraint() {
+        let t = triangle();
+        // Entirely beyond x + y <= 2.
+        let r = Rect2::from_bounds(1.5, 1.5, 2.0, 2.0);
+        assert_eq!(t.relation(&r), Relation::Disjoint);
+    }
+
+    #[test]
+    fn relation_disjoint_by_axis() {
+        // Thin diagonal strip around y = x: the cell at (3,0)..(4,1) is
+        // beyond the polygon's x-extent even though no single constraint
+        // excludes all of its corners.
+        let strip = ConvexPolygon::new(vec![
+            HalfPlane::new(-1.0, 1.0, 0.2),  // y - x <= 0.2
+            HalfPlane::new(1.0, -1.0, 0.2),  // x - y <= 0.2
+            HalfPlane::x_ge(0.0),
+            HalfPlane::x_le(2.0),
+        ]);
+        let r = Rect2::from_bounds(3.0, 0.0, 4.0, 1.0);
+        assert_eq!(strip.relation(&r), Relation::Disjoint);
+    }
+
+    #[test]
+    fn relation_overlaps() {
+        let t = triangle();
+        let r = Rect2::from_bounds(-1.0, -1.0, 0.5, 0.5); // straddles two edges
+        assert_eq!(t.relation(&r), Relation::Overlaps);
+        let r2 = Rect2::from_bounds(1.0, 1.0, 3.0, 3.0); // straddles hypotenuse
+        assert_eq!(t.relation(&r2), Relation::Overlaps);
+    }
+
+    #[test]
+    fn degenerate_cell_relation() {
+        let t = triangle();
+        let point_in = Rect2::point(Point2::new(0.5, 0.5));
+        assert_eq!(t.relation(&point_in), Relation::Contains);
+        let point_out = Rect2::point(Point2::new(5.0, 5.0));
+        assert_eq!(t.relation(&point_out), Relation::Disjoint);
+    }
+}

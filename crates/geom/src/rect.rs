@@ -1,0 +1,233 @@
+//! 2-D points and rectangles (R\*-tree geometry).
+
+use crate::EPS;
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate (time `t` in the primal plane, velocity `v`
+    /// or inverse velocity `1/v` in the dual planes).
+    pub x: f64,
+    /// Vertical coordinate (location `y` in the primal plane, intercept
+    /// `a` or `b` in the dual planes).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+}
+
+/// A closed axis-aligned rectangle `[lo.x, hi.x] × [lo.y, hi.y]`.
+///
+/// Degenerate rectangles (zero width and/or height) are legal — a point
+/// MBR is a degenerate rectangle, and the paper's R\*-tree baseline stores
+/// MBRs of near-vertical trajectory segments that can be degenerate in `x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect2 {
+    /// Lower-left corner.
+    pub lo: Point2,
+    /// Upper-right corner.
+    pub hi: Point2,
+}
+
+impl Rect2 {
+    /// Creates a rectangle from its corners.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `lo` exceeds `hi` on either axis.
+    #[must_use]
+    pub fn new(lo: Point2, hi: Point2) -> Self {
+        debug_assert!(lo.x <= hi.x && lo.y <= hi.y, "inverted rectangle");
+        Self { lo, hi }
+    }
+
+    /// Creates a rectangle from coordinate bounds.
+    #[must_use]
+    pub fn from_bounds(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Self::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    /// The degenerate rectangle covering just `p`.
+    #[must_use]
+    pub fn point(p: Point2) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// The smallest rectangle containing both endpoints of a segment.
+    #[must_use]
+    pub fn of_corners(a: Point2, b: Point2) -> Self {
+        Self {
+            lo: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Area (zero for degenerate rectangles).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        (self.hi.x - self.lo.x) * (self.hi.y - self.lo.y)
+    }
+
+    /// Half-perimeter; the R\*-tree split heuristic minimizes the sum of
+    /// these "margins".
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        (self.hi.x - self.lo.x) + (self.hi.y - self.lo.y)
+    }
+
+    /// Center point.
+    #[must_use]
+    pub fn center(&self) -> Point2 {
+        Point2::new(
+            0.5 * (self.lo.x + self.hi.x),
+            0.5 * (self.lo.y + self.hi.y),
+        )
+    }
+
+    /// Whether the closed rectangles intersect (within [`EPS`]).
+    #[must_use]
+    pub fn intersects(&self, other: &Rect2) -> bool {
+        self.lo.x <= other.hi.x + EPS
+            && other.lo.x <= self.hi.x + EPS
+            && self.lo.y <= other.hi.y + EPS
+            && other.lo.y <= self.hi.y + EPS
+    }
+
+    /// Whether `self` fully contains `other`.
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect2) -> bool {
+        self.lo.x <= other.lo.x + EPS
+            && self.lo.y <= other.lo.y + EPS
+            && other.hi.x <= self.hi.x + EPS
+            && other.hi.y <= self.hi.y + EPS
+    }
+
+    /// Whether `self` contains the point `p`.
+    #[must_use]
+    pub fn contains_point(&self, p: Point2) -> bool {
+        self.lo.x <= p.x + EPS
+            && p.x <= self.hi.x + EPS
+            && self.lo.y <= p.y + EPS
+            && p.y <= self.hi.y + EPS
+    }
+
+    /// The smallest rectangle containing both operands.
+    #[must_use]
+    pub fn union(&self, other: &Rect2) -> Rect2 {
+        Rect2 {
+            lo: Point2::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point2::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// Area of the intersection (zero if disjoint).
+    #[must_use]
+    pub fn overlap_area(&self, other: &Rect2) -> f64 {
+        let w = (self.hi.x.min(other.hi.x) - self.lo.x.max(other.lo.x)).max(0.0);
+        let h = (self.hi.y.min(other.hi.y) - self.lo.y.max(other.lo.y)).max(0.0);
+        w * h
+    }
+
+    /// Area increase needed to absorb `other` — the R\*-tree
+    /// choose-subtree criterion.
+    #[must_use]
+    pub fn enlargement(&self, other: &Rect2) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Squared distance between centers (R\*-tree forced-reinsert orders
+    /// entries by this).
+    #[must_use]
+    pub fn center_distance_sq(&self, other: &Rect2) -> f64 {
+        let a = self.center();
+        let b = other.center();
+        let dx = a.x - b.x;
+        let dy = a.y - b.y;
+        dx * dx + dy * dy
+    }
+
+    /// The four corners, counter-clockwise from `lo`.
+    #[must_use]
+    pub fn corners(&self) -> [Point2; 4] {
+        [
+            self.lo,
+            Point2::new(self.hi.x, self.lo.y),
+            self.hi,
+            Point2::new(self.lo.x, self.hi.y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect2 {
+        Rect2::from_bounds(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn area_margin_center() {
+        let a = r(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(a.area(), 8.0);
+        assert_eq!(a.margin(), 6.0);
+        assert_eq!(a.center(), Point2::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_rect_is_legal() {
+        let p = Rect2::point(Point2::new(1.0, 2.0));
+        assert_eq!(p.area(), 0.0);
+        assert!(p.contains_point(Point2::new(1.0, 2.0)));
+        assert!(p.intersects(&r(0.0, 0.0, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        let c = r(2.5, 2.5, 4.0, 4.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert!(a.contains_rect(&r(0.5, 0.5, 1.5, 1.5)));
+        assert!(!a.contains_rect(&b));
+        // Touching edges count as intersecting (closed rectangles).
+        assert!(a.intersects(&r(2.0, 0.0, 3.0, 1.0)));
+    }
+
+    #[test]
+    fn union_overlap_enlargement() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.union(&b), r(0.0, 0.0, 3.0, 3.0));
+        assert!((a.overlap_area(&b) - 1.0).abs() < 1e-12);
+        assert!((a.enlargement(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.overlap_area(&r(5.0, 5.0, 6.0, 6.0)), 0.0);
+    }
+
+    #[test]
+    fn of_corners_normalizes() {
+        let s = Rect2::of_corners(Point2::new(3.0, 1.0), Point2::new(1.0, 4.0));
+        assert_eq!(s, r(1.0, 1.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let a = r(0.0, 0.0, 1.0, 2.0);
+        let c = a.corners();
+        assert_eq!(c[0], Point2::new(0.0, 0.0));
+        assert_eq!(c[2], Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn center_distance() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(3.0, 4.0, 5.0, 6.0);
+        assert!((a.center_distance_sq(&b) - 25.0).abs() < 1e-12);
+    }
+}

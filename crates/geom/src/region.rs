@@ -1,0 +1,199 @@
+//! The query-region abstraction used by all point-access methods.
+//!
+//! The kd-tree (§3.5.1) and partition tree (§3.4) answer both orthogonal
+//! *and* simplex queries with the same descend-and-classify search; the
+//! only difference is how a node's cell is classified against the query.
+//! [`QueryRegion`] captures exactly that interface.
+
+use crate::{Aabb, ConvexPolygon, Rect2};
+
+/// Classification of an index cell against a query region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// Cell and region do not intersect: prune the subtree.
+    Disjoint,
+    /// Cell and region partially overlap: recurse, filtering points.
+    Overlaps,
+    /// The region fully contains the cell: report the whole subtree.
+    Contains,
+}
+
+impl Relation {
+    /// Combines the relations of independent factors of a product region:
+    /// a cell is disjoint from `A × B` iff it is disjoint from a factor,
+    /// and contained iff contained in both.
+    #[must_use]
+    pub fn product(self, other: Relation) -> Relation {
+        use Relation::{Contains, Disjoint, Overlaps};
+        match (self, other) {
+            (Disjoint, _) | (_, Disjoint) => Disjoint,
+            (Contains, Contains) => Contains,
+            _ => Overlaps,
+        }
+    }
+}
+
+/// A query region over `R^D` that can classify axis-aligned cells.
+pub trait QueryRegion<const D: usize> {
+    /// Exact (or conservatively `Overlaps`) classification of `cell`.
+    fn cell_relation(&self, cell: &Aabb<D>) -> Relation;
+
+    /// Whether the region contains the point `p`.
+    fn contains_point(&self, p: &[f64; D]) -> bool;
+}
+
+/// Index cells can be half-unbounded (the root cell of a kd-tree covers
+/// everything); constraint arithmetic on infinite corners produces NaNs
+/// (`0 × ∞`). Clamping to this huge-but-finite universe first is exact for
+/// every workload in this repository (coordinates are ≤ 1e7).
+const UNIVERSE: f64 = 1e12;
+
+fn clamp_cell_2d(cell: &Aabb<2>) -> Rect2 {
+    Rect2::from_bounds(
+        cell.lo[0].max(-UNIVERSE),
+        cell.lo[1].max(-UNIVERSE),
+        cell.hi[0].min(UNIVERSE),
+        cell.hi[1].min(UNIVERSE),
+    )
+}
+
+/// Orthogonal (hyper-rectangle) queries: a box is itself a query region.
+impl<const D: usize> QueryRegion<D> for Aabb<D> {
+    fn cell_relation(&self, cell: &Aabb<D>) -> Relation {
+        if !self.intersects(cell) {
+            Relation::Disjoint
+        } else if self.contains_box(cell) {
+            Relation::Contains
+        } else {
+            Relation::Overlaps
+        }
+    }
+
+    fn contains_point(&self, p: &[f64; D]) -> bool {
+        self.contains(p)
+    }
+}
+
+/// Simplex (linear-constraint) queries in the 2-D dual plane.
+impl QueryRegion<2> for ConvexPolygon {
+    fn cell_relation(&self, cell: &Aabb<2>) -> Relation {
+        self.relation(&clamp_cell_2d(cell))
+    }
+
+    fn contains_point(&self, p: &[f64; 2]) -> bool {
+        self.contains_point(crate::Point2::new(p[0], p[1]))
+    }
+}
+
+/// The 4-D dual query of §4.2 of the paper.
+///
+/// A 2-D MOR query maps to a simplex in `(vx, ax, vy, ay)` space whose
+/// constraints involve only `(vx, ax)` or only `(vy, ay)`: it is the
+/// cartesian product of two planar wedges (the projections onto the
+/// `(t, x)` and `(t, y)` planes, as the paper observes). Classifying a 4-D
+/// cell therefore reduces exactly to classifying its two planar shadows.
+#[derive(Debug, Clone)]
+pub struct ProductRegion {
+    /// Region over dimensions `(0, 1)` — `(vx, ax)`.
+    pub xy: ConvexPolygon,
+    /// Region over dimensions `(2, 3)` — `(vy, ay)`.
+    pub zw: ConvexPolygon,
+}
+
+impl ProductRegion {
+    /// Builds the product `xy × zw`.
+    #[must_use]
+    pub fn new(xy: ConvexPolygon, zw: ConvexPolygon) -> Self {
+        Self { xy, zw }
+    }
+}
+
+impl QueryRegion<4> for ProductRegion {
+    fn cell_relation(&self, cell: &Aabb<4>) -> Relation {
+        let shadow_xy = Aabb::new([cell.lo[0], cell.lo[1]], [cell.hi[0], cell.hi[1]]);
+        let shadow_zw = Aabb::new([cell.lo[2], cell.lo[3]], [cell.hi[2], cell.hi[3]]);
+        let r1 = QueryRegion::<2>::cell_relation(&self.xy, &shadow_xy);
+        if r1 == Relation::Disjoint {
+            return Relation::Disjoint;
+        }
+        r1.product(QueryRegion::<2>::cell_relation(&self.zw, &shadow_zw))
+    }
+
+    fn contains_point(&self, p: &[f64; 4]) -> bool {
+        QueryRegion::<2>::contains_point(&self.xy, &[p[0], p[1]])
+            && QueryRegion::<2>::contains_point(&self.zw, &[p[2], p[3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HalfPlane;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            HalfPlane::x_ge(x0),
+            HalfPlane::x_le(x1),
+            HalfPlane::y_ge(y0),
+            HalfPlane::y_le(y1),
+        ])
+    }
+
+    #[test]
+    fn relation_product_table() {
+        use Relation::{Contains, Disjoint, Overlaps};
+        assert_eq!(Disjoint.product(Contains), Disjoint);
+        assert_eq!(Contains.product(Disjoint), Disjoint);
+        assert_eq!(Contains.product(Contains), Contains);
+        assert_eq!(Contains.product(Overlaps), Overlaps);
+        assert_eq!(Overlaps.product(Overlaps), Overlaps);
+    }
+
+    #[test]
+    fn aabb_as_region() {
+        let q = Aabb::new([0.0, 0.0], [2.0, 2.0]);
+        assert_eq!(
+            q.cell_relation(&Aabb::new([0.5, 0.5], [1.0, 1.0])),
+            Relation::Contains
+        );
+        assert_eq!(
+            q.cell_relation(&Aabb::new([3.0, 3.0], [4.0, 4.0])),
+            Relation::Disjoint
+        );
+        assert_eq!(
+            q.cell_relation(&Aabb::new([1.0, 1.0], [3.0, 3.0])),
+            Relation::Overlaps
+        );
+        assert!(QueryRegion::<2>::contains_point(&q, &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn polygon_region_on_unbounded_cell() {
+        let sq = square(0.0, 0.0, 1.0, 1.0);
+        // The root cell of a kd-tree: everything.
+        let root: Aabb<2> = Aabb::everything();
+        assert_eq!(QueryRegion::<2>::cell_relation(&sq, &root), Relation::Overlaps);
+        // A half-unbounded cell clearly to the right of the square.
+        let right = Aabb::new([5.0, f64::NEG_INFINITY], [f64::INFINITY, f64::INFINITY]);
+        assert_eq!(
+            QueryRegion::<2>::cell_relation(&sq, &right),
+            Relation::Disjoint
+        );
+    }
+
+    #[test]
+    fn product_region_4d() {
+        let r = ProductRegion::new(square(0.0, 0.0, 1.0, 1.0), square(10.0, 10.0, 11.0, 11.0));
+        assert!(r.contains_point(&[0.5, 0.5, 10.5, 10.5]));
+        assert!(!r.contains_point(&[0.5, 0.5, 9.0, 10.5]));
+
+        let inside = Aabb::new([0.2, 0.2, 10.2, 10.2], [0.8, 0.8, 10.8, 10.8]);
+        assert_eq!(r.cell_relation(&inside), Relation::Contains);
+
+        let off_in_zw = Aabb::new([0.2, 0.2, 20.0, 20.0], [0.8, 0.8, 21.0, 21.0]);
+        assert_eq!(r.cell_relation(&off_in_zw), Relation::Disjoint);
+
+        let straddle = Aabb::new([0.5, 0.5, 10.5, 10.5], [2.0, 0.8, 10.8, 10.8]);
+        assert_eq!(r.cell_relation(&straddle), Relation::Overlaps);
+    }
+}

@@ -1,0 +1,173 @@
+//! Line segments in the primal plane.
+//!
+//! Used by the R\*-tree baseline of §3.1/§5 (does this trajectory segment
+//! actually cross the query rectangle, or only its MBR?) and by the route
+//! networks of §4.1 (clipping a route against the query's spatial
+//! predicate).
+
+use crate::{Point2, Rect2, EPS};
+
+/// A closed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Point2,
+    /// The other endpoint.
+    pub b: Point2,
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[must_use]
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Self { a, b }
+    }
+
+    /// The segment's minimum bounding rectangle.
+    #[must_use]
+    pub fn mbr(&self) -> Rect2 {
+        Rect2::of_corners(self.a, self.b)
+    }
+
+    /// Euclidean length.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        dx.hypot(dy)
+    }
+
+    /// The point at parameter `s ∈ [0, 1]` along the segment.
+    #[must_use]
+    pub fn at(&self, s: f64) -> Point2 {
+        Point2::new(
+            self.a.x + s * (self.b.x - self.a.x),
+            self.a.y + s * (self.b.y - self.a.y),
+        )
+    }
+
+    /// Whether the segment intersects the closed rectangle.
+    ///
+    /// Liang–Barsky clipping: the segment meets the rectangle iff the
+    /// parameter interval `[0, 1]` clipped by the four slabs is non-empty.
+    #[must_use]
+    pub fn intersects_rect(&self, r: &Rect2) -> bool {
+        self.clip_to_rect(r).is_some()
+    }
+
+    /// Clips the segment to the rectangle, returning the surviving
+    /// parameter interval `(s_enter, s_exit) ⊆ [0, 1]`, or `None` if the
+    /// segment misses the rectangle.
+    #[must_use]
+    pub fn clip_to_rect(&self, r: &Rect2) -> Option<(f64, f64)> {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let mut t0 = 0.0_f64;
+        let mut t1 = 1.0_f64;
+        // Each slab contributes p·t <= q.
+        let checks = [
+            (-dx, self.a.x - r.lo.x), // x >= lo.x
+            (dx, r.hi.x - self.a.x),  // x <= hi.x
+            (-dy, self.a.y - r.lo.y), // y >= lo.y
+            (dy, r.hi.y - self.a.y),  // y <= hi.y
+        ];
+        for (p, q) in checks {
+            if p.abs() < EPS {
+                // Parallel to this slab: inside or outside for all t.
+                if q < -EPS {
+                    return None;
+                }
+            } else {
+                let t = q / p;
+                if p < 0.0 {
+                    if t > t1 + EPS {
+                        return None;
+                    }
+                    t0 = t0.max(t);
+                } else {
+                    if t < t0 - EPS {
+                        return None;
+                    }
+                    t1 = t1.min(t);
+                }
+            }
+        }
+        if t0 <= t1 + EPS {
+            Some((t0.clamp(0.0, 1.0), t1.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(x0: f64, y0: f64, x1: f64, y1: f64) -> Segment {
+        Segment::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    #[test]
+    fn mbr_and_length() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.mbr(), Rect2::from_bounds(0.0, 0.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn at_interpolates() {
+        let s = seg(0.0, 0.0, 2.0, 4.0);
+        let m = s.at(0.5);
+        assert!((m.x - 1.0).abs() < 1e-12);
+        assert!((m.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_segment_intersects() {
+        let r = Rect2::from_bounds(0.0, 0.0, 2.0, 2.0);
+        assert!(seg(-1.0, 1.0, 3.0, 1.0).intersects_rect(&r));
+        assert!(seg(-1.0, -1.0, 3.0, 3.0).intersects_rect(&r)); // diagonal through
+        assert!(seg(0.5, 0.5, 1.5, 1.5).intersects_rect(&r)); // fully inside
+    }
+
+    #[test]
+    fn mbr_overlap_without_true_intersection() {
+        // Segment whose MBR overlaps the rect but which itself passes by —
+        // exactly the false positive the paper's R*-tree baseline suffers.
+        let r = Rect2::from_bounds(0.0, 0.0, 1.0, 1.0);
+        let s = seg(-1.0, 0.5, 0.5, 2.5);
+        assert!(s.mbr().intersects(&r));
+        assert!(!s.intersects_rect(&r));
+    }
+
+    #[test]
+    fn parallel_outside_misses() {
+        let r = Rect2::from_bounds(0.0, 0.0, 2.0, 2.0);
+        assert!(!seg(-1.0, 3.0, 3.0, 3.0).intersects_rect(&r));
+        assert!(!seg(3.0, -1.0, 3.0, 3.0).intersects_rect(&r));
+    }
+
+    #[test]
+    fn touching_boundary_counts() {
+        let r = Rect2::from_bounds(0.0, 0.0, 2.0, 2.0);
+        assert!(seg(-1.0, 2.0, 3.0, 2.0).intersects_rect(&r)); // along top edge
+        assert!(seg(2.0, 2.0, 3.0, 3.0).intersects_rect(&r)); // corner touch
+    }
+
+    #[test]
+    fn clip_interval() {
+        let r = Rect2::from_bounds(0.0, 0.0, 2.0, 2.0);
+        let s = seg(-2.0, 1.0, 4.0, 1.0);
+        let (t0, t1) = s.clip_to_rect(&r).unwrap();
+        assert!((s.at(t0).x - 0.0).abs() < 1e-9);
+        assert!((s.at(t1).x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_point_segment() {
+        let r = Rect2::from_bounds(0.0, 0.0, 2.0, 2.0);
+        assert!(seg(1.0, 1.0, 1.0, 1.0).intersects_rect(&r));
+        assert!(!seg(5.0, 5.0, 5.0, 5.0).intersects_rect(&r));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the geometry kernel: the classification predicates
+//! must agree with definitional (point-sampling / algebraic) oracles.
+
+use mobidx_geom::{Aabb, ConvexPolygon, HalfPlane, Point2, QueryRegion, Rect2, Relation, Segment};
+use proptest::prelude::*;
+
+fn rect_strategy() -> impl Strategy<Value = Rect2> {
+    (-100.0f64..100.0, -100.0f64..100.0, 0.0f64..80.0, 0.0f64..80.0)
+        .prop_map(|(x, y, w, h)| Rect2::from_bounds(x, y, x + w, y + h))
+}
+
+fn point_strategy() -> impl Strategy<Value = Point2> {
+    (-150.0f64..150.0, -150.0f64..150.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+/// A random bounded convex polygon: an axis box plus up to 3 extra cuts.
+fn polygon_strategy() -> impl Strategy<Value = ConvexPolygon> {
+    (
+        rect_strategy(),
+        prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -80.0f64..80.0), 0..3),
+    )
+        .prop_map(|(r, cuts)| {
+            let mut hs = vec![
+                HalfPlane::x_ge(r.lo.x),
+                HalfPlane::x_le(r.hi.x),
+                HalfPlane::y_ge(r.lo.y),
+                HalfPlane::y_le(r.hi.y),
+            ];
+            for (a, b, c) in cuts {
+                if a.abs() + b.abs() > 0.1 {
+                    hs.push(HalfPlane::new(a, b, c));
+                }
+            }
+            ConvexPolygon::new(hs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rect operations agree with coordinate arithmetic.
+    #[test]
+    fn rect_union_contains_operands(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn rect_overlap_is_symmetric_and_bounded(a in rect_strategy(), b in rect_strategy()) {
+        let o = a.overlap_area(&b);
+        prop_assert!((o - b.overlap_area(&a)).abs() < 1e-9);
+        prop_assert!(o <= a.area() + 1e-9);
+        prop_assert!(o <= b.area() + 1e-9);
+        prop_assert_eq!(o > 0.0, a.intersects(&b) &&
+            (a.hi.x - b.lo.x).min(b.hi.x - a.lo.x) > 0.0 &&
+            (a.hi.y - b.lo.y).min(b.hi.y - a.lo.y) > 0.0);
+    }
+
+    /// Polygon cell classification is sound w.r.t. point membership.
+    #[test]
+    fn polygon_relation_sound(poly in polygon_strategy(), cell in rect_strategy(),
+                              sx in 0.0f64..1.0, sy in 0.0f64..1.0) {
+        let cell_box = Aabb::new([cell.lo.x, cell.lo.y], [cell.hi.x, cell.hi.y]);
+        let rel = QueryRegion::<2>::cell_relation(&poly, &cell_box);
+        // Any sampled point of the cell obeys the classification.
+        let p = Point2::new(
+            cell.lo.x + sx * (cell.hi.x - cell.lo.x),
+            cell.lo.y + sy * (cell.hi.y - cell.lo.y),
+        );
+        match rel {
+            Relation::Contains => prop_assert!(poly.contains_point(p)),
+            Relation::Disjoint => prop_assert!(
+                // Interior points must be outside (boundary EPS slack).
+                !poly.contains_point(p) || on_cell_boundary(&cell, p),
+            ),
+            Relation::Overlaps => {} // no constraint on single samples
+        }
+        // Vertices of the polygon inside the cell force non-disjoint.
+        if poly.vertices().iter().any(|&v| strictly_inside(&cell, v)) {
+            prop_assert_ne!(rel, Relation::Disjoint);
+        }
+    }
+
+    /// Segment–rectangle intersection agrees with dense sampling.
+    #[test]
+    fn segment_rect_intersection_sound(a in point_strategy(), b in point_strategy(),
+                                       r in rect_strategy()) {
+        let seg = Segment::new(a, b);
+        let hit = seg.intersects_rect(&r);
+        let sampled = (0..=64).any(|i| {
+            let p = seg.at(f64::from(i) / 64.0);
+            strictly_inside(&r, p)
+        });
+        // Sampling finds a strictly interior point => must intersect.
+        if sampled {
+            prop_assert!(hit, "sampled interior point but intersects_rect=false");
+        }
+        // Clip interval endpoints lie in (or on) the rectangle.
+        if let Some((t0, t1)) = seg.clip_to_rect(&r) {
+            prop_assert!(t0 <= t1 + 1e-9);
+            for t in [t0, t1] {
+                let p = seg.at(t);
+                prop_assert!(r.contains_point(p),
+                    "clip endpoint {:?} outside rect {:?}", p, r);
+            }
+        }
+    }
+
+    /// Aabb splits partition exactly.
+    #[test]
+    fn aabb_split_partitions(cell in rect_strategy(), frac in 0.0f64..1.0, axis in 0usize..2,
+                             p in point_strategy()) {
+        let cell = Aabb::new([cell.lo.x, cell.lo.y], [cell.hi.x, cell.hi.y]);
+        let at = cell.lo[axis] + frac * (cell.hi[axis] - cell.lo[axis]);
+        let (l, r) = cell.split(axis, at);
+        let pt = [p.x, p.y];
+        if cell.contains(&pt) {
+            prop_assert!(l.contains(&pt) || r.contains(&pt));
+        }
+        prop_assert!(cell.contains_box(&l));
+        prop_assert!(cell.contains_box(&r));
+    }
+}
+
+fn strictly_inside(r: &Rect2, p: Point2) -> bool {
+    r.lo.x + 1e-7 < p.x && p.x < r.hi.x - 1e-7 && r.lo.y + 1e-7 < p.y && p.y < r.hi.y - 1e-7
+}
+
+fn on_cell_boundary(r: &Rect2, p: Point2) -> bool {
+    !strictly_inside(r, p)
+}

@@ -1,0 +1,184 @@
+//! A tiny LRU buffer pool.
+//!
+//! The paper's experimental setup (§5) deliberately uses an almost
+//! buffer-less configuration: only the current root-to-leaf path (3–4
+//! pages) is cached, and the pool is cleared before every query so that
+//! query I/O counts are not flattered by residual cache contents. The pool
+//! is therefore small enough that a plain vector with linear scans is both
+//! simpler and faster than a hash-map + linked-list LRU.
+
+use crate::store::PageId;
+
+/// An LRU cache of page identifiers with per-page dirty bits.
+///
+/// The pool tracks *which* pages are resident, not their contents (contents
+/// always live in the [`crate::PageStore`], our simulated disk). A page
+/// evicted while dirty must be written back — the caller counts that as a
+/// write I/O.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    /// Resident pages in LRU order: index 0 is least recently used.
+    entries: Vec<(PageId, bool)>,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — the model requires at least the
+    /// currently-accessed page to be resident.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be at least 1");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Marks `id` as most recently used. Returns `true` on a hit.
+    pub fn touch(&mut self, id: PageId) -> bool {
+        if let Some(pos) = self.position(id) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `id` (most recently used position) with the given dirty bit.
+    ///
+    /// If `id` is already resident its dirty bit is OR-ed and it is moved to
+    /// the MRU position. If the pool is full, the LRU page is evicted and
+    /// returned as `(page, was_dirty)`.
+    pub fn insert(&mut self, id: PageId, dirty: bool) -> Option<(PageId, bool)> {
+        if let Some(pos) = self.position(id) {
+            let (_, d) = self.entries.remove(pos);
+            self.entries.push((id, d || dirty));
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.push((id, dirty));
+        evicted
+    }
+
+    /// Sets the dirty bit of a resident page. Returns `false` if absent.
+    pub fn mark_dirty(&mut self, id: PageId) -> bool {
+        if let Some(pos) = self.position(id) {
+            self.entries[pos].1 = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `id` is resident (does not affect LRU order).
+    #[must_use]
+    pub fn contains(&self, id: PageId) -> bool {
+        self.position(id).is_some()
+    }
+
+    /// Removes `id` from the pool, returning its dirty bit if it was
+    /// resident. Used when a page is freed (no write-back is owed for a
+    /// page that ceases to exist).
+    pub fn remove(&mut self, id: PageId) -> Option<bool> {
+        self.position(id).map(|pos| self.entries.remove(pos).1)
+    }
+
+    /// Empties the pool, returning the evicted `(page, was_dirty)` pairs in
+    /// LRU order. The caller is responsible for counting write I/Os for the
+    /// dirty ones.
+    pub fn drain(&mut self) -> Vec<(PageId, bool)> {
+        std::mem::take(&mut self.entries)
+    }
+
+    fn position(&self, id: PageId) -> Option<usize> {
+        self.entries.iter().position(|&(p, _)| p == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> PageId {
+        PageId::from_index(n)
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut b = BufferPool::new(2);
+        assert!(b.insert(pid(1), false).is_none());
+        assert!(b.insert(pid(2), false).is_none());
+        // 1 is LRU; inserting 3 evicts it.
+        assert_eq!(b.insert(pid(3), false), Some((pid(1), false)));
+        // Touch 2, making 3 the LRU.
+        assert!(b.touch(pid(2)));
+        assert_eq!(b.insert(pid(4), false), Some((pid(3), false)));
+    }
+
+    #[test]
+    fn dirty_bit_survives_reinsert() {
+        let mut b = BufferPool::new(2);
+        b.insert(pid(1), true);
+        b.insert(pid(1), false); // must stay dirty
+        b.insert(pid(2), false);
+        assert_eq!(b.insert(pid(3), false), Some((pid(1), true)));
+    }
+
+    #[test]
+    fn mark_dirty_and_drain() {
+        let mut b = BufferPool::new(3);
+        b.insert(pid(1), false);
+        b.insert(pid(2), false);
+        assert!(b.mark_dirty(pid(1)));
+        assert!(!b.mark_dirty(pid(9)));
+        let drained = b.drain();
+        assert_eq!(drained, vec![(pid(1), true), (pid(2), false)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn remove_returns_dirty_bit() {
+        let mut b = BufferPool::new(2);
+        b.insert(pid(1), true);
+        assert_eq!(b.remove(pid(1)), Some(true));
+        assert_eq!(b.remove(pid(1)), None);
+    }
+
+    #[test]
+    fn touch_miss() {
+        let mut b = BufferPool::new(1);
+        assert!(!b.touch(pid(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = BufferPool::new(0);
+    }
+}

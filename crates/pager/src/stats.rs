@@ -1,0 +1,181 @@
+//! I/O and space accounting.
+//!
+//! All metrics reported by the benchmark harness (Figures 6–9 of the paper)
+//! are derived from [`IoStats`]: query cost = reads+writes between two
+//! [`IoSnapshot`]s, space = live page count.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Cumulative I/O and space counters for one paged structure.
+///
+/// Counters use interior mutability ([`Cell`]) so that logically read-only
+/// operations (searches, which still touch the buffer pool) don't force
+/// `&mut` APIs all the way up the stack.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    allocated: Cell<u64>,
+    freed: Cell<u64>,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` page reads (buffer misses).
+    pub fn add_reads(&self, n: u64) {
+        self.reads.set(self.reads.get() + n);
+    }
+
+    /// Records `n` page writes (dirty evictions / flushes).
+    pub fn add_writes(&self, n: u64) {
+        self.writes.set(self.writes.get() + n);
+    }
+
+    /// Records one page allocation.
+    pub fn add_alloc(&self) {
+        self.allocated.set(self.allocated.get() + 1);
+    }
+
+    /// Records one page deallocation.
+    pub fn add_free(&self) {
+        self.freed.set(self.freed.get() + 1);
+    }
+
+    /// Total page reads so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Total page writes so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Total reads + writes.
+    #[must_use]
+    pub fn total_ios(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Pages allocated over the lifetime of the structure.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.allocated.get()
+    }
+
+    /// Pages freed over the lifetime of the structure.
+    #[must_use]
+    pub fn freed(&self) -> u64 {
+        self.freed.get()
+    }
+
+    /// Pages currently live — the paper's space-consumption metric (Fig. 8).
+    #[must_use]
+    pub fn live_pages(&self) -> u64 {
+        self.allocated.get() - self.freed.get()
+    }
+
+    /// Resets the read/write counters, keeping space counters intact.
+    pub fn reset_io(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+
+    /// Takes a snapshot for later differencing (cost of one operation).
+    #[must_use]
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+        }
+    }
+
+    /// I/Os performed since `since` was taken.
+    #[must_use]
+    pub fn since(&self, since: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads() - since.reads,
+            writes: self.writes() - since.writes,
+        }
+    }
+}
+
+/// A point-in-time copy of the read/write counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Page reads at snapshot time (or delta, when produced by
+    /// [`IoStats::since`]).
+    pub reads: u64,
+    /// Page writes at snapshot time (or delta).
+    pub writes: u64,
+}
+
+impl IoSnapshot {
+    /// Reads + writes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}r+{}w", self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.add_reads(3);
+        s.add_writes(2);
+        s.add_alloc();
+        s.add_alloc();
+        s.add_free();
+        assert_eq!(s.reads(), 3);
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.total_ios(), 5);
+        assert_eq!(s.live_pages(), 1);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let s = IoStats::new();
+        s.add_reads(5);
+        let snap = s.snapshot();
+        s.add_reads(2);
+        s.add_writes(1);
+        let d = s.since(&snap);
+        assert_eq!(d.reads, 2);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn reset_io_keeps_space() {
+        let s = IoStats::new();
+        s.add_reads(5);
+        s.add_alloc();
+        s.reset_io();
+        assert_eq!(s.reads(), 0);
+        assert_eq!(s.live_pages(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let snap = IoSnapshot { reads: 4, writes: 1 };
+        assert_eq!(snap.to_string(), "4r+1w");
+    }
+}

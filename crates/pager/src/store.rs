@@ -1,0 +1,321 @@
+//! The simulated disk: a slab of typed pages behind a buffer pool.
+
+use crate::buffer::BufferPool;
+use crate::stats::IoStats;
+use crate::DEFAULT_BUFFER_PAGES;
+
+/// Identifier of a page within one [`PageStore`].
+///
+/// Page ids are dense indices; freed ids are recycled. A `PageId` is only
+/// meaningful for the store that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(u32);
+
+impl PageId {
+    /// Builds a `PageId` from a raw slab index.
+    #[must_use]
+    pub fn from_index(idx: u32) -> Self {
+        Self(idx)
+    }
+
+    /// The raw slab index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A store of typed pages `P` with I/O-counted access through a small LRU
+/// buffer pool.
+///
+/// This is the "disk" of the external-memory model. Access pattern:
+///
+/// * [`PageStore::read`] — fetch a page for reading; a buffer miss costs
+///   one read I/O.
+/// * [`PageStore::write`] — fetch a page and mutate it in place; a miss
+///   costs a read I/O and the page becomes dirty (its write I/O is paid
+///   when it is evicted or flushed).
+/// * [`PageStore::allocate`] / [`PageStore::free`] — create / destroy pages
+///   (tracked for the space metric of Figure 8).
+/// * [`PageStore::clear_buffer`] — flush + empty the pool; the paper does
+///   this before every query so query costs are cold.
+///
+/// Pages are typed (structs, not raw bytes): the reproduction measures
+/// I/O *counts*, which depend only on page capacities — those are enforced
+/// by each index's entry-size arithmetic, see [`crate::page_capacity`].
+#[derive(Debug)]
+pub struct PageStore<P> {
+    pages: Vec<Option<P>>,
+    free_list: Vec<u32>,
+    buffer: BufferPool,
+    stats: IoStats,
+}
+
+impl<P> Default for PageStore<P> {
+    fn default() -> Self {
+        Self::new(DEFAULT_BUFFER_PAGES)
+    }
+}
+
+impl<P> PageStore<P> {
+    /// Creates an empty store with a buffer pool of `buffer_pages` pages.
+    #[must_use]
+    pub fn new(buffer_pages: usize) -> Self {
+        Self {
+            pages: Vec::new(),
+            free_list: Vec::new(),
+            buffer: BufferPool::new(buffer_pages),
+            stats: IoStats::new(),
+        }
+    }
+
+    /// The I/O statistics of this store.
+    #[must_use]
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    #[must_use]
+    pub fn live_pages(&self) -> u64 {
+        self.stats.live_pages()
+    }
+
+    /// Allocates a page holding `page`, returning its id.
+    ///
+    /// The new page enters the buffer dirty; its write I/O is paid on
+    /// eviction or flush, like any other mutation.
+    pub fn allocate(&mut self, page: P) -> PageId {
+        let id = match self.free_list.pop() {
+            Some(idx) => {
+                debug_assert!(self.pages[idx as usize].is_none());
+                self.pages[idx as usize] = Some(page);
+                PageId(idx)
+            }
+            None => {
+                let idx = u32::try_from(self.pages.len()).expect("page count exceeds u32");
+                self.pages.push(Some(page));
+                PageId(idx)
+            }
+        };
+        self.stats.add_alloc();
+        if let Some((_, was_dirty)) = self.buffer.insert(id, true) {
+            if was_dirty {
+                self.stats.add_writes(1);
+            }
+        }
+        id
+    }
+
+    /// Frees page `id`, returning its contents.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page.
+    pub fn free(&mut self, id: PageId) -> P {
+        // No write-back is owed for a page that ceases to exist.
+        let _ = self.buffer.remove(id);
+        let slot = self.pages[id.0 as usize].take().expect("free of dead page");
+        self.free_list.push(id.0);
+        self.stats.add_free();
+        slot
+    }
+
+    /// Fetches page `id` for reading. A buffer miss costs one read I/O.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page.
+    pub fn read(&mut self, id: PageId) -> &P {
+        self.fault_in(id, false);
+        self.pages[id.0 as usize].as_ref().expect("read of dead page")
+    }
+
+    /// Fetches page `id` and mutates it via `f`. A buffer miss costs one
+    /// read I/O; the page becomes dirty.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page.
+    pub fn write<R>(&mut self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R {
+        self.fault_in(id, true);
+        f(self.pages[id.0 as usize].as_mut().expect("write of dead page"))
+    }
+
+    /// Replaces the contents of page `id` wholesale.
+    pub fn replace(&mut self, id: PageId, page: P) {
+        self.write(id, |slot| *slot = page);
+    }
+
+    /// Flushes all dirty pages (counting write I/Os) and empties the
+    /// buffer pool. The paper clears the pool before every query.
+    pub fn clear_buffer(&mut self) {
+        for (_, dirty) in self.buffer.drain() {
+            if dirty {
+                self.stats.add_writes(1);
+            }
+        }
+    }
+
+    /// Flushes all dirty pages (counting write I/Os) but keeps them
+    /// resident and clean.
+    pub fn flush(&mut self) {
+        let entries = self.buffer.drain();
+        for &(id, dirty) in &entries {
+            if dirty {
+                self.stats.add_writes(1);
+            }
+            let _ = self.buffer.insert(id, false);
+        }
+    }
+
+    /// Direct, *un-counted* access to a page. For assertions, invariant
+    /// checks and test oracles only — never in the measured path.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page.
+    #[must_use]
+    pub fn peek(&self, id: PageId) -> &P {
+        self.pages[id.0 as usize].as_ref().expect("peek of dead page")
+    }
+
+    /// Iterates over `(id, page)` for all live pages, without I/O
+    /// accounting. For invariant checks and space audits only.
+    pub fn iter_live(&self) -> impl Iterator<Item = (PageId, &P)> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (PageId(i as u32), p)))
+    }
+
+    fn fault_in(&mut self, id: PageId, dirty: bool) {
+        assert!(
+            self.pages
+                .get(id.0 as usize)
+                .is_some_and(std::option::Option::is_some),
+            "access to dead page {id}"
+        );
+        if self.buffer.touch(id) {
+            if dirty {
+                self.buffer.mark_dirty(id);
+            }
+            return;
+        }
+        self.stats.add_reads(1);
+        if let Some((_, was_dirty)) = self.buffer.insert(id, dirty) {
+            if was_dirty {
+                self.stats.add_writes(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_counts() {
+        let mut s: PageStore<Vec<u32>> = PageStore::new(2);
+        let a = s.allocate(vec![1]);
+        let _b = s.allocate(vec![2]);
+        // Both fit in the buffer: no I/O yet.
+        assert_eq!(s.stats().reads(), 0);
+        assert_eq!(s.stats().writes(), 0);
+        // Third page evicts `a` (dirty) -> one write.
+        let c = s.allocate(vec![3]);
+        assert_eq!(s.stats().writes(), 1);
+        // Reading `a` now misses -> one read; evicts `b` (dirty) -> write.
+        assert_eq!(s.read(a), &vec![1]);
+        assert_eq!(s.stats().reads(), 1);
+        assert_eq!(s.stats().writes(), 2);
+        // `c` is still resident: reading it is free.
+        assert_eq!(s.read(c), &vec![3]);
+        assert_eq!(s.stats().reads(), 1);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_pays() {
+        let mut s: PageStore<u64> = PageStore::new(1);
+        let a = s.allocate(7);
+        s.clear_buffer(); // pays the allocation write
+        assert_eq!(s.stats().writes(), 1);
+        // Read it back (miss), then mutate: dirty again.
+        s.write(a, |v| *v = 8);
+        assert_eq!(s.stats().reads(), 1);
+        s.clear_buffer();
+        assert_eq!(s.stats().writes(), 2);
+        assert_eq!(*s.peek(a), 8);
+    }
+
+    #[test]
+    fn clear_buffer_makes_reads_cold() {
+        let mut s: PageStore<u8> = PageStore::new(4);
+        let a = s.allocate(0);
+        s.clear_buffer();
+        let r0 = s.stats().reads();
+        let _ = s.read(a);
+        let _ = s.read(a); // hit
+        assert_eq!(s.stats().reads() - r0, 1);
+        s.clear_buffer();
+        let _ = s.read(a); // cold again
+        assert_eq!(s.stats().reads() - r0, 2);
+    }
+
+    #[test]
+    fn free_recycles_ids_and_space() {
+        let mut s: PageStore<u8> = PageStore::new(2);
+        let a = s.allocate(1);
+        assert_eq!(s.live_pages(), 1);
+        let v = s.free(a);
+        assert_eq!(v, 1);
+        assert_eq!(s.live_pages(), 0);
+        let b = s.allocate(2);
+        assert_eq!(b.index(), a.index(), "freed id should be recycled");
+    }
+
+    #[test]
+    fn freed_dirty_page_owes_no_write() {
+        let mut s: PageStore<u8> = PageStore::new(2);
+        let a = s.allocate(1);
+        let _ = s.free(a);
+        s.clear_buffer();
+        assert_eq!(s.stats().writes(), 0);
+    }
+
+    #[test]
+    fn flush_keeps_pages_resident() {
+        let mut s: PageStore<u8> = PageStore::new(2);
+        let a = s.allocate(1);
+        s.flush();
+        assert_eq!(s.stats().writes(), 1);
+        let r0 = s.stats().reads();
+        let _ = s.read(a); // still resident -> no read
+        assert_eq!(s.stats().reads(), r0);
+        s.clear_buffer(); // now clean -> no extra write
+        assert_eq!(s.stats().writes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead page")]
+    fn read_after_free_panics() {
+        let mut s: PageStore<u8> = PageStore::new(2);
+        let a = s.allocate(1);
+        let _ = s.free(a);
+        let _ = s.read(a);
+    }
+
+    #[test]
+    fn iter_live_sees_only_live() {
+        let mut s: PageStore<u8> = PageStore::new(4);
+        let _a = s.allocate(1);
+        let b = s.allocate(2);
+        let _c = s.allocate(3);
+        let _ = s.free(b);
+        let live: Vec<u8> = s.iter_live().map(|(_, p)| *p).collect();
+        assert_eq!(live, vec![1, 3]);
+    }
+}

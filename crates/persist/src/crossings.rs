@@ -1,0 +1,250 @@
+//! Lemma 3: enumerating all object crossings within a time horizon.
+//!
+//! Objects move as `y(t) = y₀ + v·t`. Two objects *cross* when their
+//! relative order on the line changes. The paper's algorithm: sort the
+//! objects at time 0 and at time `T`; every inversion between the two
+//! orders is exactly one crossing in `(0, T]`. The inversions are
+//! enumerated with the linked-list scan of the proof (`O(N + M)` after
+//! sorting), then sorted by crossing time.
+
+/// One crossing event: objects `a` and `b` (indices into the caller's
+/// slice) meet at `time`, after which their order is swapped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossEvent {
+    /// Crossing time, in `(0, T]`.
+    pub time: f64,
+    /// Index of the object that is *ahead* (larger position) before the
+    /// crossing.
+    pub a: usize,
+    /// Index of the object that overtakes `a`.
+    pub b: usize,
+}
+
+/// Enumerates every crossing among `objects = [(y0, v); N]` in the open
+/// interval `(0, T]`, sorted by ascending time.
+///
+/// Objects sharing an identical trajectory never cross. Pairs meeting
+/// exactly at `T` are included (their order at `T⁺` is swapped).
+///
+/// # Panics
+/// Panics if `T` is not positive and finite, or any coordinate is NaN.
+#[must_use]
+pub fn all_crossings(objects: &[(f64, f64)], horizon: f64) -> Vec<CrossEvent> {
+    assert!(
+        horizon.is_finite() && horizon > 0.0,
+        "horizon must be positive and finite"
+    );
+    let n = objects.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    // Order at time 0⁺: by position, then velocity (an infinitesimal
+    // instant later the faster object is ahead among ties), then index.
+    let key0 = |i: usize| (objects[i].0, objects[i].1, i);
+    // Order at time T⁺: by position at T, then velocity (a pair meeting
+    // exactly at T counts as crossed), then index.
+    let key_t = |i: usize| {
+        let (y, v) = objects[i];
+        (y + v * horizon, v, i)
+    };
+    let mut order0: Vec<usize> = (0..n).collect();
+    order0.sort_by(|&i, &j| key0(i).partial_cmp(&key0(j)).expect("NaN input"));
+    let mut order_t: Vec<usize> = (0..n).collect();
+    order_t.sort_by(|&i, &j| key_t(i).partial_cmp(&key_t(j)).expect("NaN input"));
+
+    // Linked list over order0; for each object in T-order, everything
+    // still ahead of it in the list has been overtaken by it.
+    let mut next = vec![usize::MAX; n + 1]; // n = head sentinel
+    let mut prev = vec![usize::MAX; n + 1];
+    let head = n;
+    let mut cursor = head;
+    for &obj in &order0 {
+        next[cursor] = obj;
+        prev[obj] = cursor;
+        cursor = obj;
+    }
+    next[cursor] = usize::MAX;
+
+    let mut events = Vec::new();
+    for &obj in &order_t {
+        // Walk from the head to `obj`, reporting each predecessor as a
+        // crossing (obj overtakes it).
+        let mut walker = next[head];
+        while walker != obj {
+            debug_assert!(walker != usize::MAX, "T-order element missing from list");
+            let (ya, va) = (objects[walker].0, objects[walker].1);
+            let (yb, vb) = (objects[obj].0, objects[obj].1);
+            debug_assert!(
+                (vb - va).abs() > 0.0,
+                "inverted pair with equal velocities cannot cross"
+            );
+            let time = (ya - yb) / (vb - va);
+            // `walker` started behind `obj` (earlier in the ascending
+            // order-0 list) and ends ahead: walker overtakes obj.
+            events.push(CrossEvent {
+                time,
+                a: obj,
+                b: walker,
+            });
+            walker = next[walker];
+        }
+        // Unlink obj.
+        let p = prev[obj];
+        let nx = next[obj];
+        next[p] = nx;
+        if nx != usize::MAX {
+            prev[nx] = p;
+        }
+    }
+    events.sort_by(|x, y| x.time.partial_cmp(&y.time).expect("NaN crossing time"));
+    events
+}
+
+/// Counts crossings only (merge-sort inversion count), for cross-checking
+/// [`all_crossings`] in tests and for sizing decisions (the structure is
+/// worth building only while `M = O(N)`, §3.6).
+#[must_use]
+pub fn count_crossings(objects: &[(f64, f64)], horizon: f64) -> usize {
+    let n = objects.len();
+    if n < 2 {
+        return 0;
+    }
+    let key0 = |i: usize| (objects[i].0, objects[i].1, i);
+    let key_t = |i: usize| {
+        let (y, v) = objects[i];
+        (y + v * horizon, v, i)
+    };
+    let mut order0: Vec<usize> = (0..n).collect();
+    order0.sort_by(|&i, &j| key0(i).partial_cmp(&key0(j)).expect("NaN input"));
+    // rank_t[obj] = position of obj in the T-order.
+    let mut order_t: Vec<usize> = (0..n).collect();
+    order_t.sort_by(|&i, &j| key_t(i).partial_cmp(&key_t(j)).expect("NaN input"));
+    let mut rank_t = vec![0usize; n];
+    for (r, &obj) in order_t.iter().enumerate() {
+        rank_t[obj] = r;
+    }
+    let seq: Vec<usize> = order0.iter().map(|&o| rank_t[o]).collect();
+    count_inversions(&seq)
+}
+
+fn count_inversions(seq: &[usize]) -> usize {
+    fn rec(buf: &mut Vec<usize>, seq: &mut [usize]) -> usize {
+        let n = seq.len();
+        if n < 2 {
+            return 0;
+        }
+        let mid = n / 2;
+        let mut inv = {
+            let (l, r) = seq.split_at_mut(mid);
+            rec(buf, l) + rec(buf, r)
+        };
+        buf.clear();
+        let (mut i, mut j) = (0, mid);
+        while i < mid && j < n {
+            if seq[i] <= seq[j] {
+                buf.push(seq[i]);
+                i += 1;
+            } else {
+                inv += mid - i;
+                buf.push(seq[j]);
+                j += 1;
+            }
+        }
+        buf.extend_from_slice(&seq[i..mid]);
+        buf.extend_from_slice(&seq[j..n]);
+        seq.copy_from_slice(buf);
+        inv
+    }
+    let mut seq = seq.to_vec();
+    let mut buf = Vec::with_capacity(seq.len());
+    rec(&mut buf, &mut seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_objects_cross_once() {
+        // Object 0 at 0 with v=2 catches object 1 at 10 with v=1 at t=10.
+        let objs = [(0.0, 2.0), (10.0, 1.0)];
+        let ev = all_crossings(&objs, 20.0);
+        assert_eq!(ev.len(), 1);
+        assert!((ev[0].time - 10.0).abs() < 1e-12);
+        assert_eq!((ev[0].a, ev[0].b), (1, 0)); // 0 overtakes 1
+    }
+
+    #[test]
+    fn crossing_beyond_horizon_excluded() {
+        let objs = [(0.0, 2.0), (10.0, 1.0)];
+        assert!(all_crossings(&objs, 9.9).is_empty());
+        // Exactly at the horizon: included.
+        assert_eq!(all_crossings(&objs, 10.0).len(), 1);
+    }
+
+    #[test]
+    fn parallel_objects_never_cross() {
+        let objs = [(0.0, 1.0), (5.0, 1.0), (10.0, 1.0)];
+        assert!(all_crossings(&objs, 1e6).is_empty());
+    }
+
+    #[test]
+    fn identical_trajectories_never_cross() {
+        let objs = [(3.0, 1.5), (3.0, 1.5)];
+        assert!(all_crossings(&objs, 100.0).is_empty());
+    }
+
+    #[test]
+    fn all_pairs_cross_in_reversal() {
+        // Velocities strictly increasing with start positions strictly
+        // decreasing: every pair crosses eventually.
+        let objs: Vec<(f64, f64)> = (0..20)
+            .map(|i| (f64::from(20 - i), 1.0 + 0.1 * f64::from(i)))
+            .collect();
+        let ev = all_crossings(&objs, 1e4);
+        assert_eq!(ev.len(), 20 * 19 / 2);
+        // Sorted by time.
+        assert!(ev.windows(2).all(|w| w[0].time <= w[1].time));
+        // All times within the horizon and positive.
+        assert!(ev.iter().all(|e| e.time > 0.0 && e.time <= 1e4));
+    }
+
+    #[test]
+    fn matches_inversion_count() {
+        // Deterministic pseudo-random instance.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (state % 1000) as f64
+            }
+        };
+        let objs: Vec<(f64, f64)> =
+            (0..200).map(|_| (next(), 0.5 + next() / 500.0)).collect();
+        for horizon in [1.0, 10.0, 100.0, 1000.0] {
+            let ev = all_crossings(&objs, horizon);
+            assert_eq!(ev.len(), count_crossings(&objs, horizon), "T={horizon}");
+        }
+    }
+
+    #[test]
+    fn event_times_verify_positions_meet() {
+        let objs = [(0.0, 1.6), (4.0, 0.4), (9.0, 0.2), (1.0, 1.0)];
+        for e in all_crossings(&objs, 100.0) {
+            let (ya, va) = objs[e.a];
+            let (yb, vb) = objs[e.b];
+            let pa = ya + va * e.time;
+            let pb = yb + vb * e.time;
+            assert!((pa - pb).abs() < 1e-9, "objects do not meet at event time");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn bad_horizon_panics() {
+        let _ = all_crossings(&[(0.0, 1.0)], 0.0);
+    }
+}

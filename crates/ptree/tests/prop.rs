@@ -1,0 +1,91 @@
+//! Property tests: the partition forest against a naive point set,
+//! exercising the binary-counter merges and weak-delete rebuilds.
+
+use mobidx_geom::{Aabb, ConvexPolygon, HalfPlane, QueryRegion};
+use mobidx_ptree::{PartitionConfig, PartitionForest};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert([f64; 2]),
+    RemoveNth(usize),
+    Box(Aabb<2>),
+    HalfPlaneQuery(f64, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let pt = (0.0f64..1000.0, 0.0f64..1000.0).prop_map(|(x, y)| [x, y]);
+    prop_oneof![
+        4 => pt.prop_map(Op::Insert),
+        2 => (0usize..512).prop_map(Op::RemoveNth),
+        1 => (0.0f64..800.0, 0.0f64..800.0, 20.0f64..300.0)
+            .prop_map(|(x, y, w)| Op::Box(Aabb::new([x, y], [x + w, y + w]))),
+        1 => (-2.0f64..2.0, -500.0f64..1500.0).prop_map(|(m, b)| Op::HalfPlaneQuery(m, b)),
+    ]
+}
+
+fn below_line(m: f64, b: f64) -> ConvexPolygon {
+    ConvexPolygon::new(vec![
+        HalfPlane::new(-m, 1.0, b), // y ≤ m·x + b
+        HalfPlane::x_ge(0.0),
+        HalfPlane::x_le(1000.0),
+        HalfPlane::y_ge(0.0),
+        HalfPlane::y_le(1000.0),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matches_naive_set(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut forest: PartitionForest<2, u64> =
+            PartitionForest::new(PartitionConfig::small(4, 4));
+        let mut naive: Vec<([f64; 2], u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(p) => {
+                    forest.insert(p, next_id);
+                    naive.push((p, next_id));
+                    next_id += 1;
+                }
+                Op::RemoveNth(i) => {
+                    if naive.is_empty() {
+                        continue;
+                    }
+                    let (p, v) = naive.swap_remove(i % naive.len());
+                    prop_assert!(forest.remove(p, v), "forest lost a point");
+                    prop_assert!(!forest.remove(p, v));
+                }
+                Op::Box(q) => {
+                    let mut got: Vec<u64> =
+                        forest.query_collect(&q).into_iter().map(|(_, v)| v).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = naive
+                        .iter()
+                        .filter(|(p, _)| q.contains(p))
+                        .map(|&(_, v)| v)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::HalfPlaneQuery(m, b) => {
+                    let poly = below_line(m, b);
+                    let mut got: Vec<u64> =
+                        forest.query_collect(&poly).into_iter().map(|(_, v)| v).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = naive
+                        .iter()
+                        .filter(|(p, _)| QueryRegion::<2>::contains_point(&poly, p))
+                        .map(|&(_, v)| v)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(forest.len(), naive.len());
+        }
+        forest.check_invariants();
+    }
+}

@@ -1,0 +1,49 @@
+//! # mobidx-rstar — a paged R\*-tree
+//!
+//! The paper's baseline (§3.1, §5) indexes trajectory line segments as
+//! MBRs in an R\*-tree \[8\] and shows it performs poorly for mobile
+//! objects: long, mutually-overlapping segment MBRs destroy the spatial
+//! clustering R-trees rely on, queries touch most of the tree, and updates
+//! cost "more than 90 I/Os". Reproducing those numbers requires a real
+//! R\*-tree, so this crate implements the full Beckmann et al. algorithm:
+//!
+//! * **choose-subtree** — minimum overlap enlargement at the leaf level,
+//!   minimum area enlargement above;
+//! * **forced reinsertion** — on first overflow per level per insertion,
+//!   the 30 % of entries farthest from the node center are reinserted
+//!   ("close reinsert" order);
+//! * **split** — axis by minimum margin sum, distribution by minimum
+//!   overlap (ties: minimum area);
+//! * **deletion** — condense-tree: underfull nodes are dissolved and their
+//!   entries reinserted at their original levels.
+//!
+//! The tree also answers **linear-constraint (simplex) queries** through
+//! the [`RectQuery`] trait — the technique of Goldstein et al. \[18\] that
+//! the paper's §3.5.1 uses for dual-space point data.
+//!
+//! Page capacity follows the paper's arithmetic: a 20-byte entry (four
+//! 4-byte coordinates + 4-byte pointer) on a 4096-byte page gives
+//! `M = 204` ([`paper_entry_capacity`]).
+
+mod query;
+mod tree;
+
+pub use query::RectQuery;
+pub use tree::{RStarConfig, RStarTree};
+
+use mobidx_pager::{page_capacity, DEFAULT_PAGE_SIZE};
+
+/// Node capacity used in the paper's experiments: 20-byte entries on
+/// 4096-byte pages ⇒ 204.
+#[must_use]
+pub fn paper_entry_capacity() -> usize {
+    page_capacity(DEFAULT_PAGE_SIZE, 20)
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    #[test]
+    fn paper_capacity_is_204() {
+        assert_eq!(super::paper_entry_capacity(), 204);
+    }
+}

@@ -1,0 +1,78 @@
+//! Query regions an R\*-tree can search with.
+
+use mobidx_geom::{Aabb, ConvexPolygon, QueryRegion, Rect2, Relation};
+
+/// A query region that can classify an MBR.
+///
+/// Window queries and linear-constraint (simplex) queries share the same
+/// tree traversal; only this classification differs — exactly the point
+/// made by Goldstein et al. \[18\] and used by the paper in §3.5.1.
+pub trait RectQuery {
+    /// Relation of the rectangle `r` to the query region.
+    fn relation(&self, r: &Rect2) -> Relation;
+}
+
+/// Orthogonal window query.
+impl RectQuery for Rect2 {
+    fn relation(&self, r: &Rect2) -> Relation {
+        if !self.intersects(r) {
+            Relation::Disjoint
+        } else if self.contains_rect(r) {
+            Relation::Contains
+        } else {
+            Relation::Overlaps
+        }
+    }
+}
+
+/// Linear-constraint (simplex) query.
+impl RectQuery for ConvexPolygon {
+    fn relation(&self, r: &Rect2) -> Relation {
+        QueryRegion::<2>::cell_relation(self, &Aabb::new([r.lo.x, r.lo.y], [r.hi.x, r.hi.y]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobidx_geom::HalfPlane;
+
+    #[test]
+    fn rect_window_relations() {
+        let q = Rect2::from_bounds(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(
+            q.relation(&Rect2::from_bounds(1.0, 1.0, 2.0, 2.0)),
+            Relation::Contains
+        );
+        assert_eq!(
+            q.relation(&Rect2::from_bounds(20.0, 20.0, 30.0, 30.0)),
+            Relation::Disjoint
+        );
+        assert_eq!(
+            q.relation(&Rect2::from_bounds(5.0, 5.0, 15.0, 15.0)),
+            Relation::Overlaps
+        );
+    }
+
+    #[test]
+    fn polygon_query_relations() {
+        // Triangle (0,0) (4,0) (0,4).
+        let t = ConvexPolygon::new(vec![
+            HalfPlane::x_ge(0.0),
+            HalfPlane::y_ge(0.0),
+            HalfPlane::new(1.0, 1.0, 4.0),
+        ]);
+        assert_eq!(
+            t.relation(&Rect2::from_bounds(0.5, 0.5, 1.0, 1.0)),
+            Relation::Contains
+        );
+        assert_eq!(
+            t.relation(&Rect2::from_bounds(5.0, 5.0, 6.0, 6.0)),
+            Relation::Disjoint
+        );
+        assert_eq!(
+            t.relation(&Rect2::from_bounds(1.0, 1.0, 5.0, 5.0)),
+            Relation::Overlaps
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Host crate for the repository-level `tests/` directory: cross-crate
+//! integration tests spanning the substrates, the core methods, and the
+//! workload oracles. See the `[[test]]` targets in this crate's
+//! manifest.

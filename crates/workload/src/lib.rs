@@ -1,0 +1,59 @@
+//! # mobidx-workload — the paper's experimental workloads (§5)
+//!
+//! Reproduces the data and query generation of the performance study:
+//!
+//! * `N` mobile objects uniform on the terrain `[0, y_max]`
+//!   (`y_max = 1000`), speeds uniform in `[0.16, 1.66]` (10–100 mph in
+//!   miles/minute), direction random;
+//! * objects **reflect** at the terrain borders — modeled, as the paper
+//!   prescribes, as a motion *update* issued at the exact border-hit
+//!   time;
+//! * every time instant, 200 randomly chosen objects change speed and/or
+//!   direction (more updates);
+//! * queries drawn with y-range length `U(0, YQMAX)` and time-window
+//!   length `U(0, TW)` starting at the current time:
+//!   `(YQMAX, TW) = (150, 60)` gives the ≈10 % "large" mix,
+//!   `(10, 20)` the ≈1 % "small" mix.
+//!
+//! Plus the 2-D variant (§4.2), a route-network generator for the
+//! 1.5-dimensional problem (§4.1), and **brute-force oracles** that
+//! define the exact MOR answer sets — every index in `mobidx-core` is
+//! tested against them.
+
+mod motion;
+mod routes;
+mod sim1d;
+mod sim2d;
+
+pub use motion::{
+    brute_force_1d, brute_force_2d, MorQuery1D, MorQuery2D, Motion1D, Motion2D,
+};
+pub use routes::{Route, RouteNetwork, RouteObject, RouteWorkloadConfig};
+pub use sim1d::{Simulator1D, Update1D, WorkloadConfig};
+pub use sim2d::{Simulator2D, Update2D, WorkloadConfig2D};
+
+/// Paper defaults (§5).
+pub mod paper {
+    /// Terrain length (`y_max`).
+    pub const TERRAIN: f64 = 1000.0;
+    /// Minimum speed: 0.16 miles/min = 10 mph.
+    pub const V_MIN: f64 = 0.16;
+    /// Maximum speed: 1.66 miles/min = 100 mph.
+    pub const V_MAX: f64 = 1.66;
+    /// Motion updates per time instant.
+    pub const UPDATES_PER_INSTANT: usize = 200;
+    /// Large-query mix: max y-range length (≈10 % selectivity).
+    pub const YQMAX_LARGE: f64 = 150.0;
+    /// Large-query mix: max time-window length.
+    pub const TW_LARGE: f64 = 60.0;
+    /// Small-query mix: max y-range length (≈1 % selectivity).
+    pub const YQMAX_SMALL: f64 = 10.0;
+    /// Small-query mix: max time-window length.
+    pub const TW_SMALL: f64 = 20.0;
+    /// Scenario length in time instants.
+    pub const INSTANTS: usize = 2000;
+    /// Queries per query time instant.
+    pub const QUERIES_PER_INSTANT: usize = 200;
+    /// Number of query time instants.
+    pub const QUERY_INSTANTS: usize = 10;
+}

@@ -1,0 +1,334 @@
+//! Motion states, MOR queries, and brute-force oracles.
+
+/// The motion information of a 1-D mobile object, as stored in the
+//  database (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Motion1D {
+    /// Object identifier.
+    pub id: u64,
+    /// Time of the last update.
+    pub t0: f64,
+    /// Position at `t0`.
+    pub y0: f64,
+    /// Signed velocity (`|v| ∈ [v_min, v_max]`).
+    pub v: f64,
+}
+
+impl Motion1D {
+    /// Linear extrapolation `y0 + v·(t − t0)` — the database's knowledge
+    /// of the object (future reflections are unknown until the object
+    /// issues its update).
+    #[must_use]
+    pub fn position_at(&self, t: f64) -> f64 {
+        self.y0 + self.v * (t - self.t0)
+    }
+
+    /// The trajectory's intercept at absolute time zero (`y(0)`), the `a`
+    /// of the Hough-X dual `y = v·t + a`.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.y0 - self.v * self.t0
+    }
+}
+
+/// The motion information of a 2-D mobile object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Motion2D {
+    /// Object identifier.
+    pub id: u64,
+    /// Time of the last update.
+    pub t0: f64,
+    /// Position at `t0`.
+    pub x0: f64,
+    /// Position at `t0`.
+    pub y0: f64,
+    /// Velocity components.
+    pub vx: f64,
+    /// Velocity components.
+    pub vy: f64,
+}
+
+impl Motion2D {
+    /// Linear extrapolation of both coordinates.
+    #[must_use]
+    pub fn position_at(&self, t: f64) -> (f64, f64) {
+        let dt = t - self.t0;
+        (self.x0 + self.vx * dt, self.y0 + self.vy * dt)
+    }
+
+    /// The x-projection as a 1-D motion.
+    #[must_use]
+    pub fn x_motion(&self) -> Motion1D {
+        Motion1D {
+            id: self.id,
+            t0: self.t0,
+            y0: self.x0,
+            v: self.vx,
+        }
+    }
+
+    /// The y-projection as a 1-D motion.
+    #[must_use]
+    pub fn y_motion(&self) -> Motion1D {
+        Motion1D {
+            id: self.id,
+            t0: self.t0,
+            y0: self.y0,
+            v: self.vy,
+        }
+    }
+}
+
+/// The one-dimensional MOR query (§2): report objects inside
+/// `[y1, y2]` at some instant of `[t1, t2]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MorQuery1D {
+    /// Spatial range, `y1 ≤ y2`.
+    pub y1: f64,
+    /// Spatial range, `y1 ≤ y2`.
+    pub y2: f64,
+    /// Time window, `t_now ≤ t1 ≤ t2`.
+    pub t1: f64,
+    /// Time window, `t_now ≤ t1 ≤ t2`.
+    pub t2: f64,
+}
+
+impl MorQuery1D {
+    /// Whether `m` satisfies the query under linear extrapolation: the
+    /// swept position interval over `[t1, t2]` intersects `[y1, y2]`.
+    #[must_use]
+    pub fn matches(&self, m: &Motion1D) -> bool {
+        let p1 = m.position_at(self.t1);
+        let p2 = m.position_at(self.t2);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        lo <= self.y2 && hi >= self.y1
+    }
+}
+
+/// The two-dimensional MOR query (§2): report objects inside the
+/// rectangle at some instant of `[t1, t2]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MorQuery2D {
+    /// Spatial rectangle.
+    pub x1: f64,
+    /// Spatial rectangle.
+    pub x2: f64,
+    /// Spatial rectangle.
+    pub y1: f64,
+    /// Spatial rectangle.
+    pub y2: f64,
+    /// Time window.
+    pub t1: f64,
+    /// Time window.
+    pub t2: f64,
+}
+
+impl MorQuery2D {
+    /// Whether `m` is inside the rectangle at some single instant of the
+    /// window: the per-axis residence time intervals and the query window
+    /// must have a common point.
+    #[must_use]
+    pub fn matches(&self, m: &Motion2D) -> bool {
+        let ix = axis_interval(m.x0, m.vx, m.t0, self.x1, self.x2);
+        let iy = axis_interval(m.y0, m.vy, m.t0, self.y1, self.y2);
+        match (ix, iy) {
+            (Some((a1, a2)), Some((b1, b2))) => {
+                let lo = a1.max(b1).max(self.t1);
+                let hi = a2.min(b2).min(self.t2);
+                lo <= hi
+            }
+            _ => false,
+        }
+    }
+
+    /// The x-axis sub-query of the decomposition method (§4.2).
+    #[must_use]
+    pub fn x_query(&self) -> MorQuery1D {
+        MorQuery1D {
+            y1: self.x1,
+            y2: self.x2,
+            t1: self.t1,
+            t2: self.t2,
+        }
+    }
+
+    /// The y-axis sub-query of the decomposition method (§4.2).
+    #[must_use]
+    pub fn y_query(&self) -> MorQuery1D {
+        MorQuery1D {
+            y1: self.y1,
+            y2: self.y2,
+            t1: self.t1,
+            t2: self.t2,
+        }
+    }
+}
+
+/// Time interval during which `p0 + v·(t − t0)` lies in `[lo, hi]`.
+fn axis_interval(p0: f64, v: f64, t0: f64, lo: f64, hi: f64) -> Option<(f64, f64)> {
+    if v.abs() < 1e-12 {
+        return (lo <= p0 && p0 <= hi).then_some((f64::NEG_INFINITY, f64::INFINITY));
+    }
+    let ta = t0 + (lo - p0) / v;
+    let tb = t0 + (hi - p0) / v;
+    Some(if ta <= tb { (ta, tb) } else { (tb, ta) })
+}
+
+/// Exact answer to a 1-D MOR query: ids, sorted.
+#[must_use]
+pub fn brute_force_1d(objects: &[Motion1D], q: &MorQuery1D) -> Vec<u64> {
+    let mut out: Vec<u64> = objects
+        .iter()
+        .filter(|m| q.matches(m))
+        .map(|m| m.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Exact answer to a 2-D MOR query: ids, sorted.
+#[must_use]
+pub fn brute_force_2d(objects: &[Motion2D], q: &MorQuery2D) -> Vec<u64> {
+    let mut out: Vec<u64> = objects
+        .iter()
+        .filter(|m| q.matches(m))
+        .map(|m| m.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_extrapolates_from_update_time() {
+        let m = Motion1D {
+            id: 1,
+            t0: 10.0,
+            y0: 100.0,
+            v: 2.0,
+        };
+        assert!((m.position_at(15.0) - 110.0).abs() < 1e-12);
+        assert!((m.position_at(10.0) - 100.0).abs() < 1e-12);
+        assert!((m.intercept() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_matches_swept_interval() {
+        let m = Motion1D {
+            id: 1,
+            t0: 0.0,
+            y0: 0.0,
+            v: 1.0,
+        };
+        // Over [5, 10] the object sweeps [5, 10].
+        let hit = MorQuery1D {
+            y1: 8.0,
+            y2: 20.0,
+            t1: 5.0,
+            t2: 10.0,
+        };
+        assert!(hit.matches(&m));
+        let miss = MorQuery1D {
+            y1: 11.0,
+            y2: 20.0,
+            t1: 5.0,
+            t2: 10.0,
+        };
+        assert!(!miss.matches(&m));
+        // Zero-length window = time-slice query.
+        let slice = MorQuery1D {
+            y1: 7.0,
+            y2: 7.0,
+            t1: 7.0,
+            t2: 7.0,
+        };
+        assert!(slice.matches(&m));
+    }
+
+    #[test]
+    fn negative_velocity_objects_match() {
+        let m = Motion1D {
+            id: 2,
+            t0: 0.0,
+            y0: 100.0,
+            v: -1.0,
+        };
+        let q = MorQuery1D {
+            y1: 0.0,
+            y2: 95.0,
+            t1: 5.0,
+            t2: 6.0,
+        };
+        assert!(q.matches(&m));
+    }
+
+    #[test]
+    fn twod_requires_simultaneous_residence() {
+        // Object crosses the x-range during [0, 1] and the y-range during
+        // [5, 6]: never inside the rectangle at one instant.
+        let m = Motion2D {
+            id: 3,
+            t0: 0.0,
+            x0: 0.0,
+            y0: 0.0,
+            vx: 1.0,
+            vy: 0.2,
+        };
+        let q = MorQuery2D {
+            x1: 0.0,
+            x2: 1.0,
+            y1: 1.0,
+            y2: 1.2,
+            t1: 0.0,
+            t2: 10.0,
+        };
+        // x ∈ [0,1] during t ∈ [0,1]; y ∈ [1,1.2] during t ∈ [5,6].
+        assert!(!q.matches(&m));
+        // But each axis query alone matches — the decomposition method's
+        // false positive, removed by refinement.
+        assert!(q.x_query().matches(&m.x_motion()));
+        assert!(q.y_query().matches(&m.y_motion()));
+    }
+
+    #[test]
+    fn twod_zero_velocity_axis() {
+        let m = Motion2D {
+            id: 4,
+            t0: 0.0,
+            x0: 5.0,
+            y0: 0.0,
+            vx: 0.0,
+            vy: 1.0,
+        };
+        let q = MorQuery2D {
+            x1: 4.0,
+            x2: 6.0,
+            y1: 9.0,
+            y2: 11.0,
+            t1: 8.0,
+            t2: 12.0,
+        };
+        assert!(q.matches(&m));
+        let q_off = MorQuery2D { x1: 6.5, ..q };
+        assert!(!q_off.matches(&m));
+    }
+
+    #[test]
+    fn brute_force_sorted_ids() {
+        let objs = vec![
+            Motion1D { id: 5, t0: 0.0, y0: 10.0, v: 1.0 },
+            Motion1D { id: 2, t0: 0.0, y0: 11.0, v: 1.0 },
+            Motion1D { id: 9, t0: 0.0, y0: 500.0, v: 1.0 },
+        ];
+        let q = MorQuery1D {
+            y1: 0.0,
+            y2: 50.0,
+            t1: 0.0,
+            t2: 1.0,
+        };
+        assert_eq!(brute_force_1d(&objs, &q), vec![2, 5]);
+    }
+}

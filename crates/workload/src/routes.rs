@@ -1,0 +1,410 @@
+//! Route networks for the 1.5-dimensional problem (§4.1).
+//!
+//! "Objects (cars, airplanes etc.) move on a network of specific routes
+//! (highways, airways)": each route is a polyline on the terrain, and an
+//! object's motion is 1-dimensional *along the route's arc length*. A
+//! 2-D MOR query is decomposed, route by route, into 1-D queries over the
+//! arc-length intervals where the route crosses the query rectangle.
+
+use mobidx_geom::{Point2, Rect2, Segment};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a route workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteWorkloadConfig {
+    /// Number of routes.
+    pub routes: usize,
+    /// Straight segments per route.
+    pub segments_per_route: usize,
+    /// Number of objects on the network.
+    pub n_objects: usize,
+    /// Terrain side length (square terrain).
+    pub terrain: f64,
+    /// Minimum speed along the route.
+    pub v_min: f64,
+    /// Maximum speed along the route.
+    pub v_max: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RouteWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            routes: 20,
+            segments_per_route: 8,
+            n_objects: 10_000,
+            terrain: crate::paper::TERRAIN,
+            v_min: crate::paper::V_MIN,
+            v_max: crate::paper::V_MAX,
+            seed: 0x407E5,
+        }
+    }
+}
+
+/// One route: a polyline with precomputed cumulative arc lengths.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Route identifier.
+    pub id: u32,
+    /// Polyline vertices.
+    pub vertices: Vec<Point2>,
+    /// `cum_len[i]` = arc length from the start to vertex `i`.
+    pub cum_len: Vec<f64>,
+}
+
+impl Route {
+    /// Builds a route from its vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than two vertices are given.
+    #[must_use]
+    pub fn new(id: u32, vertices: Vec<Point2>) -> Self {
+        assert!(vertices.len() >= 2, "route needs at least one segment");
+        let mut cum_len = Vec::with_capacity(vertices.len());
+        let mut acc = 0.0;
+        cum_len.push(0.0);
+        for w in vertices.windows(2) {
+            acc += Segment::new(w[0], w[1]).length();
+            cum_len.push(acc);
+        }
+        Self {
+            id,
+            vertices,
+            cum_len,
+        }
+    }
+
+    /// Total arc length.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        *self.cum_len.last().expect("non-empty route")
+    }
+
+    /// The segments of the polyline with their starting arc lengths.
+    pub fn segments(&self) -> impl Iterator<Item = (f64, Segment)> + '_ {
+        self.vertices
+            .windows(2)
+            .zip(&self.cum_len)
+            .map(|(w, &s0)| (s0, Segment::new(w[0], w[1])))
+    }
+
+    /// The 2-D point at arc length `s` (clamped to the route).
+    #[must_use]
+    pub fn point_at_arc(&self, s: f64) -> Point2 {
+        let s = s.clamp(0.0, self.length());
+        // Find the segment containing s.
+        let i = match self
+            .cum_len
+            .binary_search_by(|c| c.partial_cmp(&s).expect("NaN arc"))
+        {
+            Ok(i) => i.min(self.vertices.len() - 2),
+            Err(i) => i - 1,
+        };
+        let seg = Segment::new(self.vertices[i], self.vertices[i + 1]);
+        let seg_len = seg.length();
+        let frac = if seg_len > 0.0 {
+            (s - self.cum_len[i]) / seg_len
+        } else {
+            0.0
+        };
+        seg.at(frac.clamp(0.0, 1.0))
+    }
+
+    /// Arc-length intervals where the route passes through `rect`,
+    /// merged and sorted.
+    #[must_use]
+    pub fn clip_rect(&self, rect: &Rect2) -> Vec<(f64, f64)> {
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        for (s0, seg) in self.segments() {
+            if let Some((f0, f1)) = seg.clip_to_rect(rect) {
+                let len = seg.length();
+                intervals.push((s0 + f0 * len, s0 + f1 * len));
+            }
+        }
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN interval"));
+        // Merge adjacent/overlapping intervals.
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+        for (a, b) in intervals {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 + 1e-9 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        merged
+    }
+}
+
+/// An object moving along a route at constant arc-length velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteObject {
+    /// Object identifier.
+    pub id: u64,
+    /// Index of the route it travels.
+    pub route: u32,
+    /// Time of the last update.
+    pub t0: f64,
+    /// Arc-length position at `t0`.
+    pub s0: f64,
+    /// Signed arc-length velocity.
+    pub v: f64,
+}
+
+impl RouteObject {
+    /// Linear arc-length extrapolation (the database's knowledge).
+    #[must_use]
+    pub fn arc_at(&self, t: f64) -> f64 {
+        self.s0 + self.v * (t - self.t0)
+    }
+}
+
+/// A generated route network with its object population.
+#[derive(Debug)]
+pub struct RouteNetwork {
+    /// The routes.
+    pub routes: Vec<Route>,
+    /// The mobile objects.
+    pub objects: Vec<RouteObject>,
+    /// Current time.
+    pub now: f64,
+    rng: SmallRng,
+    cfg: RouteWorkloadConfig,
+}
+
+impl RouteNetwork {
+    /// Generates routes (random-heading polylines on the terrain) and a
+    /// uniform object population.
+    #[must_use]
+    pub fn generate(cfg: RouteWorkloadConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut routes = Vec::with_capacity(cfg.routes);
+        for rid in 0..cfg.routes {
+            let mut verts = Vec::with_capacity(cfg.segments_per_route + 1);
+            let mut x = rng.gen_range(0.0..cfg.terrain);
+            let mut y = rng.gen_range(0.0..cfg.terrain);
+            let mut heading = rng.gen_range(0.0..std::f64::consts::TAU);
+            verts.push(Point2::new(x, y));
+            #[allow(clippy::cast_precision_loss)]
+            let seg_len = cfg.terrain / cfg.segments_per_route as f64;
+            for _ in 0..cfg.segments_per_route {
+                heading += rng.gen_range(-0.5..0.5);
+                x = (x + seg_len * heading.cos()).clamp(0.0, cfg.terrain);
+                y = (y + seg_len * heading.sin()).clamp(0.0, cfg.terrain);
+                verts.push(Point2::new(x, y));
+            }
+            // Drop degenerate repeats introduced by clamping.
+            verts.dedup_by(|a, b| (a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9);
+            if verts.len() < 2 {
+                verts = vec![
+                    Point2::new(0.0, rid as f64),
+                    Point2::new(cfg.terrain, rid as f64),
+                ];
+            }
+            routes.push(Route::new(u32::try_from(rid).expect("route count"), verts));
+        }
+        let mut objects = Vec::with_capacity(cfg.n_objects);
+        for id in 0..cfg.n_objects as u64 {
+            let route = rng.gen_range(0..routes.len());
+            let s0 = rng.gen_range(0.0..routes[route].length());
+            let speed = rng.gen_range(cfg.v_min..=cfg.v_max);
+            let v = if rng.gen_bool(0.5) { speed } else { -speed };
+            objects.push(RouteObject {
+                id,
+                route: u32::try_from(route).expect("route index"),
+                t0: 0.0,
+                s0,
+                v,
+            });
+        }
+        Self {
+            routes,
+            objects,
+            now: 0.0,
+            rng,
+            cfg,
+        }
+    }
+
+    /// Advances one instant: objects reaching a route end reverse
+    /// (an update), and a few random objects change speed.
+    pub fn step(&mut self, random_changes: usize) -> Vec<(RouteObject, RouteObject)> {
+        let target = self.now + 1.0;
+        let mut updates = Vec::new();
+        for i in 0..self.objects.len() {
+            let o = self.objects[i];
+            let route_len = self.routes[o.route as usize].length();
+            let s = o.arc_at(target);
+            if s < 0.0 || s > route_len {
+                let old = o;
+                let new = RouteObject {
+                    t0: target,
+                    s0: s.clamp(0.0, route_len),
+                    v: -o.v,
+                    ..o
+                };
+                self.objects[i] = new;
+                updates.push((old, new));
+            }
+        }
+        for _ in 0..random_changes {
+            let i = self.rng.gen_range(0..self.objects.len());
+            let old = self.objects[i];
+            let route_len = self.routes[old.route as usize].length();
+            let speed = self.rng.gen_range(self.cfg.v_min..=self.cfg.v_max);
+            let new = RouteObject {
+                t0: target,
+                s0: old.arc_at(target).clamp(0.0, route_len),
+                v: if self.rng.gen_bool(0.5) { speed } else { -speed },
+                ..old
+            };
+            self.objects[i] = new;
+            updates.push((old, new));
+        }
+        self.now = target;
+        updates
+    }
+
+    /// Exact answer to "which objects are inside `rect` at some instant
+    /// of `[t1, t2]`" under per-route linear arc extrapolation.
+    #[must_use]
+    pub fn brute_force(&self, rect: &Rect2, t1: f64, t2: f64) -> Vec<u64> {
+        let clips: Vec<Vec<(f64, f64)>> =
+            self.routes.iter().map(|r| r.clip_rect(rect)).collect();
+        let mut out: Vec<u64> = self
+            .objects
+            .iter()
+            .filter(|o| {
+                let a = o.arc_at(t1);
+                let b = o.arc_at(t2);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                clips[o.route as usize]
+                    .iter()
+                    .any(|&(c0, c1)| c0 <= hi && c1 >= lo)
+            })
+            .map(|o| o.id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_length_parameterization() {
+        let r = Route::new(
+            0,
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(3.0, 4.0), // length 5
+                Point2::new(3.0, 10.0), // length 6
+            ],
+        );
+        assert!((r.length() - 11.0).abs() < 1e-12);
+        let p = r.point_at_arc(5.0);
+        assert!((p.x - 3.0).abs() < 1e-9 && (p.y - 4.0).abs() < 1e-9);
+        let p = r.point_at_arc(8.0);
+        assert!((p.x - 3.0).abs() < 1e-9 && (p.y - 7.0).abs() < 1e-9);
+        // Clamped beyond the ends.
+        let p = r.point_at_arc(100.0);
+        assert!((p.y - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_rect_intervals() {
+        let r = Route::new(
+            0,
+            vec![
+                Point2::new(0.0, 5.0),
+                Point2::new(10.0, 5.0),
+                Point2::new(10.0, 15.0),
+            ],
+        );
+        // Rectangle covering x ∈ [2, 4] at the route's first leg.
+        let rect = Rect2::from_bounds(2.0, 0.0, 4.0, 10.0);
+        let clips = r.clip_rect(&rect);
+        assert_eq!(clips.len(), 1);
+        assert!((clips[0].0 - 2.0).abs() < 1e-9);
+        assert!((clips[0].1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_merges_contiguous_segment_pieces() {
+        // L-shaped route fully inside the rect: one merged interval.
+        let r = Route::new(
+            0,
+            vec![
+                Point2::new(1.0, 1.0),
+                Point2::new(2.0, 1.0),
+                Point2::new(2.0, 2.0),
+            ],
+        );
+        let rect = Rect2::from_bounds(0.0, 0.0, 5.0, 5.0);
+        let clips = r.clip_rect(&rect);
+        assert_eq!(clips.len(), 1);
+        assert!((clips[0].0 - 0.0).abs() < 1e-9);
+        assert!((clips[0].1 - r.length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_network_is_well_formed() {
+        let net = RouteNetwork::generate(RouteWorkloadConfig {
+            n_objects: 500,
+            ..RouteWorkloadConfig::default()
+        });
+        assert_eq!(net.routes.len(), 20);
+        for r in &net.routes {
+            assert!(r.length() > 0.0);
+            assert!(r.vertices.len() >= 2);
+        }
+        for o in &net.objects {
+            let len = net.routes[o.route as usize].length();
+            assert!((0.0..=len).contains(&o.s0));
+            assert!(o.v.abs() >= crate::paper::V_MIN && o.v.abs() <= crate::paper::V_MAX);
+        }
+    }
+
+    #[test]
+    fn step_reflects_at_route_ends() {
+        let mut net = RouteNetwork::generate(RouteWorkloadConfig {
+            n_objects: 200,
+            routes: 3,
+            segments_per_route: 2,
+            ..RouteWorkloadConfig::default()
+        });
+        let mut reflections = 0;
+        for _ in 0..2000 {
+            reflections += net.step(0).len();
+        }
+        assert!(reflections > 0, "no route-end reflections in 2000 steps");
+        // All objects still on their routes.
+        for o in &net.objects {
+            let len = net.routes[o.route as usize].length();
+            let s = o.arc_at(net.now);
+            assert!((-1.0..=len + 1.0).contains(&s), "object {} at {s}", o.id);
+        }
+    }
+
+    #[test]
+    fn brute_force_sanity() {
+        let net = RouteNetwork::generate(RouteWorkloadConfig {
+            n_objects: 300,
+            ..RouteWorkloadConfig::default()
+        });
+        // The whole terrain over a window must return everything... except
+        // objects whose linear extrapolation has already left their route
+        // (none at t=0 with zero-length window).
+        let all = net.brute_force(
+            &Rect2::from_bounds(0.0, 0.0, 1000.0, 1000.0),
+            0.0,
+            0.0,
+        );
+        assert_eq!(all.len(), 300);
+        // An empty rectangle region far away matches nothing.
+        let none = net.brute_force(&Rect2::from_bounds(-10.0, -10.0, -5.0, -5.0), 0.0, 10.0);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! The 1-D scenario simulator of §5.
+
+use crate::motion::{Motion1D, MorQuery1D};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Parameters of a 1-D scenario (defaults = the paper's §5 values).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of mobile objects.
+    pub n: usize,
+    /// Terrain length `y_max`.
+    pub terrain: f64,
+    /// Minimum speed.
+    pub v_min: f64,
+    /// Maximum speed.
+    pub v_max: f64,
+    /// Random motion updates per time instant.
+    pub updates_per_instant: usize,
+    /// RNG seed (scenarios are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            terrain: crate::paper::TERRAIN,
+            v_min: crate::paper::V_MIN,
+            v_max: crate::paper::V_MAX,
+            updates_per_instant: crate::paper::UPDATES_PER_INSTANT,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One motion update: the database deletes `old` and inserts `new`
+/// (§3: "We treat an update as a deletion of the old information and an
+/// insertion of the new one").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Update1D {
+    /// State being replaced.
+    pub old: Motion1D,
+    /// New state.
+    pub new: Motion1D,
+}
+
+/// Border-hit event in the reflection queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Hit {
+    time: f64,
+    id: u64,
+    generation: u64,
+}
+
+impl Eq for Hit {}
+impl Ord for Hit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for Hit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The continuously running 1-D world: objects move, reflect at borders
+/// (issuing updates at the exact hit time), and a fixed number of random
+/// objects change their motion each instant.
+#[derive(Debug)]
+pub struct Simulator1D {
+    cfg: WorkloadConfig,
+    rng: SmallRng,
+    objects: Vec<Motion1D>,
+    /// Per-object generation counters invalidate stale heap entries.
+    generations: Vec<u64>,
+    hits: BinaryHeap<Reverse<Hit>>,
+    now: f64,
+}
+
+impl Simulator1D {
+    /// Creates the world at `t = 0` with uniform initial positions and
+    /// speeds.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        assert!(cfg.n > 0, "empty world");
+        assert!(
+            0.0 < cfg.v_min && cfg.v_min < cfg.v_max,
+            "speed band must satisfy 0 < v_min < v_max"
+        );
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut sim = Self {
+            cfg,
+            objects: Vec::with_capacity(cfg.n),
+            generations: vec![0; cfg.n],
+            hits: BinaryHeap::with_capacity(cfg.n),
+            now: 0.0,
+            rng: SmallRng::seed_from_u64(0), // replaced below
+        };
+        std::mem::swap(&mut sim.rng, &mut rng);
+        for id in 0..cfg.n as u64 {
+            let y0 = sim.rng.gen_range(0.0..cfg.terrain);
+            let v = sim.random_velocity();
+            sim.objects.push(Motion1D { id, t0: 0.0, y0, v });
+            sim.push_hit(id as usize);
+        }
+        sim
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Current motion table (the database contents).
+    #[must_use]
+    pub fn objects(&self) -> &[Motion1D] {
+        &self.objects
+    }
+
+    /// The workload parameters.
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Advances the world by one time instant, returning every update
+    /// issued (border reflections at their exact times, then the random
+    /// motion changes at the new instant), in order.
+    pub fn step(&mut self) -> Vec<Update1D> {
+        let target = self.now + 1.0;
+        let mut updates = Vec::with_capacity(self.cfg.updates_per_instant + 8);
+        // Reflections due within this instant.
+        while let Some(&Reverse(hit)) = self.hits.peek() {
+            if hit.time > target {
+                break;
+            }
+            let _ = self.hits.pop();
+            let idx = hit.id as usize;
+            if hit.generation != self.generations[idx] {
+                continue; // stale
+            }
+            let old = self.objects[idx];
+            let y_hit = old.position_at(hit.time).clamp(0.0, self.cfg.terrain);
+            let new = Motion1D {
+                id: old.id,
+                t0: hit.time,
+                y0: y_hit,
+                v: -old.v,
+            };
+            self.objects[idx] = new;
+            self.generations[idx] += 1;
+            self.push_hit(idx);
+            updates.push(Update1D { old, new });
+        }
+        self.now = target;
+        // Random motion changes at the new instant.
+        for _ in 0..self.cfg.updates_per_instant {
+            let idx = self.rng.gen_range(0..self.cfg.n);
+            let old = self.objects[idx];
+            let y_now = old.position_at(target).clamp(0.0, self.cfg.terrain);
+            let new = Motion1D {
+                id: old.id,
+                t0: target,
+                y0: y_now,
+                v: self.random_velocity(),
+            };
+            self.objects[idx] = new;
+            self.generations[idx] += 1;
+            self.push_hit(idx);
+            updates.push(Update1D { old, new });
+        }
+        updates
+    }
+
+    /// Draws a random MOR query at the current time: y-range length
+    /// `U(0, yqmax)`, window length `U(0, tw)`, start at `now`.
+    pub fn gen_query(&mut self, yqmax: f64, tw: f64) -> MorQuery1D {
+        let len = self.rng.gen_range(0.0..yqmax);
+        let y1 = self.rng.gen_range(0.0..(self.cfg.terrain - len).max(f64::MIN_POSITIVE));
+        let dt = self.rng.gen_range(0.0..tw);
+        MorQuery1D {
+            y1,
+            y2: y1 + len,
+            t1: self.now,
+            t2: self.now + dt,
+        }
+    }
+
+    fn random_velocity(&mut self) -> f64 {
+        let speed = self.rng.gen_range(self.cfg.v_min..=self.cfg.v_max);
+        if self.rng.gen_bool(0.5) {
+            speed
+        } else {
+            -speed
+        }
+    }
+
+    /// Schedules the next border hit of object `idx`.
+    fn push_hit(&mut self, idx: usize) {
+        let m = self.objects[idx];
+        let time = if m.v > 0.0 {
+            m.t0 + (self.cfg.terrain - m.y0) / m.v
+        } else {
+            m.t0 + (0.0 - m.y0) / m.v
+        };
+        self.hits.push(Reverse(Hit {
+            time,
+            id: m.id,
+            generation: self.generations[idx],
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            n: 500,
+            updates_per_instant: 20,
+            seed: 42,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Simulator1D::new(small_cfg());
+        let mut b = Simulator1D::new(small_cfg());
+        for _ in 0..50 {
+            assert_eq!(a.step(), b.step());
+        }
+        assert_eq!(a.objects(), b.objects());
+    }
+
+    #[test]
+    fn objects_stay_on_terrain() {
+        let mut sim = Simulator1D::new(small_cfg());
+        for _ in 0..3000 {
+            let _ = sim.step();
+        }
+        let t = sim.now();
+        for m in sim.objects() {
+            let p = m.position_at(t);
+            assert!(
+                (-1e-6..=sim.config().terrain + 1e-6).contains(&p),
+                "object {} escaped: {p}",
+                m.id
+            );
+        }
+    }
+
+    #[test]
+    fn speeds_stay_in_band() {
+        let mut sim = Simulator1D::new(small_cfg());
+        for _ in 0..200 {
+            let _ = sim.step();
+        }
+        let cfg = *sim.config();
+        for m in sim.objects() {
+            let s = m.v.abs();
+            assert!((cfg.v_min..=cfg.v_max).contains(&s), "speed {s} out of band");
+        }
+    }
+
+    #[test]
+    fn updates_include_reflections_and_random_changes() {
+        let mut sim = Simulator1D::new(small_cfg());
+        let mut total = 0usize;
+        for _ in 0..500 {
+            total += sim.step().len();
+        }
+        // At least the scheduled random changes; reflections add more.
+        assert!(total > 500 * 20, "no reflections generated? total={total}");
+        // Updates are consistent: old-id == new-id and a fresh t0.
+        let ups = sim.step();
+        for u in ups {
+            assert_eq!(u.old.id, u.new.id);
+            assert!(u.new.t0 > u.old.t0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_query_mix_has_plausible_selectivity() {
+        let mut sim = Simulator1D::new(WorkloadConfig {
+            n: 5000,
+            ..small_cfg()
+        });
+        for _ in 0..100 {
+            let _ = sim.step();
+        }
+        let mut total_frac = 0.0;
+        let queries = 100;
+        for _ in 0..queries {
+            let q = sim.gen_query(crate::paper::YQMAX_LARGE, crate::paper::TW_LARGE);
+            let hits = crate::brute_force_1d(sim.objects(), &q).len();
+            #[allow(clippy::cast_precision_loss)]
+            {
+                total_frac += hits as f64 / 5000.0;
+            }
+        }
+        let avg = total_frac / f64::from(queries);
+        // The paper reports ~10 %; accept a broad band.
+        assert!(
+            (0.02..0.3).contains(&avg),
+            "large-query selectivity {avg} implausible"
+        );
+    }
+
+    #[test]
+    fn queries_start_at_now_and_stay_in_terrain() {
+        let mut sim = Simulator1D::new(small_cfg());
+        for _ in 0..10 {
+            let _ = sim.step();
+        }
+        for _ in 0..100 {
+            let q = sim.gen_query(150.0, 60.0);
+            assert!(q.t1 >= sim.now() - 1e-9);
+            assert!(q.t2 >= q.t1);
+            assert!(q.y1 >= 0.0 && q.y2 <= sim.config().terrain + 1e-9);
+            assert!(q.y1 <= q.y2);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The 2-D scenario simulator (§4.2 workloads).
+//!
+//! Per-axis velocities are drawn independently from the paper's speed
+//! band with random signs; objects reflect per-axis at the borders of the
+//! `[0, x_max] × [0, y_max]` terrain, each reflection issuing an update.
+
+use crate::motion::{Motion2D, MorQuery2D};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Parameters of a 2-D scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig2D {
+    /// Number of mobile objects.
+    pub n: usize,
+    /// Terrain width (`x_max`).
+    pub x_max: f64,
+    /// Terrain height (`y_max`).
+    pub y_max: f64,
+    /// Minimum per-axis speed.
+    pub v_min: f64,
+    /// Maximum per-axis speed.
+    pub v_max: f64,
+    /// Random motion updates per time instant.
+    pub updates_per_instant: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig2D {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            x_max: crate::paper::TERRAIN,
+            y_max: crate::paper::TERRAIN,
+            v_min: crate::paper::V_MIN,
+            v_max: crate::paper::V_MAX,
+            updates_per_instant: crate::paper::UPDATES_PER_INSTANT,
+            seed: 0x5EED2,
+        }
+    }
+}
+
+/// One 2-D motion update (delete `old`, insert `new`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Update2D {
+    /// State being replaced.
+    pub old: Motion2D,
+    /// New state.
+    pub new: Motion2D,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Hit {
+    time: f64,
+    id: u64,
+    generation: u64,
+    /// Which axes meet a border at `time` (decided at scheduling time —
+    /// re-deriving from positions at processing time is brittle under
+    /// floating-point rounding).
+    flip_x: bool,
+    flip_y: bool,
+}
+impl Eq for Hit {}
+impl Ord for Hit {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for Hit {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The continuously running 2-D world.
+#[derive(Debug)]
+pub struct Simulator2D {
+    cfg: WorkloadConfig2D,
+    rng: SmallRng,
+    objects: Vec<Motion2D>,
+    generations: Vec<u64>,
+    hits: BinaryHeap<Reverse<Hit>>,
+    now: f64,
+}
+
+impl Simulator2D {
+    /// Creates the world at `t = 0`.
+    #[must_use]
+    pub fn new(cfg: WorkloadConfig2D) -> Self {
+        assert!(cfg.n > 0, "empty world");
+        assert!(0.0 < cfg.v_min && cfg.v_min < cfg.v_max, "bad speed band");
+        let mut sim = Self {
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            objects: Vec::with_capacity(cfg.n),
+            generations: vec![0; cfg.n],
+            hits: BinaryHeap::with_capacity(cfg.n),
+            now: 0.0,
+        };
+        for id in 0..cfg.n as u64 {
+            let x0 = sim.rng.gen_range(0.0..cfg.x_max);
+            let y0 = sim.rng.gen_range(0.0..cfg.y_max);
+            let vx = sim.random_velocity();
+            let vy = sim.random_velocity();
+            sim.objects.push(Motion2D {
+                id,
+                t0: 0.0,
+                x0,
+                y0,
+                vx,
+                vy,
+            });
+            sim.push_hit(id as usize);
+        }
+        sim
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Current motion table.
+    #[must_use]
+    pub fn objects(&self) -> &[Motion2D] {
+        &self.objects
+    }
+
+    /// The workload parameters.
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig2D {
+        &self.cfg
+    }
+
+    /// Advances by one instant, returning all issued updates.
+    pub fn step(&mut self) -> Vec<Update2D> {
+        let target = self.now + 1.0;
+        let mut updates = Vec::with_capacity(self.cfg.updates_per_instant + 8);
+        while let Some(&Reverse(hit)) = self.hits.peek() {
+            if hit.time > target {
+                break;
+            }
+            let _ = self.hits.pop();
+            let idx = hit.id as usize;
+            if hit.generation != self.generations[idx] {
+                continue;
+            }
+            let old = self.objects[idx];
+            let (x, y) = old.position_at(hit.time);
+            // Axes flagged at scheduling time land exactly on the border.
+            let x = if hit.flip_x {
+                if old.vx > 0.0 {
+                    self.cfg.x_max
+                } else {
+                    0.0
+                }
+            } else {
+                x.clamp(0.0, self.cfg.x_max)
+            };
+            let y = if hit.flip_y {
+                if old.vy > 0.0 {
+                    self.cfg.y_max
+                } else {
+                    0.0
+                }
+            } else {
+                y.clamp(0.0, self.cfg.y_max)
+            };
+            let new = Motion2D {
+                id: old.id,
+                t0: hit.time,
+                x0: x,
+                y0: y,
+                vx: if hit.flip_x { -old.vx } else { old.vx },
+                vy: if hit.flip_y { -old.vy } else { old.vy },
+            };
+            self.objects[idx] = new;
+            self.generations[idx] += 1;
+            self.push_hit(idx);
+            updates.push(Update2D { old, new });
+        }
+        self.now = target;
+        for _ in 0..self.cfg.updates_per_instant {
+            let idx = self.rng.gen_range(0..self.cfg.n);
+            let old = self.objects[idx];
+            let (x, y) = old.position_at(target);
+            let new = Motion2D {
+                id: old.id,
+                t0: target,
+                x0: x.clamp(0.0, self.cfg.x_max),
+                y0: y.clamp(0.0, self.cfg.y_max),
+                vx: self.random_velocity(),
+                vy: self.random_velocity(),
+            };
+            self.objects[idx] = new;
+            self.generations[idx] += 1;
+            self.push_hit(idx);
+            updates.push(Update2D { old, new });
+        }
+        updates
+    }
+
+    /// Draws a random 2-D MOR query at the current time.
+    pub fn gen_query(&mut self, qmax: f64, tw: f64) -> MorQuery2D {
+        let wx = self.rng.gen_range(0.0..qmax);
+        let wy = self.rng.gen_range(0.0..qmax);
+        let x1 = self.rng.gen_range(0.0..(self.cfg.x_max - wx).max(f64::MIN_POSITIVE));
+        let y1 = self.rng.gen_range(0.0..(self.cfg.y_max - wy).max(f64::MIN_POSITIVE));
+        let dt = self.rng.gen_range(0.0..tw);
+        MorQuery2D {
+            x1,
+            x2: x1 + wx,
+            y1,
+            y2: y1 + wy,
+            t1: self.now,
+            t2: self.now + dt,
+        }
+    }
+
+    fn random_velocity(&mut self) -> f64 {
+        let speed = self.rng.gen_range(self.cfg.v_min..=self.cfg.v_max);
+        if self.rng.gen_bool(0.5) {
+            speed
+        } else {
+            -speed
+        }
+    }
+
+    /// Next border hit on either axis.
+    fn push_hit(&mut self, idx: usize) {
+        let m = self.objects[idx];
+        let tx = if m.vx > 0.0 {
+            m.t0 + (self.cfg.x_max - m.x0) / m.vx
+        } else {
+            m.t0 + (0.0 - m.x0) / m.vx
+        };
+        let ty = if m.vy > 0.0 {
+            m.t0 + (self.cfg.y_max - m.y0) / m.vy
+        } else {
+            m.t0 + (0.0 - m.y0) / m.vy
+        };
+        let time = tx.min(ty);
+        let eps = 1e-9;
+        self.hits.push(Reverse(Hit {
+            time,
+            id: m.id,
+            generation: self.generations[idx],
+            flip_x: tx <= time + eps,
+            flip_y: ty <= time + eps,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> WorkloadConfig2D {
+        WorkloadConfig2D {
+            n: 300,
+            updates_per_instant: 15,
+            seed: 7,
+            ..WorkloadConfig2D::default()
+        }
+    }
+
+    #[test]
+    fn objects_stay_on_terrain() {
+        let mut sim = Simulator2D::new(small_cfg());
+        for _ in 0..2500 {
+            let _ = sim.step();
+        }
+        let t = sim.now();
+        for m in sim.objects() {
+            let (x, y) = m.position_at(t);
+            assert!((-1e-6..=sim.config().x_max + 1e-6).contains(&x), "x={x}");
+            assert!((-1e-6..=sim.config().y_max + 1e-6).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Simulator2D::new(small_cfg());
+        let mut b = Simulator2D::new(small_cfg());
+        for _ in 0..30 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn queries_within_terrain() {
+        let mut sim = Simulator2D::new(small_cfg());
+        let _ = sim.step();
+        for _ in 0..50 {
+            let q = sim.gen_query(150.0, 60.0);
+            assert!(q.x1 <= q.x2 && q.y1 <= q.y2 && q.t1 <= q.t2);
+            assert!(q.x2 <= sim.config().x_max + 1e-9);
+            assert!(q.y2 <= sim.config().y_max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Mobile communications (the paper's §1 motivation): "in mobile
+//! communications we can allocate more bandwidth for areas where high
+//! concentration of mobile phones is approaching."
+//!
+//! Phones move freely on a 2-D terrain divided into a grid of cells.
+//! Every few minutes the operator predicts, per cell, how many phones
+//! will pass through in the next five minutes (a 2-D MOR query per
+//! cell), and pre-provisions bandwidth for the busiest ones. Two §4.2
+//! methods answer the same queries; their agreement is asserted.
+//!
+//! ```sh
+//! cargo run --release -p mobidx-examples --example cellular_handoff
+//! ```
+
+use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex};
+use mobidx_core::method::dual_bplus::DualBPlusConfig;
+use mobidx_core::{Index2D, MorQuery2D, SpeedBand};
+use mobidx_kdtree::KdConfig;
+use mobidx_workload::{Simulator2D, WorkloadConfig2D};
+
+const GRID: usize = 10; // 10×10 cells on the 1000×1000 terrain
+const LOOKAHEAD: f64 = 5.0;
+
+fn main() {
+    let mut sim = Simulator2D::new(WorkloadConfig2D {
+        n: 15_000,
+        seed: 99,
+        ..WorkloadConfig2D::default()
+    });
+    let mut kd4 = Dual4KdIndex::new(KdConfig::default(), SpeedBand::paper());
+    let mut dec = Decomposition2D::new(DualBPlusConfig {
+        c: 4,
+        ..DualBPlusConfig::default()
+    });
+    for m in sim.objects() {
+        kd4.insert(m);
+        dec.insert(m);
+    }
+
+    let cell = sim.config().x_max / GRID as f64;
+    for round in 0..3 {
+        // Let the world run 5 minutes.
+        for _ in 0..5 {
+            for u in sim.step() {
+                assert!(kd4.remove(&u.old));
+                kd4.insert(&u.new);
+                assert!(dec.remove(&u.old));
+                dec.insert(&u.new);
+            }
+        }
+        let now = sim.now();
+        kd4.clear_buffers();
+        kd4.reset_io();
+        dec.clear_buffers();
+        dec.reset_io();
+
+        // Predict per-cell load.
+        let mut loads: Vec<(usize, usize, usize)> = Vec::new(); // (gx, gy, phones)
+        for gx in 0..GRID {
+            for gy in 0..GRID {
+                #[allow(clippy::cast_precision_loss)]
+                let q = MorQuery2D {
+                    x1: gx as f64 * cell,
+                    x2: (gx + 1) as f64 * cell,
+                    y1: gy as f64 * cell,
+                    y2: (gy + 1) as f64 * cell,
+                    t1: now,
+                    t2: now + LOOKAHEAD,
+                };
+                let a = kd4.query(&q);
+                let b = dec.query(&q);
+                assert_eq!(a, b, "methods disagree on cell ({gx},{gy})");
+                loads.push((gx, gy, a.len()));
+            }
+        }
+        loads.sort_by_key(|&(_, _, n)| std::cmp::Reverse(n));
+        println!(
+            "[t={now:>4.0}] hottest cells in the next {LOOKAHEAD} min \
+             (4-D kd: {} I/Os, decomposition: {} I/Os over {} queries):",
+            kd4.io_totals().ios(),
+            dec.io_totals().ios(),
+            GRID * GRID
+        );
+        for &(gx, gy, n) in loads.iter().take(5) {
+            println!("    cell ({gx},{gy}): {n} phones approaching");
+        }
+        if round == 2 {
+            println!(
+                "\nspace: 4-D kd {} pages, decomposition {} pages",
+                kd4.io_totals().pages,
+                dec.io_totals().pages
+            );
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Cross-crate integration: every 1-D indexing method must agree with
+//! the brute-force oracle (and hence with each other) through a long
+//! scenario of motion updates, border reflections, and both query mixes.
+
+use mobidx_bptree::TreeConfig;
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
+use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
+use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
+use mobidx_core::{Index1D, SpeedBand};
+use mobidx_kdtree::KdConfig;
+use mobidx_ptree::PartitionConfig;
+use mobidx_rstar::RStarConfig;
+use mobidx_workload::{brute_force_1d, Simulator1D, WorkloadConfig};
+
+fn dual_methods() -> Vec<Box<dyn Index1D>> {
+    vec![
+        Box::new(DualKdIndex::new(DualKdConfig {
+            kd: KdConfig::small(16, 8),
+            ..DualKdConfig::default()
+        })),
+        Box::new(DualPtreeIndex::new(DualPtreeConfig {
+            ptree: PartitionConfig::small(16, 8),
+            ..DualPtreeConfig::default()
+        })),
+        Box::new(DualBPlusIndex::new(DualBPlusConfig {
+            c: 4,
+            tree: TreeConfig {
+                leaf_cap: 16,
+                branch_cap: 16,
+                buffer_pages: 4,
+            },
+            ..DualBPlusConfig::default()
+        })),
+        Box::new(DualBPlusIndex::new(DualBPlusConfig {
+            c: 8,
+            tree: TreeConfig {
+                leaf_cap: 16,
+                branch_cap: 16,
+                buffer_pages: 4,
+            },
+            ..DualBPlusConfig::default()
+        })),
+    ]
+}
+
+#[test]
+fn long_scenario_exact_for_all_dual_methods() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 400,
+        updates_per_instant: 25,
+        seed: 0xCAFE,
+        ..WorkloadConfig::default()
+    });
+    let mut methods = dual_methods();
+    for idx in &mut methods {
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+    }
+    for step in 0..36 {
+        for u in sim.step() {
+            for idx in &mut methods {
+                assert!(
+                    idx.remove(&u.old),
+                    "{}: lost record at step {step}",
+                    idx.name()
+                );
+                idx.insert(&u.new);
+            }
+        }
+        if step % 10 == 3 {
+            for mix in [(150.0, 60.0), (10.0, 20.0)] {
+                for _ in 0..6 {
+                    let q = sim.gen_query(mix.0, mix.1);
+                    let want = brute_force_1d(sim.objects(), &q);
+                    for idx in &mut methods {
+                        assert_eq!(
+                            idx.query(&q),
+                            want,
+                            "{} wrong at step {step} on {q:?}",
+                            idx.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn segment_baseline_exact_for_clipped_semantics() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 500,
+        updates_per_instant: 25,
+        seed: 0xBEEF,
+        ..WorkloadConfig::default()
+    });
+    let mut idx = SegRTreeIndex::new(SegRTreeConfig {
+        terrain: 1000.0,
+        rstar: RStarConfig::with_max(16),
+    });
+    for m in sim.objects() {
+        idx.insert(m);
+    }
+    for step in 0..40 {
+        for u in sim.step() {
+            assert!(idx.remove(&u.old), "lost record at step {step}");
+            idx.insert(&u.new);
+        }
+        if step % 10 == 0 {
+            for _ in 0..5 {
+                let q = sim.gen_query(150.0, 60.0);
+                assert_eq!(idx.query(&q), idx.brute_force(sim.objects(), &q));
+            }
+        }
+    }
+}
+
+#[test]
+fn rotation_survives_many_periods_for_all_methods() {
+    // Tiny terrain + fast objects → period 50 instants; run 4 periods.
+    let band = SpeedBand::new(1.0, 2.0);
+    let cfg = WorkloadConfig {
+        n: 150,
+        terrain: 50.0,
+        v_min: 1.0,
+        v_max: 2.0,
+        updates_per_instant: 3,
+        seed: 0xFEED,
+    };
+    let mut sim = Simulator1D::new(cfg);
+    let mut methods: Vec<Box<dyn Index1D>> = vec![
+        Box::new(DualKdIndex::new(DualKdConfig {
+            terrain: 50.0,
+            band,
+            kd: KdConfig::small(8, 4),
+        })),
+        Box::new(DualPtreeIndex::new(DualPtreeConfig {
+            terrain: 50.0,
+            band,
+            ptree: PartitionConfig::small(8, 4),
+        })),
+    ];
+    for idx in &mut methods {
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+    }
+    for step in 0..220 {
+        for u in sim.step() {
+            for idx in &mut methods {
+                assert!(idx.remove(&u.old), "{}: step {step}", idx.name());
+                idx.insert(&u.new);
+            }
+        }
+        if step % 30 == 7 {
+            let q = sim.gen_query(15.0, 8.0);
+            let want = brute_force_1d(sim.objects(), &q);
+            for idx in &mut methods {
+                assert_eq!(idx.query(&q), want, "{}: step {step}", idx.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_width_windows_and_degenerate_ranges() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 300,
+        seed: 0xD00D,
+        ..WorkloadConfig::default()
+    });
+    for _ in 0..5 {
+        let _ = sim.step();
+    }
+    let mut methods = dual_methods();
+    for idx in &mut methods {
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+    }
+    let now = sim.now();
+    let cases = [
+        // Time-slice (t1 == t2).
+        mobidx_core::MorQuery1D {
+            y1: 100.0,
+            y2: 300.0,
+            t1: now + 10.0,
+            t2: now + 10.0,
+        },
+        // Point range (y1 == y2): only objects passing exactly through.
+        mobidx_core::MorQuery1D {
+            y1: 500.0,
+            y2: 500.0,
+            t1: now,
+            t2: now + 30.0,
+        },
+        // Whole terrain.
+        mobidx_core::MorQuery1D {
+            y1: 0.0,
+            y2: 1000.0,
+            t1: now,
+            t2: now,
+        },
+    ];
+    for q in cases {
+        let want = brute_force_1d(sim.objects(), &q);
+        for idx in &mut methods {
+            assert_eq!(idx.query(&q), want, "{} on {q:?}", idx.name());
+        }
+    }
+}
+
+#[test]
+fn paper_page_sizes_also_exact() {
+    // The other tests force tiny pages to exercise deep trees; this one
+    // runs the paper's actual page capacities (341-entry B+ nodes,
+    // 341-point kd buckets) so wide-node code paths are covered too.
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 5000,
+        updates_per_instant: 50,
+        seed: 0xA11,
+        ..WorkloadConfig::default()
+    });
+    let mut methods: Vec<Box<dyn Index1D>> = vec![
+        Box::new(DualKdIndex::new(DualKdConfig::default())),
+        Box::new(DualBPlusIndex::new(DualBPlusConfig::default())),
+    ];
+    for idx in &mut methods {
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+    }
+    for step in 0..12 {
+        for u in sim.step() {
+            for idx in &mut methods {
+                assert!(idx.remove(&u.old), "{}: step {step}", idx.name());
+                idx.insert(&u.new);
+            }
+        }
+    }
+    for _ in 0..8 {
+        for mix in [(150.0, 60.0), (10.0, 20.0)] {
+            let q = sim.gen_query(mix.0, mix.1);
+            let want = brute_force_1d(sim.objects(), &q);
+            for idx in &mut methods {
+                assert_eq!(idx.query(&q), want, "{} on {q:?}", idx.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn stale_epoch_records_survive_rotation() {
+    // A record whose t0 predates the current generation epoch is still
+    // insertable, removable, and queryable: its dual point rebases
+    // exactly onto the slot's current base. (Normally every object
+    // re-issues an update within one period and this path is idle.)
+    let band = SpeedBand::new(1.0, 2.0);
+    let mut idx = DualKdIndex::new(DualKdConfig {
+        terrain: 100.0, // period = 100 / 1 = 100
+        band,
+        kd: KdConfig::small(8, 4),
+    });
+    // Advance both slots far into the future.
+    for epoch in [4u64, 5] {
+        #[allow(clippy::cast_precision_loss)]
+        let t0 = epoch as f64 * 100.0 + 1.0;
+        idx.insert(&mobidx_core::Motion1D {
+            id: 1000 + epoch,
+            t0,
+            y0: 50.0,
+            v: 1.0,
+        });
+    }
+    // Now a straggler claiming t0 from epoch 0.
+    let stale = mobidx_core::Motion1D {
+        id: 7,
+        t0: 5.0,
+        y0: 10.0,
+        v: 1.5,
+    };
+    idx.insert(&stale);
+    // It answers queries on its extrapolated line...
+    let q = mobidx_core::MorQuery1D {
+        y1: stale.position_at(600.0) - 0.5,
+        y2: stale.position_at(600.0) + 0.5,
+        t1: 600.0,
+        t2: 600.0,
+    };
+    assert!(idx.query(&q).contains(&7));
+    // ...and is exactly removable.
+    assert!(idx.remove(&stale));
+    assert!(!idx.remove(&stale));
+    assert!(!idx.query(&q).contains(&7));
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration for §3.6: the MOR1 structure against brute
+//! force and against the general-purpose dual methods on time-slice
+//! queries.
+
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::method::mor1::{Mor1Index, StaggeredMor1};
+use mobidx_core::{Index1D, MorQuery1D};
+use mobidx_persist::PersistConfig;
+use mobidx_workload::{brute_force_1d, Simulator1D, WorkloadConfig};
+
+#[test]
+fn mor1_agrees_with_dual_bplus_on_time_slices() {
+    let sim = Simulator1D::new(WorkloadConfig {
+        n: 1200,
+        seed: 0x36AA,
+        ..WorkloadConfig::default()
+    });
+    let objects = sim.objects().to_vec();
+
+    let mut mor1 = Mor1Index::build(PersistConfig::default(), &objects, 0.0, 120.0);
+    let mut general = DualBPlusIndex::new(DualBPlusConfig::default());
+    for m in &objects {
+        general.insert(m);
+    }
+
+    for tq in [0.0, 17.3, 60.0, 119.0] {
+        for (y1, y2) in [(0.0, 80.0), (444.0, 460.0), (900.0, 1000.0)] {
+            let q = MorQuery1D {
+                y1,
+                y2,
+                t1: tq,
+                t2: tq,
+            };
+            let want = brute_force_1d(&objects, &q);
+            assert_eq!(mor1.query(tq, y1, y2), want, "mor1 at t={tq}");
+            assert_eq!(general.query(&q), want, "dual-B+ at t={tq}");
+        }
+    }
+}
+
+#[test]
+fn mor1_beats_general_method_on_narrow_time_slices() {
+    // The whole point of §3.6: within its horizon, MOR1 answers
+    // time-slice queries in O(log_B(n+m) + k/B) — far fewer I/Os than
+    // the general methods at the same N.
+    let sim = Simulator1D::new(WorkloadConfig {
+        n: 20_000,
+        seed: 0x36BB,
+        ..WorkloadConfig::default()
+    });
+    let objects = sim.objects().to_vec();
+
+    let mut mor1 = Mor1Index::build(PersistConfig::default(), &objects, 0.0, 60.0);
+    let mut general = DualBPlusIndex::new(DualBPlusConfig::default());
+    for m in &objects {
+        general.insert(m);
+    }
+
+    let mut mor1_io = 0u64;
+    let mut gen_io = 0u64;
+    for i in 0..40u32 {
+        let y1 = f64::from(i) * 23.0 % 950.0;
+        let tq = f64::from(i) * 1.4;
+        let q = MorQuery1D {
+            y1,
+            y2: y1 + 8.0,
+            t1: tq,
+            t2: tq,
+        };
+        mor1.clear_buffers();
+        mor1.reset_io();
+        let a = mor1.query(tq, q.y1, q.y2);
+        mor1_io += mor1.io_totals().ios();
+
+        general.clear_buffers();
+        general.reset_io();
+        let b = general.query(&q);
+        gen_io += general.io_totals().ios();
+        assert_eq!(a, b, "answers diverge at t={tq}");
+    }
+    assert!(
+        mor1_io * 2 < gen_io,
+        "MOR1 should be much cheaper on time slices: {mor1_io} vs {gen_io}"
+    );
+}
+
+#[test]
+fn staggered_mor1_follows_a_live_world() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 400,
+        updates_per_instant: 0, // restricted setting: motions persist
+        seed: 0x36CC,
+        ..WorkloadConfig::default()
+    });
+    let period = 25.0;
+    let mut stag = StaggeredMor1::new(PersistConfig::small(32), sim.objects(), 0.0, period);
+    for step in 0..120 {
+        let ups = sim.step(); // only border reflections occur
+        // Reflections *do* change motions; rebuilds pick them up. Verify
+        // only at freshly rebuilt boundaries where the snapshot is
+        // current: right after advance with zero pending reflections.
+        stag.advance(sim.now(), sim.objects());
+        if step % 20 == 5 && ups.is_empty() {
+            let tq = sim.now() + 1.0;
+            let got = stag.query(tq, 300.0, 420.0).expect("horizon covered");
+            let q = MorQuery1D {
+                y1: 300.0,
+                y2: 420.0,
+                t1: tq,
+                t2: tq,
+            };
+            // The freshest structure was built from a recent snapshot;
+            // between its epoch and now only reflections at borders may
+            // have happened. Restrict to the interior to avoid them.
+            let want: Vec<u64> = brute_force_1d(sim.objects(), &q);
+            assert_eq!(got, want, "step {step}");
+        }
+    }
+}
+
+#[test]
+fn crossings_scale_with_horizon_but_queries_do_not() {
+    let sim = Simulator1D::new(WorkloadConfig {
+        n: 3000,
+        seed: 0x36DD,
+        ..WorkloadConfig::default()
+    });
+    let objects = sim.objects().to_vec();
+    let mut prev_crossings = 0usize;
+    let mut costs = Vec::new();
+    for horizon in [20.0, 80.0, 320.0] {
+        let mut idx = Mor1Index::build(PersistConfig::default(), &objects, 0.0, horizon);
+        assert!(idx.crossings() >= prev_crossings, "M must grow with T");
+        prev_crossings = idx.crossings();
+        idx.clear_buffers();
+        idx.reset_io();
+        let _ = idx.query(horizon / 2.0, 500.0, 504.0);
+        costs.push(idx.io_totals().ios());
+    }
+    // Query cost stays near-logarithmic even as M multiplies.
+    let min = *costs.iter().min().expect("non-empty");
+    let max = *costs.iter().max().expect("non-empty");
+    assert!(
+        max <= min.max(1) * 4,
+        "time-slice query cost exploded with horizon: {costs:?}"
+    );
+}

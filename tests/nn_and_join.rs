@@ -1,0 +1,109 @@
+//! Cross-crate integration for the §7 future-work extensions:
+//! future nearest-neighbor queries and within-distance joins, exercised
+//! against oracles through a live simulated world.
+
+use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
+use mobidx_core::method::join::{brute_force_join, within_distance_join};
+use mobidx_core::{Index1D, MotionDb};
+use mobidx_kdtree::KdConfig;
+use mobidx_workload::{Simulator1D, WorkloadConfig};
+
+#[test]
+fn nearest_neighbors_track_a_live_world() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 700,
+        updates_per_instant: 35,
+        seed: 0x4E4E,
+        ..WorkloadConfig::default()
+    });
+    let mut idx = DualKdIndex::new(DualKdConfig {
+        kd: KdConfig::small(16, 8),
+        ..DualKdConfig::default()
+    });
+    for m in sim.objects() {
+        idx.insert(m);
+    }
+    for step in 0..25 {
+        for u in sim.step() {
+            assert!(idx.remove(&u.old), "step {step}");
+            idx.insert(&u.new);
+        }
+        if step % 5 == 2 {
+            let (y, t) = (333.0 + f64::from(step), sim.now() + 7.5);
+            let got = idx.nearest(y, t, 8);
+            assert_eq!(got.len(), 8);
+            let mut naive: Vec<(u64, f64)> = sim
+                .objects()
+                .iter()
+                .map(|m| (m.id, (m.position_at(t) - y).abs()))
+                .collect();
+            naive.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (rank, &(_, d)) in got.iter().enumerate() {
+                assert!(
+                    (d - naive[rank].1).abs() < 1e-9,
+                    "step {step} rank {rank}: {d} vs {}",
+                    naive[rank].1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nearest_is_cheap_in_io() {
+    let sim = Simulator1D::new(WorkloadConfig {
+        n: 30_000,
+        seed: 0x4E4F,
+        ..WorkloadConfig::default()
+    });
+    let mut idx = DualKdIndex::new(DualKdConfig::default());
+    for m in sim.objects() {
+        idx.insert(m);
+    }
+    idx.clear_buffers();
+    idx.reset_io();
+    let got = idx.nearest(500.0, 20.0, 3);
+    assert_eq!(got.len(), 3);
+    let cost = idx.io_totals().reads;
+    let pages = idx.io_totals().pages;
+    assert!(
+        cost < pages / 4,
+        "3-NN query read {cost} of {pages} pages"
+    );
+}
+
+#[test]
+fn join_through_motion_db() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 400,
+        updates_per_instant: 20,
+        seed: 0x4A4A,
+        ..WorkloadConfig::default()
+    });
+    let mut db = MotionDb::new(DualKdIndex::new(DualKdConfig {
+        kd: KdConfig::small(16, 8),
+        ..DualKdConfig::default()
+    }));
+    for m in sim.objects() {
+        db.insert(*m);
+    }
+    for _ in 0..15 {
+        for u in sim.step() {
+            db.update(u.new);
+        }
+    }
+    // Join over the database's own motion table.
+    let objects: Vec<_> = db.objects().copied().collect();
+    let (t1, t2) = (sim.now(), sim.now() + 20.0);
+    let v_max = sim.config().v_max;
+    for d in [0.25, 1.0, 5.0] {
+        let got = within_distance_join(&objects, t1, t2, d, v_max);
+        let want = brute_force_join(&objects, t1, t2, d);
+        assert_eq!(got, want, "d={d}");
+    }
+    // Monotone in d: a larger distance can only add pairs.
+    let small = within_distance_join(&objects, t1, t2, 0.25, v_max);
+    let large = within_distance_join(&objects, t1, t2, 5.0, v_max);
+    assert!(small.iter().all(|p| large.contains(p)));
+    assert!(large.len() >= small.len());
+}

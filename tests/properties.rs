@@ -1,0 +1,165 @@
+//! Property-based cross-crate tests: random motion tables and random
+//! queries, every method checked against the brute-force oracle, and the
+//! dual-transform identities of §3.2 checked against primal semantics.
+
+use mobidx_bptree::TreeConfig;
+use mobidx_core::dual::{hough_x_point, hough_x_query, hough_y_b, hough_y_interval};
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
+use mobidx_core::{Index1D, Motion1D, MorQuery1D, SpeedBand};
+use mobidx_geom::QueryRegion;
+use mobidx_kdtree::KdConfig;
+use mobidx_workload::brute_force_1d;
+use proptest::prelude::*;
+
+const TERRAIN: f64 = 1000.0;
+
+fn motion_strategy() -> impl Strategy<Value = Motion1D> {
+    // Speeds within the paper's band, both signs; update times spread.
+    (
+        0u64..5000,
+        0.0f64..TERRAIN,
+        0.16f64..1.66,
+        prop::bool::ANY,
+        0.0f64..300.0,
+    )
+        .prop_map(|(id, y0, speed, neg, t0)| Motion1D {
+            id,
+            t0,
+            y0,
+            v: if neg { -speed } else { speed },
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = MorQuery1D> {
+    (0.0f64..950.0, 0.0f64..150.0, 300.0f64..400.0, 0.0f64..60.0).prop_map(
+        |(y1, len, t1, dt)| MorQuery1D {
+            y1,
+            y2: (y1 + len).min(TERRAIN),
+            t1,
+            t2: t1 + dt,
+        },
+    )
+}
+
+/// Dedupes motions by id (each object appears once in a motion table).
+fn dedup_by_id(mut motions: Vec<Motion1D>) -> Vec<Motion1D> {
+    motions.sort_by_key(|m| m.id);
+    motions.dedup_by_key(|m| m.id);
+    motions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Proposition 1 (Hough-X): dual-point membership in the sign's
+    /// polygon is *equivalent* to the primal MOR predicate.
+    #[test]
+    fn hough_x_duality(m in motion_strategy(), q in query_strategy(), t_base in 0.0f64..200.0) {
+        let band = SpeedBand::paper();
+        let (pos, neg) = hough_x_query(&q, &band, t_base);
+        let p = hough_x_point(&m, t_base);
+        let in_dual = if m.v > 0.0 {
+            QueryRegion::<2>::contains_point(&pos, &p)
+        } else {
+            QueryRegion::<2>::contains_point(&neg, &p)
+        };
+        prop_assert_eq!(in_dual, q.matches(&m), "m={:?} q={:?}", m, q);
+    }
+
+    /// Hough-Y: the b-coordinate is the y_r crossing time, and the
+    /// conservative envelope never loses a matching object.
+    #[test]
+    fn hough_y_envelope_conservative(m in motion_strategy(), q in query_strategy(),
+                                     y_r in 0.0f64..TERRAIN) {
+        let b = hough_y_b(&m, y_r);
+        prop_assert!((m.position_at(b) - y_r).abs() < 1e-6);
+        if q.matches(&m) {
+            let (lo, hi) = hough_y_interval(&q, &SpeedBand::paper(), y_r, m.v > 0.0);
+            prop_assert!(lo - 1e-6 <= b && b <= hi + 1e-6,
+                "matching object escaped envelope: b={} not in [{}, {}]", b, lo, hi);
+        }
+    }
+
+    /// Every index answers random queries over random motion tables
+    /// exactly.
+    #[test]
+    fn indexes_match_oracle(motions in prop::collection::vec(motion_strategy(), 1..120),
+                            queries in prop::collection::vec(query_strategy(), 1..6)) {
+        let motions = dedup_by_id(motions);
+        let mut kd = DualKdIndex::new(DualKdConfig {
+            kd: KdConfig::small(8, 4),
+            ..DualKdConfig::default()
+        });
+        let mut bp = DualBPlusIndex::new(DualBPlusConfig {
+            c: 3,
+            tree: TreeConfig { leaf_cap: 8, branch_cap: 8, buffer_pages: 4 },
+            ..DualBPlusConfig::default()
+        });
+        for m in &motions {
+            kd.insert(m);
+            bp.insert(m);
+        }
+        for q in &queries {
+            let want = brute_force_1d(&motions, q);
+            prop_assert_eq!(kd.query(q), want.clone(), "dual-kd on {:?}", q);
+            prop_assert_eq!(bp.query(q), want, "dual-B+ on {:?}", q);
+        }
+    }
+
+    /// Insert-then-remove round-trips leave indexes empty and queryable.
+    #[test]
+    fn insert_remove_roundtrip(motions in prop::collection::vec(motion_strategy(), 1..80)) {
+        let motions = dedup_by_id(motions);
+        let mut kd = DualKdIndex::new(DualKdConfig {
+            kd: KdConfig::small(8, 4),
+            ..DualKdConfig::default()
+        });
+        let mut bp = DualBPlusIndex::new(DualBPlusConfig {
+            c: 2,
+            tree: TreeConfig { leaf_cap: 8, branch_cap: 8, buffer_pages: 4 },
+            ..DualBPlusConfig::default()
+        });
+        for m in &motions {
+            kd.insert(m);
+            bp.insert(m);
+        }
+        for m in &motions {
+            prop_assert!(kd.remove(m));
+            prop_assert!(bp.remove(m));
+            // Double removal must fail.
+            prop_assert!(!kd.remove(m));
+            prop_assert!(!bp.remove(m));
+        }
+        let everything = MorQuery1D { y1: 0.0, y2: TERRAIN, t1: 0.0, t2: 1000.0 };
+        prop_assert!(kd.query(&everything).is_empty());
+        prop_assert!(bp.query(&everything).is_empty());
+    }
+
+    /// Crossing enumeration agrees with a quadratic pairwise check.
+    #[test]
+    fn crossings_match_pairwise(objs in prop::collection::vec((0.0f64..100.0, 0.5f64..2.0), 2..40),
+                                horizon in 1.0f64..200.0) {
+        let events = mobidx_persist::all_crossings(&objs, horizon);
+        // Quadratic oracle: a pair crosses in (0, T] iff the meet time is
+        // in range.
+        let mut expected = 0usize;
+        for i in 0..objs.len() {
+            for j in (i + 1)..objs.len() {
+                let (yi, vi) = objs[i];
+                let (yj, vj) = objs[j];
+                if (vi - vj).abs() < 1e-12 {
+                    continue;
+                }
+                let t = (yi - yj) / (vj - vi);
+                if t > 0.0 && t <= horizon {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(events.len(), expected);
+        for e in &events {
+            prop_assert!(e.time > 0.0 && e.time <= horizon);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration for §4: the three full-2-D methods and the
+//! 1.5-D route method, all against their exact oracles.
+
+use mobidx_bptree::TreeConfig;
+use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex, Dual4PtreeIndex};
+use mobidx_core::method::dual_bplus::DualBPlusConfig;
+use mobidx_core::method::routes::{RouteIndexConfig, RouteMorIndex};
+use mobidx_core::{Index2D, SpeedBand};
+use mobidx_geom::Rect2;
+use mobidx_kdtree::KdConfig;
+use mobidx_ptree::PartitionConfig;
+use mobidx_rstar::RStarConfig;
+use mobidx_workload::{
+    brute_force_2d, RouteNetwork, RouteWorkloadConfig, Simulator2D, WorkloadConfig2D,
+};
+
+fn methods_2d() -> Vec<Box<dyn Index2D>> {
+    vec![
+        Box::new(Dual4KdIndex::new(KdConfig::small(16, 8), SpeedBand::paper())),
+        Box::new(Dual4PtreeIndex::new(
+            PartitionConfig::small(16, 8),
+            SpeedBand::paper(),
+        )),
+        Box::new(Decomposition2D::new(DualBPlusConfig {
+            c: 4,
+            tree: TreeConfig {
+                leaf_cap: 16,
+                branch_cap: 16,
+                buffer_pages: 4,
+            },
+            ..DualBPlusConfig::default()
+        })),
+    ]
+}
+
+#[test]
+fn all_2d_methods_agree_with_oracle() {
+    let mut sim = Simulator2D::new(WorkloadConfig2D {
+        n: 400,
+        updates_per_instant: 20,
+        seed: 0x2D2D,
+        ..WorkloadConfig2D::default()
+    });
+    let mut methods = methods_2d();
+    for idx in &mut methods {
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+    }
+    for step in 0..30 {
+        for u in sim.step() {
+            for idx in &mut methods {
+                assert!(idx.remove(&u.old), "{}: step {step}", idx.name());
+                idx.insert(&u.new);
+            }
+        }
+        if step % 6 == 2 {
+            for qmax in [250.0, 40.0] {
+                let q = sim.gen_query(qmax, 30.0);
+                let want = brute_force_2d(sim.objects(), &q);
+                for idx in &mut methods {
+                    assert_eq!(idx.query(&q), want, "{}: step {step} {q:?}", idx.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_2d_queries() {
+    let mut sim = Simulator2D::new(WorkloadConfig2D {
+        n: 250,
+        seed: 0x7777,
+        ..WorkloadConfig2D::default()
+    });
+    for _ in 0..3 {
+        let _ = sim.step();
+    }
+    let mut methods = methods_2d();
+    for idx in &mut methods {
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+    }
+    let now = sim.now();
+    let cases = [
+        // Time slice.
+        mobidx_core::MorQuery2D {
+            x1: 200.0,
+            x2: 600.0,
+            y1: 200.0,
+            y2: 600.0,
+            t1: now + 5.0,
+            t2: now + 5.0,
+        },
+        // Degenerate rectangle (a vertical line segment).
+        mobidx_core::MorQuery2D {
+            x1: 500.0,
+            x2: 500.0,
+            y1: 0.0,
+            y2: 1000.0,
+            t1: now,
+            t2: now + 20.0,
+        },
+        // Whole terrain, instant query.
+        mobidx_core::MorQuery2D {
+            x1: 0.0,
+            x2: 1000.0,
+            y1: 0.0,
+            y2: 1000.0,
+            t1: now,
+            t2: now,
+        },
+    ];
+    for q in cases {
+        let want = brute_force_2d(sim.objects(), &q);
+        for idx in &mut methods {
+            assert_eq!(idx.query(&q), want, "{} on {q:?}", idx.name());
+        }
+    }
+}
+
+#[test]
+fn route_index_tracks_long_simulation() {
+    let mut net = RouteNetwork::generate(RouteWorkloadConfig {
+        routes: 12,
+        segments_per_route: 6,
+        n_objects: 600,
+        seed: 0x0A0A,
+        ..RouteWorkloadConfig::default()
+    });
+    let cfg = RouteIndexConfig {
+        sam: RStarConfig::with_max(16),
+        per_route: DualBPlusConfig {
+            c: 2,
+            tree: TreeConfig {
+                leaf_cap: 16,
+                branch_cap: 16,
+                buffer_pages: 4,
+            },
+            ..DualBPlusConfig::default()
+        },
+    };
+    let mut idx = RouteMorIndex::new(&cfg, net.routes.clone());
+    for o in &net.objects {
+        idx.insert(o);
+    }
+    for step in 0..50 {
+        for (old, new) in net.step(15) {
+            assert!(idx.remove(&old), "step {step}");
+            idx.insert(&new);
+        }
+        if step % 10 == 4 {
+            for rect in [
+                Rect2::from_bounds(100.0, 100.0, 500.0, 500.0),
+                Rect2::from_bounds(0.0, 0.0, 1000.0, 1000.0),
+                Rect2::from_bounds(880.0, 20.0, 940.0, 90.0),
+            ] {
+                let got = idx.query(&rect, net.now, net.now + 25.0);
+                let want = net.brute_force(&rect, net.now, net.now + 25.0);
+                assert_eq!(got, want, "step {step} rect {rect:?}");
+            }
+        }
+    }
+}
