@@ -22,7 +22,10 @@ fn fig_scenarios(c: &mut Criterion) {
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(8));
-    for (fig, mix) in [("fig6_query_large", QueryMix::Large), ("fig7_query_small", QueryMix::Small)] {
+    for (fig, mix) in [
+        ("fig6_query_large", QueryMix::Large),
+        ("fig7_query_small", QueryMix::Small),
+    ] {
         for method in paper_methods() {
             // The segment R*-tree at even smoke scale dominates bench
             // time (that is the paper's point); skip it here — the

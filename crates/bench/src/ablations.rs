@@ -26,7 +26,13 @@ pub fn ablation_c_tradeoff(n: usize, scale: &Scale, seed: u64) -> Vec<MethodMeas
                 }))
             }),
         };
-        out.push(crate::run_scenario(&method, n, QueryMix::Small, scale, seed));
+        out.push(crate::run_scenario(
+            &method,
+            n,
+            QueryMix::Small,
+            scale,
+            seed,
+        ));
     }
     out
 }
@@ -77,7 +83,9 @@ pub fn ablation_mor1(n: usize, horizons: &[f64], seed: u64) -> Vec<Mor1Row> {
         let mut results = 0u64;
         let queries = 100;
         for i in 0..queries {
-            rng_y = rng_y.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            rng_y = rng_y
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             #[allow(clippy::cast_precision_loss)]
             let y1 = (rng_y >> 33) as f64 % 950.0;
             #[allow(clippy::cast_precision_loss)]
@@ -124,6 +132,10 @@ pub fn ablation_adversarial(n: usize, seed: u64) -> Vec<MethodMeasurement> {
         }
         let mut query_ios = 0u64;
         let mut results = 0u64;
+        let mut candidates = 0u64;
+        let mut hits = 0u64;
+        let mut reads = 0u64;
+        let latency = mobidx_obs::Histogram::new();
         let queries: u32 = 60;
         let mut local = mobidx_workload::Simulator1D::new(WorkloadConfig {
             n: 1,
@@ -137,9 +149,13 @@ pub fn ablation_adversarial(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             q.t2 = q.t1;
             idx.clear_buffers();
             idx.reset_io();
-            let ids = idx.query(&q);
-            query_ios += idx.io_totals().ios();
+            let (ids, trace) = idx.query_traced(&q);
+            query_ios += trace.ios();
             results += ids.len() as u64;
+            candidates += trace.candidates;
+            hits += trace.hits;
+            reads += trace.reads;
+            latency.record(trace.latency_nanos);
         }
         #[allow(clippy::cast_precision_loss)]
         out.push(MethodMeasurement {
@@ -151,9 +167,24 @@ pub fn ablation_adversarial(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             avg_result: results as f64 / f64::from(queries),
             queries: queries as usize,
             updates: 0,
+            avg_candidates: candidates as f64 / f64::from(queries),
+            false_hit_rate: rate(candidates.saturating_sub(results), candidates),
+            buffer_hit_rate: rate(hits, hits + reads),
+            latency: latency.snapshot(),
         });
     }
     out
+}
+
+/// `num / den` as a fraction; 0.0 when the denominator is 0.
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        num as f64 / den as f64
+    }
 }
 
 /// A4 — the 2-D methods of §4.2: 4-D kd-tree vs axis decomposition.
@@ -183,14 +214,22 @@ pub fn ablation_2d(n: usize, seed: u64) -> Vec<MethodMeasurement> {
         let mut query_ios = 0u64;
         let mut update_ios = 0u64;
         let mut results = 0u64;
+        let mut candidates = 0u64;
+        let mut hits = 0u64;
+        let mut reads = 0u64;
+        let latency = mobidx_obs::Histogram::new();
         let queries: u32 = 60;
         for _ in 0..queries {
             let q = sim.gen_query(150.0, 60.0);
             idx.clear_buffers();
             idx.reset_io();
-            let ids = idx.query(&q);
-            query_ios += idx.io_totals().ios();
+            let (ids, trace) = idx.query_traced(&q);
+            query_ios += trace.ios();
             results += ids.len() as u64;
+            candidates += trace.candidates;
+            hits += trace.hits;
+            reads += trace.reads;
+            latency.record(trace.latency_nanos);
         }
         let ups = sim.step();
         let n_ups = ups.len();
@@ -212,6 +251,10 @@ pub fn ablation_2d(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             avg_result: results as f64 / f64::from(queries),
             queries: queries as usize,
             updates: n_ups,
+            avg_candidates: candidates as f64 / f64::from(queries),
+            false_hit_rate: rate(candidates.saturating_sub(results), candidates),
+            buffer_hit_rate: rate(hits, hits + reads),
+            latency: latency.snapshot(),
         });
     }
     out

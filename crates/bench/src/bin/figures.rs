@@ -2,16 +2,20 @@
 //! ablations) as plain-text tables.
 //!
 //! ```text
-//! figures [--fig 6|7|8|9|a1|a2|a3|a4|all] [--scale quick|smoke|full] [--seed N]
+//! figures [--fig 6|7|8|9|a1|a2|a3|a4|all] [--scale quick|smoke|full] [--seed N] [--json]
 //! ```
 //!
 //! `quick` (default) shrinks the paper's N = 100k..500k sweep to
 //! 10k..50k and 200 time instants — the curve *shapes* (who wins, by
 //! what factor) are preserved; `full` reproduces the original sizes
 //! (expect a long run).
+//!
+//! `--json` additionally writes `BENCH_<scale>.json`: every cell of
+//! both query mixes with candidates/false-hit rates, buffer hit rates
+//! and latency percentiles (schema in `EXPERIMENTS.md`).
 
 use mobidx_bench::report::{render_table, Metric};
-use mobidx_bench::{ablations, paper_methods, run_figure, QueryMix, Scale};
+use mobidx_bench::{ablations, json_report, paper_methods, run_figure, QueryMix, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,9 +23,14 @@ fn main() {
     let mut scale = Scale::quick();
     let mut scale_name = "quick";
     let mut seed = 0x5EEDu64;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             "--fig" => {
                 fig = args.get(i + 1).cloned().unwrap_or_else(|| usage());
                 i += 2;
@@ -79,8 +88,11 @@ fn main() {
 
     let want = |f: &str| fig == "all" || fig == f;
 
-    // Figures 6/7/8/9 all come from the same two scenario sweeps.
-    if want("6") || want("8") || want("9") {
+    // Figures 6/7/8/9 all come from the same two scenario sweeps; the
+    // JSON report wants both sweeps regardless of the figure filter.
+    let mut large_cells = Vec::new();
+    let mut small_cells = Vec::new();
+    if json || want("6") || want("8") || want("9") {
         let cells = run_figure(QueryMix::Large, &scale, &paper_methods(), seed);
         if want("6") {
             print!(
@@ -93,14 +105,22 @@ fn main() {
             );
             print!(
                 "{}",
-                render_table("        (avg result cardinality)", Metric::AvgResult, &cells)
+                render_table(
+                    "        (avg result cardinality)",
+                    Metric::AvgResult,
+                    &cells
+                )
             );
             println!();
         }
         if want("8") {
             print!(
                 "{}",
-                render_table("Figure 8 — space consumption (pages)", Metric::Pages, &cells)
+                render_table(
+                    "Figure 8 — space consumption (pages)",
+                    Metric::Pages,
+                    &cells
+                )
             );
             println!();
         }
@@ -115,22 +135,45 @@ fn main() {
             );
             println!();
         }
+        large_cells = cells;
     }
-    if want("7") {
+    if json || want("7") {
         let cells = run_figure(QueryMix::Small, &scale, &paper_methods(), seed);
-        print!(
-            "{}",
-            render_table(
-                "Figure 7 — avg I/Os per query, 1% queries (YQMAX=10, TW=20)",
-                Metric::QueryIos,
-                &cells
-            )
+        if want("7") {
+            print!(
+                "{}",
+                render_table(
+                    "Figure 7 — avg I/Os per query, 1% queries (YQMAX=10, TW=20)",
+                    Metric::QueryIos,
+                    &cells
+                )
+            );
+            print!(
+                "{}",
+                render_table(
+                    "        (avg result cardinality)",
+                    Metric::AvgResult,
+                    &cells
+                )
+            );
+            println!();
+        }
+        small_cells = cells;
+    }
+
+    if json {
+        let path = format!("BENCH_{scale_name}.json");
+        let text = json_report::render_report(
+            scale_name,
+            &scale,
+            seed,
+            &[("large", &large_cells[..]), ("small", &small_cells[..])],
         );
-        print!(
-            "{}",
-            render_table("        (avg result cardinality)", Metric::AvgResult, &cells)
-        );
-        println!();
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
     }
 
     if want("a1") {
@@ -144,8 +187,14 @@ fn main() {
                 &cells
             )
         );
-        print!("{}", render_table("     update I/O", Metric::UpdateIos, &cells));
-        print!("{}", render_table("     space (pages)", Metric::Pages, &cells));
+        print!(
+            "{}",
+            render_table("     update I/O", Metric::UpdateIos, &cells)
+        );
+        print!(
+            "{}",
+            render_table("     space (pages)", Metric::Pages, &cells)
+        );
         println!();
     }
 
@@ -190,8 +239,14 @@ fn main() {
                 &cells
             )
         );
-        print!("{}", render_table("     update I/O", Metric::UpdateIos, &cells));
-        print!("{}", render_table("     space (pages)", Metric::Pages, &cells));
+        print!(
+            "{}",
+            render_table("     update I/O", Metric::UpdateIos, &cells)
+        );
+        print!(
+            "{}",
+            render_table("     space (pages)", Metric::Pages, &cells)
+        );
         println!();
     }
 }
@@ -199,7 +254,7 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--fig 6|7|8|9|a1|a2|a3|a4|all] [--scale quick|smoke|full] \
-         [--nfactor F] [--instants I] [--seed N]"
+         [--nfactor F] [--instants I] [--seed N] [--json]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,140 @@
+//! Machine-readable benchmark reports (`BENCH_<scale>.json`).
+//!
+//! One document per run: run metadata plus every measured cell of both
+//! query mixes, so downstream tooling (plot scripts, regression
+//! trackers) can consume the figures without scraping tables. The
+//! schema is documented in `EXPERIMENTS.md`.
+
+use crate::{MethodMeasurement, Scale};
+use mobidx_obs::json::Value;
+
+/// Renders the full report document.
+///
+/// `mixes` pairs a mix label (`"large"`, `"small"`) with that mix's
+/// measured cells; pass an empty slice for mixes that were not run.
+#[must_use]
+pub fn render_report(
+    scale_name: &str,
+    scale: &Scale,
+    seed: u64,
+    mixes: &[(&str, &[MethodMeasurement])],
+) -> String {
+    let mix_members = mixes
+        .iter()
+        .map(|(label, cells)| {
+            (
+                (*label).to_owned(),
+                Value::Arr(cells.iter().map(measurement_json).collect()),
+            )
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        (
+            "paper".to_owned(),
+            Value::from("On Indexing Mobile Objects (Kollios, Gunopulos, Tsotras; PODS 1999)"),
+        ),
+        ("scale".to_owned(), Value::from(scale_name)),
+        ("n_factor".to_owned(), Value::Num(scale.n_factor)),
+        ("instants".to_owned(), Value::from(scale.instants)),
+        ("seed".to_owned(), Value::from(seed)),
+        (
+            "page_size".to_owned(),
+            Value::from(mobidx_pager::DEFAULT_PAGE_SIZE),
+        ),
+        ("mixes".to_owned(), Value::Obj(mix_members)),
+    ]);
+    doc.render_pretty()
+}
+
+/// One measured cell as a JSON object.
+#[must_use]
+pub fn measurement_json(m: &MethodMeasurement) -> Value {
+    Value::Obj(vec![
+        ("method".to_owned(), Value::Str(m.method.clone())),
+        ("n".to_owned(), Value::from(m.n)),
+        ("avg_query_ios".to_owned(), Value::Num(m.avg_query_ios)),
+        ("avg_update_ios".to_owned(), Value::Num(m.avg_update_ios)),
+        ("pages".to_owned(), Value::from(m.pages)),
+        ("avg_result".to_owned(), Value::Num(m.avg_result)),
+        ("queries".to_owned(), Value::from(m.queries)),
+        ("updates".to_owned(), Value::from(m.updates)),
+        ("avg_candidates".to_owned(), Value::Num(m.avg_candidates)),
+        ("false_hit_rate".to_owned(), Value::Num(m.false_hit_rate)),
+        ("buffer_hit_rate".to_owned(), Value::Num(m.buffer_hit_rate)),
+        (
+            "latency_nanos".to_owned(),
+            Value::Obj(vec![
+                ("count".to_owned(), Value::from(m.latency.count)),
+                ("mean".to_owned(), Value::Num(m.latency.mean)),
+                ("min".to_owned(), Value::from(m.latency.min)),
+                ("p50".to_owned(), Value::from(m.latency.p50)),
+                ("p90".to_owned(), Value::from(m.latency.p90)),
+                ("p99".to_owned(), Value::from(m.latency.p99)),
+                ("max".to_owned(), Value::from(m.latency.max)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(method: &str) -> MethodMeasurement {
+        MethodMeasurement {
+            method: method.to_owned(),
+            n: 2000,
+            avg_query_ios: 12.5,
+            avg_update_ios: 4.0,
+            pages: 77,
+            avg_result: 190.0,
+            queries: 20,
+            updates: 100,
+            avg_candidates: 240.0,
+            false_hit_rate: 50.0 / 240.0,
+            buffer_hit_rate: 0.1,
+            latency: mobidx_obs::HistogramSnapshot {
+                count: 20,
+                mean: 1000.0,
+                min: 500,
+                p50: 900,
+                p90: 1500,
+                p99: 2000,
+                max: 2100,
+            },
+        }
+    }
+
+    #[test]
+    fn report_parses_and_exposes_cells() {
+        let scale = Scale::smoke();
+        let cells = [cell("dual-B+ (c=4)"), cell("seg-R*")];
+        let text = render_report("smoke", &scale, 42, &[("large", &cells), ("small", &[])]);
+        let doc = Value::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("scale").and_then(Value::as_str), Some("smoke"));
+        assert_eq!(doc.get("seed").and_then(Value::as_u64), Some(42));
+        let large = doc
+            .get("mixes")
+            .and_then(|m| m.get("large"))
+            .and_then(Value::as_array)
+            .expect("large mix");
+        assert_eq!(large.len(), 2);
+        assert_eq!(
+            large[0].get("method").and_then(Value::as_str),
+            Some("dual-B+ (c=4)")
+        );
+        let fh = large[0]
+            .get("false_hit_rate")
+            .and_then(Value::as_f64)
+            .expect("false_hit_rate");
+        assert!((fh - 50.0 / 240.0).abs() < 1e-12);
+        let lat = large[0].get("latency_nanos").expect("latency");
+        assert_eq!(lat.get("p99").and_then(Value::as_u64), Some(2000));
+        let small = doc
+            .get("mixes")
+            .and_then(|m| m.get("small"))
+            .and_then(Value::as_array)
+            .expect("small mix");
+        assert!(small.is_empty());
+    }
+}

@@ -31,9 +31,11 @@ use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
 use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
 use mobidx_core::Index1D;
+use mobidx_obs::{Histogram, HistogramSnapshot};
 use mobidx_workload::{paper, Simulator1D, WorkloadConfig};
 
 pub mod ablations;
+pub mod json_report;
 pub mod report;
 
 /// How much to shrink the paper's experiment (N, instants, queries).
@@ -137,6 +139,17 @@ pub struct MethodMeasurement {
     pub queries: usize,
     /// Number of updates applied.
     pub updates: usize,
+    /// Average candidates examined per query (before exact refinement).
+    pub avg_candidates: f64,
+    /// Fraction of examined candidates discarded by refinement —
+    /// the §3.5.2 false-hit rate (`(candidates − results) / candidates`
+    /// over the whole run).
+    pub false_hit_rate: f64,
+    /// Buffer hit rate during queries (near 0 under the cold-query
+    /// protocol; nonzero values mean a query re-touches its own pages).
+    pub buffer_hit_rate: f64,
+    /// Wall-clock query latency distribution, in nanoseconds.
+    pub latency: HistogramSnapshot,
 }
 
 /// The factory for one competing method.
@@ -211,6 +224,10 @@ pub fn run_scenario(
     let mut query_ios = 0u64;
     let mut queries = 0usize;
     let mut results = 0u64;
+    let mut candidates = 0u64;
+    let mut query_hits = 0u64;
+    let mut query_reads = 0u64;
+    let latency = Histogram::new();
 
     let query_every = (scale.instants / scale.query_instants.max(1)).max(1);
     for step in 0..scale.instants {
@@ -231,9 +248,13 @@ pub fn run_scenario(
                 let q = sim.gen_query(yqmax, tw);
                 idx.clear_buffers();
                 idx.reset_io();
-                let ids = idx.query(&q);
-                query_ios += idx.io_totals().ios();
+                let (ids, trace) = idx.query_traced(&q);
+                query_ios += trace.ios();
                 results += ids.len() as u64;
+                candidates += trace.candidates;
+                query_hits += trace.hits;
+                query_reads += trace.reads;
+                latency.record(trace.latency_nanos);
                 queries += 1;
             }
         }
@@ -249,13 +270,30 @@ pub fn run_scenario(
         avg_result: results as f64 / queries.max(1) as f64,
         queries,
         updates,
+        avg_candidates: candidates as f64 / queries.max(1) as f64,
+        false_hit_rate: if candidates == 0 {
+            0.0
+        } else {
+            candidates.saturating_sub(results) as f64 / candidates as f64
+        },
+        buffer_hit_rate: if query_hits + query_reads == 0 {
+            0.0
+        } else {
+            query_hits as f64 / (query_hits + query_reads) as f64
+        },
+        latency: latency.snapshot(),
     }
 }
 
 /// Runs one full figure (all methods × the N sweep) and returns the
 /// grid of measurements.
 #[must_use]
-pub fn run_figure(mix: QueryMix, scale: &Scale, methods: &[Method], seed: u64) -> Vec<MethodMeasurement> {
+pub fn run_figure(
+    mix: QueryMix,
+    scale: &Scale,
+    methods: &[Method],
+    seed: u64,
+) -> Vec<MethodMeasurement> {
     let mut out = Vec::new();
     for &n in &scale.n_values() {
         for method in methods {
@@ -289,12 +327,26 @@ mod tests {
                 "{}: selectivity {sel}",
                 m.method
             );
+            assert!(
+                m.avg_candidates >= m.avg_result,
+                "{}: candidates {} < results {}",
+                m.method,
+                m.avg_candidates,
+                m.avg_result
+            );
+            assert!((0.0..=1.0).contains(&m.false_hit_rate), "{}", m.method);
+            assert!((0.0..=1.0).contains(&m.buffer_hit_rate), "{}", m.method);
+            assert_eq!(m.latency.count, m.queries as u64, "{}", m.method);
+            assert!(m.latency.max >= m.latency.p50, "{}", m.method);
         }
     }
 
     #[test]
     fn scales_have_increasing_n() {
         assert!(Scale::smoke().n_values()[0] < Scale::quick().n_values()[0]);
-        assert_eq!(Scale::full().n_values(), vec![100_000, 200_000, 300_000, 400_000, 500_000]);
+        assert_eq!(
+            Scale::full().n_values(),
+            vec![100_000, 200_000, 300_000, 400_000, 500_000]
+        );
     }
 }

@@ -84,6 +84,10 @@ mod tests {
             avg_result: 5.0,
             queries: 1,
             updates: 1,
+            avg_candidates: 6.0,
+            false_hit_rate: 1.0 / 6.0,
+            buffer_hit_rate: 0.0,
+            latency: mobidx_obs::HistogramSnapshot::default(),
         }
     }
 

@@ -216,9 +216,7 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
             };
         }
         match self.store.read(node) {
-            Node::Leaf { entries, .. } => entries
-                .binary_search_by(|x| cmp_entry(x, &e))
-                .is_ok(),
+            Node::Leaf { entries, .. } => entries.binary_search_by(|x| cmp_entry(x, &e)).is_ok(),
             Node::Branch { .. } => unreachable!(),
         }
     }
@@ -435,17 +433,11 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
         seps.partition_point(|s| cmp_entry(s, e) != Ordering::Greater)
     }
 
-    fn insert_rec(
-        &mut self,
-        node: PageId,
-        level: usize,
-        e: (K, V),
-    ) -> Option<((K, V), PageId)> {
+    fn insert_rec(&mut self, node: PageId, level: usize, e: (K, V)) -> Option<((K, V), PageId)> {
         if level == 1 {
             let overflow = self.store.write(node, |n| match n {
                 Node::Leaf { entries, .. } => {
-                    let pos =
-                        entries.partition_point(|x| cmp_entry(x, &e) != Ordering::Greater);
+                    let pos = entries.partition_point(|x| cmp_entry(x, &e) != Ordering::Greater);
                     entries.insert(pos, e);
                     entries.len()
                 }
@@ -518,15 +510,13 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
     fn remove_rec(&mut self, node: PageId, level: usize, e: &(K, V)) -> (bool, bool) {
         if level == 1 {
             let (removed, occ) = self.store.write(node, |n| match n {
-                Node::Leaf { entries, .. } => {
-                    match entries.binary_search_by(|x| cmp_entry(x, e)) {
-                        Ok(pos) => {
-                            entries.remove(pos);
-                            (true, entries.len())
-                        }
-                        Err(_) => (false, entries.len()),
+                Node::Leaf { entries, .. } => match entries.binary_search_by(|x| cmp_entry(x, e)) {
+                    Ok(pos) => {
+                        entries.remove(pos);
+                        (true, entries.len())
                     }
-                }
+                    Err(_) => (false, entries.len()),
+                },
                 Node::Branch { .. } => unreachable!(),
             });
             return (removed, occ < self.cfg.min_leaf());

@@ -9,7 +9,7 @@
 //! the previously inserted record themselves.
 
 use crate::method::{Index1D, IoTotals};
-use mobidx_workload::{Motion1D, MorQuery1D};
+use mobidx_workload::{MorQuery1D, Motion1D};
 use std::collections::HashMap;
 
 /// A motion database: an [`Index1D`] plus the current motion table.
@@ -114,6 +114,12 @@ impl<I: Index1D> MotionDb<I> {
     /// Answers a MOR query (sorted ids).
     pub fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
         self.index.query(q)
+    }
+
+    /// Answers a MOR query inside a trace span (I/O delta, candidates vs
+    /// results, latency, per-store breakdown).
+    pub fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, mobidx_obs::QueryTrace) {
+        self.index.query_traced(q)
     }
 
     /// The underlying index (e.g. for method-specific extensions such as

@@ -8,7 +8,7 @@
 //! Hough-Y (§3.5.2, Figure 4).
 
 use mobidx_geom::{ConvexPolygon, HalfPlane};
-use mobidx_workload::{Motion1D, MorQuery1D};
+use mobidx_workload::{MorQuery1D, Motion1D};
 
 /// The global speed bounds of the "moving" objects (§3): every object's
 /// speed magnitude lies in `[v_min, v_max]` with `v_min > 0`.
@@ -116,12 +116,7 @@ pub fn hough_x_query(
 /// `b ≥ t1 − (y2 − y_r)/v` and `b ≤ t2 − (y1 − y_r)/v`; the envelope
 /// over the speed band gives the interval.
 #[must_use]
-pub fn hough_y_interval(
-    q: &MorQuery1D,
-    band: &SpeedBand,
-    y_r: f64,
-    positive: bool,
-) -> (f64, f64) {
+pub fn hough_y_interval(q: &MorQuery1D, band: &SpeedBand, y_r: f64, positive: bool) -> (f64, f64) {
     let (vlo, vhi) = if positive {
         (band.v_min, band.v_max)
     } else {
@@ -192,11 +187,7 @@ mod tests {
                     } else {
                         QueryRegion::<2>::contains_point(&neg, &p)
                     };
-                    assert_eq!(
-                        in_dual,
-                        q.matches(&m),
-                        "mismatch at y0={y0} v={v}"
-                    );
+                    assert_eq!(in_dual, q.matches(&m), "mismatch at y0={y0} v={v}");
                     checked += 1;
                 }
             }
@@ -297,7 +288,10 @@ mod tests {
         // times the factor).
         let e_mid = enlargement_e(&q, &band(), 500.0);
         let e_edge = enlargement_e(&q, &band(), 480.0);
-        assert!((e_mid - e_edge).abs() < 1e-9, "any y_r within the range ties");
+        assert!(
+            (e_mid - e_edge).abs() < 1e-9,
+            "any y_r within the range ties"
+        );
     }
 
     #[test]

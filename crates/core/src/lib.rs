@@ -35,4 +35,4 @@ pub use dual::{hough_x_point, hough_x_query, hough_y_b, SpeedBand};
 pub use method::{Index1D, Index2D, IoTotals};
 
 // Re-export the vocabulary types so downstream users need only this crate.
-pub use mobidx_workload::{Motion1D, Motion2D, MorQuery1D, MorQuery2D};
+pub use mobidx_workload::{MorQuery1D, MorQuery2D, Motion1D, Motion2D};

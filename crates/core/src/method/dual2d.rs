@@ -25,7 +25,7 @@ use crate::method::{finish_ids, Index1D, Index2D, IoTotals};
 use mobidx_geom::ProductRegion;
 use mobidx_kdtree::{KdConfig, KdTree};
 use mobidx_ptree::{PartitionConfig, PartitionForest};
-use mobidx_workload::{Motion1D, Motion2D, MorQuery2D};
+use mobidx_workload::{MorQuery2D, Motion1D, Motion2D};
 
 /// The 4-D dual point of a 2-D motion (intercepts at absolute time 0).
 #[must_use]
@@ -75,6 +75,7 @@ fn dual4_regions(q: &MorQuery2D, band: &SpeedBand) -> [ProductRegion; 4] {
 pub struct Dual4KdIndex {
     tree: KdTree<4, u64>,
     band: SpeedBand,
+    last_candidates: u64,
 }
 
 impl Dual4KdIndex {
@@ -84,6 +85,7 @@ impl Dual4KdIndex {
         Self {
             tree: KdTree::new(kd),
             band,
+            last_candidates: 0,
         }
     }
 }
@@ -103,13 +105,16 @@ impl Index2D for Dual4KdIndex {
 
     fn query(&mut self, q: &MorQuery2D) -> Vec<u64> {
         let mut ids = Vec::new();
+        let mut candidates = 0u64;
         for region in dual4_regions(q, &self.band) {
             self.tree.query(&region, |p, id| {
+                candidates += 1;
                 if q.matches(&motion_of_dual4(p, id)) {
                     ids.push(id);
                 }
             });
         }
+        self.last_candidates = candidates;
         finish_ids(ids)
     }
 
@@ -118,15 +123,15 @@ impl Index2D for Dual4KdIndex {
     }
 
     fn io_totals(&self) -> IoTotals {
-        IoTotals {
-            reads: self.tree.stats().reads(),
-            writes: self.tree.stats().writes(),
-            pages: self.tree.live_pages(),
-        }
+        IoTotals::from_stats(self.tree.stats())
     }
 
     fn reset_io(&self) {
         self.tree.stats().reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.last_candidates
     }
 }
 
@@ -135,6 +140,7 @@ impl Index2D for Dual4KdIndex {
 pub struct Dual4PtreeIndex {
     forest: PartitionForest<4, u64>,
     band: SpeedBand,
+    last_candidates: u64,
 }
 
 impl Dual4PtreeIndex {
@@ -144,6 +150,7 @@ impl Dual4PtreeIndex {
         Self {
             forest: PartitionForest::new(cfg),
             band,
+            last_candidates: 0,
         }
     }
 }
@@ -163,13 +170,16 @@ impl Index2D for Dual4PtreeIndex {
 
     fn query(&mut self, q: &MorQuery2D) -> Vec<u64> {
         let mut ids = Vec::new();
+        let mut candidates = 0u64;
         for region in dual4_regions(q, &self.band) {
             self.forest.query(&region, |p, id| {
+                candidates += 1;
                 if q.matches(&motion_of_dual4(p, id)) {
                     ids.push(id);
                 }
             });
         }
+        self.last_candidates = candidates;
         finish_ids(ids)
     }
 
@@ -178,15 +188,15 @@ impl Index2D for Dual4PtreeIndex {
     }
 
     fn io_totals(&self) -> IoTotals {
-        IoTotals {
-            reads: self.forest.stats().reads(),
-            writes: self.forest.stats().writes(),
-            pages: self.forest.live_pages(),
-        }
+        IoTotals::from_stats(self.forest.stats())
     }
 
     fn reset_io(&self) {
         self.forest.stats().reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.last_candidates
     }
 }
 
@@ -287,6 +297,19 @@ impl Index2D for Decomposition2D {
         self.x_index.reset_io();
         self.y_index.reset_io();
     }
+
+    fn last_candidates(&self) -> u64 {
+        // Candidates of both per-axis scans: the join + refinement here
+        // discards anything matching only one axis.
+        self.x_index.last_candidates() + self.y_index.last_candidates()
+    }
+
+    fn store_io(&self) -> Vec<(String, IoTotals)> {
+        vec![
+            ("x".to_owned(), self.x_index.io_totals()),
+            ("y".to_owned(), self.y_index.io_totals()),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -333,8 +356,7 @@ mod tests {
 
     #[test]
     fn ptree4_matches_brute_force() {
-        let mut idx =
-            Dual4PtreeIndex::new(PartitionConfig::small(16, 8), SpeedBand::paper());
+        let mut idx = Dual4PtreeIndex::new(PartitionConfig::small(16, 8), SpeedBand::paper());
         drive(&mut idx, 62);
     }
 

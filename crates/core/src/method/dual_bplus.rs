@@ -27,7 +27,7 @@ use crate::dual::{enlargement_e, hough_y_b, hough_y_interval, SpeedBand};
 use crate::method::{finish_ids, Index1D, IoTotals};
 use mobidx_bptree::{BPlusTree, TreeConfig};
 use mobidx_interval::{IntervalConfig, IntervalTree};
-use mobidx_workload::{Motion1D, MorQuery1D};
+use mobidx_workload::{MorQuery1D, Motion1D};
 
 /// Configuration of the approximation method.
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +120,11 @@ pub struct DualBPlusIndex {
     /// B+-tree on their (constant) position answers any MOR query over
     /// them with a 1-D range scan.
     static_tree: BPlusTree<f64, u64>,
+    /// Entries examined by the most recent query: everything the
+    /// conservative `b`-range scans touched, before the exact speed
+    /// filter. `candidates − results` are the false hits of the §3.5.2
+    /// rectangle approximation.
+    last_candidates: u64,
 }
 
 impl DualBPlusIndex {
@@ -139,7 +144,9 @@ impl DualBPlusIndex {
             })
             .collect();
         let sub = if cfg.maintain_subterrain {
-            (0..cfg.c).map(|_| IntervalTree::new(cfg.interval)).collect()
+            (0..cfg.c)
+                .map(|_| IntervalTree::new(cfg.interval))
+                .collect()
         } else {
             Vec::new()
         };
@@ -148,6 +155,7 @@ impl DualBPlusIndex {
             obs,
             sub,
             static_tree: BPlusTree::new(cfg.tree),
+            last_candidates: 0,
         }
     }
 
@@ -182,6 +190,7 @@ impl DualBPlusIndex {
     fn query_obs(&mut self, obs_idx: usize, q: &MorQuery1D, out: &mut Vec<Motion1D>) {
         let y_r = self.obs[obs_idx].y_r;
         let band = self.cfg.band;
+        let mut scanned = 0u64;
         for positive in [true, false] {
             let (lo, hi) = hough_y_interval(q, &band, y_r, positive);
             let tree = if positive {
@@ -190,6 +199,7 @@ impl DualBPlusIndex {
                 &mut self.obs[obs_idx].neg_tree
             };
             tree.range_for_each(lo, hi, |b, (vbits, id)| {
+                scanned += 1;
                 let v = f64::from_bits(vbits);
                 // Reconstruct the trajectory: at y_r at time b, speed v.
                 let m = Motion1D {
@@ -203,6 +213,7 @@ impl DualBPlusIndex {
                 }
             });
         }
+        self.last_candidates += scanned;
     }
 
     /// Index of the observation element minimizing the enlargement `E`
@@ -230,6 +241,7 @@ impl DualBPlusIndex {
     /// queries on indexes without subterrain maintenance, which always
     /// take case i.
     pub fn query_motions(&mut self, q: &MorQuery1D) -> Vec<Motion1D> {
+        self.last_candidates = 0;
         let mut out = Vec::new();
         let strip = self.strip();
         if self.sub.is_empty() || q.y2 - q.y1 <= strip {
@@ -248,9 +260,13 @@ impl DualBPlusIndex {
             self.query_obs(best, q, &mut out);
             return out;
         }
-        // Full strips: exact window queries on the interval indices.
+        // Full strips: exact window queries on the interval indices
+        // (every reported entry is a true hit, so candidates = results
+        // for this component).
+        let mut window_hits = 0u64;
         for j in j_first..j_last {
             self.sub[j].window_for_each(q.t1, q.t2, |id| {
+                window_hits += 1;
                 // The interval index knows residence, not the motion;
                 // report with a placeholder motion reconstructed lazily
                 // by the caller if needed. For id-level answers this is
@@ -264,6 +280,7 @@ impl DualBPlusIndex {
                 });
             });
         }
+        self.last_candidates += window_hits;
         // Endpoint slivers.
         #[allow(clippy::cast_precision_loss)]
         let z_first = j_first as f64 * strip;
@@ -334,9 +351,13 @@ impl Index1D for DualBPlusIndex {
     fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
         let mut ids: Vec<u64> = self.query_motions(q).into_iter().map(|m| m.id).collect();
         // Static objects: position is time-invariant, so the MOR query
-        // degenerates to a range scan.
+        // degenerates to a range scan (exact — every scanned entry is a
+        // true hit).
         if !self.static_tree.is_empty() {
-            self.static_tree.range_for_each(q.y1, q.y2, |_, id| ids.push(id));
+            let before = ids.len();
+            self.static_tree
+                .range_for_each(q.y1, q.y2, |_, id| ids.push(id));
+            self.last_candidates += (ids.len() - before) as u64;
         }
         finish_ids(ids)
     }
@@ -353,26 +374,9 @@ impl Index1D for DualBPlusIndex {
     }
 
     fn io_totals(&self) -> IoTotals {
-        let mut t = IoTotals {
-            reads: self.static_tree.stats().reads(),
-            writes: self.static_tree.stats().writes(),
-            pages: self.static_tree.live_pages(),
-        };
-        for obs in &self.obs {
-            t = t.merge(IoTotals {
-                reads: obs.pos_tree.stats().reads() + obs.neg_tree.stats().reads(),
-                writes: obs.pos_tree.stats().writes() + obs.neg_tree.stats().writes(),
-                pages: obs.pos_tree.live_pages() + obs.neg_tree.live_pages(),
-            });
-        }
-        for sub in &self.sub {
-            t = t.merge(IoTotals {
-                reads: sub.stats().reads(),
-                writes: sub.stats().writes(),
-                pages: sub.live_pages(),
-            });
-        }
-        t
+        self.store_io()
+            .into_iter()
+            .fold(IoTotals::default(), |acc, (_, t)| acc.merge(t))
     }
 
     fn reset_io(&self) {
@@ -384,6 +388,28 @@ impl Index1D for DualBPlusIndex {
         for sub in &self.sub {
             sub.stats().reset_io();
         }
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.last_candidates
+    }
+
+    fn store_io(&self) -> Vec<(String, IoTotals)> {
+        let mut stores = vec![(
+            "static".to_owned(),
+            IoTotals::from_stats(self.static_tree.stats()),
+        )];
+        for (i, obs) in self.obs.iter().enumerate() {
+            stores.push((
+                format!("obs{i}"),
+                IoTotals::from_stats(obs.pos_tree.stats())
+                    .merge(IoTotals::from_stats(obs.neg_tree.stats())),
+            ));
+        }
+        for (j, sub) in self.sub.iter().enumerate() {
+            stores.push((format!("sub{j}"), IoTotals::from_stats(sub.stats())));
+        }
+        stores
     }
 }
 
@@ -553,9 +579,6 @@ mod tests {
         let _ = idx.query(&q);
         let cost = idx.io_totals().reads;
         let pages = idx.io_totals().pages;
-        assert!(
-            cost < pages / 4,
-            "small query cost {cost} of {pages} pages"
-        );
+        assert!(cost < pages / 4, "small query cost {cost} of {pages} pages");
     }
 }

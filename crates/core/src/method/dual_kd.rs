@@ -13,7 +13,7 @@ use crate::method::rotating::{DualPlaneStore, RotatingDual};
 use crate::method::{Index1D, IoTotals};
 use mobidx_geom::ConvexPolygon;
 use mobidx_kdtree::{KdConfig, KdTree};
-use mobidx_workload::{Motion1D, MorQuery1D};
+use mobidx_workload::{MorQuery1D, Motion1D};
 
 /// Configuration of the kd method.
 #[derive(Debug, Clone, Copy)]
@@ -70,11 +70,7 @@ impl DualPlaneStore for KdStore {
     }
 
     fn io_totals(&self) -> IoTotals {
-        IoTotals {
-            reads: self.tree.stats().reads(),
-            writes: self.tree.stats().writes(),
-            pages: self.tree.live_pages(),
-        }
+        IoTotals::from_stats(self.tree.stats())
     }
 
     fn reset_io(&self) {
@@ -180,6 +176,14 @@ impl Index1D for DualKdIndex {
 
     fn reset_io(&self) {
         self.rot.reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.rot.last_candidates()
+    }
+
+    fn store_io(&self) -> Vec<(String, IoTotals)> {
+        self.rot.store_io()
     }
 }
 

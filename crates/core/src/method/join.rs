@@ -171,8 +171,18 @@ mod tests {
     #[test]
     fn zero_window_join_is_snapshot_proximity() {
         let objects = vec![
-            Motion1D { id: 1, t0: 0.0, y0: 0.0, v: 1.0 },
-            Motion1D { id: 2, t0: 0.0, y0: 5.0, v: -1.0 },
+            Motion1D {
+                id: 1,
+                t0: 0.0,
+                y0: 0.0,
+                v: 1.0,
+            },
+            Motion1D {
+                id: 2,
+                t0: 0.0,
+                y0: 5.0,
+                v: -1.0,
+            },
         ];
         assert!(within_distance_join(&objects, 0.0, 0.0, 4.9, 1.0).is_empty());
         assert_eq!(

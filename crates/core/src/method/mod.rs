@@ -11,7 +11,9 @@ pub(crate) mod rotating;
 pub mod routes;
 pub mod seg_rtree;
 
-use mobidx_workload::{Motion1D, Motion2D, MorQuery1D, MorQuery2D};
+use mobidx_obs::{QueryTrace, StoreTrace};
+use mobidx_pager::IoStats;
+use mobidx_workload::{MorQuery1D, MorQuery2D, Motion1D, Motion2D};
 
 /// Aggregated I/O and space counters across all page stores of a method
 /// (e.g. the `c` observation B+-trees of the approximation method).
@@ -23,13 +25,40 @@ pub struct IoTotals {
     pub writes: u64,
     /// Live pages (the space metric of Figure 8).
     pub pages: u64,
+    /// Buffer-pool hits (page accesses served without I/O).
+    pub hits: u64,
 }
 
 impl IoTotals {
+    /// Captures one store's counters.
+    #[must_use]
+    pub fn from_stats(stats: &IoStats) -> IoTotals {
+        IoTotals {
+            reads: stats.reads(),
+            writes: stats.writes(),
+            pages: stats.live_pages(),
+            hits: stats.hits(),
+        }
+    }
+
     /// Reads + writes — the per-operation cost the paper plots.
     #[must_use]
     pub fn ios(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// Fraction of page accesses served by the buffer pools
+    /// (`hits / (hits + reads)`; 0.0 when no pages were touched).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let touched = self.hits + self.reads;
+        if touched == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / touched as f64
+        }
     }
 
     /// Component-wise sum.
@@ -39,6 +68,18 @@ impl IoTotals {
             reads: self.reads + other.reads,
             writes: self.writes + other.writes,
             pages: self.pages + other.pages,
+            hits: self.hits + other.hits,
+        }
+    }
+
+    /// Component-wise difference (`self` must be the later snapshot).
+    #[must_use]
+    pub fn delta_since(self, earlier: IoTotals) -> IoTotals {
+        IoTotals {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            pages: self.pages,
+            hits: self.hits - earlier.hits,
         }
     }
 }
@@ -74,6 +115,43 @@ pub trait Index1D {
 
     /// Resets the read/write counters (space counters are preserved).
     fn reset_io(&self);
+
+    /// Candidate entries examined by the most recent `query` (before
+    /// exact refinement / dedup). Methods that don't track candidates
+    /// report 0.
+    fn last_candidates(&self) -> u64 {
+        0
+    }
+
+    /// Per-store I/O breakdown, labelled. The component totals sum to
+    /// [`Index1D::io_totals`]. The default reports one aggregate store.
+    fn store_io(&self) -> Vec<(String, IoTotals)> {
+        vec![("all".to_owned(), self.io_totals())]
+    }
+
+    /// Runs `query` inside a trace span: captures the I/O delta (total
+    /// and per store), candidates examined vs results returned, and
+    /// wall-clock latency.
+    fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, QueryTrace) {
+        let before = self.io_totals();
+        let stores_before = self.store_io();
+        let start = std::time::Instant::now();
+        let ids = self.query(q);
+        let latency = start.elapsed();
+        let delta = self.io_totals().delta_since(before);
+        let stores = trace_stores(&stores_before, &self.store_io());
+        let trace = QueryTrace {
+            method: self.name(),
+            candidates: self.last_candidates(),
+            results: ids.len() as u64,
+            reads: delta.reads,
+            writes: delta.writes,
+            hits: delta.hits,
+            latency_nanos: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+            stores,
+        };
+        (ids, trace)
+    }
 }
 
 /// A dynamic index over 2-D mobile objects (§4.2), same contract as
@@ -99,6 +177,59 @@ pub trait Index2D {
 
     /// Resets the read/write counters.
     fn reset_io(&self);
+
+    /// Candidate entries examined by the most recent `query`; 0 when
+    /// untracked.
+    fn last_candidates(&self) -> u64 {
+        0
+    }
+
+    /// Per-store I/O breakdown; sums to [`Index2D::io_totals`].
+    fn store_io(&self) -> Vec<(String, IoTotals)> {
+        vec![("all".to_owned(), self.io_totals())]
+    }
+
+    /// Runs `query` inside a trace span (see [`Index1D::query_traced`]).
+    fn query_traced(&mut self, q: &MorQuery2D) -> (Vec<u64>, QueryTrace) {
+        let before = self.io_totals();
+        let stores_before = self.store_io();
+        let start = std::time::Instant::now();
+        let ids = self.query(q);
+        let latency = start.elapsed();
+        let delta = self.io_totals().delta_since(before);
+        let stores = trace_stores(&stores_before, &self.store_io());
+        let trace = QueryTrace {
+            method: self.name(),
+            candidates: self.last_candidates(),
+            results: ids.len() as u64,
+            reads: delta.reads,
+            writes: delta.writes,
+            hits: delta.hits,
+            latency_nanos: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+            stores,
+        };
+        (ids, trace)
+    }
+}
+
+/// Differences two `store_io` listings into per-store trace entries.
+/// Stores are matched by position; labels must be stable across a query
+/// (they are — no query changes a method's store layout).
+fn trace_stores(before: &[(String, IoTotals)], after: &[(String, IoTotals)]) -> Vec<StoreTrace> {
+    debug_assert_eq!(before.len(), after.len(), "store layout changed mid-query");
+    after
+        .iter()
+        .zip(before)
+        .map(|((label, now), (_, then))| {
+            let d = now.delta_since(*then);
+            StoreTrace {
+                store: label.clone(),
+                reads: d.reads,
+                writes: d.writes,
+                pages: now.pages,
+            }
+        })
+        .collect()
 }
 
 /// Sorts and deduplicates a result id list (the `query` postcondition).
@@ -118,16 +249,56 @@ mod tests {
             reads: 1,
             writes: 2,
             pages: 3,
+            hits: 4,
         };
         let b = IoTotals {
             reads: 10,
             writes: 20,
             pages: 30,
+            hits: 40,
         };
         let m = a.merge(b);
         assert_eq!(m.reads, 11);
         assert_eq!(m.ios(), 33);
         assert_eq!(m.pages, 33);
+        assert_eq!(m.hits, 44);
+    }
+
+    #[test]
+    fn io_totals_delta_and_hit_rate() {
+        let before = IoTotals {
+            reads: 5,
+            writes: 1,
+            pages: 9,
+            hits: 2,
+        };
+        let after = IoTotals {
+            reads: 8,
+            writes: 1,
+            pages: 10,
+            hits: 5,
+        };
+        let d = after.delta_since(before);
+        assert_eq!(d.reads, 3);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.hits, 3);
+        assert_eq!(d.pages, 10, "pages is a level, not a delta");
+        assert!((d.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(IoTotals::default().hit_rate().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn io_totals_from_stats() {
+        let s = IoStats::new();
+        s.add_reads(2);
+        s.add_writes(1);
+        s.add_hits(3);
+        s.add_alloc();
+        let t = IoTotals::from_stats(&s);
+        assert_eq!(t.reads, 2);
+        assert_eq!(t.writes, 1);
+        assert_eq!(t.hits, 3);
+        assert_eq!(t.pages, 1);
     }
 
     #[test]

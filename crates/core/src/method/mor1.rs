@@ -133,18 +133,15 @@ impl Mor1Index {
             self.epoch + self.horizon
         );
         let mut ids = Vec::new();
-        self.tree.query(t_q - self.epoch, y1, y2, |o| ids.push(o.id));
+        self.tree
+            .query(t_q - self.epoch, y1, y2, |o| ids.push(o.id));
         crate::method::finish_ids(ids)
     }
 
     /// I/O statistics of the underlying persistent store.
     #[must_use]
     pub fn io_totals(&self) -> IoTotals {
-        IoTotals {
-            reads: self.tree.stats().reads(),
-            writes: self.tree.stats().writes(),
-            pages: self.tree.live_pages(),
-        }
+        IoTotals::from_stats(self.tree.stats())
     }
 
     /// Resets the read/write counters.
@@ -188,25 +185,24 @@ impl StaggeredMor1 {
     pub fn advance(&mut self, now: f64, objects: &[Motion1D]) {
         while now - self.last_build >= self.period {
             let epoch = self.last_build + self.period;
-            self.structures
-                .push(Mor1Index::build(self.cfg, objects, epoch, 2.0 * self.period));
+            self.structures.push(Mor1Index::build(
+                self.cfg,
+                objects,
+                epoch,
+                2.0 * self.period,
+            ));
             self.last_build = epoch;
         }
-        self.structures
-            .retain(|s| s.window().1 >= now - 1e-9);
+        self.structures.retain(|s| s.window().1 >= now - 1e-9);
     }
 
     /// Answers a MOR1 query at `t_q` using the freshest structure whose
     /// window covers it. Returns `None` if `t_q` is beyond the horizon.
     pub fn query(&mut self, t_q: f64, y1: f64, y2: f64) -> Option<Vec<u64>> {
-        let s = self
-            .structures
-            .iter_mut()
-            .rev()
-            .find(|s| {
-                let (a, b) = s.window();
-                t_q >= a - 1e-9 && t_q <= b + 1e-9
-            })?;
+        let s = self.structures.iter_mut().rev().find(|s| {
+            let (a, b) = s.window();
+            t_q >= a - 1e-9 && t_q <= b + 1e-9
+        })?;
         Some(s.query(t_q, y1, y2))
     }
 
@@ -277,8 +273,7 @@ mod tests {
             ..WorkloadConfig::default()
         });
         let period = 20.0;
-        let mut stag =
-            StaggeredMor1::new(PersistConfig::small(32), sim.objects(), 0.0, period);
+        let mut stag = StaggeredMor1::new(PersistConfig::small(32), sim.objects(), 0.0, period);
         for step in 0..100 {
             let _ = sim.step(); // updates take effect at the next rebuild
             stag.advance(sim.now(), sim.objects());

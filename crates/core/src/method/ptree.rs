@@ -12,7 +12,7 @@ use crate::method::rotating::{DualPlaneStore, RotatingDual};
 use crate::method::{Index1D, IoTotals};
 use mobidx_geom::ConvexPolygon;
 use mobidx_ptree::{PartitionConfig, PartitionForest};
-use mobidx_workload::{Motion1D, MorQuery1D};
+use mobidx_workload::{MorQuery1D, Motion1D};
 
 /// Configuration of the partition-tree method.
 #[derive(Debug, Clone, Copy)]
@@ -68,11 +68,7 @@ impl DualPlaneStore for PtStore {
     }
 
     fn io_totals(&self) -> IoTotals {
-        IoTotals {
-            reads: self.forest.stats().reads(),
-            writes: self.forest.stats().writes(),
-            pages: self.forest.live_pages(),
-        }
+        IoTotals::from_stats(self.forest.stats())
     }
 
     fn reset_io(&self) {
@@ -130,6 +126,14 @@ impl Index1D for DualPtreeIndex {
 
     fn reset_io(&self) {
         self.rot.reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.rot.last_candidates()
+    }
+
+    fn store_io(&self) -> Vec<(String, IoTotals)> {
+        self.rot.store_io()
     }
 }
 

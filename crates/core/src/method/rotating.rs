@@ -16,7 +16,7 @@
 use crate::dual::{hough_x_point, hough_x_query, SpeedBand};
 use crate::method::IoTotals;
 use mobidx_geom::ConvexPolygon;
-use mobidx_workload::{Motion1D, MorQuery1D};
+use mobidx_workload::{MorQuery1D, Motion1D};
 
 /// A store of 2-D dual points supporting simplex queries.
 pub(crate) trait DualPlaneStore {
@@ -50,6 +50,7 @@ pub(crate) struct RotatingDual<S> {
     gens: [Generation<S>; 2],
     period: f64,
     band: SpeedBand,
+    last_candidates: u64,
 }
 
 impl<S: DualPlaneStore> RotatingDual<S> {
@@ -68,6 +69,7 @@ impl<S: DualPlaneStore> RotatingDual<S> {
             ],
             period,
             band,
+            last_candidates: 0,
         }
     }
 
@@ -156,7 +158,22 @@ impl<S: DualPlaneStore> RotatingDual<S> {
             let (pos, neg) = hough_x_query(q, &band, t_base);
             gen.store.query_polygons(&pos, &neg, &mut ids);
         }
+        // Polygon queries are exact (no refinement), so candidates are
+        // the entries reported by the stores before cross-generation
+        // dedup.
+        self.last_candidates = ids.len() as u64;
         crate::method::finish_ids(ids)
+    }
+
+    pub(crate) fn last_candidates(&self) -> u64 {
+        self.last_candidates
+    }
+
+    pub(crate) fn store_io(&self) -> Vec<(String, IoTotals)> {
+        vec![
+            ("gen0".to_owned(), self.gens[0].store.io_totals()),
+            ("gen1".to_owned(), self.gens[1].store.io_totals()),
+        ]
     }
 
     pub(crate) fn clear_buffers(&mut self) {

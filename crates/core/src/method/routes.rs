@@ -13,7 +13,7 @@ use crate::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use crate::method::{finish_ids, Index1D, IoTotals};
 use mobidx_geom::Rect2;
 use mobidx_rstar::{RStarConfig, RStarTree};
-use mobidx_workload::{Motion1D, MorQuery1D, Route, RouteObject};
+use mobidx_workload::{MorQuery1D, Motion1D, Route, RouteObject};
 
 /// Configuration of the route-network index.
 #[derive(Debug, Clone, Copy)]
@@ -138,11 +138,7 @@ impl RouteMorIndex {
     /// Aggregated I/O across the SAM and every per-route index.
     #[must_use]
     pub fn io_totals(&self) -> IoTotals {
-        let mut t = IoTotals {
-            reads: self.sam.stats().reads(),
-            writes: self.sam.stats().writes(),
-            pages: self.sam.live_pages(),
-        };
+        let mut t = IoTotals::from_stats(self.sam.stats());
         for idx in &self.per_route {
             t = t.merge(idx.io_totals());
         }

@@ -21,7 +21,7 @@
 use crate::method::{finish_ids, Index1D, IoTotals};
 use mobidx_geom::{Point2, Rect2, Segment};
 use mobidx_rstar::{RStarConfig, RStarTree};
-use mobidx_workload::{Motion1D, MorQuery1D};
+use mobidx_workload::{MorQuery1D, Motion1D};
 
 /// Configuration of the baseline.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +46,7 @@ impl Default for SegRTreeConfig {
 pub struct SegRTreeIndex {
     tree: RStarTree<(u64, bool)>,
     cfg: SegRTreeConfig,
+    last_candidates: u64,
 }
 
 impl SegRTreeIndex {
@@ -55,6 +56,7 @@ impl SegRTreeIndex {
         Self {
             tree: RStarTree::new(cfg.rstar),
             cfg,
+            last_candidates: 0,
         }
     }
 
@@ -130,12 +132,15 @@ impl Index1D for SegRTreeIndex {
     fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
         let rect = query_rect(q);
         let mut ids = Vec::new();
+        let mut candidates = 0u64;
         self.tree.search_with(&rect, |mbr, (id, rising)| {
+            candidates += 1;
             // Refine: the MBR intersects, does the segment?
             if segment_from_entry(&mbr, rising).intersects_rect(&rect) {
                 ids.push(id);
             }
         });
+        self.last_candidates = candidates;
         finish_ids(ids)
     }
 
@@ -144,15 +149,15 @@ impl Index1D for SegRTreeIndex {
     }
 
     fn io_totals(&self) -> IoTotals {
-        IoTotals {
-            reads: self.tree.stats().reads(),
-            writes: self.tree.stats().writes(),
-            pages: self.tree.live_pages(),
-        }
+        IoTotals::from_stats(self.tree.stats())
     }
 
     fn reset_io(&self) {
         self.tree.stats().reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.last_candidates
     }
 }
 

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build container has no crates.io access; this shim is patched
+//! over `crates-io` in the workspace manifest. It runs each registered
+//! benchmark for a bounded number of timed iterations and prints
+//! mean/min wall-clock times — enough to eyeball regressions locally.
+//! (The I/O-count reproduction of the paper's figures lives in the
+//! `figures` binary, which does not use criterion at all.)
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The per-benchmark timing driver.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        #[allow(clippy::cast_possible_truncation)]
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("nonempty");
+        println!(
+            "{name:<50} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim always runs a fixed number
+    /// of samples instead of a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()));
+        self
+    }
+
+    /// Ends the group (no-op; printed incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("## bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(&id.into());
+        self
+    }
+}
+
+/// Declares a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut count = 0u64;
+        group.sample_size(3).bench_function("inc", |b| {
+            b.iter(|| count += 1);
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(count >= 3);
+    }
+}

@@ -94,8 +94,7 @@ impl<const D: usize> Aabb<D> {
     /// Whether `self` fully contains `other`.
     #[must_use]
     pub fn contains_box(&self, other: &Self) -> bool {
-        (0..D)
-            .all(|i| self.lo[i] <= other.lo[i] + EPS && other.hi[i] <= self.hi[i] + EPS)
+        (0..D).all(|i| self.lo[i] <= other.lo[i] + EPS && other.hi[i] <= self.hi[i] + EPS)
     }
 
     /// The smallest box containing both operands.

@@ -218,8 +218,8 @@ mod tests {
         // beyond the polygon's x-extent even though no single constraint
         // excludes all of its corners.
         let strip = ConvexPolygon::new(vec![
-            HalfPlane::new(-1.0, 1.0, 0.2),  // y - x <= 0.2
-            HalfPlane::new(1.0, -1.0, 0.2),  // x - y <= 0.2
+            HalfPlane::new(-1.0, 1.0, 0.2), // y - x <= 0.2
+            HalfPlane::new(1.0, -1.0, 0.2), // x - y <= 0.2
             HalfPlane::x_ge(0.0),
             HalfPlane::x_le(2.0),
         ]);

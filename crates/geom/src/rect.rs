@@ -82,10 +82,7 @@ impl Rect2 {
     /// Center point.
     #[must_use]
     pub fn center(&self) -> Point2 {
-        Point2::new(
-            0.5 * (self.lo.x + self.hi.x),
-            0.5 * (self.lo.y + self.hi.y),
-        )
+        Point2::new(0.5 * (self.lo.x + self.hi.x), 0.5 * (self.lo.y + self.hi.y))
     }
 
     /// Whether the closed rectangles intersect (within [`EPS`]).

@@ -172,7 +172,10 @@ mod tests {
         let sq = square(0.0, 0.0, 1.0, 1.0);
         // The root cell of a kd-tree: everything.
         let root: Aabb<2> = Aabb::everything();
-        assert_eq!(QueryRegion::<2>::cell_relation(&sq, &root), Relation::Overlaps);
+        assert_eq!(
+            QueryRegion::<2>::cell_relation(&sq, &root),
+            Relation::Overlaps
+        );
         // A half-unbounded cell clearly to the right of the square.
         let right = Aabb::new([5.0, f64::NEG_INFINITY], [f64::INFINITY, f64::INFINITY]);
         assert_eq!(

@@ -5,7 +5,12 @@ use mobidx_geom::{Aabb, ConvexPolygon, HalfPlane, Point2, QueryRegion, Rect2, Re
 use proptest::prelude::*;
 
 fn rect_strategy() -> impl Strategy<Value = Rect2> {
-    (-100.0f64..100.0, -100.0f64..100.0, 0.0f64..80.0, 0.0f64..80.0)
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..80.0,
+        0.0f64..80.0,
+    )
         .prop_map(|(x, y, w, h)| Rect2::from_bounds(x, y, x + w, y + h))
 }
 

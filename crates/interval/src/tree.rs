@@ -1,6 +1,8 @@
 //! The augmented interval B+-tree.
 
-use mobidx_pager::{page_capacity, IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE};
+use mobidx_pager::{
+    page_capacity, IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE,
+};
 use std::cmp::Ordering;
 use std::fmt::Debug;
 
@@ -126,7 +128,10 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
     /// Panics on degenerate configurations.
     #[must_use]
     pub fn new(cfg: IntervalConfig) -> Self {
-        assert!(cfg.leaf_cap >= 2 && cfg.branch_cap >= 3, "degenerate config");
+        assert!(
+            cfg.leaf_cap >= 2 && cfg.branch_cap >= 3,
+            "degenerate config"
+        );
         let mut store = PageStore::new(cfg.buffer_pages);
         let root = store.allocate(Node::Leaf {
             entries: Vec::new(),
@@ -287,11 +292,7 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                 Node::Branch { children, .. } => stack.extend(children.iter().copied()),
             }
         }
-        out.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap()
-                .then_with(|| a.2.cmp(&b.2))
-        });
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.2.cmp(&b.2)));
         out
     }
 
@@ -345,8 +346,7 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                     let child_max = self.check_rec(child, level - 1, false, count);
                     assert!(
                         (child_max - max_ends[i]).abs() < 1e-9
-                            || (child_max == f64::NEG_INFINITY
-                                && max_ends[i] == f64::NEG_INFINITY),
+                            || (child_max == f64::NEG_INFINITY && max_ends[i] == f64::NEG_INFINITY),
                         "stale max_end at child {i}: stored {} actual {child_max}",
                         max_ends[i]
                     );
@@ -372,9 +372,8 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
         if level == 1 {
             let occ = self.store.write(pid, |n| match n {
                 Node::Leaf { entries } => {
-                    let pos = entries.partition_point(|x| {
-                        cmp_key(x.key(), ivl.key()) != Ordering::Greater
-                    });
+                    let pos = entries
+                        .partition_point(|x| cmp_key(x.key(), ivl.key()) != Ordering::Greater);
                     entries.insert(pos, ivl);
                     entries.len()
                 }
@@ -429,23 +428,25 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
             return None;
         }
         // Split the branch.
-        let (sep, right_seps, right_children, right_maxes) =
-            self.store.write(pid, |n| match n {
-                Node::Branch {
-                    seps,
-                    children,
-                    max_ends,
-                } => {
-                    let keep = children.len() / 2;
-                    let right_children = children.split_off(keep);
-                    let right_maxes = max_ends.split_off(keep);
-                    let mut right_seps = seps.split_off(keep - 1);
-                    let sep = right_seps.remove(0);
-                    (sep, right_seps, right_children, right_maxes)
-                }
-                Node::Leaf { .. } => unreachable!(),
-            });
-        let right_max = right_maxes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (sep, right_seps, right_children, right_maxes) = self.store.write(pid, |n| match n {
+            Node::Branch {
+                seps,
+                children,
+                max_ends,
+            } => {
+                let keep = children.len() / 2;
+                let right_children = children.split_off(keep);
+                let right_maxes = max_ends.split_off(keep);
+                let mut right_seps = seps.split_off(keep - 1);
+                let sep = right_seps.remove(0);
+                (sep, right_seps, right_children, right_maxes)
+            }
+            Node::Leaf { .. } => unreachable!(),
+        });
+        let right_max = right_maxes
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let right = self.store.allocate(Node::Branch {
             seps: right_seps,
             children: right_children,

@@ -198,7 +198,10 @@ mod tests {
 
     #[test]
     fn affine_lower_bound_is_tight_on_corners() {
-        let f = AffineDistance { w: [2.0, -1.0], b: 3.0 };
+        let f = AffineDistance {
+            w: [2.0, -1.0],
+            b: 3.0,
+        };
         let cell = Aabb::new([0.0, 0.0], [1.0, 1.0]);
         // Corner values of 2x - y + 3: 3, 5, 2, 4 → min |.| = 2.
         assert!((f.lower_bound(&cell) - 2.0).abs() < 1e-12);
@@ -211,7 +214,10 @@ mod tests {
     fn nearest_matches_naive() {
         let pts = pseudo_points(500, 3);
         let mut t = build(&pts);
-        let scorer = AffineDistance { w: [30.0, 1.0], b: -420.0 };
+        let scorer = AffineDistance {
+            w: [30.0, 1.0],
+            b: -420.0,
+        };
         for k in [1usize, 5, 20] {
             let got = t.nearest(&scorer, k);
             assert_eq!(got.len(), k);
@@ -230,7 +236,10 @@ mod tests {
     fn nearest_k_larger_than_n() {
         let pts = pseudo_points(7, 5);
         let mut t = build(&pts);
-        let scorer = AffineDistance { w: [1.0, 1.0], b: 0.0 };
+        let scorer = AffineDistance {
+            w: [1.0, 1.0],
+            b: 0.0,
+        };
         let got = t.nearest(&scorer, 100);
         assert_eq!(got.len(), 7);
     }
@@ -238,7 +247,10 @@ mod tests {
     #[test]
     fn nearest_on_empty_tree() {
         let mut t: KdTree<2, u64> = KdTree::new(KdConfig::small(4, 4));
-        let scorer = AffineDistance { w: [1.0, 0.0], b: 0.0 };
+        let scorer = AffineDistance {
+            w: [1.0, 0.0],
+            b: 0.0,
+        };
         assert!(t.nearest(&scorer, 3).is_empty());
     }
 
@@ -251,7 +263,10 @@ mod tests {
         }
         t.clear_buffer();
         let snap = t.stats().snapshot();
-        let scorer = AffineDistance { w: [1.0, 1.0], b: -900.0 };
+        let scorer = AffineDistance {
+            w: [1.0, 1.0],
+            b: -900.0,
+        };
         let got = t.nearest(&scorer, 5);
         assert_eq!(got.len(), 5);
         let cost = t.stats().since(&snap).reads;

@@ -120,7 +120,10 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
         let (data_pid, chain) = self.descend(&point);
         let (found, now_empty) = self.store.write(data_pid, |page| match page {
             KdPage::Data { points } => {
-                match points.iter().position(|(p, t)| *p == point && *t == payload) {
+                match points
+                    .iter()
+                    .position(|(p, t)| *p == point && *t == payload)
+                {
                     Some(pos) => {
                         points.swap_remove(pos);
                         (true, points.is_empty())
@@ -145,8 +148,7 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
     /// [`QueryRegion`]).
     pub fn query<Q: QueryRegion<D>>(&mut self, region: &Q, mut visit: impl FnMut(&[f64; D], T)) {
         // (page, cell, already-contained)
-        let mut stack: Vec<(PageId, Aabb<D>, bool)> =
-            vec![(self.root, Aabb::everything(), false)];
+        let mut stack: Vec<(PageId, Aabb<D>, bool)> = vec![(self.root, Aabb::everything(), false)];
         while let Some((pid, cell, contained)) = stack.pop() {
             // Classify at page granularity first (root page, and pages
             // pushed before classification was known).
@@ -173,14 +175,7 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 KdPage::Dir { splits, root, .. } => {
                     let splits = splits.clone();
                     let root = *root;
-                    Self::walk_dir(
-                        &splits,
-                        root,
-                        cell,
-                        contained,
-                        region,
-                        &mut stack,
-                    );
+                    Self::walk_dir(&splits, root, cell, contained, region, &mut stack);
                 }
             }
         }
@@ -462,7 +457,8 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 // Collect the subtree into a fresh slab with remapped
                 // indices.
                 let mut new_splits: Vec<Option<Split>> = Vec::new();
-                let new_root = extract_subtree(splits, free, Ref::Split(extract_idx), &mut new_splits);
+                let new_root =
+                    extract_subtree(splits, free, Ref::Split(extract_idx), &mut new_splits);
                 let moved = new_splits.len();
                 *live -= moved;
 
@@ -515,8 +511,8 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                     SlotAddr::Root => unreachable!(),
                 };
                 // Splice the unary split out of the in-page tree.
-                let parent_slot = find_parent_slot(splits, *root, idx)
-                    .expect("split unreachable from page root");
+                let parent_slot =
+                    find_parent_slot(splits, *root, idx).expect("split unreachable from page root");
                 splits[idx as usize] = None;
                 free.push(idx);
                 *live -= 1;
@@ -528,7 +524,9 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
         if live == 0 {
             // The directory page now holds a bare page ref: collapse it.
             let child = match self.store.read(dir) {
-                KdPage::Dir { root: Ref::Page(c), .. } => *c,
+                KdPage::Dir {
+                    root: Ref::Page(c), ..
+                } => *c,
                 _ => unreachable!("empty dir without page-ref root"),
             };
             let _ = self.store.free(dir);
@@ -776,9 +774,7 @@ mod tests {
         let mut want: Vec<u64> = pts
             .iter()
             .enumerate()
-            .filter(|(_, p)| {
-                QueryRegion::<2>::contains_point(&poly, &[p[0], p[1]])
-            })
+            .filter(|(_, p)| QueryRegion::<2>::contains_point(&poly, &[p[0], p[1]]))
             .map(|(i, _)| i as u64)
             .collect();
         want.sort_unstable();

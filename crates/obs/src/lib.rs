@@ -1,0 +1,31 @@
+//! # mobidx-obs — observability for the mobile-object index stack
+//!
+//! The reproduction's primary metric is the I/O count of the
+//! external-memory model, but diagnosing *why* a method costs what it
+//! costs needs more: buffer hit rates, candidate-vs-result ratios (the
+//! §3.5.2 approximation's false hits), and wall-clock latency
+//! distributions. This crate provides the shared, dependency-free
+//! vocabulary for all of that:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars, safe to update
+//!   through `&self` (no `Cell`, so instrumented types stay [`Sync`]);
+//! * [`Histogram`] — a log-bucketed latency/value histogram with
+//!   percentile estimation ([`Histogram::percentile`]) and cheap
+//!   snapshots;
+//! * [`Recorder`] — a sink trait for named metrics, with [`NoopRecorder`]
+//!   (zero cost) and [`MemoryRecorder`] (in-process aggregation);
+//! * [`QueryTrace`] / [`StoreTrace`] — the per-query span every index
+//!   method records: I/Os, candidates examined vs results returned,
+//!   latency, per-store breakdown;
+//! * [`json`] — a minimal JSON emitter + parser so the bench harness can
+//!   write machine-readable `BENCH_*.json` reports without external
+//!   crates.
+
+pub mod json;
+mod metrics;
+mod recorder;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
+pub use trace::{QueryTrace, StoreTrace};

@@ -1,0 +1,387 @@
+//! Atomic metric primitives: counters, gauges, log-bucketed histograms.
+//!
+//! Everything here updates through `&self` with relaxed atomics: metrics
+//! are monotone tallies, not synchronization points, so no ordering
+//! stronger than `Relaxed` is needed, and instrumented structures remain
+//! `Sync` without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing event tally.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current tally.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Relaxed);
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantization
+/// error of any recorded value by `2^-SUB_BITS` (6.25%).
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below `SUBS` get exact unit-width buckets; each of the
+/// remaining `64 - SUB_BITS` octaves contributes `SUBS` buckets.
+const NUM_BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Index of the bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    SUBS + (msb - SUB_BITS) as usize * SUBS + sub
+}
+
+/// Smallest value mapping to bucket `i`, and the bucket's width.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUBS {
+        return (i as u64, 1);
+    }
+    let octave = SUB_BITS + ((i - SUBS) / SUBS) as u32;
+    let sub = ((i - SUBS) % SUBS) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    let low = (1u64 << octave) + sub * width;
+    (low, width)
+}
+
+/// A log-bucketed histogram over `u64` values (latencies in nanoseconds,
+/// I/O counts, result cardinalities, ...).
+///
+/// Buckets are power-of-two octaves split into 16 linear sub-buckets, so
+/// any percentile estimate is within ~6% of the true value; the exact
+/// minimum and maximum are tracked separately and returned exactly for
+/// the 0th and 100th percentiles. Recording is lock-free (`&self`,
+/// relaxed atomics).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Relaxed)
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum.load(Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`), interpolating
+    /// linearly within the containing bucket. `q = 0` returns the exact
+    /// minimum and `q = 1` the exact maximum; an empty histogram
+    /// reports 0.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_sign_loss,
+            clippy::cast_possible_truncation
+        )]
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        if rank == n {
+            return self.max();
+        }
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Relaxed);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= rank {
+                let (low, width) = bucket_bounds(i);
+                let pos = rank - (cum - c); // 1-based rank within bucket
+                #[allow(
+                    clippy::cast_precision_loss,
+                    clippy::cast_sign_loss,
+                    clippy::cast_possible_truncation
+                )]
+                let v = (low as f64 + width as f64 * (pos as f64 - 0.5) / c as f64) as u64;
+                // The estimate stays inside the bucket and the observed range.
+                return v
+                    .clamp(low, low.saturating_add(width - 1))
+                    .clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Takes a point-in-time summary (p50/p90/p99/max and friends).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Clears all buckets and summary state.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// A point-in-time percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_u64_without_gaps() {
+        // Bucket lows are non-decreasing and each bucket starts where
+        // the previous one ends.
+        let mut expected_low = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (low, width) = bucket_bounds(i);
+            assert_eq!(low, expected_low, "bucket {i}");
+            assert_eq!(bucket_of(low), i, "low of bucket {i} maps back");
+            assert_eq!(
+                bucket_of(low + (width - 1)),
+                i,
+                "high of bucket {i} maps back"
+            );
+            expected_low = low.wrapping_add(width);
+        }
+        assert_eq!(expected_low, 0, "buckets end exactly at u64::MAX + 1");
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn zero_and_max_are_recorded_exactly() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert!(h.mean().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // 0..=100 once each: small values land in exact unit buckets, so
+        // percentiles are exact there; larger ones are within the ~6%
+        // sub-bucket quantization.
+        let h = Histogram::new();
+        for v in 0..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 50);
+        let p90 = h.percentile(0.9);
+        assert!((85..=95).contains(&p90), "p90 = {p90}");
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let h = Histogram::new();
+        for v in [1_000u64, 50_000, 123_456, 9_999_999] {
+            let solo = Histogram::new();
+            solo.record(v);
+            let est = solo.percentile(0.5);
+            #[allow(clippy::cast_precision_loss)]
+            let rel = (est as f64 - v as f64).abs() / v as f64;
+            assert!(rel <= 0.0626, "value {v} estimated {est} (rel err {rel})");
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let h = Histogram::new();
+        h.record(7);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let h = Histogram::new();
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn histogram_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Histogram>();
+        assert_sync::<Counter>();
+        assert_sync::<Gauge>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Metric sinks: where instrumented components publish named metrics.
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A sink for named metrics.
+///
+/// Instrumented components (`PageStore`, the bench harness) call these
+/// through `&self`; implementations must therefore be `Sync`. The
+/// methods take names as `&str` so callers can use static strings or
+/// formatted prefixes without forcing allocation on the no-op path.
+pub trait Recorder: Sync {
+    /// Adds `delta` to the counter `name`.
+    fn add_counter(&self, name: &str, delta: u64);
+
+    /// Sets the gauge `name` to `value`.
+    fn set_gauge(&self, name: &str, value: u64);
+
+    /// Records one observation into the histogram `name` (typically a
+    /// latency in nanoseconds).
+    fn record_value(&self, name: &str, value: u64);
+}
+
+/// A recorder that discards everything (the zero-overhead default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn add_counter(&self, _name: &str, _delta: u64) {}
+    fn set_gauge(&self, _name: &str, _value: u64) {}
+    fn record_value(&self, _name: &str, _value: u64) {}
+}
+
+/// An in-process recorder aggregating everything into maps, for tests
+/// and the bench harness.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current value of counter `name` (0 if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        *self
+            .counters
+            .lock()
+            .expect("poisoned")
+            .get(name)
+            .unwrap_or(&0)
+    }
+
+    /// The current value of gauge `name` (0 if never written).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        *self
+            .gauges
+            .lock()
+            .expect("poisoned")
+            .get(name)
+            .unwrap_or(&0)
+    }
+
+    /// A snapshot of histogram `name`, if any values were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .expect("poisoned")
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// All counter names seen so far.
+    #[must_use]
+    pub fn counter_names(&self) -> Vec<String> {
+        self.counters
+            .lock()
+            .expect("poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn add_counter(&self, name: &str, delta: u64) {
+        *self
+            .counters
+            .lock()
+            .expect("poisoned")
+            .entry(name.to_owned())
+            .or_insert(0) += delta;
+    }
+
+    fn set_gauge(&self, name: &str, value: u64) {
+        self.gauges
+            .lock()
+            .expect("poisoned")
+            .insert(name.to_owned(), value);
+    }
+
+    fn record_value(&self, name: &str, value: u64) {
+        self.histograms
+            .lock()
+            .expect("poisoned")
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_recorder_aggregates() {
+        let r = MemoryRecorder::new();
+        r.add_counter("pager.reads", 3);
+        r.add_counter("pager.reads", 2);
+        r.set_gauge("pager.pages", 10);
+        r.set_gauge("pager.pages", 12);
+        r.record_value("query.latency", 100);
+        r.record_value("query.latency", 300);
+        assert_eq!(r.counter("pager.reads"), 5);
+        assert_eq!(r.gauge("pager.pages"), 12);
+        let h = r.histogram("query.latency").expect("recorded");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 300);
+        assert_eq!(r.counter("missing"), 0);
+        assert!(r.histogram("missing").is_none());
+        assert_eq!(r.counter_names(), vec!["pager.reads".to_owned()]);
+    }
+
+    #[test]
+    fn noop_recorder_is_silent() {
+        let r = NoopRecorder;
+        r.add_counter("x", 1);
+        r.set_gauge("y", 2);
+        r.record_value("z", 3);
+    }
+
+    #[test]
+    fn recorders_are_object_safe() {
+        let r: &dyn Recorder = &NoopRecorder;
+        r.add_counter("x", 1);
+        let m = MemoryRecorder::new();
+        let r: &dyn Recorder = &m;
+        r.add_counter("x", 1);
+        assert_eq!(m.counter("x"), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-query trace spans.
+//!
+//! A [`QueryTrace`] is the record every index method produces around one
+//! `query` call: the I/O delta, the number of candidate entries examined
+//! before exact refinement vs the number of results returned (the false
+//! hits of the §3.5.2 approximation method are `candidates − results`),
+//! the wall-clock latency, and a per-store breakdown.
+
+use crate::json::Value;
+
+/// The I/O delta attributed to one internal page store during a traced
+/// query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreTrace {
+    /// Store label (e.g. `"obs3"`, `"static"`, `"gen0"`).
+    pub store: String,
+    /// Page reads during the query.
+    pub reads: u64,
+    /// Page writes during the query.
+    pub writes: u64,
+    /// Live pages of the store after the query.
+    pub pages: u64,
+}
+
+/// The span recorded around one `query` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// The method's display name.
+    pub method: String,
+    /// Candidate entries examined before exact refinement. Methods with
+    /// no refinement step report the number of entries reported by the
+    /// structure (then `candidates ≈ results`).
+    pub candidates: u64,
+    /// Results returned (after refinement + dedup).
+    pub results: u64,
+    /// Page reads during the query.
+    pub reads: u64,
+    /// Page writes during the query.
+    pub writes: u64,
+    /// Buffer-pool hits during the query.
+    pub hits: u64,
+    /// Wall-clock latency in nanoseconds.
+    pub latency_nanos: u64,
+    /// Per-store I/O breakdown; the component sums reconcile with the
+    /// totals above.
+    pub stores: Vec<StoreTrace>,
+}
+
+impl QueryTrace {
+    /// Reads + writes — the paper's query cost.
+    #[must_use]
+    pub fn ios(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of examined candidates that were false hits
+    /// (`(candidates − results) / candidates`; 0 when nothing was
+    /// examined). This quantifies the §3.5.2 rectangle approximation:
+    /// the dual-B+ method scans a conservative `b`-range and discards
+    /// non-matching speeds.
+    #[must_use]
+    pub fn false_hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.candidates.saturating_sub(self.results) as f64 / self.candidates as f64
+        }
+    }
+
+    /// Buffer hit rate during the query (`hits / (hits + reads)`; 0 when
+    /// no pages were touched).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let touched = self.hits + self.reads;
+        if touched == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / touched as f64
+        }
+    }
+
+    /// The trace as a JSON value (for log lines and reports).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("method".to_owned(), Value::Str(self.method.clone())),
+            ("candidates".to_owned(), Value::from(self.candidates)),
+            ("results".to_owned(), Value::from(self.results)),
+            ("reads".to_owned(), Value::from(self.reads)),
+            ("writes".to_owned(), Value::from(self.writes)),
+            ("hits".to_owned(), Value::from(self.hits)),
+            ("latency_nanos".to_owned(), Value::from(self.latency_nanos)),
+            (
+                "false_hit_rate".to_owned(),
+                Value::Num(self.false_hit_rate()),
+            ),
+            (
+                "stores".to_owned(),
+                Value::Arr(
+                    self.stores
+                        .iter()
+                        .map(|s| {
+                            Value::Obj(vec![
+                                ("store".to_owned(), Value::Str(s.store.clone())),
+                                ("reads".to_owned(), Value::from(s.reads)),
+                                ("writes".to_owned(), Value::from(s.writes)),
+                                ("pages".to_owned(), Value::from(s.pages)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> QueryTrace {
+        QueryTrace {
+            method: "dual-B+ (c=6)".to_owned(),
+            candidates: 40,
+            results: 30,
+            reads: 8,
+            writes: 0,
+            hits: 2,
+            latency_nanos: 12_345,
+            stores: vec![StoreTrace {
+                store: "obs2".to_owned(),
+                reads: 8,
+                writes: 0,
+                pages: 100,
+            }],
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let t = trace();
+        assert_eq!(t.ios(), 8);
+        assert!((t.false_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((t.hit_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rates_are_zero() {
+        let t = QueryTrace {
+            candidates: 0,
+            results: 0,
+            reads: 0,
+            hits: 0,
+            ..trace()
+        };
+        assert!(t.false_hit_rate().abs() < f64::EPSILON);
+        assert!(t.hit_rate().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn more_results_than_candidates_saturates() {
+        // Defensive: methods that don't count every source of results.
+        let t = QueryTrace {
+            candidates: 5,
+            results: 9,
+            ..trace()
+        };
+        assert!(t.false_hit_rate().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = trace();
+        let rendered = t.to_json().render();
+        let parsed = Value::parse(&rendered).expect("valid JSON");
+        assert_eq!(
+            parsed.get("method").and_then(Value::as_str),
+            Some("dual-B+ (c=6)")
+        );
+        assert_eq!(parsed.get("candidates").and_then(Value::as_u64), Some(40));
+        let stores = parsed.get("stores").and_then(Value::as_array).expect("arr");
+        assert_eq!(stores.len(), 1);
+        assert_eq!(stores[0].get("pages").and_then(Value::as_u64), Some(100));
+    }
+}

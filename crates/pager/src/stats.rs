@@ -2,22 +2,31 @@
 //!
 //! All metrics reported by the benchmark harness (Figures 6–9 of the paper)
 //! are derived from [`IoStats`]: query cost = reads+writes between two
-//! [`IoSnapshot`]s, space = live page count.
+//! [`IoSnapshot`]s, space = live page count. Buffer-pool behaviour (hits,
+//! evictions, dirty write-backs) is tallied alongside so the harness can
+//! report hit rates, and every counter can be published to a
+//! [`mobidx_obs::Recorder`] under a per-store prefix.
 
-use std::cell::Cell;
+use mobidx_obs::Recorder;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Cumulative I/O and space counters for one paged structure.
 ///
-/// Counters use interior mutability ([`Cell`]) so that logically read-only
-/// operations (searches, which still touch the buffer pool) don't force
-/// `&mut` APIs all the way up the stack.
+/// Counters use relaxed atomics so that logically read-only operations
+/// (searches, which still touch the buffer pool) don't force `&mut` APIs
+/// up the stack, and so instrumented structures stay `Sync`. The counters
+/// are independent tallies, not synchronization points, so `Relaxed`
+/// ordering is sufficient.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    allocated: Cell<u64>,
-    freed: Cell<u64>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocated: AtomicU64,
+    freed: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
 }
 
 impl IoStats {
@@ -29,34 +38,51 @@ impl IoStats {
 
     /// Records `n` page reads (buffer misses).
     pub fn add_reads(&self, n: u64) {
-        self.reads.set(self.reads.get() + n);
+        self.reads.fetch_add(n, Relaxed);
     }
 
     /// Records `n` page writes (dirty evictions / flushes).
     pub fn add_writes(&self, n: u64) {
-        self.writes.set(self.writes.get() + n);
+        self.writes.fetch_add(n, Relaxed);
     }
 
     /// Records one page allocation.
     pub fn add_alloc(&self) {
-        self.allocated.set(self.allocated.get() + 1);
+        self.allocated.fetch_add(1, Relaxed);
     }
 
     /// Records one page deallocation.
     pub fn add_free(&self) {
-        self.freed.set(self.freed.get() + 1);
+        self.freed.fetch_add(1, Relaxed);
+    }
+
+    /// Records `n` buffer hits (page accesses served without I/O).
+    pub fn add_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Relaxed);
+    }
+
+    /// Records one buffer eviction (a resident page displaced to make
+    /// room).
+    pub fn add_eviction(&self) {
+        self.evictions.fetch_add(1, Relaxed);
+    }
+
+    /// Records one dirty write-back (an eviction or flush that had to pay
+    /// a write I/O).
+    pub fn add_writeback(&self) {
+        self.writebacks.fetch_add(1, Relaxed);
     }
 
     /// Total page reads so far.
     #[must_use]
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Relaxed)
     }
 
     /// Total page writes so far.
     #[must_use]
     pub fn writes(&self) -> u64 {
-        self.writes.get()
+        self.writes.load(Relaxed)
     }
 
     /// Total reads + writes.
@@ -65,28 +91,73 @@ impl IoStats {
         self.reads() + self.writes()
     }
 
+    /// Total buffer hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Total buffer misses so far. Every miss faults a page in, so this
+    /// equals [`IoStats::reads`].
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.reads()
+    }
+
+    /// Total buffer evictions so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Relaxed)
+    }
+
+    /// Total dirty write-backs so far (the subset of [`IoStats::writes`]
+    /// paid by evictions and flushes).
+    #[must_use]
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.load(Relaxed)
+    }
+
+    /// Fraction of buffered page accesses served without I/O
+    /// (`hits / (hits + misses)`; 0.0 before any access).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let touched = hits + self.misses();
+        if touched == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            hits as f64 / touched as f64
+        }
+    }
+
     /// Pages allocated over the lifetime of the structure.
     #[must_use]
     pub fn allocated(&self) -> u64 {
-        self.allocated.get()
+        self.allocated.load(Relaxed)
     }
 
     /// Pages freed over the lifetime of the structure.
     #[must_use]
     pub fn freed(&self) -> u64 {
-        self.freed.get()
+        self.freed.load(Relaxed)
     }
 
     /// Pages currently live — the paper's space-consumption metric (Fig. 8).
     #[must_use]
     pub fn live_pages(&self) -> u64 {
-        self.allocated.get() - self.freed.get()
+        self.allocated() - self.freed()
     }
 
-    /// Resets the read/write counters, keeping space counters intact.
+    /// Resets the read/write and buffer counters, keeping space counters
+    /// intact.
     pub fn reset_io(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
+        self.reads.store(0, Relaxed);
+        self.writes.store(0, Relaxed);
+        self.hits.store(0, Relaxed);
+        self.evictions.store(0, Relaxed);
+        self.writebacks.store(0, Relaxed);
     }
 
     /// Takes a snapshot for later differencing (cost of one operation).
@@ -95,6 +166,8 @@ impl IoStats {
         IoSnapshot {
             reads: self.reads(),
             writes: self.writes(),
+            hits: self.hits(),
+            evictions: self.evictions(),
         }
     }
 
@@ -104,11 +177,24 @@ impl IoStats {
         IoSnapshot {
             reads: self.reads() - since.reads,
             writes: self.writes() - since.writes,
+            hits: self.hits() - since.hits,
+            evictions: self.evictions() - since.evictions,
         }
+    }
+
+    /// Publishes every counter to `recorder`, each name prefixed with
+    /// `prefix` (e.g. `"pager.obs3."`).
+    pub fn publish(&self, recorder: &dyn Recorder, prefix: &str) {
+        recorder.add_counter(&format!("{prefix}reads"), self.reads());
+        recorder.add_counter(&format!("{prefix}writes"), self.writes());
+        recorder.add_counter(&format!("{prefix}hits"), self.hits());
+        recorder.add_counter(&format!("{prefix}evictions"), self.evictions());
+        recorder.add_counter(&format!("{prefix}writebacks"), self.writebacks());
+        recorder.set_gauge(&format!("{prefix}live_pages"), self.live_pages());
     }
 }
 
-/// A point-in-time copy of the read/write counters.
+/// A point-in-time copy of the I/O and buffer counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoSnapshot {
     /// Page reads at snapshot time (or delta, when produced by
@@ -116,6 +202,10 @@ pub struct IoSnapshot {
     pub reads: u64,
     /// Page writes at snapshot time (or delta).
     pub writes: u64,
+    /// Buffer hits at snapshot time (or delta).
+    pub hits: u64,
+    /// Buffer evictions at snapshot time (or delta).
+    pub evictions: u64,
 }
 
 impl IoSnapshot {
@@ -124,11 +214,31 @@ impl IoSnapshot {
     pub fn total(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Fraction of page accesses served by the buffer
+    /// (`hits / (hits + reads)`; 0.0 when no pages were touched).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let touched = self.hits + self.reads;
+        if touched == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / touched as f64
+        }
+    }
 }
 
 impl fmt::Display for IoSnapshot {
+    /// The compact `"4r+1w"` form; the alternate form (`{:#}`) appends
+    /// buffer hits: `"4r+1w (2h)"`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}r+{}w", self.reads, self.writes)
+        write!(f, "{}r+{}w", self.reads, self.writes)?;
+        if f.alternate() {
+            write!(f, " ({}h)", self.hits)?;
+        }
+        Ok(())
     }
 }
 
@@ -151,31 +261,83 @@ mod tests {
     }
 
     #[test]
+    fn buffer_counters_accumulate() {
+        let s = IoStats::new();
+        s.add_hits(3);
+        s.add_reads(1); // = one miss
+        s.add_eviction();
+        s.add_writeback();
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.evictions(), 1);
+        assert_eq!(s.writebacks(), 1);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_before_any_access() {
+        let s = IoStats::new();
+        assert!(s.hit_rate().abs() < f64::EPSILON);
+    }
+
+    #[test]
     fn snapshot_diff() {
         let s = IoStats::new();
         s.add_reads(5);
         let snap = s.snapshot();
         s.add_reads(2);
         s.add_writes(1);
+        s.add_hits(4);
         let d = s.since(&snap);
         assert_eq!(d.reads, 2);
         assert_eq!(d.writes, 1);
+        assert_eq!(d.hits, 4);
         assert_eq!(d.total(), 3);
+        assert!((d.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn reset_io_keeps_space() {
         let s = IoStats::new();
         s.add_reads(5);
+        s.add_hits(2);
+        s.add_eviction();
         s.add_alloc();
         s.reset_io();
         assert_eq!(s.reads(), 0);
+        assert_eq!(s.hits(), 0);
+        assert_eq!(s.evictions(), 0);
         assert_eq!(s.live_pages(), 1);
     }
 
     #[test]
     fn display_formats() {
-        let snap = IoSnapshot { reads: 4, writes: 1 };
+        let snap = IoSnapshot {
+            reads: 4,
+            writes: 1,
+            hits: 2,
+            evictions: 0,
+        };
         assert_eq!(snap.to_string(), "4r+1w");
+        assert_eq!(format!("{snap:#}"), "4r+1w (2h)");
+    }
+
+    #[test]
+    fn stats_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<IoStats>();
+    }
+
+    #[test]
+    fn publish_emits_prefixed_metrics() {
+        let s = IoStats::new();
+        s.add_reads(2);
+        s.add_hits(1);
+        s.add_alloc();
+        let rec = mobidx_obs::MemoryRecorder::new();
+        s.publish(&rec, "pager.t.");
+        assert_eq!(rec.counter("pager.t.reads"), 2);
+        assert_eq!(rec.counter("pager.t.hits"), 1);
+        assert_eq!(rec.gauge("pager.t.live_pages"), 1);
     }
 }

@@ -106,8 +106,10 @@ impl<P> PageStore<P> {
         };
         self.stats.add_alloc();
         if let Some((_, was_dirty)) = self.buffer.insert(id, true) {
+            self.stats.add_eviction();
             if was_dirty {
                 self.stats.add_writes(1);
+                self.stats.add_writeback();
             }
         }
         id
@@ -132,7 +134,9 @@ impl<P> PageStore<P> {
     /// Panics if `id` is not a live page.
     pub fn read(&mut self, id: PageId) -> &P {
         self.fault_in(id, false);
-        self.pages[id.0 as usize].as_ref().expect("read of dead page")
+        self.pages[id.0 as usize]
+            .as_ref()
+            .expect("read of dead page")
     }
 
     /// Fetches page `id` and mutates it via `f`. A buffer miss costs one
@@ -142,7 +146,9 @@ impl<P> PageStore<P> {
     /// Panics if `id` is not a live page.
     pub fn write<R>(&mut self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R {
         self.fault_in(id, true);
-        f(self.pages[id.0 as usize].as_mut().expect("write of dead page"))
+        f(self.pages[id.0 as usize]
+            .as_mut()
+            .expect("write of dead page"))
     }
 
     /// Replaces the contents of page `id` wholesale.
@@ -156,6 +162,7 @@ impl<P> PageStore<P> {
         for (_, dirty) in self.buffer.drain() {
             if dirty {
                 self.stats.add_writes(1);
+                self.stats.add_writeback();
             }
         }
     }
@@ -167,6 +174,7 @@ impl<P> PageStore<P> {
         for &(id, dirty) in &entries {
             if dirty {
                 self.stats.add_writes(1);
+                self.stats.add_writeback();
             }
             let _ = self.buffer.insert(id, false);
         }
@@ -179,7 +187,9 @@ impl<P> PageStore<P> {
     /// Panics if `id` is not a live page.
     #[must_use]
     pub fn peek(&self, id: PageId) -> &P {
-        self.pages[id.0 as usize].as_ref().expect("peek of dead page")
+        self.pages[id.0 as usize]
+            .as_ref()
+            .expect("peek of dead page")
     }
 
     /// Iterates over `(id, page)` for all live pages, without I/O
@@ -199,6 +209,7 @@ impl<P> PageStore<P> {
             "access to dead page {id}"
         );
         if self.buffer.touch(id) {
+            self.stats.add_hits(1);
             if dirty {
                 self.buffer.mark_dirty(id);
             }
@@ -206,8 +217,10 @@ impl<P> PageStore<P> {
         }
         self.stats.add_reads(1);
         if let Some((_, was_dirty)) = self.buffer.insert(id, dirty) {
+            self.stats.add_eviction();
             if was_dirty {
                 self.stats.add_writes(1);
+                self.stats.add_writeback();
             }
         }
     }
@@ -306,6 +319,25 @@ mod tests {
         let a = s.allocate(1);
         let _ = s.free(a);
         let _ = s.read(a);
+    }
+
+    #[test]
+    fn buffer_counters_track_hits_and_evictions() {
+        let mut s: PageStore<u8> = PageStore::new(1);
+        let a = s.allocate(1);
+        let b = s.allocate(2); // evicts `a` (dirty): eviction + write-back
+        assert_eq!(s.stats().evictions(), 1);
+        assert_eq!(s.stats().writebacks(), 1);
+        let _ = s.read(b); // resident: hit, no I/O
+        assert_eq!(s.stats().hits(), 1);
+        assert_eq!(s.stats().reads(), 0);
+        let _ = s.read(a); // miss: evicts `b` (dirty)
+        assert_eq!(s.stats().reads(), 1);
+        assert_eq!(s.stats().evictions(), 2);
+        assert_eq!(s.stats().writebacks(), 2);
+        assert!((s.stats().hit_rate() - 0.5).abs() < 1e-12);
+        s.clear_buffer(); // `a` resident and clean: no write-back
+        assert_eq!(s.stats().writebacks(), 2);
     }
 
     #[test]

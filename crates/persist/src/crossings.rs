@@ -222,8 +222,7 @@ mod tests {
                 (state % 1000) as f64
             }
         };
-        let objs: Vec<(f64, f64)> =
-            (0..200).map(|_| (next(), 0.5 + next() / 500.0)).collect();
+        let objs: Vec<(f64, f64)> = (0..200).map(|_| (next(), 0.5 + next() / 500.0)).collect();
         for horizon in [1.0, 10.0, 100.0, 1000.0] {
             let ev = all_crossings(&objs, horizon);
             assert_eq!(ev.len(), count_crossings(&objs, horizon), "T={horizon}");

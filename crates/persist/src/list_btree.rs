@@ -240,7 +240,10 @@ impl PersistentListBTree {
     /// Panics if `time` precedes an already-applied event or `pos + 1` is
     /// out of range.
     pub fn apply_swap(&mut self, time: f64, pos: usize) {
-        assert!(time >= self.last_time, "events must be applied in time order");
+        assert!(
+            time >= self.last_time,
+            "events must be applied in time order"
+        );
         assert!(pos + 1 < self.cur_occ.len(), "swap position out of range");
         self.last_time = time;
         self.swaps_applied += 1;
@@ -262,9 +265,7 @@ impl PersistentListBTree {
             return;
         }
         // Locate the root copy for time t (in-memory auxiliary array).
-        let idx = self
-            .root_history
-            .partition_point(|&(time, _)| time <= t);
+        let idx = self.root_history.partition_point(|&(time, _)| time <= t);
         if idx == 0 {
             return; // t precedes the epoch
         }
@@ -645,7 +646,11 @@ mod tests {
             .map(|i| {
                 #[allow(clippy::cast_precision_loss)]
                 let y = i as f64 * 5.0;
-                let v = if i % 3 == 0 { 3.0 } else { 1.0 + (i % 7) as f64 * 0.1 };
+                let v = if i % 3 == 0 {
+                    3.0
+                } else {
+                    1.0 + (i % 7) as f64 * 0.1
+                };
                 (y, v)
             })
             .collect();

@@ -2,7 +2,9 @@
 //! version of the list must equal an eager replay, and crossing
 //! enumeration must match the quadratic definition.
 
-use mobidx_persist::{all_crossings, count_crossings, Occupant, PersistConfig, PersistentListBTree};
+use mobidx_persist::{
+    all_crossings, count_crossings, Occupant, PersistConfig, PersistentListBTree,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,62 @@
+//! Strategies for `bool`, mirroring `proptest::bool`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `true` and `false` with equal probability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolStrategy;
+
+/// Any boolean, uniformly.
+pub const ANY: BoolStrategy = BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `true` with probability `p` (mirrors `proptest::bool::weighted`).
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+    Weighted { p }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.unit(false) < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_both() {
+        let mut rng = TestRng::for_case("bool::any", 0);
+        let trues = (0..1000).filter(|_| ANY.generate(&mut rng)).count();
+        assert!(
+            (300..700).contains(&trues),
+            "ANY produced {trues}/1000 trues"
+        );
+    }
+
+    #[test]
+    fn weighted_respects_p() {
+        let mut rng = TestRng::for_case("bool::weighted", 0);
+        let w = weighted(0.9);
+        let trues = (0..1000).filter(|_| w.generate(&mut rng)).count();
+        assert!(trues > 700, "weighted(0.9) produced {trues}/1000 trues");
+    }
+}

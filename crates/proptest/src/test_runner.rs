@@ -1,0 +1,107 @@
+//! Deterministic case generation and the runner-facing types.
+
+/// Per-test configuration (`cases` is the only knob this shim honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Unused knobs kept for signature compatibility.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion (test fails).
+    Fail(String),
+    /// The case was rejected by `prop_assume!` (regenerated).
+    Reject(String),
+}
+
+/// The deterministic generator behind every strategy (xoshiro256++
+/// seeded from the test name and case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Generator for case `case` of the test identified by `name`.
+    #[must_use]
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = h;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)` (or `[0, 1]` when `inclusive`).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn unit(&mut self, inclusive: bool) -> f64 {
+        let bits = self.next_u64() >> 11;
+        if inclusive {
+            bits as f64 / ((1u64 << 53) - 1) as f64
+        } else {
+            bits as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //! logarithmic dynamization.
 
 use mobidx_geom::{Aabb, QueryRegion, Relation};
-use mobidx_pager::{page_capacity, IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE};
+use mobidx_pager::{
+    page_capacity, IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE,
+};
 use std::fmt::Debug;
 
 /// Sizing parameters of a partition forest.
@@ -393,9 +395,7 @@ fn kd_partition<const D: usize, T: Copy>(
     let cut = points.len() * left_groups / groups;
     let cut = cut.clamp(1, points.len() - 1);
     points.select_nth_unstable_by(cut, |a, b| {
-        a.0[axis]
-            .partial_cmp(&b.0[axis])
-            .expect("NaN coordinate")
+        a.0[axis].partial_cmp(&b.0[axis]).expect("NaN coordinate")
     });
     let (left, right) = points.split_at_mut(cut);
     let next = (axis + 1) % D;
@@ -440,8 +440,7 @@ mod tests {
         f.check_invariants();
         for q in pseudo_points(15, 77) {
             let qbox = Aabb::new([q[0], q[1]], [q[0] + 300.0, q[1] + 300.0]);
-            let mut got: Vec<u64> =
-                f.query_collect(&qbox).into_iter().map(|(_, v)| v).collect();
+            let mut got: Vec<u64> = f.query_collect(&qbox).into_iter().map(|(_, v)| v).collect();
             got.sort_unstable();
             let mut want: Vec<u64> = pts
                 .iter()
@@ -467,7 +466,11 @@ mod tests {
             HalfPlane::x_ge(100.0),
             HalfPlane::x_le(700.0),
         ]);
-        let mut got: Vec<u64> = f.query_collect(&wedge).into_iter().map(|(_, v)| v).collect();
+        let mut got: Vec<u64> = f
+            .query_collect(&wedge)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
         got.sort_unstable();
         let mut want: Vec<u64> = pts
             .iter()
@@ -585,8 +588,7 @@ mod tests {
         // A thin slab (the hard case for linear-space structures): the
         // partition tree must still prune most cells.
         let pts = pseudo_points(20_000, 43);
-        let mut f: PartitionForest<2, u64> =
-            PartitionForest::new(PartitionConfig::small(32, 16));
+        let mut f: PartitionForest<2, u64> = PartitionForest::new(PartitionConfig::small(32, 16));
         for (i, &p) in pts.iter().enumerate() {
             f.insert(p, i as u64);
         }

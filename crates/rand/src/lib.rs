@@ -1,0 +1,271 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no access to a crates.io mirror, so the real
+//! `rand` cannot be downloaded. This shim is patched over `crates-io` in
+//! the workspace manifest and implements the subset the workspace uses:
+//!
+//! * [`rngs::SmallRng`] + [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over integer and float ranges (half-open and
+//!   inclusive);
+//! * [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic
+//! per seed, with distribution quality far beyond what the workload
+//! simulators and property tests require. It does **not** reproduce the
+//! exact streams of the real `rand` crate; all in-repo consumers treat
+//! seeds as opaque, so only determinism matters.
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling, as a blanket extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(&mut Sampler(self))
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        unit_open(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Uniform integer in `[0, n)` by widening multiply.
+fn uniform_u64<G: RngCore + ?Sized>(rng: &mut G, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+/// Uniform float in `[0, 1)` (`unit = false`) or `[0, 1]` (`unit = true`).
+fn unit_f64<G: RngCore + ?Sized>(rng: &mut G, inclusive: bool) -> f64 {
+    let bits = rng.next_u64() >> 11; // 53 significant bits
+    #[allow(clippy::cast_precision_loss)]
+    if inclusive {
+        bits as f64 / ((1u64 << 53) - 1) as f64
+    } else {
+        bits as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn unit_open<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+    unit_f64(rng, false)
+}
+
+/// Object-safe sampling facade handed to [`SampleRange`] impls.
+pub struct Sampler<'a>(&'a mut dyn RngCore);
+
+impl Sampler<'_> {
+    /// Uniform integer in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        uniform_u64(self.0, n)
+    }
+
+    /// Uniform float in `[0, 1)` / `[0, 1]`.
+    fn unit(&mut self, inclusive: bool) -> f64 {
+        unit_f64(self.0, inclusive)
+    }
+
+    /// The next 64 random bits.
+    fn bits(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, sampler: &mut Sampler<'_>) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, sampler: &mut Sampler<'_>) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = sampler.below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, sampler: &mut Sampler<'_>) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                // span + 1 would wrap for the full u64 domain; that case
+                // is "any 64-bit value".
+                let off = if span == u64::MAX {
+                    sampler.bits()
+                } else {
+                    sampler.below(span + 1)
+                };
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(self, sampler: &mut Sampler<'_>) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = sampler.unit(false);
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * u;
+                // Guard against rounding up to the excluded endpoint.
+                let v = if v >= self.end as f64 { self.start as f64 } else { v };
+                v as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(self, sampler: &mut Sampler<'_>) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let u = sampler.unit(true);
+                (start as f64 + (end as f64 - start as f64) * u) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the real SmallRng documents.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// The standard generator; aliased to [`SmallRng`] in this shim.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same = (0..100).filter(|_| {
+            let mut a2 = a.clone();
+            a2.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX)
+        });
+        assert!(same.count() < 100);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(1.0f64..=2.0);
+            assert!((1.0..=2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequencies() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (1_800..3_200).contains(&hits),
+            "p=0.25 produced {hits}/10000"
+        );
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

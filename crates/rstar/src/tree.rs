@@ -1,8 +1,8 @@
 //! The R\*-tree proper.
 
 use crate::query::RectQuery;
-use mobidx_pager::{IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES};
 use mobidx_geom::{Rect2, Relation};
+use mobidx_pager::{IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES};
 use std::fmt::Debug;
 
 /// Sizing parameters of an R\*-tree.
@@ -252,13 +252,7 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
         assert_eq!(count, self.len, "len does not match leaf contents");
     }
 
-    fn check_rec(
-        &self,
-        pid: PageId,
-        level: usize,
-        expected_mbr: Option<Rect2>,
-        count: &mut usize,
-    ) {
+    fn check_rec(&self, pid: PageId, level: usize, expected_mbr: Option<Rect2>, count: &mut usize) {
         let node = self.store.peek(pid);
         let occ = node.occupancy();
         assert!(
@@ -469,19 +463,11 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
         let (left_mbr, right_mbr, right_part) = self.store.write(node, |n| match n {
             RNode::Leaf(entries) => {
                 let right = rstar_split(entries, m);
-                (
-                    mbr_of(entries),
-                    mbr_of(&right),
-                    SplitOut::Leaf(right),
-                )
+                (mbr_of(entries), mbr_of(&right), SplitOut::Leaf(right))
             }
             RNode::Branch(entries) => {
                 let right = rstar_split(entries, m);
-                (
-                    mbr_of(entries),
-                    mbr_of(&right),
-                    SplitOut::Branch(right),
-                )
+                (mbr_of(entries), mbr_of(&right), SplitOut::Branch(right))
             }
         });
         let right_pid = match right_part {
@@ -612,8 +598,7 @@ fn choose_subtree_leaf_level(entries: &[(Rect2, PageId)], mbr: &Rect2) -> PageId
         let mut overlap_delta = 0.0;
         for (j, &(other, _)) in entries.iter().enumerate() {
             if j != i {
-                overlap_delta +=
-                    grown.overlap_area(&other) - entries[i].0.overlap_area(&other);
+                overlap_delta += grown.overlap_area(&other) - entries[i].0.overlap_area(&other);
             }
         }
         let key = (

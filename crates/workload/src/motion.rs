@@ -319,9 +319,24 @@ mod tests {
     #[test]
     fn brute_force_sorted_ids() {
         let objs = vec![
-            Motion1D { id: 5, t0: 0.0, y0: 10.0, v: 1.0 },
-            Motion1D { id: 2, t0: 0.0, y0: 11.0, v: 1.0 },
-            Motion1D { id: 9, t0: 0.0, y0: 500.0, v: 1.0 },
+            Motion1D {
+                id: 5,
+                t0: 0.0,
+                y0: 10.0,
+                v: 1.0,
+            },
+            Motion1D {
+                id: 2,
+                t0: 0.0,
+                y0: 11.0,
+                v: 1.0,
+            },
+            Motion1D {
+                id: 9,
+                t0: 0.0,
+                y0: 500.0,
+                v: 1.0,
+            },
         ];
         let q = MorQuery1D {
             y1: 0.0,

@@ -255,7 +255,11 @@ impl RouteNetwork {
             let new = RouteObject {
                 t0: target,
                 s0: old.arc_at(target).clamp(0.0, route_len),
-                v: if self.rng.gen_bool(0.5) { speed } else { -speed },
+                v: if self.rng.gen_bool(0.5) {
+                    speed
+                } else {
+                    -speed
+                },
                 ..old
             };
             self.objects[i] = new;
@@ -269,8 +273,7 @@ impl RouteNetwork {
     /// of `[t1, t2]`" under per-route linear arc extrapolation.
     #[must_use]
     pub fn brute_force(&self, rect: &Rect2, t1: f64, t2: f64) -> Vec<u64> {
-        let clips: Vec<Vec<(f64, f64)>> =
-            self.routes.iter().map(|r| r.clip_rect(rect)).collect();
+        let clips: Vec<Vec<(f64, f64)>> = self.routes.iter().map(|r| r.clip_rect(rect)).collect();
         let mut out: Vec<u64> = self
             .objects
             .iter()
@@ -299,7 +302,7 @@ mod tests {
             0,
             vec![
                 Point2::new(0.0, 0.0),
-                Point2::new(3.0, 4.0), // length 5
+                Point2::new(3.0, 4.0),  // length 5
                 Point2::new(3.0, 10.0), // length 6
             ],
         );
@@ -397,11 +400,7 @@ mod tests {
         // The whole terrain over a window must return everything... except
         // objects whose linear extrapolation has already left their route
         // (none at t=0 with zero-length window).
-        let all = net.brute_force(
-            &Rect2::from_bounds(0.0, 0.0, 1000.0, 1000.0),
-            0.0,
-            0.0,
-        );
+        let all = net.brute_force(&Rect2::from_bounds(0.0, 0.0, 1000.0, 1000.0), 0.0, 0.0);
         assert_eq!(all.len(), 300);
         // An empty rectangle region far away matches nothing.
         let none = net.brute_force(&Rect2::from_bounds(-10.0, -10.0, -5.0, -5.0), 0.0, 10.0);

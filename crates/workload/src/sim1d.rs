@@ -1,6 +1,6 @@
 //! The 1-D scenario simulator of §5.
 
-use crate::motion::{Motion1D, MorQuery1D};
+use crate::motion::{MorQuery1D, Motion1D};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -183,7 +183,9 @@ impl Simulator1D {
     /// `U(0, yqmax)`, window length `U(0, tw)`, start at `now`.
     pub fn gen_query(&mut self, yqmax: f64, tw: f64) -> MorQuery1D {
         let len = self.rng.gen_range(0.0..yqmax);
-        let y1 = self.rng.gen_range(0.0..(self.cfg.terrain - len).max(f64::MIN_POSITIVE));
+        let y1 = self
+            .rng
+            .gen_range(0.0..(self.cfg.terrain - len).max(f64::MIN_POSITIVE));
         let dt = self.rng.gen_range(0.0..tw);
         MorQuery1D {
             y1,
@@ -267,7 +269,10 @@ mod tests {
         let cfg = *sim.config();
         for m in sim.objects() {
             let s = m.v.abs();
-            assert!((cfg.v_min..=cfg.v_max).contains(&s), "speed {s} out of band");
+            assert!(
+                (cfg.v_min..=cfg.v_max).contains(&s),
+                "speed {s} out of band"
+            );
         }
     }
 

@@ -4,7 +4,7 @@
 //! band with random signs; objects reflect per-axis at the borders of the
 //! `[0, x_max] × [0, y_max]` terrain, each reflection issuing an update.
 
-use crate::motion::{Motion2D, MorQuery2D};
+use crate::motion::{MorQuery2D, Motion2D};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -210,8 +210,12 @@ impl Simulator2D {
     pub fn gen_query(&mut self, qmax: f64, tw: f64) -> MorQuery2D {
         let wx = self.rng.gen_range(0.0..qmax);
         let wy = self.rng.gen_range(0.0..qmax);
-        let x1 = self.rng.gen_range(0.0..(self.cfg.x_max - wx).max(f64::MIN_POSITIVE));
-        let y1 = self.rng.gen_range(0.0..(self.cfg.y_max - wy).max(f64::MIN_POSITIVE));
+        let x1 = self
+            .rng
+            .gen_range(0.0..(self.cfg.x_max - wx).max(f64::MIN_POSITIVE));
+        let y1 = self
+            .rng
+            .gen_range(0.0..(self.cfg.y_max - wy).max(f64::MIN_POSITIVE));
         let dt = self.rng.gen_range(0.0..tw);
         MorQuery2D {
             x1,

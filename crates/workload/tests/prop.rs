@@ -3,7 +3,7 @@
 //! lengths, and the oracles must agree with definitional sampling.
 
 use mobidx_workload::{
-    brute_force_1d, brute_force_2d, Motion1D, MorQuery1D, MorQuery2D, Simulator1D, Simulator2D,
+    brute_force_1d, brute_force_2d, MorQuery1D, MorQuery2D, Motion1D, Simulator1D, Simulator2D,
     WorkloadConfig, WorkloadConfig2D,
 };
 use proptest::prelude::*;

@@ -70,5 +70,8 @@ fn main() {
             mb.v
         );
     }
-    assert!(!pairs.is_empty(), "a 5k-vehicle highway always has near-passes");
+    assert!(
+        !pairs.is_empty(),
+        "a 5k-vehicle highway always has near-passes"
+    );
 }

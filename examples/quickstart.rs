@@ -63,7 +63,10 @@ fn main() {
         q.t2,
         exact.len()
     );
-    println!("{:<16}{:>10}{:>12}{:>12}", "method", "answers", "query I/O", "pages");
+    println!(
+        "{:<16}{:>10}{:>12}{:>12}",
+        "method", "answers", "query I/O", "pages"
+    );
     for idx in &mut methods {
         idx.clear_buffers();
         idx.reset_io();

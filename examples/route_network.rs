@@ -26,7 +26,10 @@ fn main() {
     println!(
         "network: {} routes, total length {:.0} miles, {} vehicles",
         net.routes.len(),
-        net.routes.iter().map(mobidx_workload::Route::length).sum::<f64>(),
+        net.routes
+            .iter()
+            .map(mobidx_workload::Route::length)
+            .sum::<f64>(),
         net.objects.len()
     );
 
@@ -51,7 +54,10 @@ fn main() {
     ];
     let (t1, t2) = (net.now, net.now + 15.0);
     println!("\nforecast window: t in [{t1}, {t2}]");
-    println!("{:<10}{:>10}{:>12}{:>14}", "region", "vehicles", "query I/O", "routes probed");
+    println!(
+        "{:<10}{:>10}{:>12}{:>14}",
+        "region", "vehicles", "query I/O", "routes probed"
+    );
     for (name, rect) in regions {
         idx.clear_buffers();
         idx.reset_io();
@@ -72,5 +78,8 @@ fn main() {
         );
     }
     println!("\n(answers verified against the exact network oracle)");
-    println!("space: {} pages across SAM + per-route indices", idx.io_totals().pages);
+    println!(
+        "space: {} pages across SAM + per-route indices",
+        idx.io_totals().pages
+    );
 }

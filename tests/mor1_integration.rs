@@ -96,9 +96,9 @@ fn staggered_mor1_follows_a_live_world() {
     let mut stag = StaggeredMor1::new(PersistConfig::small(32), sim.objects(), 0.0, period);
     for step in 0..120 {
         let ups = sim.step(); // only border reflections occur
-        // Reflections *do* change motions; rebuilds pick them up. Verify
-        // only at freshly rebuilt boundaries where the snapshot is
-        // current: right after advance with zero pending reflections.
+                              // Reflections *do* change motions; rebuilds pick them up. Verify
+                              // only at freshly rebuilt boundaries where the snapshot is
+                              // current: right after advance with zero pending reflections.
         stag.advance(sim.now(), sim.objects());
         if step % 20 == 5 && ups.is_empty() {
             let tq = sim.now() + 1.0;

@@ -66,10 +66,7 @@ fn nearest_is_cheap_in_io() {
     assert_eq!(got.len(), 3);
     let cost = idx.io_totals().reads;
     let pages = idx.io_totals().pages;
-    assert!(
-        cost < pages / 4,
-        "3-NN query read {cost} of {pages} pages"
-    );
+    assert!(cost < pages / 4, "3-NN query read {cost} of {pages} pages");
 }
 
 #[test]

@@ -1,0 +1,281 @@
+//! Cross-crate observability tests: `QueryTrace` accounting must
+//! reconcile exactly with the pager's `IoTotals` deltas for every paper
+//! method, histograms must survive edge inputs, and the machine-readable
+//! benchmark report must round-trip through the JSON parser with every
+//! method present.
+
+use mobidx_bench::{paper_methods, run_scenario, QueryMix, Scale};
+use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex};
+use mobidx_core::method::dual_bplus::DualBPlusConfig;
+use mobidx_core::{Index2D, MorQuery1D, Motion1D, SpeedBand};
+use mobidx_kdtree::KdConfig;
+use mobidx_obs::json::Value;
+use mobidx_obs::Histogram;
+use mobidx_workload::{Simulator2D, WorkloadConfig2D};
+use proptest::prelude::*;
+
+const TERRAIN: f64 = 1000.0;
+
+fn motion_strategy() -> impl Strategy<Value = Motion1D> {
+    (
+        0u64..5000,
+        0.0f64..TERRAIN,
+        0.16f64..1.66,
+        prop::bool::ANY,
+        0.0f64..300.0,
+    )
+        .prop_map(|(id, y0, speed, neg, t0)| Motion1D {
+            id,
+            t0,
+            y0,
+            v: if neg { -speed } else { speed },
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = MorQuery1D> {
+    (0.0f64..950.0, 0.0f64..150.0, 300.0f64..400.0, 0.0f64..60.0).prop_map(|(y1, len, t1, dt)| {
+        MorQuery1D {
+            y1,
+            y2: (y1 + len).min(TERRAIN),
+            t1,
+            t2: t1 + dt,
+        }
+    })
+}
+
+fn dedup_by_id(mut motions: Vec<Motion1D>) -> Vec<Motion1D> {
+    motions.sort_by_key(|m| m.id);
+    motions.dedup_by_key(|m| m.id);
+    motions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every paper method (through the `Box<dyn Index1D>` the bench
+    /// harness uses), the trace's I/O counters equal the `IoTotals`
+    /// delta across the query, the per-store breakdown sums to the
+    /// totals, and candidates dominate results.
+    #[test]
+    fn traces_reconcile_with_io_totals(
+        motions in prop::collection::vec(motion_strategy(), 1..80),
+        queries in prop::collection::vec(query_strategy(), 1..4),
+    ) {
+        let motions = dedup_by_id(motions);
+        for method in paper_methods() {
+            let mut idx = (method.make)();
+            for m in &motions {
+                idx.insert(m);
+            }
+            for q in &queries {
+                idx.clear_buffers();
+                idx.reset_io();
+                let before = idx.io_totals();
+                let (ids, trace) = idx.query_traced(q);
+                let delta = idx.io_totals().delta_since(before);
+                prop_assert_eq!(&trace.method, &method.name);
+                prop_assert_eq!(trace.reads, delta.reads, "{} reads", method.name);
+                prop_assert_eq!(trace.writes, delta.writes, "{} writes", method.name);
+                prop_assert_eq!(trace.hits, delta.hits, "{} hits", method.name);
+                prop_assert_eq!(trace.results, ids.len() as u64, "{}", method.name);
+                prop_assert!(
+                    trace.candidates >= trace.results,
+                    "{}: candidates {} < results {}",
+                    method.name, trace.candidates, trace.results
+                );
+                let store_reads: u64 = trace.stores.iter().map(|s| s.reads).sum();
+                let store_writes: u64 = trace.stores.iter().map(|s| s.writes).sum();
+                prop_assert_eq!(store_reads, trace.reads, "{} store reads", method.name);
+                prop_assert_eq!(store_writes, trace.writes, "{} store writes", method.name);
+                prop_assert!((0.0..=1.0).contains(&trace.false_hit_rate()));
+                prop_assert!((0.0..=1.0).contains(&trace.hit_rate()));
+            }
+        }
+    }
+}
+
+/// The exact methods (rotating duals with polygon queries) report a
+/// zero false-hit rate; the dual-B+ approximation reports a positive
+/// one on a real workload — the §3.5.2 trade-off, observable per query.
+#[test]
+fn false_hit_rates_separate_exact_from_approximate() {
+    let mut sim = mobidx_workload::Simulator1D::new(mobidx_workload::WorkloadConfig {
+        n: 1500,
+        seed: 11,
+        ..mobidx_workload::WorkloadConfig::default()
+    });
+    for _ in 0..5 {
+        let _ = sim.step();
+    }
+    let mut kd_fh = 0.0f64;
+    let mut bp_fh = 0.0f64;
+    for method in paper_methods() {
+        let mut idx = (method.make)();
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+        let mut candidates = 0u64;
+        let mut results = 0u64;
+        for _ in 0..20 {
+            let q = sim.gen_query(150.0, 60.0);
+            idx.clear_buffers();
+            idx.reset_io();
+            let (ids, trace) = idx.query_traced(&q);
+            candidates += trace.candidates;
+            results += ids.len() as u64;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let fh = candidates.saturating_sub(results) as f64 / candidates.max(1) as f64;
+        match method.name.as_str() {
+            "dual-kd" => kd_fh = fh,
+            "dual-B+ (c=4)" => bp_fh = fh,
+            _ => {}
+        }
+    }
+    assert!(kd_fh.abs() < 1e-12, "exact method false-hit rate {kd_fh}");
+    assert!(
+        bp_fh > 0.1,
+        "dual-B+ false-hit rate {bp_fh} implausibly low"
+    );
+}
+
+/// 2-D methods reconcile the same way through `Index2D::query_traced`.
+#[test]
+fn traces_reconcile_in_2d() {
+    let mut sim = Simulator2D::new(WorkloadConfig2D {
+        n: 600,
+        seed: 23,
+        ..WorkloadConfig2D::default()
+    });
+    for _ in 0..3 {
+        let _ = sim.step();
+    }
+    let mut indexes: Vec<Box<dyn Index2D>> = vec![
+        Box::new(Dual4KdIndex::new(KdConfig::default(), SpeedBand::paper())),
+        Box::new(Decomposition2D::new(DualBPlusConfig {
+            c: 4,
+            ..DualBPlusConfig::default()
+        })),
+    ];
+    for idx in &mut indexes {
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+        for _ in 0..10 {
+            let q = sim.gen_query(150.0, 60.0);
+            idx.clear_buffers();
+            idx.reset_io();
+            let before = idx.io_totals();
+            let (ids, trace) = idx.query_traced(&q);
+            let delta = idx.io_totals().delta_since(before);
+            assert_eq!(trace.reads, delta.reads, "{}", trace.method);
+            assert_eq!(trace.writes, delta.writes, "{}", trace.method);
+            assert_eq!(trace.results, ids.len() as u64, "{}", trace.method);
+            assert!(trace.candidates >= trace.results, "{}", trace.method);
+            let store_reads: u64 = trace.stores.iter().map(|s| s.reads).sum();
+            assert_eq!(store_reads, trace.reads, "{}", trace.method);
+        }
+    }
+}
+
+/// Histogram edge inputs: zero, `u64::MAX`, and percentile
+/// interpolation within the documented ≤6.25 % quantization error.
+#[test]
+fn histogram_edge_cases() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.percentile(0.5), 0, "empty histogram percentile");
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, 0);
+
+    h.record(0);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+
+    let h = Histogram::new();
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+        #[allow(clippy::cast_precision_loss)]
+        let got = h.percentile(q) as f64;
+        assert!(
+            (got - exact).abs() / exact < 0.0725,
+            "p{q}: got {got}, want ~{exact}"
+        );
+    }
+    assert_eq!(h.percentile(1.0), 1000, "p100 is the exact max");
+    assert_eq!(h.percentile(0.0), 1, "p0 is the exact min");
+}
+
+/// The full benchmark report at a tiny scale parses back and contains
+/// every paper method with sane per-method statistics.
+#[test]
+fn json_report_contains_every_method() {
+    let scale = Scale {
+        n_factor: 0.004,
+        instants: 6,
+        query_instants: 2,
+        queries_per_instant: 4,
+    };
+    let n = scale.n_values()[0];
+    let methods = paper_methods();
+    let cells: Vec<_> = methods
+        .iter()
+        .map(|m| run_scenario(m, n, QueryMix::Large, &scale, 9))
+        .collect();
+    let text = mobidx_bench::json_report::render_report("tiny", &scale, 9, &[("large", &cells)]);
+    let doc = Value::parse(&text).expect("report must be valid JSON");
+    let large = doc
+        .get("mixes")
+        .and_then(|m| m.get("large"))
+        .and_then(Value::as_array)
+        .expect("large mix present");
+    assert_eq!(large.len(), methods.len());
+    for method in &methods {
+        let cell = large
+            .iter()
+            .find(|c| c.get("method").and_then(Value::as_str) == Some(method.name.as_str()))
+            .unwrap_or_else(|| panic!("method {} missing from report", method.name));
+        let fh = cell
+            .get("false_hit_rate")
+            .and_then(Value::as_f64)
+            .expect("false_hit_rate");
+        assert!((0.0..=1.0).contains(&fh), "{}: rate {fh}", method.name);
+        let lat = cell.get("latency_nanos").expect("latency object");
+        let count = lat.get("count").and_then(Value::as_u64).expect("count");
+        let queries = cell
+            .get("queries")
+            .and_then(Value::as_u64)
+            .expect("queries");
+        assert_eq!(count, queries, "{}", method.name);
+    }
+}
+
+/// `QueryTrace::to_json` output round-trips through the parser.
+#[test]
+fn query_trace_json_round_trips() {
+    let mut sim = mobidx_workload::Simulator1D::new(mobidx_workload::WorkloadConfig {
+        n: 400,
+        seed: 3,
+        ..mobidx_workload::WorkloadConfig::default()
+    });
+    let method = &paper_methods()[1]; // dual-kd
+    let mut idx = (method.make)();
+    for m in sim.objects() {
+        idx.insert(m);
+    }
+    let q = sim.gen_query(150.0, 60.0);
+    idx.clear_buffers();
+    idx.reset_io();
+    let (_, trace) = idx.query_traced(&q);
+    let doc = Value::parse(&trace.to_json().render()).expect("trace JSON parses");
+    assert_eq!(doc.get("method").and_then(Value::as_str), Some("dual-kd"));
+    assert_eq!(doc.get("reads").and_then(Value::as_u64), Some(trace.reads));
+    let stores = doc.get("stores").and_then(Value::as_array).expect("stores");
+    assert_eq!(stores.len(), trace.stores.len());
+}

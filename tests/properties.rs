@@ -6,7 +6,7 @@ use mobidx_bptree::TreeConfig;
 use mobidx_core::dual::{hough_x_point, hough_x_query, hough_y_b, hough_y_interval};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
-use mobidx_core::{Index1D, Motion1D, MorQuery1D, SpeedBand};
+use mobidx_core::{Index1D, MorQuery1D, Motion1D, SpeedBand};
 use mobidx_geom::QueryRegion;
 use mobidx_kdtree::KdConfig;
 use mobidx_workload::brute_force_1d;
@@ -32,14 +32,14 @@ fn motion_strategy() -> impl Strategy<Value = Motion1D> {
 }
 
 fn query_strategy() -> impl Strategy<Value = MorQuery1D> {
-    (0.0f64..950.0, 0.0f64..150.0, 300.0f64..400.0, 0.0f64..60.0).prop_map(
-        |(y1, len, t1, dt)| MorQuery1D {
+    (0.0f64..950.0, 0.0f64..150.0, 300.0f64..400.0, 0.0f64..60.0).prop_map(|(y1, len, t1, dt)| {
+        MorQuery1D {
             y1,
             y2: (y1 + len).min(TERRAIN),
             t1,
             t2: t1 + dt,
-        },
-    )
+        }
+    })
 }
 
 /// Dedupes motions by id (each object appears once in a motion table).

@@ -16,7 +16,10 @@ use mobidx_workload::{
 
 fn methods_2d() -> Vec<Box<dyn Index2D>> {
     vec![
-        Box::new(Dual4KdIndex::new(KdConfig::small(16, 8), SpeedBand::paper())),
+        Box::new(Dual4KdIndex::new(
+            KdConfig::small(16, 8),
+            SpeedBand::paper(),
+        )),
         Box::new(Dual4PtreeIndex::new(
             PartitionConfig::small(16, 8),
             SpeedBand::paper(),
