@@ -3,9 +3,13 @@
 
 use crate::node::Node;
 use crate::{cmp_entry, cmp_key, Key};
-use mobidx_pager::{IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES};
+use mobidx_pager::{Backend, IoStats, PageId, PageStore, PagerError, DEFAULT_BUFFER_PAGES};
 use std::cmp::Ordering;
 use std::fmt::Debug;
+
+/// Panic message of the infallible wrappers; fires only if a
+/// fault-injecting backend is installed but the infallible API is used.
+const INFALLIBLE: &str = "pager fault (use the try_* API with fault-injecting backends)";
 
 /// Sizing parameters of a tree.
 #[derive(Debug, Clone, Copy)]
@@ -117,63 +121,137 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
 
     /// Flushes and empties the buffer pool (the paper clears the buffer
     /// before every query so query I/O is cold).
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`BPlusTree::try_clear_buffer`].
     pub fn clear_buffer(&mut self) {
-        self.store.clear_buffer();
+        self.try_clear_buffer().expect(INFALLIBLE);
+    }
+
+    /// Flushes and empties the buffer pool.
+    ///
+    /// # Errors
+    /// Propagates a rejected write-back from the backend.
+    pub fn try_clear_buffer(&mut self) -> Result<(), PagerError> {
+        self.store.try_clear_buffer()
+    }
+
+    /// Swaps the storage backend (fault policy), returning the previous
+    /// one. Page contents are untouched.
+    pub fn set_backend(&mut self, backend: Box<dyn Backend>) -> Box<dyn Backend> {
+        self.store.set_backend(backend)
     }
 
     /// Inserts the entry `(key, value)`.
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`BPlusTree::try_insert`].
     pub fn insert(&mut self, key: K, value: V) {
-        if let Some((sep, right)) = self.insert_rec(self.root, self.height, (key, value)) {
+        self.try_insert(key, value).expect(INFALLIBLE);
+    }
+
+    /// Inserts the entry `(key, value)`.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered storage fault. The insert is then
+    /// *not* counted in [`BPlusTree::len`], but node splits already
+    /// performed are not rolled back — after a torn error the tree must
+    /// be treated as suspect and rebuilt (see DESIGN.md, "Fault model &
+    /// recovery guarantees").
+    pub fn try_insert(&mut self, key: K, value: V) -> Result<(), PagerError> {
+        if let Some((sep, right)) = self.try_insert_rec(self.root, self.height, (key, value))? {
             let old_root = self.root;
-            self.root = self.store.allocate(Node::Branch {
+            self.root = self.store.try_allocate(Node::Branch {
                 seps: vec![sep],
                 children: vec![old_root, right],
-            });
+            })?;
             self.height += 1;
         }
         self.len += 1;
+        Ok(())
     }
 
     /// Removes the entry `(key, value)`. Returns `true` if it was present.
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`BPlusTree::try_remove`].
     pub fn remove(&mut self, key: K, value: V) -> bool {
-        let (removed, _) = self.remove_rec(self.root, self.height, &(key, value));
+        self.try_remove(key, value).expect(INFALLIBLE)
+    }
+
+    /// Removes the entry `(key, value)`. Returns `Ok(true)` if it was
+    /// present.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered storage fault; rebalancing
+    /// already performed is not rolled back (see [`BPlusTree::try_insert`]).
+    pub fn try_remove(&mut self, key: K, value: V) -> Result<bool, PagerError> {
+        let (removed, _) = self.try_remove_rec(self.root, self.height, &(key, value))?;
         if removed {
             self.len -= 1;
         }
         // Collapse a root branch that lost all but one child.
         while self.height > 1 {
-            let only = match self.store.read(self.root) {
+            let only = match self.store.try_read(self.root)? {
                 Node::Branch { children, .. } if children.len() == 1 => Some(children[0]),
                 _ => None,
             };
             match only {
                 Some(child) => {
-                    let _ = self.store.free(self.root);
+                    let _ = self.store.try_free(self.root)?;
                     self.root = child;
                     self.height -= 1;
                 }
                 None => break,
             }
         }
-        removed
+        Ok(removed)
     }
 
     /// Reports every value whose key lies in `[lo, hi]`, in key order.
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`BPlusTree::try_range`].
     pub fn range(&mut self, lo: K, hi: K) -> Vec<(K, V)> {
+        self.try_range(lo, hi).expect(INFALLIBLE)
+    }
+
+    /// Reports every value whose key lies in `[lo, hi]`, in key order.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered read fault; the scan stops there.
+    pub fn try_range(&mut self, lo: K, hi: K) -> Result<Vec<(K, V)>, PagerError> {
         let mut out = Vec::new();
-        self.range_for_each(lo, hi, |k, v| out.push((k, v)));
-        out
+        self.try_range_for_each(lo, hi, |k, v| out.push((k, v)))?;
+        Ok(out)
     }
 
     /// Visits every entry with key in `[lo, hi]`, in key order.
-    pub fn range_for_each(&mut self, lo: K, hi: K, mut visit: impl FnMut(K, V)) {
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`BPlusTree::try_range_for_each`].
+    pub fn range_for_each(&mut self, lo: K, hi: K, visit: impl FnMut(K, V)) {
+        self.try_range_for_each(lo, hi, visit).expect(INFALLIBLE);
+    }
+
+    /// Visits every entry with key in `[lo, hi]`, in key order.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered read fault; entries already
+    /// visited stay visited.
+    pub fn try_range_for_each(
+        &mut self,
+        lo: K,
+        hi: K,
+        mut visit: impl FnMut(K, V),
+    ) -> Result<(), PagerError> {
         if cmp_key(&lo, &hi) == Ordering::Greater {
-            return;
+            return Ok(());
         }
         // Descend to the leftmost leaf that can contain `lo`.
         let mut node = self.root;
         for _ in 1..self.height {
-            node = match self.store.read(node) {
+            node = match self.store.try_read(node)? {
                 Node::Branch { seps, children } => {
                     let idx = seps.partition_point(|s| cmp_key(&s.0, &lo) == Ordering::Less);
                     children[idx]
@@ -184,13 +262,13 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
         // Scan the leaf chain.
         let mut current = Some(node);
         while let Some(leaf) = current {
-            let (entries, next) = match self.store.read(leaf) {
+            let (entries, next) = match self.store.try_read(leaf)? {
                 Node::Leaf { entries, next } => (entries.clone(), *next),
                 Node::Branch { .. } => unreachable!("branch at leaf level"),
             };
             for (k, v) in entries {
                 match cmp_key(&k, &hi) {
-                    Ordering::Greater => return,
+                    Ordering::Greater => return Ok(()),
                     _ => {
                         if cmp_key(&k, &lo) != Ordering::Less {
                             visit(k, v);
@@ -200,14 +278,26 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
             }
             current = next;
         }
+        Ok(())
     }
 
     /// Whether the exact entry `(key, value)` is present.
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`BPlusTree::try_contains`].
     pub fn contains(&mut self, key: K, value: V) -> bool {
+        self.try_contains(key, value).expect(INFALLIBLE)
+    }
+
+    /// Whether the exact entry `(key, value)` is present.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered read fault.
+    pub fn try_contains(&mut self, key: K, value: V) -> Result<bool, PagerError> {
         let e = (key, value);
         let mut node = self.root;
         for _ in 1..self.height {
-            node = match self.store.read(node) {
+            node = match self.store.try_read(node)? {
                 Node::Branch { seps, children } => {
                     let idx = Self::route(seps, &e);
                     children[idx]
@@ -215,10 +305,10 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                 Node::Leaf { .. } => unreachable!(),
             };
         }
-        match self.store.read(node) {
+        Ok(match self.store.try_read(node)? {
             Node::Leaf { entries, .. } => entries.binary_search_by(|x| cmp_entry(x, &e)).is_ok(),
             Node::Branch { .. } => unreachable!(),
-        }
+        })
     }
 
     /// Builds a tree from entries **sorted lexicographically**, packing
@@ -433,60 +523,76 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
         seps.partition_point(|s| cmp_entry(s, e) != Ordering::Greater)
     }
 
-    fn insert_rec(&mut self, node: PageId, level: usize, e: (K, V)) -> Option<((K, V), PageId)> {
+    #[allow(clippy::type_complexity)]
+    fn try_insert_rec(
+        &mut self,
+        node: PageId,
+        level: usize,
+        e: (K, V),
+    ) -> Result<Option<((K, V), PageId)>, PagerError> {
         if level == 1 {
-            let overflow = self.store.write(node, |n| match n {
+            let overflow = self.store.try_write(node, |n| match n {
                 Node::Leaf { entries, .. } => {
                     let pos = entries.partition_point(|x| cmp_entry(x, &e) != Ordering::Greater);
                     entries.insert(pos, e);
                     entries.len()
                 }
                 Node::Branch { .. } => unreachable!("branch at leaf level"),
-            }) > self.cfg.leaf_cap;
-            return overflow.then(|| self.split_leaf(node));
+            })? > self.cfg.leaf_cap;
+            return if overflow {
+                self.try_split_leaf(node).map(Some)
+            } else {
+                Ok(None)
+            };
         }
-        let (idx, child) = match self.store.read(node) {
+        let (idx, child) = match self.store.try_read(node)? {
             Node::Branch { seps, children } => {
                 let idx = Self::route(seps, &e);
                 (idx, children[idx])
             }
             Node::Leaf { .. } => unreachable!("leaf above leaf level"),
         };
-        let (sep, right) = self.insert_rec(child, level - 1, e)?;
-        let overflow = self.store.write(node, |n| match n {
+        let Some((sep, right)) = self.try_insert_rec(child, level - 1, e)? else {
+            return Ok(None);
+        };
+        let overflow = self.store.try_write(node, |n| match n {
             Node::Branch { seps, children } => {
                 seps.insert(idx, sep);
                 children.insert(idx + 1, right);
                 children.len()
             }
             Node::Leaf { .. } => unreachable!(),
-        }) > self.cfg.branch_cap;
-        overflow.then(|| self.split_branch(node))
+        })? > self.cfg.branch_cap;
+        if overflow {
+            self.try_split_branch(node).map(Some)
+        } else {
+            Ok(None)
+        }
     }
 
-    fn split_leaf(&mut self, left: PageId) -> ((K, V), PageId) {
-        let (right_entries, old_next) = self.store.write(left, |n| match n {
+    fn try_split_leaf(&mut self, left: PageId) -> Result<((K, V), PageId), PagerError> {
+        let (right_entries, old_next) = self.store.try_write(left, |n| match n {
             Node::Leaf { entries, next } => {
                 let mid = entries.len() / 2;
                 (entries.split_off(mid), *next)
             }
             Node::Branch { .. } => unreachable!(),
-        });
+        })?;
         let sep = right_entries[0];
-        let right = self.store.allocate(Node::Leaf {
+        let right = self.store.try_allocate(Node::Leaf {
             entries: right_entries,
             next: old_next,
-        });
-        self.store.write(left, |n| {
+        })?;
+        self.store.try_write(left, |n| {
             if let Node::Leaf { next, .. } = n {
                 *next = Some(right);
             }
-        });
-        (sep, right)
+        })?;
+        Ok((sep, right))
     }
 
-    fn split_branch(&mut self, left: PageId) -> ((K, V), PageId) {
-        let (sep, right_seps, right_children) = self.store.write(left, |n| match n {
+    fn try_split_branch(&mut self, left: PageId) -> Result<((K, V), PageId), PagerError> {
+        let (sep, right_seps, right_children) = self.store.try_write(left, |n| match n {
             Node::Branch { seps, children } => {
                 let keep = children.len() / 2; // children kept on the left
                 let right_children = children.split_off(keep);
@@ -495,21 +601,26 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                 (sep, right_seps, right_children)
             }
             Node::Leaf { .. } => unreachable!(),
-        });
-        let right = self.store.allocate(Node::Branch {
+        })?;
+        let right = self.store.try_allocate(Node::Branch {
             seps: right_seps,
             children: right_children,
-        });
-        (sep, right)
+        })?;
+        Ok((sep, right))
     }
 
     // ------------------------------------------------------------------
     // Delete internals
     // ------------------------------------------------------------------
 
-    fn remove_rec(&mut self, node: PageId, level: usize, e: &(K, V)) -> (bool, bool) {
+    fn try_remove_rec(
+        &mut self,
+        node: PageId,
+        level: usize,
+        e: &(K, V),
+    ) -> Result<(bool, bool), PagerError> {
         if level == 1 {
-            let (removed, occ) = self.store.write(node, |n| match n {
+            let (removed, occ) = self.store.try_write(node, |n| match n {
                 Node::Leaf { entries, .. } => match entries.binary_search_by(|x| cmp_entry(x, e)) {
                     Ok(pos) => {
                         entries.remove(pos);
@@ -518,30 +629,35 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                     Err(_) => (false, entries.len()),
                 },
                 Node::Branch { .. } => unreachable!(),
-            });
-            return (removed, occ < self.cfg.min_leaf());
+            })?;
+            return Ok((removed, occ < self.cfg.min_leaf()));
         }
-        let (idx, child) = match self.store.read(node) {
+        let (idx, child) = match self.store.try_read(node)? {
             Node::Branch { seps, children } => {
                 let idx = Self::route(seps, e);
                 (idx, children[idx])
             }
             Node::Leaf { .. } => unreachable!(),
         };
-        let (removed, child_under) = self.remove_rec(child, level - 1, e);
+        let (removed, child_under) = self.try_remove_rec(child, level - 1, e)?;
         if !child_under {
-            return (removed, false);
+            return Ok((removed, false));
         }
-        let occ = self.fix_underflow(node, idx, level);
-        (removed, occ < self.cfg.min_branch())
+        let occ = self.try_fix_underflow(node, idx, level)?;
+        Ok((removed, occ < self.cfg.min_branch()))
     }
 
     /// Restores the occupancy of `children[idx]` of branch `parent` by
     /// borrowing from or merging with an adjacent sibling. Returns the
     /// parent's resulting child count.
-    fn fix_underflow(&mut self, parent: PageId, idx: usize, level: usize) -> usize {
+    fn try_fix_underflow(
+        &mut self,
+        parent: PageId,
+        idx: usize,
+        level: usize,
+    ) -> Result<usize, PagerError> {
         let leaf_children = level == 2;
-        let (child, left_sib, right_sib, child_count) = match self.store.read(parent) {
+        let (child, left_sib, right_sib, child_count) = match self.store.try_read(parent)? {
             Node::Branch { children, .. } => (
                 children[idx],
                 (idx > 0).then(|| children[idx - 1]),
@@ -558,16 +674,16 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
 
         // Try borrowing from the left sibling.
         if let Some(left) = left_sib {
-            if self.store.read(left).occupancy() > min {
-                self.borrow_from_left(parent, idx, left, child, leaf_children);
-                return child_count;
+            if self.store.try_read(left)?.occupancy() > min {
+                self.try_borrow_from_left(parent, idx, left, child, leaf_children)?;
+                return Ok(child_count);
             }
         }
         // Try borrowing from the right sibling.
         if let Some(right) = right_sib {
-            if self.store.read(right).occupancy() > min {
-                self.borrow_from_right(parent, idx, child, right, leaf_children);
-                return child_count;
+            if self.store.try_read(right)?.occupancy() > min {
+                self.try_borrow_from_right(parent, idx, child, right, leaf_children)?;
+                return Ok(child_count);
             }
         }
         // Merge: absorb the right node of an adjacent pair into the left.
@@ -577,122 +693,130 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
             (child, right, idx)
         } else {
             // Root with a single child; handled by the caller's collapse.
-            return child_count;
+            return Ok(child_count);
         };
-        self.merge(parent, lhs, rhs, sep_idx);
-        child_count - 1
+        self.try_merge(parent, lhs, rhs, sep_idx)?;
+        Ok(child_count - 1)
     }
 
-    fn borrow_from_left(
+    fn try_borrow_from_left(
         &mut self,
         parent: PageId,
         idx: usize,
         left: PageId,
         child: PageId,
         leaf_children: bool,
-    ) {
+    ) -> Result<(), PagerError> {
         if leaf_children {
-            let moved = self.store.write(left, |n| match n {
+            let moved = self.store.try_write(left, |n| match n {
                 Node::Leaf { entries, .. } => entries.pop().expect("borrow from empty leaf"),
                 Node::Branch { .. } => unreachable!(),
-            });
-            self.store.write(child, |n| {
+            })?;
+            self.store.try_write(child, |n| {
                 if let Node::Leaf { entries, .. } = n {
                     entries.insert(0, moved);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx - 1] = moved;
                 }
-            });
+            })?;
         } else {
-            let (moved_child, new_sep) = self.store.write(left, |n| match n {
+            let (moved_child, new_sep) = self.store.try_write(left, |n| match n {
                 Node::Branch { seps, children } => (
                     children.pop().expect("borrow from empty branch"),
                     seps.pop().expect("borrow from empty branch"),
                 ),
                 Node::Leaf { .. } => unreachable!(),
-            });
-            let old_sep = match self.store.read(parent) {
+            })?;
+            let old_sep = match self.store.try_read(parent)? {
                 Node::Branch { seps, .. } => seps[idx - 1],
                 Node::Leaf { .. } => unreachable!(),
             };
-            self.store.write(child, |n| {
+            self.store.try_write(child, |n| {
                 if let Node::Branch { seps, children } = n {
                     seps.insert(0, old_sep);
                     children.insert(0, moved_child);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx - 1] = new_sep;
                 }
-            });
+            })?;
         }
+        Ok(())
     }
 
-    fn borrow_from_right(
+    fn try_borrow_from_right(
         &mut self,
         parent: PageId,
         idx: usize,
         child: PageId,
         right: PageId,
         leaf_children: bool,
-    ) {
+    ) -> Result<(), PagerError> {
         if leaf_children {
-            let (moved, new_first) = self.store.write(right, |n| match n {
+            let (moved, new_first) = self.store.try_write(right, |n| match n {
                 Node::Leaf { entries, .. } => {
                     let moved = entries.remove(0);
                     (moved, entries[0])
                 }
                 Node::Branch { .. } => unreachable!(),
-            });
-            self.store.write(child, |n| {
+            })?;
+            self.store.try_write(child, |n| {
                 if let Node::Leaf { entries, .. } = n {
                     entries.push(moved);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx] = new_first;
                 }
-            });
+            })?;
         } else {
-            let (moved_child, new_sep) = self.store.write(right, |n| match n {
+            let (moved_child, new_sep) = self.store.try_write(right, |n| match n {
                 Node::Branch { seps, children } => (children.remove(0), seps.remove(0)),
                 Node::Leaf { .. } => unreachable!(),
-            });
-            let old_sep = match self.store.read(parent) {
+            })?;
+            let old_sep = match self.store.try_read(parent)? {
                 Node::Branch { seps, .. } => seps[idx],
                 Node::Leaf { .. } => unreachable!(),
             };
-            self.store.write(child, |n| {
+            self.store.try_write(child, |n| {
                 if let Node::Branch { seps, children } = n {
                     seps.push(old_sep);
                     children.push(moved_child);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx] = new_sep;
                 }
-            });
+            })?;
         }
+        Ok(())
     }
 
     /// Absorbs `rhs` into `lhs` (adjacent children of `parent`, with
     /// `seps[sep_idx]` between them) and frees `rhs`.
-    fn merge(&mut self, parent: PageId, lhs: PageId, rhs: PageId, sep_idx: usize) {
-        let sep = match self.store.read(parent) {
+    fn try_merge(
+        &mut self,
+        parent: PageId,
+        lhs: PageId,
+        rhs: PageId,
+        sep_idx: usize,
+    ) -> Result<(), PagerError> {
+        let sep = match self.store.try_read(parent)? {
             Node::Branch { seps, .. } => seps[sep_idx],
             Node::Leaf { .. } => unreachable!(),
         };
-        let rhs_node = self.store.read(rhs).clone();
-        let _ = self.store.free(rhs);
+        let rhs_node = self.store.try_read(rhs)?.clone();
+        let _ = self.store.try_free(rhs)?;
         match rhs_node {
             Node::Leaf { entries, next } => {
-                self.store.write(lhs, |n| {
+                self.store.try_write(lhs, |n| {
                     if let Node::Leaf {
                         entries: le,
                         next: ln,
@@ -701,10 +825,10 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                         le.extend(entries);
                         *ln = next;
                     }
-                });
+                })?;
             }
             Node::Branch { seps, children } => {
-                self.store.write(lhs, |n| {
+                self.store.try_write(lhs, |n| {
                     if let Node::Branch {
                         seps: ls,
                         children: lc,
@@ -714,15 +838,16 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                         ls.extend(seps);
                         lc.extend(children);
                     }
-                });
+                })?;
             }
         }
-        self.store.write(parent, |n| {
+        self.store.try_write(parent, |n| {
             if let Node::Branch { seps, children } = n {
                 seps.remove(sep_idx);
                 children.remove(sep_idx + 1);
             }
-        });
+        })?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,969 @@
+//! # mobidx-check — model-checking harness for the paged indexes
+//!
+//! Drives each index through thousands of seeded operation sequences —
+//! inserts, deletes, and MOR-style queries — while a [`FaultStore`]
+//! backend injects read/write failures, torn writes, transient faults,
+//! and crash points, and checks every surviving answer against a plain
+//! in-memory oracle.
+//!
+//! The contract being checked (the PR's acceptance bar):
+//!
+//! * **No silent wrong answers.** Every query that returns `Ok` must
+//!   agree exactly with the oracle.
+//! * **Every fault is accounted for.** An injected fault either
+//!   surfaces as a typed [`mobidx_pager::PagerError`] or is transparently retried
+//!   (transient faults under the pager's bounded retry policy). Panics
+//!   are never acceptable.
+//! * **Recovery restores agreement.** After a surfaced mutation fault
+//!   the harness rebuilds the index from the oracle (the recovery
+//!   protocol a real system would run from its redo log) and the
+//!   rebuilt index must again agree with the oracle.
+//!
+//! Every run is fully determined by `(index, fault mode, seed, ops)`;
+//! a divergence report prints the exact command line that reproduces
+//! it.
+
+use mobidx_bptree::{BPlusTree, TreeConfig};
+use mobidx_geom::{Aabb, Rect2};
+use mobidx_interval::{IntervalConfig, IntervalTree};
+use mobidx_kdtree::{KdConfig, KdTree};
+use mobidx_pager::{Backend, FaultPlan, FaultStore, IoStats, MemBackend};
+use mobidx_persist::{all_crossings, Occupant, PersistConfig, PersistentListBTree};
+use mobidx_rstar::{RStarConfig, RStarTree};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// The indexes the harness knows how to drive.
+pub const INDEXES: [&str; 5] = ["bptree", "interval", "kdtree", "rstar", "persist"];
+
+/// Which fault plan the backing store runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// No faults — pure oracle agreement.
+    None,
+    /// Frequent transient faults that succeed on retry.
+    Transient,
+    /// Torn writes plus hard read/write failures.
+    Torn,
+    /// A crash counter kills the store after a seeded number of I/Os.
+    Crash,
+}
+
+impl FaultMode {
+    /// Every mode, in matrix order.
+    pub const ALL: [FaultMode; 4] = [
+        FaultMode::None,
+        FaultMode::Transient,
+        FaultMode::Torn,
+        FaultMode::Crash,
+    ];
+
+    /// The CLI name of the mode.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMode::None => "none",
+            FaultMode::Transient => "transient",
+            FaultMode::Torn => "torn",
+            FaultMode::Crash => "crash",
+        }
+    }
+
+    /// Parses a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultMode> {
+        FaultMode::ALL.into_iter().find(|m| m.name() == s)
+    }
+
+    /// A fresh backend realizing this mode for the given sub-seed.
+    #[must_use]
+    pub fn backend(self, seed: u64) -> Box<dyn Backend> {
+        match self {
+            FaultMode::None => Box::new(MemBackend),
+            FaultMode::Transient => Box::new(FaultStore::new(FaultPlan::transient(seed))),
+            FaultMode::Torn => Box::new(FaultStore::new(FaultPlan::torn(seed))),
+            FaultMode::Crash => Box::new(FaultStore::new(FaultPlan::crash_after(
+                seed,
+                300 + seed % 900,
+            ))),
+        }
+    }
+}
+
+/// One model-checking run's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Number of operations (mutations + queries) to execute.
+    pub ops: usize,
+    /// Master seed; all randomness and fault plans derive from it.
+    pub seed: u64,
+    /// Fault plan for the index's backend.
+    pub faults: FaultMode,
+}
+
+/// What a completed (non-diverging) run did.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Index driven.
+    pub index: &'static str,
+    /// Fault mode.
+    pub mode: FaultMode,
+    /// Master seed.
+    pub seed: u64,
+    /// Operations executed.
+    pub ops: usize,
+    /// Queries whose results were compared against the oracle.
+    pub queries: usize,
+    /// Faults that surfaced to the harness as typed errors.
+    pub faults_surfaced: usize,
+    /// Recoveries: index rebuilt from the oracle after a surfaced fault.
+    pub rebuilds: usize,
+    /// Faults injected by the backend (including retried ones).
+    pub injected: u64,
+    /// Retry attempts performed by the pager.
+    pub retries: u64,
+    /// Faults fully recovered by retrying.
+    pub recovered: u64,
+}
+
+impl Report {
+    fn new(index: &'static str, cfg: &CheckConfig) -> Self {
+        Self {
+            index,
+            mode: cfg.faults,
+            seed: cfg.seed,
+            ops: 0,
+            queries: 0,
+            faults_surfaced: 0,
+            rebuilds: 0,
+            injected: 0,
+            retries: 0,
+            recovered: 0,
+        }
+    }
+
+    /// Folds a discarded store's counters into the run totals.
+    fn absorb(&mut self, stats: &IoStats) {
+        self.injected += stats.faults_injected();
+        self.retries += stats.retries();
+        self.recovered += stats.faults_recovered();
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<9} {:<10} seed={:<12} ops={} queries={} injected={} retried={} recovered={} surfaced={} rebuilds={}",
+            self.index,
+            self.mode.name(),
+            self.seed,
+            self.ops,
+            self.queries,
+            self.injected,
+            self.retries,
+            self.recovered,
+            self.faults_surfaced,
+            self.rebuilds,
+        )
+    }
+}
+
+/// An index answer that disagreed with the oracle (or a broken recovery
+/// invariant). Displaying it prints the reproducing command line.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index that diverged.
+    pub index: &'static str,
+    /// Fault mode of the run.
+    pub mode: FaultMode,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Total ops the run was asked for.
+    pub ops: usize,
+    /// Op number at which the divergence was detected.
+    pub at_op: usize,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model-check divergence in {} [{}] at op {}: {}",
+            self.index,
+            self.mode.name(),
+            self.at_op,
+            self.detail
+        )?;
+        write!(
+            f,
+            "  reproduce: cargo run -p mobidx-check -- --index {} --faults {} --seed {} --ops {}",
+            self.index,
+            self.mode.name(),
+            self.seed,
+            self.ops
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Runs one index under one configuration.
+///
+/// # Errors
+/// Returns the first oracle divergence (with its reproducing seed).
+///
+/// # Panics
+/// Panics if `index` is not one of [`INDEXES`].
+pub fn check_index(index: &str, cfg: &CheckConfig) -> Result<Report, Divergence> {
+    match index {
+        "bptree" => check_bptree(cfg),
+        "interval" => check_interval(cfg),
+        "kdtree" => check_kdtree(cfg),
+        "rstar" => check_rstar(cfg),
+        "persist" => check_persist(cfg),
+        other => panic!("unknown index {other:?}; expected one of {INDEXES:?}"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Deterministic randomness
+// ----------------------------------------------------------------------
+
+/// splitmix64 — the harness's only randomness source.
+#[derive(Debug, Clone)]
+pub struct SplitMix(u64);
+
+impl SplitMix {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Derives an independent sub-seed (fault plans per rebuild round, per
+/// index streams) from the master seed.
+#[must_use]
+pub fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn diverge(report: &Report, cfg: &CheckConfig, at_op: usize, detail: String) -> Divergence {
+    Divergence {
+        index: report.index,
+        mode: cfg.faults,
+        seed: cfg.seed,
+        ops: cfg.ops,
+        at_op,
+        detail,
+    }
+}
+
+// ----------------------------------------------------------------------
+// B+-tree vs BTreeSet
+// ----------------------------------------------------------------------
+
+fn bptree_cfg() -> TreeConfig {
+    TreeConfig {
+        leaf_cap: 16,
+        branch_cap: 8,
+        buffer_pages: 4,
+    }
+}
+
+fn rebuild_bptree(oracle: &BTreeSet<(u64, u64)>) -> BPlusTree<u64, u64> {
+    let entries: Vec<(u64, u64)> = oracle.iter().copied().collect();
+    if entries.is_empty() {
+        BPlusTree::new(bptree_cfg())
+    } else {
+        BPlusTree::bulk_load(bptree_cfg(), &entries, 0.7)
+    }
+}
+
+fn check_bptree(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    let mut report = Report::new("bptree", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 1));
+    let mut oracle: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut tree = rebuild_bptree(&oracle);
+    let mut round = 0u64;
+    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+    let mut next_val = 0u64;
+
+    for op in 0..cfg.ops {
+        let roll = rng.below(100);
+        if roll < 45 {
+            // Insert a duplicate-prone key with a unique value.
+            let key = rng.below(64);
+            let val = next_val;
+            next_val += 1;
+            match tree.try_insert(key, val) {
+                Ok(()) => {
+                    oracle.insert((key, val));
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild_bptree(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else if roll < 70 && !oracle.is_empty() {
+            // Remove an entry the oracle says is present.
+            let n = rng.below(oracle.len() as u64) as usize;
+            let &(key, val) = oracle.iter().nth(n).expect("indexed oracle entry");
+            match tree.try_remove(key, val) {
+                Ok(true) => {
+                    oracle.remove(&(key, val));
+                }
+                Ok(false) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("present pair ({key}, {val}) reported absent on remove"),
+                    ));
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild_bptree(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else {
+            // Range query.
+            let lo = rng.below(64);
+            let hi = lo + rng.below(16);
+            let want: Vec<(u64, u64)> = oracle.range((lo, 0)..=(hi, u64::MAX)).copied().collect();
+            let got = match tree.try_range(lo, hi) {
+                Ok(v) => v,
+                Err(_) => {
+                    // Clean re-query: swap in a fault-free backend, ask
+                    // again, restore the faulty one.
+                    report.faults_surfaced += 1;
+                    let faulty = tree.set_backend(Box::new(MemBackend));
+                    let v = tree.try_range(lo, hi).expect("MemBackend never faults");
+                    drop(tree.set_backend(faulty));
+                    v
+                }
+            };
+            report.queries += 1;
+            let mut got_sorted = got;
+            got_sorted.sort_unstable();
+            if got_sorted != want {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "range [{lo}, {hi}]: index returned {} entries, oracle {}",
+                        got_sorted.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        report.ops += 1;
+    }
+    report.absorb(tree.stats());
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// Interval tree vs brute force
+// ----------------------------------------------------------------------
+
+fn check_interval(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    let mut report = Report::new("interval", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 2));
+    let icfg = IntervalConfig::small(8, 4);
+    // Oracle: id -> (start, end). Grid-of-halves coordinates keep every
+    // comparison exact.
+    let mut oracle: HashMap<u64, (f64, f64)> = HashMap::new();
+    let mut live: Vec<u64> = Vec::new();
+    let rebuild = |oracle: &HashMap<u64, (f64, f64)>| {
+        let mut t: IntervalTree<u64> = IntervalTree::new(icfg);
+        // Sorted order keeps rebuilds (and hence page layout and fault
+        // alignment) deterministic across runs of the same seed.
+        let mut entries: Vec<(u64, (f64, f64))> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        for (id, (s, e)) in entries {
+            t.insert(s, e, id);
+        }
+        t
+    };
+    let mut tree = rebuild(&oracle);
+    let mut round = 0u64;
+    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+    let mut next_id = 0u64;
+
+    for op in 0..cfg.ops {
+        let roll = rng.below(100);
+        if roll < 45 {
+            let start = rng.below(1000) as f64 * 0.5;
+            let end = start + rng.below(120) as f64 * 0.5;
+            let id = next_id;
+            next_id += 1;
+            match tree.try_insert(start, end, id) {
+                Ok(()) => {
+                    oracle.insert(id, (start, end));
+                    live.push(id);
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else if roll < 70 && !live.is_empty() {
+            let n = rng.below(live.len() as u64) as usize;
+            let id = live[n];
+            let (s, e) = oracle[&id];
+            match tree.try_remove(s, e, id) {
+                Ok(true) => {
+                    oracle.remove(&id);
+                    live.swap_remove(n);
+                }
+                Ok(false) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("present interval ({s}, {e}, {id}) reported absent on remove"),
+                    ));
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else {
+            let t1 = rng.below(1100) as f64 * 0.5;
+            let t2 = t1 + rng.below(60) as f64 * 0.5;
+            let mut want: Vec<u64> = oracle
+                .iter()
+                .filter(|(_, &(s, e))| s <= t2 && e >= t1)
+                .map(|(&id, _)| id)
+                .collect();
+            want.sort_unstable();
+            let got = match tree.try_window(t1, t2) {
+                Ok(v) => v,
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    let faulty = tree.set_backend(Box::new(MemBackend));
+                    let v = tree.try_window(t1, t2).expect("MemBackend never faults");
+                    drop(tree.set_backend(faulty));
+                    v
+                }
+            };
+            report.queries += 1;
+            let mut got_sorted = got;
+            got_sorted.sort_unstable();
+            if got_sorted != want {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "window [{t1}, {t2}]: index returned {} intervals, oracle {}",
+                        got_sorted.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        report.ops += 1;
+    }
+    report.absorb(tree.stats());
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// kd-tree vs brute force
+// ----------------------------------------------------------------------
+
+fn check_kdtree(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    let mut report = Report::new("kdtree", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 3));
+    let kcfg = KdConfig::small(8, 4);
+    let mut oracle: HashMap<u64, [f64; 2]> = HashMap::new();
+    let mut live: Vec<u64> = Vec::new();
+    let rebuild = |oracle: &HashMap<u64, [f64; 2]>| {
+        let mut t: KdTree<2, u64> = KdTree::new(kcfg);
+        // Sorted order keeps rebuilds deterministic across runs.
+        let mut entries: Vec<(u64, [f64; 2])> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        for (id, p) in entries {
+            t.insert(p, id);
+        }
+        t
+    };
+    let mut tree = rebuild(&oracle);
+    let mut round = 0u64;
+    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+    let mut next_id = 0u64;
+
+    for op in 0..cfg.ops {
+        let roll = rng.below(100);
+        if roll < 45 {
+            let p = [rng.below(500) as f64, rng.below(500) as f64];
+            let id = next_id;
+            next_id += 1;
+            match tree.try_insert(p, id) {
+                Ok(()) => {
+                    oracle.insert(id, p);
+                    live.push(id);
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else if roll < 70 && !live.is_empty() {
+            let n = rng.below(live.len() as u64) as usize;
+            let id = live[n];
+            let p = oracle[&id];
+            match tree.try_remove(p, id) {
+                Ok(true) => {
+                    oracle.remove(&id);
+                    live.swap_remove(n);
+                }
+                Ok(false) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("present point ({p:?}, {id}) reported absent on remove"),
+                    ));
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else {
+            let x = rng.below(500) as f64;
+            let y = rng.below(500) as f64;
+            let w = rng.below(120) as f64;
+            let h = rng.below(120) as f64;
+            let qbox = Aabb::new([x, y], [x + w, y + h]);
+            let mut want: Vec<u64> = oracle
+                .iter()
+                .filter(|(_, p)| qbox.contains(p))
+                .map(|(&id, _)| id)
+                .collect();
+            want.sort_unstable();
+            let got = match tree.try_query_collect(&qbox) {
+                Ok(v) => v,
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    let faulty = tree.set_backend(Box::new(MemBackend));
+                    let v = tree
+                        .try_query_collect(&qbox)
+                        .expect("MemBackend never faults");
+                    drop(tree.set_backend(faulty));
+                    v
+                }
+            };
+            report.queries += 1;
+            let mut got_ids: Vec<u64> = got.into_iter().map(|(_, id)| id).collect();
+            got_ids.sort_unstable();
+            if got_ids != want {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "box query {qbox:?}: index returned {} points, oracle {}",
+                        got_ids.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        report.ops += 1;
+    }
+    report.absorb(tree.stats());
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// R*-tree vs brute force
+// ----------------------------------------------------------------------
+
+fn check_rstar(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    let mut report = Report::new("rstar", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 4));
+    let rcfg = RStarConfig::with_max(8);
+    let mut oracle: HashMap<u64, Rect2> = HashMap::new();
+    let mut live: Vec<u64> = Vec::new();
+    let rebuild = |oracle: &HashMap<u64, Rect2>| {
+        let mut t: RStarTree<u64> = RStarTree::new(rcfg);
+        // Sorted order keeps rebuilds deterministic across runs.
+        let mut entries: Vec<(u64, Rect2)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        for (id, r) in entries {
+            t.insert(r, id);
+        }
+        t
+    };
+    let mut tree = rebuild(&oracle);
+    let mut round = 0u64;
+    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+    let mut next_id = 0u64;
+
+    for op in 0..cfg.ops {
+        let roll = rng.below(100);
+        if roll < 45 {
+            let x = rng.below(800) as f64;
+            let y = rng.below(800) as f64;
+            let w = rng.below(40) as f64;
+            let h = rng.below(40) as f64;
+            let r = Rect2::from_bounds(x, y, x + w, y + h);
+            let id = next_id;
+            next_id += 1;
+            match tree.try_insert(r, id) {
+                Ok(()) => {
+                    oracle.insert(id, r);
+                    live.push(id);
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else if roll < 70 && !live.is_empty() {
+            let n = rng.below(live.len() as u64) as usize;
+            let id = live[n];
+            let r = oracle[&id];
+            match tree.try_remove(r, id) {
+                Ok(true) => {
+                    oracle.remove(&id);
+                    live.swap_remove(n);
+                }
+                Ok(false) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("present rect ({r:?}, {id}) reported absent on remove"),
+                    ));
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else {
+            let x = rng.below(800) as f64;
+            let y = rng.below(800) as f64;
+            let q = Rect2::from_bounds(x, y, x + rng.below(200) as f64, y + rng.below(200) as f64);
+            let mut want: Vec<u64> = oracle
+                .iter()
+                .filter(|(_, r)| r.intersects(&q))
+                .map(|(&id, _)| id)
+                .collect();
+            want.sort_unstable();
+            let got = match tree.try_search(&q) {
+                Ok(v) => v,
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    let faulty = tree.set_backend(Box::new(MemBackend));
+                    let v = tree.try_search(&q).expect("MemBackend never faults");
+                    drop(tree.set_backend(faulty));
+                    v
+                }
+            };
+            report.queries += 1;
+            let mut got_ids: Vec<u64> = got.into_iter().map(|(_, id)| id).collect();
+            got_ids.sort_unstable();
+            if got_ids != want {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "window {q:?}: index returned {} rects, oracle {}",
+                        got_ids.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        report.ops += 1;
+    }
+    report.absorb(tree.stats());
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// Persistent list B-tree vs motion brute force
+// ----------------------------------------------------------------------
+
+/// One epoch of mobile objects: positions `y0 + v t`, with every real
+/// crossing event precomputed so swaps can be applied in time order.
+struct PersistEpoch {
+    objects: Vec<(f64, f64)>,
+    occupants: Vec<Occupant>,
+    events: Vec<mobidx_persist::CrossEvent>,
+    next_event: usize,
+    applied: Vec<(f64, usize)>,
+    horizon: f64,
+}
+
+impl PersistEpoch {
+    fn generate(rng: &mut SplitMix) -> Self {
+        let n = 40usize;
+        let horizon = 60.0;
+        // Jittered coordinates: with coarse grids, three objects can
+        // meet at the same point at the same instant, and the pairwise
+        // crossing events of such a cluster cannot always be applied as
+        // adjacent swaps in emitted order. Fine jitter makes exact
+        // three-way ties essentially impossible (and the harness
+        // retires the epoch if one ever occurs).
+        let objects: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                #[allow(clippy::cast_precision_loss)]
+                let y = i as f64 * 5.0 + rng.below(100) as f64 * 0.001;
+                let v = 0.5 + rng.below(3000) as f64 * 0.001;
+                (y, v)
+            })
+            .collect();
+        // y0 values are strictly increasing, so the epoch order is the
+        // input order.
+        let occupants: Vec<Occupant> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, &(y0, v))| Occupant {
+                id: i as u64,
+                y0,
+                v,
+            })
+            .collect();
+        let events = all_crossings(&objects, horizon);
+        Self {
+            objects,
+            occupants,
+            events,
+            next_event: 0,
+            applied: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// Builds the structure for this epoch by replaying every applied
+    /// swap (the harness's recovery protocol: rebuild from the log).
+    fn rebuild(&self) -> PersistentListBTree {
+        let mut t = PersistentListBTree::new(PersistConfig::small(16), self.occupants.clone());
+        for &(time, pos) in &self.applied {
+            t.apply_swap(time, pos);
+        }
+        t
+    }
+
+    /// Latest query time with no unapplied crossing before it.
+    fn safe_horizon(&self) -> f64 {
+        match self.events.get(self.next_event) {
+            Some(e) => e.time,
+            None => self.horizon,
+        }
+    }
+}
+
+fn check_persist(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    let mut report = Report::new("persist", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 5));
+    let mut epoch = PersistEpoch::generate(&mut rng);
+    let mut tree = epoch.rebuild();
+    let mut round = 0u64;
+    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+
+    for op in 0..cfg.ops {
+        let roll = rng.below(100);
+        if roll < 55 {
+            // Apply the next real crossing. The epoch is retired (a
+            // fresh one is generated) when it runs out of events, or —
+            // only possible on an exact float tie where three objects
+            // meet simultaneously — when the next pairwise crossing is
+            // not an adjacent swap in the current list.
+            loop {
+                let applicable = epoch.events.get(epoch.next_event).is_some_and(|e| {
+                    tree.position_of(e.b as u64)
+                        .is_some_and(|p| tree.position_of(e.a as u64) == Some(p + 1))
+                });
+                if applicable {
+                    break;
+                }
+                report.absorb(tree.stats());
+                epoch = PersistEpoch::generate(&mut rng);
+                tree = epoch.rebuild();
+                round += 1;
+                drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+            }
+            let e = epoch.events[epoch.next_event];
+            let pos = tree
+                .position_of(e.b as u64)
+                .expect("applicability checked above");
+            match tree.try_apply_swap(e.time, pos) {
+                Ok(()) => {
+                    epoch.applied.push((e.time, pos));
+                    epoch.next_event += 1;
+                }
+                Err(_) => {
+                    // The in-memory mirrors and the paged log may now
+                    // disagree: recover by replaying the applied swaps.
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = epoch.rebuild();
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else {
+            // MOR query at a time all applied events cover.
+            let bound = epoch.safe_horizon();
+            let t = bound * (rng.below(1000) as f64 / 1000.0);
+            let yl = rng.below(400) as f64;
+            let yr = yl + rng.below(120) as f64;
+            let mut want: Vec<u64> = epoch
+                .objects
+                .iter()
+                .enumerate()
+                .filter(|(_, &(y0, v))| {
+                    let p = y0 + v * t;
+                    yl <= p && p <= yr
+                })
+                .map(|(i, _)| i as u64)
+                .collect();
+            want.sort_unstable();
+            let mut got: Vec<u64> = Vec::new();
+            let outcome = tree.try_query(t, yl, yr, |o| got.push(o.id));
+            if outcome.is_err() {
+                report.faults_surfaced += 1;
+                let faulty = tree.set_backend(Box::new(MemBackend));
+                got.clear();
+                tree.try_query(t, yl, yr, |o| got.push(o.id))
+                    .expect("MemBackend never faults");
+                drop(tree.set_backend(faulty));
+            }
+            report.queries += 1;
+            got.sort_unstable();
+            if got != want {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "query t={t} y=[{yl}, {yr}]: index returned {} objects, oracle {}",
+                        got.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        report.ops += 1;
+    }
+    report.absorb(tree.stats());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix::new(42);
+        let mut b = SplitMix::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fault_mode_names_round_trip() {
+        for mode in FaultMode::ALL {
+            assert_eq!(FaultMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(FaultMode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn divergence_prints_reproducing_seed() {
+        let d = Divergence {
+            index: "bptree",
+            mode: FaultMode::Torn,
+            seed: 12345,
+            ops: 500,
+            at_op: 99,
+            detail: "example".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("--seed 12345"), "missing seed in {s}");
+        assert!(s.contains("--faults torn"), "missing mode in {s}");
+    }
+
+    #[test]
+    fn smoke_every_index_no_faults() {
+        for index in INDEXES {
+            let cfg = CheckConfig {
+                ops: 300,
+                seed: 7,
+                faults: FaultMode::None,
+            };
+            let report = check_index(index, &cfg).unwrap_or_else(|d| panic!("{d}"));
+            assert_eq!(report.ops, 300, "{index}");
+            assert!(report.queries > 0, "{index} ran no queries");
+            assert_eq!(report.faults_surfaced, 0, "{index}");
+        }
+    }
+}

@@ -1,10 +1,15 @@
 //! The augmented interval B+-tree.
 
 use mobidx_pager::{
-    page_capacity, IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES, DEFAULT_PAGE_SIZE,
+    page_capacity, Backend, IoStats, PageId, PageStore, PagerError, DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
 };
 use std::cmp::Ordering;
 use std::fmt::Debug;
+
+/// Panic message of the infallible wrappers; fires only if a
+/// fault-injecting backend is installed but the infallible API is used.
+const INFALLIBLE: &str = "pager fault (use the try_* API with fault-injecting backends)";
 
 /// Sizing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -170,75 +175,160 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
     }
 
     /// Flushes and empties the buffer pool.
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`IntervalTree::try_clear_buffer`].
     pub fn clear_buffer(&mut self) {
-        self.store.clear_buffer();
+        self.try_clear_buffer().expect(INFALLIBLE);
+    }
+
+    /// Flushes and empties the buffer pool.
+    ///
+    /// # Errors
+    /// Propagates a rejected write-back from the backend.
+    pub fn try_clear_buffer(&mut self) -> Result<(), PagerError> {
+        self.store.try_clear_buffer()
+    }
+
+    /// Swaps the storage backend (fault policy), returning the previous
+    /// one. Page contents are untouched.
+    pub fn set_backend(&mut self, backend: Box<dyn Backend>) -> Box<dyn Backend> {
+        self.store.set_backend(backend)
     }
 
     /// Inserts the interval `[start, end]` with payload `value`.
     ///
     /// # Panics
-    /// Panics if `start > end` or either bound is NaN.
+    /// Panics if `start > end` or either bound is NaN, or on an injected
+    /// fault; see [`IntervalTree::try_insert`].
     pub fn insert(&mut self, start: f64, end: f64, value: V) {
+        self.try_insert(start, end, value).expect(INFALLIBLE);
+    }
+
+    /// Inserts the interval `[start, end]` with payload `value`.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered storage fault; partial splits are
+    /// not rolled back, so after an error the tree must be treated as
+    /// suspect and rebuilt.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or either bound is NaN.
+    pub fn try_insert(&mut self, start: f64, end: f64, value: V) -> Result<(), PagerError> {
         assert!(start <= end, "inverted interval [{start}, {end}]");
         let ivl = Ivl { start, end, value };
-        if let Some((sep, right, right_max)) = self.insert_rec(self.root, self.height, ivl) {
-            let left_max = self.store.read(self.root).max_end();
+        if let Some((sep, right, right_max)) = self.try_insert_rec(self.root, self.height, ivl)? {
+            let left_max = self.store.try_read(self.root)?.max_end();
             let old_root = self.root;
-            self.root = self.store.allocate(Node::Branch {
+            self.root = self.store.try_allocate(Node::Branch {
                 seps: vec![sep],
                 children: vec![old_root, right],
                 max_ends: vec![left_max, right_max],
-            });
+            })?;
             self.height += 1;
         }
         self.len += 1;
+        Ok(())
     }
 
     /// Removes the exact `(start, end, value)` interval. Returns whether
     /// it was present.
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`IntervalTree::try_remove`].
     pub fn remove(&mut self, start: f64, end: f64, value: V) -> bool {
+        self.try_remove(start, end, value).expect(INFALLIBLE)
+    }
+
+    /// Removes the exact `(start, end, value)` interval. Returns
+    /// `Ok(true)` if it was present.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered storage fault; partial
+    /// rebalancing is not rolled back.
+    pub fn try_remove(&mut self, start: f64, end: f64, value: V) -> Result<bool, PagerError> {
         let ivl = Ivl { start, end, value };
-        let (removed, _) = self.remove_rec(self.root, self.height, &ivl);
+        let (removed, _) = self.try_remove_rec(self.root, self.height, &ivl)?;
         if removed {
             self.len -= 1;
         }
         while self.height > 1 {
-            let only = match self.store.read(self.root) {
+            let only = match self.store.try_read(self.root)? {
                 Node::Branch { children, .. } if children.len() == 1 => Some(children[0]),
                 _ => None,
             };
             match only {
                 Some(child) => {
-                    let _ = self.store.free(self.root);
+                    let _ = self.store.try_free(self.root)?;
                     self.root = child;
                     self.height -= 1;
                 }
                 None => break,
             }
         }
-        removed
+        Ok(removed)
     }
 
     /// Payloads of all intervals containing time `t`.
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`IntervalTree::try_stab`].
     pub fn stab(&mut self, t: f64) -> Vec<V> {
         self.window(t, t)
     }
 
+    /// Payloads of all intervals containing time `t`.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered read fault.
+    pub fn try_stab(&mut self, t: f64) -> Result<Vec<V>, PagerError> {
+        self.try_window(t, t)
+    }
+
     /// Payloads of all intervals intersecting `[t1, t2]` (closed).
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see [`IntervalTree::try_window`].
     pub fn window(&mut self, t1: f64, t2: f64) -> Vec<V> {
+        self.try_window(t1, t2).expect(INFALLIBLE)
+    }
+
+    /// Payloads of all intervals intersecting `[t1, t2]` (closed).
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered read fault.
+    pub fn try_window(&mut self, t1: f64, t2: f64) -> Result<Vec<V>, PagerError> {
         let mut out = Vec::new();
-        self.window_for_each(t1, t2, |v| out.push(v));
-        out
+        self.try_window_for_each(t1, t2, |v| out.push(v))?;
+        Ok(out)
     }
 
     /// Visits payloads of all intervals intersecting `[t1, t2]`.
-    pub fn window_for_each(&mut self, t1: f64, t2: f64, mut visit: impl FnMut(V)) {
+    ///
+    /// # Panics
+    /// Panics on an injected fault; see
+    /// [`IntervalTree::try_window_for_each`].
+    pub fn window_for_each(&mut self, t1: f64, t2: f64, visit: impl FnMut(V)) {
+        self.try_window_for_each(t1, t2, visit).expect(INFALLIBLE);
+    }
+
+    /// Visits payloads of all intervals intersecting `[t1, t2]`.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered read fault; payloads already
+    /// visited stay visited.
+    pub fn try_window_for_each(
+        &mut self,
+        t1: f64,
+        t2: f64,
+        mut visit: impl FnMut(V),
+    ) -> Result<(), PagerError> {
         if t1 > t2 {
-            return;
+            return Ok(());
         }
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
-            match self.store.read(pid) {
+            match self.store.try_read(pid)? {
                 Node::Leaf { entries } => {
                     // Entries sorted by start: stop once start > t2.
                     let hits: Vec<V> = entries
@@ -277,6 +367,7 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                 }
             }
         }
+        Ok(())
     }
 
     /// All `(start, end, value)` triples (uncounted; tests/audits).
@@ -363,14 +454,15 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
         seps.partition_point(|s| cmp_key((s.0, &s.1), key) != Ordering::Greater)
     }
 
-    fn insert_rec(
+    #[allow(clippy::type_complexity)]
+    fn try_insert_rec(
         &mut self,
         pid: PageId,
         level: usize,
         ivl: Ivl<V>,
-    ) -> Option<((f64, V), PageId, f64)> {
+    ) -> Result<Option<((f64, V), PageId, f64)>, PagerError> {
         if level == 1 {
-            let occ = self.store.write(pid, |n| match n {
+            let occ = self.store.try_write(pid, |n| match n {
                 Node::Leaf { entries } => {
                     let pos = entries
                         .partition_point(|x| cmp_key(x.key(), ivl.key()) != Ordering::Greater);
@@ -378,37 +470,37 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                     entries.len()
                 }
                 Node::Branch { .. } => unreachable!(),
-            });
+            })?;
             if occ <= self.cfg.leaf_cap {
-                return None;
+                return Ok(None);
             }
             // Split the leaf.
-            let right_entries = self.store.write(pid, |n| match n {
+            let right_entries = self.store.try_write(pid, |n| match n {
                 Node::Leaf { entries } => entries.split_off(entries.len() / 2),
                 Node::Branch { .. } => unreachable!(),
-            });
+            })?;
             let sep = (right_entries[0].start, right_entries[0].value);
             let right_max = right_entries
                 .iter()
                 .map(|e| e.end)
                 .fold(f64::NEG_INFINITY, f64::max);
-            let right = self.store.allocate(Node::Leaf {
+            let right = self.store.try_allocate(Node::Leaf {
                 entries: right_entries,
-            });
-            return Some((sep, right, right_max));
+            })?;
+            return Ok(Some((sep, right, right_max)));
         }
-        let (idx, child) = match self.store.read(pid) {
+        let (idx, child) = match self.store.try_read(pid)? {
             Node::Branch { seps, children, .. } => {
                 let idx = Self::route(seps, ivl.key());
                 (idx, children[idx])
             }
             Node::Leaf { .. } => unreachable!(),
         };
-        let split = self.insert_rec(child, level - 1, ivl);
+        let split = self.try_insert_rec(child, level - 1, ivl)?;
         // Refresh the child's max_end (the insert may have raised it; a
         // split may have lowered it).
-        let child_max = self.store.read(child).max_end();
-        let occ = self.store.write(pid, |n| match n {
+        let child_max = self.store.try_read(child)?.max_end();
+        let occ = self.store.try_write(pid, |n| match n {
             Node::Branch {
                 seps,
                 children,
@@ -423,41 +515,47 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                 children.len()
             }
             Node::Leaf { .. } => unreachable!(),
-        });
+        })?;
         if occ <= self.cfg.branch_cap {
-            return None;
+            return Ok(None);
         }
         // Split the branch.
-        let (sep, right_seps, right_children, right_maxes) = self.store.write(pid, |n| match n {
-            Node::Branch {
-                seps,
-                children,
-                max_ends,
-            } => {
-                let keep = children.len() / 2;
-                let right_children = children.split_off(keep);
-                let right_maxes = max_ends.split_off(keep);
-                let mut right_seps = seps.split_off(keep - 1);
-                let sep = right_seps.remove(0);
-                (sep, right_seps, right_children, right_maxes)
-            }
-            Node::Leaf { .. } => unreachable!(),
-        });
+        let (sep, right_seps, right_children, right_maxes) =
+            self.store.try_write(pid, |n| match n {
+                Node::Branch {
+                    seps,
+                    children,
+                    max_ends,
+                } => {
+                    let keep = children.len() / 2;
+                    let right_children = children.split_off(keep);
+                    let right_maxes = max_ends.split_off(keep);
+                    let mut right_seps = seps.split_off(keep - 1);
+                    let sep = right_seps.remove(0);
+                    (sep, right_seps, right_children, right_maxes)
+                }
+                Node::Leaf { .. } => unreachable!(),
+            })?;
         let right_max = right_maxes
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        let right = self.store.allocate(Node::Branch {
+        let right = self.store.try_allocate(Node::Branch {
             seps: right_seps,
             children: right_children,
             max_ends: right_maxes,
-        });
-        Some((sep, right, right_max))
+        })?;
+        Ok(Some((sep, right, right_max)))
     }
 
-    fn remove_rec(&mut self, pid: PageId, level: usize, ivl: &Ivl<V>) -> (bool, bool) {
+    fn try_remove_rec(
+        &mut self,
+        pid: PageId,
+        level: usize,
+        ivl: &Ivl<V>,
+    ) -> Result<(bool, bool), PagerError> {
         if level == 1 {
-            let (removed, occ) = self.store.write(pid, |n| match n {
+            let (removed, occ) = self.store.try_write(pid, |n| match n {
                 Node::Leaf { entries } => {
                     match entries.iter().position(|e| {
                         e.start == ivl.start && e.end == ivl.end && e.value == ivl.value
@@ -470,39 +568,66 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                     }
                 }
                 Node::Branch { .. } => unreachable!(),
-            });
-            return (removed, occ < self.cfg.min_leaf());
+            })?;
+            return Ok((removed, occ < self.cfg.min_leaf()));
         }
-        let (idx, child) = match self.store.read(pid) {
+        let (idx, child) = match self.store.try_read(pid)? {
             Node::Branch { seps, children, .. } => {
                 let idx = Self::route(seps, ivl.key());
                 (idx, children[idx])
             }
             Node::Leaf { .. } => unreachable!(),
         };
-        let (removed, child_under) = self.remove_rec(child, level - 1, ivl);
+        let (removed, child_under) = self.try_remove_rec(child, level - 1, ivl)?;
         if !removed {
-            return (false, false);
+            return Ok((false, false));
         }
         // Refresh the child's max_end.
-        let child_max = self.store.read(child).max_end();
-        self.store.write(pid, |n| {
+        let child_max = self.store.try_read(child)?.max_end();
+        self.store.try_write(pid, |n| {
             if let Node::Branch { max_ends, .. } = n {
                 max_ends[idx] = child_max;
             }
-        });
+        })?;
         if !child_under {
-            return (true, false);
+            return Ok((true, false));
         }
-        let occ = self.fix_underflow(pid, idx, level);
-        (true, occ < self.cfg.min_branch())
+        let occ = self.try_fix_underflow(pid, idx, level)?;
+        Ok((true, occ < self.cfg.min_branch()))
+    }
+
+    /// Re-derives `max_ends[i]` of `parent` for each child position in
+    /// `positions` after a borrow or merge moved entries around.
+    fn try_refresh_max_ends(
+        &mut self,
+        parent: PageId,
+        positions: &[usize],
+    ) -> Result<(), PagerError> {
+        for &i in positions {
+            let c = match self.store.try_read(parent)? {
+                Node::Branch { children, .. } => children[i],
+                Node::Leaf { .. } => unreachable!(),
+            };
+            let m = self.store.try_read(c)?.max_end();
+            self.store.try_write(parent, |n| {
+                if let Node::Branch { max_ends, .. } = n {
+                    max_ends[i] = m;
+                }
+            })?;
+        }
+        Ok(())
     }
 
     /// Borrow-or-merge, mirroring the plain B+-tree but refreshing the
     /// `max_end` annotations of every touched child.
-    fn fix_underflow(&mut self, parent: PageId, idx: usize, level: usize) -> usize {
+    fn try_fix_underflow(
+        &mut self,
+        parent: PageId,
+        idx: usize,
+        level: usize,
+    ) -> Result<usize, PagerError> {
         let leaf_children = level == 2;
-        let (child, left_sib, right_sib, child_count) = match self.store.read(parent) {
+        let (child, left_sib, right_sib, child_count) = match self.store.try_read(parent)? {
             Node::Branch { children, .. } => (
                 children[idx],
                 (idx > 0).then(|| children[idx - 1]),
@@ -517,33 +642,18 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
             self.cfg.min_branch()
         };
 
-        let refresh = |this: &mut Self, parent: PageId, positions: &[usize]| {
-            for &i in positions {
-                let c = match this.store.read(parent) {
-                    Node::Branch { children, .. } => children[i],
-                    Node::Leaf { .. } => unreachable!(),
-                };
-                let m = this.store.read(c).max_end();
-                this.store.write(parent, |n| {
-                    if let Node::Branch { max_ends, .. } = n {
-                        max_ends[i] = m;
-                    }
-                });
-            }
-        };
-
         if let Some(left) = left_sib {
-            if self.store.read(left).occupancy() > min {
-                self.borrow_from_left(parent, idx, left, child, leaf_children);
-                refresh(self, parent, &[idx - 1, idx]);
-                return child_count;
+            if self.store.try_read(left)?.occupancy() > min {
+                self.try_borrow_from_left(parent, idx, left, child, leaf_children)?;
+                self.try_refresh_max_ends(parent, &[idx - 1, idx])?;
+                return Ok(child_count);
             }
         }
         if let Some(right) = right_sib {
-            if self.store.read(right).occupancy() > min {
-                self.borrow_from_right(parent, idx, child, right, leaf_children);
-                refresh(self, parent, &[idx, idx + 1]);
-                return child_count;
+            if self.store.try_read(right)?.occupancy() > min {
+                self.try_borrow_from_right(parent, idx, child, right, leaf_children)?;
+                self.try_refresh_max_ends(parent, &[idx, idx + 1])?;
+                return Ok(child_count);
             }
         }
         let (lhs, rhs, sep_idx) = if let Some(left) = left_sib {
@@ -551,39 +661,39 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
         } else if let Some(right) = right_sib {
             (child, right, idx)
         } else {
-            return child_count;
+            return Ok(child_count);
         };
-        self.merge(parent, lhs, rhs, sep_idx);
-        refresh(self, parent, &[sep_idx]);
-        child_count - 1
+        self.try_merge(parent, lhs, rhs, sep_idx)?;
+        self.try_refresh_max_ends(parent, &[sep_idx])?;
+        Ok(child_count - 1)
     }
 
-    fn borrow_from_left(
+    fn try_borrow_from_left(
         &mut self,
         parent: PageId,
         idx: usize,
         left: PageId,
         child: PageId,
         leaf_children: bool,
-    ) {
+    ) -> Result<(), PagerError> {
         if leaf_children {
-            let moved = self.store.write(left, |n| match n {
+            let moved = self.store.try_write(left, |n| match n {
                 Node::Leaf { entries } => entries.pop().expect("borrow from empty"),
                 Node::Branch { .. } => unreachable!(),
-            });
+            })?;
             let sep = (moved.start, moved.value);
-            self.store.write(child, |n| {
+            self.store.try_write(child, |n| {
                 if let Node::Leaf { entries } = n {
                     entries.insert(0, moved);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx - 1] = sep;
                 }
-            });
+            })?;
         } else {
-            let (moved_child, moved_max, new_sep) = self.store.write(left, |n| match n {
+            let (moved_child, moved_max, new_sep) = self.store.try_write(left, |n| match n {
                 Node::Branch {
                     seps,
                     children,
@@ -594,12 +704,12 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                     seps.pop().expect("borrow from empty"),
                 ),
                 Node::Leaf { .. } => unreachable!(),
-            });
-            let old_sep = match self.store.read(parent) {
+            })?;
+            let old_sep = match self.store.try_read(parent)? {
                 Node::Branch { seps, .. } => seps[idx - 1],
                 Node::Leaf { .. } => unreachable!(),
             };
-            self.store.write(child, |n| {
+            self.store.try_write(child, |n| {
                 if let Node::Branch {
                     seps,
                     children,
@@ -610,55 +720,56 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                     children.insert(0, moved_child);
                     max_ends.insert(0, moved_max);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx - 1] = new_sep;
                 }
-            });
+            })?;
         }
+        Ok(())
     }
 
-    fn borrow_from_right(
+    fn try_borrow_from_right(
         &mut self,
         parent: PageId,
         idx: usize,
         child: PageId,
         right: PageId,
         leaf_children: bool,
-    ) {
+    ) -> Result<(), PagerError> {
         if leaf_children {
-            let (moved, new_first) = self.store.write(right, |n| match n {
+            let (moved, new_first) = self.store.try_write(right, |n| match n {
                 Node::Leaf { entries } => {
                     let moved = entries.remove(0);
                     (moved, (entries[0].start, entries[0].value))
                 }
                 Node::Branch { .. } => unreachable!(),
-            });
-            self.store.write(child, |n| {
+            })?;
+            self.store.try_write(child, |n| {
                 if let Node::Leaf { entries } = n {
                     entries.push(moved);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx] = new_first;
                 }
-            });
+            })?;
         } else {
-            let (moved_child, moved_max, new_sep) = self.store.write(right, |n| match n {
+            let (moved_child, moved_max, new_sep) = self.store.try_write(right, |n| match n {
                 Node::Branch {
                     seps,
                     children,
                     max_ends,
                 } => (children.remove(0), max_ends.remove(0), seps.remove(0)),
                 Node::Leaf { .. } => unreachable!(),
-            });
-            let old_sep = match self.store.read(parent) {
+            })?;
+            let old_sep = match self.store.try_read(parent)? {
                 Node::Branch { seps, .. } => seps[idx],
                 Node::Leaf { .. } => unreachable!(),
             };
-            self.store.write(child, |n| {
+            self.store.try_write(child, |n| {
                 if let Node::Branch {
                     seps,
                     children,
@@ -669,36 +780,43 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                     children.push(moved_child);
                     max_ends.push(moved_max);
                 }
-            });
-            self.store.write(parent, |n| {
+            })?;
+            self.store.try_write(parent, |n| {
                 if let Node::Branch { seps, .. } = n {
                     seps[idx] = new_sep;
                 }
-            });
+            })?;
         }
+        Ok(())
     }
 
-    fn merge(&mut self, parent: PageId, lhs: PageId, rhs: PageId, sep_idx: usize) {
-        let sep = match self.store.read(parent) {
+    fn try_merge(
+        &mut self,
+        parent: PageId,
+        lhs: PageId,
+        rhs: PageId,
+        sep_idx: usize,
+    ) -> Result<(), PagerError> {
+        let sep = match self.store.try_read(parent)? {
             Node::Branch { seps, .. } => seps[sep_idx],
             Node::Leaf { .. } => unreachable!(),
         };
-        let rhs_node = self.store.read(rhs).clone();
-        let _ = self.store.free(rhs);
+        let rhs_node = self.store.try_read(rhs)?.clone();
+        let _ = self.store.try_free(rhs)?;
         match rhs_node {
             Node::Leaf { entries } => {
-                self.store.write(lhs, |n| {
+                self.store.try_write(lhs, |n| {
                     if let Node::Leaf { entries: le } = n {
                         le.extend(entries);
                     }
-                });
+                })?;
             }
             Node::Branch {
                 seps,
                 children,
                 max_ends,
             } => {
-                self.store.write(lhs, |n| {
+                self.store.try_write(lhs, |n| {
                     if let Node::Branch {
                         seps: ls,
                         children: lc,
@@ -710,10 +828,10 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                         lc.extend(children);
                         lm.extend(max_ends);
                     }
-                });
+                })?;
             }
         }
-        self.store.write(parent, |n| {
+        self.store.try_write(parent, |n| {
             if let Node::Branch {
                 seps,
                 children,
@@ -724,7 +842,8 @@ impl<V: Copy + Ord + Debug> IntervalTree<V> {
                 children.remove(sep_idx + 1);
                 max_ends.remove(sep_idx + 1);
             }
-        });
+        })?;
+        Ok(())
     }
 }
 

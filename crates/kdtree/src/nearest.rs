@@ -12,9 +12,12 @@
 use crate::page::{KdPage, Ref, Split};
 use crate::tree::KdTree;
 use mobidx_geom::Aabb;
+use mobidx_pager::PagerError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt::Debug;
+
+const INFALLIBLE: &str = "pager fault (use the try_* API with fault-injecting backends)";
 
 /// A score over points that admits exact lower bounds over boxes.
 /// Smaller is better.
@@ -104,10 +107,25 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
     /// pages (keyed by the cell lower bound) and concrete points (keyed
     /// by their score); when a point surfaces it is provably no worse
     /// than everything unexplored.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`KdTree::try_nearest`].
     pub fn nearest<S: ScoreFn<D>>(&mut self, scorer: &S, k: usize) -> Vec<([f64; D], T, f64)> {
+        self.try_nearest(scorer, k).expect(INFALLIBLE)
+    }
+
+    /// Fallible twin of [`KdTree::nearest`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults raised while paging in tree nodes.
+    pub fn try_nearest<S: ScoreFn<D>>(
+        &mut self,
+        scorer: &S,
+        k: usize,
+    ) -> Result<Vec<([f64; D], T, f64)>, PagerError> {
         let mut out = Vec::with_capacity(k);
         if k == 0 || self.is_empty() {
-            return out;
+            return Ok(out);
         }
         let mut heap: BinaryHeap<HeapEntry<Pending<D, T>>> = BinaryHeap::new();
         // Start from the data bounding box, not the infinite cell: the kd
@@ -124,10 +142,10 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 Pending::Point(p, t) => {
                     out.push((p, t, scorer.score(&p)));
                     if out.len() == k {
-                        return out;
+                        return Ok(out);
                     }
                 }
-                Pending::Page(pid, cell) => match self.read_page(pid) {
+                Pending::Page(pid, cell) => match self.try_read_page(pid)? {
                     KdPage::Data { points } => {
                         for (p, t) in points.clone() {
                             heap.push(HeapEntry {
@@ -144,7 +162,7 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 },
             }
         }
-        out
+        Ok(out)
     }
 }
 

@@ -2,8 +2,10 @@
 
 use crate::page::{KdConfig, KdPage, NodeIdx, Ref, Split};
 use mobidx_geom::{Aabb, QueryRegion, Relation};
-use mobidx_pager::{IoStats, PageId, PageStore};
+use mobidx_pager::{Backend, IoStats, PageId, PageStore, PagerError};
 use std::fmt::Debug;
+
+const INFALLIBLE: &str = "pager fault (use the try_* API with fault-injecting backends)";
 
 /// Where a child reference lives inside a directory page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,8 +79,24 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
     }
 
     /// Flushes and empties the buffer pool.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`KdTree::try_clear_buffer`].
     pub fn clear_buffer(&mut self) {
-        self.store.clear_buffer();
+        self.try_clear_buffer().expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`KdTree::clear_buffer`].
+    ///
+    /// # Errors
+    /// Returns the first write-back fault; the buffer is drained anyway.
+    pub fn try_clear_buffer(&mut self) -> Result<(), PagerError> {
+        self.store.try_clear_buffer()
+    }
+
+    /// Replaces the page-store backend, returning the previous one.
+    pub fn set_backend(&mut self, backend: Box<dyn Backend>) -> Box<dyn Backend> {
+        self.store.set_backend(backend)
     }
 
     /// The root page (for sibling modules, e.g. nearest-neighbor search).
@@ -93,32 +111,57 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
     }
 
     /// Counted page access (for sibling modules).
-    pub(crate) fn read_page(&mut self, pid: PageId) -> &KdPage<D, T> {
-        self.store.read(pid)
+    pub(crate) fn try_read_page(&mut self, pid: PageId) -> Result<&KdPage<D, T>, PagerError> {
+        self.store.try_read(pid)
     }
 
     /// Inserts `(point, payload)`.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`KdTree::try_insert`].
     pub fn insert(&mut self, point: [f64; D], payload: T) {
+        self.try_insert(point, payload).expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`KdTree::insert`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults; the tree may hold a partially applied
+    /// insert (e.g. the point landed but its bucket was not split).
+    pub fn try_insert(&mut self, point: [f64; D], payload: T) -> Result<(), PagerError> {
         self.bbox.extend(point);
-        let (data_pid, chain) = self.descend(&point);
-        let occ = self.store.write(data_pid, |page| match page {
+        let (data_pid, chain) = self.try_descend(&point)?;
+        let occ = self.store.try_write(data_pid, |page| match page {
             KdPage::Data { points } => {
                 points.push((point, payload));
                 points.len()
             }
             KdPage::Dir { .. } => unreachable!("descend ended on a directory page"),
-        });
+        })?;
         self.len += 1;
         if occ > self.cfg.leaf_cap {
-            self.split_data_page(data_pid, &chain);
+            self.try_split_data_page(data_pid, &chain)?;
         }
+        Ok(())
     }
 
     /// Removes the exact `(point, payload)` pair. Returns whether it was
     /// present.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`KdTree::try_remove`].
     pub fn remove(&mut self, point: [f64; D], payload: T) -> bool {
-        let (data_pid, chain) = self.descend(&point);
-        let (found, now_empty) = self.store.write(data_pid, |page| match page {
+        self.try_remove(point, payload).expect(INFALLIBLE)
+    }
+
+    /// Fallible twin of [`KdTree::remove`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults; the pair may already be gone when the
+    /// error occurred during post-removal page reclamation.
+    pub fn try_remove(&mut self, point: [f64; D], payload: T) -> Result<bool, PagerError> {
+        let (data_pid, chain) = self.try_descend(&point)?;
+        let (found, now_empty) = self.store.try_write(data_pid, |page| match page {
             KdPage::Data { points } => {
                 match points
                     .iter()
@@ -132,21 +175,36 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 }
             }
             KdPage::Dir { .. } => unreachable!(),
-        });
+        })?;
         if !found {
-            return false;
+            return Ok(false);
         }
         self.len -= 1;
         if now_empty && !chain.is_empty() {
-            self.remove_empty_data_page(data_pid, &chain);
+            self.try_remove_empty_data_page(data_pid, &chain)?;
         }
-        true
+        Ok(true)
     }
 
     /// Visits every stored point inside `region` (orthogonal box or
     /// linear-constraint polygon — anything implementing
     /// [`QueryRegion`]).
-    pub fn query<Q: QueryRegion<D>>(&mut self, region: &Q, mut visit: impl FnMut(&[f64; D], T)) {
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`KdTree::try_query`].
+    pub fn query<Q: QueryRegion<D>>(&mut self, region: &Q, visit: impl FnMut(&[f64; D], T)) {
+        self.try_query(region, visit).expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`KdTree::query`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults; points already visited stay visited.
+    pub fn try_query<Q: QueryRegion<D>>(
+        &mut self,
+        region: &Q,
+        mut visit: impl FnMut(&[f64; D], T),
+    ) -> Result<(), PagerError> {
         // (page, cell, already-contained)
         let mut stack: Vec<(PageId, Aabb<D>, bool)> = vec![(self.root, Aabb::everything(), false)];
         while let Some((pid, cell, contained)) = stack.pop() {
@@ -161,7 +219,7 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                     Relation::Overlaps => false,
                 }
             };
-            match self.store.read(pid) {
+            match self.store.try_read(pid)? {
                 KdPage::Data { points } => {
                     // Clone out to release the store borrow before the
                     // caller's visitor runs.
@@ -179,13 +237,28 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Reports matching `(point, payload)` pairs as a vector.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`KdTree::try_query_collect`].
     pub fn query_collect<Q: QueryRegion<D>>(&mut self, region: &Q) -> Vec<([f64; D], T)> {
+        self.try_query_collect(region).expect(INFALLIBLE)
+    }
+
+    /// Fallible twin of [`KdTree::query_collect`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults.
+    pub fn try_query_collect<Q: QueryRegion<D>>(
+        &mut self,
+        region: &Q,
+    ) -> Result<Vec<([f64; D], T)>, PagerError> {
         let mut out = Vec::new();
-        self.query(region, |p, t| out.push((*p, t)));
-        out
+        self.try_query(region, |p, t| out.push((*p, t)))?;
+        Ok(out)
     }
 
     fn walk_dir<Q: QueryRegion<D>>(
@@ -302,11 +375,15 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
 
     /// Routes `point` to its data page. Returns the page and the chain of
     /// `(directory page, slot holding the next hop)` traversed.
-    fn descend(&mut self, point: &[f64; D]) -> (PageId, Vec<(PageId, SlotAddr)>) {
+    #[allow(clippy::type_complexity)]
+    fn try_descend(
+        &mut self,
+        point: &[f64; D],
+    ) -> Result<(PageId, Vec<(PageId, SlotAddr)>), PagerError> {
         let mut chain = Vec::new();
         let mut pid = self.root;
         loop {
-            let hop = match self.store.read(pid) {
+            let hop = match self.store.try_read(pid)? {
                 KdPage::Data { .. } => None,
                 KdPage::Dir { splits, root, .. } => {
                     let mut slot = SlotAddr::Root;
@@ -328,7 +405,7 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 }
             };
             match hop {
-                None => return (pid, chain),
+                None => return Ok((pid, chain)),
                 Some((child, slot)) => {
                     chain.push((pid, slot));
                     pid = child;
@@ -341,19 +418,23 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
     // Split machinery
     // ------------------------------------------------------------------
 
-    fn split_data_page(&mut self, pid: PageId, chain: &[(PageId, SlotAddr)]) {
+    fn try_split_data_page(
+        &mut self,
+        pid: PageId,
+        chain: &[(PageId, SlotAddr)],
+    ) -> Result<(), PagerError> {
         // Partition the bucket on the axis of largest spread, at a median
         // value chosen so both halves are non-empty.
-        let split_plan = self.store.write(pid, |page| match page {
+        let split_plan = self.store.try_write(pid, |page| match page {
             KdPage::Data { points } => plan_bucket_split(points),
             KdPage::Dir { .. } => unreachable!(),
-        });
+        })?;
         let Some((axis, at)) = split_plan else {
             // All points identical: unsplittable; tolerate the overfull
             // bucket (checked by check_invariants).
-            return;
+            return Ok(());
         };
-        let right_points = self.store.write(pid, |page| match page {
+        let right_points = self.store.try_write(pid, |page| match page {
             KdPage::Data { points } => {
                 let mut right = Vec::new();
                 points.retain(|(p, t)| {
@@ -367,10 +448,10 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 right
             }
             KdPage::Dir { .. } => unreachable!(),
-        });
-        let right_pid = self.store.allocate(KdPage::Data {
+        })?;
+        let right_pid = self.store.try_allocate(KdPage::Data {
             points: right_points,
-        });
+        })?;
         let split = Split {
             axis,
             at,
@@ -380,16 +461,16 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
         match chain.last() {
             None => {
                 // The data page was the tree root: grow a directory above.
-                let dir = self.store.allocate(KdPage::Dir {
+                let dir = self.store.try_allocate(KdPage::Dir {
                     splits: vec![Some(split)],
                     free: Vec::new(),
                     root: Ref::Split(0),
                     live: 1,
-                });
+                })?;
                 self.root = dir;
             }
             Some(&(dir, slot)) => {
-                let live = self.store.write(dir, |page| match page {
+                let live = self.store.try_write(dir, |page| match page {
                     KdPage::Dir {
                         splits,
                         free,
@@ -413,20 +494,21 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                         *live
                     }
                     KdPage::Data { .. } => unreachable!(),
-                });
+                })?;
                 if live + 1 > self.cfg.dir_cap {
-                    self.split_dir_page(dir);
+                    self.try_split_dir_page(dir)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// hB-style directory split: extract the subtree whose size is
     /// closest to half the page into a fresh directory page, replacing it
     /// in the old page by an external page ref. No entry is added to any
     /// ancestor, so directory splits never cascade.
-    fn split_dir_page(&mut self, dir: PageId) {
-        let extracted = self.store.write(dir, |page| match page {
+    fn try_split_dir_page(&mut self, dir: PageId) -> Result<(), PagerError> {
+        let extracted = self.store.try_write(dir, |page| match page {
             KdPage::Dir {
                 splits,
                 free,
@@ -469,29 +551,34 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 (new_splits, new_root, parent_slot, moved)
             }
             KdPage::Data { .. } => unreachable!(),
-        });
+        })?;
         let (new_splits, new_root, parent_slot, moved) = extracted;
-        let new_pid = self.store.allocate(KdPage::Dir {
+        let new_pid = self.store.try_allocate(KdPage::Dir {
             splits: new_splits,
             free: Vec::new(),
             root: new_root,
             live: moved,
-        });
-        self.store.write(dir, |page| {
+        })?;
+        self.store.try_write(dir, |page| {
             if let KdPage::Dir { splits, root, .. } = page {
                 set_slot(splits, root, parent_slot, Ref::Page(new_pid));
             }
-        });
+        })?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
     // Delete machinery
     // ------------------------------------------------------------------
 
-    fn remove_empty_data_page(&mut self, data_pid: PageId, chain: &[(PageId, SlotAddr)]) {
-        let _ = self.store.free(data_pid);
+    fn try_remove_empty_data_page(
+        &mut self,
+        data_pid: PageId,
+        chain: &[(PageId, SlotAddr)],
+    ) -> Result<(), PagerError> {
+        let _ = self.store.try_free(data_pid)?;
         let &(dir, slot) = chain.last().expect("non-root page without owner");
-        let live = self.store.write(dir, |page| match page {
+        let live = self.store.try_write(dir, |page| match page {
             KdPage::Dir {
                 splits,
                 free,
@@ -520,27 +607,28 @@ impl<const D: usize, T: Copy + PartialEq + Debug> KdTree<D, T> {
                 *live
             }
             KdPage::Data { .. } => unreachable!(),
-        });
+        })?;
         if live == 0 {
             // The directory page now holds a bare page ref: collapse it.
-            let child = match self.store.read(dir) {
+            let child = match self.store.try_read(dir)? {
                 KdPage::Dir {
                     root: Ref::Page(c), ..
                 } => *c,
                 _ => unreachable!("empty dir without page-ref root"),
             };
-            let _ = self.store.free(dir);
+            let _ = self.store.try_free(dir)?;
             if chain.len() >= 2 {
                 let &(grand, gslot) = &chain[chain.len() - 2];
-                self.store.write(grand, |page| {
+                self.store.try_write(grand, |page| {
                     if let KdPage::Dir { splits, root, .. } = page {
                         set_slot(splits, root, gslot, Ref::Page(child));
                     }
-                });
+                })?;
             } else {
                 self.root = child;
             }
         }
+        Ok(())
     }
 }
 

@@ -25,12 +25,12 @@ pub struct BufferPool {
 impl BufferPool {
     /// Creates a pool holding at most `capacity` pages.
     ///
-    /// # Panics
-    /// Panics if `capacity` is zero — the model requires at least the
-    /// currently-accessed page to be resident.
+    /// A capacity of zero is legal and models a buffer-less store: every
+    /// [`BufferPool::insert`] immediately returns the incoming page as
+    /// the evicted one, so every access is a miss and every dirty access
+    /// pays an immediate write-back.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer pool capacity must be at least 1");
         Self {
             entries: Vec::with_capacity(capacity),
             capacity,
@@ -70,8 +70,13 @@ impl BufferPool {
     ///
     /// If `id` is already resident its dirty bit is OR-ed and it is moved to
     /// the MRU position. If the pool is full, the LRU page is evicted and
-    /// returned as `(page, was_dirty)`.
+    /// returned as `(page, was_dirty)`. With capacity zero nothing is ever
+    /// resident: the incoming page itself bounces straight back as the
+    /// eviction.
     pub fn insert(&mut self, id: PageId, dirty: bool) -> Option<(PageId, bool)> {
+        if self.capacity == 0 {
+            return Some((id, dirty));
+        }
         if let Some(pos) = self.position(id) {
             let (_, d) = self.entries.remove(pos);
             self.entries.push((id, d || dirty));
@@ -177,8 +182,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 1")]
-    fn zero_capacity_panics() {
-        let _ = BufferPool::new(0);
+    fn capacity_one_always_evicts_the_other_page() {
+        let mut b = BufferPool::new(1);
+        assert!(b.insert(pid(1), true).is_none());
+        // Re-inserting the resident page never evicts, and keeps dirty.
+        assert!(b.insert(pid(1), false).is_none());
+        assert!(b.touch(pid(1)));
+        // Any other page displaces the sole resident (dirty bit intact).
+        assert_eq!(b.insert(pid(2), false), Some((pid(1), true)));
+        assert!(b.contains(pid(2)));
+        assert!(!b.contains(pid(1)));
+        assert_eq!(b.insert(pid(1), false), Some((pid(2), false)));
+        assert_eq!(b.drain(), vec![(pid(1), false)]);
+    }
+
+    #[test]
+    fn zero_capacity_bounces_every_insert() {
+        let mut b = BufferPool::new(0);
+        assert_eq!(b.insert(pid(1), false), Some((pid(1), false)));
+        assert_eq!(b.insert(pid(1), true), Some((pid(1), true)));
+        assert!(b.is_empty());
+        assert!(!b.touch(pid(1)));
+        assert!(!b.contains(pid(1)));
+        assert!(b.drain().is_empty());
     }
 }

@@ -21,11 +21,17 @@
 //! entries ⇒ B = 204 for the R*-tree; 12-byte entries ⇒ B = 341 for the
 //! B+-tree).
 
+mod backend;
 mod buffer;
+mod error;
 mod stats;
 mod store;
 
+pub use backend::{
+    Backend, Fault, FaultKind, FaultPlan, FaultStore, IoKind, MemBackend, RetryPolicy,
+};
 pub use buffer::BufferPool;
+pub use error::PagerError;
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{PageId, PageStore};
 

@@ -27,6 +27,10 @@ pub struct IoStats {
     hits: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+    retries: AtomicU64,
+    faults_injected: AtomicU64,
+    faults_recovered: AtomicU64,
+    backoff_units: AtomicU64,
 }
 
 impl IoStats {
@@ -71,6 +75,28 @@ impl IoStats {
     /// a write I/O).
     pub fn add_writeback(&self) {
         self.writebacks.fetch_add(1, Relaxed);
+    }
+
+    /// Records one retry of a faulted page access.
+    pub fn add_retry(&self) {
+        self.retries.fetch_add(1, Relaxed);
+    }
+
+    /// Records one fault injected by the backend (each failed attempt
+    /// counts once, including the attempts a retry loop absorbs).
+    pub fn add_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Relaxed);
+    }
+
+    /// Records one fault fully recovered by retrying (the access
+    /// ultimately succeeded, so the caller never saw an error).
+    pub fn add_fault_recovered(&self) {
+        self.faults_recovered.fetch_add(1, Relaxed);
+    }
+
+    /// Records `n` logical backoff units spent waiting between retries.
+    pub fn add_backoff_units(&self, n: u64) {
+        self.backoff_units.fetch_add(n, Relaxed);
     }
 
     /// Total page reads so far.
@@ -132,6 +158,30 @@ impl IoStats {
         }
     }
 
+    /// Total retries of faulted accesses so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Relaxed)
+    }
+
+    /// Total faults injected by the backend so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Relaxed)
+    }
+
+    /// Total faults absorbed by the retry policy so far.
+    #[must_use]
+    pub fn faults_recovered(&self) -> u64 {
+        self.faults_recovered.load(Relaxed)
+    }
+
+    /// Total logical backoff units spent between retries so far.
+    #[must_use]
+    pub fn backoff_units(&self) -> u64 {
+        self.backoff_units.load(Relaxed)
+    }
+
     /// Pages allocated over the lifetime of the structure.
     #[must_use]
     pub fn allocated(&self) -> u64 {
@@ -158,6 +208,10 @@ impl IoStats {
         self.hits.store(0, Relaxed);
         self.evictions.store(0, Relaxed);
         self.writebacks.store(0, Relaxed);
+        self.retries.store(0, Relaxed);
+        self.faults_injected.store(0, Relaxed);
+        self.faults_recovered.store(0, Relaxed);
+        self.backoff_units.store(0, Relaxed);
     }
 
     /// Takes a snapshot for later differencing (cost of one operation).
@@ -190,6 +244,13 @@ impl IoStats {
         recorder.add_counter(&format!("{prefix}hits"), self.hits());
         recorder.add_counter(&format!("{prefix}evictions"), self.evictions());
         recorder.add_counter(&format!("{prefix}writebacks"), self.writebacks());
+        recorder.add_counter(&format!("{prefix}retries"), self.retries());
+        recorder.add_counter(&format!("{prefix}faults_injected"), self.faults_injected());
+        recorder.add_counter(
+            &format!("{prefix}faults_recovered"),
+            self.faults_recovered(),
+        );
+        recorder.add_counter(&format!("{prefix}backoff_units"), self.backoff_units());
         recorder.set_gauge(&format!("{prefix}live_pages"), self.live_pages());
     }
 }
@@ -320,6 +381,25 @@ mod tests {
         };
         assert_eq!(snap.to_string(), "4r+1w");
         assert_eq!(format!("{snap:#}"), "4r+1w (2h)");
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.add_fault_injected();
+        s.add_fault_injected();
+        s.add_retry();
+        s.add_fault_recovered();
+        s.add_backoff_units(3);
+        assert_eq!(s.faults_injected(), 2);
+        assert_eq!(s.retries(), 1);
+        assert_eq!(s.faults_recovered(), 1);
+        assert_eq!(s.backoff_units(), 3);
+        s.reset_io();
+        assert_eq!(s.faults_injected(), 0);
+        assert_eq!(s.retries(), 0);
+        assert_eq!(s.faults_recovered(), 0);
+        assert_eq!(s.backoff_units(), 0);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The simulated disk: a slab of typed pages behind a buffer pool.
 
+use crate::backend::{Backend, Fault, FaultKind, IoKind, MemBackend, RetryPolicy};
 use crate::buffer::BufferPool;
+use crate::error::PagerError;
 use crate::stats::IoStats;
 use crate::DEFAULT_BUFFER_PAGES;
 
@@ -49,12 +51,22 @@ impl std::fmt::Display for PageId {
 /// Pages are typed (structs, not raw bytes): the reproduction measures
 /// I/O *counts*, which depend only on page capacities — those are enforced
 /// by each index's entry-size arithmetic, see [`crate::page_capacity`].
+///
+/// Every physical access is arbitrated by a [`Backend`]. The default
+/// [`MemBackend`] permits everything, so the infallible methods
+/// ([`PageStore::read`], [`PageStore::write`], …) behave exactly as
+/// before. With a fault-injecting backend ([`crate::FaultStore`]),
+/// use the fallible `try_*` twins: transient faults are retried within
+/// the store's [`RetryPolicy`] (counted in [`IoStats`]), and unabsorbed
+/// faults surface as typed [`PagerError`]s.
 #[derive(Debug)]
 pub struct PageStore<P> {
     pages: Vec<Option<P>>,
     free_list: Vec<u32>,
     buffer: BufferPool,
     stats: IoStats,
+    backend: Box<dyn Backend>,
+    retry: RetryPolicy,
 }
 
 impl<P> Default for PageStore<P> {
@@ -64,15 +76,48 @@ impl<P> Default for PageStore<P> {
 }
 
 impl<P> PageStore<P> {
-    /// Creates an empty store with a buffer pool of `buffer_pages` pages.
+    /// Creates an empty store with a buffer pool of `buffer_pages` pages
+    /// and the infallible [`MemBackend`].
     #[must_use]
     pub fn new(buffer_pages: usize) -> Self {
+        Self::with_backend(buffer_pages, Box::new(MemBackend))
+    }
+
+    /// Creates an empty store whose physical accesses are arbitrated by
+    /// `backend`.
+    #[must_use]
+    pub fn with_backend(buffer_pages: usize, backend: Box<dyn Backend>) -> Self {
         Self {
             pages: Vec::new(),
             free_list: Vec::new(),
             buffer: BufferPool::new(buffer_pages),
             stats: IoStats::new(),
+            backend,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Swaps in a new backend, returning the previous one. Page contents
+    /// are untouched; only the fault policy changes.
+    pub fn set_backend(&mut self, backend: Box<dyn Backend>) -> Box<dyn Backend> {
+        std::mem::replace(&mut self.backend, backend)
+    }
+
+    /// The retry policy applied to transient faults.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the retry policy applied to transient faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The label of the current backend (diagnostics).
+    #[must_use]
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
     }
 
     /// The I/O statistics of this store.
@@ -90,8 +135,29 @@ impl<P> PageStore<P> {
     /// Allocates a page holding `page`, returning its id.
     ///
     /// The new page enters the buffer dirty; its write I/O is paid on
-    /// eviction or flush, like any other mutation.
+    /// eviction or flush, like any other mutation. Infallible wrapper
+    /// around [`PageStore::try_allocate`] for infallible backends.
+    ///
+    /// # Panics
+    /// Panics if the backend injects a fault (never with [`MemBackend`]).
     pub fn allocate(&mut self, page: P) -> PageId {
+        self.try_allocate(page)
+            .expect("pager fault (use try_allocate with fallible backends)")
+    }
+
+    /// Allocates a page holding `page`, returning its id.
+    ///
+    /// # Errors
+    /// Fails if the backend rejects the allocation, or if making room in
+    /// the buffer forces a write-back that the backend rejects (the page
+    /// is still allocated in that case — its write I/O simply never
+    /// completed).
+    pub fn try_allocate(&mut self, page: P) -> Result<PageId, PagerError> {
+        let prospective = PageId(match self.free_list.last() {
+            Some(&idx) => idx,
+            None => u32::try_from(self.pages.len()).expect("page count exceeds u32"),
+        });
+        self.permit(IoKind::Alloc, prospective)?;
         let id = match self.free_list.pop() {
             Some(idx) => {
                 debug_assert!(self.pages[idx as usize].is_none());
@@ -105,79 +171,204 @@ impl<P> PageStore<P> {
             }
         };
         self.stats.add_alloc();
-        if let Some((_, was_dirty)) = self.buffer.insert(id, true) {
-            self.stats.add_eviction();
-            if was_dirty {
-                self.stats.add_writes(1);
-                self.stats.add_writeback();
-            }
-        }
-        id
+        self.insert_resident(id, true)?;
+        Ok(id)
+    }
+
+    /// Frees page `id`, returning its contents. Infallible wrapper around
+    /// [`PageStore::try_free`] for infallible backends.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page, or if the backend injects a
+    /// fault (never with [`MemBackend`]).
+    pub fn free(&mut self, id: PageId) -> P {
+        self.try_free(id)
+            .expect("pager fault (use try_free with fallible backends)")
     }
 
     /// Frees page `id`, returning its contents.
     ///
+    /// # Errors
+    /// Fails if the backend rejects the deallocation (the page stays
+    /// live).
+    ///
     /// # Panics
     /// Panics if `id` is not a live page.
-    pub fn free(&mut self, id: PageId) -> P {
+    pub fn try_free(&mut self, id: PageId) -> Result<P, PagerError> {
+        self.permit(IoKind::Free, id)?;
         // No write-back is owed for a page that ceases to exist.
         let _ = self.buffer.remove(id);
         let slot = self.pages[id.0 as usize].take().expect("free of dead page");
         self.free_list.push(id.0);
         self.stats.add_free();
-        slot
+        Ok(slot)
+    }
+
+    /// Fetches page `id` for reading. A buffer miss costs one read I/O.
+    /// Infallible wrapper around [`PageStore::try_read`] for infallible
+    /// backends.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page, or if the backend injects a
+    /// fault (never with [`MemBackend`]).
+    pub fn read(&mut self, id: PageId) -> &P {
+        self.try_read(id)
+            .expect("pager fault (use try_read with fallible backends)")
     }
 
     /// Fetches page `id` for reading. A buffer miss costs one read I/O.
     ///
+    /// # Errors
+    /// Fails with [`PagerError::ReadFailed`] if the backend rejects the
+    /// fetch (after exhausting retries for transient faults), or with a
+    /// write error if faulting the page in forces a rejected write-back.
+    ///
     /// # Panics
     /// Panics if `id` is not a live page.
-    pub fn read(&mut self, id: PageId) -> &P {
-        self.fault_in(id, false);
-        self.pages[id.0 as usize]
+    pub fn try_read(&mut self, id: PageId) -> Result<&P, PagerError> {
+        self.try_fault_in(id, false)?;
+        Ok(self.pages[id.0 as usize]
             .as_ref()
-            .expect("read of dead page")
+            .expect("read of dead page"))
+    }
+
+    /// Fetches page `id` and mutates it via `f`. A buffer miss costs one
+    /// read I/O; the page becomes dirty. Infallible wrapper around
+    /// [`PageStore::try_write`] for infallible backends.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page, or if the backend injects a
+    /// fault (never with [`MemBackend`]).
+    pub fn write<R>(&mut self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R {
+        self.try_write(id, f)
+            .expect("pager fault (use try_write with fallible backends)")
     }
 
     /// Fetches page `id` and mutates it via `f`. A buffer miss costs one
     /// read I/O; the page becomes dirty.
     ///
+    /// # Errors
+    /// * [`PagerError::WriteFailed`] — the mutation was rejected; `f` was
+    ///   **not** run and the page holds its previous contents.
+    /// * [`PagerError::TornWrite`] — the mutation tore: `f` **was** run
+    ///   (the in-store copy holds the new contents) but durability was
+    ///   not acknowledged, so the enclosing multi-page operation must be
+    ///   treated as failed.
+    /// * Read/write errors from faulting the page in.
+    ///
     /// # Panics
     /// Panics if `id` is not a live page.
-    pub fn write<R>(&mut self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R {
-        self.fault_in(id, true);
-        f(self.pages[id.0 as usize]
-            .as_mut()
-            .expect("write of dead page"))
+    pub fn try_write<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut P) -> R,
+    ) -> Result<R, PagerError> {
+        self.try_fault_in(id, true)?;
+        match self.permit(IoKind::Mutate, id) {
+            Ok(()) => Ok(f(self.pages[id.0 as usize]
+                .as_mut()
+                .expect("write of dead page"))),
+            Err(err @ PagerError::TornWrite { .. }) => {
+                // Torn semantics: the mutation lands, the ack does not.
+                let _ = f(self.pages[id.0 as usize]
+                    .as_mut()
+                    .expect("write of dead page"));
+                Err(err)
+            }
+            Err(err) => Err(err),
+        }
     }
 
     /// Replaces the contents of page `id` wholesale.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live page, or if the backend injects a
+    /// fault (never with [`MemBackend`]).
     pub fn replace(&mut self, id: PageId, page: P) {
         self.write(id, |slot| *slot = page);
     }
 
+    /// Replaces the contents of page `id` wholesale.
+    ///
+    /// # Errors
+    /// Same failure modes as [`PageStore::try_write`].
+    pub fn try_replace(&mut self, id: PageId, page: P) -> Result<(), PagerError> {
+        self.try_write(id, |slot| *slot = page)
+    }
+
     /// Flushes all dirty pages (counting write I/Os) and empties the
     /// buffer pool. The paper clears the pool before every query.
+    /// Infallible wrapper around [`PageStore::try_clear_buffer`] for
+    /// infallible backends.
+    ///
+    /// # Panics
+    /// Panics if the backend injects a fault (never with [`MemBackend`]).
     pub fn clear_buffer(&mut self) {
-        for (_, dirty) in self.buffer.drain() {
+        self.try_clear_buffer()
+            .expect("pager fault (use try_clear_buffer with fallible backends)")
+    }
+
+    /// Flushes all dirty pages (counting write I/Os) and empties the
+    /// buffer pool.
+    ///
+    /// # Errors
+    /// Fails with the first rejected write-back. The pool is emptied
+    /// regardless, and the remaining dirty pages are still offered to the
+    /// backend (and counted) so a single fault cannot silently skip the
+    /// rest of the flush.
+    pub fn try_clear_buffer(&mut self) -> Result<(), PagerError> {
+        let mut first_err = None;
+        for (id, dirty) in self.buffer.drain() {
             if dirty {
-                self.stats.add_writes(1);
-                self.stats.add_writeback();
+                match self.permit(IoKind::WriteBack, id) {
+                    Ok(()) => {
+                        self.stats.add_writes(1);
+                        self.stats.add_writeback();
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
             }
         }
+        first_err.map_or(Ok(()), Err)
+    }
+
+    /// Flushes all dirty pages (counting write I/Os) but keeps them
+    /// resident and clean. Infallible wrapper around
+    /// [`PageStore::try_flush`] for infallible backends.
+    ///
+    /// # Panics
+    /// Panics if the backend injects a fault (never with [`MemBackend`]).
+    pub fn flush(&mut self) {
+        self.try_flush()
+            .expect("pager fault (use try_flush with fallible backends)")
     }
 
     /// Flushes all dirty pages (counting write I/Os) but keeps them
     /// resident and clean.
-    pub fn flush(&mut self) {
+    ///
+    /// # Errors
+    /// Fails with the first rejected write-back; pages whose write-back
+    /// failed stay resident **dirty** so the write is still owed.
+    pub fn try_flush(&mut self) -> Result<(), PagerError> {
         let entries = self.buffer.drain();
+        let mut first_err = None;
         for &(id, dirty) in &entries {
+            let mut still_dirty = false;
             if dirty {
-                self.stats.add_writes(1);
-                self.stats.add_writeback();
+                match self.permit(IoKind::WriteBack, id) {
+                    Ok(()) => {
+                        self.stats.add_writes(1);
+                        self.stats.add_writeback();
+                    }
+                    Err(e) => {
+                        first_err = first_err.or(Some(e));
+                        still_dirty = true;
+                    }
+                }
             }
-            let _ = self.buffer.insert(id, false);
+            let _ = self.buffer.insert(id, still_dirty);
         }
+        first_err.map_or(Ok(()), Err)
     }
 
     /// Direct, *un-counted* access to a page. For assertions, invariant
@@ -201,7 +392,7 @@ impl<P> PageStore<P> {
             .filter_map(|(i, p)| p.as_ref().map(|p| (PageId(i as u32), p)))
     }
 
-    fn fault_in(&mut self, id: PageId, dirty: bool) {
+    fn try_fault_in(&mut self, id: PageId, dirty: bool) -> Result<(), PagerError> {
         assert!(
             self.pages
                 .get(id.0 as usize)
@@ -213,15 +404,67 @@ impl<P> PageStore<P> {
             if dirty {
                 self.buffer.mark_dirty(id);
             }
-            return;
+            return Ok(());
         }
+        self.permit(IoKind::Read, id)?;
         self.stats.add_reads(1);
-        if let Some((_, was_dirty)) = self.buffer.insert(id, dirty) {
+        self.insert_resident(id, dirty)
+    }
+
+    /// Inserts `id` into the buffer, accounting for the displaced page.
+    /// A dirty eviction owes a write-back, which the backend may reject.
+    fn insert_resident(&mut self, id: PageId, dirty: bool) -> Result<(), PagerError> {
+        if let Some((evicted, was_dirty)) = self.buffer.insert(id, dirty) {
             self.stats.add_eviction();
             if was_dirty {
+                self.permit(IoKind::WriteBack, evicted)?;
                 self.stats.add_writes(1);
                 self.stats.add_writeback();
             }
+        }
+        Ok(())
+    }
+
+    /// Asks the backend's permission for one access, retrying transient
+    /// faults within the [`RetryPolicy`] (with exponential *logical*
+    /// backoff — counted, not slept) and mapping unabsorbed faults to
+    /// typed errors.
+    fn permit(&mut self, kind: IoKind, id: PageId) -> Result<(), PagerError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.backend.permit(kind, id) {
+                Ok(()) => {
+                    if attempt > 0 {
+                        self.stats.add_fault_recovered();
+                    }
+                    return Ok(());
+                }
+                Err(fault) => {
+                    self.stats.add_fault_injected();
+                    if fault.transient && attempt < self.retry.max_retries {
+                        self.stats.add_retry();
+                        self.stats.add_backoff_units(1 << attempt.min(16));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(self.map_fault(kind, id, fault));
+                }
+            }
+        }
+    }
+
+    fn map_fault(&self, kind: IoKind, id: PageId, fault: Fault) -> PagerError {
+        match fault.kind {
+            FaultKind::Crashed => PagerError::Crashed {
+                after_ios: self.stats.total_ios(),
+            },
+            FaultKind::Torn => PagerError::TornWrite { page: id },
+            FaultKind::Failed => match kind {
+                IoKind::Read => PagerError::ReadFailed { page: id },
+                IoKind::WriteBack | IoKind::Mutate | IoKind::Alloc | IoKind::Free => {
+                    PagerError::WriteFailed { page: id }
+                }
+            },
         }
     }
 }
@@ -338,6 +581,175 @@ mod tests {
         assert!((s.stats().hit_rate() - 0.5).abs() < 1e-12);
         s.clear_buffer(); // `a` resident and clean: no write-back
         assert_eq!(s.stats().writebacks(), 2);
+    }
+
+    /// A scripted backend for deterministic store-level fault tests:
+    /// fails specific (0-based) `permit` calls with a fixed fault.
+    #[derive(Debug)]
+    struct Scripted {
+        calls: u64,
+        fail_on: Vec<u64>,
+        fault: Fault,
+    }
+
+    impl Scripted {
+        fn new(fail_on: Vec<u64>, kind: FaultKind, transient: bool) -> Self {
+            Self {
+                calls: 0,
+                fail_on,
+                fault: Fault { kind, transient },
+            }
+        }
+    }
+
+    impl Backend for Scripted {
+        fn permit(&mut self, _kind: IoKind, _page: PageId) -> Result<(), Fault> {
+            let n = self.calls;
+            self.calls += 1;
+            if self.fail_on.contains(&n) {
+                Err(self.fault)
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn write_failed_leaves_page_unchanged() {
+        let mut s: PageStore<u64> = PageStore::new(2);
+        let a = s.allocate(7);
+        // The scripted backend starts counting at its installation:
+        // try_write issues touch (hit, no permit) then Mutate permit (0).
+        s.set_backend(Box::new(Scripted::new(vec![0], FaultKind::Failed, false)));
+        let err = s.try_write(a, |v| *v = 99).unwrap_err();
+        assert_eq!(err, PagerError::WriteFailed { page: a });
+        assert_eq!(*s.peek(a), 7, "failed write must not be applied");
+        // The store keeps working afterwards.
+        s.try_write(a, |v| *v = 8).unwrap();
+        assert_eq!(*s.peek(a), 8);
+    }
+
+    #[test]
+    fn torn_write_applies_then_errors() {
+        let mut s: PageStore<u64> = PageStore::new(2);
+        let a = s.allocate(7);
+        s.set_backend(Box::new(Scripted::new(vec![0], FaultKind::Torn, false)));
+        let err = s.try_write(a, |v| *v = 99).unwrap_err();
+        assert_eq!(err, PagerError::TornWrite { page: a });
+        assert_eq!(*s.peek(a), 99, "torn write must be applied");
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_recovered() {
+        let mut s: PageStore<u64> = PageStore::new(1);
+        let a = s.allocate(7);
+        s.clear_buffer();
+        // The read permit (the scripted backend's calls 0 and 1) fails
+        // twice transiently; the default policy (3 retries) absorbs it.
+        s.set_backend(Box::new(Scripted::new(vec![0, 1], FaultKind::Failed, true)));
+        assert_eq!(*s.try_read(a).unwrap(), 7);
+        assert_eq!(s.stats().faults_injected(), 2);
+        assert_eq!(s.stats().retries(), 2);
+        assert_eq!(s.stats().faults_recovered(), 1);
+        assert_eq!(s.stats().backoff_units(), 1 + 2, "exponential units");
+        assert_eq!(s.stats().reads(), 1, "the read still cost one I/O");
+    }
+
+    #[test]
+    fn transient_fault_exhausting_retries_surfaces() {
+        let mut s: PageStore<u64> = PageStore::new(1);
+        let a = s.allocate(7);
+        s.clear_buffer();
+        s.set_retry_policy(RetryPolicy { max_retries: 1 });
+        s.set_backend(Box::new(Scripted::new(
+            vec![0, 1, 2],
+            FaultKind::Failed,
+            true,
+        )));
+        let err = s.try_read(a).unwrap_err();
+        assert_eq!(err, PagerError::ReadFailed { page: a });
+        assert_eq!(s.stats().retries(), 1);
+        assert_eq!(s.stats().faults_recovered(), 0);
+    }
+
+    #[test]
+    fn crashed_store_fails_every_access() {
+        use crate::backend::{FaultPlan, FaultStore};
+        let mut s: PageStore<u64> =
+            PageStore::with_backend(1, Box::new(FaultStore::new(FaultPlan::crash_after(9, 3))));
+        let a = s.allocate(1);
+        let b = s.allocate(2); // evicts a (dirty): I/O #1 (write-back)
+        let _ = b;
+        s.clear_buffer(); // I/O #2
+        let _ = s.try_read(a).unwrap(); // I/O #3 — budget exhausted
+        let err = s.try_read(b).unwrap_err();
+        assert!(err.is_crash());
+        // Dead forever: misses and mutations keep failing (`a` is still
+        // buffer-resident, so only its Mutate permit hits the backend).
+        assert!(s.try_read(b).is_err());
+        assert!(s.try_write(a, |v| *v = 0).is_err());
+        assert_eq!(s.backend_label(), "fault");
+    }
+
+    #[test]
+    fn dirty_eviction_writeback_fault_surfaces() {
+        let mut s: PageStore<u64> = PageStore::new(1);
+        let a = s.allocate(1);
+        // Allocating a second page evicts `a` (dirty). Scripted calls:
+        // Alloc(0) for the new page, then WriteBack(1) for `a` — fails.
+        s.set_backend(Box::new(Scripted::new(vec![1], FaultKind::Failed, false)));
+        let err = s.try_allocate(2).unwrap_err();
+        assert_eq!(err, PagerError::WriteFailed { page: a });
+        // The new page was still allocated; its write simply never landed.
+        assert_eq!(s.live_pages(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_buffer_pays_io_on_every_access() {
+        let mut s: PageStore<u64> = PageStore::new(0);
+        let a = s.allocate(7); // bounced straight out, dirty: 1 write
+        assert_eq!(s.stats().writes(), 1);
+        assert_eq!(s.stats().evictions(), 1);
+        assert_eq!(s.stats().writebacks(), 1);
+        let _ = s.read(a); // miss + clean bounce: 1 read, no write
+        let _ = s.read(a); // never a hit
+        assert_eq!(s.stats().reads(), 2);
+        assert_eq!(s.stats().hits(), 0);
+        s.write(a, |v| *v = 8); // miss + dirty bounce: read + write
+        assert_eq!(s.stats().reads(), 3);
+        assert_eq!(s.stats().writes(), 2);
+        assert_eq!(*s.peek(a), 8);
+    }
+
+    #[test]
+    fn capacity_one_counters_match_io_deltas() {
+        let mut s: PageStore<u64> = PageStore::new(1);
+        let a = s.allocate(1); // resident, dirty — no I/O yet
+        assert_eq!((s.stats().reads(), s.stats().writes()), (0, 0));
+
+        let b = s.allocate(2); // evicts dirty a: 1 write-back
+        assert_eq!(s.stats().writes(), 1);
+        assert_eq!(s.stats().evictions(), 1);
+        assert_eq!(s.stats().writebacks(), 1);
+
+        // Repeated access to the resident page is free.
+        let _ = s.read(b);
+        let _ = s.read(b);
+        assert_eq!(s.stats().reads(), 0);
+        assert_eq!(s.stats().hits(), 2);
+
+        // Alternating between two pages thrashes: every switch is one
+        // read (miss) and — only when the evictee is dirty — one write.
+        let _ = s.read(a); // miss; b dirty from its allocation: write-back
+        assert_eq!((s.stats().reads(), s.stats().writes()), (1, 2));
+        s.write(b, |v| *v = 20); // miss; a clean; b now dirty again
+        assert_eq!((s.stats().reads(), s.stats().writes()), (2, 2));
+        let _ = s.read(a); // miss; evicts dirty b: read + write
+        assert_eq!((s.stats().reads(), s.stats().writes()), (3, 3));
+        assert_eq!(s.stats().hits(), 2); // unchanged throughout
+        assert_eq!(s.stats().evictions(), 4);
+        assert_eq!(s.stats().writebacks(), 3);
+        assert_eq!(*s.peek(b), 20);
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //! the interval they cover), giving partial persistence with `O(n + m)`
 //! pages and `O(log_B(n + m))`-page searches into any version.
 
-use mobidx_pager::{IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES};
+use mobidx_pager::{Backend, IoStats, PageId, PageStore, PagerError, DEFAULT_BUFFER_PAGES};
 use std::collections::HashMap;
+
+const INFALLIBLE: &str = "pager fault (use the try_* API with fault-injecting backends)";
 
 /// A list element: enough motion state to compute the object's position
 /// at any time in the structure's window (`y(t) = y0 + v·t`, with `t`
@@ -223,8 +225,25 @@ impl PersistentListBTree {
     }
 
     /// Flushes and empties the buffer pool.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see
+    /// [`PersistentListBTree::try_clear_buffer`].
     pub fn clear_buffer(&mut self) {
-        self.store.clear_buffer();
+        self.try_clear_buffer().expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`PersistentListBTree::clear_buffer`].
+    ///
+    /// # Errors
+    /// Returns the first write-back fault; the buffer is drained anyway.
+    pub fn try_clear_buffer(&mut self) -> Result<(), PagerError> {
+        self.store.try_clear_buffer()
+    }
+
+    /// Replaces the page-store backend, returning the previous one.
+    pub fn set_backend(&mut self, backend: Box<dyn Backend>) -> Box<dyn Backend> {
+        self.store.set_backend(backend)
     }
 
     /// Current position of an object, if present.
@@ -237,9 +256,27 @@ impl PersistentListBTree {
     /// `pos + 1` swap.
     ///
     /// # Panics
+    /// Panics if `time` precedes an already-applied event, `pos + 1` is
+    /// out of range, or a pager fault fires; see
+    /// [`PersistentListBTree::try_apply_swap`].
+    pub fn apply_swap(&mut self, time: f64, pos: usize) {
+        self.try_apply_swap(time, pos).expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`PersistentListBTree::apply_swap`].
+    ///
+    /// The in-memory mirrors (`cur_occ`, `pos_of`) are updated *before*
+    /// the swap is logged to the paged structure, so a fault here leaves
+    /// the two out of sync: the structure must be rebuilt (or the swap
+    /// durably retried) before it is trusted again.
+    ///
+    /// # Errors
+    /// Surfaces pager faults raised while logging the swap.
+    ///
+    /// # Panics
     /// Panics if `time` precedes an already-applied event or `pos + 1` is
     /// out of range.
-    pub fn apply_swap(&mut self, time: f64, pos: usize) {
+    pub fn try_apply_swap(&mut self, time: f64, pos: usize) -> Result<(), PagerError> {
         assert!(
             time >= self.last_time,
             "events must be applied in time order"
@@ -253,61 +290,92 @@ impl PersistentListBTree {
         self.cur_occ[pos + 1] = a;
         *self.pos_of.get_mut(&a.id).expect("unknown id") = pos + 1;
         *self.pos_of.get_mut(&b.id).expect("unknown id") = pos;
-        self.log_occ(time, pos, b);
-        self.log_occ(time, pos + 1, a);
+        self.try_log_occ(time, pos, b)?;
+        self.try_log_occ(time, pos + 1, a)?;
+        Ok(())
     }
 
     /// Reports, in ascending position order, every occupant whose
     /// *computed* position `y0 + v·t` lies in `[yl, yr]`, against the
     /// version current at time `t` (Lemma 2's query).
-    pub fn query(&mut self, t: f64, yl: f64, yr: f64, mut visit: impl FnMut(&Occupant)) {
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`PersistentListBTree::try_query`].
+    pub fn query(&mut self, t: f64, yl: f64, yr: f64, visit: impl FnMut(&Occupant)) {
+        self.try_query(t, yl, yr, visit).expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`PersistentListBTree::query`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults; occupants already visited stay visited.
+    pub fn try_query(
+        &mut self,
+        t: f64,
+        yl: f64,
+        yr: f64,
+        mut visit: impl FnMut(&Occupant),
+    ) -> Result<(), PagerError> {
         if self.cur_occ.is_empty() || yl > yr {
-            return;
+            return Ok(());
         }
         // Locate the root copy for time t (in-memory auxiliary array).
         let idx = self.root_history.partition_point(|&(time, _)| time <= t);
         if idx == 0 {
-            return; // t precedes the epoch
+            return Ok(()); // t precedes the epoch
         }
         let root_copy = self.root_history[idx - 1].1;
-        self.visit_page(root_copy, 0, t, yl, yr, &mut visit);
+        self.try_visit_page(root_copy, 0, t, yl, yr, &mut visit)
     }
 
     /// The full list order at time `t` (by occupant), for tests/oracles.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see
+    /// [`PersistentListBTree::try_snapshot_at`].
     pub fn snapshot_at(&mut self, t: f64) -> Vec<Occupant> {
+        self.try_snapshot_at(t).expect(INFALLIBLE)
+    }
+
+    /// Fallible twin of [`PersistentListBTree::snapshot_at`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults.
+    pub fn try_snapshot_at(&mut self, t: f64) -> Result<Vec<Occupant>, PagerError> {
         let mut out = Vec::with_capacity(self.len());
-        self.query(t, f64::NEG_INFINITY, f64::INFINITY, |o| out.push(*o));
-        out
+        self.try_query(t, f64::NEG_INFINITY, f64::INFINITY, |o| out.push(*o))?;
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
     // Write path
     // ------------------------------------------------------------------
 
-    fn log_occ(&mut self, time: f64, pos: usize, occ: Occupant) {
+    fn try_log_occ(&mut self, time: f64, pos: usize, occ: Occupant) -> Result<(), PagerError> {
         let (pg, slot) = self.pos_owner[pos];
-        self.append_log(pg, LogRec::Occ { time, slot, occ }, time);
+        self.try_append_log(pg, LogRec::Occ { time, slot, occ }, time)
     }
 
-    fn append_log(&mut self, pg: usize, rec: LogRec, time: f64) {
+    fn try_append_log(&mut self, pg: usize, rec: LogRec, time: f64) -> Result<(), PagerError> {
         let base = self.shape[pg].nodes.len() + self.shape[pg].children.len();
         let cap = self.records_per_page;
         let cid = self.current[pg];
-        let full = self.store.write(cid, |c| {
+        let full = self.store.try_write(cid, |c| {
             c.log.push(rec);
             base + c.log.len() >= cap
-        });
+        })?;
         if full {
-            self.copy_page(pg, time);
+            self.try_copy_page(pg, time)?;
         }
+        Ok(())
     }
 
     /// Materializes the current state of static page `pg` into a fresh
     /// copy and posts it to the parent (or the root history).
-    fn copy_page(&mut self, pg: usize, time: f64) {
+    fn try_copy_page(&mut self, pg: usize, time: f64) -> Result<(), PagerError> {
         let old = self.current[pg];
         let materialized = {
-            let c = self.store.read(old);
+            let c = self.store.try_read(old)?;
             let mut occ = c.occ.clone();
             let mut children = c.children.clone();
             for rec in &c.log {
@@ -322,11 +390,14 @@ impl PersistentListBTree {
                 log: Vec::new(),
             }
         };
-        let new_id = self.store.allocate(materialized);
+        let new_id = self.store.try_allocate(materialized)?;
         self.current[pg] = new_id;
         match self.shape[pg].parent {
-            None => self.root_history.push((time, new_id)),
-            Some((parent, slot)) => self.append_log(
+            None => {
+                self.root_history.push((time, new_id));
+                Ok(())
+            }
+            Some((parent, slot)) => self.try_append_log(
                 parent,
                 LogRec::Child {
                     time,
@@ -365,7 +436,7 @@ impl PersistentListBTree {
 
     /// Reconstructs the state of a page copy at time `t` and continues
     /// the BST range search through it.
-    fn visit_page(
+    fn try_visit_page(
         &mut self,
         copy: PageId,
         pg: usize,
@@ -373,9 +444,9 @@ impl PersistentListBTree {
         yl: f64,
         yr: f64,
         visit: &mut impl FnMut(&Occupant),
-    ) {
+    ) -> Result<(), PagerError> {
         let (occ, children) = {
-            let c = self.store.read(copy);
+            let c = self.store.try_read(copy)?;
             let mut occ = c.occ.clone();
             let mut children = c.children.clone();
             for rec in &c.log {
@@ -395,12 +466,12 @@ impl PersistentListBTree {
             (occ, children)
         };
         let (lo, hi) = (self.shape[pg].lo, self.shape[pg].hi);
-        self.walk(pg, &occ, &children, lo, hi, 0, t, yl, yr, visit);
+        self.try_walk(pg, &occ, &children, lo, hi, 0, t, yl, yr, visit)
     }
 
     /// In-page BST range walk (in-order, so output is position-sorted).
     #[allow(clippy::too_many_arguments)]
-    fn walk(
+    fn try_walk(
         &mut self,
         pg: usize,
         occ: &[Occupant],
@@ -412,9 +483,9 @@ impl PersistentListBTree {
         yl: f64,
         yr: f64,
         visit: &mut impl FnMut(&Occupant),
-    ) {
+    ) -> Result<(), PagerError> {
         if lo >= hi {
-            return;
+            return Ok(());
         }
         if depth == self.shape[pg].depth_limit {
             // Child page boundary.
@@ -424,8 +495,7 @@ impl PersistentListBTree {
                 .expect("child range missing");
             let child_copy = children[slot];
             let child_pg = self.shape[pg].children[slot];
-            self.visit_page(child_copy, child_pg, t, yl, yr, visit);
-            return;
+            return self.try_visit_page(child_copy, child_pg, t, yl, yr, visit);
         }
         let mid = lo + (hi - lo) / 2;
         let (owner_pg, slot) = self.pos_owner[mid];
@@ -433,14 +503,15 @@ impl PersistentListBTree {
         let o = occ[slot as usize];
         let loc = o.position(t);
         if loc >= yl {
-            self.walk(pg, occ, children, lo, mid, depth + 1, t, yl, yr, visit);
+            self.try_walk(pg, occ, children, lo, mid, depth + 1, t, yl, yr, visit)?;
         }
         if loc >= yl && loc <= yr {
             visit(&o);
         }
         if loc <= yr {
-            self.walk(pg, occ, children, mid + 1, hi, depth + 1, t, yl, yr, visit);
+            self.try_walk(pg, occ, children, mid + 1, hi, depth + 1, t, yl, yr, visit)?;
         }
+        Ok(())
     }
 }
 

@@ -2,8 +2,10 @@
 
 use crate::query::RectQuery;
 use mobidx_geom::{Rect2, Relation};
-use mobidx_pager::{IoStats, PageId, PageStore, DEFAULT_BUFFER_PAGES};
+use mobidx_pager::{Backend, IoStats, PageId, PageStore, PagerError, DEFAULT_BUFFER_PAGES};
 use std::fmt::Debug;
+
+const INFALLIBLE: &str = "pager fault (use the try_* API with fault-injecting backends)";
 
 /// Sizing parameters of an R\*-tree.
 #[derive(Debug, Clone, Copy)]
@@ -133,36 +135,77 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
     }
 
     /// Flushes and empties the buffer pool.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`RStarTree::try_clear_buffer`].
     pub fn clear_buffer(&mut self) {
-        self.store.clear_buffer();
+        self.try_clear_buffer().expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`RStarTree::clear_buffer`].
+    ///
+    /// # Errors
+    /// Returns the first write-back fault; the buffer is drained anyway.
+    pub fn try_clear_buffer(&mut self) -> Result<(), PagerError> {
+        self.store.try_clear_buffer()
+    }
+
+    /// Replaces the page-store backend, returning the previous one.
+    pub fn set_backend(&mut self, backend: Box<dyn Backend>) -> Box<dyn Backend> {
+        self.store.set_backend(backend)
     }
 
     /// Inserts `(mbr, item)`.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`RStarTree::try_insert`].
     pub fn insert(&mut self, mbr: Rect2, item: T) {
+        self.try_insert(mbr, item).expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`RStarTree::insert`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults; the tree may hold a partially applied
+    /// insert (entry placed but overflow treatment unfinished).
+    pub fn try_insert(&mut self, mbr: Rect2, item: T) -> Result<(), PagerError> {
         let mut reinserted = vec![false; self.height + 2];
-        self.insert_at(mbr, Slot::Item(item), 1, &mut reinserted);
+        self.try_insert_at(mbr, Slot::Item(item), 1, &mut reinserted)?;
         self.len += 1;
+        Ok(())
     }
 
     /// Removes the entry with exactly this `(mbr, item)`. Returns whether
     /// it was found.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`RStarTree::try_remove`].
     pub fn remove(&mut self, mbr: Rect2, item: T) -> bool {
+        self.try_remove(mbr, item).expect(INFALLIBLE)
+    }
+
+    /// Fallible twin of [`RStarTree::remove`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults; a fault mid-way may leave condensed nodes
+    /// with pending orphan reinserts unapplied.
+    pub fn try_remove(&mut self, mbr: Rect2, item: T) -> Result<bool, PagerError> {
         let mut orphans: Vec<(usize, Rect2, Slot<T>)> = Vec::new();
-        let removed = self.remove_rec(self.root, self.height, &mbr, &item, &mut orphans);
+        let removed = self.try_remove_rec(self.root, self.height, &mbr, &item, &mut orphans)?;
         if !removed {
             debug_assert!(orphans.is_empty());
-            return false;
+            return Ok(false);
         }
         self.len -= 1;
         // Shrink a root branch chain down to the first real fan-out.
         while self.height > 1 {
-            let only = match self.store.read(self.root) {
+            let only = match self.store.try_read(self.root)? {
                 RNode::Branch(entries) if entries.len() == 1 => Some(entries[0].1),
                 _ => None,
             };
             match only {
                 Some(child) => {
-                    let _ = self.store.free(self.root);
+                    let _ = self.store.try_free(self.root)?;
                     self.root = child;
                     self.height -= 1;
                 }
@@ -174,9 +217,9 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
         orphans.sort_by_key(|o| std::cmp::Reverse(o.0));
         for (level, mbr, slot) in orphans {
             let mut reinserted = vec![false; self.height + 2];
-            self.insert_at(mbr, slot, level, &mut reinserted);
+            self.try_insert_at(mbr, slot, level, &mut reinserted)?;
         }
-        true
+        Ok(true)
     }
 
     /// Reports all `(mbr, item)` entries whose MBR is not disjoint from
@@ -185,21 +228,47 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
     /// The result is *candidates* in the usual SAM sense: for non-point
     /// data (trajectory segments) the caller refines against the exact
     /// geometry, as the paper's baseline does.
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`RStarTree::try_search`].
     pub fn search<Q: RectQuery>(&mut self, query: &Q) -> Vec<(Rect2, T)> {
+        self.try_search(query).expect(INFALLIBLE)
+    }
+
+    /// Fallible twin of [`RStarTree::search`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults.
+    pub fn try_search<Q: RectQuery>(&mut self, query: &Q) -> Result<Vec<(Rect2, T)>, PagerError> {
         let mut out = Vec::new();
-        self.search_with(query, |mbr, item| out.push((mbr, item)));
-        out
+        self.try_search_with(query, |mbr, item| out.push((mbr, item)))?;
+        Ok(out)
     }
 
     /// Visitor-style search (avoids allocating for large results).
-    pub fn search_with<Q: RectQuery>(&mut self, query: &Q, mut visit: impl FnMut(Rect2, T)) {
+    ///
+    /// # Panics
+    /// Panics on a pager fault; see [`RStarTree::try_search_with`].
+    pub fn search_with<Q: RectQuery>(&mut self, query: &Q, visit: impl FnMut(Rect2, T)) {
+        self.try_search_with(query, visit).expect(INFALLIBLE);
+    }
+
+    /// Fallible twin of [`RStarTree::search_with`].
+    ///
+    /// # Errors
+    /// Surfaces pager faults; entries already visited stay visited.
+    pub fn try_search_with<Q: RectQuery>(
+        &mut self,
+        query: &Q,
+        mut visit: impl FnMut(Rect2, T),
+    ) -> Result<(), PagerError> {
         if self.len == 0 {
-            return;
+            return Ok(());
         }
         let mut stack = vec![(self.root, self.height)];
         while let Some((pid, level)) = stack.pop() {
             if level > 1 {
-                let kids: Vec<(PageId, usize)> = match self.store.read(pid) {
+                let kids: Vec<(PageId, usize)> = match self.store.try_read(pid)? {
                     RNode::Branch(entries) => entries
                         .iter()
                         .filter(|(r, _)| query.relation(r) != Relation::Disjoint)
@@ -209,7 +278,7 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                 };
                 stack.extend(kids);
             } else {
-                let hits: Vec<(Rect2, T)> = match self.store.read(pid) {
+                let hits: Vec<(Rect2, T)> = match self.store.try_read(pid)? {
                     RNode::Leaf(entries) => entries
                         .iter()
                         .filter(|(r, _)| query.relation(r) != Relation::Disjoint)
@@ -222,6 +291,7 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                 }
             }
         }
+        Ok(())
     }
 
     /// All entries (uncounted access; for tests and audits).
@@ -293,30 +363,30 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
     // Insertion internals
     // ------------------------------------------------------------------
 
-    fn insert_at(
+    fn try_insert_at(
         &mut self,
         mbr: Rect2,
         slot: Slot<T>,
         target_level: usize,
         reinserted: &mut Vec<bool>,
-    ) {
+    ) -> Result<(), PagerError> {
         if reinserted.len() < self.height + 2 {
             reinserted.resize(self.height + 2, false);
         }
-        let path = self.choose_path(&mbr, target_level);
+        let path = self.try_choose_path(&mbr, target_level)?;
         let target = *path.last().expect("empty path");
-        let occ = self.store.write(target, |n| {
+        let occ = self.store.try_write(target, |n| {
             match (&mut *n, slot) {
                 (RNode::Leaf(entries), Slot::Item(item)) => entries.push((mbr, item)),
                 (RNode::Branch(entries), Slot::Child(child)) => entries.push((mbr, child)),
                 _ => unreachable!("slot kind does not match node kind"),
             }
             n.occupancy()
-        });
+        })?;
         // Extend ancestor MBRs to cover the new entry.
         for w in path.windows(2) {
             let (parent, child) = (w[0], w[1]);
-            self.store.write(parent, |n| {
+            self.store.try_write(parent, |n| {
                 if let RNode::Branch(entries) = n {
                     let e = entries
                         .iter_mut()
@@ -324,21 +394,26 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                         .expect("path child missing from parent");
                     e.0 = e.0.union(&mbr);
                 }
-            });
+            })?;
         }
         if occ > self.cfg.max_entries {
-            self.handle_overflow(path, target_level, reinserted);
+            self.try_handle_overflow(path, target_level, reinserted)?;
         }
+        Ok(())
     }
 
     /// Descends from the root to `target_level`, returning the node path.
-    fn choose_path(&mut self, mbr: &Rect2, target_level: usize) -> Vec<PageId> {
+    fn try_choose_path(
+        &mut self,
+        mbr: &Rect2,
+        target_level: usize,
+    ) -> Result<Vec<PageId>, PagerError> {
         debug_assert!(target_level <= self.height);
         let mut path = vec![self.root];
         let mut level = self.height;
         while level > target_level {
             let node = *path.last().expect("empty path");
-            let next = match self.store.read(node) {
+            let next = match self.store.try_read(node)? {
                 RNode::Branch(entries) => {
                     if level - 1 == 1 {
                         choose_subtree_leaf_level(entries, mbr)
@@ -351,33 +426,33 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
             path.push(next);
             level -= 1;
         }
-        path
+        Ok(path)
     }
 
-    fn handle_overflow(
+    fn try_handle_overflow(
         &mut self,
         mut path: Vec<PageId>,
         mut level: usize,
         reinserted: &mut Vec<bool>,
-    ) {
+    ) -> Result<(), PagerError> {
         loop {
             let node = *path.last().expect("empty path");
-            if self.store.read(node).occupancy() <= self.cfg.max_entries {
+            if self.store.try_read(node)?.occupancy() <= self.cfg.max_entries {
                 break;
             }
             let is_root = path.len() == 1;
             if !is_root && !reinserted[level] {
                 reinserted[level] = true;
-                self.forced_reinsert(&path, level, reinserted);
+                self.try_forced_reinsert(&path, level, reinserted)?;
                 break;
             }
             // Split.
-            let (left_mbr, right_mbr, right_pid) = self.split_node(node);
+            let (left_mbr, right_mbr, right_pid) = self.try_split_node(node)?;
             if is_root {
-                let new_root = self.store.allocate(RNode::Branch(vec![
+                let new_root = self.store.try_allocate(RNode::Branch(vec![
                     (left_mbr, node),
                     (right_mbr, right_pid),
-                ]));
+                ]))?;
                 self.root = new_root;
                 self.height += 1;
                 if reinserted.len() < self.height + 2 {
@@ -386,7 +461,7 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                 break;
             }
             let parent = path[path.len() - 2];
-            self.store.write(parent, |n| {
+            self.store.try_write(parent, |n| {
                 if let RNode::Branch(entries) = n {
                     let e = entries
                         .iter_mut()
@@ -395,18 +470,24 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                     e.0 = left_mbr;
                     entries.push((right_mbr, right_pid));
                 }
-            });
+            })?;
             path.pop();
             level += 1;
         }
+        Ok(())
     }
 
     /// Removes the `p` entries farthest from the node's center and
     /// reinserts them closest-first (Beckmann et al.'s "close reinsert").
-    fn forced_reinsert(&mut self, path: &[PageId], level: usize, reinserted: &mut Vec<bool>) {
+    fn try_forced_reinsert(
+        &mut self,
+        path: &[PageId],
+        level: usize,
+        reinserted: &mut Vec<bool>,
+    ) -> Result<(), PagerError> {
         let node = *path.last().expect("empty path");
         let p = self.cfg.reinsert_count;
-        let removed: Vec<(Rect2, Slot<T>)> = self.store.write(node, |n| {
+        let removed: Vec<(Rect2, Slot<T>)> = self.store.try_write(node, |n| {
             let center = Rect2::point(n.mbr().center());
             match n {
                 RNode::Leaf(entries) => {
@@ -424,22 +505,23 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                         .collect()
                 }
             }
-        });
-        self.recompute_path_mbrs(path);
+        })?;
+        self.try_recompute_path_mbrs(path)?;
         // Close reinsert: the drained list is farthest-first, so iterate
         // in reverse.
         for (mbr, slot) in removed.into_iter().rev() {
-            self.insert_at(mbr, slot, level, reinserted);
+            self.try_insert_at(mbr, slot, level, reinserted)?;
         }
+        Ok(())
     }
 
     /// Recomputes exact MBRs along a root-to-node path, bottom-up (used
     /// after entries have been removed, when MBRs may shrink).
-    fn recompute_path_mbrs(&mut self, path: &[PageId]) {
+    fn try_recompute_path_mbrs(&mut self, path: &[PageId]) -> Result<(), PagerError> {
         for w in path.windows(2).rev() {
             let (parent, child) = (w[0], w[1]);
-            let child_mbr = self.store.read(child).mbr();
-            self.store.write(parent, |n| {
+            let child_mbr = self.store.try_read(child)?.mbr();
+            self.store.try_write(parent, |n| {
                 if let RNode::Branch(entries) = n {
                     let e = entries
                         .iter_mut()
@@ -447,20 +529,21 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                         .expect("path child missing from parent");
                     e.0 = child_mbr;
                 }
-            });
+            })?;
         }
+        Ok(())
     }
 
     /// R\*-tree topological split: axis by minimum margin sum,
     /// distribution by minimum overlap (ties: minimum combined area).
     /// Returns `(left_mbr, right_mbr, right_pid)`.
-    fn split_node(&mut self, node: PageId) -> (Rect2, Rect2, PageId) {
+    fn try_split_node(&mut self, node: PageId) -> Result<(Rect2, Rect2, PageId), PagerError> {
         let m = self.cfg.min_entries;
         enum SplitOut<T> {
             Leaf(Vec<(Rect2, T)>),
             Branch(Vec<(Rect2, PageId)>),
         }
-        let (left_mbr, right_mbr, right_part) = self.store.write(node, |n| match n {
+        let (left_mbr, right_mbr, right_part) = self.store.try_write(node, |n| match n {
             RNode::Leaf(entries) => {
                 let right = rstar_split(entries, m);
                 (mbr_of(entries), mbr_of(&right), SplitOut::Leaf(right))
@@ -469,28 +552,28 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                 let right = rstar_split(entries, m);
                 (mbr_of(entries), mbr_of(&right), SplitOut::Branch(right))
             }
-        });
+        })?;
         let right_pid = match right_part {
-            SplitOut::Leaf(v) => self.store.allocate(RNode::Leaf(v)),
-            SplitOut::Branch(v) => self.store.allocate(RNode::Branch(v)),
+            SplitOut::Leaf(v) => self.store.try_allocate(RNode::Leaf(v))?,
+            SplitOut::Branch(v) => self.store.try_allocate(RNode::Branch(v))?,
         };
-        (left_mbr, right_mbr, right_pid)
+        Ok((left_mbr, right_mbr, right_pid))
     }
 
     // ------------------------------------------------------------------
     // Deletion internals
     // ------------------------------------------------------------------
 
-    fn remove_rec(
+    fn try_remove_rec(
         &mut self,
         pid: PageId,
         level: usize,
         mbr: &Rect2,
         item: &T,
         orphans: &mut Vec<(usize, Rect2, Slot<T>)>,
-    ) -> bool {
+    ) -> Result<bool, PagerError> {
         if level == 1 {
-            return self.store.write(pid, |n| match n {
+            return self.store.try_write(pid, |n| match n {
                 RNode::Leaf(entries) => {
                     match entries.iter().position(|(r, t)| r == mbr && t == item) {
                         Some(pos) => {
@@ -503,7 +586,7 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                 RNode::Branch(_) => unreachable!("branch at leaf level"),
             });
         }
-        let candidates: Vec<PageId> = match self.store.read(pid) {
+        let candidates: Vec<PageId> = match self.store.try_read(pid)? {
             RNode::Branch(entries) => entries
                 .iter()
                 .filter(|(r, _)| r.contains_rect(mbr))
@@ -512,15 +595,15 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
             RNode::Leaf(_) => unreachable!("leaf above leaf level"),
         };
         for child in candidates {
-            if !self.remove_rec(child, level - 1, mbr, item, orphans) {
+            if !self.try_remove_rec(child, level - 1, mbr, item, orphans)? {
                 continue;
             }
-            let occ = self.store.read(child).occupancy();
+            let occ = self.store.try_read(child)?.occupancy();
             if occ < self.cfg.min_entries {
                 // Dissolve the child; its entries become orphans at the
                 // child's level.
-                let dissolved = self.store.read(child).clone();
-                let _ = self.store.free(child);
+                let dissolved = self.store.try_read(child)?.clone();
+                let _ = self.store.try_free(child)?;
                 match dissolved {
                     RNode::Leaf(entries) => orphans.extend(
                         entries
@@ -533,7 +616,7 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                             .map(|(r, c)| (level - 1, r, Slot::Child(c))),
                     ),
                 }
-                self.store.write(pid, |n| {
+                self.store.try_write(pid, |n| {
                     if let RNode::Branch(entries) = n {
                         let pos = entries
                             .iter()
@@ -541,10 +624,10 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                             .expect("dissolved child missing");
                         entries.remove(pos);
                     }
-                });
+                })?;
             } else {
-                let child_mbr = self.store.read(child).mbr();
-                self.store.write(pid, |n| {
+                let child_mbr = self.store.try_read(child)?.mbr();
+                self.store.try_write(pid, |n| {
                     if let RNode::Branch(entries) = n {
                         let e = entries
                             .iter_mut()
@@ -552,11 +635,11 @@ impl<T: Copy + PartialEq + Debug> RStarTree<T> {
                             .expect("child missing");
                         e.0 = child_mbr;
                     }
-                });
+                })?;
             }
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 }
 

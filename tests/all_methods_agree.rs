@@ -252,6 +252,77 @@ fn paper_page_sizes_also_exact() {
 }
 
 #[test]
+fn crossing_instant_queries_exact_for_all_methods() {
+    // Adversarial fuzz: query at the *exact* timestamps where two
+    // objects meet, with a time-slice window centred on the meeting
+    // point (t1 == t2 == t_cross, y ∈ [p − 0.5, p + 0.5]). These are
+    // the boundary instants where an object's dual point sits exactly
+    // on the query trapezoid's edge, so any strict/non-strict
+    // comparison slip in a method shows up as a missing or extra id.
+    for seed in [0x5EED0u64, 0x5EED1, 0x5EED2] {
+        let mut sim = Simulator1D::new(WorkloadConfig {
+            n: 150,
+            updates_per_instant: 10,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..4 {
+            let _ = sim.step();
+        }
+        let mut methods = dual_methods();
+        for idx in &mut methods {
+            for m in sim.objects() {
+                idx.insert(m);
+            }
+        }
+        let now = sim.now();
+        // Rebase every motion to a common t = 0 origin so the
+        // persistence crate's sweep enumerates the meeting times.
+        let lines: Vec<(f64, f64)> = sim
+            .objects()
+            .iter()
+            .map(|m| (m.y0 - m.v * m.t0, m.v))
+            .collect();
+        let events = mobidx_persist::all_crossings(&lines, now + 40.0);
+        let future: Vec<_> = events.into_iter().filter(|e| e.time > now).collect();
+        assert!(
+            !future.is_empty(),
+            "seed {seed:#x}: no crossings to fuzz against"
+        );
+        let stride = (future.len() / 40).max(1);
+        for e in future.iter().step_by(stride) {
+            let (y0a, va) = lines[e.a];
+            let p = y0a + va * e.time;
+            let q = mobidx_core::MorQuery1D {
+                y1: p - 0.5,
+                y2: p + 0.5,
+                t1: e.time,
+                t2: e.time,
+            };
+            let want = brute_force_1d(sim.objects(), &q);
+            // Both parties of the crossing sit at p (within float dust
+            // far below the 0.5 margin), so the oracle must see them.
+            let ida = sim.objects()[e.a].id;
+            let idb = sim.objects()[e.b].id;
+            assert!(
+                want.contains(&ida) && want.contains(&idb),
+                "seed {seed:#x}: crossing pair ({ida}, {idb}) missing at t={}",
+                e.time
+            );
+            for idx in &mut methods {
+                assert_eq!(
+                    idx.query(&q),
+                    want,
+                    "{} wrong at crossing t={} (seed {seed:#x})",
+                    idx.name(),
+                    e.time
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn stale_epoch_records_survive_rotation() {
     // A record whose t0 predates the current generation epoch is still
     // insertable, removable, and queryable: its dual point rebases
