@@ -1,0 +1,109 @@
+//! Serving-tier throughput sweep: queries/sec and update ops/sec of the
+//! sharded front end at S = 1, 2, 4, 8.
+//!
+//! ```text
+//! serve_bench [--scale quick|smoke|full] [--seed N] [--json]
+//! ```
+//!
+//! `--json` writes `BENCH_serve_<scale>.json` (schema in
+//! `EXPERIMENTS.md`). The speed-up column is disk-model queries/sec
+//! relative to S = 1 — speed-band sharding shrinks each shard's dual-B+
+//! query enlargement (fewer page I/Os per query) and the shard workers
+//! overlap their simulated-disk waits, so the gain holds even on a
+//! single core.
+
+use mobidx_bench::throughput::{run_sweep, ThroughputConfig};
+use mobidx_bench::{throughput, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::quick();
+    let mut scale_name = "quick";
+    let mut seed = 0x5EEDu64;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--scale" => {
+                let v = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                (scale, scale_name) = match v.as_str() {
+                    "quick" => (Scale::quick(), "quick"),
+                    "smoke" => (Scale::smoke(), "smoke"),
+                    "full" => (Scale::full(), "full"),
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let cfg = ThroughputConfig::from_scale(&scale, seed);
+    println!(
+        "mobidx serving throughput — scale: {scale_name}, N = {}, seed: {seed}",
+        cfg.n
+    );
+    println!(
+        "{} measured update instants, {} queries ({} under the {}us disk model) across {} client threads, queue depth {}\n",
+        cfg.measure_instants,
+        cfg.queries,
+        cfg.disk_queries,
+        cfg.io_latency_us,
+        cfg.client_threads,
+        cfg.queue_depth
+    );
+
+    let cells = run_sweep(&cfg);
+    let base_qps = cells[0].queries_per_sec;
+    let base_mem = cells[0].queries_per_sec_mem;
+    println!(
+        "{:>7} {:>12} {:>12} {:>9} {:>12} {:>11} {:>9} {:>9}",
+        "shards",
+        "disk q/s",
+        "mem q/s",
+        "reads/q",
+        "updates/sec",
+        "avg result",
+        "speedup",
+        "mem spd"
+    );
+    for c in &cells {
+        println!(
+            "{:>7} {:>12.1} {:>12.1} {:>9.1} {:>12.1} {:>11.1} {:>8.2}x {:>8.2}x",
+            c.shards,
+            c.queries_per_sec,
+            c.queries_per_sec_mem,
+            c.reads_per_query,
+            c.update_ops_per_sec,
+            c.avg_result,
+            c.queries_per_sec / base_qps,
+            c.queries_per_sec_mem / base_mem
+        );
+    }
+
+    if json {
+        let path = format!("BENCH_serve_{scale_name}.json");
+        let text = throughput::render_report(scale_name, &cfg, &cells);
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote {path}");
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json]");
+    std::process::exit(2);
+}

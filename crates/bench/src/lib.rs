@@ -37,6 +37,7 @@ use mobidx_workload::{paper, Simulator1D, WorkloadConfig};
 pub mod ablations;
 pub mod json_report;
 pub mod report;
+pub mod throughput;
 
 /// How much to shrink the paper's experiment (N, instants, queries).
 #[derive(Debug, Clone, Copy)]

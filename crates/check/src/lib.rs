@@ -24,17 +24,26 @@
 //! it.
 
 use mobidx_bptree::{BPlusTree, TreeConfig};
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::{Motion1D, SpeedBand};
 use mobidx_geom::{Aabb, Rect2};
 use mobidx_interval::{IntervalConfig, IntervalTree};
 use mobidx_kdtree::{KdConfig, KdTree};
 use mobidx_pager::{Backend, FaultPlan, FaultStore, IoStats, MemBackend};
 use mobidx_persist::{all_crossings, Occupant, PersistConfig, PersistentListBTree};
 use mobidx_rstar::{RStarConfig, RStarTree};
-use std::collections::{BTreeSet, HashMap};
+use mobidx_serve::{Batch, ServeConfig, ServeError, ShardedDb, SpeedBandShard};
+use mobidx_workload::{brute_force_1d, MorQuery1D};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
-/// The indexes the harness knows how to drive.
-pub const INDEXES: [&str; 5] = ["bptree", "interval", "kdtree", "rstar", "persist"];
+/// The indexes the harness knows how to drive. `sharded` is the serving
+/// tier (`mobidx-serve`) over per-speed-band dual-B+ shards — the same
+/// fault plans are armed *behind* the shard workers, so what the harness
+/// exercises is the tier's typed-error surfacing and rebuild protocol.
+pub const INDEXES: [&str; 6] = [
+    "bptree", "interval", "kdtree", "rstar", "persist", "sharded",
+];
 
 /// Which fault plan the backing store runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,6 +233,7 @@ pub fn check_index(index: &str, cfg: &CheckConfig) -> Result<Report, Divergence>
         "kdtree" => check_kdtree(cfg),
         "rstar" => check_rstar(cfg),
         "persist" => check_persist(cfg),
+        "sharded" => check_sharded(cfg),
         other => panic!("unknown index {other:?}; expected one of {INDEXES:?}"),
     }
 }
@@ -913,6 +923,309 @@ fn check_persist(cfg: &CheckConfig) -> Result<Report, Divergence> {
         report.ops += 1;
     }
     report.absorb(tree.stats());
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// Sharded serving tier vs motion-table brute force
+// ----------------------------------------------------------------------
+
+/// Shard count for the sharded runs. Three speed bands is enough to
+/// exercise fan-out, k-way merging, and inter-shard migration on
+/// updates, while keeping each rebuild cheap.
+const SHARDED_SHARDS: usize = 3;
+
+/// Silences the default panic hook for the serve crate's worker threads.
+///
+/// The sharded tier *converts* index panics (an unrecovered pager fault
+/// deep in a shard's tree) into typed [`ServeError::ShardFault`] values
+/// via `catch_unwind` — that is exactly the behavior under test — but
+/// the default hook would still spray a backtrace per injected fault.
+/// The replacement hook drops output from threads named
+/// `mobidx-shard-*` and forwards everything else unchanged.
+fn silence_shard_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_shard = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("mobidx-shard-"));
+            if !in_shard {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Arms every store of one shard's index with a fresh backend realizing
+/// the run's fault mode. Fails only if the shard is poisoned or down.
+fn arm_shard(
+    db: &ShardedDb<DualBPlusIndex>,
+    shard: usize,
+    mode: FaultMode,
+    seed: u64,
+) -> Result<(), ServeError> {
+    db.with_shard(shard, move |idx: &mut DualBPlusIndex| {
+        idx.set_backends(&mut || mode.backend(seed));
+    })
+}
+
+/// Sums one index's fault/retry counters across all its page stores.
+fn fault_counters(idx: &DualBPlusIndex) -> (u64, u64, u64) {
+    let mut totals = (0u64, 0u64, 0u64);
+    idx.for_each_stats(&mut |s| {
+        totals.0 += s.faults_injected();
+        totals.1 += s.retries();
+        totals.2 += s.faults_recovered();
+    });
+    totals
+}
+
+/// Folds one index's counters into the run totals. Called on every
+/// index `rebuild_shard` retires (its counts would otherwise die with
+/// it) and once per live shard at the end of the run; each index is
+/// absorbed exactly once, so nothing is double-counted.
+fn absorb_index(report: &mut Report, idx: &DualBPlusIndex) {
+    let (injected, retries, recovered) = fault_counters(idx);
+    report.injected += injected;
+    report.retries += retries;
+    report.recovered += recovered;
+}
+
+/// Folds every live shard's fault/retry counters into the report.
+fn absorb_shard_faults(db: &ShardedDb<DualBPlusIndex>, report: &mut Report) {
+    for shard in 0..SHARDED_SHARDS {
+        if let Ok(stats) = db.with_shard(shard, |idx: &mut DualBPlusIndex| fault_counters(idx)) {
+            report.injected += stats.0;
+            report.retries += stats.1;
+            report.recovered += stats.2;
+        }
+    }
+}
+
+fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    silence_shard_panics();
+    let mut report = Report::new("sharded", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 6));
+
+    let band = SpeedBand::paper();
+    let sf = SpeedBandShard::new(band);
+    let mut db: ShardedDb<DualBPlusIndex> = ShardedDb::new(
+        ServeConfig {
+            shards: SHARDED_SHARDS,
+            queue_depth: 16,
+        },
+        Box::new(sf),
+        move |i, s| {
+            DualBPlusIndex::new(DualBPlusConfig {
+                band: sf.index_band(i, s),
+                // The harness's small nodes (as in `bptree_cfg`): at
+                // oracle scale, page-capacity leaves would never miss
+                // the buffer pools and no fault plan could ever fire.
+                tree: bptree_cfg(),
+                ..DualBPlusConfig::default()
+            })
+        },
+    );
+    let terrain = DualBPlusConfig::default().terrain;
+
+    // The oracle is an ordered map so that "pick the n-th tracked
+    // object" is deterministic across runs of the same seed.
+    let mut oracle: BTreeMap<u64, Motion1D> = BTreeMap::new();
+    let mut next_id = 0u64;
+    let mut round = 0u64;
+    for shard in 0..SHARDED_SHARDS {
+        arm_shard(&db, shard, cfg.faults, mix(cfg.seed, 1000 + shard as u64))
+            .expect("fresh shards accept a backend swap");
+    }
+
+    // The `injected`/`retries`/`recovered` counters live in the stores
+    // *behind* the shard boundary. They are read out of each retired
+    // index as `rebuild_shard` hands it back, and out of the live
+    // shards once at the end of the run.
+
+    // Speeds on a dyadic 1/64 grid (0.171875 ..= 1.65625, inside the
+    // paper band), with integer times and positions: every position a
+    // query can probe (`y0 + v·Δt`, Δt integer) then lies on the 1/64
+    // grid. Query edges are offset by 1/128 (see the query arm below),
+    // so no trajectory can ever touch an edge exactly — membership is
+    // decided with a margin of at least 1/128, ten orders of magnitude
+    // above the ulp-level rounding the index's Hough-transform
+    // reconstruction (`b = t0 + (y_r − y0)/v`) introduces. The oracle
+    // and the index therefore always agree, the same way the interval
+    // harness's grid-of-halves keeps its comparisons exact.
+    let new_motion = |rng: &mut SplitMix, id: u64| -> Motion1D {
+        Motion1D {
+            id,
+            t0: rng.below(300) as f64,
+            y0: rng.below(terrain as u64) as f64,
+            v: {
+                let speed = (11 + rng.below(96)) as f64 / 64.0;
+                if rng.below(2) == 0 {
+                    speed
+                } else {
+                    -speed
+                }
+            },
+        }
+    };
+
+    for op in 0..cfg.ops {
+        // Shards rebuilt while executing this op; re-armed afterwards so
+        // recovery itself runs fault-free (guaranteeing termination).
+        let mut rebuilt: Vec<usize> = Vec::new();
+        let roll = rng.below(100);
+        if roll < 65 || oracle.is_empty() {
+            // Mutation through the batch facade. `apply` commits the
+            // authoritative table before dispatching to the workers, so
+            // a shard fault does NOT roll the op back — the table has
+            // it, and the rebuild below replays the table into a fresh
+            // index. The oracle therefore applies the op on *both* the
+            // Ok and the fault paths; only a validation error (which
+            // the harness never provokes) would mean divergence.
+            let mut batch = Batch::new();
+            let mutation: Motion1D;
+            let is_remove: bool;
+            if roll < 30 || oracle.is_empty() {
+                mutation = new_motion(&mut rng, next_id);
+                next_id += 1;
+                batch.insert(mutation);
+                is_remove = false;
+            } else if roll < 55 {
+                // Update: fresh position and speed, so the object can
+                // migrate to a different speed-band shard.
+                let n = rng.below(oracle.len() as u64) as usize;
+                let (&id, _) = oracle.iter().nth(n).expect("indexed oracle entry");
+                mutation = new_motion(&mut rng, id);
+                batch.update(mutation);
+                is_remove = false;
+            } else {
+                let n = rng.below(oracle.len() as u64) as usize;
+                let (&id, &old) = oracle.iter().nth(n).expect("indexed oracle entry");
+                mutation = old;
+                batch.remove(id);
+                is_remove = true;
+            }
+            match db.apply(&batch) {
+                Ok(()) => {}
+                Err(e @ (ServeError::Duplicate(_) | ServeError::Unknown(_))) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("valid batch rejected: {e}"),
+                    ));
+                }
+                Err(ServeError::ShardFault { shard, .. } | ServeError::ShardPoisoned { shard }) => {
+                    report.faults_surfaced += 1;
+                    let retired = db.rebuild_shard(shard).map_err(|e| {
+                        diverge(&report, cfg, op, format!("clean rebuild failed: {e}"))
+                    })?;
+                    absorb_index(&mut report, &retired);
+                    report.rebuilds += 1;
+                    rebuilt.push(shard);
+                }
+                Err(e @ ServeError::ShardDown { .. }) => {
+                    return Err(diverge(&report, cfg, op, format!("worker died: {e}")));
+                }
+            }
+            if is_remove {
+                oracle.remove(&mutation.id);
+            } else {
+                oracle.insert(mutation.id, mutation);
+            }
+        } else {
+            // Fan-out MOR query vs brute force over the oracle table.
+            // The 1/128 edge offset keeps every trajectory strictly off
+            // the query boundary (see `new_motion` above).
+            let y1 = rng.below(terrain as u64) as f64 + 1.0 / 128.0;
+            let y2 = y1 + rng.below(terrain as u64 / 5) as f64;
+            let t1 = 300.0 + rng.below(60) as f64;
+            let q = MorQuery1D {
+                y1,
+                y2,
+                t1,
+                t2: t1 + rng.below(60) as f64,
+            };
+            let objects: Vec<Motion1D> = oracle.values().copied().collect();
+            let want = brute_force_1d(&objects, &q);
+            // Retry until every faulted shard has been rebuilt; each
+            // loop iteration replaces one shard's fault backend with the
+            // factory's clean one, so at most `SHARDED_SHARDS`
+            // iterations can fault.
+            let got = loop {
+                match db.query(&q) {
+                    Ok(v) => break v,
+                    Err(
+                        ServeError::ShardFault { shard, .. } | ServeError::ShardPoisoned { shard },
+                    ) => {
+                        report.faults_surfaced += 1;
+                        let retired = db.rebuild_shard(shard).map_err(|e| {
+                            diverge(&report, cfg, op, format!("clean rebuild failed: {e}"))
+                        })?;
+                        absorb_index(&mut report, &retired);
+                        report.rebuilds += 1;
+                        rebuilt.push(shard);
+                    }
+                    Err(e) => {
+                        return Err(diverge(
+                            &report,
+                            cfg,
+                            op,
+                            format!("query returned a non-fault error: {e}"),
+                        ));
+                    }
+                }
+            };
+            report.queries += 1;
+            if !got.windows(2).all(|w| w[0] < w[1]) {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!("merge contract broken: answer not sorted-dedup ({got:?})"),
+                ));
+            }
+            if got != want {
+                let extra: Vec<u64> = got
+                    .iter()
+                    .filter(|id| !want.contains(id))
+                    .copied()
+                    .collect();
+                let missing: Vec<u64> = want
+                    .iter()
+                    .filter(|id| !got.contains(id))
+                    .copied()
+                    .collect();
+                let detail: Vec<String> = extra
+                    .iter()
+                    .chain(&missing)
+                    .map(|id| format!("{id}:{:?}", oracle.get(id)))
+                    .collect();
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "query y=[{y1}, {y2}] t=[{t1}, {}]: sharded tier returned {} ids, \
+                         oracle {} (extra {extra:?}, missing {missing:?}; {detail:?})",
+                        q.t2,
+                        got.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        // Re-arm the rebuilt shards with round-incremented fault plans.
+        for shard in rebuilt {
+            round += 1;
+            arm_shard(&db, shard, cfg.faults, mix(cfg.seed, 2000 + round))
+                .expect("rebuilt shards accept a backend swap");
+        }
+        report.ops += 1;
+    }
+    absorb_shard_faults(&db, &mut report);
     Ok(report)
 }
 

@@ -11,6 +11,32 @@
 use crate::method::{Index1D, IoTotals};
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Typed error of [`MotionDb::try_insert`]: the id is already tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateId(pub u64);
+
+impl fmt::Display for DuplicateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object {} already tracked", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateId {}
+
+/// Typed error of [`MotionDb::try_update`] / [`MotionDb::try_remove`]:
+/// no object with this id is tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownId(pub u64);
+
+impl fmt::Display for UnknownId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown object {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownId {}
 
 /// A motion database: an [`Index1D`] plus the current motion table.
 ///
@@ -69,29 +95,67 @@ impl<I: Index1D> MotionDb<I> {
         self.table.values()
     }
 
-    /// Registers a new object.
+    /// Registers a new object, failing with a typed error if the id is
+    /// already tracked (use [`MotionDb::try_update`] for updates).
     ///
-    /// # Panics
-    /// Panics if the id is already tracked — use [`MotionDb::update`].
-    pub fn insert(&mut self, m: Motion1D) {
-        let clash = self.table.insert(m.id, m);
-        assert!(clash.is_none(), "object {} already tracked", m.id);
+    /// # Errors
+    /// [`DuplicateId`] when the id is already tracked; the database is
+    /// unchanged.
+    pub fn try_insert(&mut self, m: Motion1D) -> Result<(), DuplicateId> {
+        if self.table.contains_key(&m.id) {
+            return Err(DuplicateId(m.id));
+        }
+        self.table.insert(m.id, m);
         self.index.insert(&m);
+        Ok(())
     }
 
     /// Applies a motion update: the stored record is replaced by `m`
     /// (delete old + insert new, §3).
     ///
-    /// # Panics
-    /// Panics if the object is unknown.
-    pub fn update(&mut self, m: Motion1D) {
-        let old = self
-            .table
-            .insert(m.id, m)
-            .unwrap_or_else(|| panic!("update of unknown object {}", m.id));
+    /// # Errors
+    /// [`UnknownId`] when no object with this id is tracked; the
+    /// database is unchanged.
+    pub fn try_update(&mut self, m: Motion1D) -> Result<(), UnknownId> {
+        let Some(&old) = self.table.get(&m.id) else {
+            return Err(UnknownId(m.id));
+        };
+        self.table.insert(m.id, m);
         let removed = self.index.remove(&old);
         debug_assert!(removed, "index lost object {}", m.id);
         self.index.insert(&m);
+        Ok(())
+    }
+
+    /// Deregisters an object, returning its last motion record.
+    ///
+    /// # Errors
+    /// [`UnknownId`] when no object with this id is tracked.
+    pub fn try_remove(&mut self, id: u64) -> Result<Motion1D, UnknownId> {
+        let old = self.table.remove(&id).ok_or(UnknownId(id))?;
+        let removed = self.index.remove(&old);
+        debug_assert!(removed, "index lost object {id}");
+        Ok(old)
+    }
+
+    /// Registers a new object.
+    ///
+    /// # Panics
+    /// Panics if the id is already tracked — use [`MotionDb::update`]
+    /// (or [`MotionDb::try_insert`] for a typed error).
+    pub fn insert(&mut self, m: Motion1D) {
+        self.try_insert(m)
+            .unwrap_or_else(|e| panic!("object {} already tracked", e.0));
+    }
+
+    /// Applies a motion update (delete old + insert new, §3).
+    ///
+    /// # Panics
+    /// Panics if the object is unknown — use [`MotionDb::try_update`]
+    /// for a typed error.
+    pub fn update(&mut self, m: Motion1D) {
+        self.try_update(m)
+            .unwrap_or_else(|e| panic!("update of unknown object {}", e.0));
     }
 
     /// Inserts or updates, whichever applies.
@@ -103,17 +167,22 @@ impl<I: Index1D> MotionDb<I> {
         }
     }
 
-    /// Deregisters an object, returning its last motion record.
+    /// Deregisters an object, returning its last motion record (`None`
+    /// when untracked).
     pub fn remove(&mut self, id: u64) -> Option<Motion1D> {
-        let old = self.table.remove(&id)?;
-        let removed = self.index.remove(&old);
-        debug_assert!(removed, "index lost object {id}");
-        Some(old)
+        self.try_remove(id).ok()
     }
 
     /// Answers a MOR query (sorted ids).
     pub fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
         self.index.query(q)
+    }
+
+    /// Answers a MOR query into a caller-provided buffer (cleared, then
+    /// filled with the sorted, deduplicated ids) — see
+    /// [`Index1D::query_into`].
+    pub fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
+        self.index.query_into(q, out);
     }
 
     /// Answers a MOR query inside a trace span (I/O delta, candidates vs

@@ -30,9 +30,9 @@ pub mod db;
 pub mod dual;
 pub mod method;
 
-pub use db::MotionDb;
+pub use db::{DuplicateId, MotionDb, UnknownId};
 pub use dual::{hough_x_point, hough_x_query, hough_y_b, SpeedBand};
-pub use method::{Index1D, Index2D, IoTotals};
+pub use method::{Index1D, Index2D, IndexStats, IoTotals};
 
 // Re-export the vocabulary types so downstream users need only this crate.
 pub use mobidx_workload::{MorQuery1D, MorQuery2D, Motion1D, Motion2D};

@@ -21,7 +21,7 @@
 
 use crate::dual::{hough_x_query, SpeedBand};
 use crate::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use crate::method::{finish_ids, Index1D, Index2D, IoTotals};
+use crate::method::{finish_ids, Index1D, Index2D, IndexStats, IoTotals};
 use mobidx_geom::ProductRegion;
 use mobidx_kdtree::{KdConfig, KdTree};
 use mobidx_ptree::{PartitionConfig, PartitionForest};
@@ -90,11 +90,29 @@ impl Dual4KdIndex {
     }
 }
 
-impl Index2D for Dual4KdIndex {
+impl IndexStats for Dual4KdIndex {
     fn name(&self) -> String {
         "dual4-kd".to_owned()
     }
 
+    fn clear_buffers(&mut self) {
+        self.tree.clear_buffer();
+    }
+
+    fn io_totals(&self) -> IoTotals {
+        IoTotals::from_stats(self.tree.stats())
+    }
+
+    fn reset_io(&self) {
+        self.tree.stats().reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.last_candidates
+    }
+}
+
+impl Index2D for Dual4KdIndex {
     fn insert(&mut self, m: &Motion2D) {
         self.tree.insert(dual4_point(m), m.id);
     }
@@ -116,22 +134,6 @@ impl Index2D for Dual4KdIndex {
         }
         self.last_candidates = candidates;
         finish_ids(ids)
-    }
-
-    fn clear_buffers(&mut self) {
-        self.tree.clear_buffer();
-    }
-
-    fn io_totals(&self) -> IoTotals {
-        IoTotals::from_stats(self.tree.stats())
-    }
-
-    fn reset_io(&self) {
-        self.tree.stats().reset_io();
-    }
-
-    fn last_candidates(&self) -> u64 {
-        self.last_candidates
     }
 }
 
@@ -155,11 +157,29 @@ impl Dual4PtreeIndex {
     }
 }
 
-impl Index2D for Dual4PtreeIndex {
+impl IndexStats for Dual4PtreeIndex {
     fn name(&self) -> String {
         "dual4-ptree".to_owned()
     }
 
+    fn clear_buffers(&mut self) {
+        self.forest.clear_buffer();
+    }
+
+    fn io_totals(&self) -> IoTotals {
+        IoTotals::from_stats(self.forest.stats())
+    }
+
+    fn reset_io(&self) {
+        self.forest.stats().reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.last_candidates
+    }
+}
+
+impl Index2D for Dual4PtreeIndex {
     fn insert(&mut self, m: &Motion2D) {
         self.forest.insert(dual4_point(m), m.id);
     }
@@ -181,22 +201,6 @@ impl Index2D for Dual4PtreeIndex {
         }
         self.last_candidates = candidates;
         finish_ids(ids)
-    }
-
-    fn clear_buffers(&mut self) {
-        self.forest.clear_buffer();
-    }
-
-    fn io_totals(&self) -> IoTotals {
-        IoTotals::from_stats(self.forest.stats())
-    }
-
-    fn reset_io(&self) {
-        self.forest.stats().reset_io();
-    }
-
-    fn last_candidates(&self) -> u64 {
-        self.last_candidates
     }
 }
 
@@ -248,11 +252,40 @@ fn residence(m: &Motion1D, lo: f64, hi: f64) -> (f64, f64) {
     }
 }
 
-impl Index2D for Decomposition2D {
+impl IndexStats for Decomposition2D {
     fn name(&self) -> String {
         "decompose-2x1D".to_owned()
     }
 
+    fn clear_buffers(&mut self) {
+        self.x_index.clear_buffers();
+        self.y_index.clear_buffers();
+    }
+
+    fn io_totals(&self) -> IoTotals {
+        self.x_index.io_totals().merge(self.y_index.io_totals())
+    }
+
+    fn reset_io(&self) {
+        self.x_index.reset_io();
+        self.y_index.reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        // Candidates of both per-axis scans: the join + refinement here
+        // discards anything matching only one axis.
+        self.x_index.last_candidates() + self.y_index.last_candidates()
+    }
+
+    fn store_io(&self) -> Vec<(String, IoTotals)> {
+        vec![
+            ("x".to_owned(), self.x_index.io_totals()),
+            ("y".to_owned(), self.y_index.io_totals()),
+        ]
+    }
+}
+
+impl Index2D for Decomposition2D {
     fn insert(&mut self, m: &Motion2D) {
         self.x_index.insert(&m.x_motion());
         self.y_index.insert(&m.y_motion());
@@ -282,33 +315,6 @@ impl Index2D for Decomposition2D {
             })
             .collect();
         finish_ids(ids)
-    }
-
-    fn clear_buffers(&mut self) {
-        self.x_index.clear_buffers();
-        self.y_index.clear_buffers();
-    }
-
-    fn io_totals(&self) -> IoTotals {
-        self.x_index.io_totals().merge(self.y_index.io_totals())
-    }
-
-    fn reset_io(&self) {
-        self.x_index.reset_io();
-        self.y_index.reset_io();
-    }
-
-    fn last_candidates(&self) -> u64 {
-        // Candidates of both per-axis scans: the join + refinement here
-        // discards anything matching only one axis.
-        self.x_index.last_candidates() + self.y_index.last_candidates()
-    }
-
-    fn store_io(&self) -> Vec<(String, IoTotals)> {
-        vec![
-            ("x".to_owned(), self.x_index.io_totals()),
-            ("y".to_owned(), self.y_index.io_totals()),
-        ]
     }
 }
 

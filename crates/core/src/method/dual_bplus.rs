@@ -24,7 +24,7 @@
 //! harness; Lemma 1's bound needs them.
 
 use crate::dual::{enlargement_e, hough_y_b, hough_y_interval, SpeedBand};
-use crate::method::{finish_ids, Index1D, IoTotals};
+use crate::method::{Index1D, IndexStats, IoTotals};
 use mobidx_bptree::{BPlusTree, TreeConfig};
 use mobidx_interval::{IntervalConfig, IntervalTree};
 use mobidx_workload::{MorQuery1D, Motion1D};
@@ -187,7 +187,7 @@ impl DualBPlusIndex {
 
     /// Case-i query against one observation index: conservative
     /// `b`-ranges for both velocity signs, exact speed filtering.
-    fn query_obs(&mut self, obs_idx: usize, q: &MorQuery1D, out: &mut Vec<Motion1D>) {
+    fn query_obs(&mut self, obs_idx: usize, q: &MorQuery1D, sink: &mut impl FnMut(Motion1D)) {
         let y_r = self.obs[obs_idx].y_r;
         let band = self.cfg.band;
         let mut scanned = 0u64;
@@ -209,7 +209,7 @@ impl DualBPlusIndex {
                     v,
                 };
                 if q.matches(&m) {
-                    out.push(m);
+                    sink(m);
                 }
             });
         }
@@ -229,6 +229,36 @@ impl DualBPlusIndex {
             .expect("at least one observation index")
     }
 
+    /// Replaces the storage backend of **every** internal page store
+    /// (each observation B+-tree, the static tree, and any subterrain
+    /// interval index), calling `make` once per store. Used by the
+    /// model-checking harness to inject faults into a serving shard.
+    pub fn set_backends(&mut self, make: &mut dyn FnMut() -> Box<dyn mobidx_pager::Backend>) {
+        drop(self.static_tree.set_backend(make()));
+        for obs in &mut self.obs {
+            drop(obs.pos_tree.set_backend(make()));
+            drop(obs.neg_tree.set_backend(make()));
+        }
+        for sub in &mut self.sub {
+            drop(sub.set_backend(make()));
+        }
+    }
+
+    /// Visits the raw [`mobidx_pager::IoStats`] of every internal page
+    /// store, in the same order as [`Self::set_backends`]. [`IndexStats`]
+    /// exposes only the paper's I/O totals; the fault-injection and
+    /// retry counters needed by the model-checking harness live here.
+    pub fn for_each_stats(&self, visit: &mut dyn FnMut(&mobidx_pager::IoStats)) {
+        visit(self.static_tree.stats());
+        for obs in &self.obs {
+            visit(obs.pos_tree.stats());
+            visit(obs.neg_tree.stats());
+        }
+        for sub in &self.sub {
+            visit(sub.stats());
+        }
+    }
+
     /// Like [`Index1D::query`] but returning the matching motions as the
     /// observation index reconstructs them (used by the 2-D decomposition
     /// method, which refines on per-axis motions).
@@ -241,14 +271,23 @@ impl DualBPlusIndex {
     /// queries on indexes without subterrain maintenance, which always
     /// take case i.
     pub fn query_motions(&mut self, q: &MorQuery1D) -> Vec<Motion1D> {
-        self.last_candidates = 0;
         let mut out = Vec::new();
+        self.for_each_match(q, |m| out.push(m));
+        out
+    }
+
+    /// The matching machinery behind [`DualBPlusIndex::query_motions`]
+    /// and [`Index1D::query_into`]: every matching motion is handed to
+    /// `sink` without intermediate materialization, so id-level callers
+    /// skip building a `Vec<Motion1D>` per query entirely.
+    pub fn for_each_match(&mut self, q: &MorQuery1D, mut sink: impl FnMut(Motion1D)) {
+        self.last_candidates = 0;
         let strip = self.strip();
         if self.sub.is_empty() || q.y2 - q.y1 <= strip {
             // Case i: single E-minimizing observation index.
             let best = self.best_obs(q);
-            self.query_obs(best, q, &mut out);
-            return out;
+            self.query_obs(best, q, &mut sink);
+            return;
         }
         // Case ii: decompose over fully covered subterrains.
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -257,8 +296,8 @@ impl DualBPlusIndex {
         let j_last = ((q.y2 / strip).floor() as usize).min(self.cfg.c); // one past last full strip
         if j_first >= j_last {
             let best = self.best_obs(q);
-            self.query_obs(best, q, &mut out);
-            return out;
+            self.query_obs(best, q, &mut sink);
+            return;
         }
         // Full strips: exact window queries on the interval indices
         // (every reported entry is a true hit, so candidates = results
@@ -272,7 +311,7 @@ impl DualBPlusIndex {
                 // by the caller if needed. For id-level answers this is
                 // enough; query_motions callers (2-D decomposition) use
                 // narrow queries that never reach case ii.
-                out.push(Motion1D {
+                sink(Motion1D {
                     id,
                     t0: f64::NAN,
                     y0: f64::NAN,
@@ -289,77 +328,23 @@ impl DualBPlusIndex {
         if q.y1 < z_first {
             let sliver = MorQuery1D { y2: z_first, ..*q };
             let best = self.best_obs(&sliver);
-            self.query_obs(best, &sliver, &mut out);
+            self.query_obs(best, &sliver, &mut sink);
         }
         if q.y2 > z_last {
             let sliver = MorQuery1D { y1: z_last, ..*q };
             let best = self.best_obs(&sliver);
-            self.query_obs(best, &sliver, &mut out);
+            self.query_obs(best, &sliver, &mut sink);
         }
-        out
     }
 }
 
-impl Index1D for DualBPlusIndex {
+impl IndexStats for DualBPlusIndex {
     fn name(&self) -> String {
         format!(
             "dual-B+ (c={}{})",
             self.cfg.c,
             if self.sub.is_empty() { "" } else { "+iv" }
         )
-    }
-
-    fn insert(&mut self, m: &Motion1D) {
-        if Self::is_static(m) {
-            self.static_tree.insert(m.y0, m.id);
-            return;
-        }
-        for obs in &mut self.obs {
-            let b = hough_y_b(m, obs.y_r);
-            let v = m.v;
-            obs.tree_for(v).insert(b, (v.to_bits(), m.id));
-        }
-        let strip = self.strip();
-        for (j, sub) in self.sub.iter_mut().enumerate() {
-            #[allow(clippy::cast_precision_loss)]
-            let z_lo = j as f64 * strip;
-            let (t_in, t_out) = Self::residence(m, z_lo, z_lo + strip);
-            sub.insert(t_in, t_out, m.id);
-        }
-    }
-
-    fn remove(&mut self, m: &Motion1D) -> bool {
-        if Self::is_static(m) {
-            return self.static_tree.remove(m.y0, m.id);
-        }
-        let mut found = true;
-        for obs in &mut self.obs {
-            let b = hough_y_b(m, obs.y_r);
-            let v = m.v;
-            found &= obs.tree_for(v).remove(b, (v.to_bits(), m.id));
-        }
-        let strip = self.strip();
-        for (j, sub) in self.sub.iter_mut().enumerate() {
-            #[allow(clippy::cast_precision_loss)]
-            let z_lo = j as f64 * strip;
-            let (t_in, t_out) = Self::residence(m, z_lo, z_lo + strip);
-            found &= sub.remove(t_in, t_out, m.id);
-        }
-        found
-    }
-
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.query_motions(q).into_iter().map(|m| m.id).collect();
-        // Static objects: position is time-invariant, so the MOR query
-        // degenerates to a range scan (exact — every scanned entry is a
-        // true hit).
-        if !self.static_tree.is_empty() {
-            let before = ids.len();
-            self.static_tree
-                .range_for_each(q.y1, q.y2, |_, id| ids.push(id));
-            self.last_candidates += (ids.len() - before) as u64;
-        }
-        finish_ids(ids)
     }
 
     fn clear_buffers(&mut self) {
@@ -410,6 +395,69 @@ impl Index1D for DualBPlusIndex {
             stores.push((format!("sub{j}"), IoTotals::from_stats(sub.stats())));
         }
         stores
+    }
+}
+
+impl Index1D for DualBPlusIndex {
+    fn insert(&mut self, m: &Motion1D) {
+        if Self::is_static(m) {
+            self.static_tree.insert(m.y0, m.id);
+            return;
+        }
+        for obs in &mut self.obs {
+            let b = hough_y_b(m, obs.y_r);
+            let v = m.v;
+            obs.tree_for(v).insert(b, (v.to_bits(), m.id));
+        }
+        let strip = self.strip();
+        for (j, sub) in self.sub.iter_mut().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            let z_lo = j as f64 * strip;
+            let (t_in, t_out) = Self::residence(m, z_lo, z_lo + strip);
+            sub.insert(t_in, t_out, m.id);
+        }
+    }
+
+    fn remove(&mut self, m: &Motion1D) -> bool {
+        if Self::is_static(m) {
+            return self.static_tree.remove(m.y0, m.id);
+        }
+        let mut found = true;
+        for obs in &mut self.obs {
+            let b = hough_y_b(m, obs.y_r);
+            let v = m.v;
+            found &= obs.tree_for(v).remove(b, (v.to_bits(), m.id));
+        }
+        let strip = self.strip();
+        for (j, sub) in self.sub.iter_mut().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            let z_lo = j as f64 * strip;
+            let (t_in, t_out) = Self::residence(m, z_lo, z_lo + strip);
+            found &= sub.remove(t_in, t_out, m.id);
+        }
+        found
+    }
+
+    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
+        let mut ids = Vec::new();
+        self.query_into(q, &mut ids);
+        ids
+    }
+
+    fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
+        out.clear();
+        self.for_each_match(q, |m| out.push(m.id));
+        // Static objects: position is time-invariant, so the MOR query
+        // degenerates to a range scan (exact — every scanned entry is a
+        // true hit).
+        if !self.static_tree.is_empty() {
+            let before = out.len();
+            self.static_tree
+                .range_for_each(q.y1, q.y2, |_, id| out.push(id));
+            self.last_candidates += (out.len() - before) as u64;
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::dual::SpeedBand;
 use crate::method::rotating::{DualPlaneStore, RotatingDual};
-use crate::method::{Index1D, IoTotals};
+use crate::method::{Index1D, IndexStats, IoTotals};
 use mobidx_geom::ConvexPolygon;
 use mobidx_kdtree::{KdConfig, KdTree};
 use mobidx_workload::{MorQuery1D, Motion1D};
@@ -149,21 +149,9 @@ impl DualKdIndex {
     }
 }
 
-impl Index1D for DualKdIndex {
+impl IndexStats for DualKdIndex {
     fn name(&self) -> String {
         "dual-kd".to_owned()
-    }
-
-    fn insert(&mut self, m: &Motion1D) {
-        self.rot.insert(m);
-    }
-
-    fn remove(&mut self, m: &Motion1D) -> bool {
-        self.rot.remove(m)
-    }
-
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
-        self.rot.query(q)
     }
 
     fn clear_buffers(&mut self) {
@@ -184,6 +172,20 @@ impl Index1D for DualKdIndex {
 
     fn store_io(&self) -> Vec<(String, IoTotals)> {
         self.rot.store_io()
+    }
+}
+
+impl Index1D for DualKdIndex {
+    fn insert(&mut self, m: &Motion1D) {
+        self.rot.insert(m);
+    }
+
+    fn remove(&mut self, m: &Motion1D) -> bool {
+        self.rot.remove(m)
+    }
+
+    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
+        self.rot.query(q)
     }
 }
 

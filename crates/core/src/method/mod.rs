@@ -84,33 +84,20 @@ impl IoTotals {
     }
 }
 
-/// A dynamic index over 1-D mobile objects answering MOR queries.
-///
-/// Contract:
-/// * an *update* is `remove(old)` + `insert(new)` (§3);
-/// * `query` returns the ids of matching objects, **sorted and
-///   deduplicated**;
-/// * `clear_buffers` empties the buffer pools (the paper clears buffers
-///   before each query so query I/O is cold);
-/// * `io_totals` / `reset_io` aggregate over every internal page store.
-pub trait Index1D {
+/// The motion- and query-type-independent surface shared by every index
+/// method: naming, buffer management, and I/O accounting. [`Index1D`]
+/// and [`Index2D`] are thin traits over it — the observability plumbing
+/// (`mobidx-obs` traces, the figure harness, the serving tier's
+/// per-shard aggregation) needs only this supertrait.
+pub trait IndexStats {
     /// Short display name used by the harness (e.g. `"dual-B+ (c=6)"`).
     fn name(&self) -> String;
 
-    /// Inserts an object's motion record.
-    fn insert(&mut self, m: &Motion1D);
-
-    /// Removes an object's motion record (exactly as inserted). Returns
-    /// whether it was present.
-    fn remove(&mut self, m: &Motion1D) -> bool;
-
-    /// Answers a MOR query: sorted, deduplicated object ids.
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64>;
-
-    /// Flushes and clears all buffer pools.
+    /// Flushes and clears all buffer pools (the paper clears buffers
+    /// before each query so query I/O is cold).
     fn clear_buffers(&mut self);
 
-    /// Aggregated I/O counters.
+    /// Aggregated I/O counters over every internal page store.
     fn io_totals(&self) -> IoTotals;
 
     /// Resets the read/write counters (space counters are preserved).
@@ -124,42 +111,84 @@ pub trait Index1D {
     }
 
     /// Per-store I/O breakdown, labelled. The component totals sum to
-    /// [`Index1D::io_totals`]. The default reports one aggregate store.
+    /// [`IndexStats::io_totals`]. The default reports one aggregate
+    /// store.
     fn store_io(&self) -> Vec<(String, IoTotals)> {
         vec![("all".to_owned(), self.io_totals())]
     }
+}
 
-    /// Runs `query` inside a trace span: captures the I/O delta (total
-    /// and per store), candidates examined vs results returned, and
-    /// wall-clock latency.
+/// The one shared traced-query implementation behind both
+/// [`Index1D::query_traced`] and [`Index2D::query_traced`]: runs `run`
+/// (which fills `out` with the sorted, deduplicated answer) inside a
+/// trace span capturing the I/O delta (total and per store), candidates
+/// examined vs results returned, and wall-clock latency.
+fn run_traced<I>(index: &mut I, run: impl FnOnce(&mut I, &mut Vec<u64>)) -> (Vec<u64>, QueryTrace)
+where
+    I: IndexStats + ?Sized,
+{
+    let before = index.io_totals();
+    let stores_before = index.store_io();
+    let start = std::time::Instant::now();
+    let mut ids = Vec::new();
+    run(index, &mut ids);
+    let latency = start.elapsed();
+    let delta = index.io_totals().delta_since(before);
+    let stores = trace_stores(&stores_before, &index.store_io());
+    let trace = QueryTrace {
+        method: index.name(),
+        candidates: index.last_candidates(),
+        results: ids.len() as u64,
+        reads: delta.reads,
+        writes: delta.writes,
+        hits: delta.hits,
+        latency_nanos: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+        stores,
+    };
+    (ids, trace)
+}
+
+/// A dynamic index over 1-D mobile objects answering MOR queries.
+///
+/// Contract:
+/// * an *update* is `remove(old)` + `insert(new)` (§3);
+/// * `query` returns the ids of matching objects, **sorted and
+///   deduplicated**;
+/// * the statistics surface ([`IndexStats`]) aggregates over every
+///   internal page store.
+pub trait Index1D: IndexStats {
+    /// Inserts an object's motion record.
+    fn insert(&mut self, m: &Motion1D);
+
+    /// Removes an object's motion record (exactly as inserted). Returns
+    /// whether it was present.
+    fn remove(&mut self, m: &Motion1D) -> bool;
+
+    /// Answers a MOR query: sorted, deduplicated object ids.
+    fn query(&mut self, q: &MorQuery1D) -> Vec<u64>;
+
+    /// Answers a MOR query into a caller-provided buffer: `out` is
+    /// cleared, then filled with the sorted, deduplicated ids. Callers
+    /// serving many queries (the `mobidx-serve` workers) reuse one
+    /// buffer's capacity across requests instead of allocating per
+    /// query. The default delegates to [`Index1D::query`]; methods can
+    /// override it to build the answer in place.
+    fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
+        out.clear();
+        out.append(&mut self.query(q));
+    }
+
+    /// Runs the query inside a trace span: captures the I/O delta
+    /// (total and per store), candidates examined vs results returned,
+    /// and wall-clock latency. Routed through [`Index1D::query_into`].
     fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, QueryTrace) {
-        let before = self.io_totals();
-        let stores_before = self.store_io();
-        let start = std::time::Instant::now();
-        let ids = self.query(q);
-        let latency = start.elapsed();
-        let delta = self.io_totals().delta_since(before);
-        let stores = trace_stores(&stores_before, &self.store_io());
-        let trace = QueryTrace {
-            method: self.name(),
-            candidates: self.last_candidates(),
-            results: ids.len() as u64,
-            reads: delta.reads,
-            writes: delta.writes,
-            hits: delta.hits,
-            latency_nanos: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
-            stores,
-        };
-        (ids, trace)
+        run_traced(self, |index, out| index.query_into(q, out))
     }
 }
 
 /// A dynamic index over 2-D mobile objects (§4.2), same contract as
 /// [`Index1D`].
-pub trait Index2D {
-    /// Short display name.
-    fn name(&self) -> String;
-
+pub trait Index2D: IndexStats {
     /// Inserts an object's motion record.
     fn insert(&mut self, m: &Motion2D);
 
@@ -169,46 +198,17 @@ pub trait Index2D {
     /// Answers a 2-D MOR query: sorted, deduplicated object ids.
     fn query(&mut self, q: &MorQuery2D) -> Vec<u64>;
 
-    /// Flushes and clears all buffer pools.
-    fn clear_buffers(&mut self);
-
-    /// Aggregated I/O counters.
-    fn io_totals(&self) -> IoTotals;
-
-    /// Resets the read/write counters.
-    fn reset_io(&self);
-
-    /// Candidate entries examined by the most recent `query`; 0 when
-    /// untracked.
-    fn last_candidates(&self) -> u64 {
-        0
+    /// Answers a 2-D MOR query into a caller-provided buffer (see
+    /// [`Index1D::query_into`]).
+    fn query_into(&mut self, q: &MorQuery2D, out: &mut Vec<u64>) {
+        out.clear();
+        out.append(&mut self.query(q));
     }
 
-    /// Per-store I/O breakdown; sums to [`Index2D::io_totals`].
-    fn store_io(&self) -> Vec<(String, IoTotals)> {
-        vec![("all".to_owned(), self.io_totals())]
-    }
-
-    /// Runs `query` inside a trace span (see [`Index1D::query_traced`]).
+    /// Runs the query inside a trace span (see
+    /// [`Index1D::query_traced`]).
     fn query_traced(&mut self, q: &MorQuery2D) -> (Vec<u64>, QueryTrace) {
-        let before = self.io_totals();
-        let stores_before = self.store_io();
-        let start = std::time::Instant::now();
-        let ids = self.query(q);
-        let latency = start.elapsed();
-        let delta = self.io_totals().delta_since(before);
-        let stores = trace_stores(&stores_before, &self.store_io());
-        let trace = QueryTrace {
-            method: self.name(),
-            candidates: self.last_candidates(),
-            results: ids.len() as u64,
-            reads: delta.reads,
-            writes: delta.writes,
-            hits: delta.hits,
-            latency_nanos: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
-            stores,
-        };
-        (ids, trace)
+        run_traced(self, |index, out| index.query_into(q, out))
     }
 }
 

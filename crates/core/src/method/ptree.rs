@@ -9,7 +9,7 @@
 
 use crate::dual::SpeedBand;
 use crate::method::rotating::{DualPlaneStore, RotatingDual};
-use crate::method::{Index1D, IoTotals};
+use crate::method::{Index1D, IndexStats, IoTotals};
 use mobidx_geom::ConvexPolygon;
 use mobidx_ptree::{PartitionConfig, PartitionForest};
 use mobidx_workload::{MorQuery1D, Motion1D};
@@ -99,21 +99,9 @@ impl DualPtreeIndex {
     }
 }
 
-impl Index1D for DualPtreeIndex {
+impl IndexStats for DualPtreeIndex {
     fn name(&self) -> String {
         "dual-ptree".to_owned()
-    }
-
-    fn insert(&mut self, m: &Motion1D) {
-        self.rot.insert(m);
-    }
-
-    fn remove(&mut self, m: &Motion1D) -> bool {
-        self.rot.remove(m)
-    }
-
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
-        self.rot.query(q)
     }
 
     fn clear_buffers(&mut self) {
@@ -134,6 +122,20 @@ impl Index1D for DualPtreeIndex {
 
     fn store_io(&self) -> Vec<(String, IoTotals)> {
         self.rot.store_io()
+    }
+}
+
+impl Index1D for DualPtreeIndex {
+    fn insert(&mut self, m: &Motion1D) {
+        self.rot.insert(m);
+    }
+
+    fn remove(&mut self, m: &Motion1D) -> bool {
+        self.rot.remove(m)
+    }
+
+    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
+        self.rot.query(q)
     }
 }
 

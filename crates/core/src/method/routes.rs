@@ -10,7 +10,7 @@
 //! interval on that route's index.
 
 use crate::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use crate::method::{finish_ids, Index1D, IoTotals};
+use crate::method::{finish_ids, Index1D, IndexStats, IoTotals};
 use mobidx_geom::Rect2;
 use mobidx_rstar::{RStarConfig, RStarTree};
 use mobidx_workload::{MorQuery1D, Motion1D, Route, RouteObject};

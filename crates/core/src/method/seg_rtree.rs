@@ -18,7 +18,7 @@
 //! update there), so its answers are defined by segment geometry; the
 //! test oracle clips trajectories the same way.
 
-use crate::method::{finish_ids, Index1D, IoTotals};
+use crate::method::{finish_ids, Index1D, IndexStats, IoTotals};
 use mobidx_geom::{Point2, Rect2, Segment};
 use mobidx_rstar::{RStarConfig, RStarTree};
 use mobidx_workload::{MorQuery1D, Motion1D};
@@ -114,11 +114,29 @@ fn segment_from_entry(mbr: &Rect2, rising: bool) -> Segment {
     }
 }
 
-impl Index1D for SegRTreeIndex {
+impl IndexStats for SegRTreeIndex {
     fn name(&self) -> String {
         "seg-R*".to_owned()
     }
 
+    fn clear_buffers(&mut self) {
+        self.tree.clear_buffer();
+    }
+
+    fn io_totals(&self) -> IoTotals {
+        IoTotals::from_stats(self.tree.stats())
+    }
+
+    fn reset_io(&self) {
+        self.tree.stats().reset_io();
+    }
+
+    fn last_candidates(&self) -> u64 {
+        self.last_candidates
+    }
+}
+
+impl Index1D for SegRTreeIndex {
     fn insert(&mut self, m: &Motion1D) {
         let (mbr, item) = self.entry_of(m);
         self.tree.insert(mbr, item);
@@ -142,22 +160,6 @@ impl Index1D for SegRTreeIndex {
         });
         self.last_candidates = candidates;
         finish_ids(ids)
-    }
-
-    fn clear_buffers(&mut self) {
-        self.tree.clear_buffer();
-    }
-
-    fn io_totals(&self) -> IoTotals {
-        IoTotals::from_stats(self.tree.stats())
-    }
-
-    fn reset_io(&self) {
-        self.tree.stats().reset_io();
-    }
-
-    fn last_candidates(&self) -> u64 {
-        self.last_candidates
     }
 }
 

@@ -83,6 +83,27 @@ impl QueryTrace {
         }
     }
 
+    /// Folds another trace into this one — the fan-out aggregation of a
+    /// sharded front end. Counter fields (`candidates`, `results`,
+    /// `reads`, `writes`, `hits`) are summed; `latency_nanos` takes the
+    /// maximum (fan-out legs run in parallel, so the slowest leg bounds
+    /// the span); `other`'s stores are appended with `store_prefix`
+    /// prepended to each label. Callers that deduplicate results across
+    /// sources should overwrite `results` with the merged count
+    /// afterwards (a disjoint partition makes the sum already exact).
+    pub fn absorb(&mut self, other: &QueryTrace, store_prefix: &str) {
+        self.candidates += other.candidates;
+        self.results += other.results;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.hits += other.hits;
+        self.latency_nanos = self.latency_nanos.max(other.latency_nanos);
+        self.stores.extend(other.stores.iter().map(|s| StoreTrace {
+            store: format!("{store_prefix}{}", s.store),
+            ..s.clone()
+        }));
+    }
+
     /// The trace as a JSON value (for log lines and reports).
     #[must_use]
     pub fn to_json(&self) -> Value {
@@ -170,6 +191,33 @@ mod tests {
             ..trace()
         };
         assert!(t.false_hit_rate().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn absorb_aggregates_fan_out_legs() {
+        let mut total = QueryTrace {
+            method: "sharded".to_owned(),
+            candidates: 0,
+            results: 0,
+            reads: 0,
+            writes: 0,
+            hits: 0,
+            latency_nanos: 0,
+            stores: Vec::new(),
+        };
+        let leg = trace();
+        total.absorb(&leg, "s0/");
+        let mut slow = trace();
+        slow.latency_nanos = 99_999;
+        total.absorb(&slow, "s1/");
+        assert_eq!(total.candidates, 80);
+        assert_eq!(total.results, 60);
+        assert_eq!(total.reads, 16);
+        assert_eq!(total.hits, 4);
+        assert_eq!(total.latency_nanos, 99_999, "max, not sum");
+        assert_eq!(total.stores.len(), 2);
+        assert_eq!(total.stores[0].store, "s0/obs2");
+        assert_eq!(total.stores[1].store, "s1/obs2");
     }
 
     #[test]

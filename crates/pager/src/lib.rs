@@ -28,7 +28,7 @@ mod stats;
 mod store;
 
 pub use backend::{
-    Backend, Fault, FaultKind, FaultPlan, FaultStore, IoKind, MemBackend, RetryPolicy,
+    Backend, DelayBackend, Fault, FaultKind, FaultPlan, FaultStore, IoKind, MemBackend, RetryPolicy,
 };
 pub use buffer::BufferPool;
 pub use error::PagerError;

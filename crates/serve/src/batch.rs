@@ -1,0 +1,78 @@
+//! Update batches: the unit of write admission.
+//!
+//! §2 of the paper: objects report motion changes as discrete updates.
+//! A serving tier admits them in batches — the facade validates the
+//! whole batch against the authoritative motion table, splits it into
+//! per-shard op lists, and dispatches each list as one queue message, so
+//! a 1000-op batch costs each worker one dequeue, not a thousand.
+
+use mobidx_workload::Motion1D;
+
+/// One logical write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Register a new object (fails on a tracked id).
+    Insert(Motion1D),
+    /// Replace a tracked object's motion record (fails on an unknown
+    /// id). May migrate the object between shards.
+    Update(Motion1D),
+    /// Deregister an object by id (fails on an unknown id).
+    Remove(u64),
+}
+
+/// An ordered list of writes applied atomically with respect to
+/// validation: either every op is admissible (in sequence) and the batch
+/// is dispatched, or the first inadmissible op aborts the whole batch
+/// before anything changes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Batch {
+    /// The writes, in application order.
+    pub ops: Vec<Op>,
+}
+
+impl Batch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an insert.
+    pub fn insert(&mut self, m: Motion1D) -> &mut Self {
+        self.ops.push(Op::Insert(m));
+        self
+    }
+
+    /// Appends an update.
+    pub fn update(&mut self, m: Motion1D) -> &mut Self {
+        self.ops.push(Op::Update(m));
+        self
+    }
+
+    /// Appends a remove.
+    pub fn remove(&mut self, id: u64) -> &mut Self {
+        self.ops.push(Op::Remove(id));
+        self
+    }
+
+    /// Number of ops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A shard-local physical op, produced by splitting a [`Batch`]: a
+/// logical `Update` becomes a `Remove(old)` on the old record's shard
+/// plus an `Insert(new)` on the new record's shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ShardOp {
+    Insert(Motion1D),
+    Remove(Motion1D),
+}

@@ -1,0 +1,526 @@
+//! The sharded motion database facade.
+
+use crate::batch::{Batch, Op, ShardOp};
+use crate::merge::merge_sorted_ids;
+use crate::shard::ShardFn;
+use crate::worker::{self, Request};
+use crate::ServeError;
+use mobidx_core::{Index1D, IoTotals};
+use mobidx_obs::QueryTrace;
+use mobidx_workload::{MorQuery1D, Motion1D};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Sizing of the worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of shards (= worker threads).
+    pub shards: usize,
+    /// Bound of each worker's request queue. A full queue blocks the
+    /// sender — backpressure instead of unbounded buffering.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// A sharded, multi-threaded motion database over any [`Index1D`] — the
+/// serving-tier analogue of [`MotionDb`].
+///
+/// Objects are partitioned across `shards` index instances by a
+/// [`ShardFn`]; each instance is owned by a dedicated worker thread fed
+/// through a bounded queue. Writes go through [`ShardedDb::apply`]
+/// (single logical writer, `&mut self`); queries take `&self` and may be
+/// submitted concurrently from many client threads — fan-out legs use
+/// per-request reply channels, and per-shard answers are k-way-merged
+/// back into the sorted, deduplicated contract of a single index.
+///
+/// The facade owns the authoritative motion table (id → current motion
+/// record), exactly like [`MotionDb`]: updates are routed by id, and a
+/// faulted shard can always be rebuilt from the table
+/// ([`ShardedDb::rebuild_shard`]).
+///
+/// ```
+/// use mobidx_serve::{Batch, IdHashShard, ServeConfig, ShardedDb};
+/// use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+/// use mobidx_core::{Motion1D, MorQuery1D};
+///
+/// let mut db = ShardedDb::new(
+///     ServeConfig { shards: 2, queue_depth: 8 },
+///     Box::new(IdHashShard),
+///     |_shard, _shards| DualBPlusIndex::new(DualBPlusConfig::default()),
+/// );
+/// let mut batch = Batch::new();
+/// batch.insert(Motion1D { id: 1, t0: 0.0, y0: 100.0, v: 1.0 });
+/// batch.insert(Motion1D { id: 2, t0: 0.0, y0: 900.0, v: -1.0 });
+/// db.apply(&batch).unwrap();
+///
+/// let q = MorQuery1D { y1: 90.0, y2: 130.0, t1: 10.0, t2: 20.0 };
+/// assert_eq!(db.query(&q).unwrap(), vec![1]);
+/// ```
+///
+/// [`MotionDb`]: mobidx_core::MotionDb
+pub struct ShardedDb<I: Index1D + Send + 'static> {
+    senders: Vec<SyncSender<Request<I>>>,
+    handles: Vec<JoinHandle<()>>,
+    table: HashMap<u64, Motion1D>,
+    shard_fn: Box<dyn ShardFn>,
+    #[allow(clippy::type_complexity)]
+    factory: Box<dyn Fn(usize, usize) -> I + Send + Sync>,
+    /// Pooled query buffers: capacity is recycled across requests so a
+    /// steady query load settles into zero per-query allocation inside
+    /// the workers.
+    buffers: Mutex<Vec<Vec<u64>>>,
+    shards: usize,
+}
+
+impl<I: Index1D + Send + 'static> ShardedDb<I> {
+    /// Spawns the worker pool. `factory(shard, shards)` builds the index
+    /// instance owned by each worker — a speed-band deployment
+    /// configures each instance with its narrow
+    /// [`sub_band`](crate::SpeedBandShard::sub_band).
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards` or `cfg.queue_depth` is zero.
+    #[must_use]
+    pub fn new(
+        cfg: ServeConfig,
+        shard_fn: Box<dyn ShardFn>,
+        factory: impl Fn(usize, usize) -> I + Send + Sync + 'static,
+    ) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.queue_depth > 0, "need a nonempty queue");
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let (tx, rx) = sync_channel(cfg.queue_depth);
+            let index = factory(shard, cfg.shards);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mobidx-shard-{shard}"))
+                    .spawn(move || worker::run(shard, index, &rx))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        Self {
+            senders,
+            handles,
+            table: HashMap::new(),
+            shard_fn,
+            factory: Box::new(factory),
+            buffers: Mutex::new(Vec::new()),
+            shards: cfg.shards,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard function's display name.
+    #[must_use]
+    pub fn shard_fn_name(&self) -> String {
+        self.shard_fn.name()
+    }
+
+    /// Number of tracked objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The current motion record of an object.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<&Motion1D> {
+        self.table.get(&id)
+    }
+
+    /// The full motion table (the brute-force oracle's input).
+    pub fn objects(&self) -> impl Iterator<Item = &Motion1D> {
+        self.table.values()
+    }
+
+    /// Validates and applies a batch of writes.
+    ///
+    /// Validation is atomic: every op is checked (in order, against the
+    /// state the preceding ops of the same batch would leave) *before*
+    /// anything is dispatched, so an inadmissible op aborts the whole
+    /// batch with the database unchanged. After validation the table
+    /// commits and each shard's op slice is dispatched as one message.
+    ///
+    /// # Errors
+    /// * [`ServeError::Duplicate`] / [`ServeError::Unknown`] — batch
+    ///   rejected, nothing changed.
+    /// * [`ServeError::ShardFault`] / [`ServeError::ShardPoisoned`] — a
+    ///   worker hit an injected or real fault mid-batch. The table (the
+    ///   authoritative state) has committed; call
+    ///   [`ShardedDb::rebuild_shard`] on the reported shard to re-sync
+    ///   its index from the table.
+    pub fn apply(&mut self, batch: &Batch) -> Result<(), ServeError> {
+        // Stage: validate against table ∪ staged without mutating either.
+        let mut staged: HashMap<u64, Option<Motion1D>> = HashMap::new();
+        let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); self.shards];
+        for op in &batch.ops {
+            let lookup = |id: u64| match staged.get(&id) {
+                Some(s) => *s,
+                None => self.table.get(&id).copied(),
+            };
+            match *op {
+                Op::Insert(m) => {
+                    if lookup(m.id).is_some() {
+                        return Err(ServeError::Duplicate(mobidx_core::DuplicateId(m.id)));
+                    }
+                    per_shard[self.shard_fn.shard_of(&m, self.shards)].push(ShardOp::Insert(m));
+                    staged.insert(m.id, Some(m));
+                }
+                Op::Update(m) => {
+                    let old =
+                        lookup(m.id).ok_or(ServeError::Unknown(mobidx_core::UnknownId(m.id)))?;
+                    per_shard[self.shard_fn.shard_of(&old, self.shards)].push(ShardOp::Remove(old));
+                    per_shard[self.shard_fn.shard_of(&m, self.shards)].push(ShardOp::Insert(m));
+                    staged.insert(m.id, Some(m));
+                }
+                Op::Remove(id) => {
+                    let old = lookup(id).ok_or(ServeError::Unknown(mobidx_core::UnknownId(id)))?;
+                    per_shard[self.shard_fn.shard_of(&old, self.shards)].push(ShardOp::Remove(old));
+                    staged.insert(id, None);
+                }
+            }
+        }
+        // Commit the authoritative table, then dispatch.
+        for (id, slot) in staged {
+            match slot {
+                Some(m) => {
+                    self.table.insert(id, m);
+                }
+                None => {
+                    self.table.remove(&id);
+                }
+            }
+        }
+        let mut waits = Vec::new();
+        for (shard, ops) in per_shard.into_iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let (reply, rx) = channel();
+            self.send(shard, Request::Apply { ops, reply })?;
+            waits.push((shard, rx));
+        }
+        let mut first_err = None;
+        for (shard, rx) in waits {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert(ServeError::ShardDown { shard });
+                }
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
+
+    /// Answers a MOR query: fans out to every shard, k-way-merges the
+    /// sorted per-shard answers. Takes `&self` — client threads may call
+    /// this concurrently.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardFault`] / [`ServeError::ShardPoisoned`] /
+    /// [`ServeError::ShardDown`] when a worker cannot answer.
+    pub fn query(&self, q: &MorQuery1D) -> Result<Vec<u64>, ServeError> {
+        let all: Vec<usize> = (0..self.shards).collect();
+        self.fan_out(q, &all)
+    }
+
+    /// Answers a MOR query restricted to objects whose absolute speed
+    /// lies in `[v_lo, v_hi]`. A speed-aware [`ShardFn`] proves which
+    /// shards can hold such objects and the fan-out skips the rest; the
+    /// facade then filters exactly against the motion table, so the
+    /// answer is identical for every shard function.
+    ///
+    /// # Errors
+    /// As [`ShardedDb::query`].
+    pub fn query_filtered(
+        &self,
+        q: &MorQuery1D,
+        v_lo: f64,
+        v_hi: f64,
+    ) -> Result<Vec<u64>, ServeError> {
+        let targets = self
+            .shard_fn
+            .shards_for_speed(v_lo, v_hi, self.shards)
+            .unwrap_or_else(|| (0..self.shards).collect());
+        let mut ids = self.fan_out(q, &targets)?;
+        ids.retain(|id| {
+            self.table.get(id).is_some_and(|m| {
+                let s = m.v.abs();
+                v_lo <= s && s <= v_hi
+            })
+        });
+        Ok(ids)
+    }
+
+    /// Answers a MOR query inside a trace span aggregating every leg of
+    /// the fan-out: counters are summed, per-store breakdowns appear
+    /// under `s<shard>/` prefixes, `results` is the merged count, and
+    /// `latency_nanos` is the facade's wall-clock around the whole
+    /// fan-out.
+    ///
+    /// # Errors
+    /// As [`ShardedDb::query`].
+    pub fn query_traced(&self, q: &MorQuery1D) -> Result<(Vec<u64>, QueryTrace), ServeError> {
+        let start = std::time::Instant::now();
+        let mut waits = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (reply, rx) = channel();
+            self.send(shard, Request::Traced { q: *q, reply })?;
+            waits.push((shard, rx));
+        }
+        let mut total = QueryTrace {
+            method: format!("sharded[{}x {}]", self.shards, self.shard_fn.name()),
+            candidates: 0,
+            results: 0,
+            reads: 0,
+            writes: 0,
+            hits: 0,
+            latency_nanos: 0,
+            stores: Vec::new(),
+        };
+        let mut lists = Vec::with_capacity(self.shards);
+        for (shard, rx) in waits {
+            let (ids, trace) = rx.recv().map_err(|_| ServeError::ShardDown { shard })??;
+            total.absorb(&trace, &format!("s{shard}/"));
+            lists.push(ids);
+        }
+        let merged = merge_sorted_ids(&lists);
+        total.results = merged.len() as u64;
+        total.latency_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Ok((merged, total))
+    }
+
+    /// Aggregated I/O counters across every shard.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] when a worker is gone.
+    pub fn io_totals(&self) -> Result<IoTotals, ServeError> {
+        Ok(self
+            .stats()?
+            .into_iter()
+            .fold(IoTotals::default(), |acc, (t, _)| acc.merge(t)))
+    }
+
+    /// Per-store I/O breakdown across every shard, labels prefixed
+    /// `s<shard>/`.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] when a worker is gone.
+    pub fn store_io(&self) -> Result<Vec<(String, IoTotals)>, ServeError> {
+        let mut out = Vec::new();
+        for (shard, (_, stores)) in self.stats()?.into_iter().enumerate() {
+            for (label, totals) in stores {
+                out.push((format!("s{shard}/{label}"), totals));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Clears every shard's buffer pools (cold-query protocol).
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] when a worker is gone.
+    pub fn clear_buffers(&self) -> Result<(), ServeError> {
+        self.broadcast_unit(|reply| Request::ClearBuffers { reply })
+    }
+
+    /// Resets every shard's I/O counters.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] when a worker is gone.
+    pub fn reset_io(&self) -> Result<(), ServeError> {
+        self.broadcast_unit(|reply| Request::ResetIo { reply })
+    }
+
+    /// Runs `f` against the index instance owned by `shard`, on the
+    /// worker thread, and returns its result. The escape hatch for
+    /// method-specific extensions and for the `mobidx-check` harness
+    /// (which uses it to install fault-injecting backends).
+    ///
+    /// # Errors
+    /// [`ServeError::ShardPoisoned`] when the shard awaits a rebuild,
+    /// [`ServeError::ShardFault`] when `f` itself panics.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn with_shard<R, F>(&self, shard: usize, f: F) -> Result<R, ServeError>
+    where
+        F: FnOnce(&mut I) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let (value_tx, value_rx) = channel();
+        let (reply, rx) = channel();
+        self.send(
+            shard,
+            Request::With {
+                f: Box::new(move |index: &mut I| {
+                    let _ = value_tx.send(f(index));
+                }),
+                reply,
+            },
+        )?;
+        rx.recv().map_err(|_| ServeError::ShardDown { shard })??;
+        value_rx.recv().map_err(|_| ServeError::ShardDown { shard })
+    }
+
+    /// Rebuilds one shard from the authoritative motion table: a fresh
+    /// index instance (from the factory) is shipped to the worker, which
+    /// swaps it in, clears its poisoned flag, and re-inserts the shard's
+    /// motions. The recovery path after [`ServeError::ShardFault`].
+    ///
+    /// Returns the index it replaced, in its last (possibly poisoned,
+    /// mid-operation) state, so callers can run a post-mortem — e.g.
+    /// read I/O or fault counters out of its stores. Drop it to discard.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardFault`] when the rebuild itself faults (e.g. a
+    /// still-installed fault backend fires again) — the shard stays
+    /// poisoned and the replaced index is lost; [`ServeError::ShardDown`]
+    /// when the worker is gone.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn rebuild_shard(&mut self, shard: usize) -> Result<Box<I>, ServeError> {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let mut motions: Vec<Motion1D> = self
+            .table
+            .values()
+            .filter(|m| self.shard_fn.shard_of(m, self.shards) == shard)
+            .copied()
+            .collect();
+        // Replay in id order, not hash-map order, so a rebuild produces
+        // the same page layout on every run of the same seed (the
+        // model-checking harness depends on this for reproducibility).
+        motions.sort_unstable_by_key(|m| m.id);
+        let index = Box::new((self.factory)(shard, self.shards));
+        let (reply, rx) = channel();
+        self.send(
+            shard,
+            Request::Rebuild {
+                index,
+                motions,
+                reply,
+            },
+        )?;
+        rx.recv().map_err(|_| ServeError::ShardDown { shard })?
+    }
+
+    /// Sends a fan-out query to `targets` and merges the answers,
+    /// recycling result buffers through the pool.
+    fn fan_out(&self, q: &MorQuery1D, targets: &[usize]) -> Result<Vec<u64>, ServeError> {
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut waits = Vec::with_capacity(targets.len());
+        for &shard in targets {
+            let buf = self
+                .buffers
+                .lock()
+                .expect("buffer pool")
+                .pop()
+                .unwrap_or_default();
+            let (reply, rx) = channel();
+            self.send(shard, Request::Query { q: *q, buf, reply })?;
+            waits.push((shard, rx));
+        }
+        let mut lists = Vec::with_capacity(waits.len());
+        for (shard, rx) in waits {
+            lists.push(rx.recv().map_err(|_| ServeError::ShardDown { shard })??);
+        }
+        let merged = merge_sorted_ids(&lists);
+        let mut pool = self.buffers.lock().expect("buffer pool");
+        for mut l in lists {
+            l.clear();
+            pool.push(l);
+        }
+        Ok(merged)
+    }
+
+    /// Collects `(io_totals, store_io)` from every shard.
+    #[allow(clippy::type_complexity)]
+    fn stats(&self) -> Result<Vec<(IoTotals, Vec<(String, IoTotals)>)>, ServeError> {
+        let mut waits = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (reply, rx) = channel();
+            self.send(shard, Request::Stats { reply })?;
+            waits.push((shard, rx));
+        }
+        waits
+            .into_iter()
+            .map(|(shard, rx)| rx.recv().map_err(|_| ServeError::ShardDown { shard }))
+            .collect()
+    }
+
+    /// Broadcasts a unit-reply request to every shard and waits.
+    fn broadcast_unit(
+        &self,
+        make: impl Fn(std::sync::mpsc::Sender<()>) -> Request<I>,
+    ) -> Result<(), ServeError> {
+        let mut waits: Vec<(usize, Receiver<()>)> = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (reply, rx) = channel();
+            self.send(shard, make(reply))?;
+            waits.push((shard, rx));
+        }
+        for (shard, rx) in waits {
+            rx.recv().map_err(|_| ServeError::ShardDown { shard })?;
+        }
+        Ok(())
+    }
+
+    /// Sends one request, mapping a closed queue to `ShardDown`.
+    fn send(&self, shard: usize, req: Request<I>) -> Result<(), ServeError> {
+        self.senders[shard]
+            .send(req)
+            .map_err(|_| ServeError::ShardDown { shard })
+    }
+}
+
+impl<I: Index1D + Send + 'static> Drop for ShardedDb<I> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<I: Index1D + Send + 'static> std::fmt::Debug for ShardedDb<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDb")
+            .field("shards", &self.shards)
+            .field("shard_fn", &self.shard_fn.name())
+            .field("objects", &self.table.len())
+            .finish_non_exhaustive()
+    }
+}

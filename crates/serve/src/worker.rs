@@ -1,0 +1,165 @@
+//! Shard workers: one thread owning one index.
+//!
+//! The concurrency model is shard ownership, not shared locks: each
+//! worker thread exclusively owns its [`Index1D`] instance and drains a
+//! bounded request queue. `&mut` access is therefore free of
+//! synchronization — the queue *is* the synchronization — and a slow
+//! shard exerts backpressure by letting its queue fill, blocking the
+//! facade's `send` instead of growing memory without bound.
+//!
+//! Index methods are written against the infallible [`Index1D`] surface
+//! and panic when a pager fault goes unrecovered. A serving layer must
+//! not let one poisoned request take the pool down, so every index
+//! operation runs under `catch_unwind`: a panic marks the shard
+//! *poisoned* (subsequent requests fail fast with a typed error; the
+//! worker keeps draining its queue) until the facade ships a freshly
+//! rebuilt index via [`Request::Rebuild`].
+//!
+//! [`Index1D`]: mobidx_core::Index1D
+
+use crate::batch::ShardOp;
+use crate::ServeError;
+use mobidx_core::{Index1D, IoTotals};
+use mobidx_obs::QueryTrace;
+use mobidx_workload::{MorQuery1D, Motion1D};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+
+/// A message to a shard worker. Replies travel on per-request channels
+/// so concurrent clients never see each other's answers.
+pub(crate) enum Request<I> {
+    /// Apply this shard's slice of a batch, in order.
+    Apply {
+        ops: Vec<ShardOp>,
+        reply: Sender<Result<(), ServeError>>,
+    },
+    /// Answer a MOR query into `buf` (a pooled buffer whose capacity is
+    /// reused across requests) and send it back.
+    Query {
+        q: MorQuery1D,
+        buf: Vec<u64>,
+        reply: Sender<Result<Vec<u64>, ServeError>>,
+    },
+    /// Answer a MOR query inside a trace span.
+    Traced {
+        q: MorQuery1D,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<(Vec<u64>, QueryTrace), ServeError>>,
+    },
+    /// Report I/O totals and the per-store breakdown.
+    Stats {
+        #[allow(clippy::type_complexity)]
+        reply: Sender<(IoTotals, Vec<(String, IoTotals)>)>,
+    },
+    /// Flush and clear buffer pools.
+    ClearBuffers { reply: Sender<()> },
+    /// Reset I/O counters.
+    ResetIo { reply: Sender<()> },
+    /// Run an arbitrary closure against the owned index (the
+    /// fault-injection hook of `mobidx-check`; see
+    /// [`crate::ShardedDb::with_shard`]).
+    With {
+        f: Box<dyn FnOnce(&mut I) + Send>,
+        reply: Sender<Result<(), ServeError>>,
+    },
+    /// Replace the owned index with `index` and load `motions` into it,
+    /// clearing the poisoned flag. The facade sends the authoritative
+    /// motion records for this shard.
+    Rebuild {
+        index: Box<I>,
+        motions: Vec<Motion1D>,
+        reply: Sender<Result<Box<I>, ServeError>>,
+    },
+    /// Drain and exit (sent on facade drop).
+    Shutdown,
+}
+
+/// The worker loop: owns `index` until shutdown.
+pub(crate) fn run<I: Index1D>(shard: usize, mut index: I, rx: &Receiver<Request<I>>) {
+    let mut poisoned = false;
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Apply { ops, reply } => {
+                let r = guarded(shard, &mut poisoned, || {
+                    apply_ops(&mut index, &ops);
+                });
+                let _ = reply.send(r);
+            }
+            Request::Query { q, mut buf, reply } => {
+                let r = guarded(shard, &mut poisoned, || {
+                    index.query_into(&q, &mut buf);
+                    buf
+                });
+                let _ = reply.send(r);
+            }
+            Request::Traced { q, reply } => {
+                let r = guarded(shard, &mut poisoned, || index.query_traced(&q));
+                let _ = reply.send(r);
+            }
+            Request::Stats { reply } => {
+                let _ = reply.send((index.io_totals(), index.store_io()));
+            }
+            Request::ClearBuffers { reply } => {
+                index.clear_buffers();
+                let _ = reply.send(());
+            }
+            Request::ResetIo { reply } => {
+                index.reset_io();
+                let _ = reply.send(());
+            }
+            Request::With { f, reply } => {
+                let r = guarded(shard, &mut poisoned, || f(&mut index));
+                let _ = reply.send(r);
+            }
+            Request::Rebuild {
+                index: fresh,
+                motions,
+                reply,
+            } => {
+                // The replaced index travels back to the facade in its
+                // last (possibly poisoned) state for post-mortem reads.
+                let old = std::mem::replace(&mut index, *fresh);
+                poisoned = false;
+                let r = guarded(shard, &mut poisoned, || {
+                    for m in &motions {
+                        index.insert(m);
+                    }
+                });
+                let _ = reply.send(r.map(|()| Box::new(old)));
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+/// Applies a shard-local op list in order.
+fn apply_ops<I: Index1D>(index: &mut I, ops: &[ShardOp]) {
+    for op in ops {
+        match op {
+            ShardOp::Insert(m) => index.insert(m),
+            ShardOp::Remove(m) => {
+                let removed = index.remove(m);
+                debug_assert!(removed, "shard lost object {}", m.id);
+            }
+        }
+    }
+}
+
+/// Runs `f` under `catch_unwind`, honoring and updating the poisoned
+/// flag. `AssertUnwindSafe` is sound here: on panic the index is never
+/// touched again until a `Rebuild` replaces it wholesale.
+fn guarded<T>(shard: usize, poisoned: &mut bool, f: impl FnOnce() -> T) -> Result<T, ServeError> {
+    if *poisoned {
+        return Err(ServeError::ShardPoisoned { shard });
+    }
+    catch_unwind(AssertUnwindSafe(f)).map_err(|cause| {
+        *poisoned = true;
+        let panic = cause
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| cause.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic payload")
+            .to_owned();
+        ServeError::ShardFault { shard, panic }
+    })
+}

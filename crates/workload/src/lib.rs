@@ -25,7 +25,10 @@ mod routes;
 mod sim1d;
 mod sim2d;
 
-pub use motion::{brute_force_1d, brute_force_2d, MorQuery1D, MorQuery2D, Motion1D, Motion2D};
+pub use motion::{
+    brute_force_1d, brute_force_1d_speed, brute_force_2d, MorQuery1D, MorQuery2D, Motion1D,
+    Motion2D,
+};
 pub use routes::{Route, RouteNetwork, RouteObject, RouteWorkloadConfig};
 pub use sim1d::{Simulator1D, Update1D, WorkloadConfig};
 pub use sim2d::{Simulator2D, Update2D, WorkloadConfig2D};

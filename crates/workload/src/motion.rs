@@ -186,6 +186,29 @@ pub fn brute_force_1d(objects: &[Motion1D], q: &MorQuery1D) -> Vec<u64> {
     out
 }
 
+/// Exact answer to a 1-D MOR query restricted to objects whose absolute
+/// speed lies in `[v_lo, v_hi]` (inclusive): ids, sorted. The oracle for
+/// speed-filtered serving queries (a speed-band-sharded front end can
+/// prove which shards may hold such objects and skip the rest).
+#[must_use]
+pub fn brute_force_1d_speed(
+    objects: &[Motion1D],
+    q: &MorQuery1D,
+    v_lo: f64,
+    v_hi: f64,
+) -> Vec<u64> {
+    let mut out: Vec<u64> = objects
+        .iter()
+        .filter(|m| {
+            let s = m.v.abs();
+            v_lo <= s && s <= v_hi && q.matches(m)
+        })
+        .map(|m| m.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
 /// Exact answer to a 2-D MOR query: ids, sorted.
 #[must_use]
 pub fn brute_force_2d(objects: &[Motion2D], q: &MorQuery2D) -> Vec<u64> {

@@ -14,7 +14,7 @@
 
 use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex};
 use mobidx_core::method::dual_bplus::DualBPlusConfig;
-use mobidx_core::{Index2D, MorQuery2D, SpeedBand};
+use mobidx_core::{Index2D, IndexStats, MorQuery2D, SpeedBand};
 use mobidx_kdtree::KdConfig;
 use mobidx_workload::{Simulator2D, WorkloadConfig2D};
 

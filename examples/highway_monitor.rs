@@ -13,7 +13,7 @@
 //! ```
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::{Index1D, MorQuery1D};
+use mobidx_core::{Index1D, IndexStats, MorQuery1D};
 use mobidx_workload::{Simulator1D, WorkloadConfig};
 
 const SECTION_MILES: f64 = 1.0;

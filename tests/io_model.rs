@@ -5,7 +5,7 @@
 use mobidx_bptree::{BPlusTree, TreeConfig};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
-use mobidx_core::Index1D;
+use mobidx_core::{Index1D, IndexStats};
 use mobidx_pager::{page_capacity, PageStore, DEFAULT_PAGE_SIZE};
 use mobidx_workload::{Simulator1D, WorkloadConfig};
 

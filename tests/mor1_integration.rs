@@ -4,7 +4,7 @@
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::mor1::{Mor1Index, StaggeredMor1};
-use mobidx_core::{Index1D, MorQuery1D};
+use mobidx_core::{Index1D, IndexStats, MorQuery1D};
 use mobidx_persist::PersistConfig;
 use mobidx_workload::{brute_force_1d, Simulator1D, WorkloadConfig};
 

@@ -4,7 +4,7 @@
 
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::join::{brute_force_join, within_distance_join};
-use mobidx_core::{Index1D, MotionDb};
+use mobidx_core::{Index1D, IndexStats, MotionDb};
 use mobidx_kdtree::KdConfig;
 use mobidx_workload::{Simulator1D, WorkloadConfig};
 

@@ -1,0 +1,367 @@
+//! Cross-crate integration tests of the sharded serving tier
+//! (`mobidx-serve`): a [`ShardedDb`] — any shard function, any shard
+//! count, any number of concurrent clients — must be indistinguishable
+//! from a single [`MotionDb`] over the same index method.
+
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::{MorQuery1D, Motion1D, MotionDb, SpeedBand};
+use mobidx_serve::{Batch, IdHashShard, ServeConfig, ServeError, ShardedDb, SpeedBandShard};
+use mobidx_workload::{brute_force_1d_speed, Simulator1D, WorkloadConfig};
+use proptest::prelude::*;
+
+const TERRAIN: f64 = 1000.0;
+
+/// The shard-function axis of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fn_ {
+    IdHash,
+    SpeedBand,
+}
+
+/// A sharded database and its single-index oracle, built over the same
+/// dual-B+ method.
+fn build_pair(
+    f: Fn_,
+    shards: usize,
+    queue_depth: usize,
+) -> (ShardedDb<DualBPlusIndex>, MotionDb<DualBPlusIndex>) {
+    let band = SpeedBand::paper();
+    let db = match f {
+        Fn_::IdHash => ShardedDb::new(
+            ServeConfig {
+                shards,
+                queue_depth,
+            },
+            Box::new(IdHashShard),
+            move |_, _| {
+                DualBPlusIndex::new(DualBPlusConfig {
+                    band,
+                    ..DualBPlusConfig::default()
+                })
+            },
+        ),
+        Fn_::SpeedBand => {
+            let sf = SpeedBandShard::new(band);
+            ShardedDb::new(
+                ServeConfig {
+                    shards,
+                    queue_depth,
+                },
+                Box::new(sf),
+                move |i, s| {
+                    DualBPlusIndex::new(DualBPlusConfig {
+                        band: sf.index_band(i, s),
+                        ..DualBPlusConfig::default()
+                    })
+                },
+            )
+        }
+    };
+    let oracle = MotionDb::new(DualBPlusIndex::new(DualBPlusConfig {
+        band,
+        ..DualBPlusConfig::default()
+    }));
+    (db, oracle)
+}
+
+fn motion_strategy() -> impl Strategy<Value = Motion1D> {
+    (
+        0u64..400,
+        0.0f64..TERRAIN,
+        0.16f64..1.66,
+        prop::bool::ANY,
+        0.0f64..300.0,
+    )
+        .prop_map(|(id, y0, speed, neg, t0)| Motion1D {
+            id,
+            t0,
+            y0,
+            v: if neg { -speed } else { speed },
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = MorQuery1D> {
+    (0.0f64..900.0, 0.0f64..200.0, 300.0f64..400.0, 0.0f64..60.0).prop_map(|(y1, len, t1, dt)| {
+        MorQuery1D {
+            y1,
+            y2: (y1 + len).min(TERRAIN),
+            t1,
+            t2: t1 + dt,
+        }
+    })
+}
+
+/// Dedupes motions by id (each object appears once in a motion table).
+fn dedup_by_id(mut motions: Vec<Motion1D>) -> Vec<Motion1D> {
+    motions.sort_by_key(|m| m.id);
+    motions.dedup_by_key(|m| m.id);
+    motions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The heart of the serving-tier contract: after an arbitrary
+    /// insert → update (with speed changes, so objects migrate between
+    /// speed-band shards) → remove history, every query against the
+    /// sharded database equals the single-index oracle — for both shard
+    /// functions and S ∈ {1, 3, 8}.
+    #[test]
+    fn sharded_equals_oracle(
+        inserts in prop::collection::vec(motion_strategy(), 1..120),
+        updates in prop::collection::vec(motion_strategy(), 0..60),
+        removes in prop::collection::vec(0u64..400, 0..30),
+        queries in prop::collection::vec(query_strategy(), 1..6),
+    ) {
+        let inserts = dedup_by_id(inserts);
+        for f in [Fn_::IdHash, Fn_::SpeedBand] {
+            for shards in [1usize, 3, 8] {
+                let (mut db, mut oracle) = build_pair(f, shards, 16);
+
+                let mut batch = Batch::new();
+                for m in &inserts {
+                    batch.insert(*m);
+                    oracle.insert(*m);
+                }
+                // Updates change position *and speed*: under the
+                // speed-band partition the object migrates shards.
+                for u in &updates {
+                    if oracle.get(u.id).is_some() {
+                        batch.update(*u);
+                        oracle.update(*u);
+                    }
+                }
+                for id in &removes {
+                    if oracle.get(*id).is_some() {
+                        batch.remove(*id);
+                        oracle.remove(*id);
+                    }
+                }
+                db.apply(&batch).expect("valid batch");
+
+                prop_assert_eq!(db.len(), oracle.len());
+                for q in &queries {
+                    let got = db.query(q).expect("fan-out query");
+                    let want = oracle.query(q);
+                    // Merge contract: sorted, deduplicated — and equal
+                    // to what one index would have answered.
+                    prop_assert!(got.windows(2).all(|w| w[0] < w[1]),
+                        "unsorted or duplicated: {:?}", got);
+                    prop_assert_eq!(got, want, "{:?} at S={}", f, shards);
+                }
+            }
+        }
+    }
+
+    /// Speed-filtered queries agree with the speed-aware brute-force
+    /// oracle, whether or not the shard function can prune the fan-out.
+    #[test]
+    fn filtered_queries_match_brute_force(
+        motions in prop::collection::vec(motion_strategy(), 1..100),
+        queries in prop::collection::vec(query_strategy(), 1..4),
+        v_lo in 0.1f64..1.0,
+        dv in 0.05f64..1.0,
+    ) {
+        let motions = dedup_by_id(motions);
+        let v_hi = (v_lo + dv).min(1.7);
+        for f in [Fn_::IdHash, Fn_::SpeedBand] {
+            let (mut db, _) = build_pair(f, 4, 16);
+            let mut batch = Batch::new();
+            for m in &motions {
+                batch.insert(*m);
+            }
+            db.apply(&batch).expect("valid batch");
+            for q in &queries {
+                let got = db.query_filtered(q, v_lo, v_hi).expect("filtered query");
+                let want = brute_force_1d_speed(&motions, q, v_lo, v_hi);
+                prop_assert_eq!(&got, &want, "{:?} speed [{}, {}]", f, v_lo, v_hi);
+            }
+        }
+    }
+}
+
+/// A failed batch must not change anything: validation is atomic, the
+/// typed error names the offending id, and the sharded table still
+/// answers like the oracle afterwards.
+#[test]
+fn invalid_batches_are_rejected_atomically() {
+    let (mut db, mut oracle) = build_pair(Fn_::SpeedBand, 3, 16);
+    let m = |id: u64, y0: f64, v: f64| Motion1D { id, t0: 0.0, y0, v };
+
+    let mut load = Batch::new();
+    for i in 0..50 {
+        let mo = m(
+            i,
+            f64::from(u32::try_from(i).unwrap()) * 17.0 % TERRAIN,
+            0.2 + 0.02 * i as f64,
+        );
+        load.insert(mo);
+        oracle.insert(mo);
+    }
+    db.apply(&load).expect("valid load");
+
+    // Duplicate insert: rejected, nothing applied (not even the valid op).
+    let mut dup = Batch::new();
+    dup.insert(m(1000, 1.0, 0.5)).insert(m(7, 2.0, 0.5));
+    match db.apply(&dup) {
+        Err(ServeError::Duplicate(e)) => assert_eq!(e.0, 7),
+        other => panic!("expected Duplicate(7), got {other:?}"),
+    }
+    assert_eq!(db.len(), 50);
+    assert!(db.get(1000).is_none(), "batch must be atomic");
+
+    // Update and remove of unknown ids: typed Unknown errors.
+    let mut upd = Batch::new();
+    upd.update(m(999, 1.0, 0.3));
+    match db.apply(&upd) {
+        Err(ServeError::Unknown(e)) => assert_eq!(e.0, 999),
+        other => panic!("expected Unknown(999), got {other:?}"),
+    }
+    let mut rem = Batch::new();
+    rem.remove(999);
+    assert!(matches!(db.apply(&rem), Err(ServeError::Unknown(_))));
+
+    // The rejected batches left the data intact.
+    let q = MorQuery1D {
+        y1: 0.0,
+        y2: TERRAIN,
+        t1: 0.0,
+        t2: 100.0,
+    };
+    assert_eq!(db.query(&q).expect("query"), oracle.query(&q));
+}
+
+/// Many client threads hammer one `&ShardedDb` concurrently; every
+/// answer must equal the oracle's, regardless of interleaving.
+#[test]
+fn concurrent_clients_see_oracle_answers() {
+    let n = 3000;
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n,
+        seed: 0xC0FFEE,
+        ..WorkloadConfig::default()
+    });
+    let (mut db, mut oracle) = build_pair(Fn_::SpeedBand, 4, 16);
+    let mut load = Batch::new();
+    for m in sim.objects() {
+        load.insert(*m);
+        oracle.insert(*m);
+    }
+    db.apply(&load).expect("valid load");
+
+    let queries: Vec<MorQuery1D> = (0..64).map(|_| sim.gen_query(150.0, 60.0)).collect();
+    let expected: Vec<Vec<u64>> = queries.iter().map(|q| oracle.query(q)).collect();
+
+    // 8 clients, each walking the query list from a different offset.
+    std::thread::scope(|scope| {
+        let db = &db;
+        let queries = &queries;
+        let expected = &expected;
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                scope.spawn(move || {
+                    for i in 0..queries.len() {
+                        let k = (i + t * 11) % queries.len();
+                        let got = db.query(&queries[k]).expect("concurrent query");
+                        assert_eq!(got, expected[k], "query {k} from client {t}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+}
+
+/// A queue depth of 1 forces constant backpressure; the stack must
+/// stay correct (and not deadlock) when every send blocks.
+#[test]
+fn tiny_queue_depth_only_slows_things_down() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 500,
+        seed: 42,
+        ..WorkloadConfig::default()
+    });
+    let (mut db, mut oracle) = build_pair(Fn_::IdHash, 4, 1);
+    let mut load = Batch::new();
+    for m in sim.objects() {
+        load.insert(*m);
+        oracle.insert(*m);
+    }
+    db.apply(&load).expect("valid load");
+    for _ in 0..3 {
+        let mut batch = Batch::new();
+        for u in sim.step() {
+            batch.update(u.new);
+            oracle.update(u.new);
+        }
+        db.apply(&batch).expect("update batch");
+    }
+    std::thread::scope(|scope| {
+        let db = &db;
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                scope.spawn(move || {
+                    let q = MorQuery1D {
+                        y1: 100.0,
+                        y2: 400.0,
+                        t1: 0.0,
+                        t2: 50.0,
+                    };
+                    for _ in 0..20 {
+                        db.query(&q).expect("backpressured query");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    let q = MorQuery1D {
+        y1: 0.0,
+        y2: TERRAIN,
+        t1: 0.0,
+        t2: 60.0,
+    };
+    assert_eq!(db.query(&q).expect("query"), oracle.query(&q));
+}
+
+/// Per-shard I/O accounting must roll up: the facade's totals are the
+/// sum over the `s<shard>/`-prefixed store listings, and a fan-out
+/// trace absorbs one leg per shard.
+#[test]
+fn observability_rolls_up_across_shards() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 2000,
+        seed: 7,
+        ..WorkloadConfig::default()
+    });
+    let (mut db, _) = build_pair(Fn_::SpeedBand, 4, 16);
+    let mut load = Batch::new();
+    for m in sim.objects() {
+        load.insert(*m);
+    }
+    db.apply(&load).expect("valid load");
+    db.reset_io().expect("reset");
+
+    let q = sim.gen_query(150.0, 60.0);
+    let (ids, trace) = db.query_traced(&q).expect("traced query");
+    assert_eq!(trace.results as usize, ids.len());
+    assert_eq!(trace.method, "sharded[4x speed-band]");
+    assert!(
+        trace.stores.iter().any(|s| s.store.starts_with("s0/")),
+        "per-shard stores must be prefixed: {:?}",
+        trace.stores
+    );
+
+    let totals = db.io_totals().expect("totals");
+    let store_sum: u64 = db
+        .store_io()
+        .expect("stores")
+        .iter()
+        .map(|(_, io)| io.reads + io.writes)
+        .sum();
+    assert_eq!(totals.reads + totals.writes, store_sum);
+}
