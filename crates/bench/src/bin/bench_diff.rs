@@ -1,0 +1,83 @@
+//! Benchmark regression gate: diffs two `BENCH_*.json` reports.
+//!
+//! ```text
+//! bench-diff <baseline.json> <current.json> [--threshold PCT] [--include-wall-clock]
+//! ```
+//!
+//! Compares the deterministic metrics of a baseline report against a
+//! freshly measured one (figure reports: `avg_query_ios`,
+//! `avg_update_ios`, `pages`; serve reports: `reads_per_query`) and
+//! prints an aligned delta table. Exit status:
+//!
+//! * `0` — every metric within `--threshold` (default 10 %);
+//! * `1` — a metric regressed past the threshold, or a baseline row is
+//!   missing from the current report;
+//! * `2` — usage, I/O, or parse error.
+//!
+//! `--include-wall-clock` adds serve throughput (`queries_per_sec`,
+//! `update_ops_per_sec`) to the gate — off by default because
+//! wall-clock on shared CI hosts is noise.
+
+use mobidx_bench::diff::diff_reports;
+use mobidx_obs::json::Value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut include_wall_clock = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--include-wall-clock" => {
+                include_wall_clock = true;
+                i += 1;
+            }
+            arg if arg.starts_with("--") => usage(),
+            _ => {
+                paths.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+
+    let baseline = load(&paths[0]);
+    let current = load(&paths[1]);
+    let diff = diff_reports(&baseline, &current, threshold, include_wall_clock)
+        .unwrap_or_else(|e| fail(&format!("cannot diff {} vs {}: {e}", paths[0], paths[1])));
+    println!("baseline: {}\ncurrent:  {}\n", paths[0], paths[1]);
+    print!("{}", diff.render_table());
+    if diff.regressed() {
+        std::process::exit(1);
+    }
+}
+
+/// Reads and parses one report, exiting with status 2 on failure.
+fn load(path: &str) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    Value::parse(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench-diff: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-diff <baseline.json> <current.json> [--threshold PCT] [--include-wall-clock]"
+    );
+    std::process::exit(2);
+}

@@ -2,7 +2,7 @@
 //! sharded front end at S = 1, 2, 4, 8.
 //!
 //! ```text
-//! serve_bench [--scale quick|smoke|full] [--seed N] [--json]
+//! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--trace-out FILE]
 //! ```
 //!
 //! `--json` writes `BENCH_serve_<scale>.json` (schema in
@@ -11,6 +11,12 @@
 //! query enlargement (fewer page I/Os per query) and the shard workers
 //! overlap their simulated-disk waits, so the gain holds even on a
 //! single core.
+//!
+//! `--trace-out FILE` additionally runs a short traced-query session at
+//! S = 4 under the disk model and writes its span trees as a Chrome
+//! trace-event document: open it in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing` to see the client lane fan out into one lane
+//! per shard worker.
 
 use mobidx_bench::throughput::{run_sweep, ThroughputConfig};
 use mobidx_bench::{throughput, Scale};
@@ -21,12 +27,17 @@ fn main() {
     let mut scale_name = "quick";
     let mut seed = 0x5EEDu64;
     let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => {
                 json = true;
                 i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
             }
             "--scale" => {
                 let v = args.get(i + 1).cloned().unwrap_or_else(|| usage());
@@ -101,9 +112,20 @@ fn main() {
         });
         println!("\nwrote {path}");
     }
+
+    if let Some(path) = trace_out {
+        let text = throughput::capture_trace(&cfg, 4, 32);
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote {path} (Chrome trace-event format; open in Perfetto)");
+    }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json]");
+    eprintln!(
+        "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--trace-out FILE]"
+    );
     std::process::exit(2);
 }

@@ -1,0 +1,399 @@
+//! Regression diffing between two benchmark JSON reports.
+//!
+//! [`diff_reports`] compares a baseline `BENCH_*.json` document against
+//! a freshly measured one and flags any metric that moved past a
+//! threshold in its *bad* direction. Both report shapes are understood:
+//!
+//! * **figure reports** (`figures --json`) — top-level `mixes`, rows
+//!   keyed by `(mix, method, n)`; gated metrics are the deterministic
+//!   I/O counts `avg_query_ios`, `avg_update_ios`, and `pages` (lower
+//!   is better);
+//! * **serve reports** (`serve_bench --json`) — top-level `cells`, rows
+//!   keyed by shard count; the gated metric is the deterministic
+//!   `reads_per_query`. Wall-clock throughput (`queries_per_sec`,
+//!   `update_ops_per_sec`, higher is better) is compared only when
+//!   explicitly requested — wall-clock on shared CI hosts is noise, so
+//!   gating it would flake.
+//!
+//! A row present in the baseline but missing from the current report is
+//! itself a regression (a method or cell silently dropped out of the
+//! run). Rows only present in the current report are ignored — adding
+//! coverage is not a regression.
+
+use mobidx_obs::json::Value;
+
+/// One compared metric of one row.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Row identity, e.g. `large/dual-B+ (c=4)/n=2000` or `shards=4`.
+    pub row: String,
+    /// Metric name, e.g. `avg_query_ios`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change in percent (`+` = value went up).
+    pub delta_pct: f64,
+    /// Whether the change exceeds the threshold in the bad direction.
+    pub regressed: bool,
+}
+
+/// The outcome of diffing two reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every compared metric, in report order.
+    pub deltas: Vec<MetricDelta>,
+    /// Rows present in the baseline but absent from the current report.
+    pub missing_rows: Vec<String>,
+    /// The regression threshold, in percent.
+    pub threshold_pct: f64,
+}
+
+impl DiffReport {
+    /// Whether anything regressed (a metric past threshold or a row
+    /// that disappeared).
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        !self.missing_rows.is_empty() || self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Renders the comparison as an aligned text table, regressions
+    /// marked with `REGRESSED`, followed by any missing rows and a
+    /// one-line verdict.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let row_w = self
+            .deltas
+            .iter()
+            .map(|d| d.row.len())
+            .chain(std::iter::once(3))
+            .max()
+            .unwrap_or(3);
+        out.push_str(&format!(
+            "{:<row_w$} {:>16} {:>14} {:>14} {:>9}\n",
+            "row", "metric", "baseline", "current", "delta"
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<row_w$} {:>16} {:>14.3} {:>14.3} {:>+8.1}%{}\n",
+                d.row,
+                d.metric,
+                d.baseline,
+                d.current,
+                d.delta_pct,
+                if d.regressed { "  REGRESSED" } else { "" }
+            ));
+        }
+        for row in &self.missing_rows {
+            out.push_str(&format!("{row}: missing from current report  REGRESSED\n"));
+        }
+        out.push_str(&format!(
+            "{} metrics compared, threshold {}%: {}\n",
+            self.deltas.len(),
+            self.threshold_pct,
+            if self.regressed() { "REGRESSION" } else { "ok" }
+        ));
+        out
+    }
+}
+
+/// A report pair that cannot be diffed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// The documents are not both figure reports or both serve reports.
+    Shape(String),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::Shape(msg) => write!(f, "report shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Metric direction: which way a change counts against the current run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Cost metric — growing past threshold is a regression.
+    LowerIsBetter,
+    /// Throughput metric — shrinking past threshold is a regression.
+    HigherIsBetter,
+}
+
+/// Diffs two parsed benchmark reports.
+///
+/// `threshold_pct` is the tolerated relative movement in the bad
+/// direction (10.0 = 10 %). `include_wall_clock` adds the wall-clock
+/// throughput metrics of serve reports to the comparison; figure
+/// reports are unaffected (their gated metrics are all deterministic).
+///
+/// # Errors
+/// [`DiffError::Shape`] when the two documents are not the same kind of
+/// report, or neither `mixes` nor `cells` is present.
+pub fn diff_reports(
+    baseline: &Value,
+    current: &Value,
+    threshold_pct: f64,
+    include_wall_clock: bool,
+) -> Result<DiffReport, DiffError> {
+    let base_rows = collect_rows(baseline, include_wall_clock)?;
+    let cur_rows = collect_rows(current, include_wall_clock)?;
+    let mut deltas = Vec::new();
+    let mut missing_rows = Vec::new();
+    for (row, metrics) in base_rows {
+        let Some(cur_metrics) = cur_rows.iter().find(|(r, _)| *r == row).map(|(_, m)| m) else {
+            missing_rows.push(row);
+            continue;
+        };
+        for (metric, direction, base_val) in metrics {
+            // A metric absent from the current row (older schema) is
+            // skipped rather than failed: schemas only grow.
+            let Some((_, _, cur_val)) = cur_metrics.iter().find(|(m, _, _)| *m == metric) else {
+                continue;
+            };
+            deltas.push(compare(
+                &row,
+                &metric,
+                direction,
+                base_val,
+                *cur_val,
+                threshold_pct,
+            ));
+        }
+    }
+    Ok(DiffReport {
+        deltas,
+        missing_rows,
+        threshold_pct,
+    })
+}
+
+/// One row's gated metrics: `(metric name, direction, value)`.
+type Row = (String, Vec<(String, Direction, f64)>);
+
+/// Extracts the comparable rows of either report shape.
+fn collect_rows(doc: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffError> {
+    if let Some(mixes) = doc.get("mixes") {
+        return figure_rows(mixes);
+    }
+    if let Some(cells) = doc.get("cells") {
+        return serve_rows(cells, include_wall_clock);
+    }
+    Err(DiffError::Shape(
+        "neither 'mixes' (figure report) nor 'cells' (serve report) found".to_owned(),
+    ))
+}
+
+/// Rows of a figure report: one per `(mix, method, n)` cell.
+fn figure_rows(mixes: &Value) -> Result<Vec<Row>, DiffError> {
+    let Value::Obj(members) = mixes else {
+        return Err(DiffError::Shape("'mixes' is not an object".to_owned()));
+    };
+    let mut rows = Vec::new();
+    for (mix, cells) in members {
+        let cells = cells
+            .as_array()
+            .ok_or_else(|| DiffError::Shape(format!("mix '{mix}' is not an array")))?;
+        for cell in cells {
+            let method = cell
+                .get("method")
+                .and_then(Value::as_str)
+                .ok_or_else(|| DiffError::Shape(format!("mix '{mix}': cell without method")))?;
+            let n = cell.get("n").and_then(Value::as_u64).unwrap_or(0);
+            let mut metrics = Vec::new();
+            for name in ["avg_query_ios", "avg_update_ios", "pages"] {
+                if let Some(v) = cell.get(name).and_then(Value::as_f64) {
+                    metrics.push((name.to_owned(), Direction::LowerIsBetter, v));
+                }
+            }
+            rows.push((format!("{mix}/{method}/n={n}"), metrics));
+        }
+    }
+    Ok(rows)
+}
+
+/// Rows of a serve report: one per shard-count cell.
+fn serve_rows(cells: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffError> {
+    let cells = cells
+        .as_array()
+        .ok_or_else(|| DiffError::Shape("'cells' is not an array".to_owned()))?;
+    let mut rows = Vec::new();
+    for cell in cells {
+        let shards = cell
+            .get("shards")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DiffError::Shape("cell without shard count".to_owned()))?;
+        let mut metrics = Vec::new();
+        if let Some(v) = cell.get("reads_per_query").and_then(Value::as_f64) {
+            metrics.push(("reads_per_query".to_owned(), Direction::LowerIsBetter, v));
+        }
+        if include_wall_clock {
+            for name in ["queries_per_sec", "update_ops_per_sec"] {
+                if let Some(v) = cell.get(name).and_then(Value::as_f64) {
+                    metrics.push((name.to_owned(), Direction::HigherIsBetter, v));
+                }
+            }
+        }
+        rows.push((format!("shards={shards}"), metrics));
+    }
+    Ok(rows)
+}
+
+/// Scores one metric movement against the threshold.
+fn compare(
+    row: &str,
+    metric: &str,
+    direction: Direction,
+    baseline: f64,
+    current: f64,
+    threshold_pct: f64,
+) -> MetricDelta {
+    let delta_pct = if baseline.abs() < f64::EPSILON {
+        if current.abs() < f64::EPSILON {
+            0.0
+        } else {
+            // From zero to anything: infinite relative growth; only a
+            // regression when growth is the bad direction.
+            f64::INFINITY
+        }
+    } else {
+        (current - baseline) / baseline * 100.0
+    };
+    let regressed = match direction {
+        Direction::LowerIsBetter => delta_pct > threshold_pct,
+        Direction::HigherIsBetter => delta_pct < -threshold_pct,
+    };
+    MetricDelta {
+        row: row.to_owned(),
+        metric: metric.to_owned(),
+        baseline,
+        current,
+        delta_pct,
+        regressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_doc(avg_query_ios: f64, with_kd: bool) -> Value {
+        let mut cells = vec![Value::Obj(vec![
+            ("method".to_owned(), Value::from("dual-B+ (c=4)")),
+            ("n".to_owned(), Value::from(2000u64)),
+            ("avg_query_ios".to_owned(), Value::Num(avg_query_ios)),
+            ("avg_update_ios".to_owned(), Value::Num(4.0)),
+            ("pages".to_owned(), Value::from(77u64)),
+        ])];
+        if with_kd {
+            cells.push(Value::Obj(vec![
+                ("method".to_owned(), Value::from("dual-kd")),
+                ("n".to_owned(), Value::from(2000u64)),
+                ("avg_query_ios".to_owned(), Value::Num(20.0)),
+                ("avg_update_ios".to_owned(), Value::Num(6.0)),
+                ("pages".to_owned(), Value::from(90u64)),
+            ]));
+        }
+        Value::Obj(vec![(
+            "mixes".to_owned(),
+            Value::Obj(vec![("large".to_owned(), Value::Arr(cells))]),
+        )])
+    }
+
+    fn serve_doc(reads_per_query: f64, qps: f64) -> Value {
+        Value::Obj(vec![(
+            "cells".to_owned(),
+            Value::Arr(vec![Value::Obj(vec![
+                ("shards".to_owned(), Value::from(4u64)),
+                ("reads_per_query".to_owned(), Value::Num(reads_per_query)),
+                ("queries_per_sec".to_owned(), Value::Num(qps)),
+                ("update_ops_per_sec".to_owned(), Value::Num(500.0)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = figure_doc(12.5, true);
+        let diff = diff_reports(&base, &base, 10.0, false).expect("diff");
+        assert!(!diff.regressed());
+        assert_eq!(diff.deltas.len(), 6);
+        assert!(diff.deltas.iter().all(|d| d.delta_pct == 0.0));
+    }
+
+    #[test]
+    fn twenty_percent_io_growth_is_rejected_at_ten() {
+        let base = figure_doc(10.0, false);
+        let cur = figure_doc(12.0, false);
+        let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(diff.regressed());
+        let d = diff
+            .deltas
+            .iter()
+            .find(|d| d.metric == "avg_query_ios")
+            .expect("row");
+        assert!((d.delta_pct - 20.0).abs() < 1e-9);
+        assert!(d.regressed);
+        assert!(diff.render_table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn growth_inside_threshold_passes() {
+        let base = figure_doc(10.0, false);
+        let cur = figure_doc(10.9, false);
+        let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(!diff.regressed());
+    }
+
+    #[test]
+    fn improvement_is_never_a_regression() {
+        let base = figure_doc(10.0, false);
+        let cur = figure_doc(5.0, false);
+        let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(!diff.regressed());
+    }
+
+    #[test]
+    fn missing_row_is_a_regression() {
+        let base = figure_doc(10.0, true);
+        let cur = figure_doc(10.0, false);
+        let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(diff.regressed());
+        assert_eq!(diff.missing_rows, vec!["large/dual-kd/n=2000".to_owned()]);
+    }
+
+    #[test]
+    fn serve_wall_clock_gated_only_on_request() {
+        let base = serve_doc(36.0, 250.0);
+        let cur = serve_doc(36.0, 100.0); // 60 % throughput drop
+        let quiet = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(!quiet.regressed(), "wall-clock must not gate by default");
+        assert_eq!(quiet.deltas.len(), 1);
+        let loud = diff_reports(&base, &cur, 10.0, true).expect("diff");
+        assert!(loud.regressed());
+        assert!(loud
+            .deltas
+            .iter()
+            .any(|d| d.metric == "queries_per_sec" && d.regressed));
+    }
+
+    #[test]
+    fn serve_read_growth_is_gated() {
+        let base = serve_doc(36.0, 250.0);
+        let cur = serve_doc(50.0, 250.0);
+        let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(diff.regressed());
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let fig = figure_doc(10.0, false);
+        let bad = Value::Obj(vec![("nothing".to_owned(), Value::Null)]);
+        assert!(diff_reports(&fig, &bad, 10.0, false).is_err());
+    }
+}

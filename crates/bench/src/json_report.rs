@@ -63,15 +63,7 @@ pub fn measurement_json(m: &MethodMeasurement) -> Value {
         ("buffer_hit_rate".to_owned(), Value::Num(m.buffer_hit_rate)),
         (
             "latency_nanos".to_owned(),
-            Value::Obj(vec![
-                ("count".to_owned(), Value::from(m.latency.count)),
-                ("mean".to_owned(), Value::Num(m.latency.mean)),
-                ("min".to_owned(), Value::from(m.latency.min)),
-                ("p50".to_owned(), Value::from(m.latency.p50)),
-                ("p90".to_owned(), Value::from(m.latency.p90)),
-                ("p99".to_owned(), Value::from(m.latency.p99)),
-                ("max".to_owned(), Value::from(m.latency.max)),
-            ]),
+            mobidx_serve::health::histogram_json(&m.latency),
         ),
     ])
 }
@@ -99,6 +91,7 @@ mod tests {
                 min: 500,
                 p50: 900,
                 p90: 1500,
+                p95: 1700,
                 p99: 2000,
                 max: 2100,
             },

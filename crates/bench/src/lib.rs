@@ -35,6 +35,7 @@ use mobidx_obs::{Histogram, HistogramSnapshot};
 use mobidx_workload::{paper, Simulator1D, WorkloadConfig};
 
 pub mod ablations;
+pub mod diff;
 pub mod json_report;
 pub mod report;
 pub mod throughput;

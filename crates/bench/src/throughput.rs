@@ -28,10 +28,12 @@
 use crate::{QueryMix, Scale};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::SpeedBand;
-use mobidx_obs::json::Value;
+use mobidx_obs::json::{chrome_trace, Value};
+use mobidx_obs::{Histogram, HistogramSnapshot};
 use mobidx_pager::{DelayBackend, MemBackend};
 use mobidx_serve::{Batch, ServeConfig, ShardedDb, SpeedBandShard};
 use mobidx_workload::{MorQuery1D, Simulator1D, WorkloadConfig};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Sizing of one throughput run.
@@ -103,6 +105,9 @@ pub struct ThroughputCell {
     pub update_ops: usize,
     /// Average result cardinality (sanity: ~10 % of N).
     pub avg_result: f64,
+    /// Per-query wall-clock latency distribution under the disk model,
+    /// in microseconds (the phase behind `queries_per_sec`).
+    pub latency_us: HistogramSnapshot,
 }
 
 /// Runs the serving scenario at one shard count.
@@ -158,18 +163,13 @@ pub fn run_throughput(cfg: &ThroughputConfig, shards: usize) -> ThroughputCell {
     // wrapped in a DelayBackend so each counted I/O costs wall-clock.
     let (yqmax, tw) = QueryMix::Large.params();
     let queries: Vec<MorQuery1D> = (0..cfg.queries).map(|_| sim.gen_query(yqmax, tw)).collect();
-    let (mem_secs, total_results) = timed_queries(&db, &queries, cfg.client_threads);
+    let (mem_secs, total_results) = timed_queries(&db, &queries, cfg.client_threads, None);
 
-    let latency = Duration::from_micros(cfg.io_latency_us);
-    for shard in 0..shards {
-        db.with_shard(shard, move |idx: &mut DualBPlusIndex| {
-            idx.set_backends(&mut || Box::new(DelayBackend::new(MemBackend, latency)));
-        })
-        .expect("swap in disk-model backend");
-    }
+    install_disk_model(&db, shards, cfg.io_latency_us);
     db.reset_io().expect("reset I/O counters");
     let disk_queries = &queries[..cfg.disk_queries.clamp(1, queries.len())];
-    let (disk_secs, _) = timed_queries(&db, disk_queries, cfg.client_threads);
+    let latency_us = Histogram::new();
+    let (disk_secs, _) = timed_queries(&db, disk_queries, cfg.client_threads, Some(&latency_us));
     let reads = db.io_totals().expect("I/O totals").reads;
 
     #[allow(clippy::cast_precision_loss)]
@@ -182,15 +182,39 @@ pub fn run_throughput(cfg: &ThroughputConfig, shards: usize) -> ThroughputCell {
         queries: queries.len(),
         update_ops,
         avg_result: total_results as f64 / queries.len().max(1) as f64,
+        latency_us: latency_us.snapshot(),
+    }
+}
+
+/// Swaps every shard's backends for a [`DelayBackend`] charging
+/// `io_latency_us` per counted I/O, wired to the shard's `io_wait`
+/// histogram so [`ShardedDb::health`] reports the simulated stalls.
+fn install_disk_model(db: &ShardedDb<DualBPlusIndex>, shards: usize, io_latency_us: u64) {
+    let latency = Duration::from_micros(io_latency_us);
+    for shard in 0..shards {
+        let io_wait = Arc::clone(&db.shard_health(shard).io_wait);
+        db.with_shard(shard, move |idx: &mut DualBPlusIndex| {
+            idx.set_backends(&mut || {
+                Box::new(DelayBackend::with_histogram(
+                    MemBackend,
+                    latency,
+                    Arc::clone(&io_wait),
+                ))
+            });
+        })
+        .expect("swap in disk-model backend");
     }
 }
 
 /// Runs `queries` against `db` from `client_threads` concurrent clients;
-/// returns (elapsed seconds, summed result cardinalities).
+/// returns (elapsed seconds, summed result cardinalities). When
+/// `latency_us` is given, each query's wall-clock is recorded into it in
+/// microseconds.
 fn timed_queries(
     db: &ShardedDb<DualBPlusIndex>,
     queries: &[MorQuery1D],
     client_threads: usize,
+    latency_us: Option<&Histogram>,
 ) -> (f64, u64) {
     let chunk = queries.len().div_ceil(client_threads.max(1));
     let start = Instant::now();
@@ -201,7 +225,11 @@ fn timed_queries(
                 scope.spawn(move || {
                     let mut sum = 0u64;
                     for q in qs {
+                        let sent = Instant::now();
                         sum += db.query(q).expect("fan-out query").len() as u64;
+                        if let Some(h) = latency_us {
+                            h.record(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        }
                     }
                     sum
                 })
@@ -266,6 +294,10 @@ pub fn render_report(scale_name: &str, cfg: &ThroughputConfig, cells: &[Throughp
                             ("update_ops".to_owned(), Value::from(c.update_ops)),
                             ("avg_result".to_owned(), Value::Num(c.avg_result)),
                             (
+                                "latency_us".to_owned(),
+                                mobidx_serve::health::histogram_json(&c.latency_us),
+                            ),
+                            (
                                 "speedup_vs_1".to_owned(),
                                 ratio(c.queries_per_sec, base_qps),
                             ),
@@ -280,6 +312,56 @@ pub fn render_report(scale_name: &str, cfg: &ThroughputConfig, cells: &[Throughp
         ),
     ]);
     doc.render_pretty()
+}
+
+/// Runs a short traced-query session at `shards` shards and renders the
+/// resulting span trees as a Chrome trace-event document (load it in
+/// Perfetto or `chrome://tracing`). Each shard's backends are wrapped in
+/// a [`DelayBackend`] charging `cfg.io_latency_us` per counted I/O, so
+/// the per-worker lanes show where simulated-disk time actually goes;
+/// queue waits and per-store I/O ride on the span attributes.
+///
+/// # Panics
+/// Panics on a serve error — trace capture runs no fault injection, so
+/// any error is a harness bug.
+#[must_use]
+pub fn capture_trace(cfg: &ThroughputConfig, shards: usize, queries: usize) -> String {
+    let shard_fn = SpeedBandShard::new(SpeedBand::paper());
+    let mut db = ShardedDb::new(
+        ServeConfig {
+            shards,
+            queue_depth: cfg.queue_depth,
+        },
+        Box::new(shard_fn),
+        move |i, s| {
+            DualBPlusIndex::new(DualBPlusConfig {
+                band: shard_fn.index_band(i, s),
+                ..DualBPlusConfig::default()
+            })
+        },
+    );
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: cfg.n,
+        seed: cfg.seed,
+        ..WorkloadConfig::default()
+    });
+    let mut load = Batch::new();
+    for m in sim.objects() {
+        load.insert(*m);
+    }
+    db.apply(&load).expect("initial load");
+    for _ in 0..cfg.warm_instants {
+        db.apply(&step_batch(&mut sim)).expect("warm-up updates");
+    }
+    install_disk_model(&db, shards, cfg.io_latency_us);
+
+    let (yqmax, tw) = QueryMix::Large.params();
+    for _ in 0..queries.max(1) {
+        let q = sim.gen_query(yqmax, tw);
+        db.query_traced(&q).expect("traced query");
+    }
+    let spans = db.recent_spans();
+    chrome_trace(spans.iter().map(Arc::as_ref)).render_pretty()
 }
 
 /// Advances the simulator one instant and packages its updates.
@@ -318,9 +400,54 @@ mod tests {
         assert!(cell.queries_per_sec_mem > 0.0);
         assert!(cell.reads_per_query > 0.0, "disk phase must hit the disk");
         assert!(cell.update_ops_per_sec > 0.0);
+        assert_eq!(cell.latency_us.count, 10, "one sample per disk query");
+        assert!(cell.latency_us.max >= cell.latency_us.p50);
         #[allow(clippy::cast_precision_loss)]
         let sel = cell.avg_result / cfg.n as f64;
         assert!((0.01..0.5).contains(&sel), "selectivity {sel}");
+    }
+
+    #[test]
+    fn trace_capture_renders_chrome_events() {
+        let cfg = ThroughputConfig {
+            n: 2000,
+            warm_instants: 1,
+            measure_instants: 1,
+            queries: 4,
+            disk_queries: 2,
+            io_latency_us: 1,
+            client_threads: 1,
+            queue_depth: 8,
+            seed: 0xBEEF,
+        };
+        let text = capture_trace(&cfg, 2, 3);
+        let doc = Value::parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents");
+        // 3 lane-name metadata events (client + 2 workers) plus at
+        // least root/leg/index spans per query.
+        assert!(events.len() > 3, "only {} events", events.len());
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("M")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("query")));
+    }
+
+    fn snap() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 10,
+            mean: 2000.0,
+            min: 1000,
+            p50: 1800,
+            p90: 3000,
+            p95: 3300,
+            p99: 3500,
+            max: 4000,
+        }
     }
 
     #[test]
@@ -335,6 +462,7 @@ mod tests {
                 queries: 40,
                 update_ops: 60,
                 avg_result: 80.0,
+                latency_us: snap(),
             },
             ThroughputCell {
                 shards: 4,
@@ -345,6 +473,7 @@ mod tests {
                 queries: 40,
                 update_ops: 60,
                 avg_result: 80.0,
+                latency_us: snap(),
             },
         ];
         let cfg = ThroughputConfig::from_scale(&Scale::smoke(), 7);
@@ -361,5 +490,8 @@ mod tests {
             .and_then(Value::as_f64)
             .expect("speedup");
         assert!((speedup - 2.5).abs() < 1e-12);
+        let lat = cells[0].get("latency_us").expect("latency_us");
+        assert_eq!(lat.get("p95").and_then(Value::as_u64), Some(3300));
+        assert_eq!(lat.get("max").and_then(Value::as_u64), Some(4000));
     }
 }

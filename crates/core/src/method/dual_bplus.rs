@@ -379,6 +379,10 @@ impl IndexStats for DualBPlusIndex {
         self.last_candidates
     }
 
+    fn set_backends(&mut self, make: &mut dyn FnMut() -> Box<dyn mobidx_pager::Backend>) {
+        DualBPlusIndex::set_backends(self, make);
+    }
+
     fn store_io(&self) -> Vec<(String, IoTotals)> {
         let mut stores = vec![(
             "static".to_owned(),

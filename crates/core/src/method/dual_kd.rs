@@ -173,6 +173,12 @@ impl IndexStats for DualKdIndex {
     fn store_io(&self) -> Vec<(String, IoTotals)> {
         self.rot.store_io()
     }
+
+    fn set_backends(&mut self, make: &mut dyn FnMut() -> Box<dyn mobidx_pager::Backend>) {
+        for (_, store) in self.rot.generations_mut() {
+            drop(store.tree.set_backend(make()));
+        }
+    }
 }
 
 impl Index1D for DualKdIndex {

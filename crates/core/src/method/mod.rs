@@ -11,9 +11,10 @@ pub(crate) mod rotating;
 pub mod routes;
 pub mod seg_rtree;
 
-use mobidx_obs::{QueryTrace, StoreTrace};
-use mobidx_pager::IoStats;
+use mobidx_obs::{OpenSpan, QueryTrace, Span, SpanIo};
+use mobidx_pager::{Backend, IoStats};
 use mobidx_workload::{MorQuery1D, MorQuery2D, Motion1D, Motion2D};
+use std::time::Instant;
 
 /// Aggregated I/O and space counters across all page stores of a method
 /// (e.g. the `c` observation B+-trees of the approximation method).
@@ -116,36 +117,63 @@ pub trait IndexStats {
     fn store_io(&self) -> Vec<(String, IoTotals)> {
         vec![("all".to_owned(), self.io_totals())]
     }
+
+    /// Replaces the storage backend of every internal page store,
+    /// calling `make` once per store — the hook the fault-injection
+    /// harness and the disk-latency bench use to arm backends behind an
+    /// object-safe surface. The default is a no-op for methods without
+    /// pluggable storage.
+    fn set_backends(&mut self, make: &mut dyn FnMut() -> Box<dyn Backend>) {
+        let _ = make;
+    }
 }
 
-/// The one shared traced-query implementation behind both
-/// [`Index1D::query_traced`] and [`Index2D::query_traced`]: runs `run`
-/// (which fills `out` with the sorted, deduplicated answer) inside a
-/// trace span capturing the I/O delta (total and per store), candidates
-/// examined vs results returned, and wall-clock latency.
-fn run_traced<I>(index: &mut I, run: impl FnOnce(&mut I, &mut Vec<u64>)) -> (Vec<u64>, QueryTrace)
+/// The one shared span-building implementation behind both
+/// [`Index1D::query_span`] and [`Index2D::query_span`]: runs `run`
+/// (which fills `out` with the sorted, deduplicated answer) inside an
+/// `index.query` span timed against `epoch`, with one zero-duration
+/// leaf child per internal page store carrying that store's I/O delta
+/// (plus a `pages` level attribute). Because I/O is attributed to the
+/// leaves only, [`Span::total_io`] over the result reconciles exactly
+/// with the [`IoTotals`] delta around the call.
+fn run_span<I>(
+    index: &mut I,
+    epoch: Instant,
+    run: impl FnOnce(&mut I, &mut Vec<u64>),
+) -> (Vec<u64>, Span)
 where
     I: IndexStats + ?Sized,
 {
-    let before = index.io_totals();
     let stores_before = index.store_io();
-    let start = std::time::Instant::now();
+    let mut open = OpenSpan::begin("index.query", epoch);
     let mut ids = Vec::new();
     run(index, &mut ids);
-    let latency = start.elapsed();
-    let delta = index.io_totals().delta_since(before);
-    let stores = trace_stores(&stores_before, &index.store_io());
-    let trace = QueryTrace {
-        method: index.name(),
-        candidates: index.last_candidates(),
-        results: ids.len() as u64,
-        reads: delta.reads,
-        writes: delta.writes,
-        hits: delta.hits,
-        latency_nanos: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
-        stores,
-    };
-    (ids, trace)
+    let stores_after = index.store_io();
+    debug_assert_eq!(
+        stores_before.len(),
+        stores_after.len(),
+        "store layout changed mid-query"
+    );
+    open.set_attr("method", index.name().as_str());
+    open.set_attr("candidates", index.last_candidates());
+    open.set_attr("results", ids.len() as u64);
+    let start_nanos = open.start_nanos();
+    for ((label, now), (_, then)) in stores_after.iter().zip(&stores_before) {
+        let d = now.delta_since(*then);
+        let leaf = Span::leaf(
+            format!("store/{label}"),
+            start_nanos,
+            SpanIo {
+                reads: d.reads,
+                writes: d.writes,
+                hits: d.hits,
+            },
+        )
+        .with_attr("store", label.as_str())
+        .with_attr("pages", now.pages);
+        open.push(leaf);
+    }
+    (ids, open.finish())
 }
 
 /// A dynamic index over 1-D mobile objects answering MOR queries.
@@ -178,11 +206,24 @@ pub trait Index1D: IndexStats {
         out.append(&mut self.query(q));
     }
 
-    /// Runs the query inside a trace span: captures the I/O delta
+    /// Runs the query inside a hierarchical trace span timed against
+    /// `epoch` (the tree-wide time base — a sharded facade passes one
+    /// epoch to every worker so subtrees share a timeline): the root
+    /// `index.query` span carries method/candidates/results attributes
+    /// and one leaf child per page store with that store's I/O delta.
+    /// Routed through [`Index1D::query_into`].
+    fn query_span(&mut self, q: &MorQuery1D, epoch: Instant) -> (Vec<u64>, Span) {
+        run_span(self, epoch, |index, out| index.query_into(q, out))
+    }
+
+    /// Runs the query inside a trace span and flattens it: the I/O delta
     /// (total and per store), candidates examined vs results returned,
-    /// and wall-clock latency. Routed through [`Index1D::query_into`].
+    /// and wall-clock latency. A leaf view over [`Index1D::query_span`]
+    /// via [`QueryTrace::from_span`].
     fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, QueryTrace) {
-        run_traced(self, |index, out| index.query_into(q, out))
+        let (ids, span) = self.query_span(q, Instant::now());
+        let trace = QueryTrace::from_span(&span);
+        (ids, trace)
     }
 }
 
@@ -205,31 +246,19 @@ pub trait Index2D: IndexStats {
         out.append(&mut self.query(q));
     }
 
+    /// Runs the query inside a hierarchical trace span (see
+    /// [`Index1D::query_span`]).
+    fn query_span(&mut self, q: &MorQuery2D, epoch: Instant) -> (Vec<u64>, Span) {
+        run_span(self, epoch, |index, out| index.query_into(q, out))
+    }
+
     /// Runs the query inside a trace span (see
     /// [`Index1D::query_traced`]).
     fn query_traced(&mut self, q: &MorQuery2D) -> (Vec<u64>, QueryTrace) {
-        run_traced(self, |index, out| index.query_into(q, out))
+        let (ids, span) = self.query_span(q, Instant::now());
+        let trace = QueryTrace::from_span(&span);
+        (ids, trace)
     }
-}
-
-/// Differences two `store_io` listings into per-store trace entries.
-/// Stores are matched by position; labels must be stable across a query
-/// (they are — no query changes a method's store layout).
-fn trace_stores(before: &[(String, IoTotals)], after: &[(String, IoTotals)]) -> Vec<StoreTrace> {
-    debug_assert_eq!(before.len(), after.len(), "store layout changed mid-query");
-    after
-        .iter()
-        .zip(before)
-        .map(|((label, now), (_, then))| {
-            let d = now.delta_since(*then);
-            StoreTrace {
-                store: label.clone(),
-                reads: d.reads,
-                writes: d.writes,
-                pages: now.pages,
-            }
-        })
-        .collect()
 }
 
 /// Sorts and deduplicates a result id list (the `query` postcondition).

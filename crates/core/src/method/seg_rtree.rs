@@ -134,6 +134,10 @@ impl IndexStats for SegRTreeIndex {
     fn last_candidates(&self) -> u64 {
         self.last_candidates
     }
+
+    fn set_backends(&mut self, make: &mut dyn FnMut() -> Box<dyn mobidx_pager::Backend>) {
+        drop(self.tree.set_backend(make()));
+    }
 }
 
 impl Index1D for SegRTreeIndex {

@@ -1,0 +1,158 @@
+//! A bounded ring buffer of recent trace spans.
+//!
+//! The serving tier records one finished [`Span`] tree per traced query.
+//! A diagnostic surface wants "the last N traces" without unbounded
+//! memory or a global lock on the hot path, so [`EventLog`] is a
+//! fixed-capacity ring: writers claim a slot with one relaxed
+//! `fetch_add` and take only that slot's mutex (uncontended unless the
+//! ring wraps onto an in-flight reader), readers snapshot best-effort.
+//! Old entries are overwritten, never reallocated — the log's footprint
+//! is `capacity` Arc slots regardless of traffic.
+
+use crate::span::Span;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A bounded, overwrite-on-wrap buffer of [`Span`] trees (see the
+/// module docs for the locking discipline).
+#[derive(Debug)]
+pub struct EventLog {
+    slots: Box<[Mutex<Option<Arc<Span>>>]>,
+    head: AtomicU64,
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` spans.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> EventLog {
+        assert!(capacity > 0, "EventLog capacity must be nonzero");
+        EventLog {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever pushed (monotonic; exceeds `capacity` once the
+    /// ring has wrapped).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Spans overwritten by wrap-around since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Spans currently retrievable.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::try_from(self.recorded())
+            .unwrap_or(usize::MAX)
+            .min(self.slots.len())
+    }
+
+    /// `true` when nothing has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// Records a finished span, overwriting the oldest entry when full.
+    pub fn push(&self, span: Arc<Span>) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = usize::try_from(seq % self.slots.len() as u64).expect("mod of usize capacity");
+        *self.slots[slot].lock().expect("EventLog slot poisoned") = Some(span);
+    }
+
+    /// The retained spans, oldest first. Best-effort under concurrent
+    /// writers: a slot mid-overwrite yields the old or the new span,
+    /// never a torn one.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Arc<Span>> {
+        let head = self.recorded();
+        let cap = self.slots.len() as u64;
+        let oldest = head.saturating_sub(cap);
+        (oldest..head)
+            .filter_map(|seq| {
+                let slot = usize::try_from(seq % cap).expect("mod of usize capacity");
+                self.slots[slot]
+                    .lock()
+                    .expect("EventLog slot poisoned")
+                    .clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanIo;
+
+    fn span(n: u64) -> Arc<Span> {
+        Arc::new(Span::leaf(format!("q{n}"), n, SpanIo::default()))
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = EventLog::new(0);
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let log = EventLog::new(3);
+        assert!(log.is_empty());
+        for i in 0..5 {
+            log.push(span(i));
+        }
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.len(), 3);
+        let names: Vec<_> = log.snapshot().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["q2", "q3", "q4"]);
+    }
+
+    #[test]
+    fn partial_fill_snapshots_in_order() {
+        let log = EventLog::new(8);
+        log.push(span(0));
+        log.push(span(1));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 0);
+        let names: Vec<_> = log.snapshot().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["q0", "q1"]);
+    }
+
+    #[test]
+    fn concurrent_pushes_keep_every_slot_coherent() {
+        let log = Arc::new(EventLog::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        log.push(span(t * 100 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(log.recorded(), 400);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 16);
+        for s in snap {
+            assert!(s.name.starts_with('q'));
+        }
+    }
+}

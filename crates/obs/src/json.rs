@@ -7,6 +7,7 @@
 //! parser. Numbers are `f64` (integers up to 2^53 round-trip exactly —
 //! far beyond any page or I/O count the harness produces).
 
+use crate::span::Span;
 use std::fmt::Write as _;
 
 /// A JSON value.
@@ -204,6 +205,87 @@ impl Value {
         }
         Ok(v)
     }
+}
+
+/// Exports span trees in the Chrome trace-event format, loadable by
+/// Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`.
+///
+/// Every span becomes one `"X"` (complete) event with microsecond
+/// timestamps measured from the trees' shared epoch. The event's lane is
+/// chosen by the nearest ancestor-or-self `lane` attribute (default
+/// lane 0), so a sharded query renders the facade span on the client
+/// lane and each worker's subtree on its own shard lane; `lane_name`
+/// attributes become `thread_name` metadata events naming those lanes.
+/// All other attributes, plus non-zero I/O counts, land in `args`.
+#[must_use]
+pub fn chrome_trace<'a>(spans: impl IntoIterator<Item = &'a Span>) -> Value {
+    #[allow(clippy::cast_precision_loss)]
+    fn emit(
+        span: &Span,
+        inherited_lane: u64,
+        events: &mut Vec<Value>,
+        lanes: &mut Vec<(u64, String)>,
+    ) {
+        let lane = span.attr_u64("lane").unwrap_or(inherited_lane);
+        if let Some(name) = span.attr_str("lane_name") {
+            if !lanes.iter().any(|(l, _)| *l == lane) {
+                lanes.push((lane, name.to_owned()));
+            }
+        }
+        let mut args: Vec<(String, Value)> = span
+            .attrs
+            .iter()
+            .filter(|(k, _)| k != "lane" && k != "lane_name")
+            .cloned()
+            .collect();
+        for (key, v) in [
+            ("reads", span.io.reads),
+            ("writes", span.io.writes),
+            ("hits", span.io.hits),
+        ] {
+            if v > 0 {
+                args.push((key.to_owned(), Value::from(v)));
+            }
+        }
+        events.push(Value::Obj(vec![
+            ("name".to_owned(), Value::Str(span.name.clone())),
+            ("cat".to_owned(), Value::from("mobidx")),
+            ("ph".to_owned(), Value::from("X")),
+            ("ts".to_owned(), Value::Num(span.start_nanos as f64 / 1e3)),
+            (
+                "dur".to_owned(),
+                Value::Num(span.duration_nanos as f64 / 1e3),
+            ),
+            ("pid".to_owned(), Value::from(0u64)),
+            ("tid".to_owned(), Value::from(lane)),
+            ("args".to_owned(), Value::Obj(args)),
+        ]));
+        for c in &span.children {
+            emit(c, lane, events, lanes);
+        }
+    }
+    let mut events = Vec::new();
+    let mut lanes: Vec<(u64, String)> = Vec::new();
+    for span in spans {
+        emit(span, 0, &mut events, &mut lanes);
+    }
+    lanes.sort_by_key(|(l, _)| *l);
+    let meta = lanes.into_iter().map(|(lane, name)| {
+        Value::Obj(vec![
+            ("name".to_owned(), Value::from("thread_name")),
+            ("ph".to_owned(), Value::from("M")),
+            ("pid".to_owned(), Value::from(0u64)),
+            ("tid".to_owned(), Value::from(lane)),
+            (
+                "args".to_owned(),
+                Value::Obj(vec![("name".to_owned(), Value::Str(name))]),
+            ),
+        ])
+    });
+    Value::Obj(vec![(
+        "traceEvents".to_owned(),
+        Value::Arr(meta.chain(events).collect()),
+    )])
 }
 
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
@@ -486,6 +568,80 @@ mod tests {
         ] {
             assert!(Value::parse(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn chrome_trace_exports_lanes_and_round_trips() {
+        use crate::span::{Span, SpanIo};
+        let mut root = Span::leaf("query", 1_000, SpanIo::default())
+            .with_attr("lane", 0u64)
+            .with_attr("lane_name", "client")
+            .with_attr("method", "sharded[2x id-hash]");
+        root.duration_nanos = 50_000;
+        for shard in 0..2u64 {
+            let mut leg = Span::leaf(format!("s{shard}/execute"), 2_000, SpanIo::default())
+                .with_attr("lane", shard + 1)
+                .with_attr("lane_name", format!("mobidx-shard-{shard}").as_str());
+            leg.duration_nanos = 30_000;
+            // Store leaf: no lane attr, inherits the worker's.
+            leg.children.push(
+                Span::leaf(
+                    "store/obs1",
+                    2_500,
+                    SpanIo {
+                        reads: 3,
+                        writes: 0,
+                        hits: 1,
+                    },
+                )
+                .with_attr("store", "obs1"),
+            );
+            root.children.push(leg);
+        }
+        let trace = chrome_trace([&root]);
+        let parsed = Value::parse(&trace.render()).expect("export is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // 3 thread_name metadata + 5 spans.
+        assert_eq!(events.len(), 8);
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 3, "one thread_name per lane");
+        let store_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("store/obs1"))
+            .collect();
+        assert_eq!(store_events.len(), 2);
+        let tids: Vec<_> = store_events
+            .iter()
+            .map(|e| e.get("tid").and_then(Value::as_u64).expect("tid"))
+            .collect();
+        assert_eq!(tids, [1, 2], "store leaves inherit the worker lane");
+        let root_event = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("query"))
+            .expect("root event");
+        assert_eq!(root_event.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(root_event.get("ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(root_event.get("dur").and_then(Value::as_f64), Some(50.0));
+        assert_eq!(
+            root_event
+                .get("args")
+                .and_then(|a| a.get("method"))
+                .and_then(Value::as_str),
+            Some("sharded[2x id-hash]")
+        );
+        assert!(
+            root_event
+                .get("args")
+                .and_then(|a| a.get("lane_name"))
+                .is_none(),
+            "lane attrs don't leak into args"
+        );
     }
 
     #[test]

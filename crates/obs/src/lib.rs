@@ -14,18 +14,30 @@
 //!   snapshots;
 //! * [`Recorder`] — a sink trait for named metrics, with [`NoopRecorder`]
 //!   (zero cost) and [`MemoryRecorder`] (in-process aggregation);
-//! * [`QueryTrace`] / [`StoreTrace`] — the per-query span every index
-//!   method records: I/Os, candidates examined vs results returned,
-//!   latency, per-store breakdown;
+//! * [`Span`] / [`OpenSpan`] — hierarchical trace spans: one tree per
+//!   query, `query → shard leg → index method → per-store I/O`, with
+//!   wall-clock offsets from a shared epoch and leaf-attributed I/O
+//!   deltas that reconcile with the I/O counters;
+//! * [`EventLog`] — a bounded overwrite-on-wrap ring of recent spans;
+//! * [`QueryTrace`] / [`StoreTrace`] — the flat per-query record every
+//!   index method produces (a leaf view over a [`Span`] tree via
+//!   [`QueryTrace::from_span`]): I/Os, candidates examined vs results
+//!   returned, latency, per-store breakdown;
 //! * [`json`] — a minimal JSON emitter + parser so the bench harness can
 //!   write machine-readable `BENCH_*.json` reports without external
-//!   crates.
+//!   crates, plus the Perfetto-loadable [`json::chrome_trace`] exporter.
 
+#![deny(missing_docs)]
+
+mod event_log;
 pub mod json;
 mod metrics;
 mod recorder;
+mod span;
 mod trace;
 
+pub use event_log::EventLog;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
+pub use span::{OpenSpan, Span, SpanIo};
 pub use trace::{QueryTrace, StoreTrace};

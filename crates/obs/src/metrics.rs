@@ -56,6 +56,30 @@ impl Gauge {
         self.0.store(v, Relaxed);
     }
 
+    /// Raises the value to `v` if `v` is larger (high-water tracking).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// Adds one and returns the new value (e.g. queue depth on enqueue).
+    pub fn incr(&self) -> u64 {
+        self.0.fetch_add(1, Relaxed) + 1
+    }
+
+    /// Subtracts one, saturating at zero, and returns the new value.
+    /// Saturation makes racy enqueue/dequeue accounting self-healing
+    /// instead of wrapping to `u64::MAX`.
+    pub fn decr(&self) -> u64 {
+        let mut cur = self.0.load(Relaxed);
+        loop {
+            let next = cur.saturating_sub(1);
+            match self.0.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// The current value.
     #[must_use]
     pub fn get(&self) -> u64 {
@@ -234,6 +258,7 @@ impl Histogram {
             min: self.min(),
             p50: self.percentile(0.50),
             p90: self.percentile(0.90),
+            p95: self.percentile(0.95),
             p99: self.percentile(0.99),
             max: self.max(),
         }
@@ -264,6 +289,8 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     /// Estimated 90th percentile.
     pub p90: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
     /// Exact maximum.
@@ -375,6 +402,22 @@ mod tests {
         let g = Gauge::new();
         g.set(42);
         assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn gauge_incr_decr_and_high_water() {
+        let g = Gauge::new();
+        assert_eq!(g.incr(), 1);
+        assert_eq!(g.incr(), 2);
+        assert_eq!(g.decr(), 1);
+        assert_eq!(g.decr(), 0);
+        assert_eq!(g.decr(), 0, "saturates at zero");
+        let hw = Gauge::new();
+        hw.set_max(3);
+        hw.set_max(1);
+        assert_eq!(hw.get(), 3, "set_max never lowers");
+        hw.set_max(9);
+        assert_eq!(hw.get(), 9);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the wall-clock latency, and a per-store breakdown.
 
 use crate::json::Value;
+use crate::span::Span;
 
 /// The I/O delta attributed to one internal page store during a traced
 /// query.
@@ -47,6 +48,53 @@ pub struct QueryTrace {
 }
 
 impl QueryTrace {
+    /// The flat leaf view of a hierarchical [`Span`] tree.
+    ///
+    /// Totals (`reads`/`writes`/`hits`) come from [`Span::total_io`];
+    /// `method`, `candidates` and `results` from the root's attributes
+    /// (falling back to the root's name and 0); `latency_nanos` from the
+    /// root's duration. Every descendant carrying a `store` attribute
+    /// contributes one [`StoreTrace`], its label prefixed by the
+    /// concatenated `store_prefix` attributes on the path from the root
+    /// (how a sharded facade keeps `s<i>/` shard attribution without the
+    /// tree shape).
+    #[must_use]
+    pub fn from_span(root: &Span) -> QueryTrace {
+        fn collect(span: &Span, prefix: &str, out: &mut Vec<StoreTrace>) {
+            let prefix = match span.attr_str("store_prefix") {
+                Some(p) => format!("{prefix}{p}"),
+                None => prefix.to_owned(),
+            };
+            if let Some(store) = span.attr_str("store") {
+                out.push(StoreTrace {
+                    store: format!("{prefix}{store}"),
+                    reads: span.io.reads,
+                    writes: span.io.writes,
+                    pages: span.attr_u64("pages").unwrap_or(0),
+                });
+            }
+            for c in &span.children {
+                collect(c, &prefix, out);
+            }
+        }
+        let mut stores = Vec::new();
+        collect(root, "", &mut stores);
+        let io = root.total_io();
+        QueryTrace {
+            method: root
+                .attr_str("method")
+                .unwrap_or(root.name.as_str())
+                .to_owned(),
+            candidates: root.attr_u64("candidates").unwrap_or(0),
+            results: root.attr_u64("results").unwrap_or(0),
+            reads: io.reads,
+            writes: io.writes,
+            hits: io.hits,
+            latency_nanos: root.duration_nanos,
+            stores,
+        }
+    }
+
     /// Reads + writes — the paper's query cost.
     #[must_use]
     pub fn ios(&self) -> u64 {
@@ -218,6 +266,48 @@ mod tests {
         assert_eq!(total.stores.len(), 2);
         assert_eq!(total.stores[0].store, "s0/obs2");
         assert_eq!(total.stores[1].store, "s1/obs2");
+    }
+
+    #[test]
+    fn from_span_flattens_the_tree() {
+        use crate::span::{Span, SpanIo};
+        let mut root = Span::leaf("query", 0, SpanIo::default())
+            .with_attr("method", "sharded[2x id-hash]")
+            .with_attr("candidates", 40u64)
+            .with_attr("results", 30u64);
+        root.duration_nanos = 9_000;
+        for shard in 0..2u64 {
+            let mut leg = Span::leaf(format!("s{shard}/execute"), 100, SpanIo::default())
+                .with_attr("store_prefix", format!("s{shard}/").as_str());
+            leg.children.push(
+                Span::leaf(
+                    "store/obs2",
+                    150,
+                    SpanIo {
+                        reads: 4,
+                        writes: 1,
+                        hits: 2,
+                    },
+                )
+                .with_attr("store", "obs2")
+                .with_attr("pages", 50u64),
+            );
+            root.children.push(leg);
+        }
+        let t = QueryTrace::from_span(&root);
+        assert_eq!(t.method, "sharded[2x id-hash]");
+        assert_eq!(t.candidates, 40);
+        assert_eq!(t.results, 30);
+        assert_eq!(t.reads, 8);
+        assert_eq!(t.writes, 2);
+        assert_eq!(t.hits, 4);
+        assert_eq!(t.latency_nanos, 9_000);
+        assert_eq!(t.stores.len(), 2);
+        assert_eq!(t.stores[0].store, "s0/obs2");
+        assert_eq!(t.stores[1].store, "s1/obs2");
+        assert_eq!(t.stores[0].pages, 50);
+        let sum: u64 = t.stores.iter().map(|s| s.reads + s.writes).sum();
+        assert_eq!(sum, t.ios(), "store breakdown reconciles with totals");
     }
 
     #[test]

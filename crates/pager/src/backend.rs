@@ -111,13 +111,36 @@ impl Backend for MemBackend {
 pub struct DelayBackend<B> {
     inner: B,
     latency: std::time::Duration,
+    io_wait: Option<std::sync::Arc<mobidx_obs::Histogram>>,
 }
 
 impl<B: Backend> DelayBackend<B> {
     /// Wraps `inner`, charging `latency` per read or write-back.
     #[must_use]
     pub fn new(inner: B, latency: std::time::Duration) -> Self {
-        Self { inner, latency }
+        Self {
+            inner,
+            latency,
+            io_wait: None,
+        }
+    }
+
+    /// Like [`DelayBackend::new`], additionally recording every charged
+    /// I/O wait into `io_wait` in microseconds — the health-snapshot
+    /// hook: a serving tier hands each shard's backend the shard's
+    /// `io_wait` histogram and the waits show up in
+    /// `ShardedDb::health()`.
+    #[must_use]
+    pub fn with_histogram(
+        inner: B,
+        latency: std::time::Duration,
+        io_wait: std::sync::Arc<mobidx_obs::Histogram>,
+    ) -> Self {
+        Self {
+            inner,
+            latency,
+            io_wait: Some(io_wait),
+        }
     }
 
     /// The per-I/O latency charged.
@@ -138,7 +161,11 @@ impl<B: Backend> Backend for DelayBackend<B> {
         if matches!(kind, IoKind::Read | IoKind::WriteBack) && !self.latency.is_zero() {
             // Charged even when the inner backend then faults the access:
             // a real device spends the time before reporting the error.
+            let start = std::time::Instant::now();
             std::thread::sleep(self.latency);
+            if let Some(h) = &self.io_wait {
+                h.record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
         }
         self.inner.permit(kind, page)
     }
@@ -519,6 +546,20 @@ mod tests {
             start.elapsed() < Duration::from_millis(2),
             "non-I/O kinds are free"
         );
+    }
+
+    #[test]
+    fn delay_backend_records_waits_into_histogram() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let h = Arc::new(mobidx_obs::Histogram::new());
+        let mut b =
+            DelayBackend::with_histogram(MemBackend, Duration::from_millis(1), Arc::clone(&h));
+        assert!(b.permit(IoKind::Read, pid(0)).is_ok());
+        assert!(b.permit(IoKind::WriteBack, pid(0)).is_ok());
+        assert!(b.permit(IoKind::Mutate, pid(0)).is_ok());
+        assert_eq!(h.count(), 2, "only charged I/Os are recorded");
+        assert!(h.min() >= 1_000, "waits recorded in microseconds");
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! The sharded motion database facade.
 
 use crate::batch::{Batch, Op, ShardOp};
+use crate::health::{HealthSnapshot, ShardHealth};
 use crate::merge::merge_sorted_ids;
 use crate::shard::ShardFn;
 use crate::worker::{self, Request};
 use crate::ServeError;
 use mobidx_core::{Index1D, IoTotals};
-use mobidx_obs::QueryTrace;
+use mobidx_obs::{EventLog, OpenSpan, Span};
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How many recent query span trees the facade's [`EventLog`] retains.
+/// Sized for diagnostics, not archival: at the default 4 shards a span
+/// tree is ~15 nodes, so the ring tops out around a few hundred KiB.
+const EVENT_LOG_CAPACITY: usize = 256;
 
 /// Sizing of the worker pool.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +87,14 @@ pub struct ShardedDb<I: Index1D + Send + 'static> {
     /// the workers.
     buffers: Mutex<Vec<Vec<u64>>>,
     shards: usize,
+    /// Per-shard health state, shared with the workers.
+    health: Vec<Arc<ShardHealth>>,
+    /// The facade-wide time base every trace span measures from, fixed
+    /// at construction so spans from different queries (and different
+    /// worker threads) share one reconcilable timeline.
+    epoch: Instant,
+    /// Ring buffer of recently finished query span trees.
+    events: EventLog,
 }
 
 impl<I: Index1D + Send + 'static> ShardedDb<I> {
@@ -100,16 +115,20 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         assert!(cfg.queue_depth > 0, "need a nonempty queue");
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
+        let mut health = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
             let (tx, rx) = sync_channel(cfg.queue_depth);
             let index = factory(shard, cfg.shards);
+            let shard_health = Arc::new(ShardHealth::new());
+            let worker_health = Arc::clone(&shard_health);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mobidx-shard-{shard}"))
-                    .spawn(move || worker::run(shard, index, &rx))
+                    .spawn(move || worker::run(shard, index, &rx, &worker_health))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
+            health.push(shard_health);
         }
         Self {
             senders,
@@ -119,6 +138,9 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             factory: Box::new(factory),
             buffers: Mutex::new(Vec::new()),
             shards: cfg.shards,
+            health,
+            epoch: Instant::now(),
+            events: EventLog::new(EVENT_LOG_CAPACITY),
         }
     }
 
@@ -279,42 +301,100 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         Ok(ids)
     }
 
-    /// Answers a MOR query inside a trace span aggregating every leg of
-    /// the fan-out: counters are summed, per-store breakdowns appear
-    /// under `s<shard>/` prefixes, `results` is the merged count, and
-    /// `latency_nanos` is the facade's wall-clock around the whole
-    /// fan-out.
+    /// Answers a MOR query inside a hierarchical trace span: the root
+    /// `query` span (method, summed candidates, merged result count)
+    /// has one `s<shard>/execute` child per fan-out leg, each carrying
+    /// its queue wait and the worker's `index.query` subtree down to
+    /// per-store I/O leaves. All spans measure from the facade's shared
+    /// epoch, so the tree renders as one timeline (one lane per worker)
+    /// in the Chrome trace export, and
+    /// [`Span::total_io`] reconciles with the [`ShardedDb::io_totals`]
+    /// delta. The finished tree is also pushed into the facade's
+    /// [`EventLog`] ([`ShardedDb::recent_spans`]); flatten it with
+    /// [`QueryTrace::from_span`](mobidx_obs::QueryTrace::from_span) for
+    /// the legacy per-query record (store labels keep their `s<shard>/`
+    /// prefixes).
     ///
     /// # Errors
     /// As [`ShardedDb::query`].
-    pub fn query_traced(&self, q: &MorQuery1D) -> Result<(Vec<u64>, QueryTrace), ServeError> {
-        let start = std::time::Instant::now();
+    pub fn query_traced(&self, q: &MorQuery1D) -> Result<(Vec<u64>, Span), ServeError> {
+        let mut root = OpenSpan::begin("query", self.epoch);
+        root.set_attr(
+            "method",
+            format!("sharded[{}x {}]", self.shards, self.shard_fn.name()).as_str(),
+        );
+        root.set_attr("lane", 0u64);
+        root.set_attr("lane_name", "client");
+        let sent_nanos = root.start_nanos();
         let mut waits = Vec::with_capacity(self.shards);
         for shard in 0..self.shards {
             let (reply, rx) = channel();
-            self.send(shard, Request::Traced { q: *q, reply })?;
+            self.send(
+                shard,
+                Request::Traced {
+                    q: *q,
+                    epoch: self.epoch,
+                    sent_nanos,
+                    reply,
+                },
+            )?;
             waits.push((shard, rx));
         }
-        let mut total = QueryTrace {
-            method: format!("sharded[{}x {}]", self.shards, self.shard_fn.name()),
-            candidates: 0,
-            results: 0,
-            reads: 0,
-            writes: 0,
-            hits: 0,
-            latency_nanos: 0,
-            stores: Vec::new(),
-        };
+        let mut candidates = 0u64;
         let mut lists = Vec::with_capacity(self.shards);
         for (shard, rx) in waits {
-            let (ids, trace) = rx.recv().map_err(|_| ServeError::ShardDown { shard })??;
-            total.absorb(&trace, &format!("s{shard}/"));
+            let (ids, leg) = rx.recv().map_err(|_| ServeError::ShardDown { shard })??;
+            candidates += leg.attr_u64("candidates").unwrap_or(0);
+            root.push(leg);
             lists.push(ids);
         }
         let merged = merge_sorted_ids(&lists);
-        total.results = merged.len() as u64;
-        total.latency_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        Ok((merged, total))
+        root.set_attr("candidates", candidates);
+        root.set_attr("results", merged.len() as u64);
+        let span = root.finish();
+        self.events.push(Arc::new(span.clone()));
+        Ok((merged, span))
+    }
+
+    /// A point-in-time health summary of every shard: queue depth and
+    /// high-water gauges, applied/queued counters, poisoned state, and
+    /// query/update/io-wait latency percentiles. Reads shared atomics
+    /// directly — no worker round-trip, so it works even when a worker
+    /// is wedged on a full queue or poisoned.
+    #[must_use]
+    pub fn health(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            shards: self
+                .health
+                .iter()
+                .enumerate()
+                .map(|(shard, h)| h.snapshot(shard))
+                .collect(),
+        }
+    }
+
+    /// One shard's live health state — the hook for wiring a
+    /// `DelayBackend::with_histogram` to the shard's `io_wait`
+    /// histogram.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_health(&self, shard: usize) -> &Arc<ShardHealth> {
+        &self.health[shard]
+    }
+
+    /// The most recent traced-query span trees, oldest first (bounded
+    /// ring; see [`ShardedDb::event_log`] for drop accounting).
+    #[must_use]
+    pub fn recent_spans(&self) -> Vec<Arc<Span>> {
+        self.events.snapshot()
+    }
+
+    /// The facade's span ring buffer.
+    #[must_use]
+    pub fn event_log(&self) -> &EventLog {
+        &self.events
     }
 
     /// Aggregated I/O counters across every shard.
@@ -496,11 +576,26 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         Ok(())
     }
 
-    /// Sends one request, mapping a closed queue to `ShardDown`.
+    /// Sends one request, mapping a closed queue to `ShardDown`. The
+    /// queue-depth gauge is bumped *before* the send — a send blocked on
+    /// a full queue counts toward the depth, so the gauge reads as the
+    /// congestion on the shard, not just its buffered requests. The
+    /// worker decrements at dequeue.
     fn send(&self, shard: usize, req: Request<I>) -> Result<(), ServeError> {
-        self.senders[shard]
-            .send(req)
-            .map_err(|_| ServeError::ShardDown { shard })
+        let h = &self.health[shard];
+        let depth = h.queue_depth.incr();
+        h.queue_high_water.set_max(depth);
+        match self.senders[shard].send(req) {
+            Ok(()) => {
+                h.enqueued.incr();
+                Ok(())
+            }
+            Err(_) => {
+                // Never dequeued; undo the depth bump.
+                h.queue_depth.decr();
+                Err(ServeError::ShardDown { shard })
+            }
+        }
     }
 }
 

@@ -1,0 +1,223 @@
+//! Per-shard health instrumentation.
+//!
+//! Each shard worker shares one [`ShardHealth`] with the facade: the
+//! facade updates the queue gauges on enqueue, the worker updates them
+//! on dequeue and feeds the latency histograms around every request it
+//! executes. All fields are relaxed atomics ([`Counter`] / [`Gauge`] /
+//! [`Histogram`]), so [`crate::ShardedDb::health`] reads a snapshot
+//! without a queue round-trip — which is the point: a wedged or poisoned
+//! worker can't block its own diagnosis.
+
+use mobidx_obs::json::Value;
+use mobidx_obs::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Live health state of one shard (see the module docs for who updates
+/// what).
+#[derive(Debug, Default)]
+pub struct ShardHealth {
+    /// Requests currently queued plus senders currently blocked on the
+    /// full queue — the congestion signal. Incremented by the facade
+    /// *before* the (possibly blocking) send, decremented by the worker
+    /// at dequeue.
+    pub queue_depth: Gauge,
+    /// High-water mark of `queue_depth` since startup.
+    pub queue_high_water: Gauge,
+    /// Requests successfully enqueued.
+    pub enqueued: Counter,
+    /// Requests dequeued by the worker.
+    pub dequeued: Counter,
+    /// Write batches applied (one per `Apply` request).
+    pub applied_batches: Counter,
+    /// Individual shard ops applied across all batches.
+    pub applied_ops: Counter,
+    /// Queries answered (traced and untraced).
+    pub queries: Counter,
+    /// 1 while the shard is poisoned (awaiting a rebuild), else 0.
+    pub poisoned: Gauge,
+    /// Per-query wall-clock on the worker, in microseconds.
+    pub query_latency: Histogram,
+    /// Per-batch apply wall-clock on the worker, in microseconds.
+    pub update_latency: Histogram,
+    /// Per-I/O wait charged by a `DelayBackend::with_histogram` armed on
+    /// this shard's stores, in microseconds. Stays empty unless a
+    /// latency-charging backend is installed (see
+    /// `mobidx_pager::DelayBackend::with_histogram`).
+    pub io_wait: std::sync::Arc<Histogram>,
+}
+
+impl ShardHealth {
+    /// Creates zeroed health state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a point-in-time summary.
+    #[must_use]
+    pub fn snapshot(&self, shard: usize) -> ShardHealthSnapshot {
+        ShardHealthSnapshot {
+            shard,
+            queue_depth: self.queue_depth.get(),
+            queue_high_water: self.queue_high_water.get(),
+            enqueued: self.enqueued.get(),
+            dequeued: self.dequeued.get(),
+            applied_batches: self.applied_batches.get(),
+            applied_ops: self.applied_ops.get(),
+            queries: self.queries.get(),
+            poisoned: self.poisoned.get() != 0,
+            query_latency_us: self.query_latency.snapshot(),
+            update_latency_us: self.update_latency.snapshot(),
+            io_wait_us: self.io_wait.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time summary of one shard's [`ShardHealth`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealthSnapshot {
+    /// Shard number.
+    pub shard: usize,
+    /// Queued + blocked-sender requests at snapshot time.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth`.
+    pub queue_high_water: u64,
+    /// Requests successfully enqueued.
+    pub enqueued: u64,
+    /// Requests dequeued by the worker.
+    pub dequeued: u64,
+    /// Write batches applied.
+    pub applied_batches: u64,
+    /// Individual shard ops applied.
+    pub applied_ops: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Whether the shard awaits a rebuild.
+    pub poisoned: bool,
+    /// Per-query worker latency percentiles (µs).
+    pub query_latency_us: HistogramSnapshot,
+    /// Per-batch apply latency percentiles (µs).
+    pub update_latency_us: HistogramSnapshot,
+    /// Charged per-I/O wait percentiles (µs).
+    pub io_wait_us: HistogramSnapshot,
+}
+
+impl ShardHealthSnapshot {
+    /// The snapshot as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("shard".to_owned(), Value::from(self.shard)),
+            ("queue_depth".to_owned(), Value::from(self.queue_depth)),
+            (
+                "queue_high_water".to_owned(),
+                Value::from(self.queue_high_water),
+            ),
+            ("enqueued".to_owned(), Value::from(self.enqueued)),
+            ("dequeued".to_owned(), Value::from(self.dequeued)),
+            (
+                "applied_batches".to_owned(),
+                Value::from(self.applied_batches),
+            ),
+            ("applied_ops".to_owned(), Value::from(self.applied_ops)),
+            ("queries".to_owned(), Value::from(self.queries)),
+            ("poisoned".to_owned(), Value::Bool(self.poisoned)),
+            (
+                "query_latency_us".to_owned(),
+                histogram_json(&self.query_latency_us),
+            ),
+            (
+                "update_latency_us".to_owned(),
+                histogram_json(&self.update_latency_us),
+            ),
+            ("io_wait_us".to_owned(), histogram_json(&self.io_wait_us)),
+        ])
+    }
+}
+
+/// A point-in-time summary of every shard's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// Per-shard summaries, in shard order.
+    pub shards: Vec<ShardHealthSnapshot>,
+}
+
+impl HealthSnapshot {
+    /// `true` if any shard awaits a rebuild.
+    #[must_use]
+    pub fn any_poisoned(&self) -> bool {
+        self.shards.iter().any(|s| s.poisoned)
+    }
+
+    /// The snapshot as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![(
+            "shards".to_owned(),
+            Value::Arr(
+                self.shards
+                    .iter()
+                    .map(ShardHealthSnapshot::to_json)
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+/// Serializes a [`HistogramSnapshot`] with the percentile fields the
+/// bench reports use.
+#[must_use]
+pub fn histogram_json(h: &HistogramSnapshot) -> Value {
+    Value::Obj(vec![
+        ("count".to_owned(), Value::from(h.count)),
+        ("mean".to_owned(), Value::Num(h.mean)),
+        ("min".to_owned(), Value::from(h.min)),
+        ("p50".to_owned(), Value::from(h.p50)),
+        ("p90".to_owned(), Value::from(h.p90)),
+        ("p95".to_owned(), Value::from(h.p95)),
+        ("p99".to_owned(), Value::from(h.p99)),
+        ("max".to_owned(), Value::from(h.max)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_updates() {
+        let h = ShardHealth::new();
+        h.enqueued.add(5);
+        h.dequeued.add(5);
+        let d = h.queue_depth.incr();
+        h.queue_high_water.set_max(d);
+        h.queries.add(3);
+        h.query_latency.record(120);
+        h.poisoned.set(1);
+        let s = h.snapshot(2);
+        assert_eq!(s.shard, 2);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.queue_high_water, 1);
+        assert_eq!(s.enqueued, 5);
+        assert_eq!(s.queries, 3);
+        assert!(s.poisoned);
+        assert_eq!(s.query_latency_us.count, 1);
+        assert_eq!(s.query_latency_us.max, 120);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let h = ShardHealth::new();
+        h.update_latency.record(50);
+        let snap = HealthSnapshot {
+            shards: vec![h.snapshot(0)],
+        };
+        let parsed = Value::parse(&snap.to_json().render()).expect("valid JSON");
+        let shard = &parsed.get("shards").and_then(Value::as_array).expect("arr")[0];
+        assert_eq!(shard.get("shard").and_then(Value::as_u64), Some(0));
+        assert_eq!(shard.get("poisoned").and_then(Value::as_bool), Some(false));
+        let upd = shard.get("update_latency_us").expect("histogram");
+        assert_eq!(upd.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(upd.get("p95").and_then(Value::as_u64), Some(50));
+        assert!(!snap.any_poisoned());
+    }
+}

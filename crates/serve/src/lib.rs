@@ -30,12 +30,14 @@
 
 pub mod batch;
 pub mod db;
+pub mod health;
 pub mod merge;
 pub mod shard;
 pub(crate) mod worker;
 
 pub use batch::{Batch, Op};
 pub use db::{ServeConfig, ShardedDb};
+pub use health::{HealthSnapshot, ShardHealth, ShardHealthSnapshot};
 pub use shard::{IdHashShard, ShardFn, SpeedBandShard};
 
 use mobidx_core::{DuplicateId, UnknownId};

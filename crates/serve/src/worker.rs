@@ -18,12 +18,15 @@
 //! [`Index1D`]: mobidx_core::Index1D
 
 use crate::batch::ShardOp;
+use crate::health::ShardHealth;
 use crate::ServeError;
 use mobidx_core::{Index1D, IoTotals};
-use mobidx_obs::QueryTrace;
+use mobidx_obs::{OpenSpan, Span};
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A message to a shard worker. Replies travel on per-request channels
 /// so concurrent clients never see each other's answers.
@@ -40,11 +43,16 @@ pub(crate) enum Request<I> {
         buf: Vec<u64>,
         reply: Sender<Result<Vec<u64>, ServeError>>,
     },
-    /// Answer a MOR query inside a trace span.
+    /// Answer a MOR query inside a hierarchical trace span. `epoch` is
+    /// the facade-wide time base every span of the tree measures from,
+    /// and `sent_nanos` the enqueue time against that base (the worker
+    /// derives its queue wait from it).
     Traced {
         q: MorQuery1D,
+        epoch: Instant,
+        sent_nanos: u64,
         #[allow(clippy::type_complexity)]
-        reply: Sender<Result<(Vec<u64>, QueryTrace), ServeError>>,
+        reply: Sender<Result<(Vec<u64>, Span), ServeError>>,
     },
     /// Report I/O totals and the per-store breakdown.
     Stats {
@@ -74,26 +82,77 @@ pub(crate) enum Request<I> {
     Shutdown,
 }
 
-/// The worker loop: owns `index` until shutdown.
-pub(crate) fn run<I: Index1D>(shard: usize, mut index: I, rx: &Receiver<Request<I>>) {
+/// The worker loop: owns `index` until shutdown. `health` is shared
+/// with the facade: the worker decrements the queue-depth gauge at each
+/// dequeue, feeds the latency histograms, and mirrors its poisoned flag
+/// into the gauge so [`crate::ShardedDb::health`] sees it without a
+/// queue round-trip.
+pub(crate) fn run<I: Index1D>(
+    shard: usize,
+    mut index: I,
+    rx: &Receiver<Request<I>>,
+    health: &Arc<ShardHealth>,
+) {
     let mut poisoned = false;
     while let Ok(req) = rx.recv() {
+        health.queue_depth.decr();
+        health.dequeued.incr();
         match req {
             Request::Apply { ops, reply } => {
+                let n_ops = ops.len() as u64;
+                let started = Instant::now();
                 let r = guarded(shard, &mut poisoned, || {
                     apply_ops(&mut index, &ops);
                 });
+                if r.is_ok() {
+                    health.update_latency.record(elapsed_us(started));
+                    health.applied_batches.incr();
+                    health.applied_ops.add(n_ops);
+                }
                 let _ = reply.send(r);
             }
             Request::Query { q, mut buf, reply } => {
+                let started = Instant::now();
                 let r = guarded(shard, &mut poisoned, || {
                     index.query_into(&q, &mut buf);
                     buf
                 });
+                if r.is_ok() {
+                    health.query_latency.record(elapsed_us(started));
+                    health.queries.incr();
+                }
                 let _ = reply.send(r);
             }
-            Request::Traced { q, reply } => {
-                let r = guarded(shard, &mut poisoned, || index.query_traced(&q));
+            Request::Traced {
+                q,
+                epoch,
+                sent_nanos,
+                reply,
+            } => {
+                let started = Instant::now();
+                // The worker's leg of the query tree: carries shard
+                // identity, Chrome-trace lane routing, the `s<i>/` store
+                // attribution prefix, and the time the request sat in
+                // the queue; the index's own span nests inside it.
+                let mut leg = OpenSpan::begin(format!("s{shard}/execute"), epoch);
+                leg.set_attr("shard", shard as u64);
+                leg.set_attr("lane", shard as u64 + 1);
+                leg.set_attr("lane_name", format!("mobidx-shard-{shard}").as_str());
+                leg.set_attr("store_prefix", format!("s{shard}/").as_str());
+                leg.set_attr(
+                    "queue_wait_nanos",
+                    leg.start_nanos().saturating_sub(sent_nanos),
+                );
+                let r = guarded(shard, &mut poisoned, || index.query_span(&q, epoch));
+                let r = r.map(|(ids, span)| {
+                    if let Some(c) = span.attr_u64("candidates") {
+                        leg.set_attr("candidates", c);
+                    }
+                    leg.push(span);
+                    health.query_latency.record(elapsed_us(started));
+                    health.queries.incr();
+                    (ids, leg.finish())
+                });
                 let _ = reply.send(r);
             }
             Request::Stats { reply } => {
@@ -129,7 +188,13 @@ pub(crate) fn run<I: Index1D>(shard: usize, mut index: I, rx: &Receiver<Request<
             }
             Request::Shutdown => break,
         }
+        health.poisoned.set(u64::from(poisoned));
     }
+}
+
+/// Elapsed wall-clock since `started`, in microseconds.
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Applies a shard-local op list in order.

@@ -9,10 +9,12 @@ use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex};
 use mobidx_core::method::dual_bplus::DualBPlusConfig;
 use mobidx_core::{Index2D, MorQuery1D, Motion1D, SpeedBand};
 use mobidx_kdtree::KdConfig;
-use mobidx_obs::json::Value;
-use mobidx_obs::Histogram;
+use mobidx_obs::json::{chrome_trace, Value};
+use mobidx_obs::{Histogram, QueryTrace, Span};
+use mobidx_pager::{FaultPlan, FaultStore};
 use mobidx_workload::{Simulator2D, WorkloadConfig2D};
 use proptest::prelude::*;
+use std::time::Instant;
 
 const TERRAIN: f64 = 1000.0;
 
@@ -89,6 +91,73 @@ proptest! {
                 prop_assert_eq!(store_writes, trace.writes, "{} store writes", method.name);
                 prop_assert!((0.0..=1.0).contains(&trace.false_hit_rate()));
                 prop_assert!((0.0..=1.0).contains(&trace.hit_rate()));
+            }
+        }
+    }
+
+    /// The hierarchical span tree obeys the same accounting contract:
+    /// for every paper method, under both the plain memory backend and
+    /// a transient-fault backend (whose faults the default retry policy
+    /// absorbs), the recursive sum of the tree's leaf I/O equals the
+    /// `IoTotals` delta across the query, interior spans carry no I/O
+    /// of their own, and the flattened [`QueryTrace`] view agrees.
+    #[test]
+    fn span_trees_reconcile_with_io_totals(
+        motions in prop::collection::vec(motion_strategy(), 1..60),
+        queries in prop::collection::vec(query_strategy(), 1..3),
+    ) {
+        let motions = dedup_by_id(motions);
+        for faulty in [false, true] {
+            for method in paper_methods() {
+                let mut idx = (method.make)();
+                for m in &motions {
+                    idx.insert(m);
+                }
+                if faulty {
+                    // One deterministic transient-fault stream per
+                    // store; reads keep failing briefly and the store's
+                    // retries absorb every fault, so the query still
+                    // succeeds while the I/O counters take the detour.
+                    let mut store = 0u64;
+                    idx.set_backends(&mut || {
+                        store += 1;
+                        Box::new(FaultStore::new(FaultPlan::transient(store)))
+                    });
+                }
+                let epoch = Instant::now();
+                for q in &queries {
+                    idx.clear_buffers();
+                    idx.reset_io();
+                    let before = idx.io_totals();
+                    let (ids, span) = idx.query_span(q, epoch);
+                    let delta = idx.io_totals().delta_since(before);
+                    let total = span.total_io();
+                    let label = format!(
+                        "{}{}",
+                        method.name,
+                        if faulty { " (faulty)" } else { "" }
+                    );
+                    prop_assert_eq!(total.reads, delta.reads, "{} reads", &label);
+                    prop_assert_eq!(total.writes, delta.writes, "{} writes", &label);
+                    prop_assert_eq!(total.hits, delta.hits, "{} hits", &label);
+                    prop_assert_eq!(
+                        span.io.ios() + span.io.hits, 0,
+                        "{}: I/O belongs to the leaves, not the root", &label
+                    );
+                    prop_assert_eq!(
+                        span.attr_u64("results"),
+                        Some(ids.len() as u64),
+                        "{} results attr", &label
+                    );
+                    prop_assert!(!span.children.is_empty(), "{}: no store leaves", &label);
+                    // The flat trace is a faithful leaf view.
+                    let trace = QueryTrace::from_span(&span);
+                    prop_assert_eq!(trace.reads, delta.reads, "{} flat reads", &label);
+                    prop_assert_eq!(trace.writes, delta.writes, "{} flat writes", &label);
+                    prop_assert_eq!(trace.results, ids.len() as u64, "{}", &label);
+                    let store_reads: u64 = trace.stores.iter().map(|s| s.reads).sum();
+                    prop_assert_eq!(store_reads, trace.reads, "{} store reads", &label);
+                }
             }
         }
     }
@@ -278,4 +347,89 @@ fn query_trace_json_round_trips() {
     assert_eq!(doc.get("reads").and_then(Value::as_u64), Some(trace.reads));
     let stores = doc.get("stores").and_then(Value::as_array).expect("stores");
     assert_eq!(stores.len(), trace.stores.len());
+}
+
+/// The Chrome trace-event export of real query span trees round-trips
+/// through the JSON parser and keeps the loadability invariants: every
+/// `"X"` event carries numeric `ts`/`dur` and a `tid` lane, and every
+/// span of every tree appears exactly once.
+#[test]
+fn chrome_trace_round_trips_through_parser() {
+    let mut sim = mobidx_workload::Simulator1D::new(mobidx_workload::WorkloadConfig {
+        n: 800,
+        seed: 17,
+        ..mobidx_workload::WorkloadConfig::default()
+    });
+    let epoch = Instant::now();
+    let mut spans: Vec<Span> = Vec::new();
+    let mut total_spans = 0usize;
+    for method in paper_methods() {
+        let mut idx = (method.make)();
+        for m in sim.objects() {
+            idx.insert(m);
+        }
+        let q = sim.gen_query(150.0, 60.0);
+        idx.clear_buffers();
+        idx.reset_io();
+        let (_, span) = idx.query_span(&q, epoch);
+        total_spans += span.span_count();
+        spans.push(span);
+    }
+
+    let doc = Value::parse(&chrome_trace(spans.iter()).render_pretty()).expect("export parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let complete: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .collect();
+    assert_eq!(
+        complete.len(),
+        total_spans,
+        "one complete event per span of every tree"
+    );
+    for e in &complete {
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+        assert!(e.get("ts").and_then(Value::as_f64).is_some(), "ts missing");
+        assert!(
+            e.get("dur").and_then(Value::as_f64).is_some(),
+            "dur missing"
+        );
+        assert!(
+            e.get("tid").and_then(Value::as_u64).is_some(),
+            "tid missing"
+        );
+        assert_eq!(e.get("pid").and_then(Value::as_u64), Some(0));
+    }
+}
+
+/// A span tree survives its own JSON encoding: `Span::from_json ∘
+/// Span::to_json` is the identity on everything the accounting contract
+/// depends on (I/O sums, attributes, tree shape).
+#[test]
+fn span_json_round_trips_a_real_tree() {
+    let mut sim = mobidx_workload::Simulator1D::new(mobidx_workload::WorkloadConfig {
+        n: 600,
+        seed: 29,
+        ..mobidx_workload::WorkloadConfig::default()
+    });
+    let method = &paper_methods()[2]; // dual-B+ (c=4): several stores
+    let mut idx = (method.make)();
+    for m in sim.objects() {
+        idx.insert(m);
+    }
+    let q = sim.gen_query(150.0, 60.0);
+    idx.clear_buffers();
+    idx.reset_io();
+    let (_, span) = idx.query_span(&q, Instant::now());
+    let parsed = Value::parse(&span.to_json().render()).expect("span JSON parses");
+    let back = Span::from_json(&parsed).expect("span JSON decodes");
+    assert_eq!(back.name, span.name);
+    assert_eq!(back.span_count(), span.span_count());
+    assert_eq!(back.total_io().reads, span.total_io().reads);
+    assert_eq!(back.total_io().writes, span.total_io().writes);
+    assert_eq!(back.attr_u64("candidates"), span.attr_u64("candidates"));
+    assert_eq!(back.duration_nanos, span.duration_nanos);
 }

@@ -178,6 +178,45 @@ proptest! {
             }
         }
     }
+
+    /// The fan-out span tree reconciles across threads: for every traced
+    /// query, the recursive sum of leaf I/O over the whole
+    /// `query → s<i>/execute → index.query → store/...` tree equals the
+    /// facade-wide `IoTotals` delta, even though the legs were built on
+    /// different worker threads.
+    #[test]
+    fn sharded_span_trees_reconcile_with_io_totals(
+        motions in prop::collection::vec(motion_strategy(), 1..100),
+        queries in prop::collection::vec(query_strategy(), 1..4),
+    ) {
+        let motions = dedup_by_id(motions);
+        for shards in [1usize, 3] {
+            let (mut db, _) = build_pair(Fn_::SpeedBand, shards, 16);
+            let mut batch = Batch::new();
+            for m in &motions {
+                batch.insert(*m);
+            }
+            db.apply(&batch).expect("valid batch");
+            for q in &queries {
+                let before = db.io_totals().expect("totals before");
+                let (ids, span) = db.query_traced(q).expect("traced query");
+                let delta = db.io_totals().expect("totals after").delta_since(before);
+                let total = span.total_io();
+                prop_assert_eq!(total.reads, delta.reads, "S={} reads", shards);
+                prop_assert_eq!(total.writes, delta.writes, "S={} writes", shards);
+                prop_assert_eq!(total.hits, delta.hits, "S={} hits", shards);
+                prop_assert_eq!(span.children.len(), shards, "one leg per shard");
+                prop_assert_eq!(span.attr_u64("results"), Some(ids.len() as u64));
+                for leg in &span.children {
+                    prop_assert!(leg.attr_u64("shard").is_some(), "leg without shard attr");
+                    prop_assert!(
+                        leg.attr_u64("queue_wait_nanos").is_some(),
+                        "leg without queue wait"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// A failed batch must not change anything: validation is atomic, the
@@ -326,6 +365,33 @@ fn tiny_queue_depth_only_slows_things_down() {
         t2: 60.0,
     };
     assert_eq!(db.query(&q).expect("query"), oracle.query(&q));
+
+    // With every reply collected the queues have drained; the per-shard
+    // gauges must show it: depth back to zero, a nonzero high-water mark
+    // (depth-1 queues were saturated constantly), and conservation —
+    // everything enqueued was dequeued, nothing poisoned.
+    let health = db.health();
+    assert!(!health.any_poisoned());
+    assert_eq!(health.shards.len(), 4);
+    for s in &health.shards {
+        assert_eq!(s.queue_depth, 0, "shard {}: queue not drained", s.shard);
+        assert!(
+            s.queue_high_water >= 1,
+            "shard {}: high water {} under saturation",
+            s.shard,
+            s.queue_high_water
+        );
+        assert!(s.enqueued > 0, "shard {} never saw a request", s.shard);
+        assert_eq!(
+            s.enqueued, s.dequeued,
+            "shard {}: enqueued/dequeued drifted",
+            s.shard
+        );
+        assert!(!s.poisoned);
+        assert!(s.queries > 0, "shard {} answered no queries", s.shard);
+        assert_eq!(s.query_latency_us.count, s.queries);
+        assert!(s.applied_ops > 0, "shard {} applied no updates", s.shard);
+    }
 }
 
 /// Per-shard I/O accounting must roll up: the facade's totals are the
@@ -347,7 +413,11 @@ fn observability_rolls_up_across_shards() {
     db.reset_io().expect("reset");
 
     let q = sim.gen_query(150.0, 60.0);
-    let (ids, trace) = db.query_traced(&q).expect("traced query");
+    let (ids, span) = db.query_traced(&q).expect("traced query");
+    assert_eq!(span.name, "query");
+    assert_eq!(span.children.len(), 4, "one leg per shard");
+    // The flat QueryTrace is a leaf view over the span tree.
+    let trace = mobidx_obs::QueryTrace::from_span(&span);
     assert_eq!(trace.results as usize, ids.len());
     assert_eq!(trace.method, "sharded[4x speed-band]");
     assert!(
@@ -364,4 +434,11 @@ fn observability_rolls_up_across_shards() {
         .map(|(_, io)| io.reads + io.writes)
         .sum();
     assert_eq!(totals.reads + totals.writes, store_sum);
+
+    // Every traced query also lands in the facade's event ring.
+    let recent = db.recent_spans();
+    assert_eq!(db.event_log().recorded(), 1);
+    assert_eq!(recent.len(), 1);
+    assert_eq!(recent[0].name, "query");
+    assert_eq!(recent[0].total_io().reads, trace.reads);
 }
