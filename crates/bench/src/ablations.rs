@@ -163,6 +163,9 @@ pub fn ablation_adversarial(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             n,
             avg_query_ios: query_ios as f64 / f64::from(queries),
             avg_update_ios: 0.0,
+            avg_update_ios_batched: 0.0,
+            update_batch: 0,
+            updates_batched: 0,
             pages: idx.io_totals().pages,
             avg_result: results as f64 / f64::from(queries),
             queries: queries as usize,
@@ -247,6 +250,9 @@ pub fn ablation_2d(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             n,
             avg_query_ios: query_ios as f64 / f64::from(queries),
             avg_update_ios: update_ios as f64 / n_ups.max(1) as f64,
+            avg_update_ios_batched: 0.0,
+            update_batch: 0,
+            updates_batched: 0,
             pages: idx.io_totals().pages,
             avg_result: results as f64 / f64::from(queries),
             queries: queries as usize,

@@ -133,6 +133,17 @@ fn main() {
                     &cells
                 )
             );
+            print!(
+                "{}",
+                render_table(
+                    &format!(
+                        "        (batched: avg I/Os per net update, groups of {})",
+                        mobidx_bench::UPDATE_BATCH
+                    ),
+                    Metric::UpdateIosBatched,
+                    &cells
+                )
+            );
             println!();
         }
         large_cells = cells;

@@ -2,7 +2,7 @@
 //! sharded front end at S = 1, 2, 4, 8.
 //!
 //! ```text
-//! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--trace-out FILE]
+//! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] [--trace-out FILE]
 //! ```
 //!
 //! `--json` writes `BENCH_serve_<scale>.json` (schema in
@@ -12,14 +12,24 @@
 //! overlap their simulated-disk waits, so the gain holds even on a
 //! single core.
 //!
+//! `--batch` additionally runs the batched-update sweep at S = 4: the
+//! same seeded update stream re-chunked into client batches of 1, 8, 32
+//! and 128 ops under the disk model. Its deterministic `ios/op` column
+//! shows the grouped write path amortizing page I/O across ops; with
+//! `--json` the cells land in the report's `batch_cells` array.
+//!
 //! `--trace-out FILE` additionally runs a short traced-query session at
 //! S = 4 under the disk model and writes its span trees as a Chrome
 //! trace-event document: open it in Perfetto (<https://ui.perfetto.dev>)
 //! or `chrome://tracing` to see the client lane fan out into one lane
 //! per shard worker.
 
-use mobidx_bench::throughput::{run_sweep, ThroughputConfig};
+use mobidx_bench::throughput::{run_batch_sweep, run_sweep, ThroughputConfig};
 use mobidx_bench::{throughput, Scale};
+
+/// Client batch sizes of the `--batch` sweep: 1 is the per-op baseline,
+/// the rest exercise the grouped write path.
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,12 +37,17 @@ fn main() {
     let mut scale_name = "quick";
     let mut seed = 0x5EEDu64;
     let mut json = false;
+    let mut batch = false;
     let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => {
                 json = true;
+                i += 1;
+            }
+            "--batch" => {
+                batch = true;
                 i += 1;
             }
             "--trace-out" => {
@@ -103,9 +118,45 @@ fn main() {
         );
     }
 
+    let batch_cells = if batch {
+        run_batch_sweep(&cfg, &BATCH_SIZES)
+    } else {
+        Vec::new()
+    };
+    if batch {
+        println!(
+            "\nbatched updates (S = 4, {}us disk model):",
+            cfg.io_latency_us
+        );
+        println!(
+            "{:>7} {:>10} {:>12} {:>9} {:>12} {:>11}",
+            "batch", "ops", "ops/sec", "ios/op", "drained avg", "drained max"
+        );
+        let base_iop = batch_cells
+            .iter()
+            .find(|c| c.batch == 1)
+            .map_or(0.0, |c| c.ios_per_op);
+        for c in &batch_cells {
+            println!(
+                "{:>7} {:>10} {:>12.1} {:>9.2} {:>12.1} {:>11}  ({:.2}x I/O vs batch=1)",
+                c.batch,
+                c.update_ops,
+                c.update_ops_per_sec,
+                c.ios_per_op,
+                c.drained_mean,
+                c.drained_max,
+                if base_iop > 0.0 {
+                    c.ios_per_op / base_iop
+                } else {
+                    0.0
+                }
+            );
+        }
+    }
+
     if json {
         let path = format!("BENCH_serve_{scale_name}.json");
-        let text = throughput::render_report(scale_name, &cfg, &cells);
+        let text = throughput::render_report(scale_name, &cfg, &cells, &batch_cells);
         std::fs::write(&path, text).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
@@ -125,7 +176,8 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--trace-out FILE]"
+        "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] \
+         [--trace-out FILE]"
     );
     std::process::exit(2);
 }

@@ -176,16 +176,28 @@ pub fn diff_reports(
 /// One row's gated metrics: `(metric name, direction, value)`.
 type Row = (String, Vec<(String, Direction, f64)>);
 
-/// Extracts the comparable rows of either report shape.
+/// Extracts the comparable rows of either report shape. A serve report
+/// may carry both its shard sweep (`cells`) and a batched-update sweep
+/// (`batch_cells`); their rows are concatenated.
 fn collect_rows(doc: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffError> {
     if let Some(mixes) = doc.get("mixes") {
         return figure_rows(mixes);
     }
+    let mut rows = Vec::new();
+    let mut any = false;
     if let Some(cells) = doc.get("cells") {
-        return serve_rows(cells, include_wall_clock);
+        rows.extend(serve_rows(cells, include_wall_clock)?);
+        any = true;
+    }
+    if let Some(cells) = doc.get("batch_cells") {
+        rows.extend(batch_rows(cells, include_wall_clock)?);
+        any = true;
+    }
+    if any {
+        return Ok(rows);
     }
     Err(DiffError::Shape(
-        "neither 'mixes' (figure report) nor 'cells' (serve report) found".to_owned(),
+        "neither 'mixes' (figure report) nor 'cells'/'batch_cells' (serve report) found".to_owned(),
     ))
 }
 
@@ -206,7 +218,12 @@ fn figure_rows(mixes: &Value) -> Result<Vec<Row>, DiffError> {
                 .ok_or_else(|| DiffError::Shape(format!("mix '{mix}': cell without method")))?;
             let n = cell.get("n").and_then(Value::as_u64).unwrap_or(0);
             let mut metrics = Vec::new();
-            for name in ["avg_query_ios", "avg_update_ios", "pages"] {
+            for name in [
+                "avg_query_ios",
+                "avg_update_ios",
+                "avg_update_ios_batched",
+                "pages",
+            ] {
                 if let Some(v) = cell.get(name).and_then(Value::as_f64) {
                     metrics.push((name.to_owned(), Direction::LowerIsBetter, v));
                 }
@@ -240,6 +257,38 @@ fn serve_rows(cells: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffE
             }
         }
         rows.push((format!("shards={shards}"), metrics));
+    }
+    Ok(rows)
+}
+
+/// Rows of a serve report's batched-update sweep: one per batch size.
+/// The deterministic gate is `ios_per_op` (the per-op page I/O of the
+/// grouped write path); wall-clock `update_ops_per_sec` joins only on
+/// request, like the shard sweep's throughput metrics.
+fn batch_rows(cells: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffError> {
+    let cells = cells
+        .as_array()
+        .ok_or_else(|| DiffError::Shape("'batch_cells' is not an array".to_owned()))?;
+    let mut rows = Vec::new();
+    for cell in cells {
+        let batch = cell
+            .get("batch")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DiffError::Shape("batch cell without batch size".to_owned()))?;
+        let mut metrics = Vec::new();
+        if let Some(v) = cell.get("ios_per_op").and_then(Value::as_f64) {
+            metrics.push(("ios_per_op".to_owned(), Direction::LowerIsBetter, v));
+        }
+        if include_wall_clock {
+            if let Some(v) = cell.get("update_ops_per_sec").and_then(Value::as_f64) {
+                metrics.push((
+                    "update_ops_per_sec".to_owned(),
+                    Direction::HigherIsBetter,
+                    v,
+                ));
+            }
+        }
+        rows.push((format!("batch={batch}"), metrics));
     }
     Ok(rows)
 }
@@ -388,6 +437,47 @@ mod tests {
         let cur = serve_doc(50.0, 250.0);
         let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
         assert!(diff.regressed());
+    }
+
+    fn batch_doc(ios_per_op: f64, ops_per_sec: f64) -> Value {
+        Value::Obj(vec![(
+            "batch_cells".to_owned(),
+            Value::Arr(vec![Value::Obj(vec![
+                ("batch".to_owned(), Value::from(32u64)),
+                ("ios_per_op".to_owned(), Value::Num(ios_per_op)),
+                ("update_ops_per_sec".to_owned(), Value::Num(ops_per_sec)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn batch_io_growth_is_gated() {
+        let base = batch_doc(2.0, 500.0);
+        let cur = batch_doc(3.0, 500.0); // 50 % more I/O per op
+        let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(diff.regressed());
+        let d = diff
+            .deltas
+            .iter()
+            .find(|d| d.metric == "ios_per_op")
+            .expect("row");
+        assert_eq!(d.row, "batch=32");
+        assert!(d.regressed);
+    }
+
+    #[test]
+    fn batch_wall_clock_gated_only_on_request() {
+        let base = batch_doc(2.0, 500.0);
+        let cur = batch_doc(2.0, 100.0); // throughput collapse, same I/O
+        let quiet = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(!quiet.regressed(), "wall-clock must not gate by default");
+        assert_eq!(quiet.deltas.len(), 1);
+        let loud = diff_reports(&base, &cur, 10.0, true).expect("diff");
+        assert!(loud.regressed());
+        assert!(loud
+            .deltas
+            .iter()
+            .any(|d| d.metric == "update_ops_per_sec" && d.regressed));
     }
 
     #[test]

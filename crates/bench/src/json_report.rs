@@ -54,6 +54,12 @@ pub fn measurement_json(m: &MethodMeasurement) -> Value {
         ("n".to_owned(), Value::from(m.n)),
         ("avg_query_ios".to_owned(), Value::Num(m.avg_query_ios)),
         ("avg_update_ios".to_owned(), Value::Num(m.avg_update_ios)),
+        (
+            "avg_update_ios_batched".to_owned(),
+            Value::Num(m.avg_update_ios_batched),
+        ),
+        ("update_batch".to_owned(), Value::from(m.update_batch)),
+        ("updates_batched".to_owned(), Value::from(m.updates_batched)),
         ("pages".to_owned(), Value::from(m.pages)),
         ("avg_result".to_owned(), Value::Num(m.avg_result)),
         ("queries".to_owned(), Value::from(m.queries)),
@@ -78,6 +84,9 @@ mod tests {
             n: 2000,
             avg_query_ios: 12.5,
             avg_update_ios: 4.0,
+            avg_update_ios_batched: 1.5,
+            update_batch: 32,
+            updates_batched: 320,
             pages: 77,
             avg_result: 190.0,
             queries: 20,

@@ -11,6 +11,9 @@ pub enum Metric {
     QueryIos,
     /// Figure 9: average I/Os per update.
     UpdateIos,
+    /// Figure 9 companion: average I/Os per net update through the
+    /// grouped `batch_update` path (groups of `update_batch`).
+    UpdateIosBatched,
     /// Figure 8: live pages.
     Pages,
     /// Sanity column: average result cardinality.
@@ -23,6 +26,7 @@ impl Metric {
         match self {
             Metric::QueryIos => m.avg_query_ios,
             Metric::UpdateIos => m.avg_update_ios,
+            Metric::UpdateIosBatched => m.avg_update_ios_batched,
             Metric::Pages => m.pages as f64,
             Metric::AvgResult => m.avg_result,
         }
@@ -80,6 +84,9 @@ mod tests {
             n,
             avg_query_ios: q,
             avg_update_ios: 1.0,
+            avg_update_ios_batched: 0.5,
+            update_batch: 32,
+            updates_batched: 64,
             pages: 10,
             avg_result: 5.0,
             queries: 1,

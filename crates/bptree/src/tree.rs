@@ -171,6 +171,135 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
         Ok(())
     }
 
+    /// Inserts a batch of entries **sorted lexicographically**, grouping
+    /// same-leaf entries so that `k` inserts landing in one leaf pay a
+    /// single root-to-leaf descent and dirty a single page instead of `k`.
+    ///
+    /// # Panics
+    /// Panics on an injected fault (see [`BPlusTree::try_insert_batch`]),
+    /// and in debug builds if the entries are not sorted.
+    pub fn insert_batch(&mut self, entries: &[(K, V)]) {
+        self.try_insert_batch(entries).expect(INFALLIBLE);
+    }
+
+    /// Inserts a batch of entries **sorted lexicographically**.
+    ///
+    /// Entries are routed down the tree in sorted groups: each branch page
+    /// on the combined root-to-leaf paths is read once, and each touched
+    /// leaf is written once. An overfull leaf is split into
+    /// `ceil(total / leaf_cap)` balanced chunks (every chunk within
+    /// `[min_leaf, leaf_cap]`), with sibling links threaded right-to-left
+    /// so the chain stays exact; branches absorb the promoted separators
+    /// the same way.
+    ///
+    /// The resulting tree holds the same entries as a sequential insert
+    /// loop and satisfies the same invariants, but node boundaries may
+    /// differ: multi-way splits balance chunks instead of halving one
+    /// overfull node at a time.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered storage fault; splits already
+    /// performed are not rolled back (see [`BPlusTree::try_insert`]).
+    ///
+    /// # Panics
+    /// Panics in debug builds if the entries are not sorted.
+    pub fn try_insert_batch(&mut self, entries: &[(K, V)]) -> Result<(), PagerError> {
+        debug_assert!(
+            entries
+                .windows(2)
+                .all(|w| cmp_entry(&w[0], &w[1]) != Ordering::Greater),
+            "insert_batch requires sorted entries"
+        );
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut promoted = self.try_insert_batch_rec(self.root, self.height, entries)?;
+        // Absorb promoted siblings into new root levels until one node
+        // can hold them all.
+        while !promoted.is_empty() {
+            let branch_cap = self.cfg.branch_cap;
+            let mut seps = Vec::with_capacity(promoted.len());
+            let mut children = Vec::with_capacity(promoted.len() + 1);
+            children.push(self.root);
+            for (sep, pid) in promoted {
+                seps.push(sep);
+                children.push(pid);
+            }
+            if children.len() <= branch_cap {
+                self.root = self.store.try_allocate(Node::Branch { seps, children })?;
+                self.height += 1;
+                promoted = Vec::new();
+            } else {
+                let sizes = Self::chunk_sizes(children.len(), branch_cap);
+                let mut next_level = Vec::with_capacity(sizes.len() - 1);
+                let mut first = None;
+                let mut pos = 0usize;
+                for (j, &count) in sizes.iter().enumerate() {
+                    let node = Node::Branch {
+                        seps: seps[pos..pos + count - 1].to_vec(),
+                        children: children[pos..pos + count].to_vec(),
+                    };
+                    let pid = self.store.try_allocate(node)?;
+                    if j == 0 {
+                        first = Some(pid);
+                    } else {
+                        next_level.push((seps[pos - 1], pid));
+                    }
+                    pos += count;
+                }
+                self.root = first.expect("multi-split yields at least one chunk");
+                self.height += 1;
+                promoted = next_level;
+            }
+        }
+        self.len += entries.len();
+        Ok(())
+    }
+
+    /// Applies sorted removals followed by sorted insertions.
+    ///
+    /// Removals stay per-entry (delete rebalancing is inherently
+    /// page-at-a-time) but benefit from sorted order through buffer hits
+    /// on shared root-to-leaf paths; insertions go through the grouped
+    /// [`BPlusTree::insert_batch`] path. Returns how many removals found
+    /// their entry.
+    ///
+    /// # Panics
+    /// Panics on an injected fault (see [`BPlusTree::try_apply_batch`]),
+    /// and in debug builds if either slice is not sorted.
+    pub fn apply_batch(&mut self, removes: &[(K, V)], inserts: &[(K, V)]) -> usize {
+        self.try_apply_batch(removes, inserts).expect(INFALLIBLE)
+    }
+
+    /// Applies sorted removals followed by sorted insertions.
+    ///
+    /// # Errors
+    /// Propagates the first unrecovered storage fault; operations already
+    /// applied are not rolled back (see [`BPlusTree::try_insert`]).
+    ///
+    /// # Panics
+    /// Panics in debug builds if either slice is not sorted.
+    pub fn try_apply_batch(
+        &mut self,
+        removes: &[(K, V)],
+        inserts: &[(K, V)],
+    ) -> Result<usize, PagerError> {
+        debug_assert!(
+            removes
+                .windows(2)
+                .all(|w| cmp_entry(&w[0], &w[1]) != Ordering::Greater),
+            "apply_batch requires sorted removals"
+        );
+        let mut removed = 0usize;
+        for &(k, v) in removes {
+            if self.try_remove(k, v)? {
+                removed += 1;
+            }
+        }
+        self.try_insert_batch(inserts)?;
+        Ok(removed)
+    }
+
     /// Removes the entry `(key, value)`. Returns `true` if it was present.
     ///
     /// # Panics
@@ -431,6 +560,54 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                 .all(|w| cmp_entry(&w[0], &w[1]) != Ordering::Greater),
             "leaf chain out of order"
         );
+        self.check_leaf_links();
+    }
+
+    /// Verifies the leaf sibling links (uncounted access): starting from
+    /// the leftmost leaf, the `next` chain visits exactly the tree's
+    /// leaves in in-order sequence and terminates at `None` — splits,
+    /// merges, and underflow fixes must never leave a dangling, skipped,
+    /// or cyclic link.
+    ///
+    /// # Panics
+    /// Panics with a description of the first violated link.
+    pub fn check_leaf_links(&self) {
+        let mut by_tree = Vec::new();
+        self.leaf_ids_rec(self.root, self.height, &mut by_tree);
+        let mut by_chain = Vec::new();
+        let mut current = Some(by_tree[0]);
+        while let Some(leaf) = current {
+            assert!(
+                by_chain.len() < by_tree.len(),
+                "leaf chain visits more pages than the tree has leaves \
+                 (cycle or dangling link)"
+            );
+            by_chain.push(leaf);
+            current = match self.store.peek(leaf) {
+                Node::Leaf { next, .. } => *next,
+                Node::Branch { .. } => panic!("leaf chain links to a branch page"),
+            };
+        }
+        assert_eq!(
+            by_chain, by_tree,
+            "leaf chain does not match the in-order leaf sequence"
+        );
+    }
+
+    /// Collects leaf page ids by in-order tree descent (uncounted).
+    fn leaf_ids_rec(&self, node: PageId, level: usize, out: &mut Vec<PageId>) {
+        if level == 1 {
+            out.push(node);
+            return;
+        }
+        match self.store.peek(node) {
+            Node::Branch { children, .. } => {
+                for &child in children {
+                    self.leaf_ids_rec(child, level - 1, out);
+                }
+            }
+            Node::Leaf { .. } => unreachable!("leaf above leaf level"),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -607,6 +784,182 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
             children: right_children,
         })?;
         Ok((sep, right))
+    }
+
+    // ------------------------------------------------------------------
+    // Batch-insert internals
+    // ------------------------------------------------------------------
+
+    /// Balanced chunk sizes for `total` items split into
+    /// `ceil(total / cap)` chunks. Every size is `floor` or `ceil` of the
+    /// average, which for `total > cap` provably lies within
+    /// `[cap / 2, cap]` — so multi-split nodes always satisfy the
+    /// occupancy invariants.
+    fn chunk_sizes(total: usize, cap: usize) -> Vec<usize> {
+        let num = total.div_ceil(cap);
+        let base = total / num;
+        let rem = total % num;
+        (0..num).map(|i| base + usize::from(i < rem)).collect()
+    }
+
+    /// Inserts a sorted batch under `node`, returning the promoted
+    /// `(separator, right-sibling)` pairs if the node had to split
+    /// (possibly several on one level, unlike the single-entry path).
+    #[allow(clippy::type_complexity)]
+    fn try_insert_batch_rec(
+        &mut self,
+        node: PageId,
+        level: usize,
+        batch: &[(K, V)],
+    ) -> Result<Vec<((K, V), PageId)>, PagerError> {
+        if level == 1 {
+            return self.try_insert_batch_leaf(node, batch);
+        }
+        let (seps, children) = match self.store.try_read(node)? {
+            Node::Branch { seps, children } => (seps.clone(), children.clone()),
+            Node::Leaf { .. } => unreachable!("leaf above leaf level"),
+        };
+        // Partition the sorted batch into the contiguous run routed to
+        // each child (entries equal to a separator go right, as in
+        // `route`), and recurse per non-empty group.
+        let mut spliced: Vec<(usize, Vec<((K, V), PageId)>)> = Vec::new();
+        let mut start = 0usize;
+        for (i, &child) in children.iter().enumerate() {
+            let end = if i < seps.len() {
+                start + batch[start..].partition_point(|e| cmp_entry(e, &seps[i]) == Ordering::Less)
+            } else {
+                batch.len()
+            };
+            if end > start {
+                let promoted = self.try_insert_batch_rec(child, level - 1, &batch[start..end])?;
+                if !promoted.is_empty() {
+                    spliced.push((i, promoted));
+                }
+            }
+            start = end;
+        }
+        if spliced.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Splice every child's promoted siblings in with one write; on
+        // overflow keep the first balanced chunk here and hand the rest
+        // back for allocation.
+        let branch_cap = self.cfg.branch_cap;
+        let tail = self.store.try_write(node, move |n| match n {
+            Node::Branch { seps, children } => {
+                let extra: usize = spliced.iter().map(|(_, p)| p.len()).sum();
+                let mut new_seps = Vec::with_capacity(seps.len() + extra);
+                let mut new_children = Vec::with_capacity(children.len() + extra);
+                let mut si = 0usize;
+                for (i, &child) in children.iter().enumerate() {
+                    if i > 0 {
+                        new_seps.push(seps[i - 1]);
+                    }
+                    new_children.push(child);
+                    if si < spliced.len() && spliced[si].0 == i {
+                        for &(sep, pid) in &spliced[si].1 {
+                            new_seps.push(sep);
+                            new_children.push(pid);
+                        }
+                        si += 1;
+                    }
+                }
+                if new_children.len() <= branch_cap {
+                    *seps = new_seps;
+                    *children = new_children;
+                    return Vec::new();
+                }
+                let sizes = Self::chunk_sizes(new_children.len(), branch_cap);
+                *seps = new_seps[..sizes[0] - 1].to_vec();
+                *children = new_children[..sizes[0]].to_vec();
+                let mut tail = Vec::with_capacity(sizes.len() - 1);
+                let mut pos = sizes[0];
+                for &count in &sizes[1..] {
+                    tail.push((
+                        new_seps[pos - 1],
+                        new_seps[pos..pos + count - 1].to_vec(),
+                        new_children[pos..pos + count].to_vec(),
+                    ));
+                    pos += count;
+                }
+                tail
+            }
+            Node::Leaf { .. } => unreachable!(),
+        })?;
+        let mut promoted = Vec::with_capacity(tail.len());
+        for (sep, chunk_seps, chunk_children) in tail {
+            let pid = self.store.try_allocate(Node::Branch {
+                seps: chunk_seps,
+                children: chunk_children,
+            })?;
+            promoted.push((sep, pid));
+        }
+        Ok(promoted)
+    }
+
+    /// Merges a sorted batch into one leaf. Without overflow this costs a
+    /// single fault-in and a single dirty page regardless of the batch
+    /// size; with overflow the merged run is cut into balanced chunks and
+    /// the new right siblings are allocated right-to-left so the sibling
+    /// chain threads through them exactly once.
+    #[allow(clippy::type_complexity)]
+    fn try_insert_batch_leaf(
+        &mut self,
+        node: PageId,
+        batch: &[(K, V)],
+    ) -> Result<Vec<((K, V), PageId)>, PagerError> {
+        let (existing, old_next) = match self.store.try_read(node)? {
+            Node::Leaf { entries, next } => (entries.clone(), *next),
+            Node::Branch { .. } => unreachable!("branch at leaf level"),
+        };
+        // Merge the two sorted runs; existing entries win ties so the
+        // result matches sequential insertion order.
+        let mut merged = Vec::with_capacity(existing.len() + batch.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < existing.len() && j < batch.len() {
+            if cmp_entry(&batch[j], &existing[i]) == Ordering::Less {
+                merged.push(batch[j]);
+                j += 1;
+            } else {
+                merged.push(existing[i]);
+                i += 1;
+            }
+        }
+        merged.extend_from_slice(&existing[i..]);
+        merged.extend_from_slice(&batch[j..]);
+
+        if merged.len() <= self.cfg.leaf_cap {
+            self.store.try_write(node, move |n| match n {
+                Node::Leaf { entries, .. } => *entries = merged,
+                Node::Branch { .. } => unreachable!(),
+            })?;
+            return Ok(Vec::new());
+        }
+        let sizes = Self::chunk_sizes(merged.len(), self.cfg.leaf_cap);
+        let mut next_link = old_next;
+        let mut promoted = Vec::with_capacity(sizes.len() - 1);
+        let mut end = merged.len();
+        for &count in sizes[1..].iter().rev() {
+            let chunk = merged[end - count..end].to_vec();
+            end -= count;
+            let sep = chunk[0];
+            let pid = self.store.try_allocate(Node::Leaf {
+                entries: chunk,
+                next: next_link,
+            })?;
+            next_link = Some(pid);
+            promoted.push((sep, pid));
+        }
+        promoted.reverse();
+        merged.truncate(sizes[0]);
+        self.store.try_write(node, move |n| match n {
+            Node::Leaf { entries, next } => {
+                *entries = merged;
+                *next = next_link;
+            }
+            Node::Branch { .. } => unreachable!(),
+        })?;
+        Ok(promoted)
     }
 
     // ------------------------------------------------------------------
@@ -1013,6 +1366,128 @@ mod tests {
         assert!(t.contains(2048, 2048));
         let cost = t.stats().since(&snap);
         assert_eq!(cost.reads, t.height() as u64);
+    }
+
+    #[test]
+    fn batch_insert_matches_sequential() {
+        // Interleaved keys with heavy duplication, pushed in batches.
+        let entries: Vec<(u64, u64)> = (0..400u64).map(|i| ((i * 7) % 50, i)).collect();
+        let mut sorted = entries.clone();
+        sorted.sort_unstable();
+
+        let mut sequential: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        for &(k, v) in &entries {
+            sequential.insert(k, v);
+        }
+        let mut batched: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        for chunk in sorted.chunks(37) {
+            batched.insert_batch(chunk);
+            batched.check_invariants(true);
+        }
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.collect_all(), sequential.collect_all());
+        assert_eq!(batched.range(3, 9), sequential.range(3, 9));
+    }
+
+    #[test]
+    fn batch_insert_empty_and_single() {
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        t.insert_batch(&[]);
+        assert!(t.is_empty());
+        t.insert_batch(&[(5, 5)]);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(5, 5));
+        t.check_invariants(true);
+    }
+
+    #[test]
+    fn batch_insert_multi_split_from_empty_root() {
+        // One batch far larger than a leaf forces a multi-way split of
+        // the root leaf and possibly several new root levels at once.
+        let sorted: Vec<(u64, u64)> = (0..1000u64).map(|i| (i, i)).collect();
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        t.insert_batch(&sorted);
+        t.check_invariants(true);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.collect_all(), sorted);
+        assert!(t.height() > 2);
+    }
+
+    #[test]
+    fn batch_insert_duplicate_entries_tolerated() {
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        t.insert_batch(&[(1, 1), (1, 1), (1, 1), (2, 2)]);
+        t.check_invariants(true);
+        assert_eq!(t.len(), 4);
+        assert!(t.remove(1, 1));
+        assert_eq!(t.len(), 3);
+        t.check_invariants(true);
+    }
+
+    #[test]
+    fn batch_insert_into_bulk_loaded_tree() {
+        let base: Vec<(u64, u64)> = (0..512u64).map(|i| (i * 2, i)).collect();
+        let mut t = BPlusTree::bulk_load(small_cfg(), &base, 0.9);
+        let odds: Vec<(u64, u64)> = (0..512u64).map(|i| (i * 2 + 1, i)).collect();
+        t.insert_batch(&odds);
+        t.check_invariants(false);
+        assert_eq!(t.len(), 1024);
+        let all = t.collect_all();
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn same_leaf_batch_costs_one_descent_and_one_dirty_page() {
+        // k entries that all land in one (non-overflowing) leaf must cost
+        // exactly `height` cold reads and dirty exactly one page.
+        let cfg = TreeConfig {
+            leaf_cap: 32,
+            branch_cap: 8,
+            buffer_pages: 4,
+        };
+        let base: Vec<(u64, u64)> = (0..512u64).map(|i| (i * 100, i)).collect();
+        let mut t = BPlusTree::bulk_load(cfg, &base, 0.5);
+        t.clear_buffer();
+        let snap = t.stats().snapshot();
+        // Eight entries wedged between keys 1000 and 1100: one leaf.
+        let batch: Vec<(u64, u64)> = (0..8u64).map(|i| (1001 + i, 9000 + i)).collect();
+        t.insert_batch(&batch);
+        t.clear_buffer();
+        let cost = t.stats().since(&snap);
+        assert_eq!(cost.reads, t.height() as u64, "one descent for the batch");
+        assert_eq!(cost.writes, 1, "one dirty leaf written back");
+        t.check_invariants(false);
+    }
+
+    #[test]
+    fn apply_batch_removes_then_inserts() {
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        for i in 0..200u64 {
+            t.insert(i, i);
+        }
+        let removes: Vec<(u64, u64)> = (0..100u64).map(|i| (i * 2, i * 2)).collect();
+        let inserts: Vec<(u64, u64)> = (0..50u64).map(|i| (i * 4 + 1000, i)).collect();
+        let removed = t.apply_batch(&removes, &inserts);
+        assert_eq!(removed, 100);
+        assert_eq!(t.len(), 150);
+        t.check_invariants(true);
+        // Removing an absent entry is counted as not found.
+        assert_eq!(t.apply_batch(&[(9999, 9999)], &[]), 0);
+    }
+
+    #[test]
+    fn leaf_links_checked_after_churn() {
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(small_cfg());
+        let batch: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 60, i)).collect();
+        let mut sorted = batch;
+        sorted.sort_unstable();
+        t.insert_batch(&sorted);
+        t.check_leaf_links();
+        for i in (0..300u64).step_by(3) {
+            assert!(t.remove(i % 60, i));
+            t.check_leaf_links();
+        }
+        t.check_invariants(true);
     }
 
     #[test]

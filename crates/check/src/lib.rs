@@ -322,7 +322,30 @@ fn check_bptree(cfg: &CheckConfig) -> Result<Report, Divergence> {
 
     for op in 0..cfg.ops {
         let roll = rng.below(100);
-        if roll < 45 {
+        if roll < 10 {
+            // Grouped insert through the batched write path (sorted,
+            // multi-leaf batches exercise the multi-way split).
+            let count = 1 + rng.below(12) as usize;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push((rng.below(64), next_val));
+                next_val += 1;
+            }
+            entries.sort_unstable();
+            match tree.try_insert_batch(&entries) {
+                Ok(()) => {
+                    oracle.extend(entries.iter().copied());
+                }
+                Err(_) => {
+                    report.faults_surfaced += 1;
+                    report.absorb(tree.stats());
+                    tree = rebuild_bptree(&oracle);
+                    round += 1;
+                    drop(tree.set_backend(cfg.faults.backend(mix(cfg.seed, round))));
+                    report.rebuilds += 1;
+                }
+            }
+        } else if roll < 45 {
             // Insert a duplicate-prone key with a unique value.
             let key = rng.below(64);
             let val = next_val;
@@ -399,9 +422,36 @@ fn check_bptree(cfg: &CheckConfig) -> Result<Report, Divergence> {
             }
         }
         report.ops += 1;
+        // Leaf-link invariant: after any run of mutations the sibling
+        // chain must be exactly the in-order leaf sequence — no dangling,
+        // skipped, or cyclic link survives splits, merges, or underflow
+        // fixes. (Uncounted peek access; cannot fault.)
+        if op % 64 == 63 {
+            if let Some(detail) = leaf_link_violation(&tree) {
+                return Err(diverge(&report, cfg, op, detail));
+            }
+        }
+    }
+    if let Some(detail) = leaf_link_violation(&tree) {
+        return Err(diverge(&report, cfg, cfg.ops, detail));
     }
     report.absorb(tree.stats());
     Ok(report)
+}
+
+/// Checks the tree's leaf sibling links, converting the invariant
+/// panic (if any) into a divergence detail string.
+fn leaf_link_violation(tree: &BPlusTree<u64, u64>) -> Option<String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tree.check_leaf_links()))
+        .err()
+        .map(|cause| {
+            let msg = cause
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| cause.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            format!("leaf-link invariant violated: {msg}")
+        })
 }
 
 // ----------------------------------------------------------------------

@@ -38,6 +38,64 @@ impl fmt::Display for UnknownId {
 
 impl std::error::Error for UnknownId {}
 
+/// One mutation in an [`MotionDb::apply_batch`] group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DbOp {
+    /// Register a new object (fails on an already-tracked id).
+    Insert(Motion1D),
+    /// Replace a tracked object's motion (fails on an unknown id).
+    Update(Motion1D),
+    /// Deregister a tracked object (fails on an unknown id).
+    Remove(u64),
+}
+
+/// Typed error of [`MotionDb::try_apply_batch`]: the validation pass
+/// rejected one op. The database is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// An `Insert` hit an already-tracked id.
+    Duplicate(DuplicateId),
+    /// An `Update` or `Remove` named an untracked id.
+    Unknown(UnknownId),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Duplicate(e) => e.fmt(f),
+            BatchError::Unknown(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+impl From<DuplicateId> for BatchError {
+    fn from(e: DuplicateId) -> Self {
+        BatchError::Duplicate(e)
+    }
+}
+
+impl From<UnknownId> for BatchError {
+    fn from(e: UnknownId) -> Self {
+        BatchError::Unknown(e)
+    }
+}
+
+/// Sorts motions by dual-space locality: speed, then Hough-X intercept
+/// `a = y0 − v·t0`, then id — trajectories whose dual points land in the
+/// same index pages arrive adjacently, which is what makes the grouped
+/// [`Index1D::batch_update`] path dirty each page once. Every caller
+/// that dispatches to `batch_update` (this facade, the serving shards,
+/// the benchmark harness) sorts through this one definition.
+pub fn sort_by_dual_locality(motions: &mut [Motion1D]) {
+    motions.sort_unstable_by(|p, q| {
+        p.v.total_cmp(&q.v)
+            .then_with(|| (p.y0 - p.v * p.t0).total_cmp(&(q.y0 - q.v * q.t0)))
+            .then_with(|| p.id.cmp(&q.id))
+    });
+}
+
 /// A motion database: an [`Index1D`] plus the current motion table.
 ///
 /// ```
@@ -158,6 +216,96 @@ impl<I: Index1D> MotionDb<I> {
             .unwrap_or_else(|e| panic!("update of unknown object {}", e.0));
     }
 
+    /// Applies a group of mutations with one index round-trip.
+    ///
+    /// The whole group is validated first against a staged view of the
+    /// table (ops see the effects of earlier ops in the same group), then
+    /// folded to the **net** effect per object id — `[Insert(m),
+    /// Remove(m.id)]` cancels entirely, and an id updated several times
+    /// produces one removal of its pre-batch record plus one insertion
+    /// of its final record. The nets are dispatched to
+    /// [`Index1D::batch_update`] as one removal list plus one insertion
+    /// list, both sorted by dual-space locality `(v, y0 − v·t0, id)`.
+    ///
+    /// # Errors
+    /// The first failing op as a [`BatchError`]; the database is then
+    /// unchanged.
+    pub fn try_apply_batch(&mut self, ops: &[DbOp]) -> Result<(), BatchError> {
+        // Pass 1: validate every op against the staged view.
+        let mut staged: HashMap<u64, Option<Motion1D>> = HashMap::new();
+        for op in ops {
+            match *op {
+                DbOp::Insert(m) => {
+                    if self.staged_present(&staged, m.id) {
+                        return Err(DuplicateId(m.id).into());
+                    }
+                    staged.insert(m.id, Some(m));
+                }
+                DbOp::Update(m) => {
+                    if !self.staged_present(&staged, m.id) {
+                        return Err(UnknownId(m.id).into());
+                    }
+                    staged.insert(m.id, Some(m));
+                }
+                DbOp::Remove(id) => {
+                    if !self.staged_present(&staged, id) {
+                        return Err(UnknownId(id).into());
+                    }
+                    staged.insert(id, None);
+                }
+            }
+        }
+        // Pass 2: the net per-id effect (ids whose record is unchanged
+        // drop out entirely).
+        let mut removes = Vec::new();
+        let mut inserts = Vec::new();
+        for (&id, after) in &staged {
+            let before = self.table.get(&id).copied();
+            if before == *after {
+                continue;
+            }
+            if let Some(old) = before {
+                removes.push(old);
+            }
+            if let Some(new) = *after {
+                inserts.push(new);
+            }
+        }
+        // Commit the table, then hand the index one grouped update.
+        for (id, after) in staged {
+            match after {
+                Some(m) => {
+                    self.table.insert(id, m);
+                }
+                None => {
+                    self.table.remove(&id);
+                }
+            }
+        }
+        sort_by_dual_locality(&mut removes);
+        sort_by_dual_locality(&mut inserts);
+        let removed = self.index.batch_update(&removes, &inserts);
+        debug_assert_eq!(removed, removes.len(), "index lost records in batch");
+        Ok(())
+    }
+
+    /// Applies a group of mutations (see [`MotionDb::try_apply_batch`]).
+    ///
+    /// # Panics
+    /// Panics on the first invalid op; the database is then unchanged.
+    pub fn apply_batch(&mut self, ops: &[DbOp]) {
+        self.try_apply_batch(ops)
+            .unwrap_or_else(|e| panic!("invalid batch: {e}"));
+    }
+
+    /// Whether `id` is tracked in the staged view (`staged` overlays the
+    /// committed table).
+    fn staged_present(&self, staged: &HashMap<u64, Option<Motion1D>>, id: u64) -> bool {
+        staged
+            .get(&id)
+            .map_or_else(|| self.table.contains_key(&id), Option::is_some)
+    }
+
     /// Inserts or updates, whichever applies.
     pub fn upsert(&mut self, m: Motion1D) {
         if self.table.contains_key(&m.id) {
@@ -273,6 +421,97 @@ mod tests {
             t2: 100.0,
         };
         assert!(db.query(&q).is_empty());
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_ops() {
+        let mut sim = Simulator1D::new(WorkloadConfig {
+            n: 400,
+            updates_per_instant: 40,
+            seed: 0xBA7C,
+            ..WorkloadConfig::default()
+        });
+        let mut seq = db();
+        let mut bat = db();
+        for m in sim.objects() {
+            seq.insert(*m);
+            bat.insert(*m);
+        }
+        for _ in 0..15 {
+            let ups = sim.step();
+            let mut ops = Vec::new();
+            for u in &ups {
+                seq.update(u.new);
+                ops.push(DbOp::Update(u.new));
+            }
+            bat.apply_batch(&ops);
+            assert_eq!(bat.len(), seq.len());
+        }
+        for _ in 0..10 {
+            let q = sim.gen_query(150.0, 60.0);
+            let want = brute_force_1d(sim.objects(), &q);
+            assert_eq!(seq.query(&q), want);
+            assert_eq!(bat.query(&q), want);
+        }
+    }
+
+    #[test]
+    fn apply_batch_nets_out_cancelling_ops() {
+        let mut db = db();
+        let m = Motion1D {
+            id: 7,
+            t0: 0.0,
+            y0: 50.0,
+            v: 1.0,
+        };
+        // Insert then remove in one group: net nothing.
+        db.apply_batch(&[DbOp::Insert(m), DbOp::Remove(7)]);
+        assert!(db.is_empty());
+        // Insert + several updates: net one final record.
+        let last = Motion1D {
+            id: 7,
+            t0: 2.0,
+            y0: 52.0,
+            v: -1.0,
+        };
+        db.apply_batch(&[
+            DbOp::Insert(m),
+            DbOp::Update(Motion1D { v: 0.5, ..m }),
+            DbOp::Update(last),
+        ]);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(7), Some(&last));
+        // Remove + reinsert of the identical record: net nothing, but
+        // still tracked afterwards.
+        db.apply_batch(&[DbOp::Remove(7), DbOp::Insert(last)]);
+        assert_eq!(db.get(7), Some(&last));
+    }
+
+    #[test]
+    fn apply_batch_rejects_and_leaves_db_unchanged() {
+        let mut db = db();
+        let m = Motion1D {
+            id: 1,
+            t0: 0.0,
+            y0: 10.0,
+            v: 1.0,
+        };
+        db.insert(m);
+        // Duplicate insert, staged-aware.
+        assert_eq!(
+            db.try_apply_batch(&[DbOp::Update(Motion1D { v: 2.0, ..m }), DbOp::Insert(m)]),
+            Err(BatchError::Duplicate(DuplicateId(1)))
+        );
+        assert_eq!(db.get(1), Some(&m), "failed batch must not commit");
+        // Unknown update after a staged remove.
+        assert_eq!(
+            db.try_apply_batch(&[DbOp::Remove(1), DbOp::Update(m)]),
+            Err(BatchError::Unknown(UnknownId(1)))
+        );
+        assert_eq!(db.get(1), Some(&m));
+        // Empty batch is a no-op.
+        db.apply_batch(&[]);
+        assert_eq!(db.len(), 1);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod db;
 pub mod dual;
 pub mod method;
 
-pub use db::{DuplicateId, MotionDb, UnknownId};
+pub use db::{sort_by_dual_locality, BatchError, DbOp, DuplicateId, MotionDb, UnknownId};
 pub use dual::{hough_x_point, hough_x_query, hough_y_b, SpeedBand};
 pub use method::{Index1D, Index2D, IndexStats, IoTotals};
 

@@ -442,6 +442,106 @@ impl Index1D for DualBPlusIndex {
         found
     }
 
+    /// Grouped write path: each observation tree applies its removals
+    /// and insertions as **one** merged key-ordered pass. Removals stay
+    /// per-entry (delete rebalancing is inherently page-at-a-time) while
+    /// runs of consecutive insertions go through the grouped
+    /// `insert_batch` descent — `k` records landing in the same leaf
+    /// dirty it once instead of `k` times. Interleaving matters as much
+    /// as sorting: with the deliberately tiny buffer pools of the I/O
+    /// model, a remove-all-then-insert-all schedule evicts each touched
+    /// leaf between the two passes and reads it twice; the merged pass
+    /// touches every leaf while it is hot.
+    fn batch_update(&mut self, removes: &[Motion1D], inserts: &[Motion1D]) -> usize {
+        // Mirror the per-op semantics: a removal counts as found only if
+        // every structure holding the record found it.
+        let mut found = vec![true; removes.len()];
+
+        // Static objects: position tree only.
+        for (j, m) in removes.iter().enumerate() {
+            if Self::is_static(m) {
+                found[j] = self.static_tree.remove(m.y0, m.id);
+            }
+        }
+
+        // Subterrain interval indices key residence intervals, not
+        // b-coordinates; they keep the per-op path.
+        if !self.sub.is_empty() {
+            let strip = self.strip();
+            for (j, m) in removes.iter().enumerate() {
+                if Self::is_static(m) {
+                    continue;
+                }
+                for (s, sub) in self.sub.iter_mut().enumerate() {
+                    #[allow(clippy::cast_precision_loss)]
+                    let z_lo = s as f64 * strip;
+                    let (t_in, t_out) = Self::residence(m, z_lo, z_lo + strip);
+                    found[j] &= sub.remove(t_in, t_out, m.id);
+                }
+            }
+            for m in inserts.iter().filter(|m| !Self::is_static(m)) {
+                for (s, sub) in self.sub.iter_mut().enumerate() {
+                    #[allow(clippy::cast_precision_loss)]
+                    let z_lo = s as f64 * strip;
+                    let (t_in, t_out) = Self::residence(m, z_lo, z_lo + strip);
+                    sub.insert(t_in, t_out, m.id);
+                }
+            }
+        }
+
+        // Observation trees, grouped per (index, velocity sign).
+        for i in 0..self.obs.len() {
+            let y_r = self.obs[i].y_r;
+            for positive in [true, false] {
+                let in_group = |m: &&Motion1D| !Self::is_static(m) && (m.v > 0.0) == positive;
+                let mut rs: Vec<(usize, f64, ObsValue)> = removes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| in_group(m))
+                    .map(|(j, m)| (j, hough_y_b(m, y_r), (m.v.to_bits(), m.id)))
+                    .collect();
+                rs.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.2.cmp(&b.2)));
+                let mut es: Vec<(f64, ObsValue)> = inserts
+                    .iter()
+                    .filter(in_group)
+                    .map(|m| (hough_y_b(m, y_r), (m.v.to_bits(), m.id)))
+                    .collect();
+                es.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                let tree = if positive {
+                    &mut self.obs[i].pos_tree
+                } else {
+                    &mut self.obs[i].neg_tree
+                };
+                // Merged pass: flush the insertion run strictly below
+                // each removal key, then remove (at equal keys the
+                // removal goes first — multiset semantics are identical
+                // either way, and the leaf is touched exactly once).
+                let mut ei = 0usize;
+                for &(j, b, val) in &rs {
+                    let run = es[ei..]
+                        .iter()
+                        .take_while(|e| e.0.total_cmp(&b).then_with(|| e.1.cmp(&val)).is_lt())
+                        .count();
+                    tree.insert_batch(&es[ei..ei + run]);
+                    ei += run;
+                    found[j] &= tree.remove(b, val);
+                }
+                tree.insert_batch(&es[ei..]);
+            }
+        }
+
+        // Static insertions, as one sorted batch too.
+        let mut statics: Vec<(f64, u64)> = inserts
+            .iter()
+            .filter(|m| Self::is_static(m))
+            .map(|m| (m.y0, m.id))
+            .collect();
+        statics.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.static_tree.insert_batch(&statics);
+
+        found.into_iter().filter(|&f| f).count()
+    }
+
     fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
         let mut ids = Vec::new();
         self.query_into(q, &mut ids);

@@ -192,6 +192,29 @@ pub trait Index1D: IndexStats {
     /// whether it was present.
     fn remove(&mut self, m: &Motion1D) -> bool;
 
+    /// Applies a group of mutations as removals followed by insertions —
+    /// an update is still delete(old) + insert(new) (§3); batching
+    /// changes the I/O schedule, not the semantics. Returns how many
+    /// removals found their record.
+    ///
+    /// Callers pass both slices sorted by dual-space locality (see
+    /// [`crate::db::MotionDb::apply_batch`]). The default simply loops;
+    /// methods with a grouped write path (the dual-B+ observation trees)
+    /// override it so that `k` records landing in one page dirty that
+    /// page once instead of `k` times.
+    fn batch_update(&mut self, removes: &[Motion1D], inserts: &[Motion1D]) -> usize {
+        let mut removed = 0usize;
+        for m in removes {
+            if self.remove(m) {
+                removed += 1;
+            }
+        }
+        for m in inserts {
+            self.insert(m);
+        }
+        removed
+    }
+
     /// Answers a MOR query: sorted, deduplicated object ids.
     fn query(&mut self, q: &MorQuery1D) -> Vec<u64>;
 

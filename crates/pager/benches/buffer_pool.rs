@@ -1,0 +1,93 @@
+//! Microbenchmarks of the [`BufferPool`] hot paths at the paper's tiny
+//! capacity (4 pages, linear-scan representation), the threshold boundary
+//! (64, still scanning), and a serving-scale capacity (1024, hash-indexed
+//! representation).
+//!
+//! Three access patterns per capacity:
+//!
+//! * **hit** — touch the resident LRU page (worst case for the scan
+//!   representation: full scan + full-tail rotate);
+//! * **miss** — touch an absent page (scan pays a full scan to learn it
+//!   missed; indexed pays one hash probe);
+//! * **evict** — insert a fresh page into a full pool (scan pays the
+//!   `Vec::remove(0)` shuffle; indexed unlinks the head in O(1)).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mobidx_pager::{BufferPool, PageId};
+
+const CAPACITIES: [usize; 3] = [4, 64, 1024];
+
+fn pid(n: usize) -> PageId {
+    PageId::from_index(u32::try_from(n).expect("bench page id fits u32"))
+}
+
+/// A pool filled to capacity with pages 0..capacity (page 0 is LRU).
+fn full_pool(capacity: usize) -> BufferPool {
+    let mut pool = BufferPool::new(capacity);
+    for i in 0..capacity {
+        let _ = pool.insert(pid(i), i % 2 == 0);
+    }
+    pool
+}
+
+fn bench_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool/hit");
+    for cap in CAPACITIES {
+        let mut pool = full_pool(cap);
+        group
+            .sample_size(50)
+            .bench_function(format!("cap={cap}"), |b| {
+                // Touching the LRU page promotes it to MRU, making the next
+                // page the new LRU: every iteration is the worst-case hit.
+                let mut next = 0usize;
+                b.iter(|| {
+                    let hit = pool.touch(pid(next));
+                    assert!(hit);
+                    next = (next + 1) % cap;
+                    hit
+                });
+            });
+    }
+    group.finish();
+}
+
+fn bench_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool/miss");
+    for cap in CAPACITIES {
+        let mut pool = full_pool(cap);
+        group
+            .sample_size(50)
+            .bench_function(format!("cap={cap}"), |b| {
+                b.iter(|| {
+                    let hit = pool.touch(pid(cap + 1));
+                    assert!(!hit);
+                    hit
+                });
+            });
+    }
+    group.finish();
+}
+
+fn bench_evict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool/evict");
+    for cap in CAPACITIES {
+        group
+            .sample_size(50)
+            .bench_function(format!("cap={cap}"), |b| {
+                b.iter_batched(
+                    || full_pool(cap),
+                    |mut pool| {
+                        // A full pool plus a fresh page: one LRU eviction.
+                        let evicted = pool.insert(pid(cap + 1), true);
+                        assert!(evicted.is_some());
+                        pool
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit, bench_miss, bench_evict);
+criterion_main!(benches);

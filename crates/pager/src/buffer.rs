@@ -1,13 +1,36 @@
-//! A tiny LRU buffer pool.
+//! An LRU buffer pool with two representations.
 //!
 //! The paper's experimental setup (§5) deliberately uses an almost
 //! buffer-less configuration: only the current root-to-leaf path (3–4
 //! pages) is cached, and the pool is cleared before every query so that
-//! query I/O counts are not flattered by residual cache contents. The pool
-//! is therefore small enough that a plain vector with linear scans is both
-//! simpler and faster than a hash-map + linked-list LRU.
+//! query I/O counts are not flattered by residual cache contents. At that
+//! size a plain vector with linear scans is both simpler and faster than a
+//! hash-map + linked-list LRU — so that stays the representation for small
+//! capacities, bit-identical to the original (same eviction order, same
+//! return values, same I/O counts observed by [`crate::PageStore`]).
+//!
+//! Serving-scale configurations are different: a pool of hundreds or
+//! thousands of pages turns the `position()` scan and `Vec::remove`
+//! shuffle into O(capacity) work on *every* page touch. Above
+//! [`INDEXED_THRESHOLD`] the pool therefore switches to a hash-indexed
+//! representation (`HashMap` into an intrusive doubly-linked slab) with
+//! O(1) touch/insert/evict. The two representations implement the exact
+//! same LRU policy; a differential test below drives them through the same
+//! random op sequence and asserts identical observable behavior.
 
 use crate::store::PageId;
+use std::collections::HashMap;
+
+/// Largest capacity still served by the linear-scan representation.
+///
+/// Small pools (the paper's 4-page root-to-leaf cache, the model checker's
+/// tiny configs) stay on the vector: better constants, zero allocation
+/// churn, and trivially auditable eviction order. Anything larger — the
+/// serving tier's warm pools — gets the O(1) indexed form.
+pub const INDEXED_THRESHOLD: usize = 64;
+
+/// Sentinel slab index for "no node" in the intrusive list.
+const NIL: usize = usize::MAX;
 
 /// An LRU cache of page identifiers with per-page dirty bits.
 ///
@@ -17,9 +40,109 @@ use crate::store::PageId;
 /// write I/O.
 #[derive(Debug, Clone)]
 pub struct BufferPool {
-    /// Resident pages in LRU order: index 0 is least recently used.
-    entries: Vec<(PageId, bool)>,
+    repr: Repr,
     capacity: usize,
+}
+
+/// The two interchangeable LRU representations (see the module docs).
+#[derive(Debug, Clone)]
+enum Repr {
+    /// LRU order as a vector: index 0 is least recently used.
+    Scan(Vec<(PageId, bool)>),
+    /// Hash-indexed intrusive list: O(1) per touch at any capacity.
+    Indexed(Indexed),
+}
+
+/// One resident page in the indexed representation's slab.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    id: PageId,
+    dirty: bool,
+    /// Toward the LRU end (`NIL` at the head).
+    prev: usize,
+    /// Toward the MRU end (`NIL` at the tail).
+    next: usize,
+}
+
+/// Hash map from page id to slab slot, plus an intrusive doubly-linked
+/// list threading the slots in LRU order (head = least recently used).
+#[derive(Debug, Clone, Default)]
+struct Indexed {
+    map: HashMap<PageId, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Indexed {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Unlinks `slot` from the LRU list (the slot itself stays allocated).
+    fn unlink(&mut self, slot: usize) {
+        let Node { prev, next, .. } = self.slab[slot];
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Appends `slot` at the MRU (tail) end.
+    fn push_back(&mut self, slot: usize) {
+        self.slab[slot].prev = self.tail;
+        self.slab[slot].next = NIL;
+        match self.tail {
+            NIL => self.head = slot,
+            t => self.slab[t].next = slot,
+        }
+        self.tail = slot;
+    }
+
+    /// Moves a resident slot to the MRU position.
+    fn promote(&mut self, slot: usize) {
+        if self.tail != slot {
+            self.unlink(slot);
+            self.push_back(slot);
+        }
+    }
+
+    /// Allocates a slab slot for `(id, dirty)` (not yet linked).
+    fn alloc(&mut self, id: PageId, dirty: bool) -> usize {
+        let node = Node {
+            id,
+            dirty,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.slab[slot] = node;
+            slot
+        } else {
+            self.slab.push(node);
+            self.slab.len() - 1
+        }
+    }
+
+    /// Unlinks and frees `slot`, returning its payload.
+    fn release(&mut self, slot: usize) -> (PageId, bool) {
+        self.unlink(slot);
+        self.free.push(slot);
+        let n = self.slab[slot];
+        self.map.remove(&n.id);
+        (n.id, n.dirty)
+    }
 }
 
 impl BufferPool {
@@ -31,10 +154,12 @@ impl BufferPool {
     /// pays an immediate write-back.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self {
-            entries: Vec::with_capacity(capacity),
-            capacity,
-        }
+        let repr = if capacity > INDEXED_THRESHOLD {
+            Repr::Indexed(Indexed::new(capacity))
+        } else {
+            Repr::Scan(Vec::with_capacity(capacity))
+        };
+        Self { repr, capacity }
     }
 
     /// Maximum number of resident pages.
@@ -46,83 +171,149 @@ impl BufferPool {
     /// Number of currently resident pages.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.repr {
+            Repr::Scan(entries) => entries.len(),
+            Repr::Indexed(ix) => ix.map.len(),
+        }
     }
 
     /// Whether the pool is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Marks `id` as most recently used. Returns `true` on a hit.
+    ///
+    /// Scan representation: one scan plus an in-place rotation of the tail
+    /// slice — no remove/push element shuffle, so a hit on the MRU page
+    /// (the common case on a root-to-leaf walk) moves nothing.
     pub fn touch(&mut self, id: PageId) -> bool {
-        if let Some(pos) = self.position(id) {
-            let e = self.entries.remove(pos);
-            self.entries.push(e);
-            true
-        } else {
-            false
+        match &mut self.repr {
+            Repr::Scan(entries) => match entries.iter().position(|&(p, _)| p == id) {
+                Some(pos) => {
+                    entries[pos..].rotate_left(1);
+                    true
+                }
+                None => false,
+            },
+            Repr::Indexed(ix) => match ix.map.get(&id) {
+                Some(&slot) => {
+                    ix.promote(slot);
+                    true
+                }
+                None => false,
+            },
         }
     }
 
     /// Inserts `id` (most recently used position) with the given dirty bit.
     ///
     /// If `id` is already resident its dirty bit is OR-ed and it is moved to
-    /// the MRU position. If the pool is full, the LRU page is evicted and
-    /// returned as `(page, was_dirty)`. With capacity zero nothing is ever
-    /// resident: the incoming page itself bounces straight back as the
-    /// eviction.
+    /// the MRU position — a single scan plus rotate, not two element
+    /// shuffles. If the pool is full, the LRU page is evicted and returned
+    /// as `(page, was_dirty)`. With capacity zero nothing is ever resident:
+    /// the incoming page itself bounces straight back as the eviction.
     pub fn insert(&mut self, id: PageId, dirty: bool) -> Option<(PageId, bool)> {
         if self.capacity == 0 {
             return Some((id, dirty));
         }
-        if let Some(pos) = self.position(id) {
-            let (_, d) = self.entries.remove(pos);
-            self.entries.push((id, d || dirty));
-            return None;
+        match &mut self.repr {
+            Repr::Scan(entries) => {
+                if let Some(pos) = entries.iter().position(|&(p, _)| p == id) {
+                    entries[pos].1 |= dirty;
+                    entries[pos..].rotate_left(1);
+                    return None;
+                }
+                let evicted = if entries.len() == self.capacity {
+                    Some(entries.remove(0))
+                } else {
+                    None
+                };
+                entries.push((id, dirty));
+                evicted
+            }
+            Repr::Indexed(ix) => {
+                if let Some(&slot) = ix.map.get(&id) {
+                    ix.slab[slot].dirty |= dirty;
+                    ix.promote(slot);
+                    return None;
+                }
+                let evicted = if ix.map.len() == self.capacity {
+                    let lru = ix.head;
+                    debug_assert_ne!(lru, NIL, "full pool with empty list");
+                    Some(ix.release(lru))
+                } else {
+                    None
+                };
+                let slot = ix.alloc(id, dirty);
+                ix.map.insert(id, slot);
+                ix.push_back(slot);
+                evicted
+            }
         }
-        let evicted = if self.entries.len() == self.capacity {
-            Some(self.entries.remove(0))
-        } else {
-            None
-        };
-        self.entries.push((id, dirty));
-        evicted
     }
 
     /// Sets the dirty bit of a resident page. Returns `false` if absent.
     pub fn mark_dirty(&mut self, id: PageId) -> bool {
-        if let Some(pos) = self.position(id) {
-            self.entries[pos].1 = true;
-            true
-        } else {
-            false
+        match &mut self.repr {
+            Repr::Scan(entries) => match entries.iter_mut().find(|(p, _)| *p == id) {
+                Some(e) => {
+                    e.1 = true;
+                    true
+                }
+                None => false,
+            },
+            Repr::Indexed(ix) => match ix.map.get(&id) {
+                Some(&slot) => {
+                    ix.slab[slot].dirty = true;
+                    true
+                }
+                None => false,
+            },
         }
     }
 
     /// Whether `id` is resident (does not affect LRU order).
     #[must_use]
     pub fn contains(&self, id: PageId) -> bool {
-        self.position(id).is_some()
+        match &self.repr {
+            Repr::Scan(entries) => entries.iter().any(|&(p, _)| p == id),
+            Repr::Indexed(ix) => ix.map.contains_key(&id),
+        }
     }
 
     /// Removes `id` from the pool, returning its dirty bit if it was
     /// resident. Used when a page is freed (no write-back is owed for a
     /// page that ceases to exist).
     pub fn remove(&mut self, id: PageId) -> Option<bool> {
-        self.position(id).map(|pos| self.entries.remove(pos).1)
+        match &mut self.repr {
+            Repr::Scan(entries) => entries
+                .iter()
+                .position(|&(p, _)| p == id)
+                .map(|pos| entries.remove(pos).1),
+            Repr::Indexed(ix) => ix.map.get(&id).copied().map(|slot| ix.release(slot).1),
+        }
     }
 
     /// Empties the pool, returning the evicted `(page, was_dirty)` pairs in
     /// LRU order. The caller is responsible for counting write I/Os for the
     /// dirty ones.
     pub fn drain(&mut self) -> Vec<(PageId, bool)> {
-        std::mem::take(&mut self.entries)
-    }
-
-    fn position(&self, id: PageId) -> Option<usize> {
-        self.entries.iter().position(|&(p, _)| p == id)
+        match &mut self.repr {
+            Repr::Scan(entries) => std::mem::take(entries),
+            Repr::Indexed(ix) => {
+                let mut out = Vec::with_capacity(ix.map.len());
+                let mut slot = ix.head;
+                while slot != NIL {
+                    let n = ix.slab[slot];
+                    out.push((n.id, n.dirty));
+                    slot = n.next;
+                }
+                *ix = Indexed::new(self.capacity);
+                out
+            }
+        }
     }
 }
 
@@ -205,5 +396,106 @@ mod tests {
         assert!(!b.touch(pid(1)));
         assert!(!b.contains(pid(1)));
         assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn large_capacity_selects_indexed_repr() {
+        let b = BufferPool::new(INDEXED_THRESHOLD + 1);
+        assert!(matches!(b.repr, Repr::Indexed(_)));
+        let b = BufferPool::new(INDEXED_THRESHOLD);
+        assert!(matches!(b.repr, Repr::Scan(_)));
+    }
+
+    #[test]
+    fn indexed_repr_honors_lru_semantics() {
+        // Same scenario as `lru_eviction_order` + dirty handling, but at
+        // an indexed capacity, filled so eviction actually happens.
+        let cap = INDEXED_THRESHOLD + 4;
+        let mut b = BufferPool::new(cap);
+        for i in 0..cap {
+            assert!(b
+                .insert(pid(u32::try_from(i).unwrap()), i % 2 == 0)
+                .is_none());
+        }
+        assert_eq!(b.len(), cap);
+        // Page 0 is LRU (inserted first, even index => dirty).
+        assert_eq!(
+            b.insert(pid(9000), false),
+            Some((pid(0), true)),
+            "full pool evicts LRU with its dirty bit"
+        );
+        // Touch page 1 (next LRU) so page 2 becomes the victim.
+        assert!(b.touch(pid(1)));
+        assert_eq!(b.insert(pid(9001), false), Some((pid(2), true)));
+        // Re-insert keeps residency and ORs dirty.
+        assert!(b.insert(pid(3), true).is_none());
+        assert_eq!(b.remove(pid(3)), Some(true));
+        assert_eq!(b.len(), cap - 1);
+    }
+
+    /// A tiny deterministic RNG (SplitMix64) for the differential test.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// The indexed representation must be observationally identical to the
+    /// scan representation: same hits, same evictions (page *and* dirty
+    /// bit), same drain order, under a long random op mix. The scan pool is
+    /// built at the same capacity by bypassing the threshold, so both sides
+    /// run the identical LRU policy question.
+    #[test]
+    fn representations_are_observationally_identical() {
+        let cap = INDEXED_THRESHOLD + 8;
+        let mut indexed = BufferPool::new(cap);
+        assert!(matches!(indexed.repr, Repr::Indexed(_)));
+        let mut scan = BufferPool {
+            repr: Repr::Scan(Vec::new()),
+            capacity: cap,
+        };
+        let mut rng = Rng(0x5EED);
+        for step in 0..20_000 {
+            let id = pid(u32::try_from(rng.below(cap as u64 * 2)).unwrap());
+            match rng.below(100) {
+                0..=39 => {
+                    let dirty = rng.below(2) == 0;
+                    assert_eq!(
+                        indexed.insert(id, dirty),
+                        scan.insert(id, dirty),
+                        "insert diverged at step {step}"
+                    );
+                }
+                40..=79 => {
+                    assert_eq!(indexed.touch(id), scan.touch(id), "touch @ {step}");
+                }
+                80..=89 => {
+                    assert_eq!(
+                        indexed.mark_dirty(id),
+                        scan.mark_dirty(id),
+                        "mark_dirty @ {step}"
+                    );
+                }
+                90..=95 => {
+                    assert_eq!(indexed.remove(id), scan.remove(id), "remove @ {step}");
+                }
+                96..=98 => {
+                    assert_eq!(indexed.contains(id), scan.contains(id), "contains @ {step}");
+                }
+                _ => {
+                    assert_eq!(indexed.drain(), scan.drain(), "drain @ {step}");
+                }
+            }
+            assert_eq!(indexed.len(), scan.len(), "len diverged at step {step}");
+        }
+        assert_eq!(indexed.drain(), scan.drain(), "final drain");
     }
 }

@@ -30,7 +30,7 @@ mod store;
 pub use backend::{
     Backend, DelayBackend, Fault, FaultKind, FaultPlan, FaultStore, IoKind, MemBackend, RetryPolicy,
 };
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, INDEXED_THRESHOLD};
 pub use error::PagerError;
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{PageId, PageStore};

@@ -73,6 +73,15 @@ impl IoStats {
 
     /// Records one dirty write-back (an eviction or flush that had to pay
     /// a write I/O).
+    ///
+    /// The write-back ledger is *per dirty page leaving residency*, not
+    /// per mutation: however many mutations a page absorbs while resident
+    /// — one, or a whole grouped batch applied in a single
+    /// [`crate::PageStore::try_write`] closure — it owes exactly one write
+    /// I/O when it is evicted, flushed, or (with a capacity-0 pool)
+    /// bounced straight back out. This is what makes batch apply
+    /// amortization visible in the counters: grouping k same-page
+    /// mutations turns k read+write pairs into one.
     pub fn add_writeback(&self) {
         self.writebacks.fetch_add(1, Relaxed);
     }

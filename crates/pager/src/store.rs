@@ -722,6 +722,35 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_grouped_mutation_pays_exactly_one_write() {
+        // The batch-apply contract on a buffer-less store: one grouped
+        // mutation (k logical edits inside a single `try_write` closure)
+        // faults the page in once (1 read) and bounces it back out dirty
+        // once (1 write + 1 write-back) — never k of either. The same k
+        // edits as k separate `write` calls pay k reads and k writes.
+        let mut grouped: PageStore<Vec<u64>> = PageStore::new(0);
+        let g = grouped.allocate(Vec::new()); // dirty bounce: 1 write
+        assert_eq!(grouped.stats().writes(), 1);
+        grouped.write(g, |v| {
+            for x in 0..16 {
+                v.push(x);
+            }
+        });
+        assert_eq!(grouped.stats().reads(), 1, "one fault-in per group");
+        assert_eq!(grouped.stats().writes(), 2, "one bounce per group");
+        assert_eq!(grouped.stats().writebacks(), 2);
+
+        let mut op_by_op: PageStore<Vec<u64>> = PageStore::new(0);
+        let o = op_by_op.allocate(Vec::new());
+        for x in 0..16 {
+            op_by_op.write(o, |v| v.push(x));
+        }
+        assert_eq!(op_by_op.stats().reads(), 16);
+        assert_eq!(op_by_op.stats().writes(), 17);
+        assert_eq!(grouped.peek(g), op_by_op.peek(o), "same final contents");
+    }
+
+    #[test]
     fn capacity_one_counters_match_io_deltas() {
         let mut s: PageStore<u64> = PageStore::new(1);
         let a = s.allocate(1); // resident, dirty — no I/O yet

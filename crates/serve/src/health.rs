@@ -32,6 +32,12 @@ pub struct ShardHealth {
     pub applied_ops: Counter,
     /// Queries answered (traced and untraced).
     pub queries: Counter,
+    /// Ops per group commit: each `Apply` the worker dequeues drains
+    /// every `Apply` queued behind it and applies their ops as one
+    /// sorted batch; this histogram records the resulting group sizes
+    /// (in ops). A mean well above the per-request op count means the
+    /// shard is amortizing update I/O across requests.
+    pub drained_batch_size: Histogram,
     /// 1 while the shard is poisoned (awaiting a rebuild), else 0.
     pub poisoned: Gauge,
     /// Per-query wall-clock on the worker, in microseconds.
@@ -64,6 +70,7 @@ impl ShardHealth {
             applied_batches: self.applied_batches.get(),
             applied_ops: self.applied_ops.get(),
             queries: self.queries.get(),
+            drained_batch_size: self.drained_batch_size.snapshot(),
             poisoned: self.poisoned.get() != 0,
             query_latency_us: self.query_latency.snapshot(),
             update_latency_us: self.update_latency.snapshot(),
@@ -91,6 +98,8 @@ pub struct ShardHealthSnapshot {
     pub applied_ops: u64,
     /// Queries answered.
     pub queries: u64,
+    /// Ops per group commit (see [`ShardHealth::drained_batch_size`]).
+    pub drained_batch_size: HistogramSnapshot,
     /// Whether the shard awaits a rebuild.
     pub poisoned: bool,
     /// Per-query worker latency percentiles (µs).
@@ -120,6 +129,10 @@ impl ShardHealthSnapshot {
             ),
             ("applied_ops".to_owned(), Value::from(self.applied_ops)),
             ("queries".to_owned(), Value::from(self.queries)),
+            (
+                "drained_batch_size".to_owned(),
+                histogram_json(&self.drained_batch_size),
+            ),
             ("poisoned".to_owned(), Value::Bool(self.poisoned)),
             (
                 "query_latency_us".to_owned(),
@@ -192,6 +205,7 @@ mod tests {
         h.queue_high_water.set_max(d);
         h.queries.add(3);
         h.query_latency.record(120);
+        h.drained_batch_size.record(64);
         h.poisoned.set(1);
         let s = h.snapshot(2);
         assert_eq!(s.shard, 2);
@@ -199,6 +213,8 @@ mod tests {
         assert_eq!(s.queue_high_water, 1);
         assert_eq!(s.enqueued, 5);
         assert_eq!(s.queries, 3);
+        assert_eq!(s.drained_batch_size.count, 1);
+        assert_eq!(s.drained_batch_size.max, 64);
         assert!(s.poisoned);
         assert_eq!(s.query_latency_us.count, 1);
         assert_eq!(s.query_latency_us.max, 120);
@@ -218,6 +234,8 @@ mod tests {
         let upd = shard.get("update_latency_us").expect("histogram");
         assert_eq!(upd.get("count").and_then(Value::as_u64), Some(1));
         assert_eq!(upd.get("p95").and_then(Value::as_u64), Some(50));
+        let drained = shard.get("drained_batch_size").expect("histogram");
+        assert_eq!(drained.get("count").and_then(Value::as_u64), Some(0));
         assert!(!snap.any_poisoned());
     }
 }

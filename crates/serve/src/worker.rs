@@ -94,101 +94,129 @@ pub(crate) fn run<I: Index1D>(
     health: &Arc<ShardHealth>,
 ) {
     let mut poisoned = false;
-    while let Ok(req) = rx.recv() {
+    'serve: while let Ok(req) = rx.recv() {
         health.queue_depth.decr();
         health.dequeued.incr();
-        match req {
-            Request::Apply { ops, reply } => {
-                let n_ops = ops.len() as u64;
-                let started = Instant::now();
-                let r = guarded(shard, &mut poisoned, || {
-                    apply_ops(&mut index, &ops);
-                });
-                if r.is_ok() {
-                    health.update_latency.record(elapsed_us(started));
-                    health.applied_batches.incr();
-                    health.applied_ops.add(n_ops);
-                }
-                let _ = reply.send(r);
-            }
-            Request::Query { q, mut buf, reply } => {
-                let started = Instant::now();
-                let r = guarded(shard, &mut poisoned, || {
-                    index.query_into(&q, &mut buf);
-                    buf
-                });
-                if r.is_ok() {
-                    health.query_latency.record(elapsed_us(started));
-                    health.queries.incr();
-                }
-                let _ = reply.send(r);
-            }
-            Request::Traced {
-                q,
-                epoch,
-                sent_nanos,
-                reply,
-            } => {
-                let started = Instant::now();
-                // The worker's leg of the query tree: carries shard
-                // identity, Chrome-trace lane routing, the `s<i>/` store
-                // attribution prefix, and the time the request sat in
-                // the queue; the index's own span nests inside it.
-                let mut leg = OpenSpan::begin(format!("s{shard}/execute"), epoch);
-                leg.set_attr("shard", shard as u64);
-                leg.set_attr("lane", shard as u64 + 1);
-                leg.set_attr("lane_name", format!("mobidx-shard-{shard}").as_str());
-                leg.set_attr("store_prefix", format!("s{shard}/").as_str());
-                leg.set_attr(
-                    "queue_wait_nanos",
-                    leg.start_nanos().saturating_sub(sent_nanos),
-                );
-                let r = guarded(shard, &mut poisoned, || index.query_span(&q, epoch));
-                let r = r.map(|(ids, span)| {
-                    if let Some(c) = span.attr_u64("candidates") {
-                        leg.set_attr("candidates", c);
+        // An `Apply` may coalesce queued `Apply`s behind it; the first
+        // non-`Apply` drained is carried over to the next iteration.
+        let mut carried = Some(req);
+        while let Some(req) = carried.take() {
+            match req {
+                Request::Apply { ops, reply } => {
+                    // Group commit: opportunistically drain every Apply
+                    // already queued so their ops are sorted and applied
+                    // as a single batch (one descent and one dirty page
+                    // per touched leaf, not one per op).
+                    let mut group = ops;
+                    let mut replies = vec![reply];
+                    while let Ok(next) = rx.try_recv() {
+                        health.queue_depth.decr();
+                        health.dequeued.incr();
+                        match next {
+                            Request::Apply { ops, reply } => {
+                                group.extend(ops);
+                                replies.push(reply);
+                            }
+                            other => {
+                                carried = Some(other);
+                                break;
+                            }
+                        }
                     }
-                    leg.push(span);
-                    health.query_latency.record(elapsed_us(started));
-                    health.queries.incr();
-                    (ids, leg.finish())
-                });
-                let _ = reply.send(r);
-            }
-            Request::Stats { reply } => {
-                let _ = reply.send((index.io_totals(), index.store_io()));
-            }
-            Request::ClearBuffers { reply } => {
-                index.clear_buffers();
-                let _ = reply.send(());
-            }
-            Request::ResetIo { reply } => {
-                index.reset_io();
-                let _ = reply.send(());
-            }
-            Request::With { f, reply } => {
-                let r = guarded(shard, &mut poisoned, || f(&mut index));
-                let _ = reply.send(r);
-            }
-            Request::Rebuild {
-                index: fresh,
-                motions,
-                reply,
-            } => {
-                // The replaced index travels back to the facade in its
-                // last (possibly poisoned) state for post-mortem reads.
-                let old = std::mem::replace(&mut index, *fresh);
-                poisoned = false;
-                let r = guarded(shard, &mut poisoned, || {
-                    for m in &motions {
-                        index.insert(m);
+                    health.drained_batch_size.record(group.len() as u64);
+                    let n_ops = group.len() as u64;
+                    let started = Instant::now();
+                    let r = guarded(shard, &mut poisoned, || {
+                        apply_group(&mut index, &group);
+                    });
+                    if r.is_ok() {
+                        health.update_latency.record(elapsed_us(started));
+                        health.applied_batches.incr();
+                        health.applied_ops.add(n_ops);
                     }
-                });
-                let _ = reply.send(r.map(|()| Box::new(old)));
+                    for reply in replies {
+                        let _ = reply.send(r.clone());
+                    }
+                }
+                Request::Query { q, mut buf, reply } => {
+                    let started = Instant::now();
+                    let r = guarded(shard, &mut poisoned, || {
+                        index.query_into(&q, &mut buf);
+                        buf
+                    });
+                    if r.is_ok() {
+                        health.query_latency.record(elapsed_us(started));
+                        health.queries.incr();
+                    }
+                    let _ = reply.send(r);
+                }
+                Request::Traced {
+                    q,
+                    epoch,
+                    sent_nanos,
+                    reply,
+                } => {
+                    let started = Instant::now();
+                    // The worker's leg of the query tree: carries shard
+                    // identity, Chrome-trace lane routing, the `s<i>/` store
+                    // attribution prefix, and the time the request sat in
+                    // the queue; the index's own span nests inside it.
+                    let mut leg = OpenSpan::begin(format!("s{shard}/execute"), epoch);
+                    leg.set_attr("shard", shard as u64);
+                    leg.set_attr("lane", shard as u64 + 1);
+                    leg.set_attr("lane_name", format!("mobidx-shard-{shard}").as_str());
+                    leg.set_attr("store_prefix", format!("s{shard}/").as_str());
+                    leg.set_attr(
+                        "queue_wait_nanos",
+                        leg.start_nanos().saturating_sub(sent_nanos),
+                    );
+                    let r = guarded(shard, &mut poisoned, || index.query_span(&q, epoch));
+                    let r = r.map(|(ids, span)| {
+                        if let Some(c) = span.attr_u64("candidates") {
+                            leg.set_attr("candidates", c);
+                        }
+                        leg.push(span);
+                        health.query_latency.record(elapsed_us(started));
+                        health.queries.incr();
+                        (ids, leg.finish())
+                    });
+                    let _ = reply.send(r);
+                }
+                Request::Stats { reply } => {
+                    let _ = reply.send((index.io_totals(), index.store_io()));
+                }
+                Request::ClearBuffers { reply } => {
+                    index.clear_buffers();
+                    let _ = reply.send(());
+                }
+                Request::ResetIo { reply } => {
+                    index.reset_io();
+                    let _ = reply.send(());
+                }
+                Request::With { f, reply } => {
+                    let r = guarded(shard, &mut poisoned, || f(&mut index));
+                    let _ = reply.send(r);
+                }
+                Request::Rebuild {
+                    index: fresh,
+                    motions,
+                    reply,
+                } => {
+                    // The replaced index travels back to the facade in its
+                    // last (possibly poisoned) state for post-mortem reads.
+                    let old = std::mem::replace(&mut index, *fresh);
+                    poisoned = false;
+                    let r = guarded(shard, &mut poisoned, || {
+                        for m in &motions {
+                            index.insert(m);
+                        }
+                    });
+                    let _ = reply.send(r.map(|()| Box::new(old)));
+                }
+                Request::Shutdown => break 'serve,
             }
-            Request::Shutdown => break,
+            health.poisoned.set(u64::from(poisoned));
         }
-        health.poisoned.set(u64::from(poisoned));
     }
 }
 
@@ -197,17 +225,51 @@ fn elapsed_us(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// Applies a shard-local op list in order.
-fn apply_ops<I: Index1D>(index: &mut I, ops: &[ShardOp]) {
+/// Applies a shard-local op group as one net batch.
+///
+/// The ops are folded to their net effect per object id (an insert
+/// cancelled by a later remove disappears; remove-then-reinsert of an id
+/// nets to one removal of the old record plus one insertion of the final
+/// one), sorted by dual-space locality, and handed to
+/// [`Index1D::batch_update`] so methods with a grouped write path dirty
+/// each touched page once.
+fn apply_group<I: Index1D>(index: &mut I, ops: &[ShardOp]) {
+    #[derive(Default)]
+    struct Net {
+        removed: Option<Motion1D>,
+        inserted: Option<Motion1D>,
+    }
+    let mut net: std::collections::HashMap<u64, Net> = std::collections::HashMap::new();
     for op in ops {
         match op {
-            ShardOp::Insert(m) => index.insert(m),
+            ShardOp::Insert(m) => {
+                let e = net.entry(m.id).or_default();
+                debug_assert!(e.inserted.is_none(), "double insert of object {}", m.id);
+                e.inserted = Some(*m);
+            }
             ShardOp::Remove(m) => {
-                let removed = index.remove(m);
-                debug_assert!(removed, "shard lost object {}", m.id);
+                let e = net.entry(m.id).or_default();
+                if let Some(pending) = e.inserted.take() {
+                    // A record inserted earlier in this group and removed
+                    // again nets to nothing.
+                    debug_assert_eq!(pending, *m, "remove of a stale record");
+                } else {
+                    debug_assert!(e.removed.is_none(), "double remove of object {}", m.id);
+                    e.removed = Some(*m);
+                }
             }
         }
     }
+    let mut removes = Vec::with_capacity(net.len());
+    let mut inserts = Vec::with_capacity(net.len());
+    for e in net.into_values() {
+        removes.extend(e.removed);
+        inserts.extend(e.inserted);
+    }
+    mobidx_core::sort_by_dual_locality(&mut removes);
+    mobidx_core::sort_by_dual_locality(&mut inserts);
+    let removed = index.batch_update(&removes, &inserts);
+    debug_assert_eq!(removed, removes.len(), "shard lost objects in batch");
 }
 
 /// Runs `f` under `catch_unwind`, honoring and updating the poisoned

@@ -6,11 +6,18 @@ use mobidx_bptree::TreeConfig;
 use mobidx_core::dual::{hough_x_point, hough_x_query, hough_y_b, hough_y_interval};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
-use mobidx_core::{Index1D, MorQuery1D, Motion1D, SpeedBand};
+use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
+use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
+use mobidx_core::method::IndexStats;
+use mobidx_core::{DbOp, Index1D, MorQuery1D, Motion1D, MotionDb, SpeedBand};
 use mobidx_geom::QueryRegion;
 use mobidx_kdtree::KdConfig;
+use mobidx_pager::{Backend, Fault, FaultKind, IoKind, PageId};
+use mobidx_ptree::PartitionConfig;
 use mobidx_workload::brute_force_1d;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::HashSet;
 
 const TERRAIN: f64 = 1000.0;
 
@@ -47,6 +54,162 @@ fn dedup_by_id(mut motions: Vec<Motion1D>) -> Vec<Motion1D> {
     motions.sort_by_key(|m| m.id);
     motions.dedup_by_key(|m| m.id);
     motions
+}
+
+fn small_bp() -> DualBPlusIndex {
+    DualBPlusIndex::new(DualBPlusConfig {
+        c: 3,
+        tree: TreeConfig {
+            leaf_cap: 8,
+            branch_cap: 8,
+            buffer_pages: 4,
+        },
+        ..DualBPlusConfig::default()
+    })
+}
+
+fn small_kd() -> DualKdIndex {
+    DualKdIndex::new(DualKdConfig {
+        kd: KdConfig::small(8, 4),
+        ..DualKdConfig::default()
+    })
+}
+
+/// A transient-fault backend whose faults are *always* absorbed: every
+/// `period`-th access injects a transient fault that fails exactly two
+/// consecutive attempts — within the default [`mobidx_pager::RetryPolicy`]
+/// (3 retries) — then clears. [`mobidx_pager::FaultStore`] with
+/// [`mobidx_pager::FaultPlan::transient`] is deliberately *not* used
+/// here: its clearing attempt re-rolls the fault dice, so retry chains
+/// can exceed the budget and surface through the infallible API (which
+/// is why the model-checking harness pairs that plan with the `try_*` +
+/// rebuild protocol instead).
+#[derive(Debug)]
+struct BoundedTransient {
+    period: u64,
+    calls: u64,
+    /// An in-flight fault: `(page, kind, remaining_failures)`.
+    pending: Option<(PageId, IoKind, u32)>,
+}
+
+impl BoundedTransient {
+    fn new(phase: u64) -> Self {
+        Self {
+            period: 5,
+            calls: phase,
+            pending: None,
+        }
+    }
+}
+
+impl Backend for BoundedTransient {
+    fn permit(&mut self, kind: IoKind, page: PageId) -> Result<(), Fault> {
+        if let Some((p, k, remaining)) = self.pending {
+            if p == page && k == kind {
+                self.pending = if remaining > 1 {
+                    Some((p, k, remaining - 1))
+                } else {
+                    None
+                };
+                return Err(Fault {
+                    kind: FaultKind::Failed,
+                    transient: true,
+                });
+            }
+        }
+        self.calls += 1;
+        if self.calls % self.period == 0 {
+            self.pending = Some((page, kind, 1));
+            return Err(Fault {
+                kind: FaultKind::Failed,
+                transient: true,
+            });
+        }
+        Ok(())
+    }
+
+    fn label(&self) -> &'static str {
+        "bounded-transient"
+    }
+}
+
+/// Coerces raw `(remove?, motion)` pairs into ops that are valid against
+/// the staged view `apply_batch` validates with: ids currently absent
+/// are inserted; present ids are updated, or removed when the flag says
+/// so. Presence tracking spans the whole sequence, so removed ids may be
+/// reinserted later.
+fn coerce_ops(seeded: &[Motion1D], raw: &[(bool, Motion1D)]) -> Vec<DbOp> {
+    let mut present: HashSet<u64> = seeded.iter().map(|m| m.id).collect();
+    raw.iter()
+        .map(|&(remove, m)| {
+            if !present.contains(&m.id) {
+                present.insert(m.id);
+                DbOp::Insert(m)
+            } else if remove {
+                present.remove(&m.id);
+                DbOp::Remove(m.id)
+            } else {
+                DbOp::Update(m)
+            }
+        })
+        .collect()
+}
+
+/// The batched-vs-sequential equivalence check behind the `apply_batch`
+/// properties: `seq` replays `ops` one call at a time, `bat` applies
+/// them as `apply_batch` groups cut at `chunk_sizes` (cycled), and the
+/// two databases must agree on cardinality after every group, on every
+/// record at the end, and with the brute-force oracle on every query.
+fn batch_matches_sequential<I: Index1D>(
+    mut seq: MotionDb<I>,
+    mut bat: MotionDb<I>,
+    name: &str,
+    seeded: &[Motion1D],
+    ops: &[DbOp],
+    chunk_sizes: &[usize],
+    queries: &[MorQuery1D],
+) -> Result<(), TestCaseError> {
+    for m in seeded {
+        seq.insert(*m);
+        bat.insert(*m);
+    }
+    // The empty group is a no-op.
+    bat.apply_batch(&[]);
+    prop_assert_eq!(bat.len(), seeded.len(), "{}: empty batch mutated", name);
+    let mut rest = ops;
+    let mut cuts = chunk_sizes.iter().cycle();
+    while !rest.is_empty() {
+        let take = (*cuts.next().expect("non-empty cut list")).min(rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        rest = tail;
+        for op in chunk {
+            match *op {
+                DbOp::Insert(m) => seq.insert(m),
+                DbOp::Update(m) => seq.update(m),
+                DbOp::Remove(id) => {
+                    prop_assert!(seq.remove(id).is_some(), "{}: bad script", name);
+                }
+            }
+        }
+        bat.apply_batch(chunk);
+        prop_assert_eq!(bat.len(), seq.len(), "{}: cardinality diverged", name);
+    }
+    let table: Vec<Motion1D> = seq.objects().copied().collect();
+    for m in &table {
+        prop_assert_eq!(bat.get(m.id), Some(m), "{}: record diverged", name);
+    }
+    for q in queries {
+        let want = brute_force_1d(&table, q);
+        prop_assert_eq!(
+            seq.query(q),
+            want.clone(),
+            "{}: sequential on {:?}",
+            name,
+            q
+        );
+        prop_assert_eq!(bat.query(q), want, "{}: batched on {:?}", name, q);
+    }
+    Ok(())
 }
 
 proptest! {
@@ -161,5 +324,78 @@ proptest! {
         for e in &events {
             prop_assert!(e.time > 0.0 && e.time <= horizon);
         }
+    }
+
+    /// `MotionDb::apply_batch` is observationally equivalent to the
+    /// sequential insert/update/remove loop on every paged method —
+    /// including empty groups, single-op groups, and groups whose net
+    /// effect cancels (remove + reinsert of the same id).
+    #[test]
+    fn apply_batch_matches_sequential_loop(
+        seeded in prop::collection::vec(motion_strategy(), 0..50),
+        raw in prop::collection::vec((prop::bool::ANY, motion_strategy()), 0..80),
+        chunks in prop::collection::vec(1usize..13, 1..6),
+        queries in prop::collection::vec(query_strategy(), 1..4),
+    ) {
+        let seeded = dedup_by_id(seeded);
+        let ops = coerce_ops(&seeded, &raw);
+        batch_matches_sequential(
+            MotionDb::new(small_bp()), MotionDb::new(small_bp()),
+            "dual-B+", &seeded, &ops, &chunks, &queries,
+        )?;
+        batch_matches_sequential(
+            MotionDb::new(small_kd()), MotionDb::new(small_kd()),
+            "dual-kd", &seeded, &ops, &chunks, &queries,
+        )?;
+        batch_matches_sequential(
+            MotionDb::new(DualPtreeIndex::new(DualPtreeConfig {
+                ptree: PartitionConfig::small(8, 4),
+                ..DualPtreeConfig::default()
+            })),
+            MotionDb::new(DualPtreeIndex::new(DualPtreeConfig {
+                ptree: PartitionConfig::small(8, 4),
+                ..DualPtreeConfig::default()
+            })),
+            "dual-ptree", &seeded, &ops, &chunks, &queries,
+        )?;
+        batch_matches_sequential(
+            MotionDb::new(SegRTreeIndex::new(SegRTreeConfig::default())),
+            MotionDb::new(SegRTreeIndex::new(SegRTreeConfig::default())),
+            "seg-rtree", &seeded, &ops, &chunks, &queries,
+        )?;
+    }
+
+    /// The grouped write path stays exact when page accesses fault
+    /// transiently: a [`BoundedTransient`] backend faults every fifth
+    /// access for exactly two attempts, the store's internal retries
+    /// absorb each fault, and the infallible `apply_batch` surface must
+    /// behave exactly as on `MemBackend` (the sequential database it is
+    /// compared to).
+    #[test]
+    fn apply_batch_survives_transient_faults(
+        seeded in prop::collection::vec(motion_strategy(), 0..40),
+        raw in prop::collection::vec((prop::bool::ANY, motion_strategy()), 0..60),
+        chunks in prop::collection::vec(1usize..13, 1..5),
+        queries in prop::collection::vec(query_strategy(), 1..3),
+        phase in 0u64..5,
+    ) {
+        let seeded = dedup_by_id(seeded);
+        let ops = coerce_ops(&seeded, &raw);
+        let mut faulty_bp = MotionDb::new(small_bp());
+        faulty_bp.index_mut().set_backends(&mut || {
+            Box::new(BoundedTransient::new(phase))
+        });
+        batch_matches_sequential(
+            MotionDb::new(small_bp()), faulty_bp,
+            "dual-B+ under transient faults", &seeded, &ops, &chunks, &queries,
+        )?;
+        let mut faulty_kd = MotionDb::new(small_kd());
+        faulty_kd.index_mut().set_backends(&mut || {
+            Box::new(BoundedTransient::new(phase))
+        });
+        batch_matches_sequential(
+            MotionDb::new(small_kd()), faulty_kd,
+            "dual-kd under transient faults", &seeded, &ops, &chunks, &queries,
+        )?;
     }
 }
