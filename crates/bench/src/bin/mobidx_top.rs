@@ -1,0 +1,271 @@
+//! `mobidx-top` — a `top(1)`-style live view of a serving
+//! [`ShardedDb`](mobidx_serve::ShardedDb) through its continuous
+//! telemetry.
+//!
+//! ```text
+//! mobidx-top [--shards S] [--n OBJS] [--ticks T] [--refresh-ms MS] [--seed N]
+//! mobidx-top --check FILE
+//! ```
+//!
+//! Live mode builds a speed-band-sharded dual-B+ database, drives it
+//! from a background workload thread (uniform velocities that switch to
+//! a two-band rush-hour mix halfway through, so the drift detector has
+//! something to find), attaches a
+//! [`ServeSampler`](mobidx_serve::ServeSampler), and redraws a per-shard
+//! table every refresh: queue depth, query latency percentiles, I/O
+//! rates, and the workload drift score. After `--ticks` refreshes it
+//! stops the load thread, drops the sampler, and exits cleanly.
+//!
+//! `--check FILE` validates a JSON telemetry report written by
+//! `serve_bench --telemetry-out` (CI runs this): the report must parse,
+//! declare `kind: "mobidx-telemetry"`, and hold at least one recorded
+//! sample for every shard's `queue_depth` series. Exit status 0 on
+//! success, 1 on a malformed or incomplete report.
+
+use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::SpeedBand;
+use mobidx_obs::json::Value;
+use mobidx_serve::{Batch, SamplerConfig, ServeConfig, ServeSampler, ShardedDb, SpeedBandShard};
+use mobidx_workload::{Simulator1D, VelocityModel, WorkloadConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shards = 4usize;
+    let mut n = 5000usize;
+    let mut ticks = 10u64;
+    let mut refresh_ms = 500u64;
+    let mut seed = 0x701u64;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let parse_next = |what: &str| -> String {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match args[i].as_str() {
+            "--check" => {
+                check = Some(parse_next("--check"));
+                i += 2;
+            }
+            "--shards" => {
+                shards = parse_next("--shards").parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--n" => {
+                n = parse_next("--n").parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--ticks" => {
+                ticks = parse_next("--ticks").parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--refresh-ms" => {
+                refresh_ms = parse_next("--refresh-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = parse_next("--seed").parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if let Some(path) = check {
+        check_report(&path);
+        return;
+    }
+    assert!(
+        shards > 0 && ticks > 0 && refresh_ms > 0,
+        "sizes must be positive"
+    );
+    live(shards, n, ticks, refresh_ms, seed);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mobidx-top [--shards S] [--n OBJS] [--ticks T] [--refresh-ms MS] [--seed N]\n\
+         \x20      mobidx-top --check FILE"
+    );
+    std::process::exit(2);
+}
+
+/// Validates a `serve_bench --telemetry-out` report (see module docs).
+fn check_report(path: &str) {
+    let fail = |msg: &str| -> ! {
+        eprintln!("mobidx-top --check {path}: {msg}");
+        std::process::exit(1);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("unreadable: {e}")));
+    let doc = Value::parse(&text).unwrap_or_else(|e| fail(&format!("not JSON: {e}")));
+    if doc.get("kind").and_then(Value::as_str) != Some("mobidx-telemetry") {
+        fail("kind is not \"mobidx-telemetry\"");
+    }
+    let shards = doc
+        .get("shards")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| fail("missing shard count"));
+    if shards == 0 {
+        fail("zero shards");
+    }
+    let series = doc
+        .get("telemetry")
+        .and_then(|t| t.get("series"))
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail("missing telemetry.series"));
+    let recorded_of = |name: &str| -> u64 {
+        series
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|s| s.get("recorded").and_then(Value::as_u64))
+            .unwrap_or(0)
+    };
+    for shard in 0..shards {
+        let name = format!("queue_depth{{shard=\"{shard}\"}}");
+        if recorded_of(&name) == 0 {
+            fail(&format!("no samples for shard {shard} ({name})"));
+        }
+    }
+    let overhead = doc
+        .get("overhead")
+        .and_then(|o| o.get("overhead_pct"))
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| fail("missing overhead measurement"));
+    println!(
+        "ok: {shards} shards sampled, {} series, sampler overhead {overhead:.2}%",
+        series.len()
+    );
+}
+
+/// Runs the live view (see module docs).
+fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64) {
+    let shard_fn = SpeedBandShard::new(SpeedBand::paper());
+    let mut db = ShardedDb::new(
+        ServeConfig {
+            shards,
+            queue_depth: 64,
+        },
+        Box::new(shard_fn),
+        move |i, s| {
+            DualBPlusIndex::new(DualBPlusConfig {
+                band: shard_fn.index_band(i, s),
+                ..DualBPlusConfig::default()
+            })
+        },
+    );
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n,
+        seed,
+        ..WorkloadConfig::default()
+    });
+    let mut load = Batch::new();
+    for m in sim.objects() {
+        load.insert(*m);
+    }
+    db.apply(&load).expect("initial load");
+
+    let tick = Duration::from_millis(refresh_ms.min(100));
+    let sampler = db.start_sampler(SamplerConfig {
+        tick,
+        capacity: 4096,
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let rush = Arc::new(AtomicBool::new(false));
+    let load_stop = Arc::clone(&stop);
+    let load_rush = Arc::clone(&rush);
+    // The workload thread owns the database; the table below reads only
+    // the sampler's series. When the main thread raises `rush` (at the
+    // halfway frame), the velocity mix turns two-band.
+    let refresh = Duration::from_millis(refresh_ms);
+    let loader = std::thread::spawn(move || {
+        let mut switched = false;
+        while !load_stop.load(Ordering::Relaxed) {
+            if !switched && load_rush.load(Ordering::Relaxed) {
+                sim.set_velocity_model(VelocityModel::TwoBand {
+                    fast_frac: 0.5,
+                    band_frac: 0.15,
+                });
+                switched = true;
+            }
+            let mut batch = Batch::new();
+            for u in sim.step() {
+                batch.update(u.new);
+            }
+            db.apply(&batch).expect("update batch");
+            for _ in 0..4 {
+                let q = sim.gen_query(150.0, 60.0);
+                db.query(&q).expect("query");
+            }
+        }
+    });
+
+    for frame in 1..=ticks {
+        std::thread::sleep(refresh);
+        if frame > ticks / 2 && !rush.load(Ordering::Relaxed) {
+            rush.store(true, Ordering::Relaxed);
+            println!("\n>>> switching workload to two-band rush hour");
+        }
+        render(&sampler, frame, ticks, tick);
+    }
+    stop.store(true, Ordering::Relaxed);
+    loader.join().expect("workload thread");
+    println!("done: {} harvest ticks", sampler.ticks());
+}
+
+/// Draws one frame of the per-shard table.
+fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
+    let latest = |base: &str, shard: usize| -> f64 {
+        sampler
+            .series_for(base, shard)
+            .latest()
+            .map_or(0.0, |s| s.value)
+    };
+    let aggregate = |name: &str| -> f64 {
+        sampler
+            .telemetry()
+            .get(name)
+            .and_then(|s| s.latest())
+            .map_or(0.0, |s| s.value)
+    };
+    let per_sec = 1.0 / tick.as_secs_f64().max(1e-9);
+    println!(
+        "\nmobidx-top — frame {frame}/{frames}, harvest tick {} ({} ms interval)",
+        sampler.ticks(),
+        tick.as_millis()
+    );
+    println!(
+        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>4}",
+        "shard", "depth", "p50 µs", "p95 µs", "p99 µs", "reads/s", "writes/s", "poi"
+    );
+    for shard in 0..sampler.shards() {
+        println!(
+            "{:>5} {:>6.0} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>4}",
+            shard,
+            latest("queue_depth", shard),
+            latest("query_p50_us", shard),
+            latest("query_p95_us", shard),
+            latest("query_p99_us", shard),
+            latest("io_reads", shard) * per_sec,
+            latest("io_writes", shard) * per_sec,
+            if latest("poisoned", shard) > 0.0 {
+                "YES"
+            } else {
+                "-"
+            },
+        );
+    }
+    println!(
+        "drift l1 {:.3} ({} events) | updates {:.0} | spans {:.0} recorded / {:.0} dropped",
+        aggregate("drift_l1_millis") / 1000.0,
+        aggregate("drift_events"),
+        aggregate("updates_observed"),
+        aggregate("spans_recorded"),
+        aggregate("spans_dropped"),
+    );
+}

@@ -23,6 +23,12 @@
 //! trace-event document: open it in Perfetto (<https://ui.perfetto.dev>)
 //! or `chrome://tracing` to see the client lane fan out into one lane
 //! per shard worker.
+//!
+//! `--telemetry-out FILE` additionally runs a short serving session at
+//! S = 4 with the continuous-telemetry sampler attached (100 ms tick)
+//! and writes the JSON telemetry report — per-shard and aggregate time
+//! series plus the sampler-overhead measurement (schema in
+//! EXPERIMENTS.md). `mobidx-top --check FILE` validates such a report.
 
 use mobidx_bench::throughput::{run_batch_sweep, run_sweep, ThroughputConfig};
 use mobidx_bench::{throughput, Scale};
@@ -39,6 +45,7 @@ fn main() {
     let mut json = false;
     let mut batch = false;
     let mut trace_out: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +59,10 @@ fn main() {
             }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--telemetry-out" => {
+                telemetry_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             "--scale" => {
@@ -172,12 +183,21 @@ fn main() {
         });
         println!("\nwrote {path} (Chrome trace-event format; open in Perfetto)");
     }
+
+    if let Some(path) = telemetry_out {
+        let text = throughput::capture_telemetry(&cfg, 4, std::time::Duration::from_millis(100));
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote {path} (telemetry report; validate with mobidx-top --check)");
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] \
-         [--trace-out FILE]"
+         [--trace-out FILE] [--telemetry-out FILE]"
     );
     std::process::exit(2);
 }

@@ -533,6 +533,173 @@ pub fn capture_trace(cfg: &ThroughputConfig, shards: usize, queries: usize) -> S
     chrome_trace(spans.iter().map(Arc::as_ref)).render_pretty()
 }
 
+/// Runs a short serving session with the continuous-telemetry sampler
+/// attached and renders the full JSON telemetry report
+/// (`kind: "mobidx-telemetry"`; schema in EXPERIMENTS.md).
+///
+/// The report's `overhead` object is the evidence behind the <2 %
+/// sampler budget, measured drift-robustly: the load runs as many
+/// *interleaved pairs* of bare/sampled slices (order alternating per
+/// pair), each pair's slices landing within ~100 ms of each other, and
+/// `overhead_pct` is the **median** of the per-pair throughput ratios.
+/// Pairing adjacent slices differences out the multi-percent wall-clock
+/// drift a shared host shows across whole runs, which would otherwise
+/// swamp a sub-percent sampler cost; the median discards the slices a
+/// noisy neighbor stomped on.
+///
+/// # Panics
+/// Panics on a serve error (no fault injection here) or if the sampler
+/// fails to complete a tick within its generous deadline.
+#[must_use]
+pub fn capture_telemetry(cfg: &ThroughputConfig, shards: usize, tick: Duration) -> String {
+    let shard_fn = SpeedBandShard::new(SpeedBand::paper());
+    let mut db = ShardedDb::new(
+        ServeConfig {
+            shards,
+            queue_depth: cfg.queue_depth,
+        },
+        Box::new(shard_fn),
+        move |i, s| {
+            DualBPlusIndex::new(DualBPlusConfig {
+                band: shard_fn.index_band(i, s),
+                ..DualBPlusConfig::default()
+            })
+        },
+    );
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: cfg.n,
+        seed: cfg.seed,
+        ..WorkloadConfig::default()
+    });
+    let mut load = Batch::new();
+    for m in sim.objects() {
+        load.insert(*m);
+    }
+    db.apply(&load).expect("initial load");
+    for _ in 0..cfg.warm_instants {
+        db.apply(&step_batch(&mut sim)).expect("warm-up updates");
+    }
+
+    // Untimed warm phase: the first queries ever submitted pay one-time
+    // costs (pool growth, allocator warmup) that would otherwise bias
+    // the first measured slices.
+    const PAIRS: usize = 12;
+    let slice = (cfg.measure_instants / 4).max(40);
+    let _ = drive_phase(&mut db, &mut sim, slice);
+
+    // Interleaved paired slices (see the function docs). A sampled
+    // slice runs under a short-lived sampler at the requested tick;
+    // spawn/join is microseconds against a ~100 ms slice.
+    let mut bare_rates = Vec::with_capacity(PAIRS);
+    let mut sampled_rates = Vec::with_capacity(PAIRS);
+    let mut pair_overheads = Vec::with_capacity(PAIRS);
+    let sampler_cfg = mobidx_serve::SamplerConfig {
+        tick,
+        capacity: 4096,
+    };
+    for pair in 0..PAIRS {
+        // Alternate order within pairs so linear drift cancels.
+        let (bare, sampled) = if pair % 2 == 0 {
+            let b = drive_phase(&mut db, &mut sim, slice);
+            let s = db.start_sampler(sampler_cfg);
+            let v = drive_phase(&mut db, &mut sim, slice);
+            drop(s);
+            (b, v)
+        } else {
+            let s = db.start_sampler(sampler_cfg);
+            let v = drive_phase(&mut db, &mut sim, slice);
+            drop(s);
+            let b = drive_phase(&mut db, &mut sim, slice);
+            (b, v)
+        };
+        bare_rates.push(bare);
+        sampled_rates.push(sampled);
+        pair_overheads.push(100.0 * (1.0 - sampled / bare.max(1e-9)));
+    }
+    let overhead_pct = median(&mut pair_overheads);
+
+    // The shipped report comes from one final sampled session, with
+    // every shard guaranteed harvested at least twice.
+    let sampler = db.start_sampler(sampler_cfg);
+    let _ = drive_phase(&mut db, &mut sim, slice);
+    assert!(
+        sampler.wait_for_ticks(sampler.ticks() + 2, Duration::from_secs(30)),
+        "sampler stalled"
+    );
+    let Value::Obj(mut members) = sampler.report_json() else {
+        unreachable!("report_json always renders an object");
+    };
+    members.push((
+        "overhead".to_owned(),
+        Value::Obj(vec![
+            (
+                "tick_ms".to_owned(),
+                Value::from(u64::try_from(tick.as_millis()).unwrap_or(u64::MAX)),
+            ),
+            ("pairs".to_owned(), Value::from(PAIRS)),
+            (
+                "update_ops_per_sec_bare".to_owned(),
+                Value::Num(mean(&bare_rates)),
+            ),
+            (
+                "update_ops_per_sec_sampled".to_owned(),
+                Value::Num(mean(&sampled_rates)),
+            ),
+            ("overhead_pct".to_owned(), Value::Num(overhead_pct)),
+        ]),
+    ));
+    Value::Obj(members).render_pretty()
+}
+
+/// Arithmetic mean (0.0 on empty input).
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let n = xs.len() as f64;
+    xs.iter().sum::<f64>() / n
+}
+
+/// Median (0.0 on empty input); sorts in place.
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// One measured load phase of [`capture_telemetry`]: `instants` update
+/// instants plus a slice of large-mix queries (some traced, so the
+/// span-accounting series move too). Returns update ops/sec.
+fn drive_phase(db: &mut ShardedDb<DualBPlusIndex>, sim: &mut Simulator1D, instants: usize) -> f64 {
+    let (yqmax, tw) = QueryMix::Large.params();
+    let mut ops = 0usize;
+    let started = Instant::now();
+    for instant in 0..instants.max(1) {
+        let batch = step_batch(sim);
+        ops += batch.len();
+        db.apply(&batch).expect("update batch");
+        for q_no in 0..8 {
+            let q = sim.gen_query(yqmax, tw);
+            if (instant + q_no) % 4 == 0 {
+                db.query_traced(&q).expect("traced query");
+            } else {
+                db.query(&q).expect("query");
+            }
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let ops_per_sec = ops as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    ops_per_sec
+}
+
 /// Advances the simulator one instant and packages its updates.
 fn step_batch(sim: &mut Simulator1D) -> Batch {
     let mut batch = Batch::new();
@@ -604,6 +771,51 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("name").and_then(Value::as_str) == Some("query")));
+    }
+
+    #[test]
+    fn telemetry_capture_reports_every_shard_and_overhead() {
+        let cfg = ThroughputConfig {
+            n: 2000,
+            warm_instants: 1,
+            measure_instants: 2,
+            queries: 4,
+            disk_queries: 2,
+            io_latency_us: 1,
+            client_threads: 1,
+            queue_depth: 8,
+            seed: 0xBEEF,
+        };
+        const SHARDS: u64 = 2;
+        let text = capture_telemetry(&cfg, SHARDS as usize, Duration::from_millis(5));
+        let doc = Value::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("kind").and_then(Value::as_str),
+            Some("mobidx-telemetry")
+        );
+        assert_eq!(doc.get("shards").and_then(Value::as_u64), Some(SHARDS));
+        let series = doc
+            .get("telemetry")
+            .and_then(|t| t.get("series"))
+            .and_then(Value::as_array)
+            .expect("series");
+        for shard in 0..SHARDS {
+            let name = format!("queue_depth{{shard=\"{shard}\"}}");
+            let s = series
+                .iter()
+                .find(|s| s.get("name").and_then(Value::as_str) == Some(name.as_str()))
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(s.get("recorded").and_then(Value::as_u64) >= Some(1));
+        }
+        let overhead = doc.get("overhead").expect("overhead object");
+        assert!(overhead
+            .get("update_ops_per_sec_bare")
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v > 0.0));
+        assert!(overhead
+            .get("overhead_pct")
+            .and_then(Value::as_f64)
+            .is_some());
     }
 
     fn snap() -> HistogramSnapshot {

@@ -25,7 +25,11 @@
 //!   returned, latency, per-store breakdown;
 //! * [`json`] — a minimal JSON emitter + parser so the bench harness can
 //!   write machine-readable `BENCH_*.json` reports without external
-//!   crates, plus the Perfetto-loadable [`json::chrome_trace`] exporter.
+//!   crates, plus the Perfetto-loadable [`json::chrome_trace`] exporter;
+//! * [`telemetry`] — the time axis: lock-free [`TimeSeries`] rings, a
+//!   [`Sampler`] thread harvesting health state on a tick, the
+//!   [`WorkloadProfile`] characterizer with windowed velocity-drift
+//!   detection, and Prometheus/JSON exposition ([`Telemetry`]).
 
 #![deny(missing_docs)]
 
@@ -34,10 +38,15 @@ pub mod json;
 mod metrics;
 mod recorder;
 mod span;
+pub mod telemetry;
 mod trace;
 
 pub use event_log::EventLog;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
 pub use span::{OpenSpan, Span, SpanIo};
+pub use telemetry::{
+    parse_prometheus, DriftScore, ProfileConfig, PromSample, Sample, Sampler, SeriesSummary,
+    Telemetry, TimeSeries, WorkloadProfile,
+};
 pub use trace::{QueryTrace, StoreTrace};

@@ -206,7 +206,7 @@ impl Histogram {
     /// # Panics
     /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
-    pub fn percentile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
         let n = self.count();
         if n == 0 {
@@ -249,6 +249,39 @@ impl Histogram {
         self.max()
     }
 
+    /// [`Histogram::quantile`] under its historical name.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.quantile(q)
+    }
+
+    /// Estimated median — `quantile(0.50)`.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 90th percentile — `quantile(0.90)`.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Estimated 95th percentile — `quantile(0.95)`.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile — `quantile(0.99)`.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Takes a point-in-time summary (p50/p90/p99/max and friends).
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -256,10 +289,10 @@ impl Histogram {
             count: self.count(),
             mean: self.mean(),
             min: self.min(),
-            p50: self.percentile(0.50),
-            p90: self.percentile(0.90),
-            p95: self.percentile(0.95),
-            p99: self.percentile(0.99),
+            p50: self.p50(),
+            p90: self.p90(),
+            p95: self.p95(),
+            p99: self.p99(),
             max: self.max(),
         }
     }
@@ -426,5 +459,81 @@ mod tests {
         assert_sync::<Histogram>();
         assert_sync::<Counter>();
         assert_sync::<Gauge>();
+    }
+
+    #[test]
+    fn percentile_and_wrappers_agree_with_quantile() {
+        let h = Histogram::new();
+        for v in 0..=200u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), h.quantile(0.5));
+        assert_eq!(h.p50(), h.quantile(0.50));
+        assert_eq!(h.p90(), h.quantile(0.90));
+        assert_eq!(h.p95(), h.quantile(0.95));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, h.p50());
+        assert_eq!(snap.p95, h.p95());
+        assert_eq!(snap.p99, h.p99());
+    }
+
+    mod quantile_oracle {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// The exact nearest-rank quantile over the sorted sample.
+        fn oracle(sorted: &[u64], q: f64) -> u64 {
+            if q <= 0.0 {
+                return sorted[0];
+            }
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_sign_loss,
+                clippy::cast_possible_truncation
+            )]
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Against a sorted-sample oracle, every quantile estimate
+            /// is inside the observed range, monotone in `q`, and
+            /// within the documented ~6.25 % bucket quantization of the
+            /// oracle value. The estimator uses the same nearest-rank
+            /// rule as the oracle, so the estimate always lands in the
+            /// bucket *containing* the oracle value — the error is
+            /// bounded by one bucket width.
+            #[test]
+            fn quantile_tracks_sorted_oracle(
+                mut values in prop::collection::vec(0u64..2_000_000, 1..300),
+                mut qs in prop::collection::vec(0.0f64..=1.0, 1..8),
+            ) {
+                let h = Histogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                values.sort_unstable();
+                let mut prev = h.quantile(0.0);
+                prop_assert_eq!(prev, values[0], "q=0 is the exact min");
+                prop_assert_eq!(h.quantile(1.0), *values.last().expect("nonempty"));
+                qs.sort_by(f64::total_cmp);
+                for &q in &qs {
+                    let est = h.quantile(q);
+                    prop_assert!(est >= prev, "quantile not monotone at q={q}");
+                    prev = est;
+                    prop_assert!(est >= values[0] && est <= *values.last().expect("nonempty"));
+                    let want = oracle(&values, q);
+                    #[allow(clippy::cast_precision_loss)]
+                    let rel = (est as f64 - want as f64).abs() / (want.max(1)) as f64;
+                    prop_assert!(
+                        rel <= 0.0626 || est.abs_diff(want) <= 1,
+                        "q={q}: est {est} vs oracle {want} (rel {rel})"
+                    );
+                }
+            }
+        }
     }
 }

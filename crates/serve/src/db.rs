@@ -7,6 +7,7 @@ use crate::shard::ShardFn;
 use crate::worker::{self, Request};
 use crate::ServeError;
 use mobidx_core::{Index1D, IoTotals};
+use mobidx_obs::telemetry::{ProfileConfig, WorkloadProfile};
 use mobidx_obs::{EventLog, OpenSpan, Span};
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::collections::HashMap;
@@ -93,8 +94,14 @@ pub struct ShardedDb<I: Index1D + Send + 'static> {
     /// at construction so spans from different queries (and different
     /// worker threads) share one reconcilable timeline.
     epoch: Instant,
-    /// Ring buffer of recently finished query span trees.
-    events: EventLog,
+    /// Ring buffer of recently finished query span trees (and drift
+    /// events), shared with the workers' workload profile and any
+    /// running telemetry sampler.
+    events: Arc<EventLog>,
+    /// The workload characterizer: workers feed it insert velocities,
+    /// the facade feeds it query selectivities, and its windowed drift
+    /// detector raises `drift` events into the event log.
+    profile: Arc<WorkloadProfile>,
 }
 
 impl<I: Index1D + Send + 'static> ShardedDb<I> {
@@ -111,8 +118,29 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         shard_fn: Box<dyn ShardFn>,
         factory: impl Fn(usize, usize) -> I + Send + Sync + 'static,
     ) -> Self {
+        Self::with_profile(cfg, ProfileConfig::default(), shard_fn, factory)
+    }
+
+    /// [`ShardedDb::new`] with an explicit [`ProfileConfig`] for the
+    /// workload characterizer (bin count, speed band, drift window and
+    /// threshold) — tests and deployments with a non-paper speed band
+    /// tune drift detection here.
+    ///
+    /// # Panics
+    /// Panics if `cfg.shards` or `cfg.queue_depth` is zero, or if
+    /// `profile_cfg` is degenerate (see [`WorkloadProfile::new`]).
+    #[must_use]
+    pub fn with_profile(
+        cfg: ServeConfig,
+        profile_cfg: ProfileConfig,
+        shard_fn: Box<dyn ShardFn>,
+        factory: impl Fn(usize, usize) -> I + Send + Sync + 'static,
+    ) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         assert!(cfg.queue_depth > 0, "need a nonempty queue");
+        let events = Arc::new(EventLog::new(EVENT_LOG_CAPACITY));
+        let profile =
+            Arc::new(WorkloadProfile::new(profile_cfg).with_event_log(Arc::clone(&events)));
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         let mut health = Vec::with_capacity(cfg.shards);
@@ -121,10 +149,13 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             let index = factory(shard, cfg.shards);
             let shard_health = Arc::new(ShardHealth::new());
             let worker_health = Arc::clone(&shard_health);
+            let worker_profile = Arc::clone(&profile);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mobidx-shard-{shard}"))
-                    .spawn(move || worker::run(shard, index, &rx, &worker_health))
+                    .spawn(move || {
+                        worker::run(shard, index, &rx, &worker_health, &worker_profile);
+                    })
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -140,7 +171,8 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             shards: cfg.shards,
             health,
             epoch: Instant::now(),
-            events: EventLog::new(EVENT_LOG_CAPACITY),
+            events,
+            profile,
         }
     }
 
@@ -353,6 +385,8 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         root.set_attr("results", merged.len() as u64);
         let span = root.finish();
         self.events.push(Arc::new(span.clone()));
+        self.profile
+            .record_query(merged.len() as u64, self.table.len() as u64);
         Ok((merged, span))
     }
 
@@ -370,6 +404,8 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
                 .enumerate()
                 .map(|(shard, h)| h.snapshot(shard))
                 .collect(),
+            spans_recorded: self.events.recorded(),
+            spans_dropped: self.events.dropped(),
         }
     }
 
@@ -394,6 +430,31 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     /// The facade's span ring buffer.
     #[must_use]
     pub fn event_log(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The live workload characterizer: velocity bands, query
+    /// selectivity, update:query mix, and windowed drift detection (see
+    /// [`WorkloadProfile`]). Call
+    /// [`rebaseline`](WorkloadProfile::rebaseline) after adapting to a
+    /// drifted distribution.
+    #[must_use]
+    pub fn profile(&self) -> &Arc<WorkloadProfile> {
+        &self.profile
+    }
+
+    /// Worker queue handles for the telemetry sampler (crate-internal).
+    pub(crate) fn telemetry_senders(&self) -> &[SyncSender<Request<I>>] {
+        &self.senders
+    }
+
+    /// Shared health state for the telemetry sampler (crate-internal).
+    pub(crate) fn telemetry_health(&self) -> &[Arc<ShardHealth>] {
+        &self.health
+    }
+
+    /// Shared event log for the telemetry sampler (crate-internal).
+    pub(crate) fn telemetry_events(&self) -> &Arc<EventLog> {
         &self.events
     }
 
@@ -541,6 +602,9 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             l.clear();
             pool.push(l);
         }
+        drop(pool);
+        self.profile
+            .record_query(merged.len() as u64, self.table.len() as u64);
         Ok(merged)
     }
 

@@ -152,6 +152,12 @@ impl ShardHealthSnapshot {
 pub struct HealthSnapshot {
     /// Per-shard summaries, in shard order.
     pub shards: Vec<ShardHealthSnapshot>,
+    /// Span trees ever pushed into the facade's event log.
+    pub spans_recorded: u64,
+    /// Span trees silently overwritten by the event log's ring wrap —
+    /// nonzero means diagnosis is working from an incomplete recent
+    /// history.
+    pub spans_dropped: u64,
 }
 
 impl HealthSnapshot {
@@ -164,15 +170,22 @@ impl HealthSnapshot {
     /// The snapshot as a JSON value.
     #[must_use]
     pub fn to_json(&self) -> Value {
-        Value::Obj(vec![(
-            "shards".to_owned(),
-            Value::Arr(
-                self.shards
-                    .iter()
-                    .map(ShardHealthSnapshot::to_json)
-                    .collect(),
+        Value::Obj(vec![
+            (
+                "shards".to_owned(),
+                Value::Arr(
+                    self.shards
+                        .iter()
+                        .map(ShardHealthSnapshot::to_json)
+                        .collect(),
+                ),
             ),
-        )])
+            (
+                "spans_recorded".to_owned(),
+                Value::from(self.spans_recorded),
+            ),
+            ("spans_dropped".to_owned(), Value::from(self.spans_dropped)),
+        ])
     }
 }
 
@@ -226,8 +239,18 @@ mod tests {
         h.update_latency.record(50);
         let snap = HealthSnapshot {
             shards: vec![h.snapshot(0)],
+            spans_recorded: 300,
+            spans_dropped: 44,
         };
         let parsed = Value::parse(&snap.to_json().render()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("spans_recorded").and_then(Value::as_u64),
+            Some(300)
+        );
+        assert_eq!(
+            parsed.get("spans_dropped").and_then(Value::as_u64),
+            Some(44)
+        );
         let shard = &parsed.get("shards").and_then(Value::as_array).expect("arr")[0];
         assert_eq!(shard.get("shard").and_then(Value::as_u64), Some(0));
         assert_eq!(shard.get("poisoned").and_then(Value::as_bool), Some(false));

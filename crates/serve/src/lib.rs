@@ -33,12 +33,14 @@ pub mod db;
 pub mod health;
 pub mod merge;
 pub mod shard;
+pub mod telemetry;
 pub(crate) mod worker;
 
 pub use batch::{Batch, Op};
 pub use db::{ServeConfig, ShardedDb};
 pub use health::{HealthSnapshot, ShardHealth, ShardHealthSnapshot};
 pub use shard::{IdHashShard, ShardFn, SpeedBandShard};
+pub use telemetry::{SamplerConfig, ServeSampler};
 
 use mobidx_core::{DuplicateId, UnknownId};
 use std::fmt;

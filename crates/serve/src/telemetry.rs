@@ -1,0 +1,240 @@
+//! Continuous telemetry for a running [`ShardedDb`].
+//!
+//! [`ShardedDb::start_sampler`] spawns a [`Sampler`] thread that, every
+//! tick, harvests each shard's [`ShardHealth`] state, the per-shard
+//! `IoTotals` deltas (via a `Stats` round-trip on the worker queue), the
+//! facade [`EventLog`]'s drop counter, and the [`WorkloadProfile`]'s
+//! drift state into per-shard and aggregate [`TimeSeries`]. The result
+//! is a [`ServeSampler`] handle that owns the thread and exposes the
+//! registry: render it as a Prometheus text dump or a JSON telemetry
+//! report, or poll individual series (that is what `mobidx-top` does).
+//!
+//! The harvest path is deliberately cheap: reading health state touches
+//! relaxed atomics only, and the single `Stats` message per shard per
+//! tick is noise next to a serving workload (the benchmark suite bounds
+//! the overhead under 2 % at a 100 ms tick; see EXPERIMENTS.md).
+//!
+//! Series naming: per-shard series carry a Prometheus-style label —
+//! `queue_depth{shard="2"}` — and aggregates a `_total` suffix, so the
+//! text exposition groups base names under one `# TYPE` header each.
+
+use crate::db::ShardedDb;
+use crate::health::ShardHealth;
+use crate::worker::Request;
+use mobidx_core::{Index1D, IoTotals};
+use mobidx_obs::json::Value;
+use mobidx_obs::telemetry::{Sampler, Telemetry, TimeSeries, WorkloadProfile};
+use mobidx_obs::EventLog;
+use std::sync::mpsc::{channel, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sizing of a [`ServeSampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Harvest interval.
+    pub tick: Duration,
+    /// Samples retained per series (ring capacity). At the default
+    /// 100 ms tick, 600 samples keep one minute of history.
+    pub capacity: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(100),
+            capacity: 600,
+        }
+    }
+}
+
+/// A running telemetry harvester over a [`ShardedDb`] (see the module
+/// docs). Dropping it stops the sampling thread.
+///
+/// The handle is independent of the database's lifetime in the borrow
+/// sense (it holds clones of the shared state), but harvesting degrades
+/// gracefully once the database is gone: health atomics remain readable
+/// and the I/O round-trips are skipped when the worker queues close.
+#[derive(Debug)]
+pub struct ServeSampler {
+    telemetry: Arc<Telemetry>,
+    shards: usize,
+    sampler: Sampler,
+}
+
+impl ServeSampler {
+    /// Completed harvest ticks.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.sampler.ticks()
+    }
+
+    /// Blocks until at least `ticks` harvests have completed (test and
+    /// report-capture convenience; gives up after `timeout`).
+    ///
+    /// Returns `true` when the tick target was reached.
+    #[must_use]
+    pub fn wait_for_ticks(&self, ticks: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.ticks() < ticks {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// The underlying series registry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Number of shards being harvested.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// One shard's series, by base name: `series_for("queue_depth", 2)`
+    /// returns `queue_depth{shard="2"}` (creating it empty if the
+    /// sampler has not recorded it yet).
+    #[must_use]
+    pub fn series_for(&self, base: &str, shard: usize) -> Arc<TimeSeries> {
+        self.telemetry.series(&shard_series(base, shard))
+    }
+
+    /// The full JSON telemetry report: sampler metadata plus the
+    /// registry dump of [`Telemetry::to_json`].
+    #[must_use]
+    pub fn report_json(&self) -> Value {
+        Value::Obj(vec![
+            ("kind".to_owned(), Value::from("mobidx-telemetry")),
+            ("shards".to_owned(), Value::from(self.shards)),
+            ("ticks".to_owned(), Value::from(self.ticks())),
+            ("telemetry".to_owned(), self.telemetry.to_json()),
+        ])
+    }
+
+    /// The Prometheus text exposition of the registry.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.telemetry.prometheus()
+    }
+}
+
+/// `base{shard="i"}`.
+fn shard_series(base: &str, shard: usize) -> String {
+    format!("{base}{{shard=\"{shard}\"}}")
+}
+
+impl<I: Index1D + Send + 'static> ShardedDb<I> {
+    /// Starts a background telemetry harvester over this database (see
+    /// the [module docs](crate::telemetry)). The returned handle owns
+    /// the sampling thread; drop it to stop sampling. Multiple samplers
+    /// may run concurrently (each owns its registry).
+    #[must_use]
+    pub fn start_sampler(&self, cfg: SamplerConfig) -> ServeSampler {
+        start(
+            cfg,
+            self.telemetry_senders().to_vec(),
+            self.telemetry_health().to_vec(),
+            Arc::clone(self.telemetry_events()),
+            Arc::clone(self.profile()),
+        )
+    }
+}
+
+/// Builds the harvest closure and spawns the sampler thread.
+fn start<I: Index1D + Send + 'static>(
+    cfg: SamplerConfig,
+    senders: Vec<SyncSender<Request<I>>>,
+    health: Vec<Arc<ShardHealth>>,
+    events: Arc<EventLog>,
+    profile: Arc<WorkloadProfile>,
+) -> ServeSampler {
+    let shards = senders.len();
+    let telemetry = Arc::new(Telemetry::new(cfg.capacity));
+    let t = Arc::clone(&telemetry);
+    let mut last_io: Vec<IoTotals> = vec![IoTotals::default(); shards];
+    let mut last_ops: Vec<u64> = vec![0; shards];
+    let mut last_queries: Vec<u64> = vec![0; shards];
+    let harvest = move || {
+        let now = t.now_nanos();
+        let mut depth_total = 0u64;
+        let mut reads_total = 0u64;
+        let mut writes_total = 0u64;
+        #[allow(clippy::cast_precision_loss)]
+        for (shard, h) in health.iter().enumerate() {
+            let snap = h.snapshot(shard);
+            let rec = |base: &str, v: f64| t.series(&shard_series(base, shard)).push(now, v);
+            rec("queue_depth", snap.queue_depth as f64);
+            rec("query_p50_us", snap.query_latency_us.p50 as f64);
+            rec("query_p95_us", snap.query_latency_us.p95 as f64);
+            rec("query_p99_us", snap.query_latency_us.p99 as f64);
+            rec("poisoned", f64::from(u8::from(snap.poisoned)));
+            depth_total += snap.queue_depth;
+            let ops_delta = snap.applied_ops.saturating_sub(last_ops[shard]);
+            last_ops[shard] = snap.applied_ops;
+            rec("applied_ops", ops_delta as f64);
+            let q_delta = snap.queries.saturating_sub(last_queries[shard]);
+            last_queries[shard] = snap.queries;
+            rec("queries", q_delta as f64);
+            // The I/O counters live inside the worker-owned index, so
+            // they take one queue round-trip; the deltas saturate so a
+            // mid-run `reset_io` reads as a quiet tick, not a panic.
+            if let Some(totals) = poll_stats(&senders[shard], h) {
+                let reads = totals.reads.saturating_sub(last_io[shard].reads);
+                let writes = totals.writes.saturating_sub(last_io[shard].writes);
+                last_io[shard] = totals;
+                rec("io_reads", reads as f64);
+                rec("io_writes", writes as f64);
+                reads_total += reads;
+                writes_total += writes;
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            t.series("queue_depth_total").push(now, depth_total as f64);
+            t.series("io_reads_total").push(now, reads_total as f64);
+            t.series("io_writes_total").push(now, writes_total as f64);
+            t.series("spans_recorded")
+                .push(now, events.recorded() as f64);
+            t.series("spans_dropped").push(now, events.dropped() as f64);
+            t.series("updates_observed")
+                .push(now, profile.updates() as f64);
+            t.series("drift_l1_millis")
+                .push(now, profile.drift_millis() as f64);
+            t.series("drift_events")
+                .push(now, profile.drift_events() as f64);
+        }
+    };
+    ServeSampler {
+        telemetry,
+        shards,
+        sampler: Sampler::spawn(cfg.tick, harvest),
+    }
+}
+
+/// One `Stats` round-trip on a worker queue, honoring the queue-depth
+/// gauge contract (the facade increments before a send, the worker
+/// decrements at dequeue). Returns `None` when the worker is gone.
+fn poll_stats<I: Index1D>(
+    sender: &SyncSender<Request<I>>,
+    health: &Arc<ShardHealth>,
+) -> Option<IoTotals> {
+    let (reply, rx) = channel();
+    let depth = health.queue_depth.incr();
+    health.queue_high_water.set_max(depth);
+    match sender.send(Request::Stats { reply }) {
+        Ok(()) => {
+            health.enqueued.incr();
+            rx.recv().ok().map(|(totals, _)| totals)
+        }
+        Err(_) => {
+            let _ = health.queue_depth.decr();
+            None
+        }
+    }
+}

@@ -21,6 +21,7 @@ use crate::batch::ShardOp;
 use crate::health::ShardHealth;
 use crate::ServeError;
 use mobidx_core::{Index1D, IoTotals};
+use mobidx_obs::telemetry::WorkloadProfile;
 use mobidx_obs::{OpenSpan, Span};
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -86,12 +87,16 @@ pub(crate) enum Request<I> {
 /// with the facade: the worker decrements the queue-depth gauge at each
 /// dequeue, feeds the latency histograms, and mirrors its poisoned flag
 /// into the gauge so [`crate::ShardedDb::health`] sees it without a
-/// queue round-trip.
+/// queue round-trip. `profile` is the facade-wide workload
+/// characterizer: the worker feeds it the velocity of every record it
+/// inserts (updates arrive as remove+insert, so inserts carry the
+/// current velocity distribution).
 pub(crate) fn run<I: Index1D>(
     shard: usize,
     mut index: I,
     rx: &Receiver<Request<I>>,
     health: &Arc<ShardHealth>,
+    profile: &Arc<WorkloadProfile>,
 ) {
     let mut poisoned = false;
     'serve: while let Ok(req) = rx.recv() {
@@ -133,6 +138,11 @@ pub(crate) fn run<I: Index1D>(
                         health.update_latency.record(elapsed_us(started));
                         health.applied_batches.incr();
                         health.applied_ops.add(n_ops);
+                        for op in &group {
+                            if let ShardOp::Insert(m) = op {
+                                profile.record_update(m.v);
+                            }
+                        }
                     }
                     for reply in replies {
                         let _ = reply.send(r.clone());

@@ -30,7 +30,7 @@ pub use motion::{
     Motion2D,
 };
 pub use routes::{Route, RouteNetwork, RouteObject, RouteWorkloadConfig};
-pub use sim1d::{Simulator1D, Update1D, WorkloadConfig};
+pub use sim1d::{Simulator1D, Update1D, VelocityModel, WorkloadConfig};
 pub use sim2d::{Simulator2D, Update2D, WorkloadConfig2D};
 
 /// Paper defaults (§5).

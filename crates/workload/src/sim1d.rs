@@ -6,6 +6,30 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// How the simulator draws speeds for new and updated motions.
+///
+/// The paper's scenario is [`VelocityModel::Uniform`]; the two-band
+/// model is the drift-detection ground truth — switching a running
+/// simulator to it ([`Simulator1D::set_velocity_model`]) reshapes the
+/// observed velocity histogram the way a highway rush hour does, which
+/// is exactly the distribution shift the speed-partitioning literature
+/// repartitions on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VelocityModel {
+    /// Speeds uniform in `[v_min, v_max]` (the paper's §5 default).
+    Uniform,
+    /// A bimodal mix: with probability `fast_frac` the speed is uniform
+    /// in the top `band_frac` of `[v_min, v_max]`, otherwise uniform in
+    /// the bottom `band_frac` — no mass in the middle.
+    TwoBand {
+        /// Fraction of draws landing in the fast band.
+        fast_frac: f64,
+        /// Width of each band as a fraction of the full speed range
+        /// (`0 < band_frac ≤ 0.5`).
+        band_frac: f64,
+    },
+}
+
 /// Parameters of a 1-D scenario (defaults = the paper's §5 values).
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadConfig {
@@ -81,6 +105,8 @@ pub struct Simulator1D {
     generations: Vec<u64>,
     hits: BinaryHeap<Reverse<Hit>>,
     now: f64,
+    /// Speed distribution for new velocity draws (switchable mid-run).
+    velocity_model: VelocityModel,
 }
 
 impl Simulator1D {
@@ -101,6 +127,7 @@ impl Simulator1D {
             hits: BinaryHeap::with_capacity(cfg.n),
             now: 0.0,
             rng: SmallRng::seed_from_u64(0), // replaced below
+            velocity_model: VelocityModel::Uniform,
         };
         std::mem::swap(&mut sim.rng, &mut rng);
         for id in 0..cfg.n as u64 {
@@ -195,8 +222,52 @@ impl Simulator1D {
         }
     }
 
+    /// The active speed distribution.
+    #[must_use]
+    pub fn velocity_model(&self) -> VelocityModel {
+        self.velocity_model
+    }
+
+    /// Switches the speed distribution for *future* velocity draws
+    /// (existing motions keep their speeds until their next update), the
+    /// knob a drift-detection test turns mid-run.
+    ///
+    /// # Panics
+    /// Panics on a degenerate two-band model (`fast_frac` outside
+    /// `[0, 1]` or `band_frac` outside `(0, 0.5]`).
+    pub fn set_velocity_model(&mut self, model: VelocityModel) {
+        if let VelocityModel::TwoBand {
+            fast_frac,
+            band_frac,
+        } = model
+        {
+            assert!((0.0..=1.0).contains(&fast_frac), "fast_frac {fast_frac}");
+            assert!(
+                band_frac > 0.0 && band_frac <= 0.5,
+                "band_frac {band_frac} outside (0, 0.5]"
+            );
+        }
+        self.velocity_model = model;
+    }
+
     fn random_velocity(&mut self) -> f64 {
-        let speed = self.rng.gen_range(self.cfg.v_min..=self.cfg.v_max);
+        let speed = match self.velocity_model {
+            VelocityModel::Uniform => self.rng.gen_range(self.cfg.v_min..=self.cfg.v_max),
+            VelocityModel::TwoBand {
+                fast_frac,
+                band_frac,
+            } => {
+                let span = self.cfg.v_max - self.cfg.v_min;
+                let width = span * band_frac;
+                if self.rng.gen_bool(fast_frac.clamp(0.0, 1.0)) {
+                    self.rng
+                        .gen_range((self.cfg.v_max - width)..=self.cfg.v_max)
+                } else {
+                    self.rng
+                        .gen_range(self.cfg.v_min..=(self.cfg.v_min + width))
+                }
+            }
+        };
         if self.rng.gen_bool(0.5) {
             speed
         } else {
@@ -318,6 +389,38 @@ mod tests {
             (0.02..0.3).contains(&avg),
             "large-query selectivity {avg} implausible"
         );
+    }
+
+    #[test]
+    fn two_band_model_empties_the_middle_of_the_speed_range() {
+        let mut sim = Simulator1D::new(small_cfg());
+        sim.set_velocity_model(VelocityModel::TwoBand {
+            fast_frac: 0.5,
+            band_frac: 0.2,
+        });
+        // Enough steps that essentially every object has re-drawn its
+        // velocity under the new model.
+        for _ in 0..2000 {
+            let _ = sim.step();
+        }
+        let cfg = *sim.config();
+        let span = cfg.v_max - cfg.v_min;
+        let (mut slow, mut fast, mut middle) = (0usize, 0usize, 0usize);
+        for m in sim.objects() {
+            let s = m.v.abs();
+            assert!((cfg.v_min..=cfg.v_max).contains(&s), "speed {s} off band");
+            if s <= cfg.v_min + span * 0.2 + 1e-9 {
+                slow += 1;
+            } else if s >= cfg.v_max - span * 0.2 - 1e-9 {
+                fast += 1;
+            } else {
+                middle += 1;
+            }
+        }
+        assert!(slow > 100 && fast > 100, "bands empty: {slow}/{fast}");
+        // A handful of objects may still carry pre-switch uniform speeds
+        // (they never re-drew); the middle must be nearly empty.
+        assert!(middle < 50, "middle band still populated: {middle}");
     }
 
     #[test]

@@ -405,6 +405,80 @@ fn chrome_trace_round_trips_through_parser() {
     }
 }
 
+/// The Chrome trace exporter stays loadable on degenerate inputs: an
+/// empty span set, zero-duration spans, and a child span overrunning
+/// its parent's interval (possible when a worker's clock read races the
+/// facade's close). Each export must parse, every `"X"` event must
+/// carry finite numeric `ts`/`dur`, and a DFS emission order implies
+/// each child's `ts` is no earlier than its parent's.
+#[test]
+fn chrome_trace_handles_degenerate_trees() {
+    use mobidx_obs::SpanIo;
+
+    // Empty input: a valid document with an empty traceEvents array.
+    let doc =
+        Value::parse(&chrome_trace(std::iter::empty::<&Span>()).render()).expect("empty export");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(events.is_empty(), "no spans, no events");
+
+    // Zero-duration root with a zero-duration child, plus a child that
+    // starts inside its parent but ends after it (overrun).
+    let mut instant = Span::leaf("instant", 5_000, SpanIo::default());
+    instant.duration_nanos = 0;
+    let mut zero_child = Span::leaf("instant/child", 5_000, SpanIo::default());
+    zero_child.duration_nanos = 0;
+    instant.children.push(zero_child);
+
+    let mut parent = Span::leaf("parent", 10_000, SpanIo::default());
+    parent.duration_nanos = 1_000;
+    let mut overrun = Span::leaf("parent/overrun", 10_500, SpanIo::default());
+    overrun.duration_nanos = 5_000; // ends at 15_500, far past the parent
+    parent.children.push(overrun);
+
+    let trees = [instant, parent];
+    let doc = Value::parse(&chrome_trace(trees.iter()).render_pretty()).expect("export parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let complete: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), 4, "one event per span");
+    for e in &complete {
+        let ts = e.get("ts").and_then(Value::as_f64).expect("numeric ts");
+        let dur = e.get("dur").and_then(Value::as_f64).expect("numeric dur");
+        assert!(ts.is_finite() && ts >= 0.0, "ts well-formed: {ts}");
+        assert!(dur.is_finite() && dur >= 0.0, "dur well-formed: {dur}");
+    }
+    // DFS emission: a child is emitted right after its parent and never
+    // starts earlier, so ts is monotone within each tree's event run.
+    let ts_of = |name: &str| {
+        complete
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|e| e.get("ts").and_then(Value::as_f64))
+            .expect(name)
+    };
+    assert_eq!(ts_of("instant"), ts_of("instant/child"));
+    assert!(ts_of("parent/overrun") >= ts_of("parent"));
+    let dur_of = |name: &str| {
+        complete
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|e| e.get("dur").and_then(Value::as_f64))
+            .expect(name)
+    };
+    assert_eq!(dur_of("instant"), 0.0, "zero-duration span exports dur 0");
+    // The overrun is preserved, not clamped: Perfetto renders it as
+    // drawn, and clamping would hide the clock skew being diagnosed.
+    assert!(ts_of("parent/overrun") + dur_of("parent/overrun") > ts_of("parent") + 1.0);
+}
+
 /// A span tree survives its own JSON encoding: `Span::from_json ∘
 /// Span::to_json` is the identity on everything the accounting contract
 /// depends on (I/O sums, attributes, tree shape).
