@@ -24,7 +24,6 @@
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::SpeedBand;
-use mobidx_obs::json::Value;
 use mobidx_serve::{Batch, SamplerConfig, ServeConfig, ServeSampler, ShardedDb, SpeedBandShard};
 use mobidx_workload::{Simulator1D, VelocityModel, WorkloadConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -96,51 +95,18 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Validates a `serve_bench --telemetry-out` report (see module docs).
+/// Validates a `serve_bench --telemetry-out` report (the rules and
+/// their tests live in [`mobidx_bench::telemetry_check`]).
 fn check_report(path: &str) {
     let fail = |msg: &str| -> ! {
         eprintln!("mobidx-top --check {path}: {msg}");
         std::process::exit(1);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("unreadable: {e}")));
-    let doc = Value::parse(&text).unwrap_or_else(|e| fail(&format!("not JSON: {e}")));
-    if doc.get("kind").and_then(Value::as_str) != Some("mobidx-telemetry") {
-        fail("kind is not \"mobidx-telemetry\"");
+    match mobidx_bench::telemetry_check::validate_report(&text) {
+        Ok(summary) => println!("{summary}"),
+        Err(msg) => fail(&msg),
     }
-    let shards = doc
-        .get("shards")
-        .and_then(Value::as_u64)
-        .unwrap_or_else(|| fail("missing shard count"));
-    if shards == 0 {
-        fail("zero shards");
-    }
-    let series = doc
-        .get("telemetry")
-        .and_then(|t| t.get("series"))
-        .and_then(Value::as_array)
-        .unwrap_or_else(|| fail("missing telemetry.series"));
-    let recorded_of = |name: &str| -> u64 {
-        series
-            .iter()
-            .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
-            .and_then(|s| s.get("recorded").and_then(Value::as_u64))
-            .unwrap_or(0)
-    };
-    for shard in 0..shards {
-        let name = format!("queue_depth{{shard=\"{shard}\"}}");
-        if recorded_of(&name) == 0 {
-            fail(&format!("no samples for shard {shard} ({name})"));
-        }
-    }
-    let overhead = doc
-        .get("overhead")
-        .and_then(|o| o.get("overhead_pct"))
-        .and_then(Value::as_f64)
-        .unwrap_or_else(|| fail("missing overhead measurement"));
-    println!(
-        "ok: {shards} shards sampled, {} series, sampler overhead {overhead:.2}%",
-        series.len()
-    );
 }
 
 /// Runs the live view (see module docs).
@@ -150,6 +116,7 @@ fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64) {
         ServeConfig {
             shards,
             queue_depth: 64,
+            ..ServeConfig::default()
         },
         Box::new(shard_fn),
         move |i, s| {

@@ -2,7 +2,8 @@
 //! sharded front end at S = 1, 2, 4, 8.
 //!
 //! ```text
-//! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] [--trace-out FILE]
+//! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] [--durable]
+//!             [--trace-out FILE] [--telemetry-out FILE]
 //! ```
 //!
 //! `--json` writes `BENCH_serve_<scale>.json` (schema in
@@ -29,7 +30,15 @@
 //! and writes the JSON telemetry report — per-shard and aggregate time
 //! series plus the sampler-overhead measurement (schema in
 //! EXPERIMENTS.md). `mobidx-top --check FILE` validates such a report.
+//!
+//! `--durable` additionally runs the durable sweep: the same seeded
+//! update stream against [`FileBackend`](mobidx_pager::FileBackend)-armed
+//! shards under each fsync policy, measuring update throughput with the
+//! write-ahead log in the write path, the WAL's record/fsync/byte cost,
+//! and — after dropping the database — the wall-clock time to reopen and
+//! replay every store (schema in EXPERIMENTS.md).
 
+use mobidx_bench::durable::{run_durable_sweep, DurableConfig};
 use mobidx_bench::throughput::{run_batch_sweep, run_sweep, ThroughputConfig};
 use mobidx_bench::{throughput, Scale};
 
@@ -44,6 +53,7 @@ fn main() {
     let mut seed = 0x5EEDu64;
     let mut json = false;
     let mut batch = false;
+    let mut durable = false;
     let mut trace_out: Option<String> = None;
     let mut telemetry_out: Option<String> = None;
     let mut i = 0;
@@ -55,6 +65,10 @@ fn main() {
             }
             "--batch" => {
                 batch = true;
+                i += 1;
+            }
+            "--durable" => {
+                durable = true;
                 i += 1;
             }
             "--trace-out" => {
@@ -165,6 +179,44 @@ fn main() {
         }
     }
 
+    if durable {
+        let dcfg = DurableConfig::from_scale(&scale, seed);
+        println!(
+            "\ndurable sweep (S = {}, N = {}, {} update instants, FileBackend per store):",
+            dcfg.shards, dcfg.n, dcfg.instants
+        );
+        println!(
+            "{:>10} {:>7} {:>9} {:>12} {:>11} {:>10} {:>10} {:>12} {:>11} {:>9}",
+            "fsync",
+            "stores",
+            "ops",
+            "ops/sec",
+            "wal recs",
+            "fsyncs",
+            "wal KiB",
+            "recovery ms",
+            "replayed",
+            "pages"
+        );
+        for c in run_durable_sweep(&dcfg) {
+            #[allow(clippy::cast_precision_loss)]
+            let kib = c.wal_bytes as f64 / 1024.0;
+            println!(
+                "{:>10} {:>7} {:>9} {:>12.1} {:>11} {:>10} {:>10.1} {:>12.2} {:>11} {:>9}",
+                c.policy,
+                c.stores,
+                c.update_ops,
+                c.update_ops_per_sec,
+                c.wal_records,
+                c.wal_fsyncs,
+                kib,
+                c.recovery_ms,
+                c.replayed_records,
+                c.recovered_pages
+            );
+        }
+    }
+
     if json {
         let path = format!("BENCH_serve_{scale_name}.json");
         let text = throughput::render_report(scale_name, &cfg, &cells, &batch_cells);
@@ -197,7 +249,7 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] \
-         [--trace-out FILE] [--telemetry-out FILE]"
+         [--durable] [--trace-out FILE] [--telemetry-out FILE]"
     );
     std::process::exit(2);
 }

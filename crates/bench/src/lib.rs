@@ -38,8 +38,10 @@ use std::collections::{HashMap, VecDeque};
 
 pub mod ablations;
 pub mod diff;
+pub mod durable;
 pub mod json_report;
 pub mod report;
+pub mod telemetry_check;
 pub mod throughput;
 
 /// Net updates per group in [`run_scenario`]'s batched-update phase.

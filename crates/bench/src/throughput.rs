@@ -122,6 +122,7 @@ pub fn run_throughput(cfg: &ThroughputConfig, shards: usize) -> ThroughputCell {
         ServeConfig {
             shards,
             queue_depth: cfg.queue_depth,
+            ..ServeConfig::default()
         },
         Box::new(shard_fn),
         move |i, s| {
@@ -302,6 +303,7 @@ pub fn run_batch_sweep(cfg: &ThroughputConfig, batch_sizes: &[usize]) -> Vec<Bat
             ServeConfig {
                 shards: SHARDS,
                 queue_depth: cfg.queue_depth,
+                ..ServeConfig::default()
             },
             Box::new(shard_fn),
             move |i, s| {
@@ -500,6 +502,7 @@ pub fn capture_trace(cfg: &ThroughputConfig, shards: usize, queries: usize) -> S
         ServeConfig {
             shards,
             queue_depth: cfg.queue_depth,
+            ..ServeConfig::default()
         },
         Box::new(shard_fn),
         move |i, s| {
@@ -557,6 +560,7 @@ pub fn capture_telemetry(cfg: &ThroughputConfig, shards: usize, tick: Duration) 
         ServeConfig {
             shards,
             queue_depth: cfg.queue_depth,
+            ..ServeConfig::default()
         },
         Box::new(shard_fn),
         move |i, s| {

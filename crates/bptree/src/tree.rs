@@ -3,7 +3,10 @@
 
 use crate::node::Node;
 use crate::{cmp_entry, cmp_key, Key};
-use mobidx_pager::{Backend, IoStats, PageId, PageStore, PagerError, DEFAULT_BUFFER_PAGES};
+use mobidx_pager::{
+    put_u32, put_u64, Backend, ByteReader, FixedCodec, IoStats, PageId, PageStore, PagerError,
+    RecoveredImage, DEFAULT_BUFFER_PAGES,
+};
 use std::cmp::Ordering;
 use std::fmt::Debug;
 
@@ -1201,6 +1204,118 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
             }
         })?;
         Ok(())
+    }
+}
+
+/// Durable trees: when keys and values are [`FixedCodec`] scalars the
+/// nodes have a byte image, so the tree can sit on a durable backend
+/// ([`mobidx_pager::FileBackend`]), seal commit windows into its
+/// write-ahead log, and reopen from whatever the log proves committed.
+impl<K: Key + FixedCodec, V: Copy + Ord + Debug + FixedCodec> BPlusTree<K, V> {
+    /// Opens a tree over a durable backend from the image its
+    /// recovery produced. An empty image yields an empty tree (root
+    /// allocated, first commit window open); otherwise every recovered
+    /// page is decoded and the tree shape (root, height, length) comes
+    /// from the commit metadata of the last durable window.
+    ///
+    /// Returns `None` if a recovered page or the metadata fails to
+    /// decode — which a CRC-checked log only produces when the file
+    /// belongs to a different page type or configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (capacities < 2), as
+    /// [`BPlusTree::new`] does.
+    #[must_use]
+    pub fn open_durable(
+        cfg: TreeConfig,
+        backend: Box<dyn Backend>,
+        image: &RecoveredImage,
+    ) -> Option<Self> {
+        assert!(cfg.leaf_cap >= 2, "leaf capacity must be at least 2");
+        assert!(cfg.branch_cap >= 3, "branch capacity must be at least 3");
+        let mut store = PageStore::open_recovered(cfg.buffer_pages, backend, image)?;
+        if image.is_empty() {
+            let root = store.try_allocate(Node::empty_leaf()).ok()?;
+            return Some(Self {
+                store,
+                root,
+                height: 1,
+                len: 0,
+                cfg,
+            });
+        }
+        let (root, height, len) = Self::decode_meta(&image.meta)?;
+        // The recovered root must be a live page.
+        image.pages.get(root.index() as usize)?.as_ref()?;
+        Some(Self {
+            store,
+            root,
+            height,
+            len,
+            cfg,
+        })
+    }
+
+    /// Whether the tree sits on a durable backend (commits reach a
+    /// write-ahead log).
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// `(dirty pages, freed pages)` in the open commit window.
+    #[must_use]
+    pub fn pending_commit(&self) -> (usize, usize) {
+        self.store.pending_commit()
+    }
+
+    /// Seals the current commit window: every node dirtied since the
+    /// last commit, every freed page, and the tree shape (root, height,
+    /// length) reach the write-ahead log under one group-commit fsync.
+    /// No-op on non-durable backends.
+    ///
+    /// # Errors
+    /// Propagates the first unabsorbed journal fault; the window is
+    /// kept, so a later commit retries it in full (see
+    /// [`PageStore::try_commit`]).
+    pub fn try_commit(&mut self) -> Result<(), PagerError> {
+        let meta = self.encode_meta();
+        self.store.try_commit(&meta)
+    }
+
+    /// Writes a full checkpoint (every live node plus the tree shape)
+    /// and truncates the write-ahead log. A checkpoint is itself a
+    /// commit. No-op on non-durable backends.
+    ///
+    /// # Errors
+    /// Propagates the backend's fault; a clean failure leaves the
+    /// previous on-disk state intact (see [`PageStore::try_checkpoint`]).
+    pub fn try_checkpoint(&mut self) -> Result<(), PagerError> {
+        let meta = self.encode_meta();
+        self.store.try_checkpoint(&meta)
+    }
+
+    /// Commit metadata: `[root: u32][height: u32][len: u64]`.
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        put_u32(&mut out, self.root.index());
+        put_u32(
+            &mut out,
+            u32::try_from(self.height).expect("height exceeds u32"),
+        );
+        put_u64(&mut out, self.len as u64);
+        out
+    }
+
+    fn decode_meta(bytes: &[u8]) -> Option<(PageId, usize, usize)> {
+        let mut r = ByteReader::new(bytes);
+        let root = PageId::from_index(r.u32()?);
+        let height = r.u32()? as usize;
+        let len = usize::try_from(r.u64()?).ok()?;
+        if !r.is_empty() || height == 0 {
+            return None;
+        }
+        Some((root, height, len))
     }
 }
 

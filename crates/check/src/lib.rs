@@ -29,20 +29,29 @@ use mobidx_core::{Motion1D, SpeedBand};
 use mobidx_geom::{Aabb, Rect2};
 use mobidx_interval::{IntervalConfig, IntervalTree};
 use mobidx_kdtree::{KdConfig, KdTree};
-use mobidx_pager::{Backend, FaultPlan, FaultStore, IoStats, MemBackend};
+use mobidx_pager::{
+    Backend, DurableFaultStore, FaultPlan, FaultStore, FileBackend, FsyncPolicy, IoStats,
+    MemBackend,
+};
 use mobidx_persist::{all_crossings, Occupant, PersistConfig, PersistentListBTree};
 use mobidx_rstar::{RStarConfig, RStarTree};
 use mobidx_serve::{Batch, ServeConfig, ServeError, ShardedDb, SpeedBandShard};
 use mobidx_workload::{brute_force_1d, MorQuery1D};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The indexes the harness knows how to drive. `sharded` is the serving
 /// tier (`mobidx-serve`) over per-speed-band dual-B+ shards — the same
 /// fault plans are armed *behind* the shard workers, so what the harness
 /// exercises is the tier's typed-error surfacing and rebuild protocol.
-pub const INDEXES: [&str; 6] = [
-    "bptree", "interval", "kdtree", "rstar", "persist", "sharded",
+/// `durable` is a B+-tree on the real-file [`FileBackend`]: faults hit
+/// the page traffic and the write-ahead log independently, recovery is
+/// reopening the directory, and the contract checked is the commit
+/// contract — a recovered tree is exactly the last sealed window.
+pub const INDEXES: [&str; 7] = [
+    "bptree", "interval", "kdtree", "rstar", "persist", "sharded", "durable",
 ];
 
 /// Which fault plan the backing store runs under.
@@ -95,6 +104,35 @@ impl FaultMode {
                 seed,
                 300 + seed % 900,
             ))),
+        }
+    }
+
+    /// The `(page plan, WAL plan)` pair realizing this mode against a
+    /// durable store ([`DurableFaultStore`] arbitrates the two
+    /// independently). Crash rounds alternate between killing the
+    /// store at a seeded journal append (mid-commit-window) and at a
+    /// seeded page access (mid-mutation), so both crash clocks are
+    /// exercised across a run's recovery rounds.
+    #[must_use]
+    pub fn durable_plans(self, seed: u64) -> (FaultPlan, FaultPlan) {
+        let wal_seed = mix(seed, 0xD17A);
+        match self {
+            FaultMode::None => (FaultPlan::none(seed), FaultPlan::none(wal_seed)),
+            FaultMode::Transient => (FaultPlan::transient(seed), FaultPlan::transient(wal_seed)),
+            FaultMode::Torn => (FaultPlan::torn(seed), FaultPlan::torn(wal_seed)),
+            FaultMode::Crash => {
+                if seed % 2 == 0 {
+                    (
+                        FaultPlan::none(seed),
+                        FaultPlan::crash_after_writes(wal_seed, 1 + seed % 37),
+                    )
+                } else {
+                    (
+                        FaultPlan::crash_after(seed, 50 + seed % 400),
+                        FaultPlan::none(wal_seed),
+                    )
+                }
+            }
         }
     }
 }
@@ -234,6 +272,7 @@ pub fn check_index(index: &str, cfg: &CheckConfig) -> Result<Report, Divergence>
         "rstar" => check_rstar(cfg),
         "persist" => check_persist(cfg),
         "sharded" => check_sharded(cfg),
+        "durable" => check_durable(cfg),
         other => panic!("unknown index {other:?}; expected one of {INDEXES:?}"),
     }
 }
@@ -1065,6 +1104,7 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
         ServeConfig {
             shards: SHARDED_SHARDS,
             queue_depth: 16,
+            ..ServeConfig::default()
         },
         Box::new(sf),
         move |i, s| {
@@ -1276,6 +1316,183 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
         report.ops += 1;
     }
     absorb_shard_faults(&db, &mut report);
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// Durable B+-tree vs a two-level oracle (the commit contract)
+// ----------------------------------------------------------------------
+
+/// Key domain for the durable runs (the same duplicate-prone band as
+/// `check_bptree`).
+const DURABLE_KEYS: u64 = 64;
+
+/// A unique scratch directory per run. The name never feeds back into
+/// checked behavior, so the process-wide counter does not perturb
+/// determinism — it only keeps concurrent runs (the test binary runs
+/// tests in parallel threads) off each other's files.
+fn durable_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mobidx-check-durable-{}-{n}", std::process::id()))
+}
+
+/// Opens (with recovery) the durable tree in `dir` on a fault-free
+/// [`FileBackend`]. Errors are environmental (filesystem) or a broken
+/// recovery image — both are reported as divergence details.
+fn open_clean_durable(dir: &Path) -> Result<BPlusTree<u64, u64>, String> {
+    let (backend, image) = FileBackend::open(dir, FsyncPolicy::Never)
+        .map_err(|e| format!("filesystem error opening durable store: {e}"))?;
+    BPlusTree::open_durable(bptree_cfg(), Box::new(backend), &image)
+        .ok_or_else(|| "recovered image failed to decode".to_string())
+}
+
+/// Swaps the tree onto a [`DurableFaultStore`] armed with this round's
+/// fault plans. The swap marks every live page dirty, so the next
+/// sealed window re-journals the whole tree — idempotent under replay,
+/// and it keeps the arming itself fault-free (the first allocation of
+/// an empty tree never races a fault plan).
+fn arm_durable_faults(
+    tree: &mut BPlusTree<u64, u64>,
+    dir: &Path,
+    mode: FaultMode,
+    seed: u64,
+) -> Result<(), String> {
+    let (page_plan, wal_plan) = mode.durable_plans(seed);
+    let (backend, _image) = DurableFaultStore::open(dir, FsyncPolicy::Never, page_plan, wal_plan)
+        .map_err(|e| format!("filesystem error arming durable store: {e}"))?;
+    drop(tree.set_backend(Box::new(backend)));
+    Ok(())
+}
+
+/// Drives a durable B+-tree through mutations, range queries, commit
+/// windows, and checkpoints. Two oracles ride along: `pending` mirrors
+/// the live tree (open window included), `committed` is what the last
+/// sealed window promised to disk. Any surfaced fault triggers the
+/// real recovery protocol — drop the tree (the "crash"), reopen the
+/// directory fault-free, and require the recovered contents to be
+/// *exactly* `committed`: uncommitted work is forgotten by contract,
+/// never corrupted, and committed work is never lost.
+fn check_durable(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    let mut report = Report::new("durable", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 7));
+    let dir = durable_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut pending: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut committed: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut round = 0u64;
+    let mut tree = open_clean_durable(&dir).map_err(|e| diverge(&report, cfg, 0, e))?;
+    arm_durable_faults(&mut tree, &dir, cfg.faults, mix(cfg.seed, 3000))
+        .map_err(|e| diverge(&report, cfg, 0, e))?;
+    let mut next_val = 0u64;
+
+    for op in 0..cfg.ops {
+        let mut crashed = false;
+        let roll = rng.below(100);
+        if roll < 35 {
+            let key = rng.below(DURABLE_KEYS);
+            let val = next_val;
+            next_val += 1;
+            match tree.try_insert(key, val) {
+                Ok(()) => {
+                    pending.insert((key, val));
+                }
+                Err(_) => crashed = true,
+            }
+        } else if roll < 55 && !pending.is_empty() {
+            let n = rng.below(pending.len() as u64) as usize;
+            let &(key, val) = pending.iter().nth(n).expect("indexed oracle entry");
+            match tree.try_remove(key, val) {
+                Ok(true) => {
+                    pending.remove(&(key, val));
+                }
+                Ok(false) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("present pair ({key}, {val}) reported absent on remove"),
+                    ));
+                }
+                Err(_) => crashed = true,
+            }
+        } else if roll < 75 {
+            let lo = rng.below(DURABLE_KEYS);
+            let hi = lo + rng.below(16);
+            match tree.try_range(lo, hi) {
+                Ok(mut got) => {
+                    report.queries += 1;
+                    got.sort_unstable();
+                    let want: Vec<(u64, u64)> =
+                        pending.range((lo, 0)..=(hi, u64::MAX)).copied().collect();
+                    if got != want {
+                        return Err(diverge(
+                            &report,
+                            cfg,
+                            op,
+                            format!(
+                                "range [{lo}, {hi}]: index returned {} entries, oracle {}",
+                                got.len(),
+                                want.len()
+                            ),
+                        ));
+                    }
+                }
+                Err(_) => crashed = true,
+            }
+        } else {
+            // Seal the open window — or, occasionally, checkpoint,
+            // which commits *and* truncates the log.
+            let sealed = if roll >= 97 {
+                tree.try_checkpoint()
+            } else {
+                tree.try_commit()
+            };
+            match sealed {
+                Ok(()) => {
+                    committed = pending.clone();
+                }
+                Err(_) => crashed = true,
+            }
+        }
+
+        if crashed {
+            report.faults_surfaced += 1;
+            report.absorb(tree.stats());
+            drop(tree);
+            tree = open_clean_durable(&dir).map_err(|e| diverge(&report, cfg, op, e))?;
+            let mut got = tree
+                .try_range(0, DURABLE_KEYS - 1)
+                .expect("FileBackend never faults");
+            got.sort_unstable();
+            report.queries += 1;
+            let want: Vec<(u64, u64)> = committed.iter().copied().collect();
+            if got != want {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "recovery broke the commit contract: recovered {} entries, \
+                         last sealed window has {}",
+                        got.len(),
+                        want.len()
+                    ),
+                ));
+            }
+            // Uncommitted work is gone — by contract, not by accident.
+            pending = committed.clone();
+            round += 1;
+            arm_durable_faults(&mut tree, &dir, cfg.faults, mix(cfg.seed, 3000 + round))
+                .map_err(|e| diverge(&report, cfg, op, e))?;
+            report.rebuilds += 1;
+        }
+        report.ops += 1;
+    }
+    report.absorb(tree.stats());
+    drop(tree);
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(report)
 }
 

@@ -60,6 +60,23 @@ fn persist_agrees_with_oracle_under_all_fault_modes() {
     }
 }
 
+/// The durable target checks a stronger contract than oracle
+/// agreement: after every surfaced fault the directory is reopened and
+/// the recovered tree must be exactly the last sealed commit window.
+#[test]
+fn durable_agrees_with_oracle_under_all_fault_modes() {
+    for mode in FaultMode::ALL {
+        let report = run("durable", mode);
+        if mode != FaultMode::None {
+            assert!(
+                report.rebuilds > 0,
+                "durable [{}]: no crash-recovery round ever ran",
+                mode.name()
+            );
+        }
+    }
+}
+
 /// The fault plans must actually exercise the error paths: a matrix
 /// row that injects nothing would vacuously pass.
 #[test]

@@ -244,6 +244,31 @@ impl DualBPlusIndex {
         }
     }
 
+    /// Seals one commit window on every durable B+-tree (the static
+    /// tree and each observation tree); trees on non-durable backends
+    /// are unaffected (their commit is a no-op). The subterrain
+    /// interval indices carry no byte codec yet and stay
+    /// memory-resident even when the trees are durable.
+    ///
+    /// # Errors
+    /// Reports the first tree whose journal rejected the window as
+    /// `(store label, error description)`; that tree's window is kept
+    /// and retried on the next commit.
+    pub fn commit_group(&mut self) -> Result<(), (String, String)> {
+        self.static_tree
+            .try_commit()
+            .map_err(|e| ("static".to_owned(), e.to_string()))?;
+        for (i, obs) in self.obs.iter_mut().enumerate() {
+            obs.pos_tree
+                .try_commit()
+                .map_err(|e| (format!("obs{i}.pos"), e.to_string()))?;
+            obs.neg_tree
+                .try_commit()
+                .map_err(|e| (format!("obs{i}.neg"), e.to_string()))?;
+        }
+        Ok(())
+    }
+
     /// Visits the raw [`mobidx_pager::IoStats`] of every internal page
     /// store, in the same order as [`Self::set_backends`]. [`IndexStats`]
     /// exposes only the paper's I/O totals; the fault-injection and
@@ -381,6 +406,10 @@ impl IndexStats for DualBPlusIndex {
 
     fn set_backends(&mut self, make: &mut dyn FnMut() -> Box<dyn mobidx_pager::Backend>) {
         DualBPlusIndex::set_backends(self, make);
+    }
+
+    fn commit_group(&mut self) -> Result<(), (String, String)> {
+        DualBPlusIndex::commit_group(self)
     }
 
     fn store_io(&self) -> Vec<(String, IoTotals)> {

@@ -28,6 +28,11 @@ pub struct IoTotals {
     pub pages: u64,
     /// Buffer-pool hits (page accesses served without I/O).
     pub hits: u64,
+    /// Framed WAL records appended by durable backends (0 for
+    /// in-memory stores).
+    pub wal_records: u64,
+    /// `fsync`s issued sealing commit windows and checkpoints.
+    pub wal_fsyncs: u64,
 }
 
 impl IoTotals {
@@ -39,6 +44,8 @@ impl IoTotals {
             writes: stats.writes(),
             pages: stats.live_pages(),
             hits: stats.hits(),
+            wal_records: stats.wal_records(),
+            wal_fsyncs: stats.wal_fsyncs(),
         }
     }
 
@@ -70,6 +77,8 @@ impl IoTotals {
             writes: self.writes + other.writes,
             pages: self.pages + other.pages,
             hits: self.hits + other.hits,
+            wal_records: self.wal_records + other.wal_records,
+            wal_fsyncs: self.wal_fsyncs + other.wal_fsyncs,
         }
     }
 
@@ -81,6 +90,8 @@ impl IoTotals {
             writes: self.writes - earlier.writes,
             pages: self.pages,
             hits: self.hits - earlier.hits,
+            wal_records: self.wal_records - earlier.wal_records,
+            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
         }
     }
 }
@@ -125,6 +136,20 @@ pub trait IndexStats {
     /// pluggable storage.
     fn set_backends(&mut self, make: &mut dyn FnMut() -> Box<dyn Backend>) {
         let _ = make;
+    }
+
+    /// Seals one commit window on every durable internal page store:
+    /// pages dirtied since the last commit reach the write-ahead log
+    /// under one group-commit fsync each. The serving tier calls this
+    /// after draining a group of applies (group commit); methods
+    /// without durable storage keep the default no-op.
+    ///
+    /// # Errors
+    /// Reports the first store whose journal rejected the window, as
+    /// `(store label, error description)`. The window is kept and
+    /// retried by the next commit.
+    fn commit_group(&mut self) -> Result<(), (String, String)> {
+        Ok(())
     }
 }
 
@@ -302,18 +327,24 @@ mod tests {
             writes: 2,
             pages: 3,
             hits: 4,
+            wal_records: 5,
+            wal_fsyncs: 1,
         };
         let b = IoTotals {
             reads: 10,
             writes: 20,
             pages: 30,
             hits: 40,
+            wal_records: 50,
+            wal_fsyncs: 10,
         };
         let m = a.merge(b);
         assert_eq!(m.reads, 11);
         assert_eq!(m.ios(), 33);
         assert_eq!(m.pages, 33);
         assert_eq!(m.hits, 44);
+        assert_eq!(m.wal_records, 55);
+        assert_eq!(m.wal_fsyncs, 11);
     }
 
     #[test]
@@ -323,17 +354,23 @@ mod tests {
             writes: 1,
             pages: 9,
             hits: 2,
+            wal_records: 3,
+            wal_fsyncs: 1,
         };
         let after = IoTotals {
             reads: 8,
             writes: 1,
             pages: 10,
             hits: 5,
+            wal_records: 7,
+            wal_fsyncs: 2,
         };
         let d = after.delta_since(before);
         assert_eq!(d.reads, 3);
         assert_eq!(d.writes, 0);
         assert_eq!(d.hits, 3);
+        assert_eq!(d.wal_records, 4);
+        assert_eq!(d.wal_fsyncs, 1);
         assert_eq!(d.pages, 10, "pages is a level, not a delta");
         assert!((d.hit_rate() - 0.5).abs() < 1e-12);
         assert!(IoTotals::default().hit_rate().abs() < f64::EPSILON);
@@ -346,11 +383,14 @@ mod tests {
         s.add_writes(1);
         s.add_hits(3);
         s.add_alloc();
+        s.add_wal(4, 160, 2);
         let t = IoTotals::from_stats(&s);
         assert_eq!(t.reads, 2);
         assert_eq!(t.writes, 1);
         assert_eq!(t.hits, 3);
         assert_eq!(t.pages, 1);
+        assert_eq!(t.wal_records, 4);
+        assert_eq!(t.wal_fsyncs, 2);
     }
 
     #[test]

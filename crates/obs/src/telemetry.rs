@@ -1051,6 +1051,50 @@ mod tests {
         assert!((samples[2].value - 0.125).abs() < 1e-12);
     }
 
+    /// The WAL counter series the durable serving tier publishes
+    /// (`wal_records`/`wal_fsyncs` per shard, `_total` aggregates, and
+    /// the pager's `wal_bytes`/`wal_replayed` names) survive the text
+    /// exposition round trip with labels and values intact.
+    #[test]
+    fn prometheus_round_trips_wal_counter_series() {
+        let t = Telemetry::new(4);
+        t.record("wal_records{shard=\"0\"}", 12.0);
+        t.record("wal_records{shard=\"1\"}", 7.0);
+        t.record("wal_fsyncs{shard=\"0\"}", 3.0);
+        t.record("wal_records_total", 19.0);
+        t.record("wal_fsyncs_total", 3.0);
+        t.record("wal_bytes", 4096.0);
+        t.record("wal_replayed", 42.0);
+        let text = t.prometheus();
+        assert_eq!(
+            text.matches("# TYPE mobidx_wal_records gauge").count(),
+            1,
+            "per-shard wal_records share one TYPE header: {text}"
+        );
+        let samples = parse_prometheus(&text).expect("parses");
+        assert_eq!(samples.len(), 7);
+        let value_of = |name: &str, labels: &[(&str, &str)]| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels.len() == labels.len()
+                        && labels
+                            .iter()
+                            .all(|&(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+                })
+                .unwrap_or_else(|| panic!("missing {name} {labels:?} in: {text}"))
+                .value
+        };
+        assert!((value_of("mobidx_wal_records", &[("shard", "0")]) - 12.0).abs() < 1e-12);
+        assert!((value_of("mobidx_wal_records", &[("shard", "1")]) - 7.0).abs() < 1e-12);
+        assert!((value_of("mobidx_wal_fsyncs", &[("shard", "0")]) - 3.0).abs() < 1e-12);
+        assert!((value_of("mobidx_wal_records_total", &[]) - 19.0).abs() < 1e-12);
+        assert!((value_of("mobidx_wal_fsyncs_total", &[]) - 3.0).abs() < 1e-12);
+        assert!((value_of("mobidx_wal_bytes", &[]) - 4096.0).abs() < 1e-12);
+        assert!((value_of("mobidx_wal_replayed", &[]) - 42.0).abs() < 1e-12);
+    }
+
     #[test]
     fn prometheus_parser_rejects_malformed() {
         for bad in ["novalue", "x{unterminated 1", "x{k=v} 1", " 3", "x one"] {

@@ -55,6 +55,32 @@ pub struct Fault {
     pub transient: bool,
 }
 
+/// Acknowledgement of one durable journal operation, carrying the cost
+/// the backend actually paid so the store can feed its WAL counters
+/// ([`crate::IoStats::wal_bytes`], [`crate::IoStats::wal_fsyncs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalAck {
+    /// Bytes appended to the log (or written to the page file, for
+    /// checkpoints).
+    pub bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Framed records appended.
+    pub records: u64,
+}
+
+impl JournalAck {
+    /// Sums two acknowledgements (commit paths accumulate one total).
+    #[must_use]
+    pub fn merge(self, other: JournalAck) -> JournalAck {
+        JournalAck {
+            bytes: self.bytes + other.bytes,
+            fsyncs: self.fsyncs + other.fsyncs,
+            records: self.records + other.records,
+        }
+    }
+}
+
 /// Arbitrates physical page accesses for a [`crate::PageStore`].
 ///
 /// `permit` is called once per physical access *attempt* (so a retried
@@ -72,6 +98,67 @@ pub trait Backend: std::fmt::Debug + Send {
     /// Human-readable backend name (diagnostics, harness reports).
     fn label(&self) -> &'static str {
         "backend"
+    }
+
+    /// Whether this backend persists journaled bytes. Stores skip all
+    /// commit bookkeeping (dirty-page tracking, journaling) for
+    /// non-durable backends, keeping the simulated-disk hot path
+    /// untouched.
+    fn is_durable(&self) -> bool {
+        false
+    }
+
+    /// Journals the encoded image of a page dirtied since the last
+    /// commit. Part of the current commit window; not durable until
+    /// [`Backend::journal_commit`] seals it. Non-durable backends
+    /// acknowledge without writing anything.
+    ///
+    /// # Errors
+    /// Fails with the backend's fault decision; a transient fault may
+    /// be retried by the store, a torn or crashed fault means the
+    /// journal tail is unusable and the store is dead.
+    fn journal_page(&mut self, page: PageId, bytes: &[u8]) -> Result<JournalAck, Fault> {
+        let _ = (page, bytes);
+        Ok(JournalAck::default())
+    }
+
+    /// Journals the freeing of a page in the current commit window.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Backend::journal_page`].
+    fn journal_free(&mut self, page: PageId) -> Result<JournalAck, Fault> {
+        let _ = page;
+        Ok(JournalAck::default())
+    }
+
+    /// Seals the current commit window with an opaque metadata blob
+    /// (handed back verbatim on recovery), making the whole window
+    /// durable per the backend's fsync policy.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Backend::journal_page`]; a fault here
+    /// means the window did not commit (recovery yields the previous
+    /// committed state).
+    fn journal_commit(&mut self, meta: &[u8]) -> Result<JournalAck, Fault> {
+        let _ = meta;
+        Ok(JournalAck::default())
+    }
+
+    /// Writes a full checkpoint image — every live page plus `meta` —
+    /// and truncates the journal. A checkpoint *is* a commit (it seals
+    /// current state durably); on success recovery starts from this
+    /// image with an empty log.
+    ///
+    /// # Errors
+    /// Fails with the backend's fault decision; a clean failure leaves
+    /// the previous page file and the full journal intact.
+    fn checkpoint(
+        &mut self,
+        pages: &[(PageId, Vec<u8>)],
+        meta: &[u8],
+    ) -> Result<JournalAck, Fault> {
+        let _ = (pages, meta);
+        Ok(JournalAck::default())
     }
 }
 
@@ -173,6 +260,33 @@ impl<B: Backend> Backend for DelayBackend<B> {
     fn label(&self) -> &'static str {
         "delay"
     }
+
+    // Journal operations pass straight through: their latency is real
+    // (the inner durable backend actually writes and fsyncs), so the
+    // simulated per-I/O charge would double-count.
+    fn is_durable(&self) -> bool {
+        self.inner.is_durable()
+    }
+
+    fn journal_page(&mut self, page: PageId, bytes: &[u8]) -> Result<JournalAck, Fault> {
+        self.inner.journal_page(page, bytes)
+    }
+
+    fn journal_free(&mut self, page: PageId) -> Result<JournalAck, Fault> {
+        self.inner.journal_free(page)
+    }
+
+    fn journal_commit(&mut self, meta: &[u8]) -> Result<JournalAck, Fault> {
+        self.inner.journal_commit(meta)
+    }
+
+    fn checkpoint(
+        &mut self,
+        pages: &[(PageId, Vec<u8>)],
+        meta: &[u8],
+    ) -> Result<JournalAck, Fault> {
+        self.inner.checkpoint(pages, meta)
+    }
 }
 
 /// Bounded retry policy for transient faults, applied by the store.
@@ -226,6 +340,17 @@ pub struct FaultPlan {
     /// Kill the store after this many physical I/Os (reads +
     /// write-backs). `None` disables the crash point.
     pub crash_after_ios: Option<u64>,
+    /// Kill the store after this many *reads* specifically. Unlike
+    /// [`FaultPlan::crash_after_ios`] (which counts reads and
+    /// write-backs together, so the I/O index of "the Nth write" shifts
+    /// with read traffic), a per-kind point pins the crash to a
+    /// deterministic read index regardless of interleaving.
+    pub crash_after_reads: Option<u64>,
+    /// Kill the store after this many *write-class* accesses
+    /// (write-backs and mutations; for the durable adapter, journal
+    /// appends) specifically — the knob crash-matrix tests use to die
+    /// mid-commit at "the Nth write".
+    pub crash_after_writes: Option<u64>,
 }
 
 impl FaultPlan {
@@ -240,6 +365,8 @@ impl FaultPlan {
             transient_per_mille: 0,
             transient_tries: 1,
             crash_after_ios: None,
+            crash_after_reads: None,
+            crash_after_writes: None,
         }
     }
 
@@ -248,13 +375,11 @@ impl FaultPlan {
     #[must_use]
     pub fn transient(seed: u64) -> Self {
         Self {
-            seed,
             read_fault_per_mille: 30,
             write_fault_per_mille: 30,
-            torn_per_mille: 0,
             transient_per_mille: 1000,
             transient_tries: 2,
-            crash_after_ios: None,
+            ..Self::none(seed)
         }
     }
 
@@ -263,13 +388,12 @@ impl FaultPlan {
     #[must_use]
     pub fn torn(seed: u64) -> Self {
         Self {
-            seed,
             read_fault_per_mille: 10,
             write_fault_per_mille: 10,
             torn_per_mille: 10,
             transient_per_mille: 300,
             transient_tries: 2,
-            crash_after_ios: None,
+            ..Self::none(seed)
         }
     }
 
@@ -278,6 +402,26 @@ impl FaultPlan {
     pub fn crash_after(seed: u64, n: u64) -> Self {
         Self {
             crash_after_ios: Some(n),
+            ..Self::none(seed)
+        }
+    }
+
+    /// Fault-free until the store dies at its `n`-th read.
+    #[must_use]
+    pub fn crash_after_reads(seed: u64, n: u64) -> Self {
+        Self {
+            crash_after_reads: Some(n),
+            ..Self::none(seed)
+        }
+    }
+
+    /// Fault-free until the store dies at its `n`-th write — the
+    /// deterministic "crash during the Nth write of a commit window"
+    /// point the crash matrix sweeps.
+    #[must_use]
+    pub fn crash_after_writes(seed: u64, n: u64) -> Self {
+        Self {
+            crash_after_writes: Some(n),
             ..Self::none(seed)
         }
     }
@@ -292,8 +436,13 @@ impl FaultPlan {
 pub struct FaultStore {
     plan: FaultPlan,
     rng_state: u64,
-    /// Physical I/Os served (reads + write-backs) for the crash point.
+    /// Physical I/Os served (reads + write-backs) for the combined
+    /// crash point.
     ios: u64,
+    /// Reads served, for [`FaultPlan::crash_after_reads`].
+    reads_served: u64,
+    /// Writes served, for [`FaultPlan::crash_after_writes`].
+    writes_served: u64,
     /// An in-flight transient fault: `(page, kind, remaining_failures)`.
     /// While present, matching accesses keep failing until the counter
     /// reaches zero, then succeed — which is what makes retries succeed
@@ -311,6 +460,8 @@ impl FaultStore {
             plan,
             rng_state: plan.seed ^ 0x9E37_79B9_7F4A_7C15,
             ios: 0,
+            reads_served: 0,
+            writes_served: 0,
             pending_transient: None,
             injected: 0,
         }
@@ -326,6 +477,29 @@ impl FaultStore {
     #[must_use]
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// Reads served so far (the [`FaultPlan::crash_after_reads`] index).
+    #[must_use]
+    pub fn reads_served(&self) -> u64 {
+        self.reads_served
+    }
+
+    /// Writes served so far (the [`FaultPlan::crash_after_writes`]
+    /// index).
+    #[must_use]
+    pub fn writes_served(&self) -> u64 {
+        self.writes_served
+    }
+
+    /// Whether any configured crash point has been reached (the store
+    /// is dead and every further access fails).
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        let hit = |count: u64, limit: Option<u64>| limit.is_some_and(|l| count >= l);
+        hit(self.ios, self.plan.crash_after_ios)
+            || hit(self.reads_served, self.plan.crash_after_reads)
+            || hit(self.writes_served, self.plan.crash_after_writes)
     }
 
     /// splitmix64: deterministic, full-period, dependency-free.
@@ -388,14 +562,12 @@ impl FaultStore {
 impl Backend for FaultStore {
     fn permit(&mut self, kind: IoKind, page: PageId) -> Result<(), Fault> {
         // A dead store stays dead.
-        if let Some(limit) = self.plan.crash_after_ios {
-            if self.ios >= limit {
-                self.injected += 1;
-                return Err(Fault {
-                    kind: FaultKind::Crashed,
-                    transient: false,
-                });
-            }
+        if self.crashed() {
+            self.injected += 1;
+            return Err(Fault {
+                kind: FaultKind::Crashed,
+                transient: false,
+            });
         }
         // A pending transient fault owns its access until it clears.
         if let Some((p, k, remaining)) = self.pending_transient {
@@ -416,8 +588,23 @@ impl Backend for FaultStore {
             self.injected += 1;
             return Err(fault);
         }
-        if matches!(kind, IoKind::Read | IoKind::WriteBack) {
-            self.ios += 1;
+        match kind {
+            IoKind::Read => {
+                self.ios += 1;
+                self.reads_served += 1;
+            }
+            IoKind::WriteBack => {
+                self.ios += 1;
+                self.writes_served += 1;
+            }
+            // Mutations are not I/Os in the cost model (`ios` stays
+            // put) but they are write-class accesses, so the per-kind
+            // write clock counts them — the durable adapter arbitrates
+            // journal appends as mutations.
+            IoKind::Mutate => {
+                self.writes_served += 1;
+            }
+            IoKind::Alloc | IoKind::Free => {}
         }
         Ok(())
     }
@@ -560,6 +747,93 @@ mod tests {
         assert!(b.permit(IoKind::Mutate, pid(0)).is_ok());
         assert_eq!(h.count(), 2, "only charged I/Os are recorded");
         assert!(h.min() >= 1_000, "waits recorded in microseconds");
+    }
+
+    #[test]
+    fn crash_after_writes_ignores_read_traffic() {
+        // The per-kind point: reads must not advance the write clock,
+        // so "crash during the Nth write" is deterministic no matter
+        // how many reads interleave.
+        let mut b = FaultStore::new(FaultPlan::crash_after_writes(5, 2));
+        for i in 0..100u32 {
+            assert!(b.permit(IoKind::Read, pid(i)).is_ok());
+        }
+        assert!(b.permit(IoKind::WriteBack, pid(0)).is_ok());
+        assert!(b.permit(IoKind::Read, pid(1)).is_ok());
+        assert!(b.permit(IoKind::WriteBack, pid(2)).is_ok());
+        assert_eq!(b.writes_served(), 2);
+        assert!(!b.crashed() || b.plan().crash_after_writes == Some(2));
+        let f = b.permit(IoKind::WriteBack, pid(3)).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Crashed);
+        // Dead for every kind, including reads.
+        assert_eq!(
+            b.permit(IoKind::Read, pid(4)).unwrap_err().kind,
+            FaultKind::Crashed
+        );
+        assert!(b.crashed());
+    }
+
+    #[test]
+    fn crash_after_reads_ignores_write_traffic() {
+        let mut b = FaultStore::new(FaultPlan::crash_after_reads(5, 3));
+        for i in 0..50u32 {
+            assert!(b.permit(IoKind::WriteBack, pid(i)).is_ok());
+        }
+        for i in 0..3u32 {
+            assert!(b.permit(IoKind::Read, pid(i)).is_ok());
+        }
+        assert_eq!(b.reads_served(), 3);
+        let f = b.permit(IoKind::Read, pid(9)).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Crashed);
+    }
+
+    #[test]
+    fn per_kind_and_combined_crash_points_compose() {
+        // Whichever clock hits first kills the store.
+        let plan = FaultPlan {
+            crash_after_ios: Some(10),
+            crash_after_writes: Some(1),
+            ..FaultPlan::none(1)
+        };
+        let mut b = FaultStore::new(plan);
+        assert!(b.permit(IoKind::Read, pid(0)).is_ok());
+        assert!(b.permit(IoKind::WriteBack, pid(0)).is_ok());
+        assert_eq!(
+            b.permit(IoKind::Read, pid(0)).unwrap_err().kind,
+            FaultKind::Crashed,
+            "write clock reached its limit first"
+        );
+    }
+
+    #[test]
+    fn default_backend_journal_hooks_are_noop_acks() {
+        let mut b = MemBackend;
+        assert!(!b.is_durable());
+        assert_eq!(
+            b.journal_page(pid(0), &[1, 2, 3]).unwrap(),
+            JournalAck::default()
+        );
+        assert_eq!(b.journal_free(pid(0)).unwrap(), JournalAck::default());
+        assert_eq!(b.journal_commit(&[]).unwrap(), JournalAck::default());
+        assert_eq!(b.checkpoint(&[], &[]).unwrap(), JournalAck::default());
+        let merged = JournalAck {
+            bytes: 3,
+            fsyncs: 1,
+            records: 2,
+        }
+        .merge(JournalAck {
+            bytes: 4,
+            fsyncs: 0,
+            records: 1,
+        });
+        assert_eq!(
+            merged,
+            JournalAck {
+                bytes: 7,
+                fsyncs: 1,
+                records: 3
+            }
+        );
     }
 
     #[test]

@@ -23,15 +23,21 @@
 
 mod backend;
 mod buffer;
+mod codec;
 mod error;
+mod file;
 mod stats;
 mod store;
+pub mod wal;
 
 pub use backend::{
-    Backend, DelayBackend, Fault, FaultKind, FaultPlan, FaultStore, IoKind, MemBackend, RetryPolicy,
+    Backend, DelayBackend, Fault, FaultKind, FaultPlan, FaultStore, IoKind, JournalAck, MemBackend,
+    RetryPolicy,
 };
 pub use buffer::{BufferPool, INDEXED_THRESHOLD};
+pub use codec::{crc32, put_bytes, put_u32, put_u64, ByteReader, FixedCodec, PageCodec};
 pub use error::PagerError;
+pub use file::{DurableFaultStore, FileBackend, FsyncPolicy, RecoveredImage, PAGE_FILE, WAL_FILE};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{PageId, PageStore};
 

@@ -31,6 +31,10 @@ pub struct IoStats {
     faults_injected: AtomicU64,
     faults_recovered: AtomicU64,
     backoff_units: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_replayed: AtomicU64,
 }
 
 impl IoStats {
@@ -106,6 +110,20 @@ impl IoStats {
     /// Records `n` logical backoff units spent waiting between retries.
     pub fn add_backoff_units(&self, n: u64) {
         self.backoff_units.fetch_add(n, Relaxed);
+    }
+
+    /// Records the cost of acknowledged durable journal work: framed
+    /// records appended, bytes written, `fsync`s issued. Fed by the
+    /// [`crate::JournalAck`]s commit and checkpoint paths collect.
+    pub fn add_wal(&self, records: u64, bytes: u64, fsyncs: u64) {
+        self.wal_records.fetch_add(records, Relaxed);
+        self.wal_bytes.fetch_add(bytes, Relaxed);
+        self.wal_fsyncs.fetch_add(fsyncs, Relaxed);
+    }
+
+    /// Records `n` WAL records replayed during recovery-on-open.
+    pub fn add_wal_replayed(&self, n: u64) {
+        self.wal_replayed.fetch_add(n, Relaxed);
     }
 
     /// Total page reads so far.
@@ -191,6 +209,31 @@ impl IoStats {
         self.backoff_units.load(Relaxed)
     }
 
+    /// Durable journal records appended so far.
+    #[must_use]
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records.load(Relaxed)
+    }
+
+    /// Durable journal bytes written so far (WAL appends and
+    /// checkpoint images).
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.load(Relaxed)
+    }
+
+    /// `fsync`s issued by the durable backend so far.
+    #[must_use]
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal_fsyncs.load(Relaxed)
+    }
+
+    /// WAL records replayed by recovery-on-open.
+    #[must_use]
+    pub fn wal_replayed(&self) -> u64 {
+        self.wal_replayed.load(Relaxed)
+    }
+
     /// Pages allocated over the lifetime of the structure.
     #[must_use]
     pub fn allocated(&self) -> u64 {
@@ -221,6 +264,10 @@ impl IoStats {
         self.faults_injected.store(0, Relaxed);
         self.faults_recovered.store(0, Relaxed);
         self.backoff_units.store(0, Relaxed);
+        self.wal_records.store(0, Relaxed);
+        self.wal_bytes.store(0, Relaxed);
+        self.wal_fsyncs.store(0, Relaxed);
+        self.wal_replayed.store(0, Relaxed);
     }
 
     /// Takes a snapshot for later differencing (cost of one operation).
@@ -260,6 +307,10 @@ impl IoStats {
             self.faults_recovered(),
         );
         recorder.add_counter(&format!("{prefix}backoff_units"), self.backoff_units());
+        recorder.add_counter(&format!("{prefix}wal_records"), self.wal_records());
+        recorder.add_counter(&format!("{prefix}wal_bytes"), self.wal_bytes());
+        recorder.add_counter(&format!("{prefix}wal_fsyncs"), self.wal_fsyncs());
+        recorder.add_counter(&format!("{prefix}wal_replayed"), self.wal_replayed());
         recorder.set_gauge(&format!("{prefix}live_pages"), self.live_pages());
     }
 }
@@ -409,6 +460,29 @@ mod tests {
         assert_eq!(s.retries(), 0);
         assert_eq!(s.faults_recovered(), 0);
         assert_eq!(s.backoff_units(), 0);
+    }
+
+    #[test]
+    fn wal_counters_accumulate_reset_and_publish() {
+        let s = IoStats::new();
+        s.add_wal(3, 120, 1);
+        s.add_wal(1, 40, 1);
+        s.add_wal_replayed(5);
+        assert_eq!(s.wal_records(), 4);
+        assert_eq!(s.wal_bytes(), 160);
+        assert_eq!(s.wal_fsyncs(), 2);
+        assert_eq!(s.wal_replayed(), 5);
+        let rec = mobidx_obs::MemoryRecorder::new();
+        s.publish(&rec, "pager.d.");
+        assert_eq!(rec.counter("pager.d.wal_records"), 4);
+        assert_eq!(rec.counter("pager.d.wal_bytes"), 160);
+        assert_eq!(rec.counter("pager.d.wal_fsyncs"), 2);
+        assert_eq!(rec.counter("pager.d.wal_replayed"), 5);
+        s.reset_io();
+        assert_eq!(s.wal_records(), 0);
+        assert_eq!(s.wal_bytes(), 0);
+        assert_eq!(s.wal_fsyncs(), 0);
+        assert_eq!(s.wal_replayed(), 0);
     }
 
     #[test]

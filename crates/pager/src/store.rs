@@ -1,10 +1,13 @@
 //! The simulated disk: a slab of typed pages behind a buffer pool.
 
-use crate::backend::{Backend, Fault, FaultKind, IoKind, MemBackend, RetryPolicy};
+use crate::backend::{Backend, Fault, FaultKind, IoKind, JournalAck, MemBackend, RetryPolicy};
 use crate::buffer::BufferPool;
+use crate::codec::PageCodec;
 use crate::error::PagerError;
+use crate::file::RecoveredImage;
 use crate::stats::IoStats;
 use crate::DEFAULT_BUFFER_PAGES;
+use std::collections::BTreeSet;
 
 /// Identifier of a page within one [`PageStore`].
 ///
@@ -67,6 +70,15 @@ pub struct PageStore<P> {
     stats: IoStats,
     backend: Box<dyn Backend>,
     retry: RetryPolicy,
+    /// Whether the backend persists journaled bytes; cached from
+    /// [`Backend::is_durable`] so the hot path pays nothing when false.
+    durable: bool,
+    /// Pages mutated since the last sealed commit window. Only
+    /// maintained for durable backends. Invariant: an id is in at most
+    /// one of `dirty_since_commit` / `freed_since_commit`.
+    dirty_since_commit: BTreeSet<u32>,
+    /// Pages freed since the last sealed commit window.
+    freed_since_commit: BTreeSet<u32>,
 }
 
 impl<P> Default for PageStore<P> {
@@ -87,6 +99,7 @@ impl<P> PageStore<P> {
     /// `backend`.
     #[must_use]
     pub fn with_backend(buffer_pages: usize, backend: Box<dyn Backend>) -> Self {
+        let durable = backend.is_durable();
         Self {
             pages: Vec::new(),
             free_list: Vec::new(),
@@ -94,13 +107,46 @@ impl<P> PageStore<P> {
             stats: IoStats::new(),
             backend,
             retry: RetryPolicy::default(),
+            durable,
+            dirty_since_commit: BTreeSet::new(),
+            freed_since_commit: BTreeSet::new(),
         }
     }
 
     /// Swaps in a new backend, returning the previous one. Page contents
     /// are untouched; only the fault policy changes.
+    ///
+    /// When the incoming backend is durable, every live page is marked
+    /// dirty: nothing in this store has been journaled to *that*
+    /// backend yet, so the first commit must carry the full image.
     pub fn set_backend(&mut self, backend: Box<dyn Backend>) -> Box<dyn Backend> {
-        std::mem::replace(&mut self.backend, backend)
+        let prev = std::mem::replace(&mut self.backend, backend);
+        self.durable = self.backend.is_durable();
+        if self.durable {
+            self.dirty_since_commit = self
+                .pages
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.as_ref().map(|_| i as u32))
+                .collect();
+            self.freed_since_commit.clear();
+        }
+        prev
+    }
+
+    /// Whether the current backend persists journaled bytes (commits
+    /// and checkpoints have real effect).
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// How much work the next commit window will journal:
+    /// `(dirty_pages, freed_pages)`. Always `(0, 0)` for non-durable
+    /// backends.
+    #[must_use]
+    pub fn pending_commit(&self) -> (usize, usize) {
+        (self.dirty_since_commit.len(), self.freed_since_commit.len())
     }
 
     /// The retry policy applied to transient faults.
@@ -171,6 +217,12 @@ impl<P> PageStore<P> {
             }
         };
         self.stats.add_alloc();
+        if self.durable {
+            // A recycled id moves from the freed set to the dirty set:
+            // the next window journals its new contents, not its death.
+            self.freed_since_commit.remove(&id.0);
+            self.dirty_since_commit.insert(id.0);
+        }
         self.insert_resident(id, true)?;
         Ok(id)
     }
@@ -201,6 +253,10 @@ impl<P> PageStore<P> {
         let slot = self.pages[id.0 as usize].take().expect("free of dead page");
         self.free_list.push(id.0);
         self.stats.add_free();
+        if self.durable {
+            self.dirty_since_commit.remove(&id.0);
+            self.freed_since_commit.insert(id.0);
+        }
         Ok(slot)
     }
 
@@ -265,11 +321,19 @@ impl<P> PageStore<P> {
     ) -> Result<R, PagerError> {
         self.try_fault_in(id, true)?;
         match self.permit(IoKind::Mutate, id) {
-            Ok(()) => Ok(f(self.pages[id.0 as usize]
-                .as_mut()
-                .expect("write of dead page"))),
+            Ok(()) => {
+                if self.durable {
+                    self.dirty_since_commit.insert(id.0);
+                }
+                Ok(f(self.pages[id.0 as usize]
+                    .as_mut()
+                    .expect("write of dead page")))
+            }
             Err(err @ PagerError::TornWrite { .. }) => {
                 // Torn semantics: the mutation lands, the ack does not.
+                if self.durable {
+                    self.dirty_since_commit.insert(id.0);
+                }
                 let _ = f(self.pages[id.0 as usize]
                     .as_mut()
                     .expect("write of dead page"));
@@ -466,6 +530,151 @@ impl<P> PageStore<P> {
                 }
             },
         }
+    }
+
+    /// Runs one journal operation against the backend, retrying
+    /// transient faults within the [`RetryPolicy`] exactly like
+    /// [`PageStore::permit`] (same logical-backoff accounting).
+    fn journal_retry(
+        &mut self,
+        id: PageId,
+        mut op: impl FnMut(&mut dyn Backend) -> Result<JournalAck, Fault>,
+    ) -> Result<JournalAck, PagerError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op(self.backend.as_mut()) {
+                Ok(ack) => {
+                    if attempt > 0 {
+                        self.stats.add_fault_recovered();
+                    }
+                    return Ok(ack);
+                }
+                Err(fault) => {
+                    self.stats.add_fault_injected();
+                    if fault.transient && attempt < self.retry.max_retries {
+                        self.stats.add_retry();
+                        self.stats.add_backoff_units(1 << attempt.min(16));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(self.map_fault(IoKind::Mutate, id, fault));
+                }
+            }
+        }
+    }
+}
+
+/// Pseudo page id reported when a commit or checkpoint record itself
+/// faults (no single page is to blame).
+const COMMIT_PAGE: PageId = PageId(u32::MAX);
+
+impl<P: PageCodec> PageStore<P> {
+    /// Rebuilds a store from the byte image a durable backend
+    /// recovered on open ([`crate::FileBackend::open`]): every live
+    /// page is decoded, dead slots repopulate the free list, and the
+    /// replayed-record count lands in [`IoStats::wal_replayed`].
+    ///
+    /// The rebuilt store starts with **no** pending commit work — its
+    /// contents are exactly what is on disk. Returns `None` if any
+    /// recovered image fails to decode as `P` (which a checksummed log
+    /// only produces if the wrong page type is used).
+    #[must_use]
+    pub fn open_recovered(
+        buffer_pages: usize,
+        backend: Box<dyn Backend>,
+        image: &RecoveredImage,
+    ) -> Option<Self> {
+        let mut store = Self::with_backend(buffer_pages, backend);
+        for (idx, slot) in image.pages.iter().enumerate() {
+            match slot {
+                Some(bytes) => {
+                    store.pages.push(Some(P::decode(bytes)?));
+                    store.stats.add_alloc();
+                }
+                None => {
+                    store.pages.push(None);
+                    store
+                        .free_list
+                        .push(u32::try_from(idx).expect("slot exceeds u32"));
+                }
+            }
+        }
+        store.stats.add_wal_replayed(image.replayed_records);
+        Some(store)
+    }
+
+    /// Seals the current commit window: journals the byte image of
+    /// every page dirtied since the last commit, the freed pages, and
+    /// a commit record carrying `meta` — then clears the window. With
+    /// the default [`crate::FsyncPolicy::OnCommit`] this is group
+    /// commit: one fsync for the whole window.
+    ///
+    /// No-op (`Ok`) on non-durable backends.
+    ///
+    /// # Errors
+    /// Fails with the first unabsorbed journal fault. The window is
+    /// **kept** — if the store is still alive (a clean, non-crash
+    /// failure), a later `try_commit` re-journals it in full, which is
+    /// idempotent under replay (duplicate page images in one window
+    /// resolve to the same bytes).
+    pub fn try_commit(&mut self, meta: &[u8]) -> Result<(), PagerError> {
+        if !self.durable {
+            return Ok(());
+        }
+        let mut total = JournalAck::default();
+        let dirty: Vec<u32> = self.dirty_since_commit.iter().copied().collect();
+        let mut bytes = Vec::new();
+        for idx in dirty {
+            let page = self.pages[idx as usize]
+                .as_ref()
+                .expect("dirty page must be live (free clears the dirty mark)");
+            bytes.clear();
+            page.encode(&mut bytes);
+            let id = PageId(idx);
+            let ack = self.journal_retry(id, |b| b.journal_page(id, &bytes))?;
+            total = total.merge(ack);
+        }
+        let freed: Vec<u32> = self.freed_since_commit.iter().copied().collect();
+        for idx in freed {
+            let id = PageId(idx);
+            let ack = self.journal_retry(id, |b| b.journal_free(id))?;
+            total = total.merge(ack);
+        }
+        let ack = self.journal_retry(COMMIT_PAGE, |b| b.journal_commit(meta))?;
+        total = total.merge(ack);
+        self.dirty_since_commit.clear();
+        self.freed_since_commit.clear();
+        self.stats.add_wal(total.records, total.bytes, total.fsyncs);
+        Ok(())
+    }
+
+    /// Writes a full checkpoint — every live page plus `meta` — and
+    /// truncates the journal. A checkpoint *is* a commit: current
+    /// state becomes durable and the pending window is cleared, so it
+    /// also absorbs any un-committed changes.
+    ///
+    /// No-op (`Ok`) on non-durable backends.
+    ///
+    /// # Errors
+    /// Fails with the backend's fault; a clean failure leaves the
+    /// previous on-disk state (and the pending window) intact.
+    pub fn try_checkpoint(&mut self, meta: &[u8]) -> Result<(), PagerError> {
+        if !self.durable {
+            return Ok(());
+        }
+        let mut live = Vec::new();
+        for (idx, slot) in self.pages.iter().enumerate() {
+            if let Some(page) = slot {
+                let mut bytes = Vec::new();
+                page.encode(&mut bytes);
+                live.push((PageId(idx as u32), bytes));
+            }
+        }
+        let ack = self.journal_retry(COMMIT_PAGE, |b| b.checkpoint(&live, meta))?;
+        self.dirty_since_commit.clear();
+        self.freed_since_commit.clear();
+        self.stats.add_wal(ack.records, ack.bytes, ack.fsyncs);
+        Ok(())
     }
 }
 

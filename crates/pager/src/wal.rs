@@ -1,0 +1,371 @@
+//! Write-ahead log framing and recovery scan.
+//!
+//! The durable backend journals *commit windows*: the byte images of
+//! every page dirtied since the last commit, the pages freed, and a
+//! final commit record sealing the window. Recovery replays whole
+//! windows only — a window without its commit record (the torn tail a
+//! crash leaves behind) is discarded byte-for-byte, so recovered state
+//! is always exactly the state as of some committed window ("reads see
+//! a prefix of applies").
+//!
+//! # Record format
+//!
+//! Every record is framed as
+//!
+//! ```text
+//! [len: u32 LE] [kind: u8] [payload…] [crc: u32 LE]
+//! ```
+//!
+//! where `len` counts `kind + payload`, and `crc` is [`crc32`] over
+//! `len ‖ kind ‖ payload` (the length prefix is covered, so a record
+//! whose frame was truncated *and* whose tail happens to parse cannot
+//! masquerade as valid). Payloads:
+//!
+//! * `kind 1` — page image: `[page: u32] [bytes: len-prefixed]`
+//! * `kind 2` — free: `[page: u32]`
+//! * `kind 3` — commit: `[seq: u64] [meta: len-prefixed]`
+
+use crate::codec::{crc32, put_bytes, put_u32, put_u64, ByteReader};
+use crate::store::PageId;
+
+const KIND_PAGE: u8 = 1;
+const KIND_FREE: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// One logical WAL record (see the module docs for the wire format).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// The full byte image of a page dirtied in this commit window.
+    PageImage {
+        /// The page the image belongs to.
+        page: PageId,
+        /// Its encoded contents ([`crate::PageCodec`]).
+        bytes: Vec<u8>,
+    },
+    /// A page freed in this commit window.
+    Free {
+        /// The freed page.
+        page: PageId,
+    },
+    /// Seals the current commit window; windows apply atomically.
+    Commit {
+        /// Monotonic commit sequence number.
+        seq: u64,
+        /// Opaque structure metadata (e.g. a B+-tree's root/height/len)
+        /// captured at commit time and handed back on recovery.
+        meta: Vec<u8>,
+    },
+}
+
+/// Appends the framed image of `rec` to `out`.
+pub fn encode_record(rec: &WalRecord, out: &mut Vec<u8>) {
+    let mut body = Vec::new();
+    match rec {
+        WalRecord::PageImage { page, bytes } => {
+            body.push(KIND_PAGE);
+            put_u32(&mut body, page.index());
+            put_bytes(&mut body, bytes);
+        }
+        WalRecord::Free { page } => {
+            body.push(KIND_FREE);
+            put_u32(&mut body, page.index());
+        }
+        WalRecord::Commit { seq, meta } => {
+            body.push(KIND_COMMIT);
+            put_u64(&mut body, *seq);
+            put_bytes(&mut body, meta);
+        }
+    }
+    let start = out.len();
+    put_u32(out, u32::try_from(body.len()).expect("record exceeds u32"));
+    out.extend_from_slice(&body);
+    let crc = crc32(&out[start..]);
+    put_u32(out, crc);
+}
+
+/// Decodes the record starting at `pos` in `buf`. Returns the record
+/// and the offset just past its frame, or `None` if the bytes at `pos`
+/// are not a complete, checksum-valid record (a torn tail).
+#[must_use]
+pub fn decode_record_at(buf: &[u8], pos: usize) -> Option<(WalRecord, usize)> {
+    let mut header = ByteReader::new(buf.get(pos..)?);
+    let len = header.u32()? as usize;
+    let frame_end = pos.checked_add(4 + len + 4)?;
+    if frame_end > buf.len() {
+        return None; // truncated frame
+    }
+    let stored_crc = u32::from_le_bytes(buf[frame_end - 4..frame_end].try_into().ok()?);
+    if crc32(&buf[pos..frame_end - 4]) != stored_crc {
+        return None; // corrupt or torn frame
+    }
+    let mut body = ByteReader::new(&buf[pos + 4..frame_end - 4]);
+    let kind = body.u8()?;
+    let rec = match kind {
+        KIND_PAGE => WalRecord::PageImage {
+            page: PageId::from_index(body.u32()?),
+            bytes: body.bytes()?.to_vec(),
+        },
+        KIND_FREE => WalRecord::Free {
+            page: PageId::from_index(body.u32()?),
+        },
+        KIND_COMMIT => WalRecord::Commit {
+            seq: body.u64()?,
+            meta: body.bytes()?.to_vec(),
+        },
+        _ => return None,
+    };
+    if !body.is_empty() {
+        return None; // trailing garbage inside a "valid" frame
+    }
+    Some((rec, frame_end))
+}
+
+/// One durable operation inside a committed window, in log order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Install `bytes` as the contents of `page` (allocating it if it
+    /// was dead).
+    Page {
+        /// Target page.
+        page: PageId,
+        /// Encoded contents.
+        bytes: Vec<u8>,
+    },
+    /// Kill `page`.
+    Free {
+        /// Target page.
+        page: PageId,
+    },
+}
+
+/// One committed window recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitWindow {
+    /// The window's commit sequence number.
+    pub seq: u64,
+    /// The metadata blob captured by the sealing commit record.
+    pub meta: Vec<u8>,
+    /// The window's operations, in log order.
+    pub ops: Vec<WalOp>,
+}
+
+/// The result of scanning a WAL byte image (see [`replay`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalReplay {
+    /// Every fully committed window, in log order.
+    pub windows: Vec<CommitWindow>,
+    /// Bytes of log covered by committed windows — the recovery
+    /// truncation point: everything past this offset is discarded.
+    pub committed_bytes: usize,
+    /// Bytes past the last committed window (the torn tail, including
+    /// any sealed-but-uncommitted records).
+    pub dropped_bytes: usize,
+    /// Records inside committed windows, commit records included.
+    pub records_replayed: u64,
+}
+
+/// Scans a WAL image, grouping records into committed windows and
+/// locating the torn tail.
+///
+/// The scan stops at the first frame that is incomplete, fails its
+/// checksum, or has an unknown kind — everything from there on is tail.
+/// Records after the last commit record (a window the crash interrupted
+/// before sealing) are likewise dropped, even when individually valid.
+#[must_use]
+pub fn replay(buf: &[u8]) -> WalReplay {
+    let mut out = WalReplay::default();
+    let mut pos = 0usize;
+    let mut window: Vec<WalOp> = Vec::new();
+    let mut window_records = 0u64;
+    while let Some((rec, next)) = decode_record_at(buf, pos) {
+        window_records += 1;
+        match rec {
+            WalRecord::PageImage { page, bytes } => window.push(WalOp::Page { page, bytes }),
+            WalRecord::Free { page } => window.push(WalOp::Free { page }),
+            WalRecord::Commit { seq, meta } => {
+                out.windows.push(CommitWindow {
+                    seq,
+                    meta,
+                    ops: std::mem::take(&mut window),
+                });
+                out.records_replayed += window_records;
+                window_records = 0;
+                out.committed_bytes = next;
+            }
+        }
+        pos = next;
+    }
+    out.dropped_bytes = buf.len() - out.committed_bytes;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> PageId {
+        PageId::from_index(n)
+    }
+
+    fn sample_log() -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_record(
+            &WalRecord::PageImage {
+                page: pid(0),
+                bytes: vec![1, 2, 3],
+            },
+            &mut buf,
+        );
+        encode_record(&WalRecord::Free { page: pid(4) }, &mut buf);
+        encode_record(
+            &WalRecord::Commit {
+                seq: 1,
+                meta: vec![9],
+            },
+            &mut buf,
+        );
+        encode_record(
+            &WalRecord::PageImage {
+                page: pid(2),
+                bytes: vec![7; 40],
+            },
+            &mut buf,
+        );
+        encode_record(
+            &WalRecord::Commit {
+                seq: 2,
+                meta: vec![8, 8],
+            },
+            &mut buf,
+        );
+        buf
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let recs = [
+            WalRecord::PageImage {
+                page: pid(7),
+                bytes: vec![0; 100],
+            },
+            WalRecord::Free { page: pid(3) },
+            WalRecord::Commit {
+                seq: 42,
+                meta: b"meta".to_vec(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &recs {
+            encode_record(r, &mut buf);
+        }
+        let mut pos = 0;
+        for r in &recs {
+            let (got, next) = decode_record_at(&buf, pos).expect("valid record");
+            assert_eq!(&got, r);
+            pos = next;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn replay_groups_windows_and_counts() {
+        let buf = sample_log();
+        let scan = replay(&buf);
+        assert_eq!(scan.windows.len(), 2);
+        assert_eq!(scan.windows[0].seq, 1);
+        assert_eq!(scan.windows[0].meta, vec![9]);
+        assert_eq!(
+            scan.windows[0].ops,
+            vec![
+                WalOp::Page {
+                    page: pid(0),
+                    bytes: vec![1, 2, 3]
+                },
+                WalOp::Free { page: pid(4) },
+            ]
+        );
+        assert_eq!(scan.windows[1].seq, 2);
+        assert_eq!(scan.records_replayed, 5);
+        assert_eq!(scan.committed_bytes, buf.len());
+        assert_eq!(scan.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_keeps_committed_prefix() {
+        let buf = sample_log();
+        let full = replay(&buf);
+        let first_window_end = {
+            // End of the first commit record.
+            let mut pos = 0;
+            let mut end = 0;
+            for _ in 0..3 {
+                let (_, next) = decode_record_at(&buf, pos).unwrap();
+                end = next;
+                pos = next;
+            }
+            end
+        };
+        for cut in 0..buf.len() {
+            let scan = replay(&buf[..cut]);
+            // Committed windows are an exact prefix of the full replay.
+            assert_eq!(
+                scan.windows,
+                full.windows[..scan.windows.len()],
+                "cut at {cut}"
+            );
+            assert_eq!(scan.committed_bytes + scan.dropped_bytes, cut);
+            if cut < first_window_end {
+                assert!(scan.windows.is_empty(), "cut at {cut}");
+            } else if cut < buf.len() {
+                assert_eq!(scan.windows.len(), 1, "cut at {cut}");
+                assert_eq!(scan.committed_bytes, first_window_end);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_at_every_byte_never_loses_a_committed_record() {
+        let buf = sample_log();
+        let scan = replay(&buf);
+        let first_window_end = scan.windows.len(); // sanity below
+        assert_eq!(first_window_end, 2);
+        for byte in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[byte] ^= 0x40;
+            let scan = replay(&bad);
+            // Every surviving window must equal an untouched prefix —
+            // corruption may only shorten history, never alter it.
+            // (A flip in a later record must not disturb earlier ones.)
+            for (i, w) in scan.windows.iter().enumerate() {
+                assert_eq!(w, &replay(&buf).windows[i], "flip at {byte}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncommitted_window_records_are_dropped() {
+        let mut buf = sample_log();
+        let committed = buf.len();
+        // A third window that never commits.
+        encode_record(
+            &WalRecord::PageImage {
+                page: pid(9),
+                bytes: vec![5; 10],
+            },
+            &mut buf,
+        );
+        encode_record(&WalRecord::Free { page: pid(0) }, &mut buf);
+        let scan = replay(&buf);
+        assert_eq!(scan.windows.len(), 2, "unsealed window must not apply");
+        assert_eq!(scan.committed_bytes, committed);
+        assert_eq!(scan.dropped_bytes, buf.len() - committed);
+    }
+
+    #[test]
+    fn empty_and_garbage_logs_replay_to_nothing() {
+        assert_eq!(replay(&[]), WalReplay::default());
+        let scan = replay(&[0xFF; 64]);
+        assert!(scan.windows.is_empty());
+        assert_eq!(scan.dropped_bytes, 64);
+    }
+}

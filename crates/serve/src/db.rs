@@ -9,6 +9,7 @@ use crate::ServeError;
 use mobidx_core::{Index1D, IoTotals};
 use mobidx_obs::telemetry::{ProfileConfig, WorkloadProfile};
 use mobidx_obs::{EventLog, OpenSpan, Span};
+use mobidx_pager::FsyncPolicy;
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
@@ -29,6 +30,15 @@ pub struct ServeConfig {
     /// Bound of each worker's request queue. A full queue blocks the
     /// sender — backpressure instead of unbounded buffering.
     pub queue_depth: usize,
+    /// Durability policy for shards whose indexes sit on durable
+    /// backends ([`mobidx_pager::FileBackend`]). With [`FsyncPolicy::Never`]
+    /// the workers skip sealing commit windows after each drained apply
+    /// group; any other policy makes the worker's group-commit drain
+    /// also a durability group commit — one sealed window (and, under
+    /// [`FsyncPolicy::OnCommit`], one fsync per store) for the whole
+    /// drained group. Irrelevant — and free — when every backend is
+    /// memory-resident, so the default is [`FsyncPolicy::OnCommit`].
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServeConfig {
@@ -36,6 +46,7 @@ impl Default for ServeConfig {
         Self {
             shards: 4,
             queue_depth: 64,
+            fsync: FsyncPolicy::OnCommit,
         }
     }
 }
@@ -62,7 +73,7 @@ impl Default for ServeConfig {
 /// use mobidx_core::{Motion1D, MorQuery1D};
 ///
 /// let mut db = ShardedDb::new(
-///     ServeConfig { shards: 2, queue_depth: 8 },
+///     ServeConfig { shards: 2, queue_depth: 8, ..ServeConfig::default() },
 ///     Box::new(IdHashShard),
 ///     |_shard, _shards| DualBPlusIndex::new(DualBPlusConfig::default()),
 /// );
@@ -144,6 +155,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         let mut health = Vec::with_capacity(cfg.shards);
+        let commit_on_apply = cfg.fsync != FsyncPolicy::Never;
         for shard in 0..cfg.shards {
             let (tx, rx) = sync_channel(cfg.queue_depth);
             let index = factory(shard, cfg.shards);
@@ -154,7 +166,14 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
                 std::thread::Builder::new()
                     .name(format!("mobidx-shard-{shard}"))
                     .spawn(move || {
-                        worker::run(shard, index, &rx, &worker_health, &worker_profile);
+                        worker::run(
+                            shard,
+                            index,
+                            &rx,
+                            &worker_health,
+                            &worker_profile,
+                            commit_on_apply,
+                        );
                     })
                     .expect("spawn shard worker"),
             );

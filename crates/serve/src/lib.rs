@@ -39,6 +39,7 @@ pub(crate) mod worker;
 pub use batch::{Batch, Op};
 pub use db::{ServeConfig, ShardedDb};
 pub use health::{HealthSnapshot, ShardHealth, ShardHealthSnapshot};
+pub use mobidx_pager::FsyncPolicy;
 pub use shard::{IdHashShard, ShardFn, SpeedBandShard};
 pub use telemetry::{SamplerConfig, ServeSampler};
 

@@ -165,6 +165,8 @@ fn start<I: Index1D + Send + 'static>(
         let mut depth_total = 0u64;
         let mut reads_total = 0u64;
         let mut writes_total = 0u64;
+        let mut wal_records_total = 0u64;
+        let mut wal_fsyncs_total = 0u64;
         #[allow(clippy::cast_precision_loss)]
         for (shard, h) in health.iter().enumerate() {
             let snap = h.snapshot(shard);
@@ -187,11 +189,19 @@ fn start<I: Index1D + Send + 'static>(
             if let Some(totals) = poll_stats(&senders[shard], h) {
                 let reads = totals.reads.saturating_sub(last_io[shard].reads);
                 let writes = totals.writes.saturating_sub(last_io[shard].writes);
+                let wal_records = totals
+                    .wal_records
+                    .saturating_sub(last_io[shard].wal_records);
+                let wal_fsyncs = totals.wal_fsyncs.saturating_sub(last_io[shard].wal_fsyncs);
                 last_io[shard] = totals;
                 rec("io_reads", reads as f64);
                 rec("io_writes", writes as f64);
+                rec("wal_records", wal_records as f64);
+                rec("wal_fsyncs", wal_fsyncs as f64);
                 reads_total += reads;
                 writes_total += writes;
+                wal_records_total += wal_records;
+                wal_fsyncs_total += wal_fsyncs;
             }
         }
         #[allow(clippy::cast_precision_loss)]
@@ -199,6 +209,10 @@ fn start<I: Index1D + Send + 'static>(
             t.series("queue_depth_total").push(now, depth_total as f64);
             t.series("io_reads_total").push(now, reads_total as f64);
             t.series("io_writes_total").push(now, writes_total as f64);
+            t.series("wal_records_total")
+                .push(now, wal_records_total as f64);
+            t.series("wal_fsyncs_total")
+                .push(now, wal_fsyncs_total as f64);
             t.series("spans_recorded")
                 .push(now, events.recorded() as f64);
             t.series("spans_dropped").push(now, events.dropped() as f64);

@@ -91,12 +91,22 @@ pub(crate) enum Request<I> {
 /// characterizer: the worker feeds it the velocity of every record it
 /// inserts (updates arrive as remove+insert, so inserts carry the
 /// current velocity distribution).
+///
+/// When `commit_on_apply` is set (any fsync policy but `Never`), every
+/// drained apply group ends by sealing one durability commit window on
+/// the index's stores ([`Index1D::commit_group`]) — the opportunistic
+/// queue drain below thereby doubles as WAL group commit: `k` queued
+/// applies cost one sealed window, not `k`. A rejected window reports
+/// [`ServeError::ShardFault`] to every batch in the group but does
+/// *not* poison the shard — the in-memory index is intact and the
+/// window is retried wholesale by the next group's commit.
 pub(crate) fn run<I: Index1D>(
     shard: usize,
     mut index: I,
     rx: &Receiver<Request<I>>,
     health: &Arc<ShardHealth>,
     profile: &Arc<WorkloadProfile>,
+    commit_on_apply: bool,
 ) {
     let mut poisoned = false;
     'serve: while let Ok(req) = rx.recv() {
@@ -131,9 +141,22 @@ pub(crate) fn run<I: Index1D>(
                     health.drained_batch_size.record(group.len() as u64);
                     let n_ops = group.len() as u64;
                     let started = Instant::now();
-                    let r = guarded(shard, &mut poisoned, || {
+                    let mut r = guarded(shard, &mut poisoned, || {
                         apply_group(&mut index, &group);
                     });
+                    if r.is_ok() && commit_on_apply {
+                        // Durability group commit: one sealed window for
+                        // the whole drained group (no-op on memory
+                        // backends). A rejection leaves the index state
+                        // valid and the window pending, so the shard is
+                        // not poisoned.
+                        if let Err((store, error)) = index.commit_group() {
+                            r = Err(ServeError::ShardFault {
+                                shard,
+                                panic: format!("commit window rejected on {store}: {error}"),
+                            });
+                        }
+                    }
                     if r.is_ok() {
                         health.update_latency.record(elapsed_us(started));
                         health.applied_batches.incr();
@@ -216,11 +239,19 @@ pub(crate) fn run<I: Index1D>(
                     // last (possibly poisoned) state for post-mortem reads.
                     let old = std::mem::replace(&mut index, *fresh);
                     poisoned = false;
-                    let r = guarded(shard, &mut poisoned, || {
+                    let mut r = guarded(shard, &mut poisoned, || {
                         for m in &motions {
                             index.insert(m);
                         }
                     });
+                    if r.is_ok() && commit_on_apply {
+                        if let Err((store, error)) = index.commit_group() {
+                            r = Err(ServeError::ShardFault {
+                                shard,
+                                panic: format!("commit window rejected on {store}: {error}"),
+                            });
+                        }
+                    }
                     let _ = reply.send(r.map(|()| Box::new(old)));
                 }
                 Request::Shutdown => break 'serve,

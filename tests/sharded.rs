@@ -31,6 +31,7 @@ fn build_pair(
             ServeConfig {
                 shards,
                 queue_depth,
+                ..ServeConfig::default()
             },
             Box::new(IdHashShard),
             move |_, _| {
@@ -46,6 +47,7 @@ fn build_pair(
                 ServeConfig {
                     shards,
                     queue_depth,
+                    ..ServeConfig::default()
                 },
                 Box::new(sf),
                 move |i, s| {

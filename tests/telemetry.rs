@@ -16,6 +16,7 @@ fn build_db(profile_cfg: ProfileConfig, shards: usize) -> ShardedDb<DualBPlusInd
         ServeConfig {
             shards,
             queue_depth: 64,
+            ..ServeConfig::default()
         },
         profile_cfg,
         Box::new(IdHashShard),
