@@ -10,7 +10,7 @@ use mobidx_bench::{paper_methods, run_scenario, QueryMix, Scale};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::mor1::Mor1Index;
-use mobidx_core::Index1D;
+use mobidx_core::{Index1D, QueryRequest};
 use mobidx_persist::PersistConfig;
 use mobidx_workload::{Simulator1D, WorkloadConfig};
 use std::time::Duration;
@@ -93,14 +93,14 @@ fn single_operations(c: &mut Criterion) {
     group.bench_function("fig6_query/dual-B+ (c=6)", |b| {
         b.iter_batched(
             || qsim.gen_query(150.0, 60.0),
-            |q| bp.query(&q),
+            |q| bp.query(&QueryRequest::new(&q)),
             BatchSize::SmallInput,
         );
     });
     group.bench_function("fig6_query/dual-kd", |b| {
         b.iter_batched(
             || qsim.gen_query(150.0, 60.0),
-            |q| kd.query(&q),
+            |q| kd.query(&QueryRequest::new(&q)),
             BatchSize::SmallInput,
         );
     });

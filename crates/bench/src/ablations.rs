@@ -6,7 +6,7 @@ use mobidx_bptree::TreeConfig;
 use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::mor1::Mor1Index;
-use mobidx_core::{Index2D, SpeedBand};
+use mobidx_core::{Index2D, QueryRequest, SpeedBand};
 use mobidx_kdtree::KdConfig;
 use mobidx_persist::PersistConfig;
 use mobidx_workload::{Simulator1D, Simulator2D, WorkloadConfig, WorkloadConfig2D};
@@ -149,7 +149,9 @@ pub fn ablation_adversarial(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             q.t2 = q.t1;
             idx.clear_buffers();
             idx.reset_io();
-            let (ids, trace) = idx.query_traced(&q);
+            let out = idx.query(&QueryRequest::new(&q).traced());
+            let trace = out.trace.clone().expect("traced request yields a trace");
+            let ids = out.ids;
             query_ios += trace.ios();
             results += ids.len() as u64;
             candidates += trace.candidates;
@@ -226,7 +228,9 @@ pub fn ablation_2d(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             let q = sim.gen_query(150.0, 60.0);
             idx.clear_buffers();
             idx.reset_io();
-            let (ids, trace) = idx.query_traced(&q);
+            let out = idx.query(&QueryRequest::new(&q).traced());
+            let trace = out.trace.clone().expect("traced request yields a trace");
+            let ids = out.ids;
             query_ios += trace.ios();
             results += ids.len() as u64;
             candidates += trace.candidates;

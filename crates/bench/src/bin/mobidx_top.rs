@@ -13,7 +13,8 @@
 //! something to find), attaches a
 //! [`ServeSampler`](mobidx_serve::ServeSampler), and redraws a per-shard
 //! table every refresh: queue depth, query latency percentiles, I/O
-//! rates, and the workload drift score. After `--ticks` refreshes it
+//! rates, snapshot-read rates, the published snapshot epoch and its
+//! age, and the workload drift score. After `--ticks` refreshes it
 //! stops the load thread, drops the sampler, and exits cleanly.
 //!
 //! `--check FILE` validates a JSON telemetry report written by
@@ -23,7 +24,7 @@
 //! success, 1 on a malformed or incomplete report.
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::SpeedBand;
+use mobidx_core::{QueryRequest, SpeedBand};
 use mobidx_serve::{Batch, SamplerConfig, ServeConfig, ServeSampler, ShardedDb, SpeedBandShard};
 use mobidx_workload::{Simulator1D, VelocityModel, WorkloadConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -112,7 +113,7 @@ fn check_report(path: &str) {
 /// Runs the live view (see module docs).
 fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64) {
     let shard_fn = SpeedBandShard::new(SpeedBand::paper());
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards,
             queue_depth: 64,
@@ -167,7 +168,7 @@ fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64) {
             db.apply(&batch).expect("update batch");
             for _ in 0..4 {
                 let q = sim.gen_query(150.0, 60.0);
-                db.query(&q).expect("query");
+                db.query(&QueryRequest::new(&q)).expect("query");
             }
         }
     });
@@ -207,12 +208,12 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
         tick.as_millis()
     );
     println!(
-        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>4}",
-        "shard", "depth", "p50 µs", "p95 µs", "p99 µs", "reads/s", "writes/s", "poi"
+        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>4}",
+        "shard", "depth", "p50 µs", "p95 µs", "p99 µs", "reads/s", "writes/s", "snap/s", "poi"
     );
     for shard in 0..sampler.shards() {
         println!(
-            "{:>5} {:>6.0} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>4}",
+            "{:>5} {:>6.0} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>4}",
             shard,
             latest("queue_depth", shard),
             latest("query_p50_us", shard),
@@ -220,6 +221,7 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
             latest("query_p99_us", shard),
             latest("io_reads", shard) * per_sec,
             latest("io_writes", shard) * per_sec,
+            latest("reads_on_snapshot", shard) * per_sec,
             if latest("poisoned", shard) > 0.0 {
                 "YES"
             } else {
@@ -234,5 +236,11 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
         aggregate("updates_observed"),
         aggregate("spans_recorded"),
         aggregate("spans_dropped"),
+    );
+    println!(
+        "snapshot epoch {:.0} (age {:.0} ticks) | {:.0} snapshot reads total",
+        aggregate("snapshot_epoch"),
+        aggregate("snapshot_age_ticks"),
+        aggregate("reads_on_snapshot_total"),
     );
 }

@@ -2,8 +2,8 @@
 //! sharded front end at S = 1, 2, 4, 8.
 //!
 //! ```text
-//! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] [--durable]
-//!             [--trace-out FILE] [--telemetry-out FILE]
+//! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] [--read-heavy]
+//!             [--durable] [--trace-out FILE] [--telemetry-out FILE]
 //! ```
 //!
 //! `--json` writes `BENCH_serve_<scale>.json` (schema in
@@ -18,6 +18,17 @@
 //! and 128 ops under the disk model. Its deterministic `ios/op` column
 //! shows the grouped write path amortizing page I/O across ops; with
 //! `--json` the cells land in the report's `batch_cells` array.
+//!
+//! `--read-heavy` additionally runs the snapshot-read sweep at S = 4:
+//! reader threads replaying a seeded query set against the latest
+//! published snapshot while writer threads race group commits, at
+//! reader:writer ratios 2:1, 4:1 and 8:2, under the disk model (pager
+//! I/O on the queued baseline, frozen pages on the snapshot path, same
+//! latency). The `speedup` column is snapshot queries/sec over the same
+//! workload forced through the worker queues; the deterministic
+//! `reads/q` column (frozen pages per query, from a serial spanned
+//! probe of the settled tree) is what the regression gate compares.
+//! With `--json` the cells land in the report's `read_cells` array.
 //!
 //! `--trace-out FILE` additionally runs a short traced-query session at
 //! S = 4 under the disk model and writes its span trees as a Chrome
@@ -39,12 +50,15 @@
 //! replay every store (schema in EXPERIMENTS.md).
 
 use mobidx_bench::durable::{run_durable_sweep, DurableConfig};
-use mobidx_bench::throughput::{run_batch_sweep, run_sweep, ThroughputConfig};
+use mobidx_bench::throughput::{run_batch_sweep, run_read_heavy, run_sweep, ThroughputConfig};
 use mobidx_bench::{throughput, Scale};
 
 /// Client batch sizes of the `--batch` sweep: 1 is the per-op baseline,
 /// the rest exercise the grouped write path.
 const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+/// Reader:writer thread ratios of the `--read-heavy` sweep.
+const READ_RATIOS: [(usize, usize); 3] = [(2, 1), (4, 1), (8, 2)];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +67,7 @@ fn main() {
     let mut seed = 0x5EEDu64;
     let mut json = false;
     let mut batch = false;
+    let mut read_heavy = false;
     let mut durable = false;
     let mut trace_out: Option<String> = None;
     let mut telemetry_out: Option<String> = None;
@@ -65,6 +80,10 @@ fn main() {
             }
             "--batch" => {
                 batch = true;
+                i += 1;
+            }
+            "--read-heavy" => {
+                read_heavy = true;
                 i += 1;
             }
             "--durable" => {
@@ -179,6 +198,34 @@ fn main() {
         }
     }
 
+    let read_cells = if read_heavy {
+        run_read_heavy(&cfg, 4, &READ_RATIOS)
+    } else {
+        Vec::new()
+    };
+    if read_heavy {
+        println!(
+            "\nread-heavy (S = 4, {}us disk model, {} queries per reader):",
+            cfg.io_latency_us, cfg.disk_queries
+        );
+        println!(
+            "{:>9} {:>9} {:>12} {:>12} {:>9} {:>9} {:>8}",
+            "readers", "writers", "snap q/s", "queued q/s", "reads/q", "epochs", "speedup"
+        );
+        for c in &read_cells {
+            println!(
+                "{:>9} {:>9} {:>12.1} {:>12.1} {:>9.1} {:>9} {:>7.2}x",
+                c.readers,
+                c.writers,
+                c.snapshot_queries_per_sec,
+                c.queued_queries_per_sec,
+                c.reads_per_query,
+                c.epochs_advanced,
+                c.read_speedup
+            );
+        }
+    }
+
     if durable {
         let dcfg = DurableConfig::from_scale(&scale, seed);
         println!(
@@ -219,7 +266,7 @@ fn main() {
 
     if json {
         let path = format!("BENCH_serve_{scale_name}.json");
-        let text = throughput::render_report(scale_name, &cfg, &cells, &batch_cells);
+        let text = throughput::render_report(scale_name, &cfg, &cells, &batch_cells, &read_cells);
         std::fs::write(&path, text).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
@@ -249,7 +296,7 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] \
-         [--durable] [--trace-out FILE] [--telemetry-out FILE]"
+         [--read-heavy] [--durable] [--trace-out FILE] [--telemetry-out FILE]"
     );
     std::process::exit(2);
 }

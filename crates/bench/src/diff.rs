@@ -177,8 +177,9 @@ pub fn diff_reports(
 type Row = (String, Vec<(String, Direction, f64)>);
 
 /// Extracts the comparable rows of either report shape. A serve report
-/// may carry both its shard sweep (`cells`) and a batched-update sweep
-/// (`batch_cells`); their rows are concatenated.
+/// may carry its shard sweep (`cells`), a batched-update sweep
+/// (`batch_cells`), and a read-heavy sweep (`read_cells`); their rows
+/// are concatenated.
 fn collect_rows(doc: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffError> {
     if let Some(mixes) = doc.get("mixes") {
         return figure_rows(mixes);
@@ -193,11 +194,17 @@ fn collect_rows(doc: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffE
         rows.extend(batch_rows(cells, include_wall_clock)?);
         any = true;
     }
+    if let Some(cells) = doc.get("read_cells") {
+        rows.extend(read_rows(cells, include_wall_clock)?);
+        any = true;
+    }
     if any {
         return Ok(rows);
     }
     Err(DiffError::Shape(
-        "neither 'mixes' (figure report) nor 'cells'/'batch_cells' (serve report) found".to_owned(),
+        "neither 'mixes' (figure report) nor 'cells'/'batch_cells'/'read_cells' (serve report) \
+         found"
+            .to_owned(),
     ))
 }
 
@@ -289,6 +296,40 @@ fn batch_rows(cells: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffE
             }
         }
         rows.push((format!("batch={batch}"), metrics));
+    }
+    Ok(rows)
+}
+
+/// Rows of a serve report's read-heavy sweep: one per reader:writer
+/// ratio. The deterministic gate is `reads_per_query` (frozen pages per
+/// snapshot query, from the settled-tree probe); the wall-clock
+/// throughput pair joins only on request.
+fn read_rows(cells: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffError> {
+    let cells = cells
+        .as_array()
+        .ok_or_else(|| DiffError::Shape("'read_cells' is not an array".to_owned()))?;
+    let mut rows = Vec::new();
+    for cell in cells {
+        let readers = cell
+            .get("readers")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DiffError::Shape("read cell without reader count".to_owned()))?;
+        let writers = cell
+            .get("writers")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| DiffError::Shape("read cell without writer count".to_owned()))?;
+        let mut metrics = Vec::new();
+        if let Some(v) = cell.get("reads_per_query").and_then(Value::as_f64) {
+            metrics.push(("reads_per_query".to_owned(), Direction::LowerIsBetter, v));
+        }
+        if include_wall_clock {
+            for name in ["snapshot_queries_per_sec", "queued_queries_per_sec"] {
+                if let Some(v) = cell.get(name).and_then(Value::as_f64) {
+                    metrics.push((name.to_owned(), Direction::HigherIsBetter, v));
+                }
+            }
+        }
+        rows.push((format!("readers={readers}/writers={writers}"), metrics));
     }
     Ok(rows)
 }
@@ -478,6 +519,49 @@ mod tests {
             .deltas
             .iter()
             .any(|d| d.metric == "update_ops_per_sec" && d.regressed));
+    }
+
+    fn read_doc(reads_per_query: f64, snap_qps: f64) -> Value {
+        Value::Obj(vec![(
+            "read_cells".to_owned(),
+            Value::Arr(vec![Value::Obj(vec![
+                ("readers".to_owned(), Value::from(8u64)),
+                ("writers".to_owned(), Value::from(2u64)),
+                ("reads_per_query".to_owned(), Value::Num(reads_per_query)),
+                ("snapshot_queries_per_sec".to_owned(), Value::Num(snap_qps)),
+                ("queued_queries_per_sec".to_owned(), Value::Num(900.0)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn read_heavy_io_growth_is_gated() {
+        let base = read_doc(34.0, 3000.0);
+        let cur = read_doc(45.0, 3000.0); // snapshot queries touch more pages
+        let diff = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(diff.regressed());
+        let d = diff
+            .deltas
+            .iter()
+            .find(|d| d.metric == "reads_per_query")
+            .expect("row");
+        assert_eq!(d.row, "readers=8/writers=2");
+        assert!(d.regressed);
+    }
+
+    #[test]
+    fn read_heavy_wall_clock_gated_only_on_request() {
+        let base = read_doc(34.0, 3000.0);
+        let cur = read_doc(34.0, 1000.0); // throughput collapse, same I/O
+        let quiet = diff_reports(&base, &cur, 10.0, false).expect("diff");
+        assert!(!quiet.regressed(), "wall-clock must not gate by default");
+        assert_eq!(quiet.deltas.len(), 1);
+        let loud = diff_reports(&base, &cur, 10.0, true).expect("diff");
+        assert!(loud.regressed());
+        assert!(loud
+            .deltas
+            .iter()
+            .any(|d| d.metric == "snapshot_queries_per_sec" && d.regressed));
     }
 
     #[test]

@@ -143,11 +143,12 @@ fn arm_all_shards(
 
 fn run_policy(cfg: &DurableConfig, policy: FsyncPolicy) -> DurableCell {
     let root = tmp_root(policy);
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards: cfg.shards,
             queue_depth: 64,
             fsync: policy,
+            ..ServeConfig::default()
         },
         Box::new(IdHashShard),
         |_, _| DualBPlusIndex::new(DualBPlusConfig::default()),

@@ -30,7 +30,7 @@ use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
 use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
-use mobidx_core::{sort_by_dual_locality, Index1D, Motion1D};
+use mobidx_core::{sort_by_dual_locality, Index1D, Motion1D, QueryRequest};
 use mobidx_obs::{Histogram, HistogramSnapshot};
 use mobidx_workload::{paper, Simulator1D, WorkloadConfig};
 use std::collections::hash_map::Entry;
@@ -270,7 +270,9 @@ pub fn run_scenario(
                 let q = sim.gen_query(yqmax, tw);
                 idx.clear_buffers();
                 idx.reset_io();
-                let (ids, trace) = idx.query_traced(&q);
+                let out = idx.query(&QueryRequest::new(&q).traced());
+                let trace = out.trace.clone().expect("traced request yields a trace");
+                let ids = out.ids;
                 query_ios += trace.ios();
                 results += ids.len() as u64;
                 candidates += trace.candidates;

@@ -113,6 +113,22 @@ mod tests {
     }
 
     #[test]
+    fn report_with_snapshot_series_passes() {
+        let text = report(
+            2,
+            &[
+                ("reads_on_snapshot{shard=\"0\"}", 40),
+                ("reads_on_snapshot{shard=\"1\"}", 40),
+                ("reads_on_snapshot_total", 80),
+                ("snapshot_epoch", 12),
+                ("snapshot_age_ticks", 1),
+            ],
+        );
+        let summary = validate_report(&text).expect("snapshot series must be accepted");
+        assert!(summary.contains("7 series"), "{summary}");
+    }
+
+    #[test]
     fn missing_shard_series_fails() {
         let mut text = report(3, &[]);
         text = text.replace(

@@ -24,15 +24,25 @@
 //! concurrent queries overlap their I/O waits across shards the way
 //! independent spindles would — both effects are why the speed-up holds
 //! on a single-core host.
+//!
+//! [`run_read_heavy`] adds the snapshot-read bracket: reader threads
+//! answer from the latest published snapshot (no worker queues at all)
+//! while writer threads race group commits, with the same per-I/O
+//! latency charged per frozen page
+//! ([`ShardedDb::set_snapshot_read_delay`]). The queued baseline runs
+//! the identical workload through the worker queues, so each cell's
+//! `read_speedup` isolates what snapshot publication buys the read
+//! path.
 
 use crate::{QueryMix, Scale};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::SpeedBand;
+use mobidx_core::{QueryRequest, SpeedBand};
 use mobidx_obs::json::{chrome_trace, Value};
 use mobidx_obs::{Histogram, HistogramSnapshot};
 use mobidx_pager::{DelayBackend, MemBackend};
 use mobidx_serve::{Batch, ServeConfig, ShardedDb, SpeedBandShard};
 use mobidx_workload::{MorQuery1D, Simulator1D, WorkloadConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -118,7 +128,7 @@ pub struct ThroughputCell {
 #[must_use]
 pub fn run_throughput(cfg: &ThroughputConfig, shards: usize) -> ThroughputCell {
     let shard_fn = SpeedBandShard::new(SpeedBand::paper());
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards,
             queue_depth: cfg.queue_depth,
@@ -164,13 +174,19 @@ pub fn run_throughput(cfg: &ThroughputConfig, shards: usize) -> ThroughputCell {
     // wrapped in a DelayBackend so each counted I/O costs wall-clock.
     let (yqmax, tw) = QueryMix::Large.params();
     let queries: Vec<MorQuery1D> = (0..cfg.queries).map(|_| sim.gen_query(yqmax, tw)).collect();
-    let (mem_secs, total_results) = timed_queries(&db, &queries, cfg.client_threads, None);
+    let (mem_secs, total_results) = timed_queries(&db, &queries, cfg.client_threads, None, true);
 
     install_disk_model(&db, shards, cfg.io_latency_us);
     db.reset_io().expect("reset I/O counters");
     let disk_queries = &queries[..cfg.disk_queries.clamp(1, queries.len())];
     let latency_us = Histogram::new();
-    let (disk_secs, _) = timed_queries(&db, disk_queries, cfg.client_threads, Some(&latency_us));
+    let (disk_secs, _) = timed_queries(
+        &db,
+        disk_queries,
+        cfg.client_threads,
+        Some(&latency_us),
+        true,
+    );
     let reads = db.io_totals().expect("I/O totals").reads;
 
     #[allow(clippy::cast_precision_loss)]
@@ -210,12 +226,15 @@ fn install_disk_model(db: &ShardedDb<DualBPlusIndex>, shards: usize, io_latency_
 /// Runs `queries` against `db` from `client_threads` concurrent clients;
 /// returns (elapsed seconds, summed result cardinalities). When
 /// `latency_us` is given, each query's wall-clock is recorded into it in
-/// microseconds.
+/// microseconds. `queued` pins the worker fan-out path (the disk-model
+/// phases measure the pager, which snapshot reads bypass); `false`
+/// serves from the published snapshot.
 fn timed_queries(
     db: &ShardedDb<DualBPlusIndex>,
     queries: &[MorQuery1D],
     client_threads: usize,
     latency_us: Option<&Histogram>,
+    queued: bool,
 ) -> (f64, u64) {
     let chunk = queries.len().div_ceil(client_threads.max(1));
     let start = Instant::now();
@@ -227,7 +246,9 @@ fn timed_queries(
                     let mut sum = 0u64;
                     for q in qs {
                         let sent = Instant::now();
-                        sum += db.query(q).expect("fan-out query").len() as u64;
+                        let req = QueryRequest::new(q);
+                        let req = if queued { req.queued() } else { req };
+                        sum += db.query(&req).expect("fan-out query").len() as u64;
                         if let Some(h) = latency_us {
                             h.record(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
                         }
@@ -299,7 +320,7 @@ pub fn run_batch_sweep(cfg: &ThroughputConfig, batch_sizes: &[usize]) -> Vec<Bat
     for &batch in batch_sizes {
         let batch = batch.max(1);
         let shard_fn = SpeedBandShard::new(SpeedBand::paper());
-        let mut db = ShardedDb::new(
+        let db = ShardedDb::new(
             ServeConfig {
                 shards: SHARDS,
                 queue_depth: cfg.queue_depth,
@@ -381,19 +402,232 @@ pub fn run_batch_sweep(cfg: &ThroughputConfig, batch_sizes: &[usize]) -> Vec<Bat
     out
 }
 
+/// One cell of the read-heavy sweep: concurrent snapshot readers racing
+/// writer group commits at one reader:writer thread ratio, fixed shard
+/// count, both disk models armed (pager I/O on the queued path, frozen
+/// pages on the snapshot path — same per-I/O latency).
+#[derive(Debug, Clone)]
+pub struct ReadHeavyCell {
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// Concurrent writer threads (each applying group commits in a loop
+    /// for the whole read phase).
+    pub writers: usize,
+    /// Snapshot queries timed (summed over readers).
+    pub queries: usize,
+    /// Queries/sec of the snapshot path (epoch-stamped reads, zero
+    /// queueing) under concurrent commits.
+    pub snapshot_queries_per_sec: f64,
+    /// Queries/sec of the same workload forced through the worker
+    /// queues ([`QueryRequest::queued`]) — the pre-snapshot baseline.
+    pub queued_queries_per_sec: f64,
+    /// `snapshot_queries_per_sec / queued_queries_per_sec` — the
+    /// headline read-path gain.
+    pub read_speedup: f64,
+    /// Frozen pages visited per snapshot query, from a serial spanned
+    /// probe run against the warm pre-race snapshot (deterministic: the
+    /// load and warm-up history is seeded and single-threaded, so the
+    /// frozen page layout is bit-identical across runs).
+    pub reads_per_query: f64,
+    /// Commit epochs published while the snapshot read phase ran —
+    /// evidence the readers really raced live publication.
+    pub epochs_advanced: u64,
+}
+
+/// Queries every snapshot probe samples for `reads_per_query`.
+const READ_PROBE: usize = 32;
+
+/// Runs the read-heavy sweep: a fixed-shard serving stack, reader
+/// threads replaying a seeded query set while writer threads
+/// continuously apply group commits. Each `(readers, writers)` ratio is
+/// measured twice over the same settled tree — once forced through the
+/// worker queues (the queued baseline, pager disk model) and once on
+/// the default snapshot path (frozen-page disk model, same per-I/O
+/// latency) — so `read_speedup` isolates the routing change.
+///
+/// The `reads_per_query` probe runs *before* any race, against the
+/// warm snapshot whose page layout is fully determined by the seeded
+/// single-threaded load — tree layout is history-dependent, so a
+/// post-race probe would not be deterministic. Between the two race
+/// phases the writer batches are re-applied serially so both phases
+/// start from the same logical object states.
+///
+/// # Panics
+/// Panics on a serve error — the benchmark runs no fault injection, so
+/// any error is a harness bug.
+#[must_use]
+pub fn run_read_heavy(
+    cfg: &ThroughputConfig,
+    shards: usize,
+    ratios: &[(usize, usize)],
+) -> Vec<ReadHeavyCell> {
+    let mut out = Vec::new();
+    for &(readers, writers) in ratios {
+        let readers = readers.max(1);
+        let writers = writers.max(1);
+        let shard_fn = SpeedBandShard::new(SpeedBand::paper());
+        let db = ShardedDb::new(
+            ServeConfig {
+                shards,
+                queue_depth: cfg.queue_depth,
+                ..ServeConfig::default()
+            },
+            Box::new(shard_fn),
+            move |i, s| {
+                DualBPlusIndex::new(DualBPlusConfig {
+                    band: shard_fn.index_band(i, s),
+                    ..DualBPlusConfig::default()
+                })
+            },
+        );
+        let mut sim = Simulator1D::new(WorkloadConfig {
+            n: cfg.n,
+            seed: cfg.seed,
+            ..WorkloadConfig::default()
+        });
+        let mut load = Batch::new();
+        for m in sim.objects() {
+            load.insert(*m);
+        }
+        db.apply(&load).expect("initial load");
+        for _ in 0..cfg.warm_instants {
+            db.apply(&step_batch(&mut sim)).expect("warm-up updates");
+        }
+
+        // Both disk models charge the same latency, so the comparison
+        // isolates the read path: queued legs pay per pager I/O,
+        // snapshot legs per frozen page.
+        install_disk_model(&db, shards, cfg.io_latency_us);
+        db.set_snapshot_read_delay(Duration::from_micros(cfg.io_latency_us));
+
+        let (yqmax, tw) = QueryMix::Large.params();
+        let per_reader = cfg.disk_queries.max(1);
+        let queries: Vec<MorQuery1D> = (0..per_reader).map(|_| sim.gen_query(yqmax, tw)).collect();
+        let commits: Vec<Batch> = (0..cfg.measure_instants.max(1))
+            .map(|_| step_batch(&mut sim))
+            .collect();
+
+        let settle = |db: &ShardedDb<DualBPlusIndex>| {
+            for b in &commits {
+                db.apply(b).expect("settling re-apply");
+            }
+        };
+
+        // Serial spanned probe over the warm pre-race snapshot: frozen
+        // pages per query, deterministic because the seeded load/warm
+        // history (and so the frozen page layout) is.
+        let probe = &queries[..READ_PROBE.min(queries.len())];
+        let mut probe_reads = 0u64;
+        for q in probe {
+            let out = db
+                .query(&QueryRequest::new(q).spanned(Instant::now()))
+                .expect("snapshot probe");
+            let span = out.span.expect("spanned request yields a span");
+            probe_reads += span.total_io().reads;
+        }
+
+        let (queued_secs, _) = race_readers(&db, &queries, readers, writers, &commits, true);
+        settle(&db);
+        let epoch_before = db.snapshot_epoch();
+        let (snap_secs, _) = race_readers(&db, &queries, readers, writers, &commits, false);
+        let epochs_advanced = db.snapshot_epoch() - epoch_before;
+
+        let total_queries = per_reader * readers;
+        #[allow(clippy::cast_precision_loss)]
+        let snapshot_qps = total_queries as f64 / snap_secs.max(1e-9);
+        #[allow(clippy::cast_precision_loss)]
+        let queued_qps = total_queries as f64 / queued_secs.max(1e-9);
+        #[allow(clippy::cast_precision_loss)]
+        out.push(ReadHeavyCell {
+            readers,
+            writers,
+            queries: total_queries,
+            snapshot_queries_per_sec: snapshot_qps,
+            queued_queries_per_sec: queued_qps,
+            read_speedup: if queued_qps > 0.0 {
+                snapshot_qps / queued_qps
+            } else {
+                0.0
+            },
+            reads_per_query: probe_reads as f64 / probe.len().max(1) as f64,
+            epochs_advanced,
+        });
+    }
+    out
+}
+
+/// One read-heavy race phase: `readers` threads each replay the full
+/// query list (`queued` picks the routing) while `writers` threads
+/// apply the commit batches cyclically until the readers finish.
+/// Returns (elapsed seconds over the read phase, summed result
+/// cardinalities).
+fn race_readers(
+    db: &ShardedDb<DualBPlusIndex>,
+    queries: &[MorQuery1D],
+    readers: usize,
+    writers: usize,
+    commits: &[Batch],
+    queued: bool,
+) -> (f64, u64) {
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let mut elapsed = 0.0f64;
+    let total: u64 = std::thread::scope(|scope| {
+        let mut write_handles = Vec::with_capacity(writers);
+        for w in 0..writers {
+            let stop = &stop;
+            write_handles.push(scope.spawn(move || {
+                // Stagger starting offsets so writers don't apply the
+                // same batch in lockstep.
+                let mut i = (w * commits.len()) / writers.max(1);
+                while !stop.load(Ordering::Relaxed) {
+                    db.apply(&commits[i % commits.len()]).expect("race commit");
+                    i += 1;
+                }
+            }));
+        }
+        let read_handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut sum = 0u64;
+                    for q in queries {
+                        let req = QueryRequest::new(q);
+                        let req = if queued { req.queued() } else { req };
+                        sum += db.query(&req).expect("race query").len() as u64;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let total = read_handles
+            .into_iter()
+            .map(|h| h.join().expect("reader"))
+            .sum();
+        elapsed = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        for h in write_handles {
+            h.join().expect("writer");
+        }
+        total
+    });
+    (elapsed, total)
+}
+
 /// Renders the sweep as a `BENCH_serve_<scale>.json` document. The
 /// `speedup_vs_1` of each cell is its disk-model queries/sec relative to
 /// the S = 1 cell of the same sweep (`speedup_vs_1_mem` likewise for the
 /// in-memory phase). A non-empty `batch_cells` (from
 /// [`run_batch_sweep`]) is emitted as a sibling `batch_cells` array,
 /// each cell carrying its `amortization_vs_1` — per-op I/O relative to
-/// the batch = 1 cell.
+/// the batch = 1 cell. A non-empty `read_cells` (from
+/// [`run_read_heavy`]) likewise lands as a `read_cells` array.
 #[must_use]
 pub fn render_report(
     scale_name: &str,
     cfg: &ThroughputConfig,
     cells: &[ThroughputCell],
     batch_cells: &[BatchCell],
+    read_cells: &[ReadHeavyCell],
 ) -> String {
     let base = cells.iter().find(|c| c.shards == 1);
     let base_qps = base.map_or(0.0, |c| c.queries_per_sec);
@@ -482,6 +716,34 @@ pub fn render_report(
             ),
         ));
     }
+    if !read_cells.is_empty() {
+        members.push((
+            "read_cells".to_owned(),
+            Value::Arr(
+                read_cells
+                    .iter()
+                    .map(|c| {
+                        Value::Obj(vec![
+                            ("readers".to_owned(), Value::from(c.readers)),
+                            ("writers".to_owned(), Value::from(c.writers)),
+                            ("queries".to_owned(), Value::from(c.queries)),
+                            (
+                                "snapshot_queries_per_sec".to_owned(),
+                                Value::Num(c.snapshot_queries_per_sec),
+                            ),
+                            (
+                                "queued_queries_per_sec".to_owned(),
+                                Value::Num(c.queued_queries_per_sec),
+                            ),
+                            ("read_speedup".to_owned(), Value::Num(c.read_speedup)),
+                            ("reads_per_query".to_owned(), Value::Num(c.reads_per_query)),
+                            ("epochs_advanced".to_owned(), Value::from(c.epochs_advanced)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
     Value::Obj(members).render_pretty()
 }
 
@@ -498,7 +760,7 @@ pub fn render_report(
 #[must_use]
 pub fn capture_trace(cfg: &ThroughputConfig, shards: usize, queries: usize) -> String {
     let shard_fn = SpeedBandShard::new(SpeedBand::paper());
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards,
             queue_depth: cfg.queue_depth,
@@ -530,7 +792,8 @@ pub fn capture_trace(cfg: &ThroughputConfig, shards: usize, queries: usize) -> S
     let (yqmax, tw) = QueryMix::Large.params();
     for _ in 0..queries.max(1) {
         let q = sim.gen_query(yqmax, tw);
-        db.query_traced(&q).expect("traced query");
+        db.query(&QueryRequest::new(&q).traced())
+            .expect("traced query");
     }
     let spans = db.recent_spans();
     chrome_trace(spans.iter().map(Arc::as_ref)).render_pretty()
@@ -693,9 +956,10 @@ fn drive_phase(db: &mut ShardedDb<DualBPlusIndex>, sim: &mut Simulator1D, instan
         for q_no in 0..8 {
             let q = sim.gen_query(yqmax, tw);
             if (instant + q_no) % 4 == 0 {
-                db.query_traced(&q).expect("traced query");
+                db.query(&QueryRequest::new(&q).traced())
+                    .expect("traced query");
             } else {
-                db.query(&q).expect("query");
+                db.query(&QueryRequest::new(&q)).expect("query");
             }
         }
     }
@@ -880,7 +1144,17 @@ mod tests {
                 drained_max: 9,
             },
         ];
-        let text = render_report("smoke", &cfg, &cells, &batch_cells);
+        let read_cells = vec![ReadHeavyCell {
+            readers: 8,
+            writers: 2,
+            queries: 1600,
+            snapshot_queries_per_sec: 3000.0,
+            queued_queries_per_sec: 1000.0,
+            read_speedup: 3.0,
+            reads_per_query: 34.0,
+            epochs_advanced: 12,
+        }];
+        let text = render_report("smoke", &cfg, &cells, &batch_cells, &read_cells);
         let doc = Value::parse(&text).expect("valid JSON");
         assert_eq!(
             doc.get("benchmark").and_then(Value::as_str),
@@ -907,14 +1181,58 @@ mod tests {
             .and_then(Value::as_f64)
             .expect("amortization");
         assert!((amort - 0.25).abs() < 1e-12);
+        let rc = doc
+            .get("read_cells")
+            .and_then(Value::as_array)
+            .expect("read_cells");
+        assert_eq!(rc.len(), 1);
+        assert_eq!(rc[0].get("readers").and_then(Value::as_u64), Some(8));
+        assert_eq!(rc[0].get("writers").and_then(Value::as_u64), Some(2));
+        let spd = rc[0]
+            .get("read_speedup")
+            .and_then(Value::as_f64)
+            .expect("read_speedup");
+        assert!((spd - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn report_without_batch_sweep_omits_batch_cells() {
         let cfg = ThroughputConfig::from_scale(&Scale::smoke(), 7);
-        let text = render_report("smoke", &cfg, &[], &[]);
+        let text = render_report("smoke", &cfg, &[], &[], &[]);
         let doc = Value::parse(&text).expect("valid JSON");
         assert!(doc.get("batch_cells").is_none());
+        assert!(doc.get("read_cells").is_none());
+    }
+
+    #[test]
+    fn read_heavy_races_snapshot_reads_against_commits() {
+        let cfg = ThroughputConfig {
+            n: 5000,
+            warm_instants: 2,
+            measure_instants: 3,
+            queries: 0,
+            disk_queries: 20,
+            io_latency_us: 1,
+            client_threads: 1,
+            queue_depth: 64,
+            seed: 0xBEEF,
+        };
+        let cells = run_read_heavy(&cfg, 2, &[(2, 1)]);
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        assert_eq!((c.readers, c.writers), (2, 1));
+        assert_eq!(c.queries, 40, "2 readers x 20 queries");
+        assert!(c.snapshot_queries_per_sec > 0.0);
+        assert!(c.queued_queries_per_sec > 0.0);
+        assert!(c.read_speedup > 0.0);
+        assert!(
+            c.reads_per_query > 0.0,
+            "snapshot probe must visit frozen pages"
+        );
+        assert!(
+            c.epochs_advanced >= 1,
+            "the writer must publish at least one epoch during the read phase"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ mod node;
 mod tree;
 
 pub use node::Node;
-pub use tree::{BPlusTree, TreeConfig};
+pub use tree::{BPlusTree, FrozenTree, TreeConfig};
 
 use mobidx_pager::{page_capacity, DEFAULT_PAGE_SIZE};
 

@@ -413,6 +413,24 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
         Ok(())
     }
 
+    /// Publishes an immutable snapshot of the tree.
+    ///
+    /// The snapshot shares pages with the live tree (the page store holds
+    /// pages behind `Arc`); publication is O(live slots) pointer bumps,
+    /// and only pages the live tree dirties *after* the freeze are
+    /// content-copied (copy-on-write). Snapshot reads go straight to the
+    /// frozen pages — no buffer pool, no I/O accounting, no faults — so
+    /// a [`FrozenTree`] can be queried through `&self` from any thread.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenTree<K, V> {
+        FrozenTree {
+            pages: self.store.freeze(),
+            root: self.root,
+            height: self.height,
+            len: self.len,
+        }
+    }
+
     /// Whether the exact entry `(key, value)` is present.
     ///
     /// # Panics
@@ -1207,6 +1225,98 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
     }
 }
 
+/// An immutable snapshot of a [`BPlusTree`], published by
+/// [`BPlusTree::freeze`].
+///
+/// Holds the frozen page table by `Arc`, so it is cheap to clone, is
+/// `Send + Sync`, and stays valid after the live tree mutates (the live
+/// tree copies pages on write) or is dropped entirely. Reads take
+/// `&self`, bypass the buffer pool, and cannot fault — the external-
+/// memory cost of a snapshot scan is reported to the caller as the
+/// number of pages visited instead of through [`IoStats`].
+#[derive(Debug, Clone)]
+pub struct FrozenTree<K: Key, V: Copy + Ord + Debug> {
+    pages: mobidx_pager::FrozenPages<Node<K, V>>,
+    root: PageId,
+    height: usize,
+    len: usize,
+}
+
+impl<K: Key, V: Copy + Ord + Debug> FrozenTree<K, V> {
+    /// Number of entries at freeze time.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads a frozen page; panics on a dangling id (structurally
+    /// impossible for ids reached from the frozen root).
+    fn page(&self, id: PageId) -> &Node<K, V> {
+        self.pages.get(id).expect("frozen page missing")
+    }
+
+    /// Visits every entry with key in `[lo, hi]`, in key order, and
+    /// returns the number of pages visited (the snapshot-read analogue
+    /// of the query's I/O count).
+    ///
+    /// Mirrors [`BPlusTree::try_range_for_each`] exactly, but over the
+    /// frozen pages: same descent, same leaf-chain walk, same inclusive
+    /// bounds.
+    pub fn range_for_each(&self, lo: K, hi: K, mut visit: impl FnMut(K, V)) -> u64 {
+        if cmp_key(&lo, &hi) == Ordering::Greater {
+            return 0;
+        }
+        let mut pages = 0u64;
+        // Descend to the leftmost leaf that can contain `lo`.
+        let mut node = self.root;
+        for _ in 1..self.height {
+            pages += 1;
+            node = match self.page(node) {
+                Node::Branch { seps, children } => {
+                    let idx = seps.partition_point(|s| cmp_key(&s.0, &lo) == Ordering::Less);
+                    children[idx]
+                }
+                Node::Leaf { .. } => unreachable!("leaf above leaf level"),
+            };
+        }
+        // Scan the leaf chain.
+        let mut current = Some(node);
+        while let Some(leaf) = current {
+            pages += 1;
+            let (entries, next) = match self.page(leaf) {
+                Node::Leaf { entries, next } => (entries, *next),
+                Node::Branch { .. } => unreachable!("branch at leaf level"),
+            };
+            for (k, v) in entries {
+                match cmp_key(k, &hi) {
+                    Ordering::Greater => return pages,
+                    _ => {
+                        if cmp_key(k, &lo) != Ordering::Less {
+                            visit(*k, *v);
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        pages
+    }
+
+    /// Reports every value whose key lies in `[lo, hi]`, in key order.
+    #[must_use]
+    pub fn range(&self, lo: K, hi: K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        self.range_for_each(lo, hi, |k, v| out.push((k, v)));
+        out
+    }
+}
+
 /// Durable trees: when keys and values are [`FixedCodec`] scalars the
 /// nodes have a byte image, so the tree can sit on a durable backend
 /// ([`mobidx_pager::FileBackend`]), seal commit windows into its
@@ -1355,6 +1465,42 @@ mod tests {
         assert!(!t.remove(1.0, 1));
         assert!(!t.contains(1.0, 1));
         t.check_invariants(true);
+    }
+
+    #[test]
+    fn frozen_view_matches_live_and_survives_mutation() {
+        let mut t: BPlusTree<f64, u64> = BPlusTree::new(small_cfg());
+        for i in 0..100u64 {
+            #[allow(clippy::cast_precision_loss)]
+            t.insert((i % 10) as f64, i);
+        }
+        let snap = t.freeze();
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap.range(3.0, 4.0), t.range(3.0, 4.0));
+        assert_eq!(snap.range(-1.0, 100.0), t.range(-1.0, 100.0));
+        assert_eq!(snap.range(5.0, 4.0), vec![]);
+        // Mutations after the freeze are invisible to the snapshot …
+        for i in 100..300u64 {
+            #[allow(clippy::cast_precision_loss)]
+            t.insert((i % 10) as f64, i);
+        }
+        for v in 0..100u64 {
+            #[allow(clippy::cast_precision_loss)]
+            t.remove((v % 10) as f64, v);
+        }
+        t.check_invariants(true);
+        let frozen: Vec<u64> = snap.range(0.0, 10.0).iter().map(|&(_, v)| v).collect();
+        let mut expect: Vec<u64> = (0..100).collect();
+        expect.sort_by_key(|&v| (v % 10, v));
+        assert_eq!(frozen, expect);
+        // … and a page-count is reported (root-to-leaf path + leaves).
+        let mut pages = 0;
+        let visited = snap.range_for_each(0.0, 10.0, |_, _| pages += 1);
+        assert_eq!(pages, 100);
+        assert!(visited > 1, "multi-level scan must touch several pages");
+        // The snapshot outlives the tree.
+        drop(t);
+        assert_eq!(snap.range(3.0, 3.0).len(), 10);
     }
 
     #[test]

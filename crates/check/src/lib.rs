@@ -25,7 +25,7 @@
 
 use mobidx_bptree::{BPlusTree, TreeConfig};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::{Motion1D, SpeedBand};
+use mobidx_core::{Motion1D, QueryRequest, SpeedBand};
 use mobidx_geom::{Aabb, Rect2};
 use mobidx_interval::{IntervalConfig, IntervalTree};
 use mobidx_kdtree::{KdConfig, KdTree};
@@ -171,6 +171,11 @@ pub struct Report {
     pub retries: u64,
     /// Faults fully recovered by retrying.
     pub recovered: u64,
+    /// Stale-snapshot probes: queries answered from a pre-mutation
+    /// [`mobidx_serve::ReadView`] and compared against the oracle state
+    /// *as of that view's commit epoch* (the reads-see-a-prefix
+    /// contract). Only the `sharded` index runs these.
+    pub snapshot_checks: usize,
 }
 
 impl Report {
@@ -186,6 +191,7 @@ impl Report {
             injected: 0,
             retries: 0,
             recovered: 0,
+            snapshot_checks: 0,
         }
     }
 
@@ -201,7 +207,7 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<9} {:<10} seed={:<12} ops={} queries={} injected={} retried={} recovered={} surfaced={} rebuilds={}",
+            "{:<9} {:<10} seed={:<12} ops={} queries={} injected={} retried={} recovered={} surfaced={} rebuilds={} snapshots={}",
             self.index,
             self.mode.name(),
             self.seed,
@@ -212,6 +218,7 @@ impl fmt::Display for Report {
             self.recovered,
             self.faults_surfaced,
             self.rebuilds,
+            self.snapshot_checks,
         )
     }
 }
@@ -1100,7 +1107,7 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
 
     let band = SpeedBand::paper();
     let sf = SpeedBandShard::new(band);
-    let mut db: ShardedDb<DualBPlusIndex> = ShardedDb::new(
+    let db: ShardedDb<DualBPlusIndex> = ShardedDb::new(
         ServeConfig {
             shards: SHARDED_SHARDS,
             queue_depth: 16,
@@ -1123,6 +1130,14 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
     // The oracle is an ordered map so that "pick the n-th tracked
     // object" is deterministic across runs of the same seed.
     let mut oracle: BTreeMap<u64, Motion1D> = BTreeMap::new();
+    // The reads-see-a-prefix ledger: the oracle state as of each
+    // published commit epoch. Epoch 0 is the (empty) initial load; a
+    // new entry is recorded at the end of any op whose apply or rebuild
+    // published a snapshot. `or_insert_with` because an epoch's state
+    // is fixed at publication — a paused publisher must not overwrite
+    // the state its stale snapshot still serves.
+    let mut epoch_states: BTreeMap<u64, BTreeMap<u64, Motion1D>> = BTreeMap::new();
+    epoch_states.insert(0, BTreeMap::new());
     let mut next_id = 0u64;
     let mut round = 0u64;
     for shard in 0..SHARDED_SHARDS {
@@ -1174,6 +1189,10 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
             // index. The oracle therefore applies the op on *both* the
             // Ok and the fault paths; only a validation error (which
             // the harness never provokes) would mean divergence.
+            // Capture the published snapshot *before* the mutation: once
+            // the batch commits it must keep answering from its own
+            // epoch's state, untouched by the commit racing past it.
+            let stale_view = db.read_view();
             let mut batch = Batch::new();
             let mutation: Motion1D;
             let is_remove: bool;
@@ -1225,6 +1244,40 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
             } else {
                 oracle.insert(mutation.id, mutation);
             }
+            // Stale-snapshot probe: the view captured before the commit
+            // must still answer exactly from the oracle state at its
+            // own epoch — never the state the batch above produced.
+            if let Some(view) = stale_view {
+                if let Some(frozen) = epoch_states.get(&view.epoch()) {
+                    let y1 = rng.below(terrain as u64) as f64 + 1.0 / 128.0;
+                    let t1 = 300.0 + rng.below(60) as f64;
+                    let q = MorQuery1D {
+                        y1,
+                        y2: y1 + rng.below(terrain as u64 / 5) as f64,
+                        t1,
+                        t2: t1 + rng.below(60) as f64,
+                    };
+                    let objects: Vec<Motion1D> = frozen.values().copied().collect();
+                    let want = brute_force_1d(&objects, &q);
+                    let got = view.query(&q);
+                    report.snapshot_checks += 1;
+                    if got != want {
+                        return Err(diverge(
+                            &report,
+                            cfg,
+                            op,
+                            format!(
+                                "reads-see-a-prefix violated: snapshot at epoch {} \
+                                 answered {} ids where its epoch's oracle has {} \
+                                 (query {q:?})",
+                                view.epoch(),
+                                got.len(),
+                                want.len()
+                            ),
+                        ));
+                    }
+                }
+            }
         } else {
             // Fan-out MOR query vs brute force over the oracle table.
             // The 1/128 edge offset keeps every trajectory strictly off
@@ -1245,8 +1298,12 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
             // factory's clean one, so at most `SHARDED_SHARDS`
             // iterations can fault.
             let got = loop {
-                match db.query(&q) {
-                    Ok(v) => break v,
+                // Route through the worker queues: the snapshot path is
+                // infallible by design (a faulted shard just pauses
+                // publication), but this harness exists to exercise the
+                // tier's typed-error surfacing and rebuild protocol.
+                match db.query(&QueryRequest::new(&q).queued()) {
+                    Ok(v) => break v.into_ids(),
                     Err(
                         ServeError::ShardFault { shard, .. } | ServeError::ShardPoisoned { shard },
                     ) => {
@@ -1312,6 +1369,16 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
             round += 1;
             arm_shard(&db, shard, cfg.faults, mix(cfg.seed, 2000 + round))
                 .expect("rebuilt shards accept a backend swap");
+        }
+        // If this op's apply or rebuild published a new epoch, ledger
+        // the oracle state it sealed; prune so the map stays bounded
+        // (a stale view is always at most one op behind the newest
+        // entry, so eight epochs of history is plenty).
+        epoch_states
+            .entry(db.snapshot_epoch())
+            .or_insert_with(|| oracle.clone());
+        while epoch_states.len() > 8 {
+            epoch_states.pop_first();
         }
         report.ops += 1;
     }

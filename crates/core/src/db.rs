@@ -8,7 +8,7 @@
 //! table, keyed by object id, so callers update by id without tracking
 //! the previously inserted record themselves.
 
-use crate::method::{Index1D, IoTotals};
+use crate::method::{Index1D, IoTotals, QueryOutput, QueryRequest};
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::collections::HashMap;
 use std::fmt;
@@ -101,7 +101,7 @@ pub fn sort_by_dual_locality(motions: &mut [Motion1D]) {
 /// ```
 /// use mobidx_core::db::MotionDb;
 /// use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-/// use mobidx_core::{Motion1D, MorQuery1D};
+/// use mobidx_core::{Motion1D, MorQuery1D, QueryRequest};
 ///
 /// let mut db = MotionDb::new(DualBPlusIndex::new(DualBPlusConfig::default()));
 /// db.insert(Motion1D { id: 42, t0: 0.0, y0: 100.0, v: 1.0 });
@@ -110,7 +110,8 @@ pub fn sort_by_dual_locality(motions: &mut [Motion1D]) {
 /// db.update(Motion1D { id: 42, t0: 20.0, y0: 120.0, v: -0.5 });
 ///
 /// let q = MorQuery1D { y1: 100.0, y2: 111.0, t1: 38.0, t2: 42.0 };
-/// assert_eq!(db.query(&q), vec![42]); // at t = 40 it is back at 110
+/// // At t = 40 the object is back at 110.
+/// assert_eq!(db.query(&QueryRequest::new(&q)), vec![42]);
 /// assert_eq!(db.remove(42).map(|m| m.v), Some(-0.5));
 /// assert!(db.is_empty());
 /// ```
@@ -321,22 +322,26 @@ impl<I: Index1D> MotionDb<I> {
         self.try_remove(id).ok()
     }
 
-    /// Answers a MOR query (sorted ids).
-    pub fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
-        self.index.query(q)
+    /// Answers a MOR query — the one read entry point (see
+    /// [`QueryRequest`] for the options: trace/span construction and
+    /// out-buffer reuse).
+    pub fn query(&mut self, req: &QueryRequest<'_, MorQuery1D>) -> QueryOutput {
+        self.index.query(req)
     }
 
-    /// Answers a MOR query into a caller-provided buffer (cleared, then
-    /// filled with the sorted, deduplicated ids) — see
-    /// [`Index1D::query_into`].
+    /// Answers a MOR query into a caller-provided buffer.
+    #[deprecated(note = "use query(&QueryRequest::new(q).with_buffer(..)) instead")]
     pub fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
-        self.index.query_into(q, out);
+        self.index.search(q, out);
     }
 
     /// Answers a MOR query inside a trace span (I/O delta, candidates vs
     /// results, latency, per-store breakdown).
+    #[deprecated(note = "use query(&QueryRequest::new(q).traced()) instead")]
     pub fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, mobidx_obs::QueryTrace) {
-        self.index.query_traced(q)
+        let out = self.index.query(&QueryRequest::new(q).traced());
+        let trace = out.trace.clone().expect("trace requested");
+        (out.into_ids(), trace)
     }
 
     /// The underlying index (e.g. for method-specific extensions such as
@@ -396,7 +401,10 @@ mod tests {
         assert_eq!(db.len(), 300);
         for _ in 0..10 {
             let q = sim.gen_query(150.0, 60.0);
-            assert_eq!(db.query(&q), brute_force_1d(sim.objects(), &q));
+            assert_eq!(
+                db.query(&QueryRequest::new(&q)),
+                brute_force_1d(sim.objects(), &q)
+            );
         }
     }
 
@@ -420,7 +428,7 @@ mod tests {
             t1: 0.0,
             t2: 100.0,
         };
-        assert!(db.query(&q).is_empty());
+        assert!(db.query(&QueryRequest::new(&q)).is_empty());
     }
 
     #[test]
@@ -450,8 +458,8 @@ mod tests {
         for _ in 0..10 {
             let q = sim.gen_query(150.0, 60.0);
             let want = brute_force_1d(sim.objects(), &q);
-            assert_eq!(seq.query(&q), want);
-            assert_eq!(bat.query(&q), want);
+            assert_eq!(seq.query(&QueryRequest::new(&q)), want);
+            assert_eq!(bat.query(&QueryRequest::new(&q)), want);
         }
     }
 

@@ -32,7 +32,10 @@ pub mod method;
 
 pub use db::{sort_by_dual_locality, BatchError, DbOp, DuplicateId, MotionDb, UnknownId};
 pub use dual::{hough_x_point, hough_x_query, hough_y_b, SpeedBand};
-pub use method::{Index1D, Index2D, IndexStats, IoTotals};
+pub use method::{
+    FrozenIndex1D, FrozenReadStats, Index1D, Index2D, IndexStats, IoTotals, QueryOutput,
+    QueryRequest,
+};
 
 // Re-export the vocabulary types so downstream users need only this crate.
 pub use mobidx_workload::{MorQuery1D, MorQuery2D, Motion1D, Motion2D};

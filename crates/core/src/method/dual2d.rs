@@ -21,7 +21,7 @@
 
 use crate::dual::{hough_x_query, SpeedBand};
 use crate::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use crate::method::{finish_ids, Index1D, Index2D, IndexStats, IoTotals};
+use crate::method::{Index1D, Index2D, IndexStats, IoTotals};
 use mobidx_geom::ProductRegion;
 use mobidx_kdtree::{KdConfig, KdTree};
 use mobidx_ptree::{PartitionConfig, PartitionForest};
@@ -121,9 +121,10 @@ impl Index2D for Dual4KdIndex {
         self.tree.remove(dual4_point(m), m.id)
     }
 
-    fn query(&mut self, q: &MorQuery2D) -> Vec<u64> {
-        let mut ids = Vec::new();
+    fn search(&mut self, q: &MorQuery2D, out: &mut Vec<u64>) {
+        out.clear();
         let mut candidates = 0u64;
+        let ids = &mut *out;
         for region in dual4_regions(q, &self.band) {
             self.tree.query(&region, |p, id| {
                 candidates += 1;
@@ -133,7 +134,8 @@ impl Index2D for Dual4KdIndex {
             });
         }
         self.last_candidates = candidates;
-        finish_ids(ids)
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -188,9 +190,10 @@ impl Index2D for Dual4PtreeIndex {
         self.forest.remove(dual4_point(m), m.id)
     }
 
-    fn query(&mut self, q: &MorQuery2D) -> Vec<u64> {
-        let mut ids = Vec::new();
+    fn search(&mut self, q: &MorQuery2D, out: &mut Vec<u64>) {
+        out.clear();
         let mut candidates = 0u64;
+        let ids = &mut *out;
         for region in dual4_regions(q, &self.band) {
             self.forest.query(&region, |p, id| {
                 candidates += 1;
@@ -200,7 +203,8 @@ impl Index2D for Dual4PtreeIndex {
             });
         }
         self.last_candidates = candidates;
-        finish_ids(ids)
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -297,7 +301,8 @@ impl Index2D for Decomposition2D {
         a && b
     }
 
-    fn query(&mut self, q: &MorQuery2D) -> Vec<u64> {
+    fn search(&mut self, q: &MorQuery2D, out: &mut Vec<u64>) {
+        out.clear();
         let x_hits = self.x_index.query_motions(&q.x_query());
         let y_hits = self.y_index.query_motions(&q.y_query());
         // Hash-join on id, then refine exactly.
@@ -305,16 +310,14 @@ impl Index2D for Decomposition2D {
         for my in y_hits {
             y_by_id.insert(my.id, my);
         }
-        let ids = x_hits
-            .into_iter()
-            .filter_map(|mx| {
-                y_by_id
-                    .get(&mx.id)
-                    .filter(|my| matches_axes(&mx, my, q))
-                    .map(|_| mx.id)
-            })
-            .collect();
-        finish_ids(ids)
+        out.extend(x_hits.into_iter().filter_map(|mx| {
+            y_by_id
+                .get(&mx.id)
+                .filter(|my| matches_axes(&mx, my, q))
+                .map(|_| mx.id)
+        }));
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -346,7 +349,7 @@ mod tests {
             if step % 5 == 0 {
                 for _ in 0..6 {
                     let q = sim.gen_query(200.0, 40.0);
-                    let got = idx.query(&q);
+                    let got = idx.query(&crate::method::QueryRequest::new(&q));
                     let want = brute_force_2d(sim.objects(), &q);
                     assert_eq!(got, want, "{}: step {step} {q:?}", idx.name());
                 }
@@ -413,6 +416,9 @@ mod tests {
         assert!(q.x_query().matches(&m.x_motion()));
         assert!(q.y_query().matches(&m.y_motion()));
         assert!(!q.matches(&m));
-        assert_eq!(idx.query(&q), Vec::<u64>::new());
+        assert_eq!(
+            idx.query(&crate::method::QueryRequest::new(&q)),
+            Vec::<u64>::new()
+        );
     }
 }

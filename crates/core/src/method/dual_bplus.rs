@@ -25,7 +25,7 @@
 
 use crate::dual::{enlargement_e, hough_y_b, hough_y_interval, SpeedBand};
 use crate::method::{Index1D, IndexStats, IoTotals};
-use mobidx_bptree::{BPlusTree, TreeConfig};
+use mobidx_bptree::{BPlusTree, FrozenTree, TreeConfig};
 use mobidx_interval::{IntervalConfig, IntervalTree};
 use mobidx_workload::{MorQuery1D, Motion1D};
 
@@ -91,7 +91,7 @@ impl ObsIndex {
 ///
 /// ```
 /// use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-/// use mobidx_core::{Index1D, Motion1D, MorQuery1D};
+/// use mobidx_core::{Index1D, Motion1D, MorQuery1D, QueryRequest};
 ///
 /// let mut index = DualBPlusIndex::new(DualBPlusConfig::default());
 /// // A car at mile 120 doing 0.8 miles/minute, recorded at t = 0.
@@ -101,14 +101,14 @@ impl ObsIndex {
 ///
 /// // Who is inside [140, 200] at some instant of t in [30, 40]?
 /// let q = MorQuery1D { y1: 140.0, y2: 200.0, t1: 30.0, t2: 40.0 };
-/// assert_eq!(index.query(&q), vec![1]);
+/// assert_eq!(index.query(&QueryRequest::new(&q)), vec![1]);
 ///
 /// // A motion update is delete(old) + insert(new).
 /// let old = Motion1D { id: 1, t0: 0.0, y0: 120.0, v: 0.8 };
 /// let new = Motion1D { id: 1, t0: 10.0, y0: 128.0, v: -0.5 };
 /// assert!(index.remove(&old));
 /// index.insert(&new);
-/// assert_eq!(index.query(&q), Vec::<u64>::new());
+/// assert_eq!(index.query(&QueryRequest::new(&q)), Vec::<u64>::new());
 /// ```
 #[derive(Debug)]
 pub struct DualBPlusIndex {
@@ -571,13 +571,7 @@ impl Index1D for DualBPlusIndex {
         found.into_iter().filter(|&f| f).count()
     }
 
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
-        let mut ids = Vec::new();
-        self.query_into(q, &mut ids);
-        ids
-    }
-
-    fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
+    fn search(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
         out.clear();
         self.for_each_match(q, |m| out.push(m.id));
         // Static objects: position is time-invariant, so the MOR query
@@ -591,6 +585,97 @@ impl Index1D for DualBPlusIndex {
         }
         out.sort_unstable();
         out.dedup();
+    }
+
+    /// Freezes the observation and static trees into an immutable,
+    /// thread-safe view over copy-on-write pages. Returns `None` when
+    /// the per-subterrain interval indices are live (`maintain_subterrain`
+    /// — they have no frozen representation yet); the paper's
+    /// experimental configuration, and the serving tier's, never enables
+    /// them.
+    fn freeze(&self) -> Option<Box<dyn crate::method::FrozenIndex1D>> {
+        if !self.sub.is_empty() {
+            return None;
+        }
+        Some(Box::new(FrozenDualBPlus {
+            obs: self
+                .obs
+                .iter()
+                .map(|o| FrozenObs {
+                    y_r: o.y_r,
+                    pos: o.pos_tree.freeze(),
+                    neg: o.neg_tree.freeze(),
+                })
+                .collect(),
+            static_tree: self.static_tree.freeze(),
+            band: self.cfg.band,
+        }))
+    }
+}
+
+/// One frozen observation index: the `y_r` element plus its two
+/// velocity-sign trees.
+#[derive(Debug)]
+struct FrozenObs {
+    y_r: f64,
+    pos: FrozenTree<f64, ObsValue>,
+    neg: FrozenTree<f64, ObsValue>,
+}
+
+/// The frozen view published by [`DualBPlusIndex`]'s
+/// [`Index1D::freeze`]: case-i query answering (E-minimizing
+/// observation index, conservative `b`-range scans, exact speed
+/// filtering) plus the static-tree range scan, all over frozen
+/// copy-on-write pages through `&self`.
+#[derive(Debug)]
+struct FrozenDualBPlus {
+    obs: Vec<FrozenObs>,
+    static_tree: FrozenTree<f64, u64>,
+    band: SpeedBand,
+}
+
+impl crate::method::FrozenIndex1D for FrozenDualBPlus {
+    fn search(&self, q: &MorQuery1D, out: &mut Vec<u64>) -> crate::method::FrozenReadStats {
+        out.clear();
+        let mut stats = crate::method::FrozenReadStats::default();
+        // Case i: single E-minimizing observation index (the frozen view
+        // is only published when subterrain maintenance is off, so the
+        // live index would take the same route).
+        let best = (0..self.obs.len())
+            .min_by(|&a, &b| {
+                let ea = enlargement_e(q, &self.band, self.obs[a].y_r);
+                let eb = enlargement_e(q, &self.band, self.obs[b].y_r);
+                ea.partial_cmp(&eb).expect("NaN enlargement")
+            })
+            .expect("at least one observation index");
+        let obs = &self.obs[best];
+        for positive in [true, false] {
+            let (lo, hi) = hough_y_interval(q, &self.band, obs.y_r, positive);
+            let tree = if positive { &obs.pos } else { &obs.neg };
+            stats.pages += tree.range_for_each(lo, hi, |b, (vbits, id)| {
+                stats.candidates += 1;
+                let v = f64::from_bits(vbits);
+                let m = Motion1D {
+                    id,
+                    t0: b,
+                    y0: obs.y_r,
+                    v,
+                };
+                if q.matches(&m) {
+                    out.push(id);
+                }
+            });
+        }
+        if !self.static_tree.is_empty() {
+            let before = out.len();
+            stats.pages += self
+                .static_tree
+                .range_for_each(q.y1, q.y2, |_, id| out.push(id));
+            stats.candidates += (out.len() - before) as u64;
+        }
+        out.sort_unstable();
+        out.dedup();
+        stats
     }
 }
 
@@ -633,7 +718,7 @@ mod tests {
             if step % 7 == 0 {
                 for _ in 0..10 {
                     let q = sim.gen_query(yqmax, tw);
-                    let got = idx.query(&q);
+                    let got = idx.query(&crate::method::QueryRequest::new(&q));
                     let want = brute_force_1d(sim.objects(), &q);
                     assert_eq!(got, want, "step {step} query {q:?}");
                 }
@@ -725,7 +810,7 @@ mod tests {
             t1: 10.0,
             t2: 30.0,
         };
-        assert_eq!(idx.query(&q), vec![1, 2]);
+        assert_eq!(idx.query(&crate::method::QueryRequest::new(&q)), vec![1, 2]);
         // A range missing the parked position excludes it at any time.
         let q2 = MorQuery1D {
             y1: 510.0,
@@ -733,10 +818,10 @@ mod tests {
             t1: 0.0,
             t2: 1000.0,
         };
-        assert_eq!(idx.query(&q2), vec![2]);
+        assert_eq!(idx.query(&crate::method::QueryRequest::new(&q2)), vec![2]);
         assert!(idx.remove(&parked));
         assert!(!idx.remove(&parked));
-        assert_eq!(idx.query(&q), vec![2]);
+        assert_eq!(idx.query(&crate::method::QueryRequest::new(&q)), vec![2]);
     }
 
     #[test]
@@ -757,7 +842,7 @@ mod tests {
         idx.clear_buffers();
         idx.reset_io();
         let q = sim.gen_query(10.0, 20.0);
-        let _ = idx.query(&q);
+        let _ = idx.query(&crate::method::QueryRequest::new(&q));
         let cost = idx.io_totals().reads;
         let pages = idx.io_totals().pages;
         assert!(cost < pages / 4, "small query cost {cost} of {pages} pages");

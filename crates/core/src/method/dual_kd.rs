@@ -86,14 +86,14 @@ impl DualPlaneStore for KdStore {
 ///
 /// ```
 /// use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
-/// use mobidx_core::{Index1D, Motion1D, MorQuery1D};
+/// use mobidx_core::{Index1D, Motion1D, MorQuery1D, QueryRequest};
 ///
 /// let mut index = DualKdIndex::new(DualKdConfig::default());
 /// index.insert(&Motion1D { id: 7, t0: 0.0, y0: 500.0, v: 1.0 });
 /// index.insert(&Motion1D { id: 8, t0: 0.0, y0: 400.0, v: 0.5 });
 ///
 /// let q = MorQuery1D { y1: 505.0, y2: 515.0, t1: 5.0, t2: 10.0 };
-/// assert_eq!(index.query(&q), vec![7]);
+/// assert_eq!(index.query(&QueryRequest::new(&q)), vec![7]);
 ///
 /// // §7 future work: who will be nearest to mile 430 at t = 50?
 /// let nn = index.nearest(430.0, 50.0, 1);
@@ -190,8 +190,9 @@ impl Index1D for DualKdIndex {
         self.rot.remove(m)
     }
 
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
-        self.rot.query(q)
+    fn search(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
+        out.clear();
+        out.append(&mut self.rot.query(q));
     }
 }
 
@@ -227,7 +228,7 @@ mod tests {
             if step % 8 == 0 {
                 for _ in 0..10 {
                     let q = sim.gen_query(150.0, 60.0);
-                    let got = idx.query(&q);
+                    let got = idx.query(&crate::method::QueryRequest::new(&q));
                     let want = brute_force_1d(sim.objects(), &q);
                     assert_eq!(got, want, "step {step} query {q:?}");
                 }
@@ -255,7 +256,10 @@ mod tests {
         }
         for _ in 0..30 {
             let q = sim.gen_query(10.0, 20.0);
-            assert_eq!(idx.query(&q), brute_force_1d(sim.objects(), &q));
+            assert_eq!(
+                idx.query(&crate::method::QueryRequest::new(&q)),
+                brute_force_1d(sim.objects(), &q)
+            );
         }
     }
 
@@ -288,7 +292,10 @@ mod tests {
             }
             if step % 50 == 0 {
                 let q = sim.gen_query(30.0, 10.0);
-                assert_eq!(idx.query(&q), brute_force_1d(sim.objects(), &q));
+                assert_eq!(
+                    idx.query(&crate::method::QueryRequest::new(&q)),
+                    brute_force_1d(sim.objects(), &q)
+                );
             }
         }
     }

@@ -14,7 +14,257 @@ pub mod seg_rtree;
 use mobidx_obs::{OpenSpan, QueryTrace, Span, SpanIo};
 use mobidx_pager::{Backend, IoStats};
 use mobidx_workload::{MorQuery1D, MorQuery2D, Motion1D, Motion2D};
+use std::cell::Cell;
 use std::time::Instant;
+
+/// One read request against any index surface — the single,
+/// options-driven entry point that replaced the historical
+/// `query` / `query_into` / `query_filtered` / `query_traced` /
+/// `query_span` family.
+///
+/// Build one with [`QueryRequest::new`] (or `(&q).into()`) and chain the
+/// options:
+///
+/// ```
+/// use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+/// use mobidx_core::{Index1D, Motion1D, MorQuery1D, QueryRequest};
+///
+/// let mut index = DualBPlusIndex::new(DualBPlusConfig::default());
+/// index.insert(&Motion1D { id: 1, t0: 0.0, y0: 120.0, v: 0.8 });
+/// let q = MorQuery1D { y1: 140.0, y2: 200.0, t1: 30.0, t2: 40.0 };
+///
+/// // Plain query.
+/// assert_eq!(index.query(&QueryRequest::new(&q)), vec![1]);
+///
+/// // Flat per-query trace, reusing a caller-owned buffer.
+/// let buf = Vec::with_capacity(64);
+/// let out = index.query(&QueryRequest::new(&q).traced().with_buffer(buf));
+/// assert_eq!(out.ids, vec![1]);
+/// assert!(out.trace.is_some());
+/// ```
+///
+/// The request is a plain value: `q` borrows the caller's query, and the
+/// optional out-buffer rides in a [`Cell`] so the (single-threaded)
+/// executor can take it without the request being `&mut`.
+pub struct QueryRequest<'a, Q> {
+    q: &'a Q,
+    trace: bool,
+    span_epoch: Option<Instant>,
+    queued: bool,
+    speed: Option<(f64, f64)>,
+    reuse: Cell<Option<Vec<u64>>>,
+}
+
+impl<Q: std::fmt::Debug> std::fmt::Debug for QueryRequest<'_, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryRequest")
+            .field("q", &self.q)
+            .field("trace", &self.trace)
+            .field("span_epoch", &self.span_epoch)
+            .field("queued", &self.queued)
+            .field("speed", &self.speed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, Q> QueryRequest<'a, Q> {
+    /// A plain request: no tracing, no span, default routing.
+    #[must_use]
+    pub fn new(q: &'a Q) -> Self {
+        Self {
+            q,
+            trace: false,
+            span_epoch: None,
+            queued: false,
+            speed: None,
+            reuse: Cell::new(None),
+        }
+    }
+
+    /// Requests a flattened [`QueryTrace`] (I/O delta, candidates vs
+    /// results, latency) in [`QueryOutput::trace`].
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Requests the full hierarchical [`Span`] tree, timed against
+    /// `epoch` (the caller-wide time base), in [`QueryOutput::span`].
+    #[must_use]
+    pub fn spanned(mut self, epoch: Instant) -> Self {
+        self.span_epoch = Some(epoch);
+        self
+    }
+
+    /// Forces the queued (worker fan-out) read path on surfaces that
+    /// default to snapshot reads — the knob for callers that need
+    /// read-your-own-write against an apply they just enqueued, or that
+    /// deliberately measure queueing. Index-level surfaces ignore it.
+    #[must_use]
+    pub fn queued(mut self) -> Self {
+        self.queued = true;
+        self
+    }
+
+    /// Restricts the answer to objects whose absolute speed lies in
+    /// `[v_lo, v_hi]` (the historical `query_filtered`). Only the
+    /// sharded facade honors it; index-level surfaces ignore it.
+    #[must_use]
+    pub fn speed_band(mut self, v_lo: f64, v_hi: f64) -> Self {
+        self.speed = Some((v_lo, v_hi));
+        self
+    }
+
+    /// Donates a buffer whose capacity the executor reuses for the
+    /// result ids — the historical `query_into`: callers serving many
+    /// queries recycle one allocation across requests.
+    #[must_use]
+    pub fn with_buffer(self, buf: Vec<u64>) -> Self {
+        self.reuse.set(Some(buf));
+        self
+    }
+
+    /// The MOR query itself.
+    #[must_use]
+    pub fn query(&self) -> &'a Q {
+        self.q
+    }
+
+    /// Whether a flat [`QueryTrace`] was requested.
+    #[must_use]
+    pub fn wants_trace(&self) -> bool {
+        self.trace
+    }
+
+    /// The span time base, when a full span tree was requested.
+    #[must_use]
+    pub fn span_epoch(&self) -> Option<Instant> {
+        self.span_epoch
+    }
+
+    /// Whether the executor must build a span at all (a trace is a
+    /// flattened span).
+    #[must_use]
+    pub fn wants_span(&self) -> bool {
+        self.trace || self.span_epoch.is_some()
+    }
+
+    /// Whether the queued read path was forced.
+    #[must_use]
+    pub fn is_queued(&self) -> bool {
+        self.queued
+    }
+
+    /// The speed filter, if any.
+    #[must_use]
+    pub fn speed_filter(&self) -> Option<(f64, f64)> {
+        self.speed
+    }
+
+    /// Takes the donated buffer (cleared), or a fresh one. Executors
+    /// call this exactly once per request.
+    #[must_use]
+    pub fn take_buffer(&self) -> Vec<u64> {
+        let mut buf = self.reuse.take().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+}
+
+impl<'a, Q> From<&'a Q> for QueryRequest<'a, Q> {
+    fn from(q: &'a Q) -> Self {
+        QueryRequest::new(q)
+    }
+}
+
+/// The answer to a [`QueryRequest`]: the sorted, deduplicated ids plus
+/// whatever observability the request asked for.
+///
+/// Dereferences to the id slice and compares against `Vec<u64>`, so
+/// existing `assert_eq!(db.query(..), want)` call sites keep reading
+/// naturally.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Sorted, deduplicated matching object ids.
+    pub ids: Vec<u64>,
+    /// Candidate entries examined before exact refinement.
+    pub candidates: u64,
+    /// The commit epoch of the snapshot that served the read, when the
+    /// executor is a snapshot surface (`None` on live-index reads).
+    pub epoch: Option<u64>,
+    /// The flat per-query trace, when requested.
+    pub trace: Option<QueryTrace>,
+    /// The full span tree, when requested via [`QueryRequest::spanned`].
+    pub span: Option<Span>,
+}
+
+impl QueryOutput {
+    /// Unwraps the result ids (e.g. to recycle the buffer).
+    #[must_use]
+    pub fn into_ids(self) -> Vec<u64> {
+        self.ids
+    }
+}
+
+impl std::ops::Deref for QueryOutput {
+    type Target = Vec<u64>;
+    fn deref(&self) -> &Vec<u64> {
+        &self.ids
+    }
+}
+
+impl PartialEq<Vec<u64>> for QueryOutput {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.ids == *other
+    }
+}
+
+impl PartialEq<QueryOutput> for Vec<u64> {
+    fn eq(&self, other: &QueryOutput) -> bool {
+        *self == other.ids
+    }
+}
+
+impl PartialEq for QueryOutput {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids
+    }
+}
+
+/// Read-side cost of one frozen-snapshot search. Snapshot reads bypass
+/// the buffer pools and [`IoStats`] entirely (they touch shared frozen
+/// pages, not the simulated disk), so the external-memory cost is
+/// reported to the caller instead of accumulated in the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrozenReadStats {
+    /// Candidate entries examined before exact refinement.
+    pub candidates: u64,
+    /// Frozen pages visited — the I/O the same search would have cost.
+    pub pages: u64,
+}
+
+impl FrozenReadStats {
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merge(self, other: FrozenReadStats) -> FrozenReadStats {
+        FrozenReadStats {
+            candidates: self.candidates + other.candidates,
+            pages: self.pages + other.pages,
+        }
+    }
+}
+
+/// An immutable, shareable read-only view of an [`Index1D`], published
+/// by [`Index1D::freeze`]. Searches take `&self`, never fault (frozen
+/// pages bypass the pluggable backends), and are safe from any thread —
+/// the serving tier's snapshot read path runs them from a work-stealing
+/// pool with zero queueing behind writes.
+pub trait FrozenIndex1D: Send + Sync {
+    /// Answers a MOR query into `out` (cleared, then filled with the
+    /// sorted, deduplicated ids), reporting the read cost.
+    fn search(&self, q: &MorQuery1D, out: &mut Vec<u64>) -> FrozenReadStats;
+}
 
 /// Aggregated I/O and space counters across all page stores of a method
 /// (e.g. the `c` observation B+-trees of the approximation method).
@@ -153,26 +403,26 @@ pub trait IndexStats {
     }
 }
 
-/// The one shared span-building implementation behind both
-/// [`Index1D::query_span`] and [`Index2D::query_span`]: runs `run`
-/// (which fills `out` with the sorted, deduplicated answer) inside an
-/// `index.query` span timed against `epoch`, with one zero-duration
-/// leaf child per internal page store carrying that store's I/O delta
-/// (plus a `pages` level attribute). Because I/O is attributed to the
-/// leaves only, [`Span::total_io`] over the result reconciles exactly
-/// with the [`IoTotals`] delta around the call.
+/// The one shared span-building implementation behind the unified
+/// `query` of both [`Index1D`] and [`Index2D`]: runs `run` (which fills
+/// `out` with the sorted, deduplicated answer) inside an `index.query`
+/// span timed against `epoch`, with one zero-duration leaf child per
+/// internal page store carrying that store's I/O delta (plus a `pages`
+/// level attribute). Because I/O is attributed to the leaves only,
+/// [`Span::total_io`] over the result reconciles exactly with the
+/// [`IoTotals`] delta around the call.
 fn run_span<I>(
     index: &mut I,
     epoch: Instant,
+    out: &mut Vec<u64>,
     run: impl FnOnce(&mut I, &mut Vec<u64>),
-) -> (Vec<u64>, Span)
+) -> Span
 where
     I: IndexStats + ?Sized,
 {
     let stores_before = index.store_io();
     let mut open = OpenSpan::begin("index.query", epoch);
-    let mut ids = Vec::new();
-    run(index, &mut ids);
+    run(index, out);
     let stores_after = index.store_io();
     debug_assert_eq!(
         stores_before.len(),
@@ -181,7 +431,7 @@ where
     );
     open.set_attr("method", index.name().as_str());
     open.set_attr("candidates", index.last_candidates());
-    open.set_attr("results", ids.len() as u64);
+    open.set_attr("results", out.len() as u64);
     let start_nanos = open.start_nanos();
     for ((label, now), (_, then)) in stores_after.iter().zip(&stores_before) {
         let d = now.delta_since(*then);
@@ -198,7 +448,30 @@ where
         .with_attr("pages", now.pages);
         open.push(leaf);
     }
-    (ids, open.finish())
+    open.finish()
+}
+
+/// Assembles a [`QueryOutput`] from the pieces the trait default
+/// methods produce (shared between [`Index1D`] and [`Index2D`]).
+fn assemble_output(
+    ids: Vec<u64>,
+    candidates: u64,
+    span: Option<Span>,
+    req_trace: bool,
+    req_span: bool,
+) -> QueryOutput {
+    let trace = if req_trace {
+        span.as_ref().map(QueryTrace::from_span)
+    } else {
+        None
+    };
+    QueryOutput {
+        ids,
+        candidates,
+        epoch: None,
+        trace,
+        span: if req_span { span } else { None },
+    }
 }
 
 /// A dynamic index over 1-D mobile objects answering MOR queries.
@@ -240,18 +513,51 @@ pub trait Index1D: IndexStats {
         removed
     }
 
-    /// Answers a MOR query: sorted, deduplicated object ids.
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64>;
+    /// The implementor hook behind [`Index1D::query`]: answers a MOR
+    /// query into `out` (cleared, then filled with the sorted,
+    /// deduplicated ids). Methods implement only this; callers go
+    /// through the options-driven [`Index1D::query`].
+    fn search(&mut self, q: &MorQuery1D, out: &mut Vec<u64>);
 
-    /// Answers a MOR query into a caller-provided buffer: `out` is
-    /// cleared, then filled with the sorted, deduplicated ids. Callers
-    /// serving many queries (the `mobidx-serve` workers) reuse one
-    /// buffer's capacity across requests instead of allocating per
-    /// query. The default delegates to [`Index1D::query`]; methods can
-    /// override it to build the answer in place.
+    /// Answers a MOR query — the one read entry point. The request
+    /// carries every option the historical `query_into` / `query_span` /
+    /// `query_traced` family spread over signatures: span/trace
+    /// construction and out-buffer reuse. Plain calls read as
+    /// `index.query(&QueryRequest::new(&q))` (or `(&q).into()`).
+    fn query(&mut self, req: &QueryRequest<'_, MorQuery1D>) -> QueryOutput {
+        let mut ids = req.take_buffer();
+        let span = if req.wants_span() {
+            let epoch = req.span_epoch().unwrap_or_else(Instant::now);
+            Some(run_span(self, epoch, &mut ids, |index, out| {
+                index.search(req.query(), out);
+            }))
+        } else {
+            self.search(req.query(), &mut ids);
+            None
+        };
+        let candidates = self.last_candidates();
+        assemble_output(
+            ids,
+            candidates,
+            span,
+            req.wants_trace(),
+            req.span_epoch().is_some(),
+        )
+    }
+
+    /// Publishes an immutable, `Send + Sync` snapshot of the index for
+    /// the zero-queueing snapshot read path, or `None` when the method
+    /// has no frozen representation (the default). Implementors back it
+    /// with page-level copy-on-write ([`mobidx_pager::PageStore::freeze`])
+    /// so publication is O(pages dirtied since the last freeze).
+    fn freeze(&self) -> Option<Box<dyn FrozenIndex1D>> {
+        None
+    }
+
+    /// Answers a MOR query into a caller-provided buffer.
+    #[deprecated(note = "use query(&QueryRequest::new(q).with_buffer(..)) instead")]
     fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
-        out.clear();
-        out.append(&mut self.query(q));
+        self.search(q, out);
     }
 
     /// Runs the query inside a hierarchical trace span timed against
@@ -259,19 +565,23 @@ pub trait Index1D: IndexStats {
     /// epoch to every worker so subtrees share a timeline): the root
     /// `index.query` span carries method/candidates/results attributes
     /// and one leaf child per page store with that store's I/O delta.
-    /// Routed through [`Index1D::query_into`].
+    #[deprecated(note = "use query(&QueryRequest::new(q).spanned(epoch)) instead")]
     fn query_span(&mut self, q: &MorQuery1D, epoch: Instant) -> (Vec<u64>, Span) {
-        run_span(self, epoch, |index, out| index.query_into(q, out))
+        let mut ids = Vec::new();
+        let span = run_span(self, epoch, &mut ids, |index, out| index.search(q, out));
+        (ids, span)
     }
 
     /// Runs the query inside a trace span and flattens it: the I/O delta
     /// (total and per store), candidates examined vs results returned,
-    /// and wall-clock latency. A leaf view over [`Index1D::query_span`]
-    /// via [`QueryTrace::from_span`].
+    /// and wall-clock latency.
+    #[deprecated(note = "use query(&QueryRequest::new(q).traced()) instead")]
     fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, QueryTrace) {
-        let (ids, span) = self.query_span(q, Instant::now());
-        let trace = QueryTrace::from_span(&span);
-        (ids, trace)
+        let mut ids = Vec::new();
+        let span = run_span(self, Instant::now(), &mut ids, |index, out| {
+            index.search(q, out);
+        });
+        (ids, QueryTrace::from_span(&span))
     }
 }
 
@@ -284,28 +594,58 @@ pub trait Index2D: IndexStats {
     /// Removes an object's motion record. Returns whether it was present.
     fn remove(&mut self, m: &Motion2D) -> bool;
 
-    /// Answers a 2-D MOR query: sorted, deduplicated object ids.
-    fn query(&mut self, q: &MorQuery2D) -> Vec<u64>;
+    /// The implementor hook behind [`Index2D::query`]: answers a 2-D MOR
+    /// query into `out` (cleared, then filled with the sorted,
+    /// deduplicated ids).
+    fn search(&mut self, q: &MorQuery2D, out: &mut Vec<u64>);
 
-    /// Answers a 2-D MOR query into a caller-provided buffer (see
-    /// [`Index1D::query_into`]).
+    /// Answers a 2-D MOR query — the one read entry point (see
+    /// [`Index1D::query`]).
+    fn query(&mut self, req: &QueryRequest<'_, MorQuery2D>) -> QueryOutput {
+        let mut ids = req.take_buffer();
+        let span = if req.wants_span() {
+            let epoch = req.span_epoch().unwrap_or_else(Instant::now);
+            Some(run_span(self, epoch, &mut ids, |index, out| {
+                index.search(req.query(), out);
+            }))
+        } else {
+            self.search(req.query(), &mut ids);
+            None
+        };
+        let candidates = self.last_candidates();
+        assemble_output(
+            ids,
+            candidates,
+            span,
+            req.wants_trace(),
+            req.span_epoch().is_some(),
+        )
+    }
+
+    /// Answers a 2-D MOR query into a caller-provided buffer.
+    #[deprecated(note = "use query(&QueryRequest::new(q).with_buffer(..)) instead")]
     fn query_into(&mut self, q: &MorQuery2D, out: &mut Vec<u64>) {
-        out.clear();
-        out.append(&mut self.query(q));
+        self.search(q, out);
     }
 
     /// Runs the query inside a hierarchical trace span (see
     /// [`Index1D::query_span`]).
+    #[deprecated(note = "use query(&QueryRequest::new(q).spanned(epoch)) instead")]
     fn query_span(&mut self, q: &MorQuery2D, epoch: Instant) -> (Vec<u64>, Span) {
-        run_span(self, epoch, |index, out| index.query_into(q, out))
+        let mut ids = Vec::new();
+        let span = run_span(self, epoch, &mut ids, |index, out| index.search(q, out));
+        (ids, span)
     }
 
     /// Runs the query inside a trace span (see
     /// [`Index1D::query_traced`]).
+    #[deprecated(note = "use query(&QueryRequest::new(q).traced()) instead")]
     fn query_traced(&mut self, q: &MorQuery2D) -> (Vec<u64>, QueryTrace) {
-        let (ids, span) = self.query_span(q, Instant::now());
-        let trace = QueryTrace::from_span(&span);
-        (ids, trace)
+        let mut ids = Vec::new();
+        let span = run_span(self, Instant::now(), &mut ids, |index, out| {
+            index.search(q, out);
+        });
+        (ids, QueryTrace::from_span(&span))
     }
 }
 

@@ -134,8 +134,9 @@ impl Index1D for DualPtreeIndex {
         self.rot.remove(m)
     }
 
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
-        self.rot.query(q)
+    fn search(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
+        out.clear();
+        out.append(&mut self.rot.query(q));
     }
 }
 
@@ -167,7 +168,10 @@ mod tests {
             if step % 6 == 0 {
                 for _ in 0..8 {
                     let q = sim.gen_query(150.0, 60.0);
-                    assert_eq!(idx.query(&q), brute_force_1d(sim.objects(), &q));
+                    assert_eq!(
+                        idx.query(&crate::method::QueryRequest::new(&q)),
+                        brute_force_1d(sim.objects(), &q)
+                    );
                 }
             }
         }

@@ -110,6 +110,7 @@ impl RouteMorIndex {
         });
         // (2)+(3) Clip and run 1-D queries.
         let mut ids = Vec::new();
+        let mut route_ids = Vec::new();
         for (r, hit) in route_hit.iter().enumerate() {
             if !hit {
                 continue;
@@ -121,7 +122,8 @@ impl RouteMorIndex {
                     t1,
                     t2,
                 };
-                ids.extend(self.per_route[r].query(&q));
+                self.per_route[r].search(&q, &mut route_ids);
+                ids.extend_from_slice(&route_ids);
             }
         }
         finish_ids(ids)

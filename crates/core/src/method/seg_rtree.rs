@@ -151,10 +151,11 @@ impl Index1D for SegRTreeIndex {
         self.tree.remove(mbr, item)
     }
 
-    fn query(&mut self, q: &MorQuery1D) -> Vec<u64> {
+    fn search(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
+        out.clear();
         let rect = query_rect(q);
-        let mut ids = Vec::new();
         let mut candidates = 0u64;
+        let ids = &mut *out;
         self.tree.search_with(&rect, |mbr, (id, rising)| {
             candidates += 1;
             // Refine: the MBR intersects, does the segment?
@@ -163,7 +164,8 @@ impl Index1D for SegRTreeIndex {
             }
         });
         self.last_candidates = candidates;
-        finish_ids(ids)
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -240,7 +242,7 @@ mod tests {
         }
         for _ in 0..20 {
             let q = sim.gen_query(150.0, 60.0);
-            let got = idx.query(&q);
+            let got = idx.query(&crate::method::QueryRequest::new(&q));
             let want = idx.brute_force(sim.objects(), &q);
             assert_eq!(got, want, "query {q:?}");
         }
@@ -255,6 +257,6 @@ mod tests {
             t1: 0.0,
             t2: 100.0,
         };
-        assert!(idx.query(&q).is_empty());
+        assert!(idx.query(&crate::method::QueryRequest::new(&q)).is_empty());
     }
 }

@@ -39,7 +39,7 @@ pub use codec::{crc32, put_bytes, put_u32, put_u64, ByteReader, FixedCodec, Page
 pub use error::PagerError;
 pub use file::{DurableFaultStore, FileBackend, FsyncPolicy, RecoveredImage, PAGE_FILE, WAL_FILE};
 pub use stats::{IoSnapshot, IoStats};
-pub use store::{PageId, PageStore};
+pub use store::{FrozenPages, PageId, PageStore};
 
 /// Default logical page size used throughout the reproduction, in bytes.
 ///

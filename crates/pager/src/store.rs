@@ -8,6 +8,7 @@ use crate::file::RecoveredImage;
 use crate::stats::IoStats;
 use crate::DEFAULT_BUFFER_PAGES;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Identifier of a page within one [`PageStore`].
 ///
@@ -62,9 +63,20 @@ impl std::fmt::Display for PageId {
 /// use the fallible `try_*` twins: transient faults are retried within
 /// the store's [`RetryPolicy`] (counted in [`IoStats`]), and unabsorbed
 /// faults surface as typed [`PagerError`]s.
+///
+/// Pages are held behind [`Arc`] so the store can be [frozen]
+/// (`PageStore::freeze`) into an immutable [`FrozenPages`] snapshot in
+/// O(live slots) pointer bumps. Mutations go through [`Arc::make_mut`]:
+/// a page is deep-copied only when a live snapshot still references it
+/// (copy-on-write), so the content-copy cost between two snapshots is
+/// O(pages dirtied in between). None of this changes the I/O
+/// accounting — residency, misses, and write-backs are modeled by the
+/// buffer pool exactly as before.
+///
+/// [frozen]: PageStore::freeze
 #[derive(Debug)]
 pub struct PageStore<P> {
-    pages: Vec<Option<P>>,
+    pages: Vec<Option<Arc<P>>>,
     free_list: Vec<u32>,
     buffer: BufferPool,
     stats: IoStats,
@@ -207,12 +219,12 @@ impl<P> PageStore<P> {
         let id = match self.free_list.pop() {
             Some(idx) => {
                 debug_assert!(self.pages[idx as usize].is_none());
-                self.pages[idx as usize] = Some(page);
+                self.pages[idx as usize] = Some(Arc::new(page));
                 PageId(idx)
             }
             None => {
                 let idx = u32::try_from(self.pages.len()).expect("page count exceeds u32");
-                self.pages.push(Some(page));
+                self.pages.push(Some(Arc::new(page)));
                 PageId(idx)
             }
         };
@@ -233,7 +245,10 @@ impl<P> PageStore<P> {
     /// # Panics
     /// Panics if `id` is not a live page, or if the backend injects a
     /// fault (never with [`MemBackend`]).
-    pub fn free(&mut self, id: PageId) -> P {
+    pub fn free(&mut self, id: PageId) -> P
+    where
+        P: Clone,
+    {
         self.try_free(id)
             .expect("pager fault (use try_free with fallible backends)")
     }
@@ -246,7 +261,10 @@ impl<P> PageStore<P> {
     ///
     /// # Panics
     /// Panics if `id` is not a live page.
-    pub fn try_free(&mut self, id: PageId) -> Result<P, PagerError> {
+    pub fn try_free(&mut self, id: PageId) -> Result<P, PagerError>
+    where
+        P: Clone,
+    {
         self.permit(IoKind::Free, id)?;
         // No write-back is owed for a page that ceases to exist.
         let _ = self.buffer.remove(id);
@@ -257,7 +275,9 @@ impl<P> PageStore<P> {
             self.dirty_since_commit.remove(&id.0);
             self.freed_since_commit.insert(id.0);
         }
-        Ok(slot)
+        // A frozen snapshot may still hold the page; it keeps its copy
+        // and the store gives up its own reference.
+        Ok(Arc::try_unwrap(slot).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Fetches page `id` for reading. A buffer miss costs one read I/O.
@@ -284,7 +304,7 @@ impl<P> PageStore<P> {
     pub fn try_read(&mut self, id: PageId) -> Result<&P, PagerError> {
         self.try_fault_in(id, false)?;
         Ok(self.pages[id.0 as usize]
-            .as_ref()
+            .as_deref()
             .expect("read of dead page"))
     }
 
@@ -295,7 +315,10 @@ impl<P> PageStore<P> {
     /// # Panics
     /// Panics if `id` is not a live page, or if the backend injects a
     /// fault (never with [`MemBackend`]).
-    pub fn write<R>(&mut self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R {
+    pub fn write<R>(&mut self, id: PageId, f: impl FnOnce(&mut P) -> R) -> R
+    where
+        P: Clone,
+    {
         self.try_write(id, f)
             .expect("pager fault (use try_write with fallible backends)")
     }
@@ -314,33 +337,42 @@ impl<P> PageStore<P> {
     ///
     /// # Panics
     /// Panics if `id` is not a live page.
-    pub fn try_write<R>(
-        &mut self,
-        id: PageId,
-        f: impl FnOnce(&mut P) -> R,
-    ) -> Result<R, PagerError> {
+    pub fn try_write<R>(&mut self, id: PageId, f: impl FnOnce(&mut P) -> R) -> Result<R, PagerError>
+    where
+        P: Clone,
+    {
         self.try_fault_in(id, true)?;
         match self.permit(IoKind::Mutate, id) {
             Ok(()) => {
                 if self.durable {
                     self.dirty_since_commit.insert(id.0);
                 }
-                Ok(f(self.pages[id.0 as usize]
-                    .as_mut()
-                    .expect("write of dead page")))
+                Ok(f(self.page_mut(id)))
             }
             Err(err @ PagerError::TornWrite { .. }) => {
                 // Torn semantics: the mutation lands, the ack does not.
                 if self.durable {
                     self.dirty_since_commit.insert(id.0);
                 }
-                let _ = f(self.pages[id.0 as usize]
-                    .as_mut()
-                    .expect("write of dead page"));
+                let _ = f(self.page_mut(id));
                 Err(err)
             }
             Err(err) => Err(err),
         }
+    }
+
+    /// Exclusive access to a live page's contents. Copy-on-write: when a
+    /// [`FrozenPages`] snapshot still shares the page, `Arc::make_mut`
+    /// clones it first — the snapshot keeps the sealed version.
+    fn page_mut(&mut self, id: PageId) -> &mut P
+    where
+        P: Clone,
+    {
+        Arc::make_mut(
+            self.pages[id.0 as usize]
+                .as_mut()
+                .expect("write of dead page"),
+        )
     }
 
     /// Replaces the contents of page `id` wholesale.
@@ -348,7 +380,10 @@ impl<P> PageStore<P> {
     /// # Panics
     /// Panics if `id` is not a live page, or if the backend injects a
     /// fault (never with [`MemBackend`]).
-    pub fn replace(&mut self, id: PageId, page: P) {
+    pub fn replace(&mut self, id: PageId, page: P)
+    where
+        P: Clone,
+    {
         self.write(id, |slot| *slot = page);
     }
 
@@ -356,7 +391,10 @@ impl<P> PageStore<P> {
     ///
     /// # Errors
     /// Same failure modes as [`PageStore::try_write`].
-    pub fn try_replace(&mut self, id: PageId, page: P) -> Result<(), PagerError> {
+    pub fn try_replace(&mut self, id: PageId, page: P) -> Result<(), PagerError>
+    where
+        P: Clone,
+    {
         self.try_write(id, |slot| *slot = page)
     }
 
@@ -443,7 +481,7 @@ impl<P> PageStore<P> {
     #[must_use]
     pub fn peek(&self, id: PageId) -> &P {
         self.pages[id.0 as usize]
-            .as_ref()
+            .as_deref()
             .expect("peek of dead page")
     }
 
@@ -453,7 +491,27 @@ impl<P> PageStore<P> {
         self.pages
             .iter()
             .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|p| (PageId(i as u32), p)))
+            .filter_map(|(i, p)| p.as_deref().map(|p| (PageId(i as u32), p)))
+    }
+
+    /// Seals the current page contents into an immutable, shareable
+    /// snapshot.
+    ///
+    /// Publication cost is O(live slots) reference-count bumps — no page
+    /// contents are copied. Later mutations through this store
+    /// copy-on-write exactly the pages the snapshot still shares (see
+    /// [`PageStore::page_mut`]), so the amortized content-copy cost
+    /// between two snapshots is O(pages dirtied in between).
+    ///
+    /// Snapshot reads are *not* I/O-counted here: a frozen page is a
+    /// sealed in-memory image outside the buffer-pool residency model.
+    /// Callers that model snapshot-read cost count the pages they visit
+    /// themselves (see the frozen tree views in `mobidx-bptree`).
+    #[must_use]
+    pub fn freeze(&self) -> FrozenPages<P> {
+        FrozenPages {
+            pages: Arc::new(self.pages.clone()),
+        }
     }
 
     fn try_fault_in(&mut self, id: PageId, dirty: bool) -> Result<(), PagerError> {
@@ -564,6 +622,40 @@ impl<P> PageStore<P> {
     }
 }
 
+/// An immutable snapshot of a [`PageStore`]'s pages at one instant
+/// (see [`PageStore::freeze`]).
+///
+/// The handle is cheap to clone and safe to read from any thread; it
+/// holds the sealed page versions alive independently of the store's
+/// further mutations (copy-on-write) and of the store's own lifetime.
+#[derive(Debug)]
+pub struct FrozenPages<P> {
+    pages: Arc<Vec<Option<Arc<P>>>>,
+}
+
+impl<P> Clone for FrozenPages<P> {
+    fn clone(&self) -> Self {
+        Self {
+            pages: Arc::clone(&self.pages),
+        }
+    }
+}
+
+impl<P> FrozenPages<P> {
+    /// The page `id` held at freeze time, or `None` if the slot was
+    /// free. Un-counted — callers model snapshot-read cost themselves.
+    #[must_use]
+    pub fn get(&self, id: PageId) -> Option<&P> {
+        self.pages.get(id.index() as usize)?.as_deref()
+    }
+
+    /// Number of live pages in the snapshot.
+    #[must_use]
+    pub fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
 /// Pseudo page id reported when a commit or checkpoint record itself
 /// faults (no single page is to blame).
 const COMMIT_PAGE: PageId = PageId(u32::MAX);
@@ -588,7 +680,7 @@ impl<P: PageCodec> PageStore<P> {
         for (idx, slot) in image.pages.iter().enumerate() {
             match slot {
                 Some(bytes) => {
-                    store.pages.push(Some(P::decode(bytes)?));
+                    store.pages.push(Some(Arc::new(P::decode(bytes)?)));
                     store.stats.add_alloc();
                 }
                 None => {
@@ -988,6 +1080,51 @@ mod tests {
         assert_eq!(s.stats().evictions(), 4);
         assert_eq!(s.stats().writebacks(), 3);
         assert_eq!(*s.peek(b), 20);
+    }
+
+    #[test]
+    fn freeze_is_cow_and_free_of_io_accounting() {
+        let mut s: PageStore<Vec<u32>> = PageStore::new(1);
+        let a = s.allocate(vec![1]);
+        let b = s.allocate(vec![2]);
+        let snap = s.freeze();
+        let (r0, w0) = (s.stats().reads(), s.stats().writes());
+
+        // Mutations after the freeze land in a private copy; the
+        // snapshot keeps the sealed version, and the snapshot itself
+        // never perturbs the store's I/O accounting.
+        s.write(a, |v| v.push(10));
+        assert_eq!(snap.get(a), Some(&vec![1]));
+        assert_eq!(s.peek(a), &vec![1, 10]);
+        assert_eq!(snap.get(b), Some(&vec![2]));
+
+        // Freeing a snapshot-held page leaves the snapshot intact.
+        let freed = s.free(b);
+        assert_eq!(freed, vec![2]);
+        assert_eq!(snap.get(b), Some(&vec![2]));
+        assert_eq!(snap.live_pages(), 2);
+
+        // The write above cost exactly what it would without the
+        // snapshot (one miss-read of `a`, write-backs via the pool).
+        let mut plain: PageStore<Vec<u32>> = PageStore::new(1);
+        let pa = plain.allocate(vec![1]);
+        let _pb = plain.allocate(vec![2]);
+        let (pr0, pw0) = (plain.stats().reads(), plain.stats().writes());
+        plain.write(pa, |v| v.push(10));
+        assert_eq!(s.stats().reads() - r0, plain.stats().reads() - pr0);
+        assert_eq!(s.stats().writes() - w0, plain.stats().writes() - pw0);
+    }
+
+    #[test]
+    fn frozen_snapshot_outlives_store() {
+        let snap = {
+            let mut s: PageStore<u64> = PageStore::new(2);
+            let a = s.allocate(7);
+            let f = s.freeze();
+            s.write(a, |v| *v = 8);
+            f
+        };
+        assert_eq!(snap.get(PageId::from_index(0)), Some(&7));
     }
 
     #[test]

@@ -4,18 +4,20 @@ use crate::batch::{Batch, Op, ShardOp};
 use crate::health::{HealthSnapshot, ShardHealth};
 use crate::merge::merge_sorted_ids;
 use crate::shard::ShardFn;
+use crate::snapshot::{DbSnapshot, ReadPool, SnapshotRegistry};
 use crate::worker::{self, Request};
 use crate::ServeError;
-use mobidx_core::{Index1D, IoTotals};
+use mobidx_core::{FrozenIndex1D, FrozenReadStats, Index1D, IoTotals, QueryOutput, QueryRequest};
 use mobidx_obs::telemetry::{ProfileConfig, WorkloadProfile};
-use mobidx_obs::{EventLog, OpenSpan, Span};
+use mobidx_obs::{EventLog, OpenSpan, QueryTrace, Span, SpanIo};
 use mobidx_pager::FsyncPolicy;
 use mobidx_workload::{MorQuery1D, Motion1D};
 use std::collections::HashMap;
-use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How many recent query span trees the facade's [`EventLog`] retains.
 /// Sized for diagnostics, not archival: at the default 4 shards a span
@@ -39,6 +41,11 @@ pub struct ServeConfig {
     /// drained group. Irrelevant — and free — when every backend is
     /// memory-resident, so the default is [`FsyncPolicy::OnCommit`].
     pub fsync: FsyncPolicy,
+    /// Helper threads in the snapshot read pool. Snapshot queries fan
+    /// their per-shard legs out across these threads (the submitting
+    /// thread runs one leg inline and steals further work while it
+    /// waits); `0` degrades to fully serial snapshot reads.
+    pub read_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +54,7 @@ impl Default for ServeConfig {
             shards: 4,
             queue_depth: 64,
             fsync: FsyncPolicy::OnCommit,
+            read_threads: 3,
         }
     }
 }
@@ -57,10 +65,15 @@ impl Default for ServeConfig {
 /// Objects are partitioned across `shards` index instances by a
 /// [`ShardFn`]; each instance is owned by a dedicated worker thread fed
 /// through a bounded queue. Writes go through [`ShardedDb::apply`]
-/// (single logical writer, `&mut self`); queries take `&self` and may be
-/// submitted concurrently from many client threads — fan-out legs use
-/// per-request reply channels, and per-shard answers are k-way-merged
-/// back into the sorted, deduplicated contract of a single index.
+/// (serialized on the facade's table lock); each successfully committed
+/// group is *frozen* by the worker and published as an immutable,
+/// epoch-stamped [`DbSnapshot`]. Queries take `&self` from any thread:
+/// by default they run against the latest published snapshot with zero
+/// queueing behind writes, fanned out across a small work-stealing read
+/// pool, and k-way-merged back into the sorted, deduplicated contract
+/// of a single index. [`QueryRequest::queued`] opts back into the
+/// worker-queue read path (read-your-own-write against an apply the
+/// caller just enqueued).
 ///
 /// The facade owns the authoritative motion table (id → current motion
 /// record), exactly like [`MotionDb`]: updates are routed by id, and a
@@ -70,9 +83,9 @@ impl Default for ServeConfig {
 /// ```
 /// use mobidx_serve::{Batch, IdHashShard, ServeConfig, ShardedDb};
 /// use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-/// use mobidx_core::{Motion1D, MorQuery1D};
+/// use mobidx_core::{Motion1D, MorQuery1D, QueryRequest};
 ///
-/// let mut db = ShardedDb::new(
+/// let db = ShardedDb::new(
 ///     ServeConfig { shards: 2, queue_depth: 8, ..ServeConfig::default() },
 ///     Box::new(IdHashShard),
 ///     |_shard, _shards| DualBPlusIndex::new(DualBPlusConfig::default()),
@@ -83,14 +96,28 @@ impl Default for ServeConfig {
 /// db.apply(&batch).unwrap();
 ///
 /// let q = MorQuery1D { y1: 90.0, y2: 130.0, t1: 10.0, t2: 20.0 };
-/// assert_eq!(db.query(&q).unwrap(), vec![1]);
+/// let out = db.query(&QueryRequest::new(&q)).unwrap();
+/// assert_eq!(out, vec![1]);
+/// assert_eq!(out.epoch, Some(1)); // served by the post-commit snapshot
 /// ```
 ///
 /// [`MotionDb`]: mobidx_core::MotionDb
 pub struct ShardedDb<I: Index1D + Send + 'static> {
     senders: Vec<SyncSender<Request<I>>>,
     handles: Vec<JoinHandle<()>>,
-    table: HashMap<u64, Motion1D>,
+    /// The authoritative motion table. Writers ([`ShardedDb::apply`],
+    /// [`ShardedDb::rebuild_shard`]) hold the write lock end to end, so
+    /// batches serialize; readers only take the read lock for point
+    /// lookups and speed filtering.
+    table: RwLock<HashMap<u64, Motion1D>>,
+    /// Lock-free mirror of `table.len()`, refreshed inside every
+    /// `apply` while the write lock is held. Read paths (and anything
+    /// else on the query side) must use this instead of locking the
+    /// table: `apply` holds the write lock across its full
+    /// dispatch-and-publish round trip, and under a saturating writer
+    /// loop the writer-preferring `RwLock` would starve readers that
+    /// merely want the object count.
+    object_count: AtomicUsize,
     shard_fn: Box<dyn ShardFn>,
     #[allow(clippy::type_complexity)]
     factory: Box<dyn Fn(usize, usize) -> I + Send + Sync>,
@@ -113,6 +140,12 @@ pub struct ShardedDb<I: Index1D + Send + 'static> {
     /// the facade feeds it query selectivities, and its windowed drift
     /// detector raises `drift` events into the event log.
     profile: Arc<WorkloadProfile>,
+    /// Snapshot publication state: latest per-shard frozen views, the
+    /// monotone commit-epoch counter, and the currently published
+    /// [`DbSnapshot`].
+    registry: Arc<SnapshotRegistry>,
+    /// Work-stealing helpers for snapshot-read fan-out.
+    read_pool: ReadPool,
 }
 
 impl<I: Index1D + Send + 'static> ShardedDb<I> {
@@ -152,13 +185,19 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         let events = Arc::new(EventLog::new(EVENT_LOG_CAPACITY));
         let profile =
             Arc::new(WorkloadProfile::new(profile_cfg).with_event_log(Arc::clone(&events)));
+        let registry = Arc::new(SnapshotRegistry::new(cfg.shards));
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         let mut health = Vec::with_capacity(cfg.shards);
+        let mut initial_views = Vec::with_capacity(cfg.shards);
         let commit_on_apply = cfg.fsync != FsyncPolicy::Never;
         for shard in 0..cfg.shards {
             let (tx, rx) = sync_channel(cfg.queue_depth);
             let index = factory(shard, cfg.shards);
+            // Freeze the empty index before it moves into its worker —
+            // the initial snapshot (epoch 0) is published at
+            // construction, so snapshot reads work before any write.
+            initial_views.push(index.freeze().map(Arc::from));
             let shard_health = Arc::new(ShardHealth::new());
             let worker_health = Arc::clone(&shard_health);
             let worker_profile = Arc::clone(&profile);
@@ -180,10 +219,12 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             senders.push(tx);
             health.push(shard_health);
         }
+        registry.publish_initial(initial_views);
         Self {
             senders,
             handles,
-            table: HashMap::new(),
+            table: RwLock::new(HashMap::new()),
+            object_count: AtomicUsize::new(0),
             shard_fn,
             factory: Box::new(factory),
             buffers: Mutex::new(Vec::new()),
@@ -192,6 +233,8 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             epoch: Instant::now(),
             events,
             profile,
+            registry,
+            read_pool: ReadPool::new(cfg.read_threads),
         }
     }
 
@@ -207,36 +250,56 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         self.shard_fn.name()
     }
 
-    /// Number of tracked objects.
+    /// Number of tracked objects. Served from the lock-free counter, so
+    /// it never waits on an in-flight `apply`.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.object_count.load(Ordering::Acquire)
     }
 
     /// Whether the database is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.len() == 0
     }
 
-    /// The current motion record of an object.
+    /// The current motion record of an object. A precise-state read: it
+    /// takes the table lock and so waits out any in-flight `apply`.
     #[must_use]
-    pub fn get(&self, id: u64) -> Option<&Motion1D> {
-        self.table.get(&id)
+    pub fn get(&self, id: u64) -> Option<Motion1D> {
+        self.table.read().expect("motion table").get(&id).copied()
     }
 
-    /// The full motion table (the brute-force oracle's input).
-    pub fn objects(&self) -> impl Iterator<Item = &Motion1D> {
-        self.table.values()
+    /// The full motion table (the brute-force oracle's input), in
+    /// unspecified order. A precise-state read: it takes the table lock
+    /// and so waits out any in-flight `apply`.
+    #[must_use]
+    pub fn objects(&self) -> Vec<Motion1D> {
+        self.table
+            .read()
+            .expect("motion table")
+            .values()
+            .copied()
+            .collect()
     }
 
-    /// Validates and applies a batch of writes.
+    /// Validates and applies a batch of writes, then publishes the
+    /// post-commit state as the next read snapshot.
     ///
     /// Validation is atomic: every op is checked (in order, against the
     /// state the preceding ops of the same batch would leave) *before*
     /// anything is dispatched, so an inadmissible op aborts the whole
     /// batch with the database unchanged. After validation the table
     /// commits and each shard's op slice is dispatched as one message.
+    /// The facade's table lock is held for the whole call, so concurrent
+    /// `apply` calls serialize (single logical writer); snapshot reads
+    /// are never blocked by it.
+    ///
+    /// Each worker freezes its index once per drained group and the
+    /// facade publishes a new [`DbSnapshot`] at the next commit epoch —
+    /// after `apply` returns `Ok`, [`ShardedDb::snapshot_epoch`] has
+    /// advanced past the batch (group commit may collapse several
+    /// batches into one epoch).
     ///
     /// # Errors
     /// * [`ServeError::Duplicate`] / [`ServeError::Unknown`] — batch
@@ -245,15 +308,20 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     ///   worker hit an injected or real fault mid-batch. The table (the
     ///   authoritative state) has committed; call
     ///   [`ShardedDb::rebuild_shard`] on the reported shard to re-sync
-    ///   its index from the table.
-    pub fn apply(&mut self, batch: &Batch) -> Result<(), ServeError> {
+    ///   its index from the table. Snapshot publication pauses (reads
+    ///   keep serving the last good epoch) until the rebuild.
+    ///
+    /// # Panics
+    /// Panics if the table lock is poisoned (a prior `apply` panicked).
+    pub fn apply(&self, batch: &Batch) -> Result<(), ServeError> {
+        let mut table = self.table.write().expect("motion table");
         // Stage: validate against table ∪ staged without mutating either.
         let mut staged: HashMap<u64, Option<Motion1D>> = HashMap::new();
         let mut per_shard: Vec<Vec<ShardOp>> = vec![Vec::new(); self.shards];
         for op in &batch.ops {
             let lookup = |id: u64| match staged.get(&id) {
                 Some(s) => *s,
-                None => self.table.get(&id).copied(),
+                None => table.get(&id).copied(),
             };
             match *op {
                 Op::Insert(m) => {
@@ -281,13 +349,14 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         for (id, slot) in staged {
             match slot {
                 Some(m) => {
-                    self.table.insert(id, m);
+                    table.insert(id, m);
                 }
                 None => {
-                    self.table.remove(&id);
+                    table.remove(&id);
                 }
             }
         }
+        self.object_count.store(table.len(), Ordering::Release);
         let mut waits = Vec::new();
         for (shard, ops) in per_shard.into_iter().enumerate() {
             if ops.is_empty() {
@@ -298,78 +367,135 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             waits.push((shard, rx));
         }
         let mut first_err = None;
+        let mut published = Vec::new();
         for (shard, rx) in waits {
             match rx.recv() {
-                Ok(Ok(())) => {}
+                Ok(Ok(view)) => published.push((shard, view)),
                 Ok(Err(e)) => {
+                    // The shard's index no longer matches the table;
+                    // clearing its view pauses publication (reads keep
+                    // the last good snapshot) until a rebuild.
+                    published.push((shard, None));
                     first_err.get_or_insert(e);
                 }
                 Err(_) => {
+                    published.push((shard, None));
                     first_err.get_or_insert(ServeError::ShardDown { shard });
                 }
             }
         }
+        self.registry.publish(published);
+        drop(table);
         first_err.map_or(Ok(()), Err)
     }
 
-    /// Answers a MOR query: fans out to every shard, k-way-merges the
-    /// sorted per-shard answers. Takes `&self` — client threads may call
-    /// this concurrently.
+    /// Answers one read request — the single, options-driven entry point
+    /// that replaced the historical `query` / `query_filtered` /
+    /// `query_traced` family.
+    ///
+    /// Routing: plain requests run against the latest published
+    /// [`DbSnapshot`] — no worker queue, fan-out across the read pool,
+    /// `epoch` stamped on the output. Requests that force
+    /// [`QueryRequest::queued`], carry a
+    /// [`speed filter`](QueryRequest::speed_band), or arrive before any
+    /// snapshot exists take the worker-queue path instead (and leave
+    /// `epoch` as `None`).
+    ///
+    /// Both paths honor tracing: [`QueryRequest::traced`] /
+    /// [`QueryRequest::spanned`] produce a root `query` span with one
+    /// `s<shard>/execute` leg per shard. Queued legs carry
+    /// `queue_wait_nanos`; snapshot legs instead carry
+    /// `snapshot_epoch` and the frozen-page read count — snapshot reads
+    /// never wait in a queue, which is the point.
     ///
     /// # Errors
     /// [`ServeError::ShardFault`] / [`ServeError::ShardPoisoned`] /
-    /// [`ServeError::ShardDown`] when a worker cannot answer.
-    pub fn query(&self, q: &MorQuery1D) -> Result<Vec<u64>, ServeError> {
+    /// [`ServeError::ShardDown`] when a queued-path worker cannot
+    /// answer. The snapshot path is infallible once a snapshot exists.
+    pub fn query(&self, req: &QueryRequest<'_, MorQuery1D>) -> Result<QueryOutput, ServeError> {
+        if req.is_queued() || req.speed_filter().is_some() {
+            return self.query_queued(req);
+        }
+        match self.registry.current() {
+            Some(snap) => Ok(self.query_snapshot(&snap, req)),
+            None => self.query_queued(req),
+        }
+    }
+
+    /// A detached, immutable read handle on the latest published
+    /// snapshot: queries against it are serial, infallible, and keep
+    /// answering from the *same* epoch no matter how many commits land
+    /// after — the hook for "query a stale snapshot against a
+    /// pre-commit oracle" checks.
+    #[must_use]
+    pub fn read_view(&self) -> Option<ReadView> {
+        self.registry.current().map(|snap| ReadView { snap })
+    }
+
+    /// The last published commit epoch (0 until the first apply
+    /// publishes).
+    #[must_use]
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.registry.epoch()
+    }
+
+    /// Arms the snapshot read path's disk model: every frozen page a
+    /// snapshot leg visits charges `per_page` of wall-clock wait
+    /// (recorded in the shard's `io_wait` histogram). Zero — the default
+    /// — disables the model.
+    pub fn set_snapshot_read_delay(&self, per_page: Duration) {
+        self.registry
+            .set_read_delay_nanos(u64::try_from(per_page.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// The queued (worker fan-out) read path.
+    fn query_queued(&self, req: &QueryRequest<'_, MorQuery1D>) -> Result<QueryOutput, ServeError> {
+        let q = req.query();
+        if let Some((v_lo, v_hi)) = req.speed_filter() {
+            let targets = self
+                .shard_fn
+                .shards_for_speed(v_lo, v_hi, self.shards)
+                .unwrap_or_else(|| (0..self.shards).collect());
+            let mut ids = self.fan_out(q, &targets)?;
+            let table = self.table.read().expect("motion table");
+            ids.retain(|id| {
+                table.get(id).is_some_and(|m| {
+                    let s = m.v.abs();
+                    v_lo <= s && s <= v_hi
+                })
+            });
+            drop(table);
+            return Ok(QueryOutput {
+                ids,
+                ..QueryOutput::default()
+            });
+        }
+        if req.wants_span() {
+            return self.query_queued_span(req);
+        }
         let all: Vec<usize> = (0..self.shards).collect();
-        self.fan_out(q, &all)
+        Ok(QueryOutput {
+            ids: self.fan_out(q, &all)?,
+            ..QueryOutput::default()
+        })
     }
 
-    /// Answers a MOR query restricted to objects whose absolute speed
-    /// lies in `[v_lo, v_hi]`. A speed-aware [`ShardFn`] proves which
-    /// shards can hold such objects and the fan-out skips the rest; the
-    /// facade then filters exactly against the motion table, so the
-    /// answer is identical for every shard function.
-    ///
-    /// # Errors
-    /// As [`ShardedDb::query`].
-    pub fn query_filtered(
+    /// The queued read path with a span tree: the root `query` span
+    /// (method, summed candidates, merged result count) has one
+    /// `s<shard>/execute` child per fan-out leg, each carrying its queue
+    /// wait and the worker's `index.query` subtree down to per-store I/O
+    /// leaves. All spans measure from the facade's shared epoch, so the
+    /// tree renders as one timeline (one lane per worker) in the Chrome
+    /// trace export, and [`Span::total_io`] reconciles with the
+    /// [`ShardedDb::io_totals`] delta. The finished tree is also pushed
+    /// into the facade's [`EventLog`] ([`ShardedDb::recent_spans`]).
+    fn query_queued_span(
         &self,
-        q: &MorQuery1D,
-        v_lo: f64,
-        v_hi: f64,
-    ) -> Result<Vec<u64>, ServeError> {
-        let targets = self
-            .shard_fn
-            .shards_for_speed(v_lo, v_hi, self.shards)
-            .unwrap_or_else(|| (0..self.shards).collect());
-        let mut ids = self.fan_out(q, &targets)?;
-        ids.retain(|id| {
-            self.table.get(id).is_some_and(|m| {
-                let s = m.v.abs();
-                v_lo <= s && s <= v_hi
-            })
-        });
-        Ok(ids)
-    }
-
-    /// Answers a MOR query inside a hierarchical trace span: the root
-    /// `query` span (method, summed candidates, merged result count)
-    /// has one `s<shard>/execute` child per fan-out leg, each carrying
-    /// its queue wait and the worker's `index.query` subtree down to
-    /// per-store I/O leaves. All spans measure from the facade's shared
-    /// epoch, so the tree renders as one timeline (one lane per worker)
-    /// in the Chrome trace export, and
-    /// [`Span::total_io`] reconciles with the [`ShardedDb::io_totals`]
-    /// delta. The finished tree is also pushed into the facade's
-    /// [`EventLog`] ([`ShardedDb::recent_spans`]); flatten it with
-    /// [`QueryTrace::from_span`](mobidx_obs::QueryTrace::from_span) for
-    /// the legacy per-query record (store labels keep their `s<shard>/`
-    /// prefixes).
-    ///
-    /// # Errors
-    /// As [`ShardedDb::query`].
-    pub fn query_traced(&self, q: &MorQuery1D) -> Result<(Vec<u64>, Span), ServeError> {
-        let mut root = OpenSpan::begin("query", self.epoch);
+        req: &QueryRequest<'_, MorQuery1D>,
+    ) -> Result<QueryOutput, ServeError> {
+        let q = req.query();
+        let span_epoch = req.span_epoch().unwrap_or(self.epoch);
+        let mut root = OpenSpan::begin("query", span_epoch);
         root.set_attr(
             "method",
             format!("sharded[{}x {}]", self.shards, self.shard_fn.name()).as_str(),
@@ -384,7 +510,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
                 shard,
                 Request::Traced {
                     q: *q,
-                    epoch: self.epoch,
+                    epoch: span_epoch,
                     sent_nanos,
                     reply,
                 },
@@ -405,8 +531,167 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         let span = root.finish();
         self.events.push(Arc::new(span.clone()));
         self.profile
-            .record_query(merged.len() as u64, self.table.len() as u64);
-        Ok((merged, span))
+            .record_query(merged.len() as u64, self.len() as u64);
+        Ok(QueryOutput {
+            trace: req.wants_trace().then(|| QueryTrace::from_span(&span)),
+            span: req.span_epoch().is_some().then_some(span),
+            ids: merged,
+            candidates,
+            epoch: None,
+        })
+    }
+
+    /// The snapshot read path: per-shard legs against the frozen views,
+    /// fanned out across the read pool (the calling thread runs shard
+    /// 0's leg inline and steals queued legs while waiting), then k-way
+    /// merged. No worker queue is touched, so concurrent writers never
+    /// delay this path.
+    fn query_snapshot(
+        &self,
+        snap: &Arc<DbSnapshot>,
+        req: &QueryRequest<'_, MorQuery1D>,
+    ) -> QueryOutput {
+        let q = *req.query();
+        let n = snap.shards();
+        let span_epoch = req
+            .wants_span()
+            .then(|| req.span_epoch().unwrap_or(self.epoch));
+        let root = span_epoch.map(|e| {
+            let mut root = OpenSpan::begin("query", e);
+            root.set_attr(
+                "method",
+                format!("snapshot[{}x {}]", n, self.shard_fn.name()).as_str(),
+            );
+            root.set_attr("lane", 0u64);
+            root.set_attr("lane_name", "client");
+            root.set_attr("snapshot_epoch", snap.epoch);
+            root
+        });
+        let delay_nanos = self.registry.read_delay_nanos();
+        let (tx, rx) = channel::<(usize, SnapLeg)>();
+        for shard in 1..n {
+            let view = Arc::clone(&snap.views[shard]);
+            let health = Arc::clone(&self.health[shard]);
+            let buf = self.pop_buffer();
+            let tx = tx.clone();
+            let snap_epoch = snap.epoch;
+            self.read_pool.submit(Box::new(move || {
+                let leg = snapshot_leg(
+                    &*view,
+                    &q,
+                    buf,
+                    shard,
+                    snap_epoch,
+                    delay_nanos,
+                    &health,
+                    span_epoch,
+                );
+                let _ = tx.send((shard, leg));
+            }));
+        }
+        drop(tx);
+        let mut legs: Vec<Option<SnapLeg>> = Vec::with_capacity(n);
+        legs.resize_with(n, || None);
+        legs[0] = Some(snapshot_leg(
+            &*snap.views[0],
+            &q,
+            self.pop_buffer(),
+            0,
+            snap.epoch,
+            delay_nanos,
+            &self.health[0],
+            span_epoch,
+        ));
+        let mut remaining = n - 1;
+        while remaining > 0 {
+            match rx.try_recv() {
+                Ok((shard, leg)) => {
+                    legs[shard] = Some(leg);
+                    remaining -= 1;
+                }
+                Err(TryRecvError::Empty) => {
+                    // Steal: run someone's queued leg (possibly our own)
+                    // instead of blocking, unless the queue is dry and
+                    // our stragglers are mid-flight on pool threads.
+                    if !self.read_pool.try_run_one() {
+                        if let Ok((shard, leg)) = rx.recv() {
+                            legs[shard] = Some(leg);
+                            remaining -= 1;
+                        }
+                    }
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let legs: Vec<SnapLeg> = legs.into_iter().map(|l| l.expect("all legs ran")).collect();
+        let lists: Vec<Vec<u64>> = legs.iter().map(|l| l.ids.clone()).collect();
+        let merged = merge_sorted_ids(&lists);
+        let candidates = legs.iter().map(|l| l.stats.candidates).sum();
+        let span = root.map(|mut root| {
+            for leg in &legs {
+                root.push(leg.span.clone().expect("span requested"));
+            }
+            root.set_attr("candidates", candidates);
+            root.set_attr("results", merged.len() as u64);
+            let span = root.finish();
+            self.events.push(Arc::new(span.clone()));
+            span
+        });
+        {
+            let mut pool = self.buffers.lock().expect("buffer pool");
+            for mut leg in legs {
+                leg.ids.clear();
+                pool.push(leg.ids);
+            }
+        }
+        self.profile
+            .record_query(merged.len() as u64, self.len() as u64);
+        QueryOutput {
+            trace: match (&span, req.wants_trace()) {
+                (Some(span), true) => Some(QueryTrace::from_span(span)),
+                _ => None,
+            },
+            span: if req.span_epoch().is_some() {
+                span
+            } else {
+                None
+            },
+            ids: merged,
+            candidates,
+            epoch: Some(snap.epoch),
+        }
+    }
+
+    /// Answers a MOR query restricted to objects whose absolute speed
+    /// lies in `[v_lo, v_hi]`.
+    ///
+    /// # Errors
+    /// As [`ShardedDb::query`].
+    #[deprecated(note = "use `query(&QueryRequest::new(q).speed_band(v_lo, v_hi))`")]
+    pub fn query_filtered(
+        &self,
+        q: &MorQuery1D,
+        v_lo: f64,
+        v_hi: f64,
+    ) -> Result<Vec<u64>, ServeError> {
+        Ok(self
+            .query(&QueryRequest::new(q).speed_band(v_lo, v_hi))?
+            .into_ids())
+    }
+
+    /// Answers a MOR query on the queued path, inside a hierarchical
+    /// trace span.
+    ///
+    /// # Errors
+    /// As [`ShardedDb::query`].
+    ///
+    /// # Panics
+    /// Never — the spanned request always yields a span.
+    #[deprecated(note = "use `query(&QueryRequest::new(q).queued().spanned(epoch))`")]
+    pub fn query_traced(&self, q: &MorQuery1D) -> Result<(Vec<u64>, Span), ServeError> {
+        let out = self.query(&QueryRequest::new(q).queued().spanned(self.epoch))?;
+        let span = out.span.clone().expect("spanned request yields a span");
+        Ok((out.into_ids(), span))
     }
 
     /// A point-in-time health summary of every shard: queue depth and
@@ -475,6 +760,12 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     /// Shared event log for the telemetry sampler (crate-internal).
     pub(crate) fn telemetry_events(&self) -> &Arc<EventLog> {
         &self.events
+    }
+
+    /// Shared snapshot registry for the telemetry sampler
+    /// (crate-internal).
+    pub(crate) fn telemetry_registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.registry
     }
 
     /// Aggregated I/O counters across every shard.
@@ -554,7 +845,9 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     /// Rebuilds one shard from the authoritative motion table: a fresh
     /// index instance (from the factory) is shipped to the worker, which
     /// swaps it in, clears its poisoned flag, and re-inserts the shard's
-    /// motions. The recovery path after [`ServeError::ShardFault`].
+    /// motions. The recovery path after [`ServeError::ShardFault`]; a
+    /// successful rebuild also re-publishes the shard's frozen view and
+    /// so resumes snapshot publication.
     ///
     /// Returns the index it replaced, in its last (possibly poisoned,
     /// mid-operation) state, so callers can run a post-mortem — e.g.
@@ -568,10 +861,10 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     ///
     /// # Panics
     /// Panics if `shard` is out of range.
-    pub fn rebuild_shard(&mut self, shard: usize) -> Result<Box<I>, ServeError> {
+    pub fn rebuild_shard(&self, shard: usize) -> Result<Box<I>, ServeError> {
         assert!(shard < self.shards, "shard {shard} out of range");
-        let mut motions: Vec<Motion1D> = self
-            .table
+        let table = self.table.write().expect("motion table");
+        let mut motions: Vec<Motion1D> = table
             .values()
             .filter(|m| self.shard_fn.shard_of(m, self.shards) == shard)
             .copied()
@@ -590,7 +883,19 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
                 reply,
             },
         )?;
-        rx.recv().map_err(|_| ServeError::ShardDown { shard })?
+        let (old, view) = rx.recv().map_err(|_| ServeError::ShardDown { shard })??;
+        self.registry.publish([(shard, view)]);
+        drop(table);
+        Ok(old)
+    }
+
+    /// Pops a pooled result buffer (or a fresh one).
+    fn pop_buffer(&self) -> Vec<u64> {
+        self.buffers
+            .lock()
+            .expect("buffer pool")
+            .pop()
+            .unwrap_or_default()
     }
 
     /// Sends a fan-out query to `targets` and merges the answers,
@@ -601,12 +906,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         }
         let mut waits = Vec::with_capacity(targets.len());
         for &shard in targets {
-            let buf = self
-                .buffers
-                .lock()
-                .expect("buffer pool")
-                .pop()
-                .unwrap_or_default();
+            let buf = self.pop_buffer();
             let (reply, rx) = channel();
             self.send(shard, Request::Query { q: *q, buf, reply })?;
             waits.push((shard, rx));
@@ -623,7 +923,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         }
         drop(pool);
         self.profile
-            .record_query(merged.len() as u64, self.table.len() as u64);
+            .record_query(merged.len() as u64, self.len() as u64);
         Ok(merged)
     }
 
@@ -682,6 +982,105 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     }
 }
 
+/// One shard's snapshot-read result.
+struct SnapLeg {
+    ids: Vec<u64>,
+    stats: FrozenReadStats,
+    span: Option<Span>,
+}
+
+/// Runs one per-shard snapshot leg: searches the frozen view, charges
+/// the simulated disk wait, and bumps the shard's snapshot-read
+/// accounting. Runs on the caller's thread or a read-pool helper —
+/// never on the shard's worker.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_leg(
+    view: &dyn FrozenIndex1D,
+    q: &MorQuery1D,
+    mut buf: Vec<u64>,
+    shard: usize,
+    snapshot_epoch: u64,
+    delay_nanos: u64,
+    health: &ShardHealth,
+    span_epoch: Option<Instant>,
+) -> SnapLeg {
+    let started = Instant::now();
+    let mut leg = span_epoch.map(|e| {
+        let mut leg = OpenSpan::begin(format!("s{shard}/execute"), e);
+        leg.set_attr("shard", shard as u64);
+        leg.set_attr("lane", shard as u64 + 1);
+        leg.set_attr("lane_name", format!("mobidx-read-s{shard}").as_str());
+        leg.set_attr("read_path", "snapshot");
+        leg.set_attr("snapshot_epoch", snapshot_epoch);
+        leg
+    });
+    let stats = view.search(q, &mut buf);
+    if delay_nanos > 0 && stats.pages > 0 {
+        let wait = Duration::from_nanos(delay_nanos.saturating_mul(stats.pages));
+        std::thread::sleep(wait);
+        health
+            .io_wait
+            .record(u64::try_from(wait.as_micros()).unwrap_or(u64::MAX));
+    }
+    // A snapshot leg is still a query answered on this shard's behalf:
+    // count it so `queries` keeps matching the latency histogram.
+    health.queries.incr();
+    health.reads_on_snapshot.incr();
+    health
+        .query_latency
+        .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    let span = leg.take().map(|mut leg| {
+        leg.set_attr("candidates", stats.candidates);
+        leg.set_io(SpanIo {
+            reads: stats.pages,
+            ..SpanIo::default()
+        });
+        leg.finish()
+    });
+    SnapLeg {
+        ids: buf,
+        stats,
+        span,
+    }
+}
+
+/// A detached handle on one published [`DbSnapshot`] (see
+/// [`ShardedDb::read_view`]): serial snapshot queries pinned to a fixed
+/// epoch.
+pub struct ReadView {
+    snap: Arc<DbSnapshot>,
+}
+
+impl ReadView {
+    /// The pinned commit epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch
+    }
+
+    /// Answers a MOR query against the pinned snapshot — serial (no
+    /// read pool), infallible, identical answers forever.
+    #[must_use]
+    pub fn query(&self, q: &MorQuery1D) -> Vec<u64> {
+        let mut lists = Vec::with_capacity(self.snap.views.len());
+        let mut buf = Vec::new();
+        for view in &self.snap.views {
+            view.search(q, &mut buf);
+            lists.push(std::mem::take(&mut buf));
+        }
+        merge_sorted_ids(&lists)
+    }
+}
+
+impl std::fmt::Debug for ReadView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadView")
+            .field("epoch", &self.snap.epoch)
+            .field("shards", &self.snap.views.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<I: Index1D + Send + 'static> Drop for ShardedDb<I> {
     fn drop(&mut self) {
         for tx in &self.senders {
@@ -698,7 +1097,8 @@ impl<I: Index1D + Send + 'static> std::fmt::Debug for ShardedDb<I> {
         f.debug_struct("ShardedDb")
             .field("shards", &self.shards)
             .field("shard_fn", &self.shard_fn.name())
-            .field("objects", &self.table.len())
+            .field("objects", &self.len())
+            .field("snapshot_epoch", &self.snapshot_epoch())
             .finish_non_exhaustive()
     }
 }

@@ -30,8 +30,14 @@ pub struct ShardHealth {
     pub applied_batches: Counter,
     /// Individual shard ops applied across all batches.
     pub applied_ops: Counter,
-    /// Queries answered (traced and untraced).
+    /// Query legs answered for this shard — queued (worker-run, traced
+    /// or untraced) and snapshot (run on the caller / read pool)
+    /// alike. Always matches `query_latency`'s sample count.
     pub queries: Counter,
+    /// Snapshot-path reads served against this shard's frozen view —
+    /// these never touch the worker queue, so they are invisible to
+    /// `queries`/`enqueued`. Incremented by the facade per fan-out leg.
+    pub reads_on_snapshot: Counter,
     /// Ops per group commit: each `Apply` the worker dequeues drains
     /// every `Apply` queued behind it and applies their ops as one
     /// sorted batch; this histogram records the resulting group sizes
@@ -70,6 +76,7 @@ impl ShardHealth {
             applied_batches: self.applied_batches.get(),
             applied_ops: self.applied_ops.get(),
             queries: self.queries.get(),
+            reads_on_snapshot: self.reads_on_snapshot.get(),
             drained_batch_size: self.drained_batch_size.snapshot(),
             poisoned: self.poisoned.get() != 0,
             query_latency_us: self.query_latency.snapshot(),
@@ -98,6 +105,8 @@ pub struct ShardHealthSnapshot {
     pub applied_ops: u64,
     /// Queries answered.
     pub queries: u64,
+    /// Snapshot-path reads served against this shard's frozen view.
+    pub reads_on_snapshot: u64,
     /// Ops per group commit (see [`ShardHealth::drained_batch_size`]).
     pub drained_batch_size: HistogramSnapshot,
     /// Whether the shard awaits a rebuild.
@@ -129,6 +138,10 @@ impl ShardHealthSnapshot {
             ),
             ("applied_ops".to_owned(), Value::from(self.applied_ops)),
             ("queries".to_owned(), Value::from(self.queries)),
+            (
+                "reads_on_snapshot".to_owned(),
+                Value::from(self.reads_on_snapshot),
+            ),
             (
                 "drained_batch_size".to_owned(),
                 histogram_json(&self.drained_batch_size),
@@ -217,6 +230,7 @@ mod tests {
         let d = h.queue_depth.incr();
         h.queue_high_water.set_max(d);
         h.queries.add(3);
+        h.reads_on_snapshot.add(7);
         h.query_latency.record(120);
         h.drained_batch_size.record(64);
         h.poisoned.set(1);
@@ -226,6 +240,7 @@ mod tests {
         assert_eq!(s.queue_high_water, 1);
         assert_eq!(s.enqueued, 5);
         assert_eq!(s.queries, 3);
+        assert_eq!(s.reads_on_snapshot, 7);
         assert_eq!(s.drained_batch_size.count, 1);
         assert_eq!(s.drained_batch_size.max, 64);
         assert!(s.poisoned);
@@ -254,6 +269,10 @@ mod tests {
         let shard = &parsed.get("shards").and_then(Value::as_array).expect("arr")[0];
         assert_eq!(shard.get("shard").and_then(Value::as_u64), Some(0));
         assert_eq!(shard.get("poisoned").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            shard.get("reads_on_snapshot").and_then(Value::as_u64),
+            Some(0)
+        );
         let upd = shard.get("update_latency_us").expect("histogram");
         assert_eq!(upd.get("count").and_then(Value::as_u64), Some(1));
         assert_eq!(upd.get("p95").and_then(Value::as_u64), Some(50));

@@ -18,6 +18,11 @@
 //!   whose sub-band overlaps the filter) and the sorted per-shard
 //!   answers are k-way-merged back into the single-index contract
 //!   ([`merge`]).
+//! * **Epoch-stamped snapshot reads** — after every drained apply group
+//!   each worker freezes its index (page-level copy-on-write, O(dirty
+//!   pages)) and the facade publishes an immutable [`DbSnapshot`] at
+//!   the next commit epoch; plain queries run against it from any
+//!   caller thread with zero queueing behind writes ([`snapshot`]).
 //! * **Fault isolation** — a worker converts an index panic (e.g. an
 //!   unrecovered pager fault) into a typed [`ServeError`]; the shard is
 //!   poisoned until [`ShardedDb::rebuild_shard`] re-syncs it from the
@@ -33,14 +38,16 @@ pub mod db;
 pub mod health;
 pub mod merge;
 pub mod shard;
+pub mod snapshot;
 pub mod telemetry;
 pub(crate) mod worker;
 
 pub use batch::{Batch, Op};
-pub use db::{ServeConfig, ShardedDb};
+pub use db::{ReadView, ServeConfig, ShardedDb};
 pub use health::{HealthSnapshot, ShardHealth, ShardHealthSnapshot};
 pub use mobidx_pager::FsyncPolicy;
 pub use shard::{IdHashShard, ShardFn, SpeedBandShard};
+pub use snapshot::DbSnapshot;
 pub use telemetry::{SamplerConfig, ServeSampler};
 
 use mobidx_core::{DuplicateId, UnknownId};

@@ -1,0 +1,324 @@
+//! Epoch-stamped snapshot publication and the work-stealing read pool.
+//!
+//! The write path stays single-owner (each worker thread exclusively
+//! owns its live index), but after every drained apply group the worker
+//! *freezes* its index — [`Index1D::freeze`] publishes an immutable,
+//! page-level copy-on-write view ([`FrozenIndex1D`]) whose cost is
+//! O(dirty pages), not O(index). The facade's [`SnapshotRegistry`]
+//! collects the per-shard views and, once every shard has one, swaps in
+//! a new [`DbSnapshot`] stamped with the next commit epoch.
+//!
+//! Reads then never touch a worker queue: any caller thread grabs the
+//! latest published snapshot (`Arc` clone under a read lock), fans its
+//! per-shard legs out across the [`ReadPool`], and k-way-merges the
+//! answers. The result is *reads-see-a-prefix*: every answer equals the
+//! oracle state as of some sealed group commit ≤ the current epoch —
+//! never a torn mid-batch state — because a snapshot is only published
+//! after the whole group both applied and committed.
+//!
+//! [`Index1D::freeze`]: mobidx_core::Index1D::freeze
+//! [`FrozenIndex1D`]: mobidx_core::FrozenIndex1D
+
+use mobidx_core::FrozenIndex1D;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// An immutable, epoch-stamped view of the whole sharded database: one
+/// frozen index view per shard, all sealed by the same publication.
+pub struct DbSnapshot {
+    /// The commit epoch this snapshot was published at. Monotonically
+    /// increasing; epoch `e` contains exactly the first `e` published
+    /// group commits (plus the initial load at epoch 0).
+    pub epoch: u64,
+    /// Per-shard frozen views, in shard order.
+    pub(crate) views: Vec<Arc<dyn FrozenIndex1D>>,
+}
+
+impl DbSnapshot {
+    /// Number of shards in the snapshot.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.views.len()
+    }
+}
+
+impl std::fmt::Debug for DbSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbSnapshot")
+            .field("epoch", &self.epoch)
+            .field("shards", &self.views.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The facade's snapshot bookkeeping: the latest frozen view per shard,
+/// the monotone commit-epoch counter, and the currently published
+/// [`DbSnapshot`].
+///
+/// Publication is gated on completeness: a new snapshot is swapped in
+/// only when *every* shard has a view (a method that cannot freeze —
+/// e.g. dual-B+ with subterrain interval trees armed — or a faulted
+/// shard leaves the previous snapshot serving until it recovers).
+pub(crate) struct SnapshotRegistry {
+    /// Monotone commit-epoch counter; the last published epoch.
+    epoch: AtomicU64,
+    /// Latest frozen view per shard (`None` until the shard first
+    /// publishes, or while it cannot freeze).
+    latest: Mutex<Vec<Option<Arc<dyn FrozenIndex1D>>>>,
+    /// The currently published snapshot, if complete.
+    current: RwLock<Option<Arc<DbSnapshot>>>,
+    /// Simulated per-frozen-page read latency, in nanoseconds (the
+    /// snapshot path bypasses the pager's pluggable backends, so the
+    /// disk model is charged here).
+    read_delay_nanos: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            latest: Mutex::new(vec![None; shards]),
+            current: RwLock::new(None),
+            read_delay_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Patches the given shards' latest views and, if every shard now
+    /// has one, publishes a new snapshot at the next epoch. Returns the
+    /// published epoch, if any.
+    pub(crate) fn publish(
+        &self,
+        updates: impl IntoIterator<Item = (usize, Option<Arc<dyn FrozenIndex1D>>)>,
+    ) -> Option<u64> {
+        let mut latest = self.latest.lock().expect("snapshot registry");
+        for (shard, view) in updates {
+            latest[shard] = view;
+        }
+        if latest.iter().any(Option::is_none) {
+            return None;
+        }
+        let views: Vec<Arc<dyn FrozenIndex1D>> = latest
+            .iter()
+            .map(|v| Arc::clone(v.as_ref().expect("checked")))
+            .collect();
+        // The epoch bump and the swap happen under the `latest` lock, so
+        // epochs are published in order and never skip backwards.
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.current.write().expect("snapshot slot") = Some(Arc::new(DbSnapshot { epoch, views }));
+        drop(latest);
+        Some(epoch)
+    }
+
+    /// Publishes the initial snapshot (epoch stays 0 — nothing has
+    /// committed yet) from the freshly built per-shard indexes.
+    pub(crate) fn publish_initial(&self, views: Vec<Option<Arc<dyn FrozenIndex1D>>>) {
+        let mut latest = self.latest.lock().expect("snapshot registry");
+        *latest = views;
+        if latest.iter().all(Option::is_some) {
+            let views = latest
+                .iter()
+                .map(|v| Arc::clone(v.as_ref().expect("checked")))
+                .collect();
+            *self.current.write().expect("snapshot slot") =
+                Some(Arc::new(DbSnapshot { epoch: 0, views }));
+        }
+    }
+
+    /// The currently published snapshot, if any.
+    pub(crate) fn current(&self) -> Option<Arc<DbSnapshot>> {
+        self.current.read().expect("snapshot slot").clone()
+    }
+
+    /// The last published commit epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Whether a complete snapshot is published.
+    pub(crate) fn has_snapshot(&self) -> bool {
+        self.current.read().expect("snapshot slot").is_some()
+    }
+
+    pub(crate) fn set_read_delay_nanos(&self, nanos: u64) {
+        self.read_delay_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn read_delay_nanos(&self) -> u64 {
+        self.read_delay_nanos.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for SnapshotRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotRegistry")
+            .field("epoch", &self.epoch())
+            .field("published", &self.has_snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A small work-stealing pool for snapshot-read fan-out legs.
+///
+/// Queries are answered cooperatively: the submitting thread runs one
+/// leg inline and then *helps* — it keeps popping queued jobs (its own
+/// remaining legs, or another query's) until its reply channel drains.
+/// With zero pool threads the caller simply executes every leg itself,
+/// so `read_threads: 0` degrades to serial snapshot reads rather than
+/// deadlock.
+pub(crate) struct ReadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ReadPool {
+    pub(crate) fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mobidx-read-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn read worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Enqueues one fan-out leg.
+    pub(crate) fn submit(&self, job: Job) {
+        let mut q = self.shared.queue.lock().expect("read queue");
+        q.push_back(job);
+        drop(q);
+        self.shared.available.notify_one();
+    }
+
+    /// Runs one queued job on the calling thread, if any is waiting —
+    /// the help-while-waiting half of the stealing protocol.
+    pub(crate) fn try_run_one(&self) -> bool {
+        let job = self.shared.queue.lock().expect("read queue").pop_front();
+        job.map(|j| j()).is_some()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("read queue");
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.available.wait(q).expect("read queue");
+            }
+        };
+        job();
+    }
+}
+
+impl Drop for ReadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ReadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadPool")
+            .field("threads", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobidx_core::FrozenReadStats;
+    use mobidx_workload::MorQuery1D;
+    use std::sync::atomic::AtomicUsize;
+
+    struct FixedView(Vec<u64>);
+    impl FrozenIndex1D for FixedView {
+        fn search(&self, _q: &MorQuery1D, out: &mut Vec<u64>) -> FrozenReadStats {
+            out.clear();
+            out.extend_from_slice(&self.0);
+            FrozenReadStats {
+                candidates: self.0.len() as u64,
+                pages: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn publication_requires_every_shard() {
+        let reg = SnapshotRegistry::new(2);
+        assert!(!reg.has_snapshot());
+        assert_eq!(
+            reg.publish([(
+                0,
+                Some(Arc::new(FixedView(vec![1])) as Arc<dyn FrozenIndex1D>)
+            )]),
+            None
+        );
+        assert!(!reg.has_snapshot());
+        let e = reg.publish([(
+            1,
+            Some(Arc::new(FixedView(vec![2])) as Arc<dyn FrozenIndex1D>),
+        )]);
+        assert_eq!(e, Some(1));
+        let snap = reg.current().expect("published");
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.shards(), 2);
+        // A shard dropping its view (e.g. a fault) keeps the old
+        // snapshot serving.
+        assert_eq!(reg.publish([(0, None)]), None);
+        assert_eq!(reg.current().expect("stale snapshot").epoch, 1);
+        // Recovery publishes the next epoch.
+        let e = reg.publish([(
+            0,
+            Some(Arc::new(FixedView(vec![3])) as Arc<dyn FrozenIndex1D>),
+        )]);
+        assert_eq!(e, Some(2));
+    }
+
+    #[test]
+    fn pool_drains_jobs_with_and_without_threads() {
+        for threads in [0usize, 2] {
+            let pool = ReadPool::new(threads);
+            let done = Arc::new(AtomicUsize::new(0));
+            for _ in 0..16 {
+                let done = Arc::clone(&done);
+                pool.submit(Box::new(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            while done.load(Ordering::Relaxed) < 16 {
+                if !pool.try_run_one() {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(done.load(Ordering::Relaxed), 16);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::db::ShardedDb;
 use crate::health::ShardHealth;
+use crate::snapshot::SnapshotRegistry;
 use crate::worker::Request;
 use mobidx_core::{Index1D, IoTotals};
 use mobidx_obs::json::Value;
@@ -142,6 +143,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             self.telemetry_health().to_vec(),
             Arc::clone(self.telemetry_events()),
             Arc::clone(self.profile()),
+            Arc::clone(self.telemetry_registry()),
         )
     }
 }
@@ -153,6 +155,7 @@ fn start<I: Index1D + Send + 'static>(
     health: Vec<Arc<ShardHealth>>,
     events: Arc<EventLog>,
     profile: Arc<WorkloadProfile>,
+    registry: Arc<SnapshotRegistry>,
 ) -> ServeSampler {
     let shards = senders.len();
     let telemetry = Arc::new(Telemetry::new(cfg.capacity));
@@ -160,9 +163,16 @@ fn start<I: Index1D + Send + 'static>(
     let mut last_io: Vec<IoTotals> = vec![IoTotals::default(); shards];
     let mut last_ops: Vec<u64> = vec![0; shards];
     let mut last_queries: Vec<u64> = vec![0; shards];
+    let mut last_snap_reads: Vec<u64> = vec![0; shards];
+    // Snapshot-age bookkeeping: ticks since the published epoch last
+    // advanced (the sampler derives age from epoch *changes*, so it
+    // needs no clock plumbed out of the registry).
+    let mut last_epoch = registry.epoch();
+    let mut age_ticks = 0u64;
     let harvest = move || {
         let now = t.now_nanos();
         let mut depth_total = 0u64;
+        let mut snap_reads_total = 0u64;
         let mut reads_total = 0u64;
         let mut writes_total = 0u64;
         let mut wal_records_total = 0u64;
@@ -183,6 +193,12 @@ fn start<I: Index1D + Send + 'static>(
             let q_delta = snap.queries.saturating_sub(last_queries[shard]);
             last_queries[shard] = snap.queries;
             rec("queries", q_delta as f64);
+            let sr_delta = snap
+                .reads_on_snapshot
+                .saturating_sub(last_snap_reads[shard]);
+            last_snap_reads[shard] = snap.reads_on_snapshot;
+            rec("reads_on_snapshot", sr_delta as f64);
+            snap_reads_total += sr_delta;
             // The I/O counters live inside the worker-owned index, so
             // they take one queue round-trip; the deltas saturate so a
             // mid-run `reset_io` reads as a quiet tick, not a panic.
@@ -222,6 +238,17 @@ fn start<I: Index1D + Send + 'static>(
                 .push(now, profile.drift_millis() as f64);
             t.series("drift_events")
                 .push(now, profile.drift_events() as f64);
+            t.series("reads_on_snapshot_total")
+                .push(now, snap_reads_total as f64);
+            let epoch = registry.epoch();
+            if epoch == last_epoch {
+                age_ticks += 1;
+            } else {
+                last_epoch = epoch;
+                age_ticks = 0;
+            }
+            t.series("snapshot_epoch").push(now, epoch as f64);
+            t.series("snapshot_age_ticks").push(now, age_ticks as f64);
         }
     };
     ServeSampler {

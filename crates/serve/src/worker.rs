@@ -20,7 +20,7 @@
 use crate::batch::ShardOp;
 use crate::health::ShardHealth;
 use crate::ServeError;
-use mobidx_core::{Index1D, IoTotals};
+use mobidx_core::{FrozenIndex1D, Index1D, IoTotals, QueryRequest};
 use mobidx_obs::telemetry::WorkloadProfile;
 use mobidx_obs::{OpenSpan, Span};
 use mobidx_workload::{MorQuery1D, Motion1D};
@@ -32,10 +32,15 @@ use std::time::Instant;
 /// A message to a shard worker. Replies travel on per-request channels
 /// so concurrent clients never see each other's answers.
 pub(crate) enum Request<I> {
-    /// Apply this shard's slice of a batch, in order.
+    /// Apply this shard's slice of a batch, in order. On success the
+    /// reply carries the shard's freshly frozen read view (one freeze
+    /// per drained group, shared by every reply of the group), or `None`
+    /// when the index cannot freeze — the facade's snapshot registry
+    /// then keeps serving the previous snapshot.
     Apply {
         ops: Vec<ShardOp>,
-        reply: Sender<Result<(), ServeError>>,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<Option<Arc<dyn FrozenIndex1D>>, ServeError>>,
     },
     /// Answer a MOR query into `buf` (a pooled buffer whose capacity is
     /// reused across requests) and send it back.
@@ -77,7 +82,8 @@ pub(crate) enum Request<I> {
     Rebuild {
         index: Box<I>,
         motions: Vec<Motion1D>,
-        reply: Sender<Result<Box<I>, ServeError>>,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<(Box<I>, Option<Arc<dyn FrozenIndex1D>>), ServeError>>,
     },
     /// Drain and exit (sent on facade drop).
     Shutdown,
@@ -157,6 +163,7 @@ pub(crate) fn run<I: Index1D>(
                             });
                         }
                     }
+                    let mut view: Option<Arc<dyn FrozenIndex1D>> = None;
                     if r.is_ok() {
                         health.update_latency.record(elapsed_us(started));
                         health.applied_batches.incr();
@@ -166,15 +173,20 @@ pub(crate) fn run<I: Index1D>(
                                 profile.record_update(m.v);
                             }
                         }
+                        // One freeze per drained group: the sealed
+                        // post-commit state becomes the shard's next
+                        // published read view (O(dirty pages) — the
+                        // frozen page handles are shared, not copied).
+                        view = index.freeze().map(Arc::from);
                     }
                     for reply in replies {
-                        let _ = reply.send(r.clone());
+                        let _ = reply.send(r.clone().map(|()| view.clone()));
                     }
                 }
                 Request::Query { q, mut buf, reply } => {
                     let started = Instant::now();
                     let r = guarded(shard, &mut poisoned, || {
-                        index.query_into(&q, &mut buf);
+                        index.search(&q, &mut buf);
                         buf
                     });
                     if r.is_ok() {
@@ -203,7 +215,11 @@ pub(crate) fn run<I: Index1D>(
                         "queue_wait_nanos",
                         leg.start_nanos().saturating_sub(sent_nanos),
                     );
-                    let r = guarded(shard, &mut poisoned, || index.query_span(&q, epoch));
+                    let r = guarded(shard, &mut poisoned, || {
+                        let out = index.query(&QueryRequest::new(&q).spanned(epoch));
+                        let span = out.span.clone().expect("spanned request yields a span");
+                        (out.into_ids(), span)
+                    });
                     let r = r.map(|(ids, span)| {
                         if let Some(c) = span.attr_u64("candidates") {
                             leg.set_attr("candidates", c);
@@ -252,7 +268,7 @@ pub(crate) fn run<I: Index1D>(
                             });
                         }
                     }
-                    let _ = reply.send(r.map(|()| Box::new(old)));
+                    let _ = reply.send(r.map(|()| (Box::new(old), index.freeze().map(Arc::from))));
                 }
                 Request::Shutdown => break 'serve,
             }

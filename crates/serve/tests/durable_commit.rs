@@ -4,7 +4,7 @@
 //! [`FsyncPolicy::Never`] the workers skip sealing entirely.
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::Motion1D;
+use mobidx_core::{Motion1D, QueryRequest};
 use mobidx_pager::{FileBackend, FsyncPolicy, WAL_FILE};
 use mobidx_serve::{Batch, IdHashShard, SamplerConfig, ServeConfig, ShardedDb};
 use std::path::{Path, PathBuf};
@@ -62,7 +62,7 @@ fn motions(n: u64) -> Batch {
 #[test]
 fn apply_group_seals_wal_windows_on_durable_shards() {
     let root = tmp_root("commit");
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards: 1,
             queue_depth: 8,
@@ -104,11 +104,12 @@ fn apply_group_seals_wal_windows_on_durable_shards() {
 #[test]
 fn fsync_never_skips_sealing() {
     let root = tmp_root("nosync");
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards: 1,
             queue_depth: 8,
             fsync: FsyncPolicy::Never,
+            ..ServeConfig::default()
         },
         Box::new(IdHashShard),
         |_, _| small_index(),
@@ -131,7 +132,7 @@ fn fsync_never_skips_sealing() {
 #[test]
 fn sampler_publishes_wal_counters_for_durable_shards() {
     let root = tmp_root("telemetry");
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards: 1,
             queue_depth: 8,
@@ -179,7 +180,7 @@ fn sampler_publishes_wal_counters_for_durable_shards() {
 #[test]
 fn queries_match_after_durable_commits() {
     let root = tmp_root("query");
-    let mut db = ShardedDb::new(
+    let db = ShardedDb::new(
         ServeConfig {
             shards: 1,
             queue_depth: 8,
@@ -196,7 +197,7 @@ fn queries_match_after_durable_commits() {
         t1: 0.0,
         t2: 0.0,
     };
-    let ids = db.query(&q).unwrap();
+    let ids = db.query(&QueryRequest::new(&q)).unwrap();
     assert_eq!(ids.len(), 100, "durable commits must not perturb answers");
     drop(db);
     std::fs::remove_dir_all(&root).unwrap();

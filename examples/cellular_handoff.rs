@@ -14,7 +14,7 @@
 
 use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex};
 use mobidx_core::method::dual_bplus::DualBPlusConfig;
-use mobidx_core::{Index2D, IndexStats, MorQuery2D, SpeedBand};
+use mobidx_core::{Index2D, IndexStats, MorQuery2D, QueryRequest, SpeedBand};
 use mobidx_kdtree::KdConfig;
 use mobidx_workload::{Simulator2D, WorkloadConfig2D};
 
@@ -67,8 +67,8 @@ fn main() {
                     t1: now,
                     t2: now + LOOKAHEAD,
                 };
-                let a = kd4.query(&q);
-                let b = dec.query(&q);
+                let a = kd4.query(&QueryRequest::new(&q));
+                let b = dec.query(&QueryRequest::new(&q));
                 assert_eq!(a, b, "methods disagree on cell ({gx},{gy})");
                 loads.push((gx, gy, a.len()));
             }

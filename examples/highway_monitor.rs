@@ -13,7 +13,7 @@
 //! ```
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::{Index1D, IndexStats, MorQuery1D};
+use mobidx_core::{Index1D, IndexStats, MorQuery1D, QueryRequest};
 use mobidx_workload::{Simulator1D, WorkloadConfig};
 
 const SECTION_MILES: f64 = 1.0;
@@ -81,7 +81,7 @@ fn main() {
                     t1: now + LOOKAHEAD_MIN,
                     t2: now + LOOKAHEAD_MIN,
                 };
-                let predicted = idx.query(&q).len();
+                let predicted = idx.query(&QueryRequest::new(&q)).len();
                 if predicted >= CONGESTION_THRESHOLD {
                     alerts.push((s, predicted, now + LOOKAHEAD_MIN));
                     flagged += 1;

@@ -9,7 +9,7 @@
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
-use mobidx_core::{Index1D, MorQuery1D};
+use mobidx_core::{Index1D, MorQuery1D, QueryRequest};
 use mobidx_workload::{brute_force_1d, Simulator1D, WorkloadConfig};
 
 fn main() {
@@ -70,7 +70,7 @@ fn main() {
     for idx in &mut methods {
         idx.clear_buffers();
         idx.reset_io();
-        let ids = idx.query(&q);
+        let ids = idx.query(&QueryRequest::new(&q));
         let io = idx.io_totals();
         println!(
             "{:<16}{:>10}{:>12}{:>12}",

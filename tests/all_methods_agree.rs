@@ -7,7 +7,7 @@ use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
 use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
-use mobidx_core::{Index1D, SpeedBand};
+use mobidx_core::{Index1D, QueryRequest, SpeedBand};
 use mobidx_kdtree::KdConfig;
 use mobidx_ptree::PartitionConfig;
 use mobidx_rstar::RStarConfig;
@@ -76,7 +76,7 @@ fn long_scenario_exact_for_all_dual_methods() {
                     let want = brute_force_1d(sim.objects(), &q);
                     for idx in &mut methods {
                         assert_eq!(
-                            idx.query(&q),
+                            idx.query(&QueryRequest::new(&q)),
                             want,
                             "{} wrong at step {step} on {q:?}",
                             idx.name()
@@ -111,7 +111,10 @@ fn segment_baseline_exact_for_clipped_semantics() {
         if step % 10 == 0 {
             for _ in 0..5 {
                 let q = sim.gen_query(150.0, 60.0);
-                assert_eq!(idx.query(&q), idx.brute_force(sim.objects(), &q));
+                assert_eq!(
+                    idx.query(&QueryRequest::new(&q)),
+                    idx.brute_force(sim.objects(), &q)
+                );
             }
         }
     }
@@ -158,7 +161,12 @@ fn rotation_survives_many_periods_for_all_methods() {
             let q = sim.gen_query(15.0, 8.0);
             let want = brute_force_1d(sim.objects(), &q);
             for idx in &mut methods {
-                assert_eq!(idx.query(&q), want, "{}: step {step}", idx.name());
+                assert_eq!(
+                    idx.query(&QueryRequest::new(&q)),
+                    want,
+                    "{}: step {step}",
+                    idx.name()
+                );
             }
         }
     }
@@ -207,7 +215,12 @@ fn zero_width_windows_and_degenerate_ranges() {
     for q in cases {
         let want = brute_force_1d(sim.objects(), &q);
         for idx in &mut methods {
-            assert_eq!(idx.query(&q), want, "{} on {q:?}", idx.name());
+            assert_eq!(
+                idx.query(&QueryRequest::new(&q)),
+                want,
+                "{} on {q:?}",
+                idx.name()
+            );
         }
     }
 }
@@ -245,7 +258,12 @@ fn paper_page_sizes_also_exact() {
             let q = sim.gen_query(mix.0, mix.1);
             let want = brute_force_1d(sim.objects(), &q);
             for idx in &mut methods {
-                assert_eq!(idx.query(&q), want, "{} on {q:?}", idx.name());
+                assert_eq!(
+                    idx.query(&QueryRequest::new(&q)),
+                    want,
+                    "{} on {q:?}",
+                    idx.name()
+                );
             }
         }
     }
@@ -311,7 +329,7 @@ fn crossing_instant_queries_exact_for_all_methods() {
             );
             for idx in &mut methods {
                 assert_eq!(
-                    idx.query(&q),
+                    idx.query(&QueryRequest::new(&q)),
                     want,
                     "{} wrong at crossing t={} (seed {seed:#x})",
                     idx.name(),
@@ -360,9 +378,9 @@ fn stale_epoch_records_survive_rotation() {
         t1: 600.0,
         t2: 600.0,
     };
-    assert!(idx.query(&q).contains(&7));
+    assert!(idx.query(&QueryRequest::new(&q)).contains(&7));
     // ...and is exactly removable.
     assert!(idx.remove(&stale));
     assert!(!idx.remove(&stale));
-    assert!(!idx.query(&q).contains(&7));
+    assert!(!idx.query(&QueryRequest::new(&q)).contains(&7));
 }

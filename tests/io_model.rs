@@ -5,7 +5,7 @@
 use mobidx_bptree::{BPlusTree, TreeConfig};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
-use mobidx_core::{Index1D, IndexStats};
+use mobidx_core::{Index1D, IndexStats, QueryRequest};
 use mobidx_pager::{page_capacity, PageStore, DEFAULT_PAGE_SIZE};
 use mobidx_workload::{Simulator1D, WorkloadConfig};
 
@@ -40,7 +40,7 @@ fn cold_query_costs_are_deterministic() {
     for _ in 0..3 {
         idx.clear_buffers();
         idx.reset_io();
-        let _ = idx.query(&q);
+        let _ = idx.query(&QueryRequest::new(&q));
         costs.push(idx.io_totals().ios());
     }
     assert_eq!(costs[0], costs[1]);
@@ -63,10 +63,10 @@ fn warm_buffer_makes_repeat_queries_cheaper() {
     let q = sim.gen_query(10.0, 20.0);
     idx.clear_buffers();
     idx.reset_io();
-    let _ = idx.query(&q);
+    let _ = idx.query(&QueryRequest::new(&q));
     let cold = idx.io_totals().reads;
     idx.reset_io();
-    let _ = idx.query(&q); // warm: same pages, some still resident
+    let _ = idx.query(&QueryRequest::new(&q)); // warm: same pages, some still resident
     let warm = idx.io_totals().reads;
     assert!(warm <= cold, "warm {warm} > cold {cold}");
 }
@@ -153,7 +153,7 @@ fn query_io_grows_sublinearly_in_n() {
         };
         idx.clear_buffers();
         idx.reset_io();
-        let hits = idx.query(&q);
+        let hits = idx.query(&QueryRequest::new(&q));
         assert!(!hits.is_empty());
         costs.push(idx.io_totals().ios());
     }

@@ -4,7 +4,7 @@
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::mor1::{Mor1Index, StaggeredMor1};
-use mobidx_core::{Index1D, IndexStats, MorQuery1D};
+use mobidx_core::{Index1D, IndexStats, MorQuery1D, QueryRequest};
 use mobidx_persist::PersistConfig;
 use mobidx_workload::{brute_force_1d, Simulator1D, WorkloadConfig};
 
@@ -33,7 +33,11 @@ fn mor1_agrees_with_dual_bplus_on_time_slices() {
             };
             let want = brute_force_1d(&objects, &q);
             assert_eq!(mor1.query(tq, y1, y2), want, "mor1 at t={tq}");
-            assert_eq!(general.query(&q), want, "dual-B+ at t={tq}");
+            assert_eq!(
+                general.query(&QueryRequest::new(&q)),
+                want,
+                "dual-B+ at t={tq}"
+            );
         }
     }
 }
@@ -74,7 +78,7 @@ fn mor1_beats_general_method_on_narrow_time_slices() {
 
         general.clear_buffers();
         general.reset_io();
-        let b = general.query(&q);
+        let b = general.query(&QueryRequest::new(&q));
         gen_io += general.io_totals().ios();
         assert_eq!(a, b, "answers diverge at t={tq}");
     }

@@ -7,7 +7,7 @@
 use mobidx_bench::{paper_methods, run_scenario, QueryMix, Scale};
 use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex};
 use mobidx_core::method::dual_bplus::DualBPlusConfig;
-use mobidx_core::{Index2D, MorQuery1D, Motion1D, SpeedBand};
+use mobidx_core::{Index2D, MorQuery1D, Motion1D, QueryRequest, SpeedBand};
 use mobidx_kdtree::KdConfig;
 use mobidx_obs::json::{chrome_trace, Value};
 use mobidx_obs::{Histogram, QueryTrace, Span};
@@ -73,7 +73,9 @@ proptest! {
                 idx.clear_buffers();
                 idx.reset_io();
                 let before = idx.io_totals();
-                let (ids, trace) = idx.query_traced(q);
+                let out = idx.query(&QueryRequest::new(q).traced());
+                let trace = out.trace.expect("traced request yields a trace");
+                let ids = out.ids;
                 let delta = idx.io_totals().delta_since(before);
                 prop_assert_eq!(&trace.method, &method.name);
                 prop_assert_eq!(trace.reads, delta.reads, "{} reads", method.name);
@@ -129,7 +131,9 @@ proptest! {
                     idx.clear_buffers();
                     idx.reset_io();
                     let before = idx.io_totals();
-                    let (ids, span) = idx.query_span(q, epoch);
+                    let out = idx.query(&QueryRequest::new(q).spanned(epoch));
+                    let span = out.span.expect("spanned request yields a span");
+                    let ids = out.ids;
                     let delta = idx.io_totals().delta_since(before);
                     let total = span.total_io();
                     let label = format!(
@@ -189,7 +193,9 @@ fn false_hit_rates_separate_exact_from_approximate() {
             let q = sim.gen_query(150.0, 60.0);
             idx.clear_buffers();
             idx.reset_io();
-            let (ids, trace) = idx.query_traced(&q);
+            let out = idx.query(&QueryRequest::new(&q).traced());
+            let trace = out.trace.expect("traced request yields a trace");
+            let ids = out.ids;
             candidates += trace.candidates;
             results += ids.len() as u64;
         }
@@ -235,7 +241,9 @@ fn traces_reconcile_in_2d() {
             idx.clear_buffers();
             idx.reset_io();
             let before = idx.io_totals();
-            let (ids, trace) = idx.query_traced(&q);
+            let out = idx.query(&QueryRequest::new(&q).traced());
+            let trace = out.trace.expect("traced request yields a trace");
+            let ids = out.ids;
             let delta = idx.io_totals().delta_since(before);
             assert_eq!(trace.reads, delta.reads, "{}", trace.method);
             assert_eq!(trace.writes, delta.writes, "{}", trace.method);
@@ -341,7 +349,10 @@ fn query_trace_json_round_trips() {
     let q = sim.gen_query(150.0, 60.0);
     idx.clear_buffers();
     idx.reset_io();
-    let (_, trace) = idx.query_traced(&q);
+    let trace = idx
+        .query(&QueryRequest::new(&q).traced())
+        .trace
+        .expect("traced request yields a trace");
     let doc = Value::parse(&trace.to_json().render()).expect("trace JSON parses");
     assert_eq!(doc.get("method").and_then(Value::as_str), Some("dual-kd"));
     assert_eq!(doc.get("reads").and_then(Value::as_u64), Some(trace.reads));
@@ -371,7 +382,10 @@ fn chrome_trace_round_trips_through_parser() {
         let q = sim.gen_query(150.0, 60.0);
         idx.clear_buffers();
         idx.reset_io();
-        let (_, span) = idx.query_span(&q, epoch);
+        let span = idx
+            .query(&QueryRequest::new(&q).spanned(epoch))
+            .span
+            .expect("spanned request yields a span");
         total_spans += span.span_count();
         spans.push(span);
     }
@@ -497,7 +511,10 @@ fn span_json_round_trips_a_real_tree() {
     let q = sim.gen_query(150.0, 60.0);
     idx.clear_buffers();
     idx.reset_io();
-    let (_, span) = idx.query_span(&q, Instant::now());
+    let span = idx
+        .query(&QueryRequest::new(&q).spanned(Instant::now()))
+        .span
+        .expect("spanned request yields a span");
     let parsed = Value::parse(&span.to_json().render()).expect("span JSON parses");
     let back = Span::from_json(&parsed).expect("span JSON decodes");
     assert_eq!(back.name, span.name);

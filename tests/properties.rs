@@ -9,7 +9,7 @@ use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
 use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
 use mobidx_core::method::IndexStats;
-use mobidx_core::{DbOp, Index1D, MorQuery1D, Motion1D, MotionDb, SpeedBand};
+use mobidx_core::{DbOp, Index1D, MorQuery1D, Motion1D, MotionDb, QueryRequest, SpeedBand};
 use mobidx_geom::QueryRegion;
 use mobidx_kdtree::KdConfig;
 use mobidx_pager::{Backend, Fault, FaultKind, IoKind, PageId};
@@ -201,13 +201,19 @@ fn batch_matches_sequential<I: Index1D>(
     for q in queries {
         let want = brute_force_1d(&table, q);
         prop_assert_eq!(
-            seq.query(q),
+            seq.query(&QueryRequest::new(q)),
             want.clone(),
             "{}: sequential on {:?}",
             name,
             q
         );
-        prop_assert_eq!(bat.query(q), want, "{}: batched on {:?}", name, q);
+        prop_assert_eq!(
+            bat.query(&QueryRequest::new(q)),
+            want,
+            "{}: batched on {:?}",
+            name,
+            q
+        );
     }
     Ok(())
 }
@@ -265,8 +271,8 @@ proptest! {
         }
         for q in &queries {
             let want = brute_force_1d(&motions, q);
-            prop_assert_eq!(kd.query(q), want.clone(), "dual-kd on {:?}", q);
-            prop_assert_eq!(bp.query(q), want, "dual-B+ on {:?}", q);
+            prop_assert_eq!(kd.query(&QueryRequest::new(q)), want.clone(), "dual-kd on {:?}", q);
+            prop_assert_eq!(bp.query(&QueryRequest::new(q)), want, "dual-B+ on {:?}", q);
         }
     }
 
@@ -295,8 +301,8 @@ proptest! {
             prop_assert!(!bp.remove(m));
         }
         let everything = MorQuery1D { y1: 0.0, y2: TERRAIN, t1: 0.0, t2: 1000.0 };
-        prop_assert!(kd.query(&everything).is_empty());
-        prop_assert!(bp.query(&everything).is_empty());
+        prop_assert!(kd.query(&QueryRequest::new(&everything)).is_empty());
+        prop_assert!(bp.query(&QueryRequest::new(&everything)).is_empty());
     }
 
     /// Crossing enumeration agrees with a quadratic pairwise check.

@@ -4,9 +4,9 @@
 //! from a single [`MotionDb`] over the same index method.
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::{MorQuery1D, Motion1D, MotionDb, SpeedBand};
+use mobidx_core::{MorQuery1D, Motion1D, MotionDb, QueryRequest, SpeedBand};
 use mobidx_serve::{Batch, IdHashShard, ServeConfig, ServeError, ShardedDb, SpeedBandShard};
-use mobidx_workload::{brute_force_1d_speed, Simulator1D, WorkloadConfig};
+use mobidx_workload::{brute_force_1d, brute_force_1d_speed, Simulator1D, WorkloadConfig};
 use proptest::prelude::*;
 
 const TERRAIN: f64 = 1000.0;
@@ -118,7 +118,7 @@ proptest! {
         let inserts = dedup_by_id(inserts);
         for f in [Fn_::IdHash, Fn_::SpeedBand] {
             for shards in [1usize, 3, 8] {
-                let (mut db, mut oracle) = build_pair(f, shards, 16);
+                let (db, mut oracle) = build_pair(f, shards, 16);
 
                 let mut batch = Batch::new();
                 for m in &inserts {
@@ -143,8 +143,8 @@ proptest! {
 
                 prop_assert_eq!(db.len(), oracle.len());
                 for q in &queries {
-                    let got = db.query(q).expect("fan-out query");
-                    let want = oracle.query(q);
+                    let got = db.query(&QueryRequest::new(q)).expect("fan-out query");
+                    let want = oracle.query(&QueryRequest::new(q));
                     // Merge contract: sorted, deduplicated — and equal
                     // to what one index would have answered.
                     prop_assert!(got.windows(2).all(|w| w[0] < w[1]),
@@ -167,14 +167,16 @@ proptest! {
         let motions = dedup_by_id(motions);
         let v_hi = (v_lo + dv).min(1.7);
         for f in [Fn_::IdHash, Fn_::SpeedBand] {
-            let (mut db, _) = build_pair(f, 4, 16);
+            let (db, _) = build_pair(f, 4, 16);
             let mut batch = Batch::new();
             for m in &motions {
                 batch.insert(*m);
             }
             db.apply(&batch).expect("valid batch");
             for q in &queries {
-                let got = db.query_filtered(q, v_lo, v_hi).expect("filtered query");
+                let got = db
+                    .query(&QueryRequest::new(q).speed_band(v_lo, v_hi))
+                    .expect("filtered query");
                 let want = brute_force_1d_speed(&motions, q, v_lo, v_hi);
                 prop_assert_eq!(&got, &want, "{:?} speed [{}, {}]", f, v_lo, v_hi);
             }
@@ -193,7 +195,7 @@ proptest! {
     ) {
         let motions = dedup_by_id(motions);
         for shards in [1usize, 3] {
-            let (mut db, _) = build_pair(Fn_::SpeedBand, shards, 16);
+            let (db, _) = build_pair(Fn_::SpeedBand, shards, 16);
             let mut batch = Batch::new();
             for m in &motions {
                 batch.insert(*m);
@@ -201,7 +203,11 @@ proptest! {
             db.apply(&batch).expect("valid batch");
             for q in &queries {
                 let before = db.io_totals().expect("totals before");
-                let (ids, span) = db.query_traced(q).expect("traced query");
+                let out = db
+                    .query(&QueryRequest::new(q).queued().spanned(std::time::Instant::now()))
+                    .expect("traced query");
+                let span = out.span.clone().expect("spanned request carries the tree");
+                let ids = out.ids;
                 let delta = db.io_totals().expect("totals after").delta_since(before);
                 let total = span.total_io();
                 prop_assert_eq!(total.reads, delta.reads, "S={} reads", shards);
@@ -226,7 +232,7 @@ proptest! {
 /// answers like the oracle afterwards.
 #[test]
 fn invalid_batches_are_rejected_atomically() {
-    let (mut db, mut oracle) = build_pair(Fn_::SpeedBand, 3, 16);
+    let (db, mut oracle) = build_pair(Fn_::SpeedBand, 3, 16);
     let m = |id: u64, y0: f64, v: f64| Motion1D { id, t0: 0.0, y0, v };
 
     let mut load = Batch::new();
@@ -269,7 +275,10 @@ fn invalid_batches_are_rejected_atomically() {
         t1: 0.0,
         t2: 100.0,
     };
-    assert_eq!(db.query(&q).expect("query"), oracle.query(&q));
+    assert_eq!(
+        db.query(&QueryRequest::new(&q)).expect("query"),
+        oracle.query(&QueryRequest::new(&q))
+    );
 }
 
 /// Many client threads hammer one `&ShardedDb` concurrently; every
@@ -282,7 +291,7 @@ fn concurrent_clients_see_oracle_answers() {
         seed: 0xC0FFEE,
         ..WorkloadConfig::default()
     });
-    let (mut db, mut oracle) = build_pair(Fn_::SpeedBand, 4, 16);
+    let (db, mut oracle) = build_pair(Fn_::SpeedBand, 4, 16);
     let mut load = Batch::new();
     for m in sim.objects() {
         load.insert(*m);
@@ -291,7 +300,10 @@ fn concurrent_clients_see_oracle_answers() {
     db.apply(&load).expect("valid load");
 
     let queries: Vec<MorQuery1D> = (0..64).map(|_| sim.gen_query(150.0, 60.0)).collect();
-    let expected: Vec<Vec<u64>> = queries.iter().map(|q| oracle.query(q)).collect();
+    let expected: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| oracle.query(&QueryRequest::new(q)).into_ids())
+        .collect();
 
     // 8 clients, each walking the query list from a different offset.
     std::thread::scope(|scope| {
@@ -303,7 +315,9 @@ fn concurrent_clients_see_oracle_answers() {
                 scope.spawn(move || {
                     for i in 0..queries.len() {
                         let k = (i + t * 11) % queries.len();
-                        let got = db.query(&queries[k]).expect("concurrent query");
+                        let got = db
+                            .query(&QueryRequest::new(&queries[k]))
+                            .expect("concurrent query");
                         assert_eq!(got, expected[k], "query {k} from client {t}");
                     }
                 })
@@ -324,7 +338,7 @@ fn tiny_queue_depth_only_slows_things_down() {
         seed: 42,
         ..WorkloadConfig::default()
     });
-    let (mut db, mut oracle) = build_pair(Fn_::IdHash, 4, 1);
+    let (db, mut oracle) = build_pair(Fn_::IdHash, 4, 1);
     let mut load = Batch::new();
     for m in sim.objects() {
         load.insert(*m);
@@ -351,7 +365,8 @@ fn tiny_queue_depth_only_slows_things_down() {
                         t2: 50.0,
                     };
                     for _ in 0..20 {
-                        db.query(&q).expect("backpressured query");
+                        db.query(&QueryRequest::new(&q).queued())
+                            .expect("backpressured query");
                     }
                 })
             })
@@ -366,7 +381,10 @@ fn tiny_queue_depth_only_slows_things_down() {
         t1: 0.0,
         t2: 60.0,
     };
-    assert_eq!(db.query(&q).expect("query"), oracle.query(&q));
+    assert_eq!(
+        db.query(&QueryRequest::new(&q)).expect("query"),
+        oracle.query(&QueryRequest::new(&q))
+    );
 
     // With every reply collected the queues have drained; the per-shard
     // gauges must show it: depth back to zero, a nonzero high-water mark
@@ -406,7 +424,7 @@ fn observability_rolls_up_across_shards() {
         seed: 7,
         ..WorkloadConfig::default()
     });
-    let (mut db, _) = build_pair(Fn_::SpeedBand, 4, 16);
+    let (db, _) = build_pair(Fn_::SpeedBand, 4, 16);
     let mut load = Batch::new();
     for m in sim.objects() {
         load.insert(*m);
@@ -415,7 +433,15 @@ fn observability_rolls_up_across_shards() {
     db.reset_io().expect("reset");
 
     let q = sim.gen_query(150.0, 60.0);
-    let (ids, span) = db.query_traced(&q).expect("traced query");
+    let out = db
+        .query(
+            &QueryRequest::new(&q)
+                .queued()
+                .spanned(std::time::Instant::now()),
+        )
+        .expect("traced query");
+    let span = out.span.clone().expect("spanned request carries the tree");
+    let ids = out.ids;
     assert_eq!(span.name, "query");
     assert_eq!(span.children.len(), 4, "one leg per shard");
     // The flat QueryTrace is a leaf view over the span tree.
@@ -443,4 +469,159 @@ fn observability_rolls_up_across_shards() {
     assert_eq!(recent.len(), 1);
     assert_eq!(recent[0].name, "query");
     assert_eq!(recent[0].total_io().reads, trace.reads);
+}
+
+/// Snapshot span legs are queue-free by construction: each leg names
+/// the epoch it read (`snapshot_epoch`, matching the stamped output)
+/// and carries no `queue_wait_nanos` — the queued path's wait attr has
+/// no meaning off the worker queues. The same request shape on the
+/// queued path keeps the wait attr, so the two routings stay
+/// distinguishable from their traces alone.
+#[test]
+fn snapshot_span_legs_carry_epoch_and_no_queue_wait() {
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 2000,
+        seed: 11,
+        ..WorkloadConfig::default()
+    });
+    let (db, _) = build_pair(Fn_::SpeedBand, 4, 16);
+    let mut load = Batch::new();
+    for m in sim.objects() {
+        load.insert(*m);
+    }
+    db.apply(&load).expect("valid load");
+
+    let q = sim.gen_query(150.0, 60.0);
+    let out = db
+        .query(&QueryRequest::new(&q).spanned(std::time::Instant::now()))
+        .expect("snapshot query");
+    assert_eq!(out.epoch, Some(db.snapshot_epoch()), "epoch-stamped");
+    let span = out.span.expect("spanned request carries the tree");
+    assert_eq!(span.children.len(), 4, "one leg per shard");
+    assert!(
+        span.attr_u64("snapshot_epoch") == Some(1),
+        "root names the epoch it served"
+    );
+    for leg in &span.children {
+        assert_eq!(leg.attr_u64("snapshot_epoch"), Some(1), "leg epoch");
+        assert_eq!(
+            leg.attr_u64("queue_wait_nanos"),
+            None,
+            "snapshot legs never queue"
+        );
+    }
+
+    // The queued routing of the identical request still waits in line.
+    let queued = db
+        .query(
+            &QueryRequest::new(&q)
+                .queued()
+                .spanned(std::time::Instant::now()),
+        )
+        .expect("queued query");
+    assert_eq!(queued.epoch, None, "queued path is not epoch-stamped");
+    let span = queued.span.expect("spanned request carries the tree");
+    for leg in &span.children {
+        assert!(leg.attr_u64("queue_wait_nanos").is_some(), "queued leg");
+        assert_eq!(leg.attr_u64("snapshot_epoch"), None, "no epoch attr");
+    }
+    assert_eq!(queued.ids, out.ids, "both routings agree");
+}
+
+/// The snapshot tier's reads-see-a-prefix property: eight reader
+/// threads race a writer publishing group commits; every snapshot-served
+/// answer must equal the oracle state as of the sealed commit its epoch
+/// names — never a torn mid-batch state — and the epochs each reader
+/// observes must be monotone. Runs the full matrix: both shard
+/// functions, S ∈ {1, 3, 8}.
+#[test]
+fn snapshot_reads_see_a_prefix_under_concurrent_commits() {
+    const COMMITS: usize = 12;
+    let q = MorQuery1D {
+        y1: 200.0,
+        y2: 500.0,
+        t1: 310.0,
+        t2: 340.0,
+    };
+    for f in [Fn_::IdHash, Fn_::SpeedBand] {
+        for shards in [1usize, 3, 8] {
+            let mut sim = Simulator1D::new(WorkloadConfig {
+                n: 400,
+                seed: 0xEB0C,
+                ..WorkloadConfig::default()
+            });
+            let (db, _) = build_pair(f, shards, 16);
+
+            // Pre-roll the commit sequence and the per-epoch oracle
+            // answers, so readers can check answers lock-free. Epoch 0
+            // is the initial (empty) publication, epoch 1 the bulk
+            // load; each update batch then seals one more epoch.
+            let mut load = Batch::new();
+            let mut state: Vec<Motion1D> = sim.objects().to_vec();
+            for m in &state {
+                load.insert(*m);
+            }
+            let mut expected: Vec<Vec<u64>> = vec![Vec::new(), brute_force_1d(&state, &q)];
+            let mut batches: Vec<Batch> = Vec::new();
+            for _ in 0..COMMITS {
+                let mut b = Batch::new();
+                for u in sim.step() {
+                    b.update(u.new);
+                    if let Some(slot) = state.iter_mut().find(|m| m.id == u.new.id) {
+                        *slot = u.new;
+                    }
+                }
+                batches.push(b);
+                expected.push(brute_force_1d(&state, &q));
+            }
+
+            db.apply(&load).expect("bulk load");
+            assert_eq!(db.snapshot_epoch(), 1, "bulk load seals epoch 1");
+
+            std::thread::scope(|scope| {
+                let db = &db;
+                let q = &q;
+                let expected = &expected;
+                let batches = &batches;
+                let writer = scope.spawn(move || {
+                    for b in batches {
+                        db.apply(b).expect("update commit");
+                    }
+                });
+                let readers: Vec<_> = (0..8)
+                    .map(|r| {
+                        scope.spawn(move || {
+                            let mut last = 0u64;
+                            for i in 0..40 {
+                                let out = db.query(&QueryRequest::new(q)).expect("snapshot read");
+                                let epoch = out.epoch.expect("snapshot reads are epoch-stamped");
+                                assert!(
+                                    epoch >= last,
+                                    "reader {r}: epoch went backwards ({last} -> {epoch})"
+                                );
+                                last = epoch;
+                                assert_eq!(
+                                    out.ids, expected[epoch as usize],
+                                    "reader {r} read {i}: answer is not the prefix \
+                                     sealed at epoch {epoch}"
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                writer.join().expect("writer thread");
+                for h in readers {
+                    h.join().expect("reader thread");
+                }
+            });
+
+            // With the writer drained, the published snapshot seals
+            // every commit; a fresh read serves exactly the final state.
+            let final_epoch = 1 + COMMITS as u64;
+            assert_eq!(db.snapshot_epoch(), final_epoch, "{f:?} S={shards}");
+            let out = db.query(&QueryRequest::new(&q)).expect("final read");
+            assert_eq!(out.epoch, Some(final_epoch));
+            assert_eq!(out.ids, expected[COMMITS + 1]);
+        }
+    }
 }

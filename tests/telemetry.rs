@@ -5,6 +5,7 @@
 //! surfacing in the health snapshot.
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::QueryRequest;
 use mobidx_obs::json::Value;
 use mobidx_obs::telemetry::{parse_prometheus, ProfileConfig};
 use mobidx_serve::{Batch, IdHashShard, SamplerConfig, ServeConfig, ShardedDb};
@@ -133,7 +134,7 @@ fn drift_fires_on_two_band_shift_and_never_on_stationary() {
     // far, then a query records selectivity.
     assert!(db.profile().update_query_ratio().is_infinite());
     let q = sim.gen_query(150.0, 60.0);
-    let _ = db.query(&q).expect("query");
+    let _ = db.query(&QueryRequest::new(&q)).expect("query");
     assert_eq!(db.profile().queries(), 1);
     assert!(db.profile().update_query_ratio().is_finite());
 
@@ -160,7 +161,7 @@ fn drift_fires_on_two_band_shift_and_never_on_stationary() {
 #[test]
 fn sampler_harvests_every_shard_and_expositions_round_trip() {
     const SHARDS: usize = 3;
-    let mut db = build_db(ProfileConfig::default(), SHARDS);
+    let db = build_db(ProfileConfig::default(), SHARDS);
     let mut sim = Simulator1D::new(WorkloadConfig {
         n: 600,
         updates_per_instant: 60,
@@ -174,7 +175,7 @@ fn sampler_harvests_every_shard_and_expositions_round_trip() {
     db.apply(&batch).expect("load");
     for _ in 0..5 {
         let q = sim.gen_query(150.0, 60.0);
-        let _ = db.query(&q).expect("query");
+        let _ = db.query(&QueryRequest::new(&q)).expect("query");
     }
 
     let sampler = db.start_sampler(SamplerConfig {
@@ -271,7 +272,9 @@ fn sampler_harvests_every_shard_and_expositions_round_trip() {
     let ticks = sampler.ticks();
     drop(sampler);
     let q = sim.gen_query(150.0, 60.0);
-    let _ = db.query(&q).expect("query after sampler drop");
+    let _ = db
+        .query(&QueryRequest::new(&q))
+        .expect("query after sampler drop");
     assert!(ticks >= 3);
 }
 
@@ -280,7 +283,7 @@ fn sampler_harvests_every_shard_and_expositions_round_trip() {
 /// `EventLog::dropped()` in `ShardedDb::health()`).
 #[test]
 fn health_surfaces_span_drop_accounting() {
-    let mut db = build_db(ProfileConfig::default(), 2);
+    let db = build_db(ProfileConfig::default(), 2);
     let mut sim = Simulator1D::new(WorkloadConfig {
         n: 200,
         updates_per_instant: 20,
@@ -301,7 +304,9 @@ fn health_surfaces_span_drop_accounting() {
     // 256) so the ring wraps.
     for _ in 0..300 {
         let q = sim.gen_query(150.0, 60.0);
-        let _ = db.query_traced(&q).expect("traced query");
+        let _ = db
+            .query(&QueryRequest::new(&q).spanned(std::time::Instant::now()))
+            .expect("traced query");
     }
     let after = db.health();
     assert_eq!(after.spans_recorded, 300);

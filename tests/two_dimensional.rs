@@ -5,7 +5,7 @@ use mobidx_bptree::TreeConfig;
 use mobidx_core::method::dual2d::{Decomposition2D, Dual4KdIndex, Dual4PtreeIndex};
 use mobidx_core::method::dual_bplus::DualBPlusConfig;
 use mobidx_core::method::routes::{RouteIndexConfig, RouteMorIndex};
-use mobidx_core::{Index2D, SpeedBand};
+use mobidx_core::{Index2D, QueryRequest, SpeedBand};
 use mobidx_geom::Rect2;
 use mobidx_kdtree::KdConfig;
 use mobidx_ptree::PartitionConfig;
@@ -62,7 +62,12 @@ fn all_2d_methods_agree_with_oracle() {
                 let q = sim.gen_query(qmax, 30.0);
                 let want = brute_force_2d(sim.objects(), &q);
                 for idx in &mut methods {
-                    assert_eq!(idx.query(&q), want, "{}: step {step} {q:?}", idx.name());
+                    assert_eq!(
+                        idx.query(&QueryRequest::new(&q)),
+                        want,
+                        "{}: step {step} {q:?}",
+                        idx.name()
+                    );
                 }
             }
         }
@@ -118,7 +123,12 @@ fn degenerate_2d_queries() {
     for q in cases {
         let want = brute_force_2d(sim.objects(), &q);
         for idx in &mut methods {
-            assert_eq!(idx.query(&q), want, "{} on {q:?}", idx.name());
+            assert_eq!(
+                idx.query(&QueryRequest::new(&q)),
+                want,
+                "{} on {q:?}",
+                idx.name()
+            );
         }
     }
 }
