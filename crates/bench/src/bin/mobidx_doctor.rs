@@ -1,0 +1,75 @@
+//! `mobidx-doctor` — root-cause attribution over flight-recorder
+//! diagnostic bundles.
+//!
+//! ```text
+//! mobidx-doctor BUNDLE.json [--json]
+//! mobidx-doctor --check BUNDLE.json
+//! ```
+//!
+//! Default mode parses the bundle, validates it, and prints the ranked
+//! attribution report ([`mobidx_bench::doctor::diagnose`] has the
+//! model). `--json` prints the report as JSON instead of text.
+//! `--check` (CI gate) validates the bundle *and* requires the
+//! diagnosis to succeed, printing every violation; exit status 0 only
+//! when the bundle is well-formed and diagnosable.
+
+use mobidx_bench::doctor::{diagnose, validate_bundle};
+use mobidx_obs::json::Value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut check = false;
+    let mut json = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            other if !other.starts_with("--") && path.is_none() => {
+                path = Some(other.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let fail = |msg: &str| -> ! {
+        eprintln!("mobidx-doctor {path}: {msg}");
+        std::process::exit(1);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("unreadable: {e}")));
+    let bundle = Value::parse(&text).unwrap_or_else(|e| fail(&format!("not JSON: {e}")));
+    if check {
+        if let Err(errs) = validate_bundle(&bundle) {
+            eprintln!("mobidx-doctor --check {path}: {} violation(s)", errs.len());
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+    let report = diagnose(&bundle).unwrap_or_else(|e| fail(&e));
+    if check {
+        println!(
+            "ok: bundle #{} (trigger: {}) diagnosed, {} finding(s), top: {}",
+            report.seq,
+            report.trigger,
+            report.findings.len(),
+            report.findings.first().map_or_else(
+                || "none".to_owned(),
+                |f| format!("{}/{}", f.scope.label(), f.phase)
+            ),
+        );
+    } else if json {
+        println!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mobidx-doctor BUNDLE.json [--json]\n\
+         \x20      mobidx-doctor --check BUNDLE.json"
+    );
+    std::process::exit(2);
+}

@@ -3,7 +3,7 @@
 //! telemetry.
 //!
 //! ```text
-//! mobidx-top [--shards S] [--n OBJS] [--ticks T] [--refresh-ms MS] [--seed N]
+//! mobidx-top [--shards S] [--n OBJS] [--ticks T] [--refresh-ms MS] [--seed N] [--once]
 //! mobidx-top --check FILE
 //! ```
 //!
@@ -13,9 +13,15 @@
 //! something to find), attaches a
 //! [`ServeSampler`](mobidx_serve::ServeSampler), and redraws a per-shard
 //! table every refresh: queue depth, query latency percentiles, I/O
-//! rates, snapshot-read rates, the published snapshot epoch and its
-//! age, and the workload drift score. After `--ticks` refreshes it
-//! stops the load thread, drops the sampler, and exits cleanly.
+//! rates, snapshot-read rates, per-shard SLO status (from the sampler's
+//! default burn-rate objectives), the published snapshot epoch and its
+//! age, the read pool's counters, and the workload drift score. After
+//! `--ticks` refreshes it stops the load thread, drops the sampler, and
+//! exits cleanly.
+//!
+//! `--once` is the non-TTY mode: one warm-up window, one frame, exit —
+//! suitable for cron probes or CI logs where a redrawing table is
+//! noise. It implies `--ticks 1` and skips the rush-hour switch.
 //!
 //! `--check FILE` validates a JSON telemetry report written by
 //! `serve_bench --telemetry-out` (CI runs this): the report must parse,
@@ -38,6 +44,7 @@ fn main() {
     let mut ticks = 10u64;
     let mut refresh_ms = 500u64;
     let mut seed = 0x701u64;
+    let mut once = false;
     let mut check: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -74,6 +81,10 @@ fn main() {
                 seed = parse_next("--seed").parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
             _ => usage(),
         }
     }
@@ -85,12 +96,20 @@ fn main() {
         shards > 0 && ticks > 0 && refresh_ms > 0,
         "sizes must be positive"
     );
-    live(shards, n, ticks, refresh_ms, seed);
+    live(
+        shards,
+        n,
+        if once { 1 } else { ticks },
+        refresh_ms,
+        seed,
+        once,
+    );
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mobidx-top [--shards S] [--n OBJS] [--ticks T] [--refresh-ms MS] [--seed N]\n\
+        "usage: mobidx-top [--shards S] [--n OBJS] [--ticks T] [--refresh-ms MS] [--seed N] \
+         [--once]\n\
          \x20      mobidx-top --check FILE"
     );
     std::process::exit(2);
@@ -111,7 +130,7 @@ fn check_report(path: &str) {
 }
 
 /// Runs the live view (see module docs).
-fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64) {
+fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64, once: bool) {
     let shard_fn = SpeedBandShard::new(SpeedBand::paper());
     let db = ShardedDb::new(
         ServeConfig {
@@ -175,7 +194,7 @@ fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64) {
 
     for frame in 1..=ticks {
         std::thread::sleep(refresh);
-        if frame > ticks / 2 && !rush.load(Ordering::Relaxed) {
+        if !once && frame > ticks / 2 && !rush.load(Ordering::Relaxed) {
             rush.store(true, Ordering::Relaxed);
             println!("\n>>> switching workload to two-band rush hour");
         }
@@ -207,13 +226,38 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
         sampler.ticks(),
         tick.as_millis()
     );
+    let alerts = sampler.active_alerts();
     println!(
-        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>4}",
-        "shard", "depth", "p50 µs", "p95 µs", "p99 µs", "reads/s", "writes/s", "snap/s", "poi"
+        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>4} {:>5}",
+        "shard",
+        "depth",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs",
+        "reads/s",
+        "writes/s",
+        "snap/s",
+        "poi",
+        "slo"
     );
     for shard in 0..sampler.shards() {
+        // SLO status from the sampler's default per-shard objectives:
+        // a firing fault objective beats a firing latency burn.
+        let slo = if alerts
+            .iter()
+            .any(|a| a.name == format!("shard-fault-s{shard}"))
+        {
+            "FAULT"
+        } else if alerts
+            .iter()
+            .any(|a| a.name == format!("query-p99-s{shard}"))
+        {
+            "BURN"
+        } else {
+            "ok"
+        };
         println!(
-            "{:>5} {:>6.0} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>4}",
+            "{:>5} {:>6.0} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>4} {:>5}",
             shard,
             latest("queue_depth", shard),
             latest("query_p50_us", shard),
@@ -227,6 +271,7 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
             } else {
                 "-"
             },
+            slo,
         );
     }
     println!(
@@ -243,4 +288,29 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
         aggregate("snapshot_age_ticks"),
         aggregate("reads_on_snapshot_total"),
     );
+    println!(
+        "read pool depth {:.0} | {:.0} submitted/s, {:.0} stolen/s | bundles captured {}",
+        aggregate("readpool_depth"),
+        aggregate("readpool_submitted") * per_sec,
+        aggregate("readpool_stolen") * per_sec,
+        sampler.recorder().captures(),
+    );
+    if alerts.is_empty() {
+        println!(
+            "alerts: none ({} raised since start)",
+            sampler.slo_engine().alerts_raised()
+        );
+    } else {
+        println!("alerts: {} active", alerts.len());
+        for a in &alerts {
+            println!(
+                "  ! {} ({}) on {} — {:.2} vs threshold {:.2}",
+                a.name,
+                a.kind.as_str(),
+                a.series,
+                a.value,
+                a.threshold
+            );
+        }
+    }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] [--read-heavy]
-//!             [--durable] [--trace-out FILE] [--telemetry-out FILE]
+//!             [--durable] [--trace-out FILE] [--telemetry-out FILE] [--diagnose FILE]
 //! ```
 //!
 //! `--json` writes `BENCH_serve_<scale>.json` (schema in
@@ -42,6 +42,14 @@
 //! series plus the sampler-overhead measurement (schema in
 //! EXPERIMENTS.md). `mobidx-top --check FILE` validates such a report.
 //!
+//! `--diagnose FILE` additionally runs the induced-fault diagnostic
+//! scenario ([`mobidx_bench::diagnose`]): one shard WAL-fsync-stalled
+//! through `FsyncPolicy::Always` file stores, another poisoned mid-run,
+//! with the telemetry sampler, default SLOs, and flight recorder
+//! attached. The dumped diagnostic bundle lands in FILE and the
+//! doctor's ranked attribution prints; `mobidx-doctor --check FILE`
+//! re-validates and re-diagnoses the bundle (CI runs exactly that).
+//!
 //! `--durable` additionally runs the durable sweep: the same seeded
 //! update stream against [`FileBackend`](mobidx_pager::FileBackend)-armed
 //! shards under each fsync policy, measuring update throughput with the
@@ -49,6 +57,7 @@
 //! and — after dropping the database — the wall-clock time to reopen and
 //! replay every store (schema in EXPERIMENTS.md).
 
+use mobidx_bench::diagnose::{run_diagnose, DiagnoseConfig};
 use mobidx_bench::durable::{run_durable_sweep, DurableConfig};
 use mobidx_bench::throughput::{run_batch_sweep, run_read_heavy, run_sweep, ThroughputConfig};
 use mobidx_bench::{throughput, Scale};
@@ -71,6 +80,7 @@ fn main() {
     let mut durable = false;
     let mut trace_out: Option<String> = None;
     let mut telemetry_out: Option<String> = None;
+    let mut diagnose_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -96,6 +106,10 @@ fn main() {
             }
             "--telemetry-out" => {
                 telemetry_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--diagnose" => {
+                diagnose_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             "--scale" => {
@@ -291,12 +305,28 @@ fn main() {
         });
         println!("\nwrote {path} (telemetry report; validate with mobidx-top --check)");
     }
+
+    if let Some(path) = diagnose_out {
+        let out = run_diagnose(&DiagnoseConfig {
+            seed,
+            ..DiagnoseConfig::default()
+        });
+        std::fs::write(&path, out.bundle.render_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\ninduced-fault diagnostic run (bundle: {path}):");
+        println!("automatic captures: {:?}", out.auto_triggers);
+        print!("{}", out.report.render());
+        println!("validate with: mobidx-doctor --check {path}");
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] \
-         [--read-heavy] [--durable] [--trace-out FILE] [--telemetry-out FILE]"
+         [--read-heavy] [--durable] [--trace-out FILE] [--telemetry-out FILE] \
+         [--diagnose FILE]"
     );
     std::process::exit(2);
 }

@@ -37,7 +37,9 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
 pub mod ablations;
+pub mod diagnose;
 pub mod diff;
+pub mod doctor;
 pub mod durable;
 pub mod json_report;
 pub mod report;

@@ -128,6 +128,32 @@ mod tests {
         assert!(summary.contains("7 series"), "{summary}");
     }
 
+    /// The SLO engine and flight-recorder instrumentation add labeled
+    /// burn-rate/alert gauges, anomaly scores, and read-pool counters;
+    /// the checker must accept reports carrying them (floor, not
+    /// ceiling).
+    #[test]
+    fn report_with_slo_alert_and_readpool_series_passes() {
+        let text = report(
+            2,
+            &[
+                ("slo_burn_rate{slo=\"query-p99-s0\"}", 12),
+                ("slo_burn_rate{slo=\"query-p99-s1\"}", 12),
+                ("slo_burn_rate{slo=\"shard-fault-s0\"}", 12),
+                ("slo_burn_rate{slo=\"snapshot-age\"}", 12),
+                ("alert_active{slo=\"query-p99-s0\"}", 12),
+                ("alert_active{slo=\"shard-fault-s0\"}", 12),
+                ("anomaly_z{series=\"queue_depth_total\"}", 12),
+                ("readpool_depth", 12),
+                ("readpool_submitted", 12),
+                ("readpool_stolen", 12),
+                ("readpool_executed{worker=\"0\"}", 12),
+            ],
+        );
+        let summary = validate_report(&text).expect("slo/alert/readpool series must be accepted");
+        assert!(summary.contains("13 series"), "{summary}");
+    }
+
     #[test]
     fn missing_shard_series_fails() {
         let mut text = report(3, &[]);

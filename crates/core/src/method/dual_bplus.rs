@@ -302,7 +302,9 @@ impl DualBPlusIndex {
     }
 
     /// The matching machinery behind [`DualBPlusIndex::query_motions`]
-    /// and [`Index1D::query_into`]: every matching motion is handed to
+    /// and the buffer-reusing
+    /// `query(&QueryRequest::new(&q).with_buffer(..))` path: every
+    /// matching motion is handed to
     /// `sink` without intermediate materialization, so id-level callers
     /// skip building a `Vec<Motion1D>` per query entirely.
     pub fn for_each_match(&mut self, q: &MorQuery1D, mut sink: impl FnMut(Motion1D)) {

@@ -29,7 +29,11 @@
 //! * [`telemetry`] — the time axis: lock-free [`TimeSeries`] rings, a
 //!   [`Sampler`] thread harvesting health state on a tick, the
 //!   [`WorkloadProfile`] characterizer with windowed velocity-drift
-//!   detection, and Prometheus/JSON exposition ([`Telemetry`]).
+//!   detection, and Prometheus/JSON exposition ([`Telemetry`]);
+//! * [`slo`] — the judgment layer: declarative objectives with
+//!   multi-window burn-rate alerting and EWMA anomaly detection over
+//!   any registered series ([`SloEngine`]), emitting typed `alert`
+//!   events into the [`EventLog`].
 
 #![deny(missing_docs)]
 
@@ -37,6 +41,7 @@ mod event_log;
 pub mod json;
 mod metrics;
 mod recorder;
+pub mod slo;
 mod span;
 pub mod telemetry;
 mod trace;
@@ -44,6 +49,7 @@ mod trace;
 pub use event_log::EventLog;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
+pub use slo::{ActiveAlert, AlertKind, AnomalySpec, Objective, SloEngine, SloSpec};
 pub use span::{OpenSpan, Span, SpanIo};
 pub use telemetry::{
     parse_prometheus, DriftScore, ProfileConfig, PromSample, Sample, Sampler, SeriesSummary,

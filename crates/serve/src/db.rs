@@ -146,6 +146,10 @@ pub struct ShardedDb<I: Index1D + Send + 'static> {
     registry: Arc<SnapshotRegistry>,
     /// Work-stealing helpers for snapshot-read fan-out.
     read_pool: ReadPool,
+    /// The always-on black box: captures diagnostic bundles on shard
+    /// poison, SLO breach, drift, or [`ShardedDb::dump_bundle`] (see
+    /// [`crate::flight`]).
+    flight: Arc<crate::flight::FlightRecorder>,
 }
 
 impl<I: Index1D + Send + 'static> ShardedDb<I> {
@@ -220,6 +224,18 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             health.push(shard_health);
         }
         registry.publish_initial(initial_views);
+        let epoch = Instant::now();
+        let read_pool = ReadPool::new(cfg.read_threads);
+        let flight = Arc::new(crate::flight::FlightRecorder::new(
+            crate::flight::FlightConfig::default(),
+            cfg.shards,
+            epoch,
+            Arc::clone(&events),
+            health.clone(),
+            Arc::clone(read_pool.metrics()),
+            Arc::clone(&profile),
+            Arc::clone(&registry),
+        ));
         Self {
             senders,
             handles,
@@ -230,11 +246,12 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             buffers: Mutex::new(Vec::new()),
             shards: cfg.shards,
             health,
-            epoch: Instant::now(),
+            epoch,
             events,
             profile,
             registry,
-            read_pool: ReadPool::new(cfg.read_threads),
+            read_pool,
+            flight,
         }
     }
 
@@ -708,6 +725,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
                 .enumerate()
                 .map(|(shard, h)| h.snapshot(shard))
                 .collect(),
+            read_pool: self.read_pool.metrics().snapshot(),
             spans_recorded: self.events.recorded(),
             spans_dropped: self.events.dropped(),
         }
@@ -766,6 +784,35 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     /// (crate-internal).
     pub(crate) fn telemetry_registry(&self) -> &Arc<SnapshotRegistry> {
         &self.registry
+    }
+
+    /// Shared read-pool instrumentation for the telemetry sampler
+    /// (crate-internal).
+    pub(crate) fn telemetry_read_pool(&self) -> &Arc<crate::snapshot::ReadPoolMetrics> {
+        self.read_pool.metrics()
+    }
+
+    /// The flight recorder: the bounded ring of diagnostic bundles this
+    /// database has captured, and its per-trigger accounting (see
+    /// [`crate::flight`]).
+    #[must_use]
+    pub fn flight_recorder(&self) -> &Arc<crate::flight::FlightRecorder> {
+        &self.flight
+    }
+
+    /// Per-shard I/O totals without failing the whole poll when one
+    /// worker is gone: `None` for shards that did not answer
+    /// (crate-internal; the manual bundle dump uses it).
+    pub(crate) fn stats_best_effort(&self) -> Vec<Option<IoTotals>> {
+        let mut waits = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (reply, rx) = channel();
+            waits.push(self.send(shard, Request::Stats { reply }).ok().map(|()| rx));
+        }
+        waits
+            .into_iter()
+            .map(|rx| rx.and_then(|rx| rx.recv().ok()).map(|(totals, _)| totals))
+            .collect()
     }
 
     /// Aggregated I/O counters across every shard.

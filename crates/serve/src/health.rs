@@ -160,11 +160,67 @@ impl ShardHealthSnapshot {
     }
 }
 
+/// A point-in-time summary of the snapshot read pool (see
+/// `crate::snapshot`): how the fan-out legs were executed and how deep
+/// the shared job queue ran. The queue is pool-wide (there are no
+/// per-worker queues), so `depth` is the backlog every worker pulls
+/// from, while `executed` breaks the served legs down per helper
+/// thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPoolSnapshot {
+    /// Helper threads in the pool.
+    pub threads: usize,
+    /// Fan-out legs ever enqueued.
+    pub submitted: u64,
+    /// Legs executed by submitting threads via work stealing (never by
+    /// a helper).
+    pub stolen: u64,
+    /// Legs executed by each helper thread, in worker order.
+    pub executed: Vec<u64>,
+    /// Legs queued at snapshot time.
+    pub depth: u64,
+    /// High-water mark of `depth` since startup.
+    pub depth_high_water: u64,
+}
+
+impl ReadPoolSnapshot {
+    /// Legs executed across helpers and stealers combined.
+    #[must_use]
+    pub fn executed_total(&self) -> u64 {
+        self.stolen + self.executed.iter().sum::<u64>()
+    }
+
+    /// The snapshot as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("threads".to_owned(), Value::from(self.threads)),
+            ("submitted".to_owned(), Value::from(self.submitted)),
+            ("stolen".to_owned(), Value::from(self.stolen)),
+            (
+                "executed".to_owned(),
+                Value::Arr(self.executed.iter().map(|&e| Value::from(e)).collect()),
+            ),
+            (
+                "executed_total".to_owned(),
+                Value::from(self.executed_total()),
+            ),
+            ("depth".to_owned(), Value::from(self.depth)),
+            (
+                "depth_high_water".to_owned(),
+                Value::from(self.depth_high_water),
+            ),
+        ])
+    }
+}
+
 /// A point-in-time summary of every shard's health.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthSnapshot {
     /// Per-shard summaries, in shard order.
     pub shards: Vec<ShardHealthSnapshot>,
+    /// The snapshot read pool's counters (see [`ReadPoolSnapshot`]).
+    pub read_pool: ReadPoolSnapshot,
     /// Span trees ever pushed into the facade's event log.
     pub spans_recorded: u64,
     /// Span trees silently overwritten by the event log's ring wrap —
@@ -193,6 +249,7 @@ impl HealthSnapshot {
                         .collect(),
                 ),
             ),
+            ("read_pool".to_owned(), self.read_pool.to_json()),
             (
                 "spans_recorded".to_owned(),
                 Value::from(self.spans_recorded),
@@ -254,6 +311,14 @@ mod tests {
         h.update_latency.record(50);
         let snap = HealthSnapshot {
             shards: vec![h.snapshot(0)],
+            read_pool: ReadPoolSnapshot {
+                threads: 2,
+                submitted: 9,
+                stolen: 3,
+                executed: vec![4, 2],
+                depth: 0,
+                depth_high_water: 5,
+            },
             spans_recorded: 300,
             spans_dropped: 44,
         };
@@ -278,6 +343,17 @@ mod tests {
         assert_eq!(upd.get("p95").and_then(Value::as_u64), Some(50));
         let drained = shard.get("drained_batch_size").expect("histogram");
         assert_eq!(drained.get("count").and_then(Value::as_u64), Some(0));
+        let pool = parsed.get("read_pool").expect("read pool section");
+        assert_eq!(pool.get("submitted").and_then(Value::as_u64), Some(9));
+        assert_eq!(pool.get("stolen").and_then(Value::as_u64), Some(3));
+        assert_eq!(pool.get("executed_total").and_then(Value::as_u64), Some(9));
+        assert_eq!(
+            pool.get("executed")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        assert_eq!(snap.read_pool.executed_total(), 9);
         assert!(!snap.any_poisoned());
     }
 }

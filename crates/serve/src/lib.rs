@@ -35,6 +35,7 @@
 
 pub mod batch;
 pub mod db;
+pub mod flight;
 pub mod health;
 pub mod merge;
 pub mod shard;
@@ -44,11 +45,12 @@ pub(crate) mod worker;
 
 pub use batch::{Batch, Op};
 pub use db::{ReadView, ServeConfig, ShardedDb};
-pub use health::{HealthSnapshot, ShardHealth, ShardHealthSnapshot};
+pub use flight::{FlightConfig, FlightRecorder};
+pub use health::{HealthSnapshot, ReadPoolSnapshot, ShardHealth, ShardHealthSnapshot};
 pub use mobidx_pager::FsyncPolicy;
 pub use shard::{IdHashShard, ShardFn, SpeedBandShard};
 pub use snapshot::DbSnapshot;
-pub use telemetry::{SamplerConfig, ServeSampler};
+pub use telemetry::{default_slos, SamplerConfig, ServeSampler};
 
 use mobidx_core::{DuplicateId, UnknownId};
 use std::fmt;

@@ -21,7 +21,9 @@ pub trait ShardFn: Send + Sync {
     /// The shards that can possibly hold an object whose absolute speed
     /// lies in `[v_lo, v_hi]` — `None` when the partition carries no
     /// speed information (query all shards). Used by
-    /// [`crate::ShardedDb::query_filtered`] to prune the fan-out.
+    /// [`crate::ShardedDb::query`] when the request carries a
+    /// [`mobidx_core::QueryRequest::speed_band`] filter, to prune the
+    /// fan-out.
     fn shards_for_speed(&self, v_lo: f64, v_hi: f64, shards: usize) -> Option<Vec<usize>> {
         let _ = (v_lo, v_hi, shards);
         None

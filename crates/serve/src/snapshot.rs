@@ -19,7 +19,9 @@
 //! [`Index1D::freeze`]: mobidx_core::Index1D::freeze
 //! [`FrozenIndex1D`]: mobidx_core::FrozenIndex1D
 
+use crate::health::ReadPoolSnapshot;
 use mobidx_core::FrozenIndex1D;
+use mobidx_obs::{Counter, Gauge};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -167,6 +169,49 @@ struct PoolShared {
     shutdown: AtomicBool,
 }
 
+/// Shared instrumentation of the read pool — the snapshot read path's
+/// answer to [`crate::health::ShardHealth`]. All relaxed atomics, so
+/// the telemetry sampler and [`crate::ShardedDb::health`] read it
+/// without touching the pool's queue lock ordering.
+#[derive(Debug, Default)]
+pub(crate) struct ReadPoolMetrics {
+    /// Fan-out legs ever enqueued.
+    pub(crate) submitted: Counter,
+    /// Legs executed by a *submitting* thread via
+    /// [`ReadPool::try_run_one`] — the work-stealing half. High values
+    /// mean callers answer their own fan-out faster than the helpers
+    /// pick it up.
+    pub(crate) stolen: Counter,
+    /// Legs executed by each helper thread, in worker order.
+    pub(crate) executed: Vec<Counter>,
+    /// Legs currently queued (shared queue — the pool has no per-worker
+    /// queues, so this is the pool-wide backlog gauge).
+    pub(crate) depth: Gauge,
+    /// High-water mark of `depth` since startup.
+    pub(crate) depth_high_water: Gauge,
+}
+
+impl ReadPoolMetrics {
+    fn new(threads: usize) -> Self {
+        Self {
+            executed: (0..threads).map(|_| Counter::new()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A point-in-time summary.
+    pub(crate) fn snapshot(&self) -> ReadPoolSnapshot {
+        ReadPoolSnapshot {
+            threads: self.executed.len(),
+            submitted: self.submitted.get(),
+            stolen: self.stolen.get(),
+            executed: self.executed.iter().map(Counter::get).collect(),
+            depth: self.depth.get(),
+            depth_high_water: self.depth_high_water.get(),
+        }
+    }
+}
+
 /// A small work-stealing pool for snapshot-read fan-out legs.
 ///
 /// Queries are answered cooperatively: the submitting thread runs one
@@ -177,6 +222,7 @@ struct PoolShared {
 /// deadlock.
 pub(crate) struct ReadPool {
     shared: Arc<PoolShared>,
+    metrics: Arc<ReadPoolMetrics>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -187,23 +233,39 @@ impl ReadPool {
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
+        let metrics = Arc::new(ReadPoolMetrics::new(threads));
         let handles = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("mobidx-read-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, &metrics, i))
                     .expect("spawn read worker")
             })
             .collect();
-        Self { shared, handles }
+        Self {
+            shared,
+            metrics,
+            handles,
+        }
+    }
+
+    /// The pool's shared instrumentation (for the health snapshot and
+    /// the telemetry sampler).
+    pub(crate) fn metrics(&self) -> &Arc<ReadPoolMetrics> {
+        &self.metrics
     }
 
     /// Enqueues one fan-out leg.
     pub(crate) fn submit(&self, job: Job) {
-        let mut q = self.shared.queue.lock().expect("read queue");
-        q.push_back(job);
-        drop(q);
+        self.metrics.submitted.incr();
+        let depth = {
+            let mut q = self.shared.queue.lock().expect("read queue");
+            q.push_back(job);
+            self.metrics.depth.incr()
+        };
+        self.metrics.depth_high_water.set_max(depth);
         self.shared.available.notify_one();
     }
 
@@ -211,11 +273,19 @@ impl ReadPool {
     /// the help-while-waiting half of the stealing protocol.
     pub(crate) fn try_run_one(&self) -> bool {
         let job = self.shared.queue.lock().expect("read queue").pop_front();
-        job.map(|j| j()).is_some()
+        match job {
+            Some(j) => {
+                self.metrics.depth.decr();
+                self.metrics.stolen.incr();
+                j();
+                true
+            }
+            None => false,
+        }
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, metrics: &ReadPoolMetrics, worker: usize) {
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("read queue");
@@ -229,6 +299,8 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.available.wait(q).expect("read queue");
             }
         };
+        metrics.depth.decr();
+        metrics.executed[worker].incr();
         job();
     }
 }
@@ -319,6 +391,18 @@ mod tests {
                 }
             }
             assert_eq!(done.load(Ordering::Relaxed), 16);
+            // Every leg is accounted for exactly once: stolen by the
+            // submitter or executed by a helper, never both.
+            let snap = pool.metrics().snapshot();
+            assert_eq!(snap.threads, threads);
+            assert_eq!(snap.submitted, 16);
+            assert_eq!(snap.executed_total(), 16);
+            assert_eq!(snap.stolen + snap.executed.iter().sum::<u64>(), 16);
+            if threads == 0 {
+                assert_eq!(snap.stolen, 16, "no helpers: every leg is stolen");
+            }
+            assert_eq!(snap.depth, 0, "drained pool has no backlog");
+            assert!(snap.depth_high_water >= 1);
         }
     }
 }

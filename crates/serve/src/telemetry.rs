@@ -19,11 +19,13 @@
 //! text exposition groups base names under one `# TYPE` header each.
 
 use crate::db::ShardedDb;
+use crate::flight::FlightRecorder;
 use crate::health::ShardHealth;
-use crate::snapshot::SnapshotRegistry;
+use crate::snapshot::{ReadPoolMetrics, SnapshotRegistry};
 use crate::worker::Request;
 use mobidx_core::{Index1D, IoTotals};
 use mobidx_obs::json::Value;
+use mobidx_obs::slo::{ActiveAlert, AnomalySpec, SloEngine, SloSpec};
 use mobidx_obs::telemetry::{Sampler, Telemetry, TimeSeries, WorkloadProfile};
 use mobidx_obs::EventLog;
 use std::sync::mpsc::{channel, SyncSender};
@@ -59,6 +61,8 @@ impl Default for SamplerConfig {
 #[derive(Debug)]
 pub struct ServeSampler {
     telemetry: Arc<Telemetry>,
+    slo: Arc<SloEngine>,
+    flight: Arc<FlightRecorder>,
     shards: usize,
     sampler: Sampler,
 }
@@ -106,14 +110,40 @@ impl ServeSampler {
         self.telemetry.series(&shard_series(base, shard))
     }
 
+    /// The SLO engine this sampler evaluates every tick (default
+    /// objectives unless the sampler was started with
+    /// [`ShardedDb::start_sampler_with`]).
+    #[must_use]
+    pub fn slo_engine(&self) -> &Arc<SloEngine> {
+        &self.slo
+    }
+
+    /// The currently firing alerts (convenience for
+    /// [`SloEngine::active_alerts`] — what `mobidx-top`'s alert column
+    /// polls).
+    #[must_use]
+    pub fn active_alerts(&self) -> Vec<ActiveAlert> {
+        self.slo.active_alerts()
+    }
+
+    /// The database's flight recorder (the same handle
+    /// [`ShardedDb::flight_recorder`] returns; exposed here because the
+    /// sampler's tick is what drives its automatic triggers).
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
     /// The full JSON telemetry report: sampler metadata plus the
-    /// registry dump of [`Telemetry::to_json`].
+    /// registry dump of [`Telemetry::to_json`] and the SLO engine's
+    /// verdict.
     #[must_use]
     pub fn report_json(&self) -> Value {
         Value::Obj(vec![
             ("kind".to_owned(), Value::from("mobidx-telemetry")),
             ("shards".to_owned(), Value::from(self.shards)),
             ("ticks".to_owned(), Value::from(self.ticks())),
+            ("alerts".to_owned(), self.slo.to_json()),
             ("telemetry".to_owned(), self.telemetry.to_json()),
         ])
     }
@@ -130,13 +160,66 @@ fn shard_series(base: &str, shard: usize) -> String {
     format!("{base}{{shard=\"{shard}\"}}")
 }
 
+/// The default serving-tier objective set a plain
+/// [`ShardedDb::start_sampler`] installs:
+///
+/// * `query-p99-s<i>` — per-shard query p99 at or below 50 ms (5 %
+///   budget, 12/60-tick windows, 2× burn);
+/// * `shard-fault-s<i>` — per-shard poisoned gauge must read 0 (pages
+///   on the first poisoned tick);
+/// * `snapshot-age` — the published snapshot must advance at least
+///   once per 600 ticks (one minute at the default 100 ms tick) —
+///   write stalls and paused publication (a poisoned shard) surface
+///   here;
+/// * one anomaly detector over `queue_depth_total` for congestion
+///   steps no fixed threshold was told about.
+///
+/// Deployments with different targets build their own engine and pass
+/// it to [`ShardedDb::start_sampler_with`].
+#[must_use]
+pub fn default_slos(shards: usize) -> SloEngine {
+    let mut engine = SloEngine::new();
+    for shard in 0..shards {
+        engine = engine
+            .slo(SloSpec::latency(
+                &format!("query-p99-s{shard}"),
+                &shard_series("query_p99_us", shard),
+                50_000.0,
+            ))
+            .slo(SloSpec::fault(
+                &format!("shard-fault-s{shard}"),
+                &shard_series("poisoned", shard),
+            ));
+    }
+    engine
+        .slo(SloSpec::staleness(
+            "snapshot-age",
+            "snapshot_age_ticks",
+            600.0,
+        ))
+        .anomaly(AnomalySpec::over("queue_depth_total"))
+}
+
 impl<I: Index1D + Send + 'static> ShardedDb<I> {
     /// Starts a background telemetry harvester over this database (see
-    /// the [module docs](crate::telemetry)). The returned handle owns
-    /// the sampling thread; drop it to stop sampling. Multiple samplers
-    /// may run concurrently (each owns its registry).
+    /// the [module docs](crate::telemetry)) with the [`default_slos`]
+    /// objective set. The returned handle owns the sampling thread;
+    /// drop it to stop sampling. Multiple samplers may run concurrently
+    /// (each owns its registry; the flight recorder follows the most
+    /// recently started one).
     #[must_use]
     pub fn start_sampler(&self, cfg: SamplerConfig) -> ServeSampler {
+        self.start_sampler_with(cfg, default_slos(self.shards()))
+    }
+
+    /// [`ShardedDb::start_sampler`] with an explicit objective set.
+    /// The engine is wired to the database's event log (alert events
+    /// land next to drift events and query spans) and evaluated once
+    /// per tick, after the harvest; its raise edges drive the flight
+    /// recorder's `slo_breach` trigger.
+    #[must_use]
+    pub fn start_sampler_with(&self, cfg: SamplerConfig, engine: SloEngine) -> ServeSampler {
+        let slo = Arc::new(engine.with_event_log(Arc::clone(self.telemetry_events())));
         start(
             cfg,
             self.telemetry_senders().to_vec(),
@@ -144,11 +227,15 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             Arc::clone(self.telemetry_events()),
             Arc::clone(self.profile()),
             Arc::clone(self.telemetry_registry()),
+            Arc::clone(self.telemetry_read_pool()),
+            slo,
+            Arc::clone(self.flight_recorder()),
         )
     }
 }
 
 /// Builds the harvest closure and spawns the sampler thread.
+#[allow(clippy::too_many_arguments)]
 fn start<I: Index1D + Send + 'static>(
     cfg: SamplerConfig,
     senders: Vec<SyncSender<Request<I>>>,
@@ -156,14 +243,21 @@ fn start<I: Index1D + Send + 'static>(
     events: Arc<EventLog>,
     profile: Arc<WorkloadProfile>,
     registry: Arc<SnapshotRegistry>,
+    read_pool: Arc<ReadPoolMetrics>,
+    slo: Arc<SloEngine>,
+    flight: Arc<FlightRecorder>,
 ) -> ServeSampler {
     let shards = senders.len();
     let telemetry = Arc::new(Telemetry::new(cfg.capacity));
+    flight.attach(Arc::clone(&telemetry), Arc::clone(&slo));
     let t = Arc::clone(&telemetry);
+    let tick_slo = Arc::clone(&slo);
+    let tick_flight = Arc::clone(&flight);
     let mut last_io: Vec<IoTotals> = vec![IoTotals::default(); shards];
     let mut last_ops: Vec<u64> = vec![0; shards];
     let mut last_queries: Vec<u64> = vec![0; shards];
     let mut last_snap_reads: Vec<u64> = vec![0; shards];
+    let mut last_pool = (0u64, 0u64, vec![0u64; read_pool.snapshot().threads]);
     // Snapshot-age bookkeeping: ticks since the published epoch last
     // advanced (the sampler derives age from epoch *changes*, so it
     // needs no clock plumbed out of the registry).
@@ -177,6 +271,7 @@ fn start<I: Index1D + Send + 'static>(
         let mut writes_total = 0u64;
         let mut wal_records_total = 0u64;
         let mut wal_fsyncs_total = 0u64;
+        let mut polled: Vec<Option<IoTotals>> = vec![None; shards];
         #[allow(clippy::cast_precision_loss)]
         for (shard, h) in health.iter().enumerate() {
             let snap = h.snapshot(shard);
@@ -203,6 +298,7 @@ fn start<I: Index1D + Send + 'static>(
             // they take one queue round-trip; the deltas saturate so a
             // mid-run `reset_io` reads as a quiet tick, not a panic.
             if let Some(totals) = poll_stats(&senders[shard], h) {
+                polled[shard] = Some(totals);
                 let reads = totals.reads.saturating_sub(last_io[shard].reads);
                 let writes = totals.writes.saturating_sub(last_io[shard].writes);
                 let wal_records = totals
@@ -240,6 +336,20 @@ fn start<I: Index1D + Send + 'static>(
                 .push(now, profile.drift_events() as f64);
             t.series("reads_on_snapshot_total")
                 .push(now, snap_reads_total as f64);
+            // The snapshot read pool: backlog gauge, submit/steal
+            // deltas, and per-worker executed-leg deltas.
+            let pool = read_pool.snapshot();
+            t.series("readpool_depth").push(now, pool.depth as f64);
+            t.series("readpool_submitted")
+                .push(now, pool.submitted.saturating_sub(last_pool.0) as f64);
+            t.series("readpool_stolen")
+                .push(now, pool.stolen.saturating_sub(last_pool.1) as f64);
+            for (worker, &executed) in pool.executed.iter().enumerate() {
+                let prev = last_pool.2.get(worker).copied().unwrap_or(0);
+                t.series(&format!("readpool_executed{{worker=\"{worker}\"}}"))
+                    .push(now, executed.saturating_sub(prev) as f64);
+            }
+            last_pool = (pool.submitted, pool.stolen, pool.executed);
             let epoch = registry.epoch();
             if epoch == last_epoch {
                 age_ticks += 1;
@@ -250,9 +360,17 @@ fn start<I: Index1D + Send + 'static>(
             t.series("snapshot_epoch").push(now, epoch as f64);
             t.series("snapshot_age_ticks").push(now, age_ticks as f64);
         }
+        // Judgment rides the same tick: the SLO engine reads the
+        // windows just harvested, then the flight recorder checks its
+        // trigger edges (poison / new alerts / drift) and captures at
+        // most one bundle from the polled totals.
+        tick_slo.evaluate(&t);
+        tick_flight.on_tick(&polled);
     };
     ServeSampler {
         telemetry,
+        slo,
+        flight,
         shards,
         sampler: Sampler::spawn(cfg.tick, harvest),
     }

@@ -214,7 +214,8 @@ fn false_hit_rates_separate_exact_from_approximate() {
     );
 }
 
-/// 2-D methods reconcile the same way through `Index2D::query_traced`.
+/// 2-D methods reconcile the same way through
+/// `Index2D::query(&QueryRequest::new(&q).traced())`.
 #[test]
 fn traces_reconcile_in_2d() {
     let mut sim = Simulator2D::new(WorkloadConfig2D {

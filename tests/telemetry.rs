@@ -216,10 +216,45 @@ fn sampler_harvests_every_shard_and_expositions_round_trip() {
         "updates_observed",
         "drift_l1_millis",
         "drift_events",
+        "readpool_depth",
+        "readpool_submitted",
+        "readpool_stolen",
+        "snapshot_age_ticks",
     ] {
         let series = telemetry.get(aggregate).expect(aggregate);
         assert!(series.recorded() >= 1, "no samples in {aggregate}");
     }
+    // The default SLO engine evaluates every tick: one burn-rate and
+    // one alert gauge per objective (two per shard plus the staleness
+    // SLO), and the anomaly detector's z-score over the queue depth.
+    for shard in 0..SHARDS {
+        for slo in [
+            format!("slo_burn_rate{{slo=\"query-p99-s{shard}\"}}"),
+            format!("alert_active{{slo=\"query-p99-s{shard}\"}}"),
+            format!("slo_burn_rate{{slo=\"shard-fault-s{shard}\"}}"),
+            format!("alert_active{{slo=\"shard-fault-s{shard}\"}}"),
+        ] {
+            let series = telemetry.get(&slo).expect(&slo);
+            assert!(series.recorded() >= 1, "no samples in {slo}");
+        }
+    }
+    assert!(
+        telemetry
+            .get("slo_burn_rate{slo=\"snapshot-age\"}")
+            .expect("staleness SLO series")
+            .recorded()
+            >= 1
+    );
+    assert!(
+        telemetry
+            .get("anomaly_z{series=\"queue_depth_total\"}")
+            .expect("anomaly z series")
+            .recorded()
+            >= 1
+    );
+    // A healthy stationary run must not page anyone.
+    assert_eq!(sampler.active_alerts().len(), 0, "spurious alert");
+    assert_eq!(sampler.slo_engine().alerts_raised(), 0);
     // Every query latency sample is a plausible microsecond count.
     let p95 = sampler.series_for("query_p95_us", 0);
     assert!(p95.samples().iter().all(|s| s.value >= 0.0));
@@ -241,6 +276,22 @@ fn sampler_harvests_every_shard_and_expositions_round_trip() {
         .and_then(Value::as_array)
         .expect("series array");
     assert!(!series.is_empty());
+    // The report also carries the SLO engine's state: all default
+    // objectives (latency + fault per shard, plus staleness), none
+    // active.
+    let alerts = doc.get("alerts").expect("alerts section");
+    let slos = alerts
+        .get("slos")
+        .and_then(Value::as_array)
+        .expect("slos array");
+    assert_eq!(slos.len(), 2 * SHARDS + 1);
+    assert_eq!(
+        alerts
+            .get("active")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(0)
+    );
     for s in series {
         let samples = s.get("samples").and_then(Value::as_array).expect("samples");
         for pair in samples {
@@ -267,6 +318,32 @@ fn sampler_harvests_every_shard_and_expositions_round_trip() {
             "shard label"
         );
     }
+    // The SLO, alert, and read-pool series survive the Prometheus
+    // name/label alphabet and round-trip with their labels intact.
+    let slo_labels: Vec<&str> = samples
+        .iter()
+        .filter(|s| s.name == "mobidx_slo_burn_rate")
+        .filter_map(|s| s.labels.first().map(|(_, v)| v.as_str()))
+        .collect();
+    assert_eq!(slo_labels.len(), 2 * SHARDS + 1, "{slo_labels:?}");
+    assert!(slo_labels.contains(&"query-p99-s0"));
+    assert!(slo_labels.contains(&"shard-fault-s2"));
+    assert!(slo_labels.contains(&"snapshot-age"));
+    let active: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "mobidx_alert_active")
+        .collect();
+    assert_eq!(active.len(), 2 * SHARDS + 1);
+    assert!(
+        active.iter().all(|s| s.value == 0.0),
+        "no alert may fire on a stationary run"
+    );
+    assert!(samples.iter().any(|s| s.name == "mobidx_readpool_depth"));
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "mobidx_readpool_submitted"));
+    assert!(samples.iter().any(|s| s.name == "mobidx_anomaly_z"
+        && s.labels == [("series".to_owned(), "queue_depth_total".to_owned())]));
 
     // The sampler stops cleanly and the database keeps serving.
     let ticks = sampler.ticks();
