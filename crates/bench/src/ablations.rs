@@ -176,6 +176,7 @@ pub fn ablation_adversarial(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             false_hit_rate: rate(candidates.saturating_sub(results), candidates),
             buffer_hit_rate: rate(hits, hits + reads),
             latency: latency.snapshot(),
+            bands: idx.band_io().unwrap_or_default(),
         });
     }
     out
@@ -265,6 +266,7 @@ pub fn ablation_2d(n: usize, seed: u64) -> Vec<MethodMeasurement> {
             false_hit_rate: rate(candidates.saturating_sub(results), candidates),
             buffer_hit_rate: rate(hits, hits + reads),
             latency: latency.snapshot(),
+            bands: idx.band_io().unwrap_or_default(),
         });
     }
     out

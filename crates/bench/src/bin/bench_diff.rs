@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench-diff <baseline.json> <current.json> [--threshold PCT] [--include-wall-clock]
+//! bench-diff --beats <challenger> <incumbent> <report.json>
 //! ```
 //!
 //! Compares the deterministic metrics of a baseline report against a
@@ -17,12 +18,31 @@
 //! `--include-wall-clock` adds serve throughput (`queries_per_sec`,
 //! `update_ops_per_sec`) to the gate — off by default because
 //! wall-clock on shared CI hosts is noise.
+//!
+//! `--beats` switches to the head-to-head mode: within a **single**
+//! figure report, the challenger method must be strictly better than
+//! the incumbent on `avg_query_ios` and `false_hit_rate` at every
+//! `(mix, n)` cell where both were measured (exit 1 if it is not).
 
-use mobidx_bench::diff::diff_reports;
+use mobidx_bench::diff::{beats_report, diff_reports};
 use mobidx_obs::json::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--beats") {
+        if args.len() != 4 {
+            usage();
+        }
+        let doc = load(&args[3]);
+        let report = beats_report(&doc, &args[1], &args[2])
+            .unwrap_or_else(|e| fail(&format!("cannot gate {}: {e}", args[3])));
+        println!("report: {}\n", args[3]);
+        print!("{}", report.render_table());
+        if !report.wins() {
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = 10.0f64;
     let mut include_wall_clock = false;
@@ -77,7 +97,8 @@ fn fail(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench-diff <baseline.json> <current.json> [--threshold PCT] [--include-wall-clock]"
+        "usage: bench-diff <baseline.json> <current.json> [--threshold PCT] [--include-wall-clock]\n\
+         \x20      bench-diff --beats <challenger> <incumbent> <report.json>"
     );
     std::process::exit(2);
 }

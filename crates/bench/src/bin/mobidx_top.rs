@@ -7,17 +7,20 @@
 //! mobidx-top --check FILE
 //! ```
 //!
-//! Live mode builds a speed-band-sharded dual-B+ database, drives it
-//! from a background workload thread (uniform velocities that switch to
-//! a two-band rush-hour mix halfway through, so the drift detector has
-//! something to find), attaches a
+//! Live mode builds an id-hash-sharded [`VpDualIndex`] database with
+//! the background repartitioner attached, drives it from a workload
+//! thread (uniform velocities that switch to a two-band rush-hour mix
+//! halfway through, so the drift detector — and then the repartitioner
+//! — have something to find), attaches a
 //! [`ServeSampler`](mobidx_serve::ServeSampler), and redraws a per-shard
 //! table every refresh: queue depth, query latency percentiles, I/O
-//! rates, snapshot-read rates, per-shard SLO status (from the sampler's
-//! default burn-rate objectives), the published snapshot epoch and its
-//! age, the read pool's counters, and the workload drift score. After
-//! `--ticks` refreshes it stops the load thread, drops the sampler, and
-//! exits cleanly.
+//! rates, snapshot-read rates, the shard's current velocity-band count
+//! and the age (in harvest ticks) of its last repartition, per-shard
+//! SLO status (from the sampler's default burn-rate objectives), the
+//! published snapshot epoch and its age, the read pool's counters, and
+//! the workload drift score. After `--ticks` refreshes it stops the
+//! repartitioner and the load thread, drops the sampler, and exits
+//! cleanly.
 //!
 //! `--once` is the non-TTY mode: one warm-up window, one frame, exit —
 //! suitable for cron probes or CI logs where a redrawing table is
@@ -29,9 +32,11 @@
 //! sample for every shard's `queue_depth` series. Exit status 0 on
 //! success, 1 on a malformed or incomplete report.
 
-use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::{QueryRequest, SpeedBand};
-use mobidx_serve::{Batch, SamplerConfig, ServeConfig, ServeSampler, ShardedDb, SpeedBandShard};
+use mobidx_core::{QueryRequest, VpDualConfig, VpDualIndex};
+use mobidx_serve::{
+    start_repartitioner, Batch, IdHashShard, RepartitionConfig, SamplerConfig, ServeConfig,
+    ServeSampler, ShardedDb,
+};
 use mobidx_workload::{Simulator1D, VelocityModel, WorkloadConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -131,21 +136,15 @@ fn check_report(path: &str) {
 
 /// Runs the live view (see module docs).
 fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64, once: bool) {
-    let shard_fn = SpeedBandShard::new(SpeedBand::paper());
-    let db = ShardedDb::new(
+    let db = Arc::new(ShardedDb::new(
         ServeConfig {
             shards,
             queue_depth: 64,
             ..ServeConfig::default()
         },
-        Box::new(shard_fn),
-        move |i, s| {
-            DualBPlusIndex::new(DualBPlusConfig {
-                band: shard_fn.index_band(i, s),
-                ..DualBPlusConfig::default()
-            })
-        },
-    );
+        Box::new(IdHashShard),
+        |_, _| VpDualIndex::new(VpDualConfig::default()),
+    ));
     let mut sim = Simulator1D::new(WorkloadConfig {
         n,
         seed,
@@ -162,15 +161,23 @@ fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64, once: b
         tick,
         capacity: 4096,
     });
+    // The repartitioner watches the same drift detector the table
+    // reports on: when the rush-hour switch fires a drift event, the
+    // band boundaries get re-optimized live and the per-shard `bands`
+    // and `rp-age` columns show it happening.
+    let repartitioner = start_repartitioner(&db, RepartitionConfig::default());
     let stop = Arc::new(AtomicBool::new(false));
     let rush = Arc::new(AtomicBool::new(false));
     let load_stop = Arc::clone(&stop);
     let load_rush = Arc::clone(&rush);
-    // The workload thread owns the database; the table below reads only
-    // the sampler's series. When the main thread raises `rush` (at the
-    // halfway frame), the velocity mix turns two-band.
+    // The workload thread shares the database with the repartitioner;
+    // the table below reads only the sampler's series. When the main
+    // thread raises `rush` (at the halfway frame), the velocity mix
+    // turns two-band.
     let refresh = Duration::from_millis(refresh_ms);
+    let loader_db = Arc::clone(&db);
     let loader = std::thread::spawn(move || {
+        let db = loader_db;
         let mut switched = false;
         while !load_stop.load(Ordering::Relaxed) {
             if !switched && load_rush.load(Ordering::Relaxed) {
@@ -202,7 +209,13 @@ fn live(shards: usize, n: usize, ticks: u64, refresh_ms: u64, seed: u64, once: b
     }
     stop.store(true, Ordering::Relaxed);
     loader.join().expect("workload thread");
-    println!("done: {} harvest ticks", sampler.ticks());
+    let passes = repartitioner.stop();
+    println!(
+        "done: {} harvest ticks, {} repartitioner passes, {} repartitions",
+        sampler.ticks(),
+        passes,
+        db.repartition_stats().completed(),
+    );
 }
 
 /// Draws one frame of the per-shard table.
@@ -228,7 +241,7 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
     );
     let alerts = sampler.active_alerts();
     println!(
-        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>4} {:>5}",
+        "{:>5} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5} {:>6} {:>4} {:>5}",
         "shard",
         "depth",
         "p50 µs",
@@ -237,6 +250,8 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
         "reads/s",
         "writes/s",
         "snap/s",
+        "bands",
+        "rp-age",
         "poi",
         "slo"
     );
@@ -256,8 +271,15 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
         } else {
             "ok"
         };
+        // A shard that has never repartitioned shows "-" instead of an
+        // age counting up since process start.
+        let rp_age = if latest("repartitions", shard) > 0.0 {
+            format!("{:.0}", latest("repartition_age_ticks", shard))
+        } else {
+            "-".to_owned()
+        };
         println!(
-            "{:>5} {:>6.0} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>4} {:>5}",
+            "{:>5} {:>6.0} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>9.1} {:>5.0} {:>6} {:>4} {:>5}",
             shard,
             latest("queue_depth", shard),
             latest("query_p50_us", shard),
@@ -266,6 +288,8 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
             latest("io_reads", shard) * per_sec,
             latest("io_writes", shard) * per_sec,
             latest("reads_on_snapshot", shard) * per_sec,
+            latest("bands", shard),
+            rp_age,
             if latest("poisoned", shard) > 0.0 {
                 "YES"
             } else {
@@ -281,6 +305,14 @@ fn render(sampler: &ServeSampler, frame: u64, frames: u64, tick: Duration) {
         aggregate("updates_observed"),
         aggregate("spans_recorded"),
         aggregate("spans_dropped"),
+    );
+    println!(
+        "repartitions {:.0} ({:.0} attempts, {:.0} skipped) | {:.0} objects moved | last {:.0} ms",
+        aggregate("repartition_events"),
+        aggregate("repartition_attempts"),
+        aggregate("repartition_skipped"),
+        aggregate("repartition_moved_total"),
+        aggregate("repartition_last_ms"),
     );
     println!(
         "snapshot epoch {:.0} (age {:.0} ticks) | {:.0} snapshot reads total",

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] [--read-heavy]
-//!             [--durable] [--trace-out FILE] [--telemetry-out FILE] [--diagnose FILE]
+//!             [--durable] [--repartition] [--trace-out FILE] [--telemetry-out FILE]
+//!             [--diagnose FILE]
 //! ```
 //!
 //! `--json` writes `BENCH_serve_<scale>.json` (schema in
@@ -50,6 +51,17 @@
 //! doctor's ranked attribution prints; `mobidx-doctor --check FILE`
 //! re-validates and re-diagnoses the bundle (CI runs exactly that).
 //!
+//! `--repartition` additionally runs the drift → online-repartition
+//! acceptance scenario ([`mobidx_bench::repartition_bench`]): a
+//! two-band velocity shift degrades a `VpDualIndex`-sharded database's
+//! cold query I/O, the drift subscription repartitions it online, and
+//! the recovered I/O must land within 10 % of a from-scratch rebuild
+//! over the same population (the process exits non-zero otherwise —
+//! this is a CI gate). Combined with `--telemetry-out FILE`, the
+//! telemetry report written is the one sampled *during* this scenario —
+//! drift event, repartition span, and `repartition_*` series included —
+//! instead of the generic serving-session capture.
+//!
 //! `--durable` additionally runs the durable sweep: the same seeded
 //! update stream against [`FileBackend`](mobidx_pager::FileBackend)-armed
 //! shards under each fsync policy, measuring update throughput with the
@@ -59,6 +71,7 @@
 
 use mobidx_bench::diagnose::{run_diagnose, DiagnoseConfig};
 use mobidx_bench::durable::{run_durable_sweep, DurableConfig};
+use mobidx_bench::repartition_bench::{run_repartition_e2e, RepartitionE2eConfig};
 use mobidx_bench::throughput::{run_batch_sweep, run_read_heavy, run_sweep, ThroughputConfig};
 use mobidx_bench::{throughput, Scale};
 
@@ -78,6 +91,7 @@ fn main() {
     let mut batch = false;
     let mut read_heavy = false;
     let mut durable = false;
+    let mut repartition = false;
     let mut trace_out: Option<String> = None;
     let mut telemetry_out: Option<String> = None;
     let mut diagnose_out: Option<String> = None;
@@ -98,6 +112,10 @@ fn main() {
             }
             "--durable" => {
                 durable = true;
+                i += 1;
+            }
+            "--repartition" => {
+                repartition = true;
                 i += 1;
             }
             "--trace-out" => {
@@ -278,6 +296,34 @@ fn main() {
         }
     }
 
+    if repartition {
+        let e2e_cfg = RepartitionE2eConfig {
+            seed,
+            telemetry: telemetry_out.is_some(),
+            ..RepartitionE2eConfig::default()
+        };
+        println!(
+            "\ndrift -> repartition e2e (S = {}, N = {}, {} cold queries per phase, seed {}):",
+            e2e_cfg.shards, e2e_cfg.n, e2e_cfg.queries, e2e_cfg.seed
+        );
+        let out = run_repartition_e2e(&e2e_cfg);
+        print!("{}", out.render_table());
+        if let (Some(path), Some(text)) = (telemetry_out.take(), out.telemetry_json.as_deref()) {
+            std::fs::write(&path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path} (telemetry report; validate with mobidx-top --check)");
+        }
+        if !out.within_budget() {
+            eprintln!(
+                "repartition gate failed: {:.3} > {:.2}",
+                out.ratio, out.budget
+            );
+            std::process::exit(1);
+        }
+    }
+
     if json {
         let path = format!("BENCH_serve_{scale_name}.json");
         let text = throughput::render_report(scale_name, &cfg, &cells, &batch_cells, &read_cells);
@@ -325,8 +371,8 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: serve_bench [--scale quick|smoke|full] [--seed N] [--json] [--batch] \
-         [--read-heavy] [--durable] [--trace-out FILE] [--telemetry-out FILE] \
-         [--diagnose FILE]"
+         [--read-heavy] [--durable] [--repartition] [--trace-out FILE] \
+         [--telemetry-out FILE] [--diagnose FILE]"
     );
     std::process::exit(2);
 }

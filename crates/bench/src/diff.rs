@@ -334,6 +334,149 @@ fn read_rows(cells: &Value, include_wall_clock: bool) -> Result<Vec<Row>, DiffEr
     Ok(rows)
 }
 
+/// One `(mix, n)` head-to-head comparison from [`beats_report`].
+#[derive(Debug, Clone)]
+pub struct BeatsRow {
+    /// Row identity, e.g. `large/n=2000`.
+    pub row: String,
+    /// Metric name (`avg_query_ios` or `false_hit_rate`).
+    pub metric: String,
+    /// The challenger method's value.
+    pub challenger: f64,
+    /// The incumbent method's value.
+    pub incumbent: f64,
+    /// Whether the challenger is strictly better (lower).
+    pub wins: bool,
+}
+
+/// The outcome of a head-to-head gate.
+#[derive(Debug, Clone)]
+pub struct BeatsReport {
+    /// Every compared `(row, metric)` pair.
+    pub rows: Vec<BeatsRow>,
+    /// The two method names compared.
+    pub challenger: String,
+    /// Ditto.
+    pub incumbent: String,
+}
+
+impl BeatsReport {
+    /// Whether the challenger strictly beats the incumbent on **every**
+    /// compared metric of **every** row.
+    #[must_use]
+    pub fn wins(&self) -> bool {
+        !self.rows.is_empty() && self.rows.iter().all(|r| r.wins)
+    }
+
+    /// Renders the head-to-head as an aligned text table with a
+    /// one-line verdict.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let row_w = self
+            .rows
+            .iter()
+            .map(|r| r.row.len())
+            .chain(std::iter::once(3))
+            .max()
+            .unwrap_or(3);
+        out.push_str(&format!(
+            "{:<row_w$} {:>16} {:>14} {:>14}\n",
+            "row", "metric", "challenger", "incumbent"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<row_w$} {:>16} {:>14.4} {:>14.4}{}\n",
+                r.row,
+                r.metric,
+                r.challenger,
+                r.incumbent,
+                if r.wins { "" } else { "  LOSES" }
+            ));
+        }
+        out.push_str(&format!(
+            "{:?} vs {:?} on {} metrics: {}\n",
+            self.challenger,
+            self.incumbent,
+            self.rows.len(),
+            if self.wins() {
+                "BEATS"
+            } else {
+                "DOES NOT BEAT"
+            }
+        ));
+        out
+    }
+}
+
+/// Head-to-head gate within one figure report: at every `(mix, n)` cell
+/// where **both** methods were measured, the challenger must be
+/// strictly better (lower) on `avg_query_ios` *and* `false_hit_rate`.
+/// CI uses this to pin the claim "velocity partitioning beats the flat
+/// dual-B+ method", which a threshold diff against a same-method
+/// baseline cannot express.
+///
+/// # Errors
+/// [`DiffError::Shape`] when the document is not a figure report, or
+/// the two methods never co-occur in any cell.
+pub fn beats_report(
+    doc: &Value,
+    challenger: &str,
+    incumbent: &str,
+) -> Result<BeatsReport, DiffError> {
+    let Some(Value::Obj(mixes)) = doc.get("mixes") else {
+        return Err(DiffError::Shape(
+            "'--beats' needs a figure report (top-level 'mixes')".to_owned(),
+        ));
+    };
+    let mut rows = Vec::new();
+    for (mix, cells) in mixes {
+        let cells = cells
+            .as_array()
+            .ok_or_else(|| DiffError::Shape(format!("mix '{mix}' is not an array")))?;
+        let find = |name: &str, n: u64| -> Option<&Value> {
+            cells.iter().find(|c| {
+                c.get("method").and_then(Value::as_str) == Some(name)
+                    && c.get("n").and_then(Value::as_u64) == Some(n)
+            })
+        };
+        for cell in cells {
+            if cell.get("method").and_then(Value::as_str) != Some(challenger) {
+                continue;
+            }
+            let n = cell.get("n").and_then(Value::as_u64).unwrap_or(0);
+            let Some(other) = find(incumbent, n) else {
+                continue;
+            };
+            for metric in ["avg_query_ios", "false_hit_rate"] {
+                let (Some(ours), Some(theirs)) = (
+                    cell.get(metric).and_then(Value::as_f64),
+                    other.get(metric).and_then(Value::as_f64),
+                ) else {
+                    continue;
+                };
+                rows.push(BeatsRow {
+                    row: format!("{mix}/n={n}"),
+                    metric: metric.to_owned(),
+                    challenger: ours,
+                    incumbent: theirs,
+                    wins: ours < theirs,
+                });
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err(DiffError::Shape(format!(
+            "methods {challenger:?} and {incumbent:?} never co-occur in any cell"
+        )));
+    }
+    Ok(BeatsReport {
+        rows,
+        challenger: challenger.to_owned(),
+        incumbent: incumbent.to_owned(),
+    })
+}
+
 /// Scores one metric movement against the threshold.
 fn compare(
     row: &str,
@@ -569,5 +712,106 @@ mod tests {
         let fig = figure_doc(10.0, false);
         let bad = Value::Obj(vec![("nothing".to_owned(), Value::Null)]);
         assert!(diff_reports(&fig, &bad, 10.0, false).is_err());
+    }
+
+    /// A two-method figure doc for the head-to-head gate: one
+    /// challenger cell and one incumbent cell per `(mix, n)` row.
+    fn versus_doc(rows: &[(&str, u64, f64, f64, f64, f64)]) -> Value {
+        let mut mixes: Vec<(String, Vec<Value>)> = Vec::new();
+        for &(mix, n, ch_q, ch_f, in_q, in_f) in rows {
+            let cell = |name: &str, q: f64, f: f64| {
+                Value::Obj(vec![
+                    ("method".to_owned(), Value::from(name)),
+                    ("n".to_owned(), Value::from(n)),
+                    ("avg_query_ios".to_owned(), Value::Num(q)),
+                    ("false_hit_rate".to_owned(), Value::Num(f)),
+                ])
+            };
+            let slot = match mixes.iter_mut().find(|(m, _)| m == mix) {
+                Some((_, cells)) => cells,
+                None => {
+                    mixes.push((mix.to_owned(), Vec::new()));
+                    &mut mixes.last_mut().expect("just pushed").1
+                }
+            };
+            slot.push(cell("vp", ch_q, ch_f));
+            slot.push(cell("flat", in_q, in_f));
+        }
+        Value::Obj(vec![(
+            "mixes".to_owned(),
+            Value::Obj(
+                mixes
+                    .into_iter()
+                    .map(|(m, cells)| (m, Value::Arr(cells)))
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn beats_wins_when_strictly_better_everywhere() {
+        let doc = versus_doc(&[
+            ("large", 2000, 3.0, 0.4, 6.6, 0.72),
+            ("small", 2000, 2.0, 0.8, 4.9, 0.90),
+        ]);
+        let report = beats_report(&doc, "vp", "flat").expect("gate");
+        assert!(report.wins());
+        assert_eq!(report.rows.len(), 4, "two metrics per row");
+        let table = report.render_table();
+        assert!(table.contains("BEATS"));
+        assert!(!table.contains("LOSES"));
+    }
+
+    #[test]
+    fn beats_fails_on_any_tie_or_loss() {
+        // Tie on false_hit_rate at one cell: not *strictly* better.
+        let doc = versus_doc(&[
+            ("large", 2000, 3.0, 0.72, 6.6, 0.72),
+            ("small", 2000, 2.0, 0.8, 4.9, 0.90),
+        ]);
+        let report = beats_report(&doc, "vp", "flat").expect("gate");
+        assert!(!report.wins());
+        assert!(report.render_table().contains("DOES NOT BEAT"));
+        let losers: Vec<&BeatsRow> = report.rows.iter().filter(|r| !r.wins).collect();
+        assert_eq!(losers.len(), 1);
+        assert_eq!(losers[0].metric, "false_hit_rate");
+        assert_eq!(losers[0].row, "large/n=2000");
+    }
+
+    #[test]
+    fn beats_skips_rows_without_the_incumbent() {
+        // The incumbent is measured only at large/n=2000; the lone
+        // small-mix challenger cell cannot be compared and is skipped.
+        let mut doc = versus_doc(&[("large", 2000, 3.0, 0.4, 6.6, 0.72)]);
+        if let Value::Obj(members) = &mut doc {
+            if let Some(Value::Obj(mixes)) = members
+                .iter_mut()
+                .find_map(|(k, v)| (k == "mixes").then_some(v))
+            {
+                mixes.push((
+                    "small".to_owned(),
+                    Value::Arr(vec![Value::Obj(vec![
+                        ("method".to_owned(), Value::from("vp")),
+                        ("n".to_owned(), Value::from(2000u64)),
+                        ("avg_query_ios".to_owned(), Value::Num(2.0)),
+                        ("false_hit_rate".to_owned(), Value::Num(0.8)),
+                    ])]),
+                ));
+            }
+        }
+        let report = beats_report(&doc, "vp", "flat").expect("gate");
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.wins());
+    }
+
+    #[test]
+    fn beats_errors_when_methods_never_co_occur() {
+        let doc = versus_doc(&[("large", 2000, 3.0, 0.4, 6.6, 0.72)]);
+        assert!(beats_report(&doc, "vp", "absent").is_err());
+        let serve = serve_doc(30.0, 1000.0);
+        assert!(
+            beats_report(&serve, "vp", "flat").is_err(),
+            "not a figure report"
+        );
     }
 }

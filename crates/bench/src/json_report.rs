@@ -71,6 +71,22 @@ pub fn measurement_json(m: &MethodMeasurement) -> Value {
             "latency_nanos".to_owned(),
             mobidx_serve::health::histogram_json(&m.latency),
         ),
+        (
+            "bands".to_owned(),
+            Value::Arr(m.bands.iter().map(band_json).collect()),
+        ),
+    ])
+}
+
+/// One speed band's read accounting as a JSON object.
+fn band_json(b: &mobidx_core::BandIo) -> Value {
+    Value::Obj(vec![
+        ("v_lo".to_owned(), Value::Num(b.v_lo)),
+        ("v_hi".to_owned(), Value::Num(b.v_hi)),
+        ("residents".to_owned(), Value::from(b.residents)),
+        ("candidates".to_owned(), Value::from(b.candidates)),
+        ("results".to_owned(), Value::from(b.results)),
+        ("false_hit_rate".to_owned(), Value::Num(b.false_hit_rate())),
     ])
 }
 
@@ -104,6 +120,13 @@ mod tests {
                 p99: 2000,
                 max: 2100,
             },
+            bands: vec![mobidx_core::BandIo {
+                v_lo: 0.16,
+                v_hi: 0.91,
+                residents: 1200,
+                candidates: 180,
+                results: 150,
+            }],
         }
     }
 
@@ -132,6 +155,20 @@ mod tests {
         assert!((fh - 50.0 / 240.0).abs() < 1e-12);
         let lat = large[0].get("latency_nanos").expect("latency");
         assert_eq!(lat.get("p99").and_then(Value::as_u64), Some(2000));
+        let bands = large[0]
+            .get("bands")
+            .and_then(Value::as_array)
+            .expect("bands array");
+        assert_eq!(bands.len(), 1);
+        assert_eq!(
+            bands[0].get("residents").and_then(Value::as_u64),
+            Some(1200)
+        );
+        let bfh = bands[0]
+            .get("false_hit_rate")
+            .and_then(Value::as_f64)
+            .expect("band false_hit_rate");
+        assert!((bfh - 30.0 / 180.0).abs() < 1e-12);
         let small = doc
             .get("mixes")
             .and_then(|m| m.get("small"))

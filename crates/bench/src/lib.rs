@@ -30,7 +30,8 @@ use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
 use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
-use mobidx_core::{sort_by_dual_locality, Index1D, Motion1D, QueryRequest};
+use mobidx_core::method::vp_dual::{VpDualConfig, VpDualIndex};
+use mobidx_core::{sort_by_dual_locality, BandIo, Index1D, Motion1D, QueryRequest};
 use mobidx_obs::{Histogram, HistogramSnapshot};
 use mobidx_workload::{paper, Simulator1D, WorkloadConfig};
 use std::collections::hash_map::Entry;
@@ -42,6 +43,7 @@ pub mod diff;
 pub mod doctor;
 pub mod durable;
 pub mod json_report;
+pub mod repartition_bench;
 pub mod report;
 pub mod telemetry_check;
 pub mod throughput;
@@ -174,6 +176,10 @@ pub struct MethodMeasurement {
     pub buffer_hit_rate: f64,
     /// Wall-clock query latency distribution, in nanoseconds.
     pub latency: HistogramSnapshot,
+    /// Per-speed-band read accounting
+    /// ([`mobidx_core::IndexStats::band_io`]); empty
+    /// for methods that do not partition by velocity.
+    pub bands: Vec<BandIo>,
 }
 
 /// The factory for one competing method.
@@ -209,6 +215,10 @@ pub fn paper_methods() -> Vec<Method> {
             }),
         });
     }
+    methods.push(Method {
+        name: "vp-dual (k=3, c=3)".to_owned(),
+        make: Box::new(|| Box::new(VpDualIndex::new(VpDualConfig::default()))),
+    });
     methods
 }
 
@@ -363,6 +373,7 @@ pub fn run_scenario(
             query_hits as f64 / (query_hits + query_reads) as f64
         },
         latency: latency.snapshot(),
+        bands: idx.band_io().unwrap_or_default(),
     }
 }
 

@@ -95,6 +95,7 @@ mod tests {
             false_hit_rate: 1.0 / 6.0,
             buffer_hit_rate: 0.0,
             latency: mobidx_obs::HistogramSnapshot::default(),
+            bands: Vec::new(),
         }
     }
 

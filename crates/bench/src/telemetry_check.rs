@@ -9,6 +9,15 @@
 //! Extra series — the per-shard `wal_records`/`wal_fsyncs` the durable
 //! serving tier publishes, for instance — are accepted, never rejected:
 //! the checker pins the floor, not the ceiling.
+//!
+//! Scenario reports are the one exception to the overhead rule: a
+//! report declaring `scenario: "repartition"` (what
+//! `serve_bench --repartition --telemetry-out` writes) was sampled
+//! around a drift → repartition acceptance run, not a paired
+//! bare/sampled throughput capture, so no overhead measurement exists.
+//! Such a report must instead carry the online-repartitioning floor:
+//! recorded samples in the `repartition_attempts` aggregate and in
+//! every shard's `bands` gauge.
 
 use mobidx_obs::json::Value;
 
@@ -47,6 +56,21 @@ pub fn validate_report(text: &str) -> Result<String, String> {
         if recorded_of(&name) == 0 {
             return Err(format!("no samples for shard {shard} ({name})"));
         }
+    }
+    if doc.get("scenario").and_then(Value::as_str) == Some("repartition") {
+        if recorded_of("repartition_attempts") == 0 {
+            return Err("repartition scenario without repartition_attempts samples".to_owned());
+        }
+        for shard in 0..shards {
+            let name = format!("bands{{shard=\"{shard}\"}}");
+            if recorded_of(&name) == 0 {
+                return Err(format!("no band gauge samples for shard {shard} ({name})"));
+            }
+        }
+        return Ok(format!(
+            "ok: {shards} shards sampled, {} series, repartition scenario",
+            series.len()
+        ));
     }
     let overhead = doc
         .get("overhead")
@@ -152,6 +176,55 @@ mod tests {
         );
         let summary = validate_report(&text).expect("slo/alert/readpool series must be accepted");
         assert!(summary.contains("13 series"), "{summary}");
+    }
+
+    /// The online-repartitioning scenario ships a sampler report with
+    /// `repartition_*` and per-shard `bands` series but no paired
+    /// overhead measurement; the checker must accept it on the scenario
+    /// floor instead.
+    #[test]
+    fn repartition_scenario_report_passes_without_overhead() {
+        let text = report(
+            2,
+            &[
+                ("bands{shard=\"0\"}", 12),
+                ("bands{shard=\"1\"}", 12),
+                ("repartitions{shard=\"0\"}", 12),
+                ("repartitions{shard=\"1\"}", 12),
+                ("repartition_age_ticks{shard=\"0\"}", 12),
+                ("repartition_age_ticks{shard=\"1\"}", 12),
+                ("repartition_events", 12),
+                ("repartition_attempts", 12),
+                ("repartition_skipped", 12),
+                ("repartition_moved_total", 12),
+                ("repartition_last_ms", 12),
+            ],
+        )
+        .replace(
+            "\"overhead\": {\"overhead_pct\": 0.4}",
+            "\"scenario\": \"repartition\"",
+        );
+        let summary = validate_report(&text).expect("repartition series must be accepted");
+        assert!(summary.contains("repartition scenario"), "{summary}");
+        assert!(summary.contains("13 series"), "{summary}");
+    }
+
+    /// A scenario report without the repartition floor is rejected even
+    /// though plain reports would only miss the overhead object.
+    #[test]
+    fn repartition_scenario_without_its_floor_fails() {
+        let no_attempts = report(1, &[("bands{shard=\"0\"}", 12)]).replace(
+            "\"overhead\": {\"overhead_pct\": 0.4}",
+            "\"scenario\": \"repartition\"",
+        );
+        let err = validate_report(&no_attempts).expect_err("attempts series required");
+        assert!(err.contains("repartition_attempts"), "{err}");
+        let no_bands = report(1, &[("repartition_attempts", 12)]).replace(
+            "\"overhead\": {\"overhead_pct\": 0.4}",
+            "\"scenario\": \"repartition\"",
+        );
+        let err = validate_report(&no_bands).expect_err("band gauges required");
+        assert!(err.contains("band gauge"), "{err}");
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub struct BPlusTree<K: Key, V: Copy + Ord + Debug> {
     height: usize,
     len: usize,
     cfg: TreeConfig,
+    /// Whether the root page is kept pinned in the store (see
+    /// [`BPlusTree::set_pin_root`]); maintained across root changes.
+    pin_root: bool,
 }
 
 impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
@@ -83,7 +86,37 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
             height: 1,
             len: 0,
             cfg,
+            pin_root: false,
         }
+    }
+
+    /// Keeps the root page pinned in the store's dedicated pin slot: it
+    /// is never evicted and survives [`BPlusTree::clear_buffer`], so a
+    /// descent costs `height - 1` I/Os instead of `height` once the
+    /// root has been faulted in. One page of memory; the pin follows
+    /// the root across splits and collapses. Multi-tree facades (the
+    /// velocity-partitioned method) enable this on every sub-tree to
+    /// amortize their fan-out.
+    pub fn set_pin_root(&mut self, on: bool) {
+        self.pin_root = on;
+        self.store
+            .try_pin(on.then_some(self.root))
+            .expect(INFALLIBLE);
+    }
+
+    /// Whether the root page is pinned.
+    #[must_use]
+    pub fn pin_root(&self) -> bool {
+        self.pin_root
+    }
+
+    /// Re-points the store's pin slot at the current root after a root
+    /// change. No-op unless [`BPlusTree::set_pin_root`] is on.
+    fn repin(&mut self) -> Result<(), PagerError> {
+        if self.pin_root {
+            self.store.try_pin(Some(self.root))?;
+        }
+        Ok(())
     }
 
     /// Number of entries.
@@ -169,6 +202,7 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                 children: vec![old_root, right],
             })?;
             self.height += 1;
+            self.repin()?;
         }
         self.len += 1;
         Ok(())
@@ -255,6 +289,7 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                 promoted = next_level;
             }
         }
+        self.repin()?;
         self.len += entries.len();
         Ok(())
     }
@@ -333,6 +368,7 @@ impl<K: Key, V: Copy + Ord + Debug> BPlusTree<K, V> {
                     let _ = self.store.try_free(self.root)?;
                     self.root = child;
                     self.height -= 1;
+                    self.repin()?;
                 }
                 None => break,
             }
@@ -1352,6 +1388,7 @@ impl<K: Key + FixedCodec, V: Copy + Ord + Debug + FixedCodec> BPlusTree<K, V> {
                 height: 1,
                 len: 0,
                 cfg,
+                pin_root: false,
             });
         }
         let (root, height, len) = Self::decode_meta(&image.meta)?;
@@ -1363,6 +1400,7 @@ impl<K: Key + FixedCodec, V: Copy + Ord + Debug + FixedCodec> BPlusTree<K, V> {
             height,
             len,
             cfg,
+            pin_root: false,
         })
     }
 

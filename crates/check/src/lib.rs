@@ -25,7 +25,9 @@
 
 use mobidx_bptree::{BPlusTree, TreeConfig};
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
-use mobidx_core::{Motion1D, QueryRequest, SpeedBand};
+use mobidx_core::{
+    optimize_boundaries, Motion1D, QueryRequest, SpeedBand, VpDualConfig, VpDualIndex,
+};
 use mobidx_geom::{Aabb, Rect2};
 use mobidx_interval::{IntervalConfig, IntervalTree};
 use mobidx_kdtree::{KdConfig, KdTree};
@@ -35,7 +37,9 @@ use mobidx_pager::{
 };
 use mobidx_persist::{all_crossings, Occupant, PersistConfig, PersistentListBTree};
 use mobidx_rstar::{RStarConfig, RStarTree};
-use mobidx_serve::{Batch, ServeConfig, ServeError, ShardedDb, SpeedBandShard};
+use mobidx_serve::{
+    Batch, IdHashShard, ServeConfig, ServeError, ShardFn, ShardedDb, SpeedBandShard,
+};
 use mobidx_workload::{brute_force_1d, MorQuery1D};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -50,8 +54,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// the page traffic and the write-ahead log independently, recovery is
 /// reopening the directory, and the contract checked is the commit
 /// contract — a recovered tree is exactly the last sealed window.
-pub const INDEXES: [&str; 7] = [
-    "bptree", "interval", "kdtree", "rstar", "persist", "sharded", "durable",
+/// `vp_dual` is the serving tier over id-hash-sharded
+/// velocity-partitioned dual-B+ indexes, with seeded *mid-sequence
+/// repartitions* (the full begin/migrate/finish protocol against
+/// boundaries re-optimized from the live velocity histogram) mixed into
+/// the op stream.
+pub const INDEXES: [&str; 8] = [
+    "bptree", "interval", "kdtree", "rstar", "persist", "sharded", "durable", "vp_dual",
 ];
 
 /// Which fault plan the backing store runs under.
@@ -280,6 +289,7 @@ pub fn check_index(index: &str, cfg: &CheckConfig) -> Result<Report, Divergence>
         "persist" => check_persist(cfg),
         "sharded" => check_sharded(cfg),
         "durable" => check_durable(cfg),
+        "vp_dual" => check_vp_dual(cfg),
         other => panic!("unknown index {other:?}; expected one of {INDEXES:?}"),
     }
 }
@@ -1383,6 +1393,317 @@ fn check_sharded(cfg: &CheckConfig) -> Result<Report, Divergence> {
         report.ops += 1;
     }
     absorb_shard_faults(&db, &mut report);
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// Velocity-partitioned dual-B+ tier vs motion-table brute force
+// ----------------------------------------------------------------------
+
+/// Shard count for the vp_dual runs. Two id-hash shards exercise
+/// fan-out, typed-error surfacing, and per-shard repartitions while
+/// keeping each migration cheap.
+const VP_SHARDS: usize = 2;
+
+/// Velocity-histogram bins fed to the band-boundary optimizer during a
+/// mid-sequence repartition.
+const VP_HIST_BINS: usize = 8;
+
+/// The index configuration for the vp_dual runs: three bands, two
+/// observation trees per band, and the harness's small nodes (see
+/// `bptree_cfg`) so the fault plans can actually fire.
+fn vp_cfg() -> VpDualConfig {
+    VpDualConfig {
+        bands: 3,
+        c: 2,
+        tree: bptree_cfg(),
+        // Pinned roots skip physical reads, which would shift where
+        // per-store crash budgets fire; the harness pins nothing so the
+        // fault matrix stays at its verified injection points.
+        pin_roots: false,
+        ..VpDualConfig::default()
+    }
+}
+
+/// Arms every store across every band sub-index of one shard with a
+/// fresh backend realizing the run's fault mode.
+fn arm_vp_shard(
+    db: &ShardedDb<VpDualIndex>,
+    shard: usize,
+    mode: FaultMode,
+    seed: u64,
+) -> Result<(), ServeError> {
+    db.with_shard(shard, move |idx: &mut VpDualIndex| {
+        idx.set_backends(&mut || mode.backend(seed));
+    })
+}
+
+/// Folds one retired vp_dual index's fault/retry counters into the run
+/// totals (the vp_dual analogue of `absorb_index`).
+fn absorb_vp_index(report: &mut Report, idx: &VpDualIndex) {
+    let mut totals = (0u64, 0u64, 0u64);
+    idx.for_each_stats(&mut |s| {
+        totals.0 += s.faults_injected();
+        totals.1 += s.retries();
+        totals.2 += s.faults_recovered();
+    });
+    report.injected += totals.0;
+    report.retries += totals.1;
+    report.recovered += totals.2;
+}
+
+/// Drives the serving tier over id-hash-sharded [`VpDualIndex`]es — the
+/// same oracle-agreement and rebuild protocol as `check_sharded`, plus
+/// seeded **mid-sequence repartitions**: every so often one shard's band
+/// boundaries are re-optimized from the oracle's velocity histogram and
+/// the full begin/migrate/finish protocol runs through the shard
+/// worker. A pager fault anywhere in the migration panics the worker,
+/// which must surface as a typed shard fault (never a wrong answer) and
+/// heal through the standard rebuild.
+fn check_vp_dual(cfg: &CheckConfig) -> Result<Report, Divergence> {
+    silence_shard_panics();
+    let mut report = Report::new("vp_dual", cfg);
+    let mut rng = SplitMix::new(mix(cfg.seed, 8));
+
+    let icfg = vp_cfg();
+    let db: ShardedDb<VpDualIndex> = ShardedDb::new(
+        ServeConfig {
+            shards: VP_SHARDS,
+            queue_depth: 16,
+            ..ServeConfig::default()
+        },
+        Box::new(IdHashShard),
+        move |_, _| VpDualIndex::new(icfg),
+    );
+    let terrain = icfg.terrain;
+    let band = icfg.band;
+
+    let mut oracle: BTreeMap<u64, Motion1D> = BTreeMap::new();
+    let mut next_id = 0u64;
+    let mut round = 0u64;
+    for shard in 0..VP_SHARDS {
+        arm_vp_shard(&db, shard, cfg.faults, mix(cfg.seed, 4000 + shard as u64))
+            .expect("fresh shards accept a backend swap");
+    }
+
+    // The same dyadic speed grid and 1/128 query-edge offsets as
+    // `check_sharded`: membership is always decided with a margin far
+    // above float rounding, so the oracle and the index agree exactly.
+    let new_motion = |rng: &mut SplitMix, id: u64| -> Motion1D {
+        Motion1D {
+            id,
+            t0: rng.below(300) as f64,
+            y0: rng.below(terrain as u64) as f64,
+            v: {
+                let speed = (11 + rng.below(96)) as f64 / 64.0;
+                if rng.below(2) == 0 {
+                    speed
+                } else {
+                    -speed
+                }
+            },
+        }
+    };
+
+    for op in 0..cfg.ops {
+        let mut rebuilt: Vec<usize> = Vec::new();
+        let roll = rng.below(100);
+        if roll < 64 || oracle.is_empty() {
+            // Mutation through the batch facade (see `check_sharded` for
+            // why the oracle applies the op on both the Ok and the
+            // fault paths).
+            let mut batch = Batch::new();
+            let mutation: Motion1D;
+            let is_remove: bool;
+            if roll < 30 || oracle.is_empty() {
+                mutation = new_motion(&mut rng, next_id);
+                next_id += 1;
+                batch.insert(mutation);
+                is_remove = false;
+            } else if roll < 52 {
+                // Update: fresh position and speed, so the object can
+                // migrate to a different velocity band in place.
+                let n = rng.below(oracle.len() as u64) as usize;
+                let (&id, _) = oracle.iter().nth(n).expect("indexed oracle entry");
+                mutation = new_motion(&mut rng, id);
+                batch.update(mutation);
+                is_remove = false;
+            } else {
+                let n = rng.below(oracle.len() as u64) as usize;
+                let (&id, &old) = oracle.iter().nth(n).expect("indexed oracle entry");
+                mutation = old;
+                batch.remove(id);
+                is_remove = true;
+            }
+            match db.apply(&batch) {
+                Ok(()) => {}
+                Err(e @ (ServeError::Duplicate(_) | ServeError::Unknown(_))) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("valid batch rejected: {e}"),
+                    ));
+                }
+                Err(ServeError::ShardFault { shard, .. } | ServeError::ShardPoisoned { shard }) => {
+                    report.faults_surfaced += 1;
+                    let retired = db.rebuild_shard(shard).map_err(|e| {
+                        diverge(&report, cfg, op, format!("clean rebuild failed: {e}"))
+                    })?;
+                    absorb_vp_index(&mut report, &retired);
+                    report.rebuilds += 1;
+                    rebuilt.push(shard);
+                }
+                Err(e @ ServeError::ShardDown { .. }) => {
+                    return Err(diverge(&report, cfg, op, format!("worker died: {e}")));
+                }
+            }
+            if is_remove {
+                oracle.remove(&mutation.id);
+            } else {
+                oracle.insert(mutation.id, mutation);
+            }
+        } else if roll < 66 && oracle.len() >= 8 {
+            // Mid-sequence repartition of one shard: re-optimize the
+            // band boundaries from the oracle's velocity histogram and
+            // run the full protocol through the shard worker.
+            let shard = rng.below(VP_SHARDS as u64) as usize;
+            let mut hist = vec![0u64; VP_HIST_BINS];
+            for m in oracle.values() {
+                let s = m.v.abs().clamp(band.v_min, band.v_max);
+                let frac = (s - band.v_min) / (band.v_max - band.v_min);
+                let bin = ((frac * VP_HIST_BINS as f64) as usize).min(VP_HIST_BINS - 1);
+                hist[bin] += 1;
+            }
+            let plan = optimize_boundaries(
+                &hist,
+                band.v_min,
+                band.v_max,
+                band,
+                icfg.bands,
+                icfg.band_cost,
+            );
+            let motions: Vec<Motion1D> = oracle
+                .values()
+                .filter(|m| IdHashShard.shard_of(m, VP_SHARDS) == shard)
+                .copied()
+                .collect();
+            match db.with_shard(shard, move |idx: &mut VpDualIndex| {
+                idx.repartition(plan, &motions);
+            }) {
+                Ok(()) => {}
+                Err(ServeError::ShardFault { shard, .. } | ServeError::ShardPoisoned { shard }) => {
+                    report.faults_surfaced += 1;
+                    let retired = db.rebuild_shard(shard).map_err(|e| {
+                        diverge(&report, cfg, op, format!("clean rebuild failed: {e}"))
+                    })?;
+                    absorb_vp_index(&mut report, &retired);
+                    report.rebuilds += 1;
+                    rebuilt.push(shard);
+                }
+                Err(e) => {
+                    return Err(diverge(
+                        &report,
+                        cfg,
+                        op,
+                        format!("repartition returned a non-fault error: {e}"),
+                    ));
+                }
+            }
+        } else {
+            // Fan-out MOR query vs brute force over the oracle table.
+            let y1 = rng.below(terrain as u64) as f64 + 1.0 / 128.0;
+            let y2 = y1 + rng.below(terrain as u64 / 5) as f64;
+            let t1 = 300.0 + rng.below(60) as f64;
+            let q = MorQuery1D {
+                y1,
+                y2,
+                t1,
+                t2: t1 + rng.below(60) as f64,
+            };
+            let objects: Vec<Motion1D> = oracle.values().copied().collect();
+            let want = brute_force_1d(&objects, &q);
+            let got = loop {
+                match db.query(&QueryRequest::new(&q).queued()) {
+                    Ok(v) => break v.into_ids(),
+                    Err(
+                        ServeError::ShardFault { shard, .. } | ServeError::ShardPoisoned { shard },
+                    ) => {
+                        report.faults_surfaced += 1;
+                        let retired = db.rebuild_shard(shard).map_err(|e| {
+                            diverge(&report, cfg, op, format!("clean rebuild failed: {e}"))
+                        })?;
+                        absorb_vp_index(&mut report, &retired);
+                        report.rebuilds += 1;
+                        rebuilt.push(shard);
+                    }
+                    Err(e) => {
+                        return Err(diverge(
+                            &report,
+                            cfg,
+                            op,
+                            format!("query returned a non-fault error: {e}"),
+                        ));
+                    }
+                }
+            };
+            report.queries += 1;
+            if !got.windows(2).all(|w| w[0] < w[1]) {
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!("merge contract broken: answer not sorted-dedup ({got:?})"),
+                ));
+            }
+            if got != want {
+                let extra: Vec<u64> = got
+                    .iter()
+                    .filter(|id| !want.contains(id))
+                    .copied()
+                    .collect();
+                let missing: Vec<u64> = want
+                    .iter()
+                    .filter(|id| !got.contains(id))
+                    .copied()
+                    .collect();
+                return Err(diverge(
+                    &report,
+                    cfg,
+                    op,
+                    format!(
+                        "query y=[{y1}, {y2}] t=[{t1}, {}]: vp_dual tier returned {} ids, \
+                         oracle {} (extra {extra:?}, missing {missing:?})",
+                        q.t2,
+                        got.len(),
+                        want.len()
+                    ),
+                ));
+            }
+        }
+        // Re-arm the rebuilt shards with round-incremented fault plans.
+        for shard in rebuilt {
+            round += 1;
+            arm_vp_shard(&db, shard, cfg.faults, mix(cfg.seed, 5000 + round))
+                .expect("rebuilt shards accept a backend swap");
+        }
+        report.ops += 1;
+    }
+    for shard in 0..VP_SHARDS {
+        if let Ok(stats) = db.with_shard(shard, |idx: &mut VpDualIndex| {
+            let mut t = (0u64, 0u64, 0u64);
+            idx.for_each_stats(&mut |s| {
+                t.0 += s.faults_injected();
+                t.1 += s.retries();
+                t.2 += s.faults_recovered();
+            });
+            t
+        }) {
+            report.injected += stats.0;
+            report.retries += stats.1;
+            report.recovered += stats.2;
+        }
+    }
     Ok(report)
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mobidx-check [--ops N] [--seed S] [--faults none|transient|torn|crash|all]
-//!              [--index bptree|interval|kdtree|rstar|persist|sharded|durable|all]
+//!              [--index bptree|interval|kdtree|rstar|persist|sharded|durable|vp_dual|all]
 //! ```
 //!
 //! Runs the requested (index × fault-mode) matrix; prints one report

@@ -329,21 +329,6 @@ impl<I: Index1D> MotionDb<I> {
         self.index.query(req)
     }
 
-    /// Answers a MOR query into a caller-provided buffer.
-    #[deprecated(note = "use query(&QueryRequest::new(q).with_buffer(..)) instead")]
-    pub fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
-        self.index.search(q, out);
-    }
-
-    /// Answers a MOR query inside a trace span (I/O delta, candidates vs
-    /// results, latency, per-store breakdown).
-    #[deprecated(note = "use query(&QueryRequest::new(q).traced()) instead")]
-    pub fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, mobidx_obs::QueryTrace) {
-        let out = self.index.query(&QueryRequest::new(q).traced());
-        let trace = out.trace.clone().expect("trace requested");
-        (out.into_ids(), trace)
-    }
-
     /// The underlying index (e.g. for method-specific extensions such as
     /// [`crate::method::dual_kd::DualKdIndex::nearest`]).
     pub fn index_mut(&mut self) -> &mut I {

@@ -20,6 +20,7 @@
 //! | [`method::routes`] | §4.1 | the 1.5-dimensional problem: route network in a SAM, per-route 1-D indices on arc length |
 //! | [`method::dual2d`] | §4.2 | the full 2-D problem: 4-D duals in kd/partition trees, and the axis-decomposition method |
 //! | [`method::join`] | §7 (future work) | within-distance joins among mobile objects (plane sweep + exact linear-motion distance) |
+//! | [`method::vp_dual`] | §3.5.2 + velocity partitioning | per-speed-band dual-B+ sub-indexes with analytically optimized band boundaries and incremental online repartitioning |
 //! | [`db`] | §2 | [`MotionDb`]: the motion-database facade — update-by-id over any index |
 //!
 //! Every method implements [`Index1D`] (or its 2-D counterpart), is
@@ -32,8 +33,11 @@ pub mod method;
 
 pub use db::{sort_by_dual_locality, BatchError, DbOp, DuplicateId, MotionDb, UnknownId};
 pub use dual::{hough_x_point, hough_x_query, hough_y_b, SpeedBand};
+pub use method::vp_dual::{
+    analytic_edges, geometric_edges, optimize_boundaries, VpDualConfig, VpDualIndex,
+};
 pub use method::{
-    FrozenIndex1D, FrozenReadStats, Index1D, Index2D, IndexStats, IoTotals, QueryOutput,
+    BandIo, FrozenIndex1D, FrozenReadStats, Index1D, Index2D, IndexStats, IoTotals, QueryOutput,
     QueryRequest,
 };
 

@@ -165,6 +165,41 @@ impl DualBPlusIndex {
         m.v == 0.0
     }
 
+    /// The speed band the query windows assume.
+    #[must_use]
+    pub fn band(&self) -> SpeedBand {
+        self.cfg.band
+    }
+
+    /// Replaces the speed band driving the conservative query windows
+    /// ([`hough_y_interval`]) and the `E`-minimizing observation choice.
+    ///
+    /// The band is a *query-side* parameter only: stored `b`-coordinates
+    /// depend on each record's own trajectory, never on the band, so
+    /// retuning it is O(1) and leaves the trees untouched. Queries stay
+    /// exact as long as the band covers the speed magnitude of every
+    /// resident record — the velocity-partitioned facade
+    /// ([`super::vp_dual::VpDualIndex`]) relies on this to widen a
+    /// sub-index's band during an incremental repartition and narrow it
+    /// again once the migration completes.
+    pub fn set_band(&mut self, band: SpeedBand) {
+        self.cfg.band = band;
+    }
+
+    /// Pins (or unpins) the root page of every constituent tree — the
+    /// `c` observation pairs and the static tree — in its store's
+    /// dedicated pin slot ([`BPlusTree::set_pin_root`]). `2c + 1` pages
+    /// of memory; a descent then costs `height - 1` I/Os. The
+    /// velocity-partitioned facade enables this on every band sub-index
+    /// so its multi-tree fan-out stays competitive with a flat index.
+    pub fn pin_roots(&mut self, on: bool) {
+        for o in &mut self.obs {
+            o.pos_tree.set_pin_root(on);
+            o.neg_tree.set_pin_root(on);
+        }
+        self.static_tree.set_pin_root(on);
+    }
+
     /// Subterrain height `y_max / c`.
     fn strip(&self) -> f64 {
         #[allow(clippy::cast_precision_loss)]

@@ -10,6 +10,7 @@ pub mod ptree;
 pub(crate) mod rotating;
 pub mod routes;
 pub mod seg_rtree;
+pub mod vp_dual;
 
 use mobidx_obs::{OpenSpan, QueryTrace, Span, SpanIo};
 use mobidx_pager::{Backend, IoStats};
@@ -346,6 +347,42 @@ impl IoTotals {
     }
 }
 
+/// Cumulative per-band read accounting reported by velocity-partitioned
+/// methods through [`IndexStats::band_io`]. One entry per speed band;
+/// the counters accumulate across queries until the partition layout
+/// changes (a repartition restarts the series, since the bands it
+/// described no longer exist).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BandIo {
+    /// Inclusive lower speed-magnitude edge of the band.
+    pub v_lo: f64,
+    /// Exclusive upper speed-magnitude edge of the band.
+    pub v_hi: f64,
+    /// Records currently resident in the band's sub-index.
+    pub residents: u64,
+    /// Candidate entries the band's sub-index scanned across all
+    /// queries since the layout was established.
+    pub candidates: u64,
+    /// Exact results the band contributed across the same queries.
+    pub results: u64,
+}
+
+impl BandIo {
+    /// Fraction of scanned candidates that failed exact refinement —
+    /// the §3.5.2 false-hit rate, attributed to this band alone.
+    /// 0.0 when the band scanned nothing.
+    #[must_use]
+    pub fn false_hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.candidates - self.results.min(self.candidates)) as f64 / self.candidates as f64
+        }
+    }
+}
+
 /// The motion- and query-type-independent surface shared by every index
 /// method: naming, buffer management, and I/O accounting. [`Index1D`]
 /// and [`Index2D`] are thin traits over it — the observability plumbing
@@ -377,6 +414,13 @@ pub trait IndexStats {
     /// store.
     fn store_io(&self) -> Vec<(String, IoTotals)> {
         vec![("all".to_owned(), self.io_totals())]
+    }
+
+    /// Per-speed-band read accounting, for methods that partition by
+    /// velocity (see [`BandIo`]). The default — for unpartitioned
+    /// methods — reports none.
+    fn band_io(&self) -> Option<Vec<BandIo>> {
+        None
     }
 
     /// Replaces the storage backend of every internal page store,
@@ -553,36 +597,6 @@ pub trait Index1D: IndexStats {
     fn freeze(&self) -> Option<Box<dyn FrozenIndex1D>> {
         None
     }
-
-    /// Answers a MOR query into a caller-provided buffer.
-    #[deprecated(note = "use query(&QueryRequest::new(q).with_buffer(..)) instead")]
-    fn query_into(&mut self, q: &MorQuery1D, out: &mut Vec<u64>) {
-        self.search(q, out);
-    }
-
-    /// Runs the query inside a hierarchical trace span timed against
-    /// `epoch` (the tree-wide time base — a sharded facade passes one
-    /// epoch to every worker so subtrees share a timeline): the root
-    /// `index.query` span carries method/candidates/results attributes
-    /// and one leaf child per page store with that store's I/O delta.
-    #[deprecated(note = "use query(&QueryRequest::new(q).spanned(epoch)) instead")]
-    fn query_span(&mut self, q: &MorQuery1D, epoch: Instant) -> (Vec<u64>, Span) {
-        let mut ids = Vec::new();
-        let span = run_span(self, epoch, &mut ids, |index, out| index.search(q, out));
-        (ids, span)
-    }
-
-    /// Runs the query inside a trace span and flattens it: the I/O delta
-    /// (total and per store), candidates examined vs results returned,
-    /// and wall-clock latency.
-    #[deprecated(note = "use query(&QueryRequest::new(q).traced()) instead")]
-    fn query_traced(&mut self, q: &MorQuery1D) -> (Vec<u64>, QueryTrace) {
-        let mut ids = Vec::new();
-        let span = run_span(self, Instant::now(), &mut ids, |index, out| {
-            index.search(q, out);
-        });
-        (ids, QueryTrace::from_span(&span))
-    }
 }
 
 /// A dynamic index over 2-D mobile objects (§4.2), same contract as
@@ -620,32 +634,6 @@ pub trait Index2D: IndexStats {
             req.wants_trace(),
             req.span_epoch().is_some(),
         )
-    }
-
-    /// Answers a 2-D MOR query into a caller-provided buffer.
-    #[deprecated(note = "use query(&QueryRequest::new(q).with_buffer(..)) instead")]
-    fn query_into(&mut self, q: &MorQuery2D, out: &mut Vec<u64>) {
-        self.search(q, out);
-    }
-
-    /// Runs the query inside a hierarchical trace span (see
-    /// [`Index1D::query_span`]).
-    #[deprecated(note = "use query(&QueryRequest::new(q).spanned(epoch)) instead")]
-    fn query_span(&mut self, q: &MorQuery2D, epoch: Instant) -> (Vec<u64>, Span) {
-        let mut ids = Vec::new();
-        let span = run_span(self, epoch, &mut ids, |index, out| index.search(q, out));
-        (ids, span)
-    }
-
-    /// Runs the query inside a trace span (see
-    /// [`Index1D::query_traced`]).
-    #[deprecated(note = "use query(&QueryRequest::new(q).traced()) instead")]
-    fn query_traced(&mut self, q: &MorQuery2D) -> (Vec<u64>, QueryTrace) {
-        let mut ids = Vec::new();
-        let span = run_span(self, Instant::now(), &mut ids, |index, out| {
-            index.search(q, out);
-        });
-        (ids, QueryTrace::from_span(&span))
     }
 }
 

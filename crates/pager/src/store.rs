@@ -56,6 +56,14 @@ impl std::fmt::Display for PageId {
 /// I/O *counts*, which depend only on page capacities — those are enforced
 /// by each index's entry-size arithmetic, see [`crate::page_capacity`].
 ///
+/// At most one page can be **pinned** ([`PageStore::try_pin`]): a
+/// pinned page lives outside the LRU pool in a dedicated slot, is never
+/// evicted, and — crucially — survives [`PageStore::clear_buffer`].
+/// Its first access after pinning still pays the fault-in read; every
+/// later access is a buffer hit. Multi-tree facades pin each sub-tree's
+/// root so a fan-out query pays `depth - 1` I/Os per descent instead of
+/// `depth`, for one page of memory per sub-tree.
+///
 /// Every physical access is arbitrated by a [`Backend`]. The default
 /// [`MemBackend`] permits everything, so the infallible methods
 /// ([`PageStore::read`], [`PageStore::write`], …) behave exactly as
@@ -91,6 +99,19 @@ pub struct PageStore<P> {
     dirty_since_commit: BTreeSet<u32>,
     /// Pages freed since the last sealed commit window.
     freed_since_commit: BTreeSet<u32>,
+    /// The pinned page (at most one) and its residency state.
+    pinned: Option<(u32, PinState)>,
+}
+
+/// Residency of the pinned page (see [`PageStore::try_pin`]).
+#[derive(Debug, Clone, Copy)]
+struct PinState {
+    /// Whether the page has been faulted in since it was pinned (the
+    /// first post-pin access pays the read; later ones are hits).
+    resident: bool,
+    /// Whether a write-back is owed (paid on flush/clear, like the
+    /// pool's dirty pages — the page just stays resident afterwards).
+    dirty: bool,
 }
 
 impl<P> Default for PageStore<P> {
@@ -122,7 +143,57 @@ impl<P> PageStore<P> {
             durable,
             dirty_since_commit: BTreeSet::new(),
             freed_since_commit: BTreeSet::new(),
+            pinned: None,
         }
+    }
+
+    /// Pins page `id` (or releases the pin with `None`). At most one
+    /// page is pinned; pinning a new one releases the previous pin,
+    /// handing its residency (and any owed write-back) to the LRU pool.
+    ///
+    /// Pinning is an accounting operation — it performs no I/O itself.
+    /// If the page is currently pool-resident, residency transfers to
+    /// the pin slot; otherwise the next access pays the usual fault-in
+    /// read, after which the page stays resident until unpinned or
+    /// freed.
+    ///
+    /// # Errors
+    /// Releasing a previously pinned *resident* page re-inserts it into
+    /// the pool, which can evict a dirty page whose write-back the
+    /// backend rejects.
+    pub fn try_pin(&mut self, id: Option<PageId>) -> Result<(), PagerError> {
+        if self.pinned.map(|(p, _)| p) == id.map(PageId::index) {
+            return Ok(());
+        }
+        if let Some((old, st)) = self.pinned.take() {
+            let live = self
+                .pages
+                .get(old as usize)
+                .is_some_and(std::option::Option::is_some);
+            if st.resident && live {
+                self.insert_resident(PageId(old), st.dirty)?;
+            }
+        }
+        if let Some(id) = id {
+            let st = match self.buffer.remove(id) {
+                Some(dirty) => PinState {
+                    resident: true,
+                    dirty,
+                },
+                None => PinState {
+                    resident: false,
+                    dirty: false,
+                },
+            };
+            self.pinned = Some((id.index(), st));
+        }
+        Ok(())
+    }
+
+    /// The currently pinned page, if any.
+    #[must_use]
+    pub fn pinned(&self) -> Option<PageId> {
+        self.pinned.map(|(p, _)| PageId(p))
     }
 
     /// Swaps in a new backend, returning the previous one. Page contents
@@ -268,6 +339,9 @@ impl<P> PageStore<P> {
         self.permit(IoKind::Free, id)?;
         // No write-back is owed for a page that ceases to exist.
         let _ = self.buffer.remove(id);
+        if self.pinned.is_some_and(|(p, _)| p == id.0) {
+            self.pinned = None;
+        }
         let slot = self.pages[id.0 as usize].take().expect("free of dead page");
         self.free_list.push(id.0);
         self.stats.add_free();
@@ -431,7 +505,28 @@ impl<P> PageStore<P> {
                 }
             }
         }
+        // The pinned page pays its owed write-back like everyone else,
+        // but keeps its residency: the pin slot is dedicated memory
+        // outside the pool, which is the whole point of pinning.
+        if let Err(e) = self.flush_pinned() {
+            first_err = first_err.or(Some(e));
+        }
         first_err.map_or(Ok(()), Err)
+    }
+
+    /// Pays the pinned page's owed write-back (if dirty); it stays
+    /// resident.
+    fn flush_pinned(&mut self) -> Result<(), PagerError> {
+        if let Some((pid, mut st)) = self.pinned {
+            if st.dirty {
+                self.permit(IoKind::WriteBack, PageId(pid))?;
+                self.stats.add_writes(1);
+                self.stats.add_writeback();
+                st.dirty = false;
+                self.pinned = Some((pid, st));
+            }
+        }
+        Ok(())
     }
 
     /// Flushes all dirty pages (counting write I/Os) but keeps them
@@ -469,6 +564,9 @@ impl<P> PageStore<P> {
                 }
             }
             let _ = self.buffer.insert(id, still_dirty);
+        }
+        if let Err(e) = self.flush_pinned() {
+            first_err = first_err.or(Some(e));
         }
         first_err.map_or(Ok(()), Err)
     }
@@ -521,6 +619,18 @@ impl<P> PageStore<P> {
                 .is_some_and(std::option::Option::is_some),
             "access to dead page {id}"
         );
+        if let Some((pid, mut st)) = self.pinned.filter(|&(p, _)| p == id.0) {
+            if st.resident {
+                self.stats.add_hits(1);
+            } else {
+                self.permit(IoKind::Read, id)?;
+                self.stats.add_reads(1);
+                st.resident = true;
+            }
+            st.dirty |= dirty;
+            self.pinned = Some((pid, st));
+            return Ok(());
+        }
         if self.buffer.touch(id) {
             self.stats.add_hits(1);
             if dirty {
@@ -1080,6 +1190,61 @@ mod tests {
         assert_eq!(s.stats().evictions(), 4);
         assert_eq!(s.stats().writebacks(), 3);
         assert_eq!(*s.peek(b), 20);
+    }
+
+    #[test]
+    fn pinned_page_survives_clear_buffer() {
+        let mut s: PageStore<u8> = PageStore::new(2);
+        let a = s.allocate(1);
+        s.clear_buffer();
+        s.try_pin(Some(a)).unwrap();
+        // First post-pin access pays the fault-in read…
+        let _ = s.read(a);
+        assert_eq!(s.stats().reads(), 1);
+        // …then stays resident across clear_buffer, unlike pool pages.
+        s.clear_buffer();
+        let _ = s.read(a);
+        assert_eq!(s.stats().reads(), 1);
+        assert_eq!(s.stats().hits(), 1);
+        assert_eq!(s.pinned(), Some(a));
+    }
+
+    #[test]
+    fn pinned_dirty_page_pays_writeback_but_stays_resident() {
+        let mut s: PageStore<u64> = PageStore::new(2);
+        let a = s.allocate(7);
+        s.clear_buffer();
+        s.try_pin(Some(a)).unwrap();
+        s.write(a, |v| *v = 8); // fault-in read, dirty in the pin slot
+        assert_eq!(s.stats().reads(), 1);
+        let w0 = s.stats().writes();
+        s.clear_buffer(); // pays the owed write-back…
+        assert_eq!(s.stats().writes(), w0 + 1);
+        let _ = s.read(a); // …but the page is still resident
+        assert_eq!(s.stats().reads(), 1);
+        s.clear_buffer(); // clean now: no second write
+        assert_eq!(s.stats().writes(), w0 + 1);
+    }
+
+    #[test]
+    fn pin_transfers_pool_residency_and_repin_releases() {
+        let mut s: PageStore<u8> = PageStore::new(2);
+        let a = s.allocate(1);
+        let b = s.allocate(2);
+        // `a` is pool-resident (dirty from allocation): pinning adopts
+        // both residency and the owed write-back.
+        s.try_pin(Some(a)).unwrap();
+        let _ = s.read(a);
+        assert_eq!(s.stats().reads(), 0, "adopted residency: no fault-in");
+        // Re-pinning to `b` hands `a` (dirty) back to the pool.
+        s.try_pin(Some(b)).unwrap();
+        assert_eq!(s.pinned(), Some(b));
+        s.clear_buffer(); // a's write-back is still owed via the pool
+        let _ = s.read(a);
+        assert_eq!(s.stats().reads(), 1);
+        // Freeing the pinned page drops the pin.
+        let _ = s.free(b);
+        assert_eq!(s.pinned(), None);
     }
 
     #[test]

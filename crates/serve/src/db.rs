@@ -150,6 +150,10 @@ pub struct ShardedDb<I: Index1D + Send + 'static> {
     /// poison, SLO breach, drift, or [`ShardedDb::dump_bundle`] (see
     /// [`crate::flight`]).
     flight: Arc<crate::flight::FlightRecorder>,
+    /// Online-repartitioning progress counters (see
+    /// [`crate::repartition`]); identically zero for index types
+    /// without velocity partitioning.
+    repartition: Arc<crate::repartition::RepartitionStats>,
 }
 
 impl<I: Index1D + Send + 'static> ShardedDb<I> {
@@ -252,6 +256,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             registry,
             read_pool,
             flight,
+            repartition: Arc::new(crate::repartition::RepartitionStats::new(cfg.shards)),
         }
     }
 
@@ -679,38 +684,6 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
         }
     }
 
-    /// Answers a MOR query restricted to objects whose absolute speed
-    /// lies in `[v_lo, v_hi]`.
-    ///
-    /// # Errors
-    /// As [`ShardedDb::query`].
-    #[deprecated(note = "use `query(&QueryRequest::new(q).speed_band(v_lo, v_hi))`")]
-    pub fn query_filtered(
-        &self,
-        q: &MorQuery1D,
-        v_lo: f64,
-        v_hi: f64,
-    ) -> Result<Vec<u64>, ServeError> {
-        Ok(self
-            .query(&QueryRequest::new(q).speed_band(v_lo, v_hi))?
-            .into_ids())
-    }
-
-    /// Answers a MOR query on the queued path, inside a hierarchical
-    /// trace span.
-    ///
-    /// # Errors
-    /// As [`ShardedDb::query`].
-    ///
-    /// # Panics
-    /// Never — the spanned request always yields a span.
-    #[deprecated(note = "use `query(&QueryRequest::new(q).queued().spanned(epoch))`")]
-    pub fn query_traced(&self, q: &MorQuery1D) -> Result<(Vec<u64>, Span), ServeError> {
-        let out = self.query(&QueryRequest::new(q).queued().spanned(self.epoch))?;
-        let span = out.span.clone().expect("spanned request yields a span");
-        Ok((out.into_ids(), span))
-    }
-
     /// A point-in-time health summary of every shard: queue depth and
     /// high-water gauges, applied/queued counters, poisoned state, and
     /// query/update/io-wait latency percentiles. Reads shared atomics
@@ -763,6 +736,34 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
     #[must_use]
     pub fn profile(&self) -> &Arc<WorkloadProfile> {
         &self.profile
+    }
+
+    /// Online-repartitioning progress counters (fed by
+    /// [`crate::repartition`], harvested by the telemetry sampler and
+    /// `mobidx-top`; identically zero for index types without velocity
+    /// partitioning).
+    #[must_use]
+    pub fn repartition_stats(&self) -> &Arc<crate::repartition::RepartitionStats> {
+        &self.repartition
+    }
+
+    /// One shard's motion records from the authoritative table, in id
+    /// order (crate-internal: the repartition scheduler's migration
+    /// snapshot).
+    pub(crate) fn shard_motions(&self, shard: usize) -> Vec<Motion1D> {
+        let table = self.table.read().expect("motion table");
+        let mut motions: Vec<Motion1D> = table
+            .values()
+            .filter(|m| self.shard_fn.shard_of(m, self.shards) == shard)
+            .copied()
+            .collect();
+        motions.sort_unstable_by_key(|m| m.id);
+        motions
+    }
+
+    /// The facade-wide trace time base (crate-internal).
+    pub(crate) fn telemetry_epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// Worker queue handles for the telemetry sampler (crate-internal).

@@ -38,6 +38,7 @@ pub mod db;
 pub mod flight;
 pub mod health;
 pub mod merge;
+pub mod repartition;
 pub mod shard;
 pub mod snapshot;
 pub mod telemetry;
@@ -48,6 +49,10 @@ pub use db::{ReadView, ServeConfig, ShardedDb};
 pub use flight::{FlightConfig, FlightRecorder};
 pub use health::{HealthSnapshot, ReadPoolSnapshot, ShardHealth, ShardHealthSnapshot};
 pub use mobidx_pager::FsyncPolicy;
+pub use repartition::{
+    start_repartitioner, RepartitionConfig, RepartitionPolicy, RepartitionReport, RepartitionStats,
+    Repartitioner,
+};
 pub use shard::{IdHashShard, ShardFn, SpeedBandShard};
 pub use snapshot::DbSnapshot;
 pub use telemetry::{default_slos, SamplerConfig, ServeSampler};

@@ -230,6 +230,7 @@ impl<I: Index1D + Send + 'static> ShardedDb<I> {
             Arc::clone(self.telemetry_read_pool()),
             slo,
             Arc::clone(self.flight_recorder()),
+            Arc::clone(self.repartition_stats()),
         )
     }
 }
@@ -246,6 +247,7 @@ fn start<I: Index1D + Send + 'static>(
     read_pool: Arc<ReadPoolMetrics>,
     slo: Arc<SloEngine>,
     flight: Arc<FlightRecorder>,
+    repartition: Arc<crate::repartition::RepartitionStats>,
 ) -> ServeSampler {
     let shards = senders.len();
     let telemetry = Arc::new(Telemetry::new(cfg.capacity));
@@ -263,6 +265,10 @@ fn start<I: Index1D + Send + 'static>(
     // needs no clock plumbed out of the registry).
     let mut last_epoch = registry.epoch();
     let mut age_ticks = 0u64;
+    // Repartition-age bookkeeping, same derivation: per-shard ticks
+    // since the shard's completed-repartition counter last advanced.
+    let mut last_repartitions: Vec<u64> = vec![0; shards];
+    let mut repartition_age: Vec<u64> = vec![0; shards];
     let harvest = move || {
         let now = t.now_nanos();
         let mut depth_total = 0u64;
@@ -359,6 +365,33 @@ fn start<I: Index1D + Send + 'static>(
             }
             t.series("snapshot_epoch").push(now, epoch as f64);
             t.series("snapshot_age_ticks").push(now, age_ticks as f64);
+            // Online repartitioning: per-shard band-count gauges and
+            // ticks-since-last-repartition, plus the pass aggregates.
+            for shard in 0..shards {
+                let done = repartition.shard_completed(shard);
+                if done == last_repartitions[shard] {
+                    repartition_age[shard] += 1;
+                } else {
+                    last_repartitions[shard] = done;
+                    repartition_age[shard] = 0;
+                }
+                t.series(&shard_series("bands", shard))
+                    .push(now, repartition.bands(shard) as f64);
+                t.series(&shard_series("repartitions", shard))
+                    .push(now, done as f64);
+                t.series(&shard_series("repartition_age_ticks", shard))
+                    .push(now, repartition_age[shard] as f64);
+            }
+            t.series("repartition_events")
+                .push(now, repartition.completed() as f64);
+            t.series("repartition_attempts")
+                .push(now, repartition.attempts() as f64);
+            t.series("repartition_skipped")
+                .push(now, repartition.skipped() as f64);
+            t.series("repartition_moved_total")
+                .push(now, repartition.moved_total() as f64);
+            t.series("repartition_last_ms")
+                .push(now, repartition.last_millis() as f64);
         }
         // Judgment rides the same tick: the SLO engine reads the
         // windows just harvested, then the flight recorder checks its

@@ -7,6 +7,7 @@ use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
 use mobidx_core::method::dual_kd::{DualKdConfig, DualKdIndex};
 use mobidx_core::method::ptree::{DualPtreeConfig, DualPtreeIndex};
 use mobidx_core::method::seg_rtree::{SegRTreeConfig, SegRTreeIndex};
+use mobidx_core::method::vp_dual::{VpDualConfig, VpDualIndex};
 use mobidx_core::{Index1D, QueryRequest, SpeedBand};
 use mobidx_kdtree::KdConfig;
 use mobidx_ptree::PartitionConfig;
@@ -40,6 +41,15 @@ fn dual_methods() -> Vec<Box<dyn Index1D>> {
                 buffer_pages: 4,
             },
             ..DualBPlusConfig::default()
+        })),
+        Box::new(VpDualIndex::new(VpDualConfig {
+            bands: 3,
+            tree: TreeConfig {
+                leaf_cap: 16,
+                branch_cap: 16,
+                buffer_pages: 4,
+            },
+            ..VpDualConfig::default()
         })),
     ]
 }

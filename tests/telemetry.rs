@@ -5,10 +5,11 @@
 //! surfacing in the health snapshot.
 
 use mobidx_core::method::dual_bplus::{DualBPlusConfig, DualBPlusIndex};
+use mobidx_core::method::vp_dual::{VpDualConfig, VpDualIndex};
 use mobidx_core::QueryRequest;
 use mobidx_obs::json::Value;
 use mobidx_obs::telemetry::{parse_prometheus, ProfileConfig};
-use mobidx_serve::{Batch, IdHashShard, SamplerConfig, ServeConfig, ShardedDb};
+use mobidx_serve::{Batch, IdHashShard, RepartitionPolicy, SamplerConfig, ServeConfig, ShardedDb};
 use mobidx_workload::{Simulator1D, VelocityModel, WorkloadConfig};
 use std::time::Duration;
 
@@ -151,6 +152,92 @@ fn drift_fires_on_two_band_shift_and_never_on_stationary() {
         db.profile().drift_events(),
         events_before,
         "rebaselined detector must not re-fire on the now-stationary mix"
+    );
+}
+
+/// A completed repartition must `rebaseline()` the workload profile on
+/// its own: the layout was just fitted to the drifted distribution, so
+/// that distribution is the new reference — the drift gauge resets, the
+/// now-stationary two-band mix never re-fires the detector, and the
+/// drift subscription stays quiet instead of repartitioning in a loop.
+#[test]
+fn completed_repartition_rebaselines_the_drift_reference() {
+    const WINDOW: u64 = 800;
+    let db: ShardedDb<VpDualIndex> = ShardedDb::with_profile(
+        ServeConfig {
+            shards: 2,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+        ProfileConfig {
+            window: WINDOW,
+            ..ProfileConfig::default()
+        },
+        Box::new(IdHashShard),
+        |_, _| VpDualIndex::new(VpDualConfig::default()),
+    );
+    let mut sim = Simulator1D::new(WorkloadConfig {
+        n: 800,
+        updates_per_instant: 100,
+        seed: 71,
+        ..WorkloadConfig::default()
+    });
+    let mut batch = Batch::new();
+    for m in sim.objects() {
+        batch.insert(*m);
+    }
+    db.apply(&batch).expect("initial load");
+
+    sim.set_velocity_model(VelocityModel::TwoBand {
+        fast_frac: 0.5,
+        band_frac: 0.15,
+    });
+    let at_switch = db.profile().windows_closed();
+    while db.profile().drift_events() == 0 {
+        assert!(
+            db.profile().windows_closed() < at_switch + 6,
+            "no drift event within 6 windows of the switch"
+        );
+        let updates = sim.step();
+        let mut batch = Batch::new();
+        for u in updates {
+            batch.update(u.new);
+        }
+        db.apply(&batch).expect("apply step batch");
+    }
+
+    let report = db
+        .maybe_repartition(&RepartitionPolicy::default())
+        .expect("repartition pass")
+        .expect("pending drift event must trigger a pass");
+    assert!(report.shards_changed >= 1);
+
+    // The pass rebaselined the profile itself: gauge reset, no manual
+    // `rebaseline()` call anywhere in this test.
+    assert_eq!(db.profile().drift_millis(), 0, "gauge must reset");
+    let events_before = db.profile().drift_events();
+    let windows_before = db.profile().windows_closed();
+    loop {
+        let updates = sim.step();
+        let mut batch = Batch::new();
+        for u in updates {
+            batch.update(u.new);
+        }
+        db.apply(&batch).expect("apply step batch");
+        if db.profile().windows_closed() >= windows_before + 4 {
+            break;
+        }
+    }
+    assert_eq!(
+        db.profile().drift_events(),
+        events_before,
+        "the rebaselined detector must not re-fire on the handled mix"
+    );
+    assert_eq!(
+        db.maybe_repartition(&RepartitionPolicy::default())
+            .expect("quiet subscription"),
+        None,
+        "the handled drift must not repartition in a loop"
     );
 }
 
